@@ -1,0 +1,65 @@
+//! Criterion benchmarks covering every paper artifact: one bench per
+//! table and figure, each timing a smoke-scale run of the exact code that
+//! regenerates the artifact (see `src/bin/experiments.rs` for the
+//! paper-scale reports).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use clre_bench::{system, tasklevel, RunScale};
+
+fn tasklevel_benches(c: &mut Criterion) {
+    c.bench_function("exp_fig6a_dvfs_fronts", |b| b.iter(tasklevel::fig6a));
+    c.bench_function("exp_fig6b_masking_fronts", |b| b.iter(tasklevel::fig6b));
+    c.bench_function("exp_table4_sobel_counts", |b| b.iter(tasklevel::table4));
+    c.bench_function("exp_fig9_library_sizes", |b| b.iter(tasklevel::fig9));
+    c.bench_function("exp_chkpt_interval_study", |b| b.iter(tasklevel::chkpt));
+}
+
+fn system_benches(c: &mut Criterion) {
+    c.bench_function("exp_fig7_clr_vs_agnostic", |b| {
+        b.iter(|| system::fig7(RunScale::Tiny))
+    });
+    c.bench_function("exp_table5_hv_vs_agnostic", |b| {
+        b.iter(|| system::table5(RunScale::Tiny))
+    });
+    c.bench_function("exp_fig8_proposed_vs_fcclr", |b| {
+        b.iter(|| system::fig8(RunScale::Tiny))
+    });
+    c.bench_function("exp_table6_hv_vs_fcclr", |b| {
+        b.iter(|| system::table6(RunScale::Tiny))
+    });
+    c.bench_function("exp_fig10_proposed_vs_pfclr", |b| {
+        b.iter(|| system::fig10(RunScale::Tiny))
+    });
+    c.bench_function("exp_table7_hv_vs_pfclr3", |b| {
+        b.iter(|| system::table7(RunScale::Tiny))
+    });
+}
+
+fn ablation_benches(c: &mut Criterion) {
+    c.bench_function("ablation_seeding", |b| {
+        b.iter(|| system::ablation_seeding(RunScale::Tiny))
+    });
+    c.bench_function("ablation_tournament", |b| {
+        b.iter(|| system::ablation_tournament(RunScale::Tiny))
+    });
+    c.bench_function("ablation_pruning", |b| {
+        b.iter(|| system::ablation_pruning(RunScale::Tiny))
+    });
+    c.bench_function("ablation_comm", |b| {
+        b.iter(|| system::ablation_comm(RunScale::Tiny))
+    });
+    c.bench_function("ablation_moea", |b| {
+        b.iter(|| system::ablation_moea(RunScale::Tiny))
+    });
+    c.bench_function("exp_multiobj_3d", |b| {
+        b.iter(|| system::multiobj(RunScale::Tiny))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = tasklevel_benches, system_benches, ablation_benches
+}
+criterion_main!(benches);

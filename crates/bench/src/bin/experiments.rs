@@ -1,0 +1,52 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! Usage: `experiments <id> [--smoke]` where `<id>` is one of
+//! `fig6a fig6b table4 fig7 table5 fig8 table6 fig9 fig10 table7
+//! ablations all`.
+
+use clre_bench::{system, tasklevel, RunScale};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: experiments <fig6a|fig6b|table4|fig7|table5|fig8|table6|fig9|fig10|table7|scaling|chkpt|multiobj|ablations|all> [--smoke]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if args.iter().any(|a| a == "--smoke") {
+        RunScale::Smoke
+    } else {
+        RunScale::Paper
+    };
+    let Some(id) = args.iter().find(|a| !a.starts_with("--")) else {
+        usage();
+    };
+    let out = match id.as_str() {
+        "fig6a" => tasklevel::fig6a(),
+        "fig6b" => tasklevel::fig6b(),
+        "table4" => tasklevel::table4(),
+        "fig9" => tasklevel::fig9(),
+        "fig7" => system::fig7(scale),
+        "table5" => system::table5(scale),
+        "fig8" => system::fig8(scale),
+        "table6" => system::table6(scale),
+        "fig10" => system::fig10(scale),
+        "table7" => system::table7(scale),
+        "scaling" => system::scaling(scale),
+        "chkpt" => tasklevel::chkpt(),
+        "multiobj" => system::multiobj(scale),
+        "ablations" => format!(
+            "-- seeding --\n{}-- tournament --\n{}-- pruning --\n{}-- moea --\n{}-- communication --\n{}",
+            system::ablation_seeding(scale),
+            system::ablation_tournament(scale),
+            system::ablation_pruning(scale),
+            system::ablation_moea(scale),
+            system::ablation_comm(scale)
+        ),
+        "all" => clre_bench::run_all(scale),
+        _ => usage(),
+    };
+    println!("{out}");
+}

@@ -1,0 +1,95 @@
+//! Experiment harness reproducing every table and figure of the
+//! CL(R)Early paper's evaluation (Section VI).
+//!
+//! Each experiment is a plain function returning a formatted report so
+//! that the `experiments` binary, the integration tests and the Criterion
+//! benches can all drive the same code. The [`RunScale`] parameter selects
+//! between a seconds-long smoke configuration (benches, CI) and the
+//! paper-scale configuration used to produce `EXPERIMENTS.md`.
+//!
+//! | Experiment | Paper artifact | Function |
+//! |---|---|---|
+//! | `fig6a` | Fig. 6(a) task-level fronts per DVFS mode | [`tasklevel::fig6a`] |
+//! | `fig6b` | Fig. 6(b) fronts vs implicit masking | [`tasklevel::fig6b`] |
+//! | `table4` | Table IV Pareto counts per objective set | [`tasklevel::table4`] |
+//! | `fig9` | Fig. 9 library sizes for tDSE_1/2/3 | [`tasklevel::fig9`] |
+//! | `fig7` | Fig. 7 CLR vs Agnostic fronts (T=20) | [`system::fig7`] |
+//! | `table5` | Table V hypervolume gain vs Agnostic | [`system::table5`] |
+//! | `fig8` | Fig. 8 proposed vs fcCLR fronts (T=50) | [`system::fig8`] |
+//! | `table6` | Table VI hypervolume gain vs fcCLR | [`system::table6`] |
+//! | `fig10` | Fig. 10 proposed vs pfCLR per tDSE run | [`system::fig10`] |
+//! | `table7` | Table VII gains over pfCLR_3 | [`system::table7`] |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod report;
+pub mod system;
+pub mod tasklevel;
+
+use clre::methodology::StageBudget;
+
+/// How big an experiment run should be.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunScale {
+    /// Minimal budgets for Criterion benches: each experiment iteration
+    /// stays around a second so `cargo bench` completes on one core.
+    Tiny,
+    /// Small budgets and few application sizes: seconds, for tests.
+    Smoke,
+    /// The configuration used to produce `EXPERIMENTS.md`.
+    Paper,
+}
+
+impl RunScale {
+    /// The GA budget for system-level runs at this scale.
+    pub fn budget(self) -> StageBudget {
+        match self {
+            RunScale::Tiny => StageBudget::new(8, 4).with_seed(11),
+            RunScale::Smoke => StageBudget::new(32, 24).with_seed(11),
+            RunScale::Paper => StageBudget::new(60, 60).with_seed(11),
+        }
+    }
+
+    /// The application sizes swept by the scaling tables.
+    pub fn sizes(self) -> Vec<usize> {
+        match self {
+            RunScale::Tiny => vec![8],
+            RunScale::Smoke => vec![10, 20],
+            RunScale::Paper => vec![10, 20, 30, 40, 50, 60, 70, 80, 90, 100],
+        }
+    }
+}
+
+/// Runs every experiment at the given scale and concatenates the reports
+/// (the content of `EXPERIMENTS.md`'s measured sections).
+pub fn run_all(scale: RunScale) -> String {
+    let mut out = String::new();
+    for (name, body) in [
+        ("fig6a", tasklevel::fig6a()),
+        ("fig6b", tasklevel::fig6b()),
+        ("table4", tasklevel::table4()),
+        ("fig9", tasklevel::fig9()),
+        ("fig7", system::fig7(scale)),
+        ("table5", system::table5(scale)),
+        ("fig8", system::fig8(scale)),
+        ("table6", system::table6(scale)),
+        ("fig10", system::fig10(scale)),
+        ("table7", system::table7(scale)),
+    ] {
+        out.push_str(&format!("==== {name} ====\n{body}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_expose_budgets_and_sizes() {
+        assert_eq!(RunScale::Smoke.sizes(), vec![10, 20]);
+        assert_eq!(RunScale::Paper.sizes().len(), 10);
+        assert!(RunScale::Paper.budget().population > RunScale::Smoke.budget().population);
+    }
+}

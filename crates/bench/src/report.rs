@@ -1,0 +1,143 @@
+//! Tiny plain-text table/series formatting for experiment reports.
+
+/// A left-aligned plain-text table.
+///
+/// # Examples
+///
+/// ```
+/// use clre_bench::report::Table;
+///
+/// let mut t = Table::new(vec!["a".into(), "b".into()]);
+/// t.row(vec!["1".into(), "2".into()]);
+/// let s = t.to_string();
+/// assert!(s.contains("a"));
+/// assert!(s.contains("1"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(header: Vec<String>) -> Self {
+        Table {
+            header,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, row: Vec<String>) -> &mut Self {
+        assert_eq!(row.len(), self.header.len(), "row width mismatch");
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for c in 0..cols {
+                widths[c] = widths[c].max(row[c].len());
+            }
+        }
+        let write_row = |f: &mut std::fmt::Formatter<'_>, row: &[String]| -> std::fmt::Result {
+            for (c, cell) in row.iter().enumerate() {
+                if c > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{cell:<width$}", width = widths[c])?;
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.header)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a named objective-space series (one Pareto front) as CSV-ish
+/// lines: `name,x,y` — the format the plotting scripts and EXPERIMENTS.md
+/// use for every figure.
+pub fn series(name: &str, points: &[Vec<f64>]) -> String {
+    let mut sorted: Vec<&Vec<f64>> = points.iter().collect();
+    sorted.sort_by(|a, b| a[0].partial_cmp(&b[0]).unwrap_or(std::cmp::Ordering::Equal));
+    let mut out = String::new();
+    for p in sorted {
+        out.push_str(name);
+        for v in p {
+            out.push_str(&format!(",{v:.6e}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a hypervolume percentage for tables: integers like the paper,
+/// `inf` for division by zero.
+pub fn pct(p: f64) -> String {
+    if p.is_infinite() {
+        "inf".to_owned()
+    } else {
+        format!("{p:.0}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let mut t = Table::new(vec!["col".into(), "x".into()]);
+        t.row(vec!["longvalue".into(), "1".into()]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].starts_with("---"));
+        assert!(!t.is_empty());
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn ragged_row_panics() {
+        Table::new(vec!["a".into()]).row(vec![]);
+    }
+
+    #[test]
+    fn series_sorts_by_first_axis() {
+        let s = series("m", &[vec![2.0, 1.0], vec![1.0, 2.0]]);
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[0].starts_with("m,1.0"));
+        assert!(lines[1].starts_with("m,2.0"));
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(231.4), "231");
+        assert_eq!(pct(f64::INFINITY), "inf");
+    }
+}

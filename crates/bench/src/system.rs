@@ -1,0 +1,581 @@
+//! System-level experiments: Fig. 7 / Table V (CLR vs Agnostic), Fig. 8 /
+//! Table VI (proposed vs fcCLR), Fig. 10 / Table VII (proposed vs pfCLR
+//! under growing task-level libraries).
+
+use clre::apps;
+use clre::methodology::{reference_point, ClrEarly, FrontResult, Layer, StageBudget};
+use clre::tdse::TdseConfig;
+use clre_moea::hypervolume::{hypervolume, percent_increase};
+
+use crate::report::{pct, series, Table};
+use crate::tasklevel::tdse_runs;
+use crate::RunScale;
+
+/// Fig. 7: Pareto fronts of the cross-layer approach vs the merged
+/// single-layer (Agnostic) baseline, plus each per-layer front, for a
+/// 20-task synthetic application.
+///
+/// Expected shape: the CLR front dominates the Agnostic front across the
+/// makespan range.
+pub fn fig7(scale: RunScale) -> String {
+    let (platform, graph) = apps::synthetic_app(20, 7).expect("synthetic app builds");
+    let dse = ClrEarly::new(&graph, &platform).expect("tDSE succeeds");
+    let budget = scale.budget();
+    let mut out = String::from("# series: method, avg-makespan[s], app-error-prob\n");
+    let clr = dse.run_proposed(&budget).expect("proposed runs");
+    out.push_str(&series("CLR", &clr.objectives()));
+    let mut layer_runs = Vec::new();
+    for layer in Layer::ALL {
+        let r = dse.run_single_layer(layer, &budget).expect("layer runs");
+        out.push_str(&series(layer.name(), &r.objectives()));
+        layer_runs.push(r);
+    }
+    let agnostic = FrontResult::merge("Agnostic", layer_runs.iter());
+    out.push_str(&series("Agnostic", &agnostic.objectives()));
+    out
+}
+
+/// Table V: percentage increase of the CLR front's hypervolume over the
+/// Agnostic front, for applications of 10…100 tasks.
+///
+/// Expected shape: large positive improvements at every size (the paper
+/// reports 135–251% with a huge outlier at 10 tasks).
+pub fn table5(scale: RunScale) -> String {
+    let budget = scale.budget();
+    let mut table = Table::new(vec![
+        "#Tasks".into(),
+        "% HV increase (CLR vs Agnostic)".into(),
+    ]);
+    for &tasks in &scale.sizes() {
+        let (platform, graph) =
+            apps::synthetic_app(tasks, 7 + tasks as u64).expect("synthetic app builds");
+        let dse = ClrEarly::new(&graph, &platform).expect("tDSE succeeds");
+        let clr = dse.run_proposed(&budget).expect("proposed runs");
+        let agn = dse.run_agnostic(&budget).expect("agnostic runs");
+        let clr_objs = clr.objectives();
+        let agn_objs = agn.objectives();
+        let r = reference_point([clr_objs.as_slice(), agn_objs.as_slice()]);
+        let gain = percent_increase(hypervolume(&clr_objs, &r), hypervolume(&agn_objs, &r));
+        table.row(vec![tasks.to_string(), pct(gain)]);
+    }
+    table.to_string()
+}
+
+/// Fig. 8: Pareto fronts of the proposed two-stage method vs the
+/// problem-agnostic fcCLR baseline for a 50-task application.
+///
+/// Expected shape: the proposed front dominates fcCLR.
+pub fn fig8(scale: RunScale) -> String {
+    let tasks = match scale {
+        RunScale::Tiny => 10,
+        RunScale::Smoke => 20,
+        RunScale::Paper => 50,
+    };
+    let (platform, graph) =
+        apps::synthetic_app(tasks, 7 + tasks as u64).expect("synthetic app builds");
+    let dse = ClrEarly::new(&graph, &platform).expect("tDSE succeeds");
+    let budget = scale.budget();
+    let mut out = String::from("# series: method, avg-makespan[s], app-error-prob\n");
+    out.push_str(&series(
+        "fcCLR",
+        &dse.run_fc(&budget).expect("fcCLR runs").objectives(),
+    ));
+    out.push_str(&series(
+        "proposed",
+        &dse.run_proposed(&budget)
+            .expect("proposed runs")
+            .objectives(),
+    ));
+    out
+}
+
+/// Table VI: percentage increase of the proposed method's hypervolume
+/// over fcCLR for 10…100 tasks.
+///
+/// Expected shape: consistently positive, tens to hundreds of percent
+/// (the paper reports 73–231%, average 129%).
+pub fn table6(scale: RunScale) -> String {
+    let budget = scale.budget();
+    let mut table = Table::new(vec![
+        "#Tasks".into(),
+        "% HV increase (proposed vs fcCLR)".into(),
+    ]);
+    for &tasks in &scale.sizes() {
+        let (platform, graph) =
+            apps::synthetic_app(tasks, 7 + tasks as u64).expect("synthetic app builds");
+        let dse = ClrEarly::new(&graph, &platform).expect("tDSE succeeds");
+        let fc = dse.run_fc(&budget).expect("fcCLR runs");
+        let prop = dse.run_proposed(&budget).expect("proposed runs");
+        let fc_objs = fc.objectives();
+        let prop_objs = prop.objectives();
+        let r = reference_point([fc_objs.as_slice(), prop_objs.as_slice()]);
+        let gain = percent_increase(hypervolume(&prop_objs, &r), hypervolume(&fc_objs, &r));
+        table.row(vec![tasks.to_string(), pct(gain)]);
+    }
+    table.to_string()
+}
+
+/// Fig. 10: Pareto fronts of the proposed and pfCLR methods under the
+/// three tDSE library configurations, for a 30-task application.
+///
+/// Expected shape: result quality degrades from tDSE_1 to tDSE_3 for both
+/// methods, with the proposed method matching or beating pfCLR per run.
+pub fn fig10(scale: RunScale) -> String {
+    let tasks = match scale {
+        RunScale::Tiny => 8,
+        RunScale::Smoke => 10,
+        RunScale::Paper => 30,
+    };
+    let (platform, graph) =
+        apps::synthetic_app(tasks, 7 + tasks as u64).expect("synthetic app builds");
+    let budget = scale.budget();
+    let mut out = String::from("# series: method_run, avg-makespan[s], app-error-prob\n");
+    for (label, objs) in tdse_runs() {
+        let dse =
+            ClrEarly::with_tdse_config(&graph, &platform, TdseConfig::new().with_objectives(objs))
+                .expect("tDSE succeeds");
+        out.push_str(&series(
+            &format!("proposed_{label}"),
+            &dse.run_proposed(&budget)
+                .expect("proposed runs")
+                .objectives(),
+        ));
+        out.push_str(&series(
+            &format!("pfCLR_{label}"),
+            &dse.run_pf(&budget).expect("pfCLR runs").objectives(),
+        ));
+    }
+    out
+}
+
+/// Table VII: percentage increase in hypervolume over the `pfCLR_3`
+/// baseline for `{proposed, pfCLR} × {tDSE_1, tDSE_2, tDSE_3}` across
+/// application sizes.
+///
+/// Expected shape: gains shrink from run 1 to run 3 (bigger libraries
+/// degrade both methods), with `proposed_k ≥ pfCLR_k` in (almost) every
+/// cell and `pfCLR_3 = 0` by construction.
+pub fn table7(scale: RunScale) -> String {
+    let budget = scale.budget();
+    let runs = tdse_runs();
+    let mut table = Table::new(vec![
+        "#Tasks".into(),
+        "proposed_1".into(),
+        "pfCLR_1".into(),
+        "proposed_2".into(),
+        "pfCLR_2".into(),
+        "proposed_3".into(),
+        "pfCLR_3".into(),
+    ]);
+    for &tasks in &scale.sizes() {
+        let (platform, graph) =
+            apps::synthetic_app(tasks, 7 + tasks as u64).expect("synthetic app builds");
+        // Collect all six fronts, then score against a common reference.
+        let mut fronts: Vec<(String, Vec<Vec<f64>>)> = Vec::new();
+        for (label, objs) in &runs {
+            let dse = ClrEarly::with_tdse_config(
+                &graph,
+                &platform,
+                TdseConfig::new().with_objectives(objs.clone()),
+            )
+            .expect("tDSE succeeds");
+            fronts.push((
+                format!("proposed_{label}"),
+                dse.run_proposed(&budget)
+                    .expect("proposed runs")
+                    .objectives(),
+            ));
+            fronts.push((
+                format!("pfCLR_{label}"),
+                dse.run_pf(&budget).expect("pfCLR runs").objectives(),
+            ));
+        }
+        let reference = reference_point(fronts.iter().map(|(_, f)| f.as_slice()));
+        let hv: Vec<f64> = fronts
+            .iter()
+            .map(|(_, f)| hypervolume(f, &reference))
+            .collect();
+        let baseline = hv[5]; // pfCLR_tDSE_3
+        let mut row = vec![tasks.to_string()];
+        for &h in &hv {
+            row.push(pct(percent_increase(h, baseline)));
+        }
+        table.row(row);
+    }
+    table.to_string()
+}
+
+/// Ablation: proposed (seeded) vs an unseeded fcCLR run with the *same*
+/// total budget, isolating the value of seeding (DESIGN.md §5).
+pub fn ablation_seeding(scale: RunScale) -> String {
+    let (platform, graph) = apps::synthetic_app(30, 37).expect("synthetic app builds");
+    let dse = ClrEarly::new(&graph, &platform).expect("tDSE succeeds");
+    let budget = scale.budget();
+    let seeded = dse.run_proposed(&budget).expect("proposed runs");
+    let unseeded = dse.run_fc(&budget).expect("fcCLR runs");
+    let a = seeded.objectives();
+    let b = unseeded.objectives();
+    let r = reference_point([a.as_slice(), b.as_slice()]);
+    format!(
+        "seeded-hv,{:.6e}\nunseeded-hv,{:.6e}\ngain-pct,{}\n",
+        hypervolume(&a, &r),
+        hypervolume(&b, &r),
+        pct(percent_increase(hypervolume(&a, &r), hypervolume(&b, &r)))
+    )
+}
+
+/// Ablation: tournament size 5 (paper) vs 2, at equal budget.
+pub fn ablation_tournament(scale: RunScale) -> String {
+    let (platform, graph) = apps::synthetic_app(30, 41).expect("synthetic app builds");
+    let dse = ClrEarly::new(&graph, &platform).expect("tDSE succeeds");
+    let budget = scale.budget();
+    // The tournament size lives in Nsga2Config; emulate k=2 by a pf run
+    // with a direct Nsga2 invocation through the public API.
+    let k5 = dse.run_pf(&budget).expect("pfCLR runs");
+    let k2 = dse
+        .run_pf_with_tournament(&budget, 2)
+        .expect("pfCLR runs with k=2");
+    let a = k5.objectives();
+    let b = k2.objectives();
+    let r = reference_point([a.as_slice(), b.as_slice()]);
+    format!(
+        "k5-hv,{:.6e}\nk2-hv,{:.6e}\ngain-pct,{}\n",
+        hypervolume(&a, &r),
+        hypervolume(&b, &r),
+        pct(percent_increase(hypervolume(&a, &r), hypervolume(&b, &r)))
+    )
+}
+
+/// Ablation: pfCLR's Pareto pruning vs a random subset of equal size.
+pub fn ablation_pruning(scale: RunScale) -> String {
+    let (platform, graph) = apps::synthetic_app(30, 43).expect("synthetic app builds");
+    let dse = ClrEarly::new(&graph, &platform).expect("tDSE succeeds");
+    let budget = scale.budget();
+    let pruned = dse.run_pf(&budget).expect("pfCLR runs");
+    let random = dse
+        .run_random_subset(&budget, 99)
+        .expect("random-subset run");
+    let a = pruned.objectives();
+    let b = random.objectives();
+    let r = reference_point([a.as_slice(), b.as_slice()]);
+    format!(
+        "pareto-hv,{:.6e}\nrandom-hv,{:.6e}\ngain-pct,{}\n",
+        hypervolume(&a, &r),
+        hypervolume(&b, &r),
+        pct(percent_increase(hypervolume(&a, &r), hypervolume(&b, &r)))
+    )
+}
+
+/// Ablation: NSGA-II vs SPEA2 as the MOEA backend for pfCLR at equal
+/// budget (DESIGN.md §5).
+pub fn ablation_moea(scale: RunScale) -> String {
+    let (platform, graph) = apps::synthetic_app(30, 47).expect("synthetic app builds");
+    let dse = ClrEarly::new(&graph, &platform).expect("tDSE succeeds");
+    let budget = scale.budget();
+    let nsga = dse.run_pf(&budget).expect("NSGA-II runs");
+    let spea = dse.run_pf_spea2(&budget).expect("SPEA2 runs");
+    let a = nsga.objectives();
+    let b = spea.objectives();
+    let r = reference_point([a.as_slice(), b.as_slice()]);
+    format!(
+        "nsga2-hv,{:.6e}
+spea2-hv,{:.6e}
+nsga2-gain-pct,{}
+",
+        hypervolume(&a, &r),
+        hypervolume(&b, &r),
+        pct(percent_increase(hypervolume(&a, &r), hypervolume(&b, &r)))
+    )
+}
+
+/// Extension study (DESIGN.md §8): the same application optimized on the
+/// plain paper platform vs the NoC-enabled platform. Communication-aware
+/// scheduling shifts the front right (transfers cost time) and changes
+/// which mappings win — the makespan inflation quantifies the modeling
+/// gap the paper's future-work section warns about.
+pub fn ablation_comm(scale: RunScale) -> String {
+    let (_, graph) = apps::synthetic_app(30, 53).expect("synthetic app builds");
+    let budget = scale.budget();
+    let free = apps::paper_platform();
+    let noc = apps::paper_platform_with_noc();
+    let run = |platform: &clre_model::Platform| {
+        ClrEarly::new(&graph, platform)
+            .expect("tDSE succeeds")
+            .run_proposed(&budget)
+            .expect("proposed runs")
+    };
+    let f_free = run(&free);
+    let f_noc = run(&noc);
+    let best_makespan = |f: &FrontResult| {
+        f.front()
+            .iter()
+            .map(|p| p.metrics.makespan)
+            .fold(f64::MAX, f64::min)
+    };
+    let mut out = String::from(
+        "# series: platform, avg-makespan[s], app-error-prob
+",
+    );
+    out.push_str(&series("comm-free", &f_free.objectives()));
+    out.push_str(&series("comm-aware", &f_noc.objectives()));
+    out.push_str(&format!(
+        "min-makespan-inflation-pct,{:.1}
+",
+        100.0 * (best_makespan(&f_noc) - best_makespan(&f_free)) / best_makespan(&f_free)
+    ));
+    out
+}
+
+/// Tri-objective system DSE (the framework's "select task and
+/// system-level objectives independently" claim): optimize makespan,
+/// application error probability *and* lifetime simultaneously, scored
+/// with the exact 3-D WFG hypervolume.
+///
+/// Runs the proposed method twice — once with a task-level library
+/// Pareto-filtered under time+error only (*mismatched*: blind to the
+/// lifetime axis) and once filtered under time+error+MTTF (*matched*) —
+/// against the fcCLR baseline. The mismatched library loses to fcCLR in
+/// 3-D while the matched one recovers, which is the quantitative form of
+/// the paper's Section VI-C2 conclusion that effective system-level
+/// exploration depends on choosing the right task-level objectives.
+pub fn multiobj(scale: RunScale) -> String {
+    use clre::tdse::TdseConfig as Cfg;
+    use clre_model::qos::{Objective, ObjectiveSet};
+    let (platform, graph) = apps::synthetic_app(20, 61).expect("synthetic app builds");
+    let objectives = ObjectiveSet::new(vec![
+        Objective::Makespan,
+        Objective::ErrorProbability,
+        Objective::Mttf,
+    ]);
+    let budget = scale.budget();
+    let run = |tdse_objs: ObjectiveSet, proposed: bool| {
+        let dse =
+            ClrEarly::with_tdse_config(&graph, &platform, Cfg::new().with_objectives(tdse_objs))
+                .expect("tDSE succeeds")
+                .with_objectives(objectives.clone());
+        if proposed {
+            dse.run_proposed(&budget).expect("proposed runs")
+        } else {
+            dse.run_fc(&budget).expect("fcCLR runs")
+        }
+    };
+    let mismatched = run(ObjectiveSet::set_ii(), true).objectives();
+    let matched = run(ObjectiveSet::set_iii(), true).objectives();
+    let fc = run(ObjectiveSet::set_ii(), false).objectives();
+    let r = reference_point([mismatched.as_slice(), matched.as_slice(), fc.as_slice()]);
+    let (hm, hq, hf) = (
+        hypervolume(&mismatched, &r),
+        hypervolume(&matched, &r),
+        hypervolume(&fc, &r),
+    );
+    format!(
+        "proposed-mismatched-hv3d,{hm:.6e}
+proposed-matched-hv3d,{hq:.6e}
+fcclr-hv3d,{hf:.6e}
+matched-vs-fcclr-pct,{}
+matched-vs-mismatched-pct,{}
+",
+        pct(percent_increase(hq, hf)),
+        pct(percent_increase(hq, hm))
+    )
+}
+
+/// Runtime scaling study (the abstract's "significant scaling with
+/// application size"): wall-clock of the task-level DSE and of one
+/// pfCLR/fcCLR generation-budget as the task count grows, plus the
+/// evaluation throughput. The pruned pfCLR evaluation is not cheaper per
+/// evaluation here (metrics are precomputed for both), so the scaling
+/// argument rests on search-space size — which the two rightmost columns
+/// make explicit.
+pub fn scaling(scale: RunScale) -> String {
+    use std::time::Instant;
+    let budget = scale.budget();
+    let mut table = Table::new(vec![
+        "#Tasks".into(),
+        "tDSE[s]".into(),
+        "pfCLR[s]".into(),
+        "fcCLR[s]".into(),
+        "pf-space/task".into(),
+        "fc-space/task".into(),
+    ]);
+    for &tasks in &scale.sizes() {
+        let (platform, graph) =
+            apps::synthetic_app(tasks, 7 + tasks as u64).expect("synthetic app builds");
+        let t0 = Instant::now();
+        let dse = ClrEarly::new(&graph, &platform).expect("tDSE succeeds");
+        let t_tdse = t0.elapsed();
+        let t0 = Instant::now();
+        dse.run_pf(&budget).expect("pfCLR runs");
+        let t_pf = t0.elapsed();
+        let t0 = Instant::now();
+        dse.run_fc(&budget).expect("fcCLR runs");
+        let t_fc = t0.elapsed();
+        // Mean per-task choice-list sizes (averaged over types used).
+        let types = graph.task_types().len();
+        let pf_mean: f64 = (0..types)
+            .map(|ty| {
+                dse.library()
+                    .pareto_count(clre_model::TaskTypeId::new(ty as u32)) as f64
+            })
+            .sum::<f64>()
+            / types as f64;
+        let fc_mean: f64 = (0..types)
+            .map(|ty| {
+                dse.library()
+                    .full_count(clre_model::TaskTypeId::new(ty as u32)) as f64
+            })
+            .sum::<f64>()
+            / types as f64;
+        table.row(vec![
+            tasks.to_string(),
+            format!("{:.2}", t_tdse.as_secs_f64()),
+            format!("{:.2}", t_pf.as_secs_f64()),
+            format!("{:.2}", t_fc.as_secs_f64()),
+            format!("{pf_mean:.0}"),
+            format!("{fc_mean:.0}"),
+        ]);
+    }
+    table.to_string()
+}
+
+/// Convenience for benches/tests: one (CLR, Agnostic) hypervolume pair.
+pub fn clr_vs_agnostic_hv(tasks: usize, budget: &StageBudget) -> (f64, f64) {
+    let (platform, graph) =
+        apps::synthetic_app(tasks, 7 + tasks as u64).expect("synthetic app builds");
+    let dse = ClrEarly::new(&graph, &platform).expect("tDSE succeeds");
+    let clr = dse.run_proposed(budget).expect("proposed runs");
+    let agn = dse.run_agnostic(budget).expect("agnostic runs");
+    let a = clr.objectives();
+    let b = agn.objectives();
+    let r = reference_point([a.as_slice(), b.as_slice()]);
+    (hypervolume(&a, &r), hypervolume(&b, &r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig7_contains_all_series() {
+        let out = fig7(RunScale::Smoke);
+        for tag in ["CLR", "Agnostic", "DVFS", "HWRel", "SSWRel", "ASWRel"] {
+            assert!(out.contains(tag), "missing {tag}");
+        }
+    }
+
+    #[test]
+    fn table5_clr_wins_at_smoke_scale() {
+        let out = table5(RunScale::Smoke);
+        let gains: Vec<f64> = out
+            .lines()
+            .skip(2)
+            .filter_map(|l| l.split_whitespace().nth(1))
+            .filter_map(|v| v.parse().ok())
+            .collect();
+        assert_eq!(gains.len(), 2);
+        // Individual sizes fluctuate at smoke budgets; the aggregate
+        // direction must hold (paper-scale per-size results live in
+        // EXPERIMENTS.md).
+        let mean = gains.iter().sum::<f64>() / gains.len() as f64;
+        assert!(mean > 0.0, "CLR should beat Agnostic on average: {gains:?}");
+    }
+
+    #[test]
+    fn table6_proposed_not_worse() {
+        let out = table6(RunScale::Smoke);
+        let gains: Vec<f64> = out
+            .lines()
+            .skip(2)
+            .filter_map(|l| l.split_whitespace().nth(1))
+            .filter_map(|v| v.parse().ok())
+            .collect();
+        assert_eq!(gains.len(), 2);
+        for g in gains {
+            assert!(g > -10.0, "proposed collapsed vs fcCLR: {g}%");
+        }
+    }
+
+    #[test]
+    fn table7_baseline_is_zero() {
+        let out = table7(RunScale::Smoke);
+        for line in out.lines().skip(2) {
+            let cells: Vec<&str> = line.split_whitespace().collect();
+            assert_eq!(cells.last(), Some(&"0"), "pfCLR_3 must be the baseline");
+        }
+    }
+
+    #[test]
+    fn fig8_and_fig10_emit_series() {
+        let f8 = fig8(RunScale::Smoke);
+        assert!(f8.contains("fcCLR") && f8.contains("proposed"));
+        let f10 = fig10(RunScale::Smoke);
+        for tag in [
+            "proposed_tDSE_1",
+            "pfCLR_tDSE_1",
+            "proposed_tDSE_3",
+            "pfCLR_tDSE_3",
+        ] {
+            assert!(f10.contains(tag), "missing {tag}");
+        }
+    }
+
+    #[test]
+    fn multiobj_reports_3d_hypervolumes() {
+        let out = multiobj(RunScale::Tiny);
+        for tag in [
+            "proposed-mismatched-hv3d",
+            "proposed-matched-hv3d",
+            "fcclr-hv3d",
+        ] {
+            let hv: f64 = out
+                .lines()
+                .find(|l| l.starts_with(tag))
+                .and_then(|l| l.split(',').nth(1))
+                .and_then(|v| v.parse().ok())
+                .expect("hv row");
+            assert!(hv > 0.0, "{tag} must be positive");
+        }
+    }
+
+    #[test]
+    fn scaling_reports_all_sizes() {
+        let out = scaling(RunScale::Smoke);
+        assert_eq!(out.lines().count(), 2 + RunScale::Smoke.sizes().len());
+        // The fc space per task is the full impl×DVFS×CLR product.
+        assert!(out.contains("560"));
+    }
+
+    #[test]
+    fn moea_ablation_reports_both_backends() {
+        let out = ablation_moea(RunScale::Smoke);
+        assert!(out.contains("nsga2-hv") && out.contains("spea2-hv"));
+    }
+
+    #[test]
+    fn comm_awareness_inflates_makespan() {
+        let out = ablation_comm(RunScale::Smoke);
+        let inflation: f64 = out
+            .lines()
+            .find(|l| l.starts_with("min-makespan-inflation-pct"))
+            .and_then(|l| l.split(',').nth(1))
+            .and_then(|v| v.parse().ok())
+            .expect("inflation row present");
+        assert!(
+            inflation > -1.0,
+            "communication can only slow things down: {inflation}%"
+        );
+        assert!(out.contains("comm-free") && out.contains("comm-aware"));
+    }
+
+    #[test]
+    fn ablations_report_hypervolumes() {
+        for out in [
+            ablation_seeding(RunScale::Smoke),
+            ablation_tournament(RunScale::Smoke),
+            ablation_pruning(RunScale::Smoke),
+        ] {
+            assert!(out.contains("gain-pct"));
+            assert_eq!(out.lines().count(), 3);
+        }
+    }
+}

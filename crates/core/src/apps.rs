@@ -1,0 +1,224 @@
+//! Case-study applications and evaluation platforms.
+//!
+//! * [`sobel`] — the Sobel Edge Detection task graph of Fig. 2(b): five
+//!   tasks of four types (`GScale`, `GSmth`, two `SobGrad` instances,
+//!   `CombThr`) with five dependency edges.
+//! * [`paper_platform`] — the 6-PE / 3-type HMPSoC of Section VI-A.
+//! * [`sobel_platform`] — the 2-PE-type variant used for the Table IV
+//!   task-level study (one embedded processor type plus one partially
+//!   reconfigurable region, matching the table's "one implementation for
+//!   each of the two PETypes").
+//! * [`synthetic_app`] — a convenience wrapper generating a TGFF-style
+//!   application with synthetic characterization, as used by all the
+//!   scaling experiments (Tables V–VII).
+
+pub use clre_model::platform::paper_platform;
+
+use clre_model::platform::{DvfsMode, Interconnect, PeType, Platform};
+use clre_model::{TaskGraph, TaskType};
+use clre_profile::SyntheticCharacterizer;
+use clre_tgff::TgffConfig;
+
+use crate::DseError;
+
+/// The four Sobel task-type names, in task-type-id order.
+pub const SOBEL_TYPES: [&str; 4] = ["GScale", "GSmth", "SobGrad", "CombThr"];
+
+/// Builds the Sobel Edge Detection application (Fig. 2(b)) on `platform`,
+/// characterizing each task type synthetically from `seed`.
+///
+/// The graph is `T0:GScale → T1:GSmth → {T2, T3}:SobGrad → T4:CombThr`
+/// with `SobGradX`/`SobGradY` sharing one task type — 5 tasks of 4 types
+/// and 5 edges, period 10 ms.
+///
+/// # Errors
+///
+/// Propagates graph-validation failures (none occur for valid platforms).
+///
+/// # Examples
+///
+/// ```
+/// let platform = clre::apps::paper_platform();
+/// let g = clre::apps::sobel(&platform, 42)?;
+/// assert_eq!(g.task_count(), 5);
+/// assert_eq!(g.task_types().len(), 4);
+/// assert_eq!(g.edges().len(), 5);
+/// # Ok::<(), clre::DseError>(())
+/// ```
+pub fn sobel(platform: &Platform, seed: u64) -> Result<TaskGraph, DseError> {
+    let ch = SyntheticCharacterizer::new(seed);
+    let mut builder = TaskGraph::builder("sobel-edge-detection", 10.0e-3);
+    for (idx, name) in SOBEL_TYPES.iter().enumerate() {
+        let mut ty = TaskType::new(*name);
+        for imp in ch.impls_for_type(idx as u32, platform) {
+            ty = ty.with_impl(imp);
+        }
+        builder = builder.task_type(ty);
+    }
+    let graph = builder
+        .task("GScale", "GScale")?
+        .task("GSmth", "GSmth")?
+        .task("SobGradX", "SobGrad")?
+        .task("SobGradY", "SobGrad")?
+        // The threshold stage is the most critical output stage.
+        .task_with_criticality("CombThr", "CombThr", 2.0)?
+        .edge(0, 1)
+        .edge(1, 2)
+        .edge(1, 3)
+        .edge(2, 4)
+        .edge(3, 4)
+        .build()?;
+    Ok(graph)
+}
+
+/// The 2-type platform of the Table IV task-level study: one embedded
+/// processor type (three DVFS modes) and one partially reconfigurable
+/// region.
+///
+/// # Examples
+///
+/// ```
+/// let p = clre::apps::sobel_platform();
+/// assert_eq!(p.pe_types().len(), 2);
+/// ```
+pub fn sobel_platform() -> Platform {
+    let mut proc = PeType::processor("embedded-proc", 2.0, 0.30);
+    for m in [
+        DvfsMode::new("1.2V/900MHz", 1.2, 900.0e6),
+        DvfsMode::new("1.1V/600MHz", 1.1, 600.0e6),
+        DvfsMode::new("1.06V/300MHz", 1.06, 300.0e6),
+    ] {
+        proc = proc.with_dvfs_mode(m);
+    }
+    let pr = PeType::reconfigurable_region("pr-region", 1.8, 0.10).with_dvfs_mode(DvfsMode::new(
+        "1.0V/250MHz",
+        1.0,
+        250.0e6,
+    ));
+    Platform::builder()
+        .pe_type(proc)
+        .pe_type(pr)
+        .pes_of_type("embedded-proc", 4)
+        .expect("type registered")
+        .pes_of_type("pr-region", 2)
+        .expect("type registered")
+        .build()
+        .expect("statically valid")
+}
+
+/// The paper platform extended with an explicit on-chip interconnect
+/// (1 µs per-transfer latency, 1 GB/s shared bandwidth) — the
+/// communication-aware extension the paper lists as future work
+/// (DESIGN.md §8). Inter-PE edges then delay successors by the transfer
+/// time of their data volume.
+///
+/// # Examples
+///
+/// ```
+/// let p = clre::apps::paper_platform_with_noc();
+/// assert!(p.interconnect().is_some());
+/// ```
+pub fn paper_platform_with_noc() -> Platform {
+    let base = paper_platform();
+    let mut builder = Platform::builder();
+    for ty in base.pe_types() {
+        builder = builder.pe_type(ty.clone());
+    }
+    for pe in base.pes() {
+        builder = builder.pe(pe.pe_type());
+    }
+    builder
+        .interconnect(Interconnect::new(1.0e-6, 1.0e9))
+        .build()
+        .expect("statically valid")
+}
+
+/// Generates a synthetic TGFF-style application with `tasks` tasks on the
+/// paper platform, drawing task types from the 10-type pool
+/// (`SYN_0`…`SYN_9`) used in the scaling experiments.
+///
+/// # Errors
+///
+/// Propagates generator/validation failures.
+///
+/// # Examples
+///
+/// ```
+/// let (platform, graph) = clre::apps::synthetic_app(20, 7)?;
+/// assert_eq!(graph.task_count(), 20);
+/// assert_eq!(platform.pe_count(), 6);
+/// # Ok::<(), clre::DseError>(())
+/// ```
+pub fn synthetic_app(tasks: usize, seed: u64) -> Result<(Platform, TaskGraph), DseError> {
+    let platform = paper_platform();
+    let ch = SyntheticCharacterizer::new(seed ^ 0xABCD);
+    let graph = clre_tgff::generate(&TgffConfig::new(tasks).with_type_count(10), seed, |ty| {
+        ch.impls_for_type(ty, &platform)
+    })?;
+    Ok((platform, graph))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clre_model::TaskId;
+
+    #[test]
+    fn sobel_matches_fig_2b() {
+        let p = paper_platform();
+        let g = sobel(&p, 1).unwrap();
+        assert_eq!(g.task_count(), 5);
+        assert_eq!(g.task_types().len(), 4);
+        assert_eq!(g.edges().len(), 5);
+        // SobGradX and SobGradY share a type.
+        assert_eq!(g.tasks()[2].task_type(), g.tasks()[3].task_type());
+        // CombThr joins both gradient branches.
+        assert_eq!(g.predecessors(TaskId::new(4)).len(), 2);
+        // GScale is the single source.
+        assert!(g.predecessors(TaskId::new(0)).is_empty());
+        assert_eq!(g.period(), 10.0e-3);
+    }
+
+    #[test]
+    fn sobel_criticality_emphasizes_output() {
+        let p = paper_platform();
+        let g = sobel(&p, 1).unwrap();
+        let z = g.normalized_criticalities();
+        assert!(z[4] > z[0]);
+        assert!((z.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sobel_platform_has_two_types() {
+        let p = sobel_platform();
+        assert_eq!(p.pe_types().len(), 2);
+        assert_eq!(p.pe_count(), 6);
+    }
+
+    #[test]
+    fn synthetic_app_scales() {
+        for &n in &[10usize, 30] {
+            let (p, g) = synthetic_app(n, 3).unwrap();
+            assert_eq!(g.task_count(), n);
+            assert_eq!(g.task_types().len(), 10);
+            assert_eq!(p.pe_count(), 6);
+        }
+    }
+
+    #[test]
+    fn noc_platform_mirrors_paper_platform() {
+        let a = paper_platform();
+        let b = paper_platform_with_noc();
+        assert_eq!(a.pe_count(), b.pe_count());
+        assert_eq!(a.pe_types(), b.pe_types());
+        assert!(a.interconnect().is_none());
+        assert!(b.interconnect().is_some());
+    }
+
+    #[test]
+    fn synthetic_app_deterministic() {
+        let (_, a) = synthetic_app(15, 9).unwrap();
+        let (_, b) = synthetic_app(15, 9).unwrap();
+        assert_eq!(a.edges(), b.edges());
+    }
+}

@@ -1,0 +1,92 @@
+use clre_markov::MarkovError;
+use clre_model::{ModelError, TaskTypeId};
+use clre_sched::SchedError;
+use std::error::Error;
+use std::fmt;
+
+/// Error type for the DSE methodology.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DseError {
+    /// A model-construction failure.
+    Model(ModelError),
+    /// A Markov-chain analysis failure.
+    Markov(MarkovError),
+    /// A scheduling/QoS failure.
+    Sched(SchedError),
+    /// Task-level DSE produced no candidate for some `(task type, PE
+    /// type)` — the application cannot be mapped.
+    EmptyChoiceGroup {
+        /// The task type with no valid candidates anywhere.
+        ty: TaskTypeId,
+    },
+    /// A configuration value was out of its documented domain.
+    InvalidConfig {
+        /// Description of the violated requirement.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for DseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DseError::Model(e) => write!(f, "model error: {e}"),
+            DseError::Markov(e) => write!(f, "markov analysis error: {e}"),
+            DseError::Sched(e) => write!(f, "scheduling error: {e}"),
+            DseError::EmptyChoiceGroup { ty } => {
+                write!(f, "task type {ty} has no mappable candidate implementation")
+            }
+            DseError::InvalidConfig { what } => write!(f, "invalid configuration: {what}"),
+        }
+    }
+}
+
+impl Error for DseError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DseError::Model(e) => Some(e),
+            DseError::Markov(e) => Some(e),
+            DseError::Sched(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for DseError {
+    fn from(e: ModelError) -> Self {
+        DseError::Model(e)
+    }
+}
+
+impl From<MarkovError> for DseError {
+    fn from(e: MarkovError) -> Self {
+        DseError::Markov(e)
+    }
+}
+
+impl From<SchedError> for DseError {
+    fn from(e: SchedError) -> Self {
+        DseError::Sched(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = DseError::from(ModelError::EmptyGraph);
+        assert!(e.to_string().contains("model error"));
+        assert!(e.source().is_some());
+        let e = DseError::EmptyChoiceGroup {
+            ty: TaskTypeId::new(3),
+        };
+        assert!(e.to_string().contains("TT3"));
+        assert!(e.source().is_none());
+        let e = DseError::from(MarkovError::NoAbsorbingState);
+        assert!(e.source().is_some());
+        let e = DseError::from(SchedError::InvalidPriorityList);
+        assert!(e.source().is_some());
+    }
+}

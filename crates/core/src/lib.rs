@@ -1,0 +1,70 @@
+//! CL(R)Early core: early-stage design space exploration for cross-layer
+//! reliability-aware task mapping on heterogeneous MPSoCs.
+//!
+//! This crate implements the paper's contribution on top of the workspace
+//! substrates:
+//!
+//! * [`tdse`] — **task-level DSE**: enumerate every
+//!   `(implementation, DVFS mode, CLR configuration)` point of a task
+//!   type, estimate its Table II metrics through the Markov-chain models
+//!   of `clre-markov`, and Pareto-filter within each PE-type group.
+//! * [`library`] — the resulting [`ImplLibrary`]: the full candidate space
+//!   (fcCLR's search space) plus per-group Pareto-filtered index lists
+//!   (pfCLR's pruned space).
+//! * [`encoding`] — the GA genome of Fig. 5: an ordered sequence of
+//!   per-task genes (task id, PE binding, candidate choice) with the
+//!   schedule implicitly encoded in gene order, plus the paper's
+//!   crossover/mutation operators.
+//! * [`problem`] — the mapping problem as a `clre-moea` [`Problem`]:
+//!   decode → schedule → Table III metrics → objective vector (+
+//!   constraint violation from a [`QosSpec`]).
+//! * [`methodology`] — the multi-stage DSE methodology of Fig. 4:
+//!   [`ClrEarly`] runs `fcCLR`, `pfCLR`, the **proposed** two-stage
+//!   pfCLR-seeded-fcCLR flow, per-layer single-degree-of-freedom runs and
+//!   the merged *Agnostic* baseline.
+//! * [`apps`] — the Sobel Edge Detection case study (Fig. 2(b)) and the
+//!   evaluation platforms.
+//!
+//! # Examples
+//!
+//! End-to-end: build the Sobel application, run the proposed methodology
+//! and inspect the Pareto front:
+//!
+//! ```
+//! use clre::apps;
+//! use clre::methodology::{ClrEarly, StageBudget};
+//!
+//! # fn main() -> Result<(), clre::DseError> {
+//! let platform = apps::paper_platform();
+//! let graph = apps::sobel(&platform, 42)?;
+//! let dse = ClrEarly::new(&graph, &platform)?;
+//! let result = dse.run_proposed(&StageBudget::smoke_test())?;
+//! assert!(!result.front().is_empty());
+//! for point in result.front() {
+//!     assert!(point.metrics.makespan > 0.0);
+//!     assert!(point.metrics.error_prob >= 0.0);
+//! }
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! [`ImplLibrary`]: library::ImplLibrary
+//! [`Problem`]: clre_moea::Problem
+//! [`QosSpec`]: clre_model::qos::QosSpec
+//! [`ClrEarly`]: methodology::ClrEarly
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod apps;
+pub mod encoding;
+mod error;
+pub mod library;
+pub mod methodology;
+pub mod problem;
+pub mod tdse;
+
+pub use error::DseError;
+pub use library::{CandidateImpl, ImplLibrary};
+pub use methodology::{ClrEarly, FrontPoint, FrontResult, StageBudget};
+pub use tdse::TdseConfig;

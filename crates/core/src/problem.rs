@@ -1,0 +1,174 @@
+//! The CLR-integrated task-mapping problem (Equation 5) as a
+//! [`clre_moea::Problem`].
+//!
+//! Fitness evaluation decodes the genome into a [`Mapping`], runs the list
+//! scheduler, derives the Table III metrics and projects them onto the
+//! chosen system-level [`ObjectiveSet`]; QoS constraints from a
+//! [`QosSpec`] become the constraint violation driving Deb's
+//! constraint-domination in NSGA-II.
+//!
+//! [`Mapping`]: clre_sched::Mapping
+
+use clre_model::qos::{ObjectiveSet, QosSpec, SystemMetrics};
+use clre_moea::{Evaluation, Problem};
+use clre_sched::QosEvaluator;
+use rand::RngCore;
+
+use crate::encoding::{Codec, Genome};
+
+/// The system-level mapping optimization problem.
+#[derive(Debug, Clone)]
+pub struct SystemProblem<'a> {
+    codec: Codec<'a>,
+    evaluator: QosEvaluator<'a>,
+    objectives: ObjectiveSet,
+    spec: QosSpec,
+}
+
+impl<'a> SystemProblem<'a> {
+    /// Creates a problem over a prepared codec.
+    pub fn new(codec: Codec<'a>, objectives: ObjectiveSet, spec: QosSpec) -> Self {
+        let evaluator = QosEvaluator::new(codec.platform());
+        SystemProblem {
+            codec,
+            evaluator,
+            objectives,
+            spec,
+        }
+    }
+
+    /// The codec backing this problem.
+    pub fn codec(&self) -> &Codec<'a> {
+        &self.codec
+    }
+
+    /// The system-level objective set.
+    pub fn objectives(&self) -> &ObjectiveSet {
+        &self.objectives
+    }
+
+    /// Decodes and fully evaluates a genome, returning the raw Table III
+    /// metrics (used to annotate final fronts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `genome` is invalid for this problem's codec; genomes
+    /// produced by the GA always validate.
+    pub fn metrics_of(&self, genome: &Genome) -> SystemMetrics {
+        let mapping = self.codec.decode(genome);
+        self.evaluator
+            .evaluate(self.codec.graph(), &mapping)
+            .expect("codec-produced mappings are valid")
+    }
+}
+
+impl Problem for SystemProblem<'_> {
+    type Genome = Genome;
+
+    fn objective_count(&self) -> usize {
+        self.objectives.len()
+    }
+
+    fn random_genome(&self, rng: &mut dyn RngCore) -> Genome {
+        self.codec.random_genome(rng)
+    }
+
+    fn evaluate(&self, genome: &Genome) -> Evaluation {
+        let mapping = self.codec.decode(genome);
+        let metrics = self
+            .evaluator
+            .evaluate(self.codec.graph(), &mapping)
+            .expect("codec-produced mappings are valid");
+        // QoS SPEC violations plus local-memory overflow (the storage
+        // constraint of DESIGN.md §8; zero on unconstrained platforms).
+        let violation = self.spec.violation(&metrics)
+            + self
+                .evaluator
+                .memory_violation(self.codec.graph(), &mapping);
+        Evaluation::with_violation(metrics.objective_vector(&self.objectives), violation)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoding::ChoiceMode;
+    use crate::tdse::{build_library, TdseConfig};
+    use clre_model::platform::paper_platform;
+    use clre_model::TaskType;
+    use clre_profile::SyntheticCharacterizer;
+    use clre_tgff::TgffConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (clre_model::Platform, clre_model::TaskGraph) {
+        let platform = paper_platform();
+        let ch = SyntheticCharacterizer::new(5);
+        let graph = clre_tgff::generate(&TgffConfig::new(8).with_type_count(4), 3, |ty| {
+            ch.impls_for_type(ty, &platform)
+        })
+        .unwrap();
+        (platform, graph)
+    }
+
+    #[test]
+    fn evaluation_matches_direct_computation() {
+        let (p, g) = setup();
+        let lib = build_library(&g, &p, &TdseConfig::default()).unwrap();
+        let codec = Codec::new(&g, &p, &lib, ChoiceMode::ParetoFiltered).unwrap();
+        let problem = SystemProblem::new(codec, ObjectiveSet::system_bi(), QosSpec::new());
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            let genome = problem.random_genome(&mut rng);
+            let eval = problem.evaluate(&genome);
+            let metrics = problem.metrics_of(&genome);
+            assert_eq!(eval.objectives, vec![metrics.makespan, metrics.error_prob]);
+            assert_eq!(eval.violation, 0.0);
+        }
+    }
+
+    #[test]
+    fn constraints_flow_into_violation() {
+        let (p, g) = setup();
+        let lib = build_library(&g, &p, &TdseConfig::default()).unwrap();
+        let codec = Codec::new(&g, &p, &lib, ChoiceMode::ParetoFiltered).unwrap();
+        // Impossible makespan bound: everything is infeasible.
+        let spec = QosSpec::new().with_max_makespan(1.0e-12);
+        let problem = SystemProblem::new(codec, ObjectiveSet::system_bi(), spec);
+        let mut rng = StdRng::seed_from_u64(2);
+        let genome = problem.random_genome(&mut rng);
+        assert!(problem.evaluate(&genome).violation > 0.0);
+    }
+
+    #[test]
+    fn objective_count_follows_set() {
+        let (p, g) = setup();
+        let lib = build_library(&g, &p, &TdseConfig::default()).unwrap();
+        let codec = Codec::new(&g, &p, &lib, ChoiceMode::Full).unwrap();
+        let problem = SystemProblem::new(
+            codec,
+            ObjectiveSet::new(vec![
+                clre_model::Objective::Makespan,
+                clre_model::Objective::ErrorProbability,
+                clre_model::Objective::Mttf,
+                clre_model::Objective::Energy,
+            ]),
+            QosSpec::new(),
+        );
+        let mut rng = StdRng::seed_from_u64(3);
+        let genome = problem.random_genome(&mut rng);
+        assert_eq!(problem.objective_count(), 4);
+        assert_eq!(problem.evaluate(&genome).objectives.len(), 4);
+    }
+
+    #[test]
+    fn tgff_generated_types_may_be_unused() {
+        // TGFF materializes the whole type pool; unused types must not
+        // break library construction or evaluation.
+        let (p, g) = setup();
+        let lib = build_library(&g, &p, &TdseConfig::default()).unwrap();
+        assert_eq!(lib.type_count(), 4);
+        assert!(Codec::new(&g, &p, &lib, ChoiceMode::ParetoFiltered).is_ok());
+        let _ = TaskType::new("sentinel"); // silence unused-import pedantry
+    }
+}

@@ -1,0 +1,511 @@
+//! Task-level design space exploration (Section IV + Table IV).
+//!
+//! For every task type, [`build_library`] enumerates the Cartesian product
+//! of base implementations × DVFS modes × CLR configurations, estimates
+//! each point's Table II metrics — timing and functional reliability
+//! through the Markov chains of `clre-markov`, power/thermal/aging through
+//! `clre-profile` — and Pareto-filters the result within each PE-type
+//! group.
+//!
+//! The exploration axes are controlled by [`TdseConfig`]: the CLR catalog
+//! (full cross-layer vs a single layer, for the Agnostic baseline), the
+//! DVFS policy, the Pareto objective set (Table IV's sets I–VI) and an
+//! optional implicit-masking override (Fig. 6(b)).
+
+use clre_markov::clr::{analyze, ClrChainParams};
+use clre_model::qos::{ObjectiveSet, TaskMetrics};
+use clre_model::reliability::ClrConfig;
+use clre_model::{BaseImpl, DvfsMode, DvfsModeId, ImplId, PeType, Platform, TaskGraph, TaskTypeId};
+use clre_profile::ProfileModel;
+
+use crate::library::{CandidateImpl, ImplLibrary};
+use crate::DseError;
+
+/// Which DVFS modes task-level DSE explores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DvfsPolicy {
+    /// Explore every mode of each PE type.
+    #[default]
+    All,
+    /// Only the first (nominal) mode — used by the HW/SSW/ASW-only
+    /// baselines so DVFS is not a degree of freedom.
+    NominalOnly,
+}
+
+/// Configuration of one task-level DSE run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TdseConfig {
+    /// The CLR configurations to explore per candidate.
+    pub clr_catalog: Vec<ClrConfig>,
+    /// Which DVFS modes to explore.
+    pub dvfs_policy: DvfsPolicy,
+    /// Objective set for the per-group Pareto filter.
+    pub objectives: ObjectiveSet,
+    /// If set, overrides every implementation's implicit SSW masking
+    /// (the Fig. 6(b) sweep).
+    pub implicit_masking_override: Option<f64>,
+    /// The characterization substrate.
+    pub profile: ProfileModel,
+}
+
+impl Default for TdseConfig {
+    fn default() -> Self {
+        TdseConfig {
+            clr_catalog: ClrConfig::catalog(),
+            dvfs_policy: DvfsPolicy::All,
+            objectives: ObjectiveSet::set_ii(),
+            implicit_masking_override: None,
+            profile: ProfileModel::default(),
+        }
+    }
+}
+
+impl TdseConfig {
+    /// Full cross-layer exploration with Table IV objective set II
+    /// (average execution time + error probability).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the CLR catalog (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `catalog` is empty.
+    #[must_use]
+    pub fn with_clr_catalog(mut self, catalog: Vec<ClrConfig>) -> Self {
+        assert!(!catalog.is_empty(), "CLR catalog must be non-empty");
+        self.clr_catalog = catalog;
+        self
+    }
+
+    /// Sets the DVFS policy (builder style).
+    #[must_use]
+    pub fn with_dvfs_policy(mut self, policy: DvfsPolicy) -> Self {
+        self.dvfs_policy = policy;
+        self
+    }
+
+    /// Sets the Pareto objective set (builder style).
+    #[must_use]
+    pub fn with_objectives(mut self, objectives: ObjectiveSet) -> Self {
+        self.objectives = objectives;
+        self
+    }
+
+    /// Overrides the implicit SSW masking of every implementation
+    /// (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m ∉ [0, 1]`.
+    #[must_use]
+    pub fn with_implicit_masking(mut self, m: f64) -> Self {
+        assert!((0.0..=1.0).contains(&m), "masking must be within [0, 1]");
+        self.implicit_masking_override = Some(m);
+        self
+    }
+
+    /// Sets the profiling model (builder style).
+    #[must_use]
+    pub fn with_profile(mut self, profile: ProfileModel) -> Self {
+        self.profile = profile;
+        self
+    }
+}
+
+/// Estimates the Table II metrics of one fully configured candidate.
+///
+/// Steps:
+/// 1. characterize `(cycles, capacitance)` at the DVFS mode,
+/// 2. apply the HW/ASW time and power overhead factors,
+/// 3. recompute temperature and Weibull `η` at the *protected* power —
+///    TMR triples power, so it also heats and ages the PE faster,
+/// 4. derate the raw SEU rate by the PE type's architectural masking
+///    factor (`1 − AVF`),
+/// 5. run the timing and functional Markov chains.
+///
+/// # Errors
+///
+/// Propagates [`DseError::Markov`] for degenerate chain parameters.
+///
+/// # Examples
+///
+/// ```
+/// use clre::tdse::evaluate_candidate;
+/// use clre_model::{reliability::ClrConfig, BaseImpl, DvfsMode, PeType, PeTypeId};
+/// use clre_profile::ProfileModel;
+///
+/// # fn main() -> Result<(), clre::DseError> {
+/// let pe = PeType::processor("p", 2.0, 0.3)
+///     .with_dvfs_mode(DvfsMode::new("n", 1.2, 900.0e6));
+/// let imp = BaseImpl::new("i", PeTypeId::new(0), 3.0e5, 1.0e-9);
+/// let mode = &pe.dvfs_modes()[0];
+/// let m = evaluate_candidate(&imp, &pe, mode, &ClrConfig::unprotected(),
+///                            &ProfileModel::default(), None)?;
+/// assert!(m.error_prob > 0.0 && m.error_prob < 0.1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn evaluate_candidate(
+    imp: &BaseImpl,
+    pe_type: &PeType,
+    mode: &DvfsMode,
+    clr: &ClrConfig,
+    profile: &ProfileModel,
+    implicit_masking_override: Option<f64>,
+) -> Result<TaskMetrics, DseError> {
+    let op = profile.operating_point(imp.cycles(), imp.capacitance(), mode);
+    let hw = clr.hw.params();
+    let asw = clr.asw.params();
+    let power = op.power * hw.power_factor * asw.power_factor;
+    let temp = profile.steady_temp(power);
+    let eta = profile.eta_at(temp);
+    let params = chain_params(imp, pe_type, mode, clr, profile, implicit_masking_override);
+    let r = analyze(&params)?;
+    Ok(TaskMetrics {
+        min_exec_time: r.min_exec_time,
+        avg_exec_time: r.avg_exec_time,
+        error_prob: r.error_prob,
+        eta,
+        power,
+        energy: r.avg_exec_time * power,
+        peak_temp: temp,
+    })
+}
+
+/// The Markov-chain parameters of a fully configured candidate — the
+/// exact inputs [`evaluate_candidate`] analyzes, exposed so that the
+/// Monte-Carlo validator (`clre-sim`) can inject faults against the same
+/// semantics (C-INTERMEDIATE).
+pub fn chain_params(
+    imp: &BaseImpl,
+    pe_type: &PeType,
+    mode: &DvfsMode,
+    clr: &ClrConfig,
+    profile: &ProfileModel,
+    implicit_masking_override: Option<f64>,
+) -> ClrChainParams {
+    let op = profile.operating_point(imp.cycles(), imp.capacitance(), mode);
+    let hw = clr.hw.params();
+    let ssw = clr.ssw.params();
+    let asw = clr.asw.params();
+    let exec_time = op.exec_time * hw.time_factor * asw.time_factor;
+    // Architectural masking lowers the *effective* SEU rate on this PE type.
+    let seu_rate = op.seu_rate * (1.0 - pe_type.masking_factor());
+    let m_impl = implicit_masking_override.unwrap_or(imp.implicit_ssw_masking());
+    let intervals = ssw.intervals.max(1);
+    ClrChainParams {
+        exec_time,
+        seu_rate,
+        m_hw: hw.masking,
+        m_impl_ssw: m_impl,
+        cov_det: ssw.detection_coverage,
+        m_tol: ssw.tolerance_masking,
+        m_asw: asw.masking,
+        intervals,
+        t_det: ssw.detection_overhead * exec_time / intervals as f64,
+        t_tol: ssw.tolerance_overhead * exec_time,
+        t_chk: ssw.checkpoint_overhead * exec_time,
+        p_chk_err: ssw.checkpoint_error_prob,
+    }
+}
+
+/// Memory footprint of an implementation under a CLR configuration:
+/// spatial and information redundancy multiply the base footprint, and
+/// checkpointing reserves a 25% state buffer.
+///
+/// # Examples
+///
+/// ```
+/// use clre::tdse::candidate_memory;
+/// use clre_model::{reliability::ClrConfig, BaseImpl, HwMethod, PeTypeId, SswMethod, AswMethod};
+///
+/// let imp = BaseImpl::new("i", PeTypeId::new(0), 1e5, 1e-9).with_memory_bytes(1000.0);
+/// let bare = candidate_memory(&imp, &ClrConfig::unprotected());
+/// let tmr = candidate_memory(
+///     &imp,
+///     &ClrConfig::new(HwMethod::Tmr, SswMethod::Checkpoint { intervals: 2 }, AswMethod::None),
+/// );
+/// assert_eq!(bare, 1000.0);
+/// assert!(tmr > 3.0 * bare);
+/// ```
+pub fn candidate_memory(imp: &BaseImpl, clr: &ClrConfig) -> f64 {
+    let hw = clr.hw.params();
+    let ssw = clr.ssw.params();
+    let asw = clr.asw.params();
+    let checkpoint_buffer = if ssw.intervals > 1 { 1.25 } else { 1.0 };
+    imp.memory_bytes() * hw.mem_factor * asw.mem_factor * checkpoint_buffer
+}
+
+/// Enumerates and evaluates all candidates of one task type.
+///
+/// # Errors
+///
+/// Propagates evaluation failures.
+pub fn candidates_for_type(
+    graph: &TaskGraph,
+    platform: &Platform,
+    ty: TaskTypeId,
+    config: &TdseConfig,
+) -> Result<Vec<CandidateImpl>, DseError> {
+    let task_type = graph.task_type(ty).ok_or(DseError::InvalidConfig {
+        what: "task type id out of range",
+    })?;
+    let mut out = Vec::new();
+    for (impl_idx, imp) in task_type.impls().iter().enumerate() {
+        let Some(pe_type) = platform.pe_type(imp.pe_type()) else {
+            // Implementation targets a PE type absent from this platform:
+            // simply not mappable here.
+            continue;
+        };
+        let modes: &[DvfsMode] = match config.dvfs_policy {
+            DvfsPolicy::All => pe_type.dvfs_modes(),
+            DvfsPolicy::NominalOnly => &pe_type.dvfs_modes()[..1],
+        };
+        for (mode_idx, mode) in modes.iter().enumerate() {
+            for clr in &config.clr_catalog {
+                let metrics = evaluate_candidate(
+                    imp,
+                    pe_type,
+                    mode,
+                    clr,
+                    &config.profile,
+                    config.implicit_masking_override,
+                )?;
+                out.push(CandidateImpl {
+                    impl_id: ImplId::new(impl_idx as u32),
+                    pe_type: imp.pe_type(),
+                    dvfs: DvfsModeId::new(mode_idx as u32),
+                    clr: *clr,
+                    metrics,
+                    memory_bytes: candidate_memory(imp, clr),
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Runs task-level DSE for every task type of `graph` and assembles the
+/// [`ImplLibrary`].
+///
+/// # Errors
+///
+/// * [`DseError::EmptyChoiceGroup`] if some task type ends up unmappable.
+/// * Evaluation failures from [`evaluate_candidate`].
+pub fn build_library(
+    graph: &TaskGraph,
+    platform: &Platform,
+    config: &TdseConfig,
+) -> Result<ImplLibrary, DseError> {
+    let mut all = Vec::with_capacity(graph.task_types().len());
+    for ty in 0..graph.task_types().len() {
+        all.push(candidates_for_type(
+            graph,
+            platform,
+            TaskTypeId::new(ty as u32),
+            config,
+        )?);
+    }
+    let lib = ImplLibrary::from_candidates(all, platform.pe_types().len(), &config.objectives)?;
+    lib.validate_for(graph)?;
+    Ok(lib)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clre_model::platform::paper_platform;
+    use clre_model::reliability::{AswMethod, HwMethod, SswMethod};
+    use clre_model::TaskType;
+    use clre_profile::SyntheticCharacterizer;
+
+    fn test_graph(platform: &Platform) -> TaskGraph {
+        let ch = SyntheticCharacterizer::new(5);
+        let mut ty = TaskType::new("t");
+        for imp in ch.impls_for_type(0, platform) {
+            ty = ty.with_impl(imp);
+        }
+        TaskGraph::builder("g", 1.0e-2)
+            .task_type(ty)
+            .task("a", "t")
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn candidate_counts_match_cartesian_product() {
+        let p = paper_platform();
+        let g = test_graph(&p);
+        let cfg = TdseConfig::default();
+        let cands = candidates_for_type(&g, &p, TaskTypeId::new(0), &cfg).unwrap();
+        // 2 processor impls × 3 modes × 80 + 1 accel impl × 1 mode × 80.
+        assert_eq!(cands.len(), (2 * 3 + 1) * 80);
+    }
+
+    #[test]
+    fn nominal_only_prunes_modes() {
+        let p = paper_platform();
+        let g = test_graph(&p);
+        let cfg = TdseConfig::default().with_dvfs_policy(DvfsPolicy::NominalOnly);
+        let cands = candidates_for_type(&g, &p, TaskTypeId::new(0), &cfg).unwrap();
+        assert_eq!(cands.len(), 3 * 80);
+    }
+
+    #[test]
+    fn protection_trades_error_for_time() {
+        let p = paper_platform();
+        let pe = p.pe_type(clre_model::PeTypeId::new(0)).unwrap();
+        let imp = BaseImpl::new("i", clre_model::PeTypeId::new(0), 3.0e5, 1.0e-9);
+        let mode = &pe.dvfs_modes()[0];
+        let profile = ProfileModel::default();
+        let bare =
+            evaluate_candidate(&imp, pe, mode, &ClrConfig::unprotected(), &profile, None).unwrap();
+        let tmr = evaluate_candidate(
+            &imp,
+            pe,
+            mode,
+            &ClrConfig::new(HwMethod::Tmr, SswMethod::None, AswMethod::None),
+            &profile,
+            None,
+        )
+        .unwrap();
+        assert!(tmr.error_prob < 0.1 * bare.error_prob);
+        assert!(tmr.power > 2.5 * bare.power);
+        // TMR heats the PE: it ages faster.
+        assert!(tmr.eta < bare.eta);
+        assert!(tmr.peak_temp > bare.peak_temp);
+
+        let chk = evaluate_candidate(
+            &imp,
+            pe,
+            mode,
+            &ClrConfig::new(
+                HwMethod::None,
+                SswMethod::Checkpoint { intervals: 3 },
+                AswMethod::None,
+            ),
+            &profile,
+            None,
+        )
+        .unwrap();
+        assert!(chk.error_prob < bare.error_prob);
+        assert!(chk.avg_exec_time > bare.avg_exec_time);
+        assert!(chk.min_exec_time > bare.min_exec_time);
+    }
+
+    #[test]
+    fn architectural_masking_lowers_error() {
+        let p = paper_platform();
+        let imp = BaseImpl::new("i", clre_model::PeTypeId::new(0), 3.0e5, 1.0e-9);
+        let profile = ProfileModel::default();
+        let lo = p.pe_type_by_name("proc-lomask").unwrap();
+        let hi = p.pe_type_by_name("proc-himask").unwrap();
+        let m_lo = evaluate_candidate(
+            &imp,
+            p.pe_type(lo).unwrap(),
+            &p.pe_type(lo).unwrap().dvfs_modes()[0],
+            &ClrConfig::unprotected(),
+            &profile,
+            None,
+        )
+        .unwrap();
+        let m_hi = evaluate_candidate(
+            &imp,
+            p.pe_type(hi).unwrap(),
+            &p.pe_type(hi).unwrap().dvfs_modes()[0],
+            &ClrConfig::unprotected(),
+            &profile,
+            None,
+        )
+        .unwrap();
+        assert!(m_hi.error_prob < m_lo.error_prob);
+    }
+
+    #[test]
+    fn implicit_masking_override_applies() {
+        let p = paper_platform();
+        let g = test_graph(&p);
+        let base = TdseConfig::default();
+        let masked = TdseConfig::default().with_implicit_masking(0.2);
+        let c0 = candidates_for_type(&g, &p, TaskTypeId::new(0), &base).unwrap();
+        let c1 = candidates_for_type(&g, &p, TaskTypeId::new(0), &masked).unwrap();
+        // Same shape, strictly lower (or equal at zero) error everywhere.
+        assert_eq!(c0.len(), c1.len());
+        let better = c0
+            .iter()
+            .zip(&c1)
+            .filter(|(a, b)| b.metrics.error_prob < a.metrics.error_prob)
+            .count();
+        assert!(better > c0.len() / 2);
+    }
+
+    #[test]
+    fn library_builds_and_prunes() {
+        let p = paper_platform();
+        let g = test_graph(&p);
+        let lib = build_library(&g, &p, &TdseConfig::default()).unwrap();
+        let ty = TaskTypeId::new(0);
+        assert!(lib.pareto_count(ty) >= 3); // at least one per PE type
+        assert!(lib.pareto_count(ty) < lib.full_count(ty));
+        assert_eq!(lib.full_count(ty), (2 * 3 + 1) * 80);
+    }
+
+    #[test]
+    fn single_objective_library_is_one_per_group() {
+        let p = paper_platform();
+        let g = test_graph(&p);
+        let cfg = TdseConfig::default().with_objectives(ObjectiveSet::set_i());
+        let lib = build_library(&g, &p, &cfg).unwrap();
+        assert_eq!(lib.pareto_count(TaskTypeId::new(0)), 3);
+    }
+
+    #[test]
+    fn richer_objectives_grow_the_front() {
+        let p = paper_platform();
+        let g = test_graph(&p);
+        let counts: Vec<usize> = [
+            ObjectiveSet::set_i(),
+            ObjectiveSet::set_ii(),
+            ObjectiveSet::set_iii(),
+        ]
+        .into_iter()
+        .map(|objs| {
+            build_library(&g, &p, &TdseConfig::default().with_objectives(objs))
+                .unwrap()
+                .pareto_count(TaskTypeId::new(0))
+        })
+        .collect();
+        assert!(counts[0] < counts[1], "set II must beat set I: {counts:?}");
+        assert!(
+            counts[1] <= counts[2],
+            "set III at least set II: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn incompatible_impls_skipped() {
+        // An impl that targets a PE type not present in the platform.
+        let p = paper_platform();
+        let ty = TaskType::new("t")
+            .with_impl(BaseImpl::new("ok", clre_model::PeTypeId::new(0), 1e5, 1e-9))
+            .with_impl(BaseImpl::new(
+                "alien",
+                clre_model::PeTypeId::new(9),
+                1e5,
+                1e-9,
+            ));
+        let g = TaskGraph::builder("g", 1.0)
+            .task_type(ty)
+            .task("a", "t")
+            .unwrap()
+            .build()
+            .unwrap();
+        let cands =
+            candidates_for_type(&g, &p, TaskTypeId::new(0), &TdseConfig::default()).unwrap();
+        // Only the compatible impl contributes: 3 modes × 80.
+        assert_eq!(cands.len(), 240);
+    }
+}

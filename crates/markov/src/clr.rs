@@ -1,0 +1,598 @@
+//! CL(R)Early chain builders: turn one cross-layer reliability
+//! configuration into the timing and functional Markov chains of the
+//! paper's Fig. 3 and extract task-level reliability metrics.
+//!
+//! Per inter-checkpoint interval (ICI) `i` the chains contain:
+//!
+//! ```text
+//! Exec_i ──(p_ne)────────────────────────────▶ cont_i
+//!   │ 1−p_ne
+//!   ▼
+//! HWRel_i ──(m_HW)───────────────────────────▶ cont_i
+//!   │ 1−m_HW
+//!   ▼
+//! SSWImpl_i ──(m_implSSW)────────────────────▶ cont_i
+//!   │ 1−m_implSSW
+//!   ▼
+//! SSWDet_i ──(cov_Det)──▶ SSWTol_i ──(m_Tol)─▶ Exec_i   (roll back)
+//!   │ 1−cov_Det                 │ 1−m_Tol
+//!   ▼                           ▼
+//! ASWRel_i ──(m_ASW)──▶ cont_i  Error / cont_i
+//!   │ 1−m_ASW
+//!   ▼
+//! Error / cont_i
+//! ```
+//!
+//! where `cont_i` is the checkpoint state `Chk_i` for `i < k` and the final
+//! absorbing state for `i = k`. In the **timing** chain there is a single
+//! absorbing `End` state: error escapes consume time but still terminate.
+//! In the **functional** chain escapes absorb into `Error`, clean
+//! completion into `NoError`, and checkpoint creation itself may corrupt
+//! state with probability `p_chk_err` (the dotted edge of Fig. 3(b)).
+
+use crate::{MarkovChain, MarkovError, StateId};
+use serde::{Deserialize, Serialize};
+
+/// Flattened parameters describing a task under one CLR configuration.
+///
+/// Produced by the task-level DSE layer from an implementation's operating
+/// point and the per-layer method parameters; consumed by
+/// [`timing_chain`], [`functional_chain`] and [`analyze`]. All times are in
+/// seconds, all probabilities in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClrChainParams {
+    /// Total useful execution time `T_exec` (already including any
+    /// hardware/application-software time-overhead factors).
+    pub exec_time: f64,
+    /// Single-event-upset rate `λ` in errors/s; `p_ne = e^{−λ·T_i}` per
+    /// interval.
+    pub seu_rate: f64,
+    /// Hardware-layer masking `m_HW`.
+    pub m_hw: f64,
+    /// Implicit system-software masking `m_implSSW`.
+    pub m_impl_ssw: f64,
+    /// System-software detection coverage `cov_Det`.
+    pub cov_det: f64,
+    /// System-software tolerance masking `m_Tol`.
+    pub m_tol: f64,
+    /// Application-software masking `m_ASW`.
+    pub m_asw: f64,
+    /// Number of inter-checkpoint intervals `k ≥ 1` (`k − 1` checkpoints).
+    pub intervals: u32,
+    /// Detection time `T_Det` added to each interval's execution state.
+    pub t_det: f64,
+    /// Tolerance (roll-back) time `T_Tol` per detected-and-tolerated error.
+    pub t_tol: f64,
+    /// Checkpoint-creation time `T_Chk` per checkpoint.
+    pub t_chk: f64,
+    /// Probability that checkpoint creation corrupts state.
+    pub p_chk_err: f64,
+}
+
+impl ClrChainParams {
+    /// An unprotected task: no masking, detection or checkpointing.
+    pub fn unprotected(exec_time: f64, seu_rate: f64) -> Self {
+        ClrChainParams {
+            exec_time,
+            seu_rate,
+            m_hw: 0.0,
+            m_impl_ssw: 0.0,
+            cov_det: 0.0,
+            m_tol: 0.0,
+            m_asw: 0.0,
+            intervals: 1,
+            t_det: 0.0,
+            t_tol: 0.0,
+            t_chk: 0.0,
+            p_chk_err: 0.0,
+        }
+    }
+
+    /// Fault-free (minimum) execution time: useful time plus detection on
+    /// every interval plus every checkpoint.
+    pub fn min_exec_time(&self) -> f64 {
+        let k = self.intervals.max(1) as f64;
+        self.exec_time + k * self.t_det + (k - 1.0) * self.t_chk
+    }
+
+    fn validate(&self) -> Result<(), MarkovError> {
+        let probs = [
+            self.m_hw,
+            self.m_impl_ssw,
+            self.cov_det,
+            self.m_tol,
+            self.m_asw,
+            self.p_chk_err,
+        ];
+        for (i, &p) in probs.iter().enumerate() {
+            if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+                return Err(MarkovError::InvalidProbability {
+                    from: i,
+                    to: i,
+                    value: p,
+                });
+            }
+        }
+        let times = [self.exec_time, self.t_det, self.t_tol, self.t_chk];
+        for (i, &t) in times.iter().enumerate() {
+            if !t.is_finite() || t < 0.0 {
+                return Err(MarkovError::InvalidResidence { state: i, value: t });
+            }
+        }
+        if self.exec_time <= 0.0 {
+            return Err(MarkovError::InvalidResidence {
+                state: 0,
+                value: self.exec_time,
+            });
+        }
+        if !self.seu_rate.is_finite() || self.seu_rate < 0.0 {
+            return Err(MarkovError::InvalidProbability {
+                from: 0,
+                to: 0,
+                value: self.seu_rate,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Task-level reliability metrics extracted from the two chains.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TaskReliability {
+    /// Fault-free execution time in seconds.
+    pub min_exec_time: f64,
+    /// Expected execution time in seconds (timing chain).
+    pub avg_exec_time: f64,
+    /// Probability of an erroneous result (functional chain).
+    pub error_prob: f64,
+}
+
+/// Normalized per-interval weights: either uniform (`None`) or the
+/// caller-supplied fractions of the useful execution time.
+fn interval_weights(
+    params: &ClrChainParams,
+    weights: Option<&[f64]>,
+) -> Result<Vec<f64>, MarkovError> {
+    let k = params.intervals.max(1) as usize;
+    match weights {
+        None => Ok(vec![1.0 / k as f64; k]),
+        Some(w) => {
+            if w.len() != k {
+                return Err(MarkovError::InvalidResidence {
+                    state: w.len(),
+                    value: k as f64,
+                });
+            }
+            let total: f64 = w.iter().sum();
+            if !(total.is_finite()) || total <= 0.0 || w.iter().any(|&x| !x.is_finite() || x <= 0.0)
+            {
+                return Err(MarkovError::InvalidResidence {
+                    state: 0,
+                    value: total,
+                });
+            }
+            Ok(w.iter().map(|&x| x / total).collect())
+        }
+    }
+}
+
+struct IntervalStates {
+    exec: StateId,
+    hw: StateId,
+    ssw_impl: StateId,
+    ssw_det: StateId,
+    ssw_tol: StateId,
+    asw: StateId,
+}
+
+enum Escape {
+    /// Timing chain: an escaped error still just continues to `cont`.
+    Continue,
+    /// Functional chain: an escaped error absorbs into `Error`.
+    Error(StateId),
+}
+
+/// Shared chain skeleton for both variants of Fig. 3. `weights` selects
+/// the fraction of the useful execution time spent in each
+/// inter-checkpoint interval (uniform when `None`).
+fn build_chain(
+    params: &ClrChainParams,
+    functional: bool,
+    weights: Option<&[f64]>,
+) -> Result<(MarkovChain, StateId), MarkovError> {
+    params.validate()?;
+    let k = params.intervals.max(1) as usize;
+    let weights = interval_weights(params, weights)?;
+
+    let mut b = MarkovChain::builder();
+    // Per-interval state blocks first, then checkpoints, then absorbers.
+    let blocks: Vec<IntervalStates> = (0..k)
+        .map(|i| IntervalStates {
+            exec: b.state(
+                format!("Exec{i}"),
+                params.exec_time * weights[i] + params.t_det,
+            ),
+            hw: b.state(format!("HWRel{i}"), 0.0),
+            ssw_impl: b.state(format!("SSWImpl{i}"), 0.0),
+            ssw_det: b.state(format!("SSWDet{i}"), 0.0),
+            ssw_tol: b.state(format!("SSWTol{i}"), params.t_tol),
+            asw: b.state(format!("ASWRel{i}"), 0.0),
+        })
+        .collect();
+    let chks: Vec<StateId> = (0..k.saturating_sub(1))
+        .map(|i| b.state(format!("Chkpnt{i}"), params.t_chk))
+        .collect();
+    let (end, escape) = if functional {
+        let no_error = b.absorbing("NoError");
+        let error = b.absorbing("Error");
+        (no_error, Escape::Error(error))
+    } else {
+        (b.absorbing("End"), Escape::Continue)
+    };
+
+    for (i, s) in blocks.iter().enumerate() {
+        let cont = if i + 1 < k { chks[i] } else { end };
+        // Useful execution; the no-error probability is per *interval*.
+        let p_ne = (-params.seu_rate * params.exec_time * weights[i]).exp();
+        b.transition(s.exec, cont, p_ne);
+        b.transition(s.exec, s.hw, 1.0 - p_ne);
+        // Hardware spatial redundancy.
+        b.transition(s.hw, cont, params.m_hw);
+        b.transition(s.hw, s.ssw_impl, 1.0 - params.m_hw);
+        // Implicit system-software masking.
+        b.transition(s.ssw_impl, cont, params.m_impl_ssw);
+        b.transition(s.ssw_impl, s.ssw_det, 1.0 - params.m_impl_ssw);
+        // Detection and tolerance.
+        b.transition(s.ssw_det, s.ssw_tol, params.cov_det);
+        b.transition(s.ssw_det, s.asw, 1.0 - params.cov_det);
+        b.transition(s.ssw_tol, s.exec, params.m_tol); // roll back / retry
+        match escape {
+            Escape::Continue => {
+                b.transition(s.ssw_tol, cont, 1.0 - params.m_tol);
+                b.transition(s.asw, cont, 1.0);
+            }
+            Escape::Error(err) => {
+                b.transition(s.ssw_tol, err, 1.0 - params.m_tol);
+                b.transition(s.asw, cont, params.m_asw);
+                b.transition(s.asw, err, 1.0 - params.m_asw);
+            }
+        }
+    }
+    for (i, &chk) in chks.iter().enumerate() {
+        let next = blocks[i + 1].exec;
+        match escape {
+            Escape::Continue => {
+                b.transition(chk, next, 1.0);
+            }
+            Escape::Error(err) => {
+                b.transition(chk, next, 1.0 - params.p_chk_err);
+                b.transition(chk, err, params.p_chk_err);
+            }
+        }
+    }
+    let start = blocks[0].exec;
+    Ok((b.build()?, start))
+}
+
+/// Builds the timing-reliability chain (Fig. 3(a)) and returns it with its
+/// start state.
+///
+/// # Errors
+///
+/// Returns [`MarkovError`] for out-of-domain parameters.
+pub fn timing_chain(params: &ClrChainParams) -> Result<(MarkovChain, StateId), MarkovError> {
+    build_chain(params, false, None)
+}
+
+/// Builds the functional-reliability chain (Fig. 3(b)) and returns it with
+/// its start state. Absorbing state 0 is `NoError`, state 1 is `Error`.
+///
+/// # Errors
+///
+/// Returns [`MarkovError`] for out-of-domain parameters.
+pub fn functional_chain(params: &ClrChainParams) -> Result<(MarkovChain, StateId), MarkovError> {
+    build_chain(params, true, None)
+}
+
+/// Like [`analyze`] but with *unequal* inter-checkpoint intervals — one
+/// of the modeling capabilities the paper attributes to the Markov-chain
+/// approach. `weights[i]` is the relative share of the useful execution
+/// time spent in interval `i`; the weights are normalized internally.
+///
+/// # Errors
+///
+/// [`MarkovError::InvalidResidence`] if `weights.len() != intervals` or
+/// any weight is non-positive; otherwise as for [`analyze`].
+///
+/// # Examples
+///
+/// ```
+/// use clre_markov::clr::{analyze, analyze_with_intervals, ClrChainParams};
+///
+/// # fn main() -> Result<(), clre_markov::MarkovError> {
+/// let p = ClrChainParams {
+///     cov_det: 0.95, m_tol: 0.98, intervals: 3,
+///     t_det: 5e-6, t_tol: 5e-6, t_chk: 8e-6,
+///     ..ClrChainParams::unprotected(300e-6, 2000.0)
+/// };
+/// // Uniform weights reproduce the equal-interval analysis exactly.
+/// let uniform = analyze_with_intervals(&p, &[1.0, 1.0, 1.0])?;
+/// let equal = analyze(&p)?;
+/// assert!((uniform.avg_exec_time - equal.avg_exec_time).abs() < 1e-15);
+/// // A skewed split changes the expected time.
+/// let skewed = analyze_with_intervals(&p, &[0.6, 0.3, 0.1])?;
+/// assert!(skewed.avg_exec_time != equal.avg_exec_time);
+/// # Ok(())
+/// # }
+/// ```
+pub fn analyze_with_intervals(
+    params: &ClrChainParams,
+    weights: &[f64],
+) -> Result<TaskReliability, MarkovError> {
+    let (timing, t_start) = build_chain(params, false, Some(weights))?;
+    let avg_exec_time = timing.expected_time_to_absorption(t_start)?;
+    let (func, f_start) = build_chain(params, true, Some(weights))?;
+    let probs = func.absorption_probabilities(f_start)?;
+    let error = func
+        .absorbing_states()
+        .into_iter()
+        .find(|&s| func.state_name(s) == "Error")
+        .expect("functional chain has an Error state");
+    Ok(TaskReliability {
+        min_exec_time: params.min_exec_time(),
+        avg_exec_time,
+        error_prob: clre_num::util::clamp_prob(probs[&error]),
+    })
+}
+
+/// Runs both chains and extracts the task-level reliability metrics.
+///
+/// # Errors
+///
+/// Returns [`MarkovError`] for out-of-domain parameters, or
+/// [`MarkovError::NotAbsorbing`] for degenerate configurations that can
+/// loop forever (requires `m_Tol = 1` *and* `p_ne = 0`, which the built-in
+/// method catalogs cannot produce).
+///
+/// # Examples
+///
+/// See the [crate-level example](crate).
+pub fn analyze(params: &ClrChainParams) -> Result<TaskReliability, MarkovError> {
+    let (timing, t_start) = timing_chain(params)?;
+    let avg_exec_time = timing.expected_time_to_absorption(t_start)?;
+    let (func, f_start) = functional_chain(params)?;
+    let probs = func.absorption_probabilities(f_start)?;
+    let error = func
+        .absorbing_states()
+        .into_iter()
+        .find(|&s| func.state_name(s) == "Error")
+        .expect("functional chain has an Error state");
+    let error_prob = clre_num::util::clamp_prob(probs[&error]);
+    Ok(TaskReliability {
+        min_exec_time: params.min_exec_time(),
+        avg_exec_time,
+        error_prob,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> ClrChainParams {
+        ClrChainParams {
+            exec_time: 300.0e-6,
+            seu_rate: 100.0,
+            m_hw: 0.0,
+            m_impl_ssw: 0.0,
+            cov_det: 0.0,
+            m_tol: 0.0,
+            m_asw: 0.0,
+            intervals: 1,
+            t_det: 0.0,
+            t_tol: 0.0,
+            t_chk: 0.0,
+            p_chk_err: 0.0,
+        }
+    }
+
+    #[test]
+    fn unprotected_matches_closed_form() {
+        let p = ClrChainParams::unprotected(300.0e-6, 100.0);
+        let r = analyze(&p).unwrap();
+        let p_err = 1.0 - (-100.0 * 300.0e-6f64).exp();
+        assert!((r.error_prob - p_err).abs() < 1e-12);
+        assert!((r.avg_exec_time - 300.0e-6).abs() < 1e-12);
+        assert_eq!(r.min_exec_time, 300.0e-6);
+    }
+
+    #[test]
+    fn hw_masking_reduces_error_not_time() {
+        let mut p = base();
+        let r0 = analyze(&p).unwrap();
+        p.m_hw = 0.9;
+        let r1 = analyze(&p).unwrap();
+        assert!(r1.error_prob < r0.error_prob);
+        assert!((r1.error_prob / r0.error_prob - 0.1).abs() < 1e-9);
+        assert!((r1.avg_exec_time - r0.avg_exec_time).abs() < 1e-15);
+    }
+
+    #[test]
+    fn implicit_masking_stacks_multiplicatively() {
+        let mut p = base();
+        p.m_hw = 0.5;
+        p.m_impl_ssw = 0.2;
+        let r = analyze(&p).unwrap();
+        let raw = 1.0 - (-100.0 * 300.0e-6f64).exp();
+        assert!((r.error_prob - raw * 0.5 * 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn asw_masks_undetected_errors() {
+        let mut p = base();
+        p.m_asw = 0.93;
+        let r = analyze(&p).unwrap();
+        let raw = 1.0 - (-100.0 * 300.0e-6f64).exp();
+        assert!((r.error_prob - raw * (1.0 - 0.93)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn retry_trades_time_for_reliability() {
+        let mut p = base();
+        p.cov_det = 0.9;
+        p.m_tol = 0.97;
+        p.t_det = 15.0e-6;
+        p.t_tol = 6.0e-6;
+        let r = analyze(&p).unwrap();
+        let unprotected = analyze(&base()).unwrap();
+        assert!(r.error_prob < 0.25 * unprotected.error_prob);
+        assert!(r.avg_exec_time > unprotected.avg_exec_time);
+        assert_eq!(r.min_exec_time, 300.0e-6 + 15.0e-6);
+    }
+
+    #[test]
+    fn checkpointing_bounds_reexecution_time() {
+        // With detection on, more intervals cut the re-execution cost per
+        // detected error, so average time decreases with k at high λ.
+        let mut p = base();
+        p.seu_rate = 3000.0; // very faulty environment
+        p.cov_det = 0.95;
+        p.m_tol = 0.98;
+        p.t_det = 3.0e-6;
+        p.t_tol = 3.0e-6;
+        p.t_chk = 2.0e-6;
+        p.intervals = 1;
+        let r1 = analyze(&p).unwrap();
+        p.intervals = 4;
+        let r4 = analyze(&p).unwrap();
+        assert!(
+            r4.avg_exec_time < r1.avg_exec_time,
+            "k=4 {} should beat k=1 {}",
+            r4.avg_exec_time,
+            r1.avg_exec_time
+        );
+        // And min time grows with checkpoint overhead.
+        assert!(r4.min_exec_time > r1.min_exec_time);
+    }
+
+    #[test]
+    fn checkpoint_corruption_adds_error_floor() {
+        let mut p = base();
+        p.intervals = 3;
+        p.cov_det = 0.99;
+        p.m_tol = 0.99;
+        p.m_hw = 0.9;
+        p.m_asw = 0.9;
+        p.p_chk_err = 0.0;
+        let clean = analyze(&p).unwrap();
+        p.p_chk_err = 0.01;
+        let dirty = analyze(&p).unwrap();
+        assert!(dirty.error_prob > clean.error_prob + 0.015);
+    }
+
+    #[test]
+    fn absorption_probs_sum_to_one() {
+        let mut p = base();
+        p.m_hw = 0.7;
+        p.cov_det = 0.95;
+        p.m_tol = 0.98;
+        p.m_asw = 0.55;
+        p.intervals = 3;
+        p.p_chk_err = 1e-4;
+        let (c, s) = functional_chain(&p).unwrap();
+        let probs = c.absorption_probabilities(s).unwrap();
+        let total: f64 = probs.values().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chain_shapes() {
+        let mut p = base();
+        p.intervals = 3;
+        let (t, _) = timing_chain(&p).unwrap();
+        // 3 blocks × 6 states + 2 checkpoints + End.
+        assert_eq!(t.state_count(), 3 * 6 + 2 + 1);
+        assert_eq!(t.absorbing_states().len(), 1);
+        let (f, _) = functional_chain(&p).unwrap();
+        assert_eq!(f.state_count(), 3 * 6 + 2 + 2);
+        assert_eq!(f.absorbing_states().len(), 2);
+    }
+
+    #[test]
+    fn unequal_intervals_uniform_matches_equal() {
+        let mut p = base();
+        p.intervals = 4;
+        p.cov_det = 0.95;
+        p.m_tol = 0.98;
+        p.t_det = 4.0e-6;
+        p.t_tol = 2.0e-6;
+        p.t_chk = 3.0e-6;
+        p.seu_rate = 1500.0;
+        let equal = analyze(&p).unwrap();
+        let uniform = analyze_with_intervals(&p, &[2.0, 2.0, 2.0, 2.0]).unwrap();
+        assert!((equal.avg_exec_time - uniform.avg_exec_time).abs() < 1e-15);
+        assert!((equal.error_prob - uniform.error_prob).abs() < 1e-15);
+    }
+
+    #[test]
+    fn front_loading_work_beats_back_loading_under_rising_risk() {
+        // With roll-back recovery, an error in a *long* interval wastes
+        // more time. Since every interval is equally error-prone per unit
+        // time, the expected time depends on how re-execution cost is
+        // distributed — both skews must at least differ from uniform and
+        // mirror each other (symmetry of the chain in interval order for
+        // timing is broken only by checkpoint placement).
+        let mut p = base();
+        p.intervals = 2;
+        p.cov_det = 0.95;
+        p.m_tol = 0.98;
+        p.t_tol = 2.0e-6;
+        p.t_chk = 3.0e-6;
+        p.seu_rate = 3000.0;
+        let uniform = analyze_with_intervals(&p, &[1.0, 1.0]).unwrap();
+        let front = analyze_with_intervals(&p, &[0.8, 0.2]).unwrap();
+        let back = analyze_with_intervals(&p, &[0.2, 0.8]).unwrap();
+        assert!(front.avg_exec_time > uniform.avg_exec_time);
+        assert!(back.avg_exec_time > uniform.avg_exec_time);
+        // Uniform intervals minimize expected re-execution for equal
+        // per-unit risk — the classic equidistant-checkpoint result.
+        assert!((front.avg_exec_time - back.avg_exec_time).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unequal_intervals_validate_weights() {
+        let mut p = base();
+        p.intervals = 3;
+        assert!(analyze_with_intervals(&p, &[1.0, 1.0]).is_err()); // wrong len
+        assert!(analyze_with_intervals(&p, &[1.0, -1.0, 1.0]).is_err());
+        assert!(analyze_with_intervals(&p, &[0.0, 0.0, 0.0]).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_domain_parameters() {
+        let mut p = base();
+        p.m_hw = 1.5;
+        assert!(analyze(&p).is_err());
+        let mut p = base();
+        p.exec_time = 0.0;
+        assert!(analyze(&p).is_err());
+        let mut p = base();
+        p.seu_rate = -1.0;
+        assert!(analyze(&p).is_err());
+        let mut p = base();
+        p.t_tol = f64::NAN;
+        assert!(analyze(&p).is_err());
+    }
+
+    #[test]
+    fn zero_seu_rate_is_fault_free() {
+        let mut p = base();
+        p.seu_rate = 0.0;
+        p.cov_det = 0.9;
+        p.m_tol = 0.97;
+        p.t_det = 10.0e-6;
+        let r = analyze(&p).unwrap();
+        assert_eq!(r.error_prob, 0.0);
+        assert!((r.avg_exec_time - r.min_exec_time).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,147 @@
+use clre_num::NumError;
+use std::error::Error;
+use std::fmt;
+
+/// Error type for Markov chain construction and analysis.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum MarkovError {
+    /// A transition probability was outside `[0, 1]` or not finite.
+    InvalidProbability {
+        /// Source state index.
+        from: usize,
+        /// Destination state index.
+        to: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// A transient state's outgoing probabilities do not sum to 1.
+    RowSumNotOne {
+        /// The offending state index.
+        state: usize,
+        /// The actual row sum.
+        sum: f64,
+    },
+    /// The chain has no absorbing state, so absorption analysis is
+    /// undefined.
+    NoAbsorbingState,
+    /// The requested start state is absorbing; nothing to analyze.
+    StartIsAbsorbing {
+        /// The offending state index.
+        state: usize,
+    },
+    /// A state index was out of range.
+    StateOutOfRange {
+        /// The offending index.
+        state: usize,
+        /// Number of states in the chain.
+        count: usize,
+    },
+    /// Some transient state cannot reach any absorbing state, which makes
+    /// `I − Q` singular.
+    NotAbsorbing,
+    /// A residence time was negative or not finite.
+    InvalidResidence {
+        /// The offending state index.
+        state: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// An underlying numeric failure (kept for completeness; reachable
+    /// only through pathological floating-point inputs).
+    Numeric(NumError),
+}
+
+impl fmt::Display for MarkovError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MarkovError::InvalidProbability { from, to, value } => {
+                write!(f, "invalid probability {value} on transition {from}->{to}")
+            }
+            MarkovError::RowSumNotOne { state, sum } => {
+                write!(
+                    f,
+                    "outgoing probabilities of state {state} sum to {sum}, expected 1"
+                )
+            }
+            MarkovError::NoAbsorbingState => write!(f, "chain has no absorbing state"),
+            MarkovError::StartIsAbsorbing { state } => {
+                write!(f, "start state {state} is absorbing")
+            }
+            MarkovError::StateOutOfRange { state, count } => {
+                write!(f, "state {state} out of range (chain has {count} states)")
+            }
+            MarkovError::NotAbsorbing => {
+                write!(f, "some transient state cannot reach an absorbing state")
+            }
+            MarkovError::InvalidResidence { state, value } => {
+                write!(f, "invalid residence time {value} for state {state}")
+            }
+            MarkovError::Numeric(e) => write!(f, "numeric failure: {e}"),
+        }
+    }
+}
+
+impl Error for MarkovError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            MarkovError::Numeric(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NumError> for MarkovError {
+    fn from(e: NumError) -> Self {
+        // Singular (I - Q) means some transient state never reaches
+        // absorption; surface that as the domain-specific error.
+        match e {
+            NumError::Singular { .. } => MarkovError::NotAbsorbing,
+            other => MarkovError::Numeric(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        let errs = [
+            MarkovError::InvalidProbability {
+                from: 0,
+                to: 1,
+                value: 1.5,
+            },
+            MarkovError::RowSumNotOne { state: 2, sum: 0.9 },
+            MarkovError::NoAbsorbingState,
+            MarkovError::StartIsAbsorbing { state: 1 },
+            MarkovError::StateOutOfRange { state: 9, count: 3 },
+            MarkovError::NotAbsorbing,
+            MarkovError::InvalidResidence {
+                state: 0,
+                value: -1.0,
+            },
+            MarkovError::Numeric(NumError::RaggedRows),
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn singular_maps_to_not_absorbing() {
+        let e: MarkovError = NumError::Singular { pivot: 0 }.into();
+        assert_eq!(e, MarkovError::NotAbsorbing);
+        let e2: MarkovError = NumError::RaggedRows.into();
+        assert!(matches!(e2, MarkovError::Numeric(_)));
+    }
+
+    #[test]
+    fn source_chains_to_num_error() {
+        let e = MarkovError::Numeric(NumError::RaggedRows);
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(std::error::Error::source(&MarkovError::NoAbsorbingState).is_none());
+    }
+}

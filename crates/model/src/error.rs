@@ -1,0 +1,147 @@
+use crate::{PeTypeId, TaskId, TaskTypeId};
+use std::error::Error;
+use std::fmt;
+
+/// Error type for model construction and validation.
+///
+/// # Examples
+///
+/// ```
+/// use clre_model::{ModelError, Platform};
+///
+/// let err = Platform::builder().build().unwrap_err();
+/// assert!(matches!(err, ModelError::EmptyPlatform));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// A platform must contain at least one PE.
+    EmptyPlatform,
+    /// A referenced PE type name was never registered.
+    UnknownPeType {
+        /// The name that failed to resolve.
+        name: String,
+    },
+    /// A PE type id was out of range for the platform.
+    PeTypeOutOfRange {
+        /// The offending id.
+        id: PeTypeId,
+        /// Number of registered PE types.
+        count: usize,
+    },
+    /// A PE type has no DVFS modes; at least the nominal mode is required.
+    NoDvfsModes {
+        /// The offending PE type.
+        id: PeTypeId,
+    },
+    /// A task graph must contain at least one task.
+    EmptyGraph,
+    /// An edge referenced a task index outside the graph.
+    EdgeOutOfRange {
+        /// Source task of the offending edge.
+        from: TaskId,
+        /// Destination task of the offending edge.
+        to: TaskId,
+        /// Number of tasks in the graph.
+        count: usize,
+    },
+    /// The dependency edges contain a cycle; the application must be a DAG.
+    CyclicDependencies,
+    /// A task referenced a task-type index outside the graph's type table.
+    TaskTypeOutOfRange {
+        /// The task holding the dangling reference.
+        task: TaskId,
+        /// The dangling type id.
+        ty: TaskTypeId,
+        /// Number of registered task types.
+        count: usize,
+    },
+    /// A task type must provide at least one base implementation.
+    NoImplementations {
+        /// The offending task type.
+        ty: TaskTypeId,
+    },
+    /// A numeric parameter was outside its documented domain.
+    InvalidParameter {
+        /// Description of the violated requirement.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::EmptyPlatform => write!(f, "platform must contain at least one PE"),
+            ModelError::UnknownPeType { name } => write!(f, "unknown PE type name {name:?}"),
+            ModelError::PeTypeOutOfRange { id, count } => {
+                write!(f, "PE type {id} out of range (have {count} types)")
+            }
+            ModelError::NoDvfsModes { id } => {
+                write!(f, "PE type {id} has no DVFS modes")
+            }
+            ModelError::EmptyGraph => write!(f, "task graph must contain at least one task"),
+            ModelError::EdgeOutOfRange { from, to, count } => {
+                write!(f, "edge {from}->{to} references a task outside 0..{count}")
+            }
+            ModelError::CyclicDependencies => {
+                write!(f, "task dependencies contain a cycle; a DAG is required")
+            }
+            ModelError::TaskTypeOutOfRange { task, ty, count } => {
+                write!(f, "task {task} references type {ty} outside 0..{count}")
+            }
+            ModelError::NoImplementations { ty } => {
+                write!(f, "task type {ty} has no base implementations")
+            }
+            ModelError::InvalidParameter { what } => write!(f, "invalid parameter: {what}"),
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_without_period() {
+        let errs: Vec<ModelError> = vec![
+            ModelError::EmptyPlatform,
+            ModelError::UnknownPeType { name: "x".into() },
+            ModelError::PeTypeOutOfRange {
+                id: PeTypeId::new(3),
+                count: 2,
+            },
+            ModelError::NoDvfsModes {
+                id: PeTypeId::new(0),
+            },
+            ModelError::EmptyGraph,
+            ModelError::EdgeOutOfRange {
+                from: TaskId::new(0),
+                to: TaskId::new(9),
+                count: 3,
+            },
+            ModelError::CyclicDependencies,
+            ModelError::TaskTypeOutOfRange {
+                task: TaskId::new(0),
+                ty: TaskTypeId::new(5),
+                count: 1,
+            },
+            ModelError::NoImplementations {
+                ty: TaskTypeId::new(0),
+            },
+            ModelError::InvalidParameter { what: "beta > 0" },
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(!s.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ModelError>();
+    }
+}

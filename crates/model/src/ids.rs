@@ -1,0 +1,112 @@
+//! Index newtypes for the entities of the system model.
+//!
+//! Using distinct types for PE, PE-type, task, task-type, implementation and
+//! DVFS-mode indices prevents the classic mix-up bugs in mapping code
+//! (C-NEWTYPE).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $tag:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
+            Serialize, Deserialize,
+        )]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Creates an id from a raw index.
+            pub const fn new(index: u32) -> Self {
+                Self(index)
+            }
+
+            /// Returns the raw index as `usize` for slice addressing.
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(v: u32) -> Self {
+                Self(v)
+            }
+        }
+
+        impl From<$name> for u32 {
+            fn from(v: $name) -> u32 {
+                v.0
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Index of a processing element within a [`Platform`](crate::Platform).
+    PeId,
+    "PE"
+);
+id_type!(
+    /// Index of a PE *type* (heterogeneity class) within a platform.
+    PeTypeId,
+    "PT"
+);
+id_type!(
+    /// Index of a task node within a [`TaskGraph`](crate::TaskGraph).
+    TaskId,
+    "T"
+);
+id_type!(
+    /// Index of a task *type* (functionality) within a task graph.
+    TaskTypeId,
+    "TT"
+);
+id_type!(
+    /// Index of a base implementation within a task type.
+    ImplId,
+    "I"
+);
+id_type!(
+    /// Index of a DVFS mode within a PE type.
+    DvfsModeId,
+    "V"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_uses_paper_notation() {
+        assert_eq!(PeId::new(3).to_string(), "PE3");
+        assert_eq!(TaskId::new(0).to_string(), "T0");
+        assert_eq!(TaskTypeId::new(1).to_string(), "TT1");
+        assert_eq!(ImplId::new(2).to_string(), "I2");
+        assert_eq!(DvfsModeId::new(1).to_string(), "V1");
+        assert_eq!(PeTypeId::new(9).to_string(), "PT9");
+    }
+
+    #[test]
+    fn roundtrip_u32() {
+        let id = TaskId::from(7u32);
+        assert_eq!(u32::from(id), 7);
+        assert_eq!(id.index(), 7);
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        use std::collections::HashSet;
+        let mut s = HashSet::new();
+        s.insert(PeId::new(1));
+        s.insert(PeId::new(1));
+        assert_eq!(s.len(), 1);
+        assert!(PeId::new(0) < PeId::new(1));
+    }
+}

@@ -1,0 +1,55 @@
+//! Domain model for the CL(R)Early reproduction: hardware platform,
+//! application task graph, cross-layer reliability (CLR) configurations and
+//! Quality-of-Service (QoS) metric types.
+//!
+//! The model follows Section III of the paper:
+//!
+//! * **Architecture** ([`platform`]) — a heterogeneous MPSoC with `P`
+//!   processing elements. Each PE type carries a Weibull aging shape `β`, a
+//!   soft-error masking factor (1 − AVF) and a set of DVFS modes.
+//! * **Application** ([`application`]) — a periodic task graph
+//!   `(T_app, E_app, P_app)`; every task references a task *type* that owns
+//!   one or more base implementations, each tied to a PE type.
+//! * **Reliability** ([`reliability`]) — per-layer fault-mitigation methods
+//!   (hardware / system software / application software) and the
+//!   [`ClrConfig`] Cartesian product `C_t = HWRel × SSWRel × ASWRel`.
+//! * **QoS** ([`qos`]) — the task-level metric tuple of Table II and the
+//!   system-level metric tuple of Table III, plus objective-set and
+//!   constraint descriptions used by the DSE stages.
+//!
+//! # Examples
+//!
+//! ```
+//! use clre_model::platform::{Platform, PeType, DvfsMode};
+//!
+//! # fn main() -> Result<(), clre_model::ModelError> {
+//! let proc = PeType::processor("arm-a9", 2.0, 0.3)
+//!     .with_dvfs_mode(DvfsMode::new("1.2V/900MHz", 1.2, 900.0e6))
+//!     .with_dvfs_mode(DvfsMode::new("1.1V/600MHz", 1.1, 600.0e6));
+//! let platform = Platform::builder()
+//!     .pe_type(proc)
+//!     .pes_of_type("arm-a9", 4)?
+//!     .build()?;
+//! assert_eq!(platform.pe_count(), 4);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! [`ClrConfig`]: reliability::ClrConfig
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod application;
+mod error;
+mod ids;
+pub mod platform;
+pub mod qos;
+pub mod reliability;
+
+pub use application::{BaseImpl, Task, TaskGraph, TaskType};
+pub use error::ModelError;
+pub use ids::{DvfsModeId, ImplId, PeId, PeTypeId, TaskId, TaskTypeId};
+pub use platform::{DvfsMode, Pe, PeType, Platform};
+pub use qos::{Objective, ObjectiveSet, QosSpec, SystemMetrics, TaskMetrics};
+pub use reliability::{AswMethod, ClrConfig, HwMethod, SswMethod};

@@ -1,0 +1,606 @@
+//! Architecture model: DVFS modes, PE types and the heterogeneous MPSoC
+//! platform (Fig. 2(a) of the paper).
+//!
+//! A [`PeType`] captures the heterogeneity tuple the paper attaches to each
+//! PE: the kind of compute resource (embedded processor or reconfigurable
+//! region), the Weibull aging shape `β_p`, and the soft-error masking factor
+//! derived from the Architectural Vulnerability Factor (AVF). A
+//! [`Platform`] is a validated collection of [`Pe`]s over those types.
+
+use crate::{DvfsModeId, ModelError, PeId, PeTypeId};
+use serde::{Deserialize, Serialize};
+
+/// A voltage/frequency operating point of a PE type.
+///
+/// # Examples
+///
+/// ```
+/// use clre_model::DvfsMode;
+///
+/// let m = DvfsMode::new("1.2V/900MHz", 1.2, 900.0e6);
+/// assert_eq!(m.voltage(), 1.2);
+/// assert_eq!(m.frequency_hz(), 900.0e6);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DvfsMode {
+    name: String,
+    voltage: f64,
+    frequency_hz: f64,
+}
+
+impl DvfsMode {
+    /// Creates a DVFS mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `voltage` or `frequency_hz` is not strictly positive —
+    /// modes are static configuration data, so a loud failure at
+    /// construction is preferable to a deferred `Result`.
+    pub fn new(name: impl Into<String>, voltage: f64, frequency_hz: f64) -> Self {
+        assert!(voltage > 0.0, "voltage must be positive");
+        assert!(frequency_hz > 0.0, "frequency must be positive");
+        DvfsMode {
+            name: name.into(),
+            voltage,
+            frequency_hz,
+        }
+    }
+
+    /// Human-readable mode name, e.g. `"1.2V/900MHz"`.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Supply voltage in volts.
+    pub fn voltage(&self) -> f64 {
+        self.voltage
+    }
+
+    /// Clock frequency in hertz.
+    pub fn frequency_hz(&self) -> f64 {
+        self.frequency_hz
+    }
+}
+
+/// A shared on-chip interconnect model: transferring `v` bytes between
+/// two *different* PEs costs `latency + v / bandwidth` seconds; same-PE
+/// communication is free (local memory).
+///
+/// # Examples
+///
+/// ```
+/// use clre_model::platform::Interconnect;
+///
+/// let noc = Interconnect::new(1.0e-6, 1.0e9);
+/// assert_eq!(noc.transfer_time(1.0e6), 1.0e-6 + 1.0e-3);
+/// assert_eq!(noc.transfer_time(0.0), 1.0e-6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Interconnect {
+    latency: f64,
+    bandwidth: f64,
+}
+
+impl Interconnect {
+    /// Creates an interconnect with the given per-transfer latency in
+    /// seconds and bandwidth in bytes/s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `latency < 0` or `bandwidth <= 0`.
+    pub fn new(latency: f64, bandwidth: f64) -> Self {
+        assert!(latency >= 0.0, "latency must be non-negative");
+        assert!(bandwidth > 0.0, "bandwidth must be positive");
+        Interconnect { latency, bandwidth }
+    }
+
+    /// Per-transfer latency in seconds.
+    pub fn latency(&self) -> f64 {
+        self.latency
+    }
+
+    /// Bandwidth in bytes per second.
+    pub fn bandwidth(&self) -> f64 {
+        self.bandwidth
+    }
+
+    /// Time to move `bytes` across the interconnect.
+    pub fn transfer_time(&self, bytes: f64) -> f64 {
+        self.latency + bytes / self.bandwidth
+    }
+}
+
+/// The compute-resource kind of a PE type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PeKind {
+    /// A general-purpose embedded processor.
+    Processor,
+    /// A partially reconfigurable fabric region hosting accelerators.
+    ReconfigurableRegion,
+}
+
+/// A heterogeneity class of processing elements.
+///
+/// Constructed with [`PeType::processor`] or
+/// [`PeType::reconfigurable_region`] and extended with
+/// [`PeType::with_dvfs_mode`]. Reconfigurable regions run at a single fixed
+/// operating point unless modes are added explicitly.
+///
+/// # Examples
+///
+/// ```
+/// use clre_model::{PeType, DvfsMode};
+///
+/// let t = PeType::processor("cortex", 2.0, 0.3)
+///     .with_dvfs_mode(DvfsMode::new("nominal", 1.2, 900.0e6));
+/// assert_eq!(t.dvfs_modes().len(), 1);
+/// assert_eq!(t.masking_factor(), 0.3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PeType {
+    name: String,
+    kind: PeKind,
+    /// Weibull aging shape parameter `β_p` (> 0).
+    weibull_beta: f64,
+    /// Probability that a raw soft error is architecturally masked
+    /// (`1 − AVF`), in `[0, 1]`.
+    masking_factor: f64,
+    dvfs_modes: Vec<DvfsMode>,
+    /// Local memory capacity in bytes; `f64::INFINITY` = unconstrained.
+    local_memory_bytes: f64,
+}
+
+impl PeType {
+    /// Creates an embedded-processor PE type.
+    ///
+    /// `weibull_beta` is the aging shape parameter `β_p`;
+    /// `masking_factor` is the architectural soft-error masking probability
+    /// (`1 − AVF`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weibull_beta <= 0` or `masking_factor ∉ [0, 1]`.
+    pub fn processor(name: impl Into<String>, weibull_beta: f64, masking_factor: f64) -> Self {
+        Self::new(name, PeKind::Processor, weibull_beta, masking_factor)
+    }
+
+    /// Creates a partially reconfigurable region PE type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weibull_beta <= 0` or `masking_factor ∉ [0, 1]`.
+    pub fn reconfigurable_region(
+        name: impl Into<String>,
+        weibull_beta: f64,
+        masking_factor: f64,
+    ) -> Self {
+        Self::new(
+            name,
+            PeKind::ReconfigurableRegion,
+            weibull_beta,
+            masking_factor,
+        )
+    }
+
+    fn new(name: impl Into<String>, kind: PeKind, weibull_beta: f64, masking_factor: f64) -> Self {
+        assert!(weibull_beta > 0.0, "weibull beta must be positive");
+        assert!(
+            (0.0..=1.0).contains(&masking_factor),
+            "masking factor must be within [0, 1]"
+        );
+        PeType {
+            name: name.into(),
+            kind,
+            weibull_beta,
+            masking_factor,
+            dvfs_modes: Vec::new(),
+            local_memory_bytes: f64::INFINITY,
+        }
+    }
+
+    /// Adds a DVFS operating point (builder style).
+    #[must_use]
+    pub fn with_dvfs_mode(mut self, mode: DvfsMode) -> Self {
+        self.dvfs_modes.push(mode);
+        self
+    }
+
+    /// The PE type's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The compute-resource kind.
+    pub fn kind(&self) -> PeKind {
+        self.kind
+    }
+
+    /// Weibull aging shape parameter `β_p`.
+    pub fn weibull_beta(&self) -> f64 {
+        self.weibull_beta
+    }
+
+    /// Architectural soft-error masking probability (`1 − AVF`).
+    pub fn masking_factor(&self) -> f64 {
+        self.masking_factor
+    }
+
+    /// The registered DVFS modes, in registration order.
+    pub fn dvfs_modes(&self) -> &[DvfsMode] {
+        &self.dvfs_modes
+    }
+
+    /// Looks up a DVFS mode by id.
+    pub fn dvfs_mode(&self, id: DvfsModeId) -> Option<&DvfsMode> {
+        self.dvfs_modes.get(id.index())
+    }
+
+    /// Sets the local memory capacity in bytes (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes <= 0`.
+    #[must_use]
+    pub fn with_local_memory_bytes(mut self, bytes: f64) -> Self {
+        assert!(bytes > 0.0, "memory capacity must be positive");
+        self.local_memory_bytes = bytes;
+        self
+    }
+
+    /// Local memory capacity in bytes (`f64::INFINITY` = unconstrained).
+    pub fn local_memory_bytes(&self) -> f64 {
+        self.local_memory_bytes
+    }
+}
+
+/// A single processing element: its index plus its type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Pe {
+    id: PeId,
+    pe_type: PeTypeId,
+}
+
+impl Pe {
+    /// The PE's index in the platform.
+    pub fn id(&self) -> PeId {
+        self.id
+    }
+
+    /// The PE's heterogeneity class.
+    pub fn pe_type(&self) -> PeTypeId {
+        self.pe_type
+    }
+}
+
+/// A validated heterogeneous MPSoC platform.
+///
+/// Build with [`Platform::builder`]; see the [crate-level example](crate).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Platform {
+    pe_types: Vec<PeType>,
+    pes: Vec<Pe>,
+    interconnect: Option<Interconnect>,
+}
+
+impl Platform {
+    /// Starts building a platform.
+    pub fn builder() -> PlatformBuilder {
+        PlatformBuilder::default()
+    }
+
+    /// Number of PEs (`P` in the paper).
+    pub fn pe_count(&self) -> usize {
+        self.pes.len()
+    }
+
+    /// All PEs in index order.
+    pub fn pes(&self) -> &[Pe] {
+        &self.pes
+    }
+
+    /// All PE types in registration order.
+    pub fn pe_types(&self) -> &[PeType] {
+        &self.pe_types
+    }
+
+    /// Looks up a PE by id.
+    pub fn pe(&self, id: PeId) -> Option<&Pe> {
+        self.pes.get(id.index())
+    }
+
+    /// Looks up a PE type by id.
+    pub fn pe_type(&self, id: PeTypeId) -> Option<&PeType> {
+        self.pe_types.get(id.index())
+    }
+
+    /// Returns the type record of a given PE.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pe` is out of range; platforms are validated at build
+    /// time, so this only fires on ids from a different platform.
+    pub fn type_of(&self, pe: PeId) -> &PeType {
+        let t = self.pes[pe.index()].pe_type;
+        &self.pe_types[t.index()]
+    }
+
+    /// Finds a PE type id by name.
+    pub fn pe_type_by_name(&self, name: &str) -> Option<PeTypeId> {
+        self.pe_types
+            .iter()
+            .position(|t| t.name() == name)
+            .map(|i| PeTypeId::new(i as u32))
+    }
+
+    /// Iterates over the ids of PEs whose type is `ty`.
+    pub fn pes_of_type(&self, ty: PeTypeId) -> impl Iterator<Item = PeId> + '_ {
+        self.pes
+            .iter()
+            .filter(move |p| p.pe_type == ty)
+            .map(|p| p.id)
+    }
+
+    /// The on-chip interconnect model, if communication is modeled.
+    /// `None` means inter-PE communication is free (the paper's original
+    /// setting); see DESIGN.md §8 on the future-work extension.
+    pub fn interconnect(&self) -> Option<&Interconnect> {
+        self.interconnect.as_ref()
+    }
+}
+
+/// Builder for [`Platform`] (C-BUILDER).
+#[derive(Debug, Default, Clone)]
+pub struct PlatformBuilder {
+    pe_types: Vec<PeType>,
+    pes: Vec<PeTypeId>,
+    interconnect: Option<Interconnect>,
+}
+
+impl PlatformBuilder {
+    /// Registers a PE type; PEs added later refer to it by name or id.
+    #[must_use]
+    pub fn pe_type(mut self, ty: PeType) -> Self {
+        self.pe_types.push(ty);
+        self
+    }
+
+    /// Adds `count` PEs of the type registered under `type_name`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::UnknownPeType`] if no type with that name has
+    /// been registered yet.
+    pub fn pes_of_type(mut self, type_name: &str, count: usize) -> Result<Self, ModelError> {
+        let idx = self
+            .pe_types
+            .iter()
+            .position(|t| t.name() == type_name)
+            .ok_or_else(|| ModelError::UnknownPeType {
+                name: type_name.to_owned(),
+            })?;
+        let id = PeTypeId::new(idx as u32);
+        self.pes.extend(std::iter::repeat_n(id, count));
+        Ok(self)
+    }
+
+    /// Adds a single PE by type id.
+    #[must_use]
+    pub fn pe(mut self, ty: PeTypeId) -> Self {
+        self.pes.push(ty);
+        self
+    }
+
+    /// Declares the on-chip interconnect; inter-PE data transfers then
+    /// cost `latency + volume / bandwidth` seconds in the schedule.
+    #[must_use]
+    pub fn interconnect(mut self, ic: Interconnect) -> Self {
+        self.interconnect = Some(ic);
+        self
+    }
+
+    /// Validates and produces the platform.
+    ///
+    /// # Errors
+    ///
+    /// * [`ModelError::EmptyPlatform`] if no PEs were added.
+    /// * [`ModelError::PeTypeOutOfRange`] if a PE references a missing type.
+    /// * [`ModelError::NoDvfsModes`] if any *used* PE type has no DVFS mode.
+    pub fn build(self) -> Result<Platform, ModelError> {
+        if self.pes.is_empty() {
+            return Err(ModelError::EmptyPlatform);
+        }
+        for &ty in &self.pes {
+            if ty.index() >= self.pe_types.len() {
+                return Err(ModelError::PeTypeOutOfRange {
+                    id: ty,
+                    count: self.pe_types.len(),
+                });
+            }
+            if self.pe_types[ty.index()].dvfs_modes.is_empty() {
+                return Err(ModelError::NoDvfsModes { id: ty });
+            }
+        }
+        let pes = self
+            .pes
+            .into_iter()
+            .enumerate()
+            .map(|(i, ty)| Pe {
+                id: PeId::new(i as u32),
+                pe_type: ty,
+            })
+            .collect();
+        Ok(Platform {
+            pe_types: self.pe_types,
+            pes,
+            interconnect: self.interconnect,
+        })
+    }
+}
+
+/// Builds the 6-PE, 3-type evaluation platform used throughout the paper's
+/// experiments: four embedded processors with two different masking factors
+/// plus two partially reconfigurable regions.
+///
+/// # Examples
+///
+/// ```
+/// let p = clre_model::platform::paper_platform();
+/// assert_eq!(p.pe_count(), 6);
+/// assert_eq!(p.pe_types().len(), 3);
+/// ```
+pub fn paper_platform() -> Platform {
+    let modes = [
+        DvfsMode::new("1.2V/900MHz", 1.2, 900.0e6),
+        DvfsMode::new("1.1V/600MHz", 1.1, 600.0e6),
+        DvfsMode::new("1.06V/300MHz", 1.06, 300.0e6),
+    ];
+    let mut proc_lo = PeType::processor("proc-lomask", 2.0, 0.20);
+    let mut proc_hi = PeType::processor("proc-himask", 2.2, 0.40);
+    for m in &modes {
+        proc_lo = proc_lo.with_dvfs_mode(m.clone());
+        proc_hi = proc_hi.with_dvfs_mode(m.clone());
+    }
+    let pr = PeType::reconfigurable_region("pr-region", 1.8, 0.10).with_dvfs_mode(DvfsMode::new(
+        "1.0V/250MHz",
+        1.0,
+        250.0e6,
+    ));
+    Platform::builder()
+        .pe_type(proc_lo)
+        .pe_type(proc_hi)
+        .pe_type(pr)
+        .pes_of_type("proc-lomask", 2)
+        .expect("type registered")
+        .pes_of_type("proc-himask", 2)
+        .expect("type registered")
+        .pes_of_type("pr-region", 2)
+        .expect("type registered")
+        .build()
+        .expect("paper platform is statically valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn proc_with_mode() -> PeType {
+        PeType::processor("p", 2.0, 0.3).with_dvfs_mode(DvfsMode::new("m", 1.0, 1.0e8))
+    }
+
+    #[test]
+    fn builder_happy_path() {
+        let p = Platform::builder()
+            .pe_type(proc_with_mode())
+            .pes_of_type("p", 3)
+            .unwrap()
+            .build()
+            .unwrap();
+        assert_eq!(p.pe_count(), 3);
+        assert_eq!(p.pe(PeId::new(2)).unwrap().pe_type(), PeTypeId::new(0));
+        assert_eq!(p.type_of(PeId::new(0)).name(), "p");
+        assert_eq!(p.pes_of_type(PeTypeId::new(0)).count(), 3);
+    }
+
+    #[test]
+    fn builder_rejects_empty() {
+        assert_eq!(Platform::builder().build(), Err(ModelError::EmptyPlatform));
+    }
+
+    #[test]
+    fn builder_rejects_unknown_type_name() {
+        let err = Platform::builder().pes_of_type("ghost", 1).unwrap_err();
+        assert!(matches!(err, ModelError::UnknownPeType { .. }));
+    }
+
+    #[test]
+    fn builder_rejects_out_of_range_type_id() {
+        let err = Platform::builder()
+            .pe(PeTypeId::new(5))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ModelError::PeTypeOutOfRange { .. }));
+    }
+
+    #[test]
+    fn builder_rejects_type_without_modes() {
+        let err = Platform::builder()
+            .pe_type(PeType::processor("nomode", 2.0, 0.3))
+            .pes_of_type("nomode", 1)
+            .unwrap()
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ModelError::NoDvfsModes { .. }));
+    }
+
+    #[test]
+    fn pe_type_by_name_lookup() {
+        let p = paper_platform();
+        assert!(p.pe_type_by_name("pr-region").is_some());
+        assert!(p.pe_type_by_name("ghost").is_none());
+    }
+
+    #[test]
+    fn paper_platform_shape() {
+        let p = paper_platform();
+        assert_eq!(p.pe_count(), 6);
+        let procs: usize = p
+            .pe_types()
+            .iter()
+            .filter(|t| t.kind() == PeKind::Processor)
+            .count();
+        assert_eq!(procs, 2);
+        // Processors expose three DVFS modes, PR regions one.
+        let pr = p.pe_type_by_name("pr-region").unwrap();
+        assert_eq!(p.pe_type(pr).unwrap().dvfs_modes().len(), 1);
+    }
+
+    #[test]
+    fn interconnect_is_optional() {
+        let p = paper_platform();
+        assert!(p.interconnect().is_none());
+        let with_noc = Platform::builder()
+            .pe_type(proc_with_mode())
+            .pes_of_type("p", 1)
+            .unwrap()
+            .interconnect(Interconnect::new(1.0e-6, 1.0e9))
+            .build()
+            .unwrap();
+        let noc = with_noc.interconnect().unwrap();
+        assert_eq!(noc.latency(), 1.0e-6);
+        assert_eq!(noc.bandwidth(), 1.0e9);
+        assert!((noc.transfer_time(2.0e9) - 2.000001).abs() < 1e-9);
+    }
+
+    #[test]
+    fn local_memory_defaults_unbounded() {
+        let t = proc_with_mode();
+        assert!(t.local_memory_bytes().is_infinite());
+        let bounded = proc_with_mode().with_local_memory_bytes(1024.0);
+        assert_eq!(bounded.local_memory_bytes(), 1024.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn interconnect_rejects_zero_bandwidth() {
+        Interconnect::new(0.0, 0.0);
+    }
+
+    #[test]
+    fn dvfs_mode_lookup() {
+        let t = proc_with_mode();
+        assert!(t.dvfs_mode(DvfsModeId::new(0)).is_some());
+        assert!(t.dvfs_mode(DvfsModeId::new(1)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "voltage must be positive")]
+    fn dvfs_mode_rejects_nonpositive_voltage() {
+        DvfsMode::new("bad", 0.0, 1.0e8);
+    }
+
+    #[test]
+    #[should_panic(expected = "masking factor")]
+    fn pe_type_rejects_bad_masking() {
+        PeType::processor("bad", 2.0, 1.5);
+    }
+}

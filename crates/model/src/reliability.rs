@@ -1,0 +1,568 @@
+//! Cross-layer reliability model (Table II of the paper).
+//!
+//! Fault mitigation can be configured independently at three layers:
+//!
+//! * **Hardware** ([`HwMethod`]) — spatial redundancy: partial/full TMR,
+//!   circuit hardening. Effect: masks a fraction `m_HW` of raw errors at a
+//!   time/power overhead.
+//! * **System software** ([`SswMethod`]) — temporal redundancy: retry and
+//!   checkpointing with roll-back recovery. Effect: detects errors with
+//!   coverage `cov_Det` and tolerates detected errors with probability
+//!   `m_Tol`, paying detection/tolerance/checkpoint time overheads.
+//! * **Application software** ([`AswMethod`]) — information redundancy:
+//!   checksums, Hamming correction, code tripling. Effect: masks a fraction
+//!   `m_ASW` of errors that escaped the lower layers.
+//!
+//! A [`ClrConfig`] is one point of the per-task Cartesian product
+//! `C_t = HWRel_t × SSWRel_t × ASWRel_t`. All mitigation is *imperfect*
+//! (masking/coverage < 1), which is one of the paper's differentiators
+//! (Table I, "Imperfect Mitigation").
+//!
+//! The numeric parameters of the built-in methods are the `GenM`/`GenD`/
+//! `GenT` style generic models of Section VI-A: tunable, physically shaped
+//! constants rather than claims about specific silicon. Custom values can
+//! be injected through the `Generic` variants.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// Tunable parameters for a generic masking-style method (`GenM`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GenMasking {
+    /// Probability an arriving error is masked, in `[0, 1]`.
+    pub masking: f64,
+    /// Multiplicative execution-time overhead (≥ 1).
+    pub time_factor: f64,
+    /// Multiplicative power overhead (≥ 1).
+    pub power_factor: f64,
+}
+
+impl Eq for GenMasking {}
+
+impl Hash for GenMasking {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.masking.to_bits().hash(state);
+        self.time_factor.to_bits().hash(state);
+        self.power_factor.to_bits().hash(state);
+    }
+}
+
+/// Tunable parameters for a generic detection+tolerance method
+/// (`GenD`/`GenT`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GenTemporal {
+    /// Error-detection coverage `cov_Det`, in `[0, 1]`.
+    pub detection_coverage: f64,
+    /// Probability a detected error is tolerated (`m_Tol`), in `[0, 1]`.
+    pub tolerance_masking: f64,
+    /// Number of inter-checkpoint intervals (≥ 1); `1` means the whole task
+    /// re-executes on a detected error.
+    pub intervals: u32,
+    /// Detection-time overhead as a fraction of useful execution time.
+    pub detection_overhead: f64,
+    /// Tolerance (roll-back) time overhead as a fraction of execution time.
+    pub tolerance_overhead: f64,
+    /// Checkpoint-creation time overhead per checkpoint, as a fraction of
+    /// execution time.
+    pub checkpoint_overhead: f64,
+    /// Probability that checkpoint creation itself is corrupted.
+    pub checkpoint_error_prob: f64,
+}
+
+impl Eq for GenTemporal {}
+
+impl Hash for GenTemporal {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.detection_coverage.to_bits().hash(state);
+        self.tolerance_masking.to_bits().hash(state);
+        self.intervals.hash(state);
+        self.detection_overhead.to_bits().hash(state);
+        self.tolerance_overhead.to_bits().hash(state);
+        self.checkpoint_overhead.to_bits().hash(state);
+        self.checkpoint_error_prob.to_bits().hash(state);
+    }
+}
+
+/// A hardware-layer (spatial redundancy) fault-mitigation method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum HwMethod {
+    /// No hardware mitigation.
+    None,
+    /// Radiation-hardened circuit variants.
+    Hardening,
+    /// Triplication of the most vulnerable sub-circuits only.
+    PartialTmr,
+    /// Full triple modular redundancy with majority voting.
+    Tmr,
+    /// A tunable generic masking method (`GenM`).
+    Generic(GenMasking),
+}
+
+/// Flattened hardware-layer effect parameters consumed by the analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HwParams {
+    /// Masking probability `m_HW`.
+    pub masking: f64,
+    /// Multiplicative execution-time factor.
+    pub time_factor: f64,
+    /// Multiplicative power factor.
+    pub power_factor: f64,
+    /// Multiplicative memory/area factor (spatial redundancy replicates
+    /// state).
+    pub mem_factor: f64,
+}
+
+impl HwMethod {
+    /// The effect parameters of this method.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use clre_model::HwMethod;
+    ///
+    /// let p = HwMethod::Tmr.params();
+    /// assert!(p.masking > 0.9 && p.masking < 1.0); // imperfect mitigation
+    /// assert!(p.power_factor > 2.0);
+    /// ```
+    pub fn params(&self) -> HwParams {
+        match *self {
+            HwMethod::None => HwParams {
+                masking: 0.0,
+                time_factor: 1.0,
+                power_factor: 1.0,
+                mem_factor: 1.0,
+            },
+            HwMethod::Hardening => HwParams {
+                masking: 0.50,
+                time_factor: 1.10,
+                power_factor: 1.30,
+                mem_factor: 1.20,
+            },
+            HwMethod::PartialTmr => HwParams {
+                masking: 0.70,
+                time_factor: 1.05,
+                power_factor: 1.80,
+                mem_factor: 1.90,
+            },
+            HwMethod::Tmr => HwParams {
+                masking: 0.95,
+                time_factor: 1.02,
+                power_factor: 3.00,
+                mem_factor: 3.10,
+            },
+            HwMethod::Generic(g) => HwParams {
+                masking: g.masking,
+                time_factor: g.time_factor,
+                power_factor: g.power_factor,
+                mem_factor: 1.0,
+            },
+        }
+    }
+
+    /// The built-in catalog explored by the DSE stages.
+    pub fn catalog() -> Vec<HwMethod> {
+        vec![
+            HwMethod::None,
+            HwMethod::Hardening,
+            HwMethod::PartialTmr,
+            HwMethod::Tmr,
+        ]
+    }
+}
+
+impl fmt::Display for HwMethod {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HwMethod::None => write!(f, "hw:none"),
+            HwMethod::Hardening => write!(f, "hw:harden"),
+            HwMethod::PartialTmr => write!(f, "hw:ptmr"),
+            HwMethod::Tmr => write!(f, "hw:tmr"),
+            HwMethod::Generic(g) => write!(f, "hw:gen(m={:.2})", g.masking),
+        }
+    }
+}
+
+/// A system-software-layer (temporal redundancy) fault-mitigation method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum SswMethod {
+    /// No system-software mitigation.
+    None,
+    /// Detect-and-retry: on a detected error the whole task re-executes.
+    Retry,
+    /// Checkpointing with roll-back recovery and `intervals`
+    /// inter-checkpoint intervals (≥ 2; `intervals − 1` checkpoints are
+    /// created).
+    Checkpoint {
+        /// Number of inter-checkpoint intervals.
+        intervals: u32,
+    },
+    /// A tunable generic detection/tolerance method (`GenD` + `GenT`).
+    Generic(GenTemporal),
+}
+
+impl SswMethod {
+    /// The effect parameters of this method.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use clre_model::SswMethod;
+    ///
+    /// let p = SswMethod::Checkpoint { intervals: 3 }.params();
+    /// assert_eq!(p.intervals, 3);
+    /// assert!(p.detection_coverage < 1.0); // imperfect detection
+    /// ```
+    pub fn params(&self) -> GenTemporal {
+        match *self {
+            SswMethod::None => GenTemporal {
+                detection_coverage: 0.0,
+                tolerance_masking: 0.0,
+                intervals: 1,
+                detection_overhead: 0.0,
+                tolerance_overhead: 0.0,
+                checkpoint_overhead: 0.0,
+                checkpoint_error_prob: 0.0,
+            },
+            SswMethod::Retry => GenTemporal {
+                detection_coverage: 0.90,
+                tolerance_masking: 0.97,
+                intervals: 1,
+                detection_overhead: 0.05,
+                tolerance_overhead: 0.02,
+                checkpoint_overhead: 0.0,
+                checkpoint_error_prob: 0.0,
+            },
+            SswMethod::Checkpoint { intervals } => GenTemporal {
+                detection_coverage: 0.95,
+                tolerance_masking: 0.98,
+                intervals: intervals.max(2),
+                detection_overhead: 0.06,
+                tolerance_overhead: 0.03,
+                checkpoint_overhead: 0.04,
+                checkpoint_error_prob: 1e-4,
+            },
+            SswMethod::Generic(g) => g,
+        }
+    }
+
+    /// The built-in catalog explored by the DSE stages.
+    pub fn catalog() -> Vec<SswMethod> {
+        vec![
+            SswMethod::None,
+            SswMethod::Retry,
+            SswMethod::Checkpoint { intervals: 2 },
+            SswMethod::Checkpoint { intervals: 3 },
+            SswMethod::Checkpoint { intervals: 4 },
+        ]
+    }
+}
+
+impl fmt::Display for SswMethod {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SswMethod::None => write!(f, "ssw:none"),
+            SswMethod::Retry => write!(f, "ssw:retry"),
+            SswMethod::Checkpoint { intervals } => write!(f, "ssw:chk{intervals}"),
+            SswMethod::Generic(g) => write!(f, "ssw:gen(cov={:.2})", g.detection_coverage),
+        }
+    }
+}
+
+/// An application-software-layer (information redundancy) method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum AswMethod {
+    /// No application-software mitigation.
+    None,
+    /// Checksum verification with partial recomputation ([Nicolaidis 2010]).
+    ///
+    /// [Nicolaidis 2010]: https://doi.org/10.1007/978-1-4419-6993-4
+    Checksum,
+    /// Hamming-code error correction on the task's state.
+    HammingCorrection,
+    /// Code tripling with majority voting at the source level.
+    CodeTripling,
+    /// A tunable generic masking method.
+    Generic(GenMasking),
+}
+
+/// Flattened application-software-layer effect parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AswParams {
+    /// Masking probability `m_ASW` for errors that escaped lower layers.
+    pub masking: f64,
+    /// Multiplicative execution-time factor.
+    pub time_factor: f64,
+    /// Multiplicative power factor.
+    pub power_factor: f64,
+    /// Multiplicative memory factor (information redundancy stores
+    /// check data or replicated state).
+    pub mem_factor: f64,
+}
+
+impl AswMethod {
+    /// The effect parameters of this method.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use clre_model::AswMethod;
+    ///
+    /// let p = AswMethod::CodeTripling.params();
+    /// assert!(p.time_factor > 2.0); // triplicated computation
+    /// ```
+    pub fn params(&self) -> AswParams {
+        match *self {
+            AswMethod::None => AswParams {
+                masking: 0.0,
+                time_factor: 1.0,
+                power_factor: 1.0,
+                mem_factor: 1.0,
+            },
+            AswMethod::Checksum => AswParams {
+                masking: 0.55,
+                time_factor: 1.15,
+                power_factor: 1.05,
+                mem_factor: 1.10,
+            },
+            AswMethod::HammingCorrection => AswParams {
+                masking: 0.78,
+                time_factor: 1.35,
+                power_factor: 1.10,
+                mem_factor: 1.40,
+            },
+            AswMethod::CodeTripling => AswParams {
+                masking: 0.93,
+                time_factor: 2.60,
+                power_factor: 1.15,
+                mem_factor: 3.00,
+            },
+            AswMethod::Generic(g) => AswParams {
+                masking: g.masking,
+                time_factor: g.time_factor,
+                power_factor: g.power_factor,
+                mem_factor: 1.0,
+            },
+        }
+    }
+
+    /// The built-in catalog explored by the DSE stages.
+    pub fn catalog() -> Vec<AswMethod> {
+        vec![
+            AswMethod::None,
+            AswMethod::Checksum,
+            AswMethod::HammingCorrection,
+            AswMethod::CodeTripling,
+        ]
+    }
+}
+
+impl fmt::Display for AswMethod {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AswMethod::None => write!(f, "asw:none"),
+            AswMethod::Checksum => write!(f, "asw:chksum"),
+            AswMethod::HammingCorrection => write!(f, "asw:hamming"),
+            AswMethod::CodeTripling => write!(f, "asw:triple"),
+            AswMethod::Generic(g) => write!(f, "asw:gen(m={:.2})", g.masking),
+        }
+    }
+}
+
+/// One cross-layer reliability configuration `c ∈ C_t`.
+///
+/// # Examples
+///
+/// ```
+/// use clre_model::{AswMethod, ClrConfig, HwMethod, SswMethod};
+///
+/// let c = ClrConfig::new(
+///     HwMethod::PartialTmr,
+///     SswMethod::Checkpoint { intervals: 2 },
+///     AswMethod::Checksum,
+/// );
+/// assert_eq!(c.to_string(), "hw:ptmr+ssw:chk2+asw:chksum");
+/// assert_eq!(ClrConfig::catalog().len(), 4 * 5 * 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ClrConfig {
+    /// The hardware-layer method.
+    pub hw: HwMethod,
+    /// The system-software-layer method.
+    pub ssw: SswMethod,
+    /// The application-software-layer method.
+    pub asw: AswMethod,
+}
+
+impl ClrConfig {
+    /// Creates a configuration from per-layer methods.
+    pub fn new(hw: HwMethod, ssw: SswMethod, asw: AswMethod) -> Self {
+        ClrConfig { hw, ssw, asw }
+    }
+
+    /// The unprotected baseline (no mitigation at any layer).
+    pub fn unprotected() -> Self {
+        ClrConfig::new(HwMethod::None, SswMethod::None, AswMethod::None)
+    }
+
+    /// The full built-in Cartesian product `HWRel × SSWRel × ASWRel`
+    /// (`FM_CL` in the paper's complexity analysis).
+    pub fn catalog() -> Vec<ClrConfig> {
+        let mut out = Vec::new();
+        for hw in HwMethod::catalog() {
+            for ssw in SswMethod::catalog() {
+                for asw in AswMethod::catalog() {
+                    out.push(ClrConfig::new(hw, ssw, asw));
+                }
+            }
+        }
+        out
+    }
+
+    /// Configurations exercising only the hardware layer (plus the
+    /// unprotected point), used by the single-layer-agnostic baseline.
+    pub fn hw_only_catalog() -> Vec<ClrConfig> {
+        HwMethod::catalog()
+            .into_iter()
+            .map(|hw| ClrConfig::new(hw, SswMethod::None, AswMethod::None))
+            .collect()
+    }
+
+    /// Configurations exercising only the system-software layer.
+    pub fn ssw_only_catalog() -> Vec<ClrConfig> {
+        SswMethod::catalog()
+            .into_iter()
+            .map(|ssw| ClrConfig::new(HwMethod::None, ssw, AswMethod::None))
+            .collect()
+    }
+
+    /// Configurations exercising only the application-software layer.
+    pub fn asw_only_catalog() -> Vec<ClrConfig> {
+        AswMethod::catalog()
+            .into_iter()
+            .map(|asw| ClrConfig::new(HwMethod::None, SswMethod::None, asw))
+            .collect()
+    }
+}
+
+impl Default for ClrConfig {
+    fn default() -> Self {
+        ClrConfig::unprotected()
+    }
+}
+
+impl fmt::Display for ClrConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}+{}+{}", self.hw, self.ssw, self.asw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn hw_catalog_masking_monotone_in_cost() {
+        // Stronger masking should cost more power: None < Harden < PTMR < TMR
+        // in masking, and every method's mitigation is imperfect.
+        let cat = HwMethod::catalog();
+        let masks: Vec<f64> = cat.iter().map(|m| m.params().masking).collect();
+        for w in masks.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        for m in &cat {
+            assert!(m.params().masking < 1.0, "mitigation must be imperfect");
+        }
+    }
+
+    #[test]
+    fn ssw_none_has_no_effect() {
+        let p = SswMethod::None.params();
+        assert_eq!(p.detection_coverage, 0.0);
+        assert_eq!(p.intervals, 1);
+        assert_eq!(p.checkpoint_overhead, 0.0);
+    }
+
+    #[test]
+    fn checkpoint_minimum_two_intervals() {
+        let p = SswMethod::Checkpoint { intervals: 1 }.params();
+        assert_eq!(p.intervals, 2);
+    }
+
+    #[test]
+    fn catalog_sizes() {
+        assert_eq!(HwMethod::catalog().len(), 4);
+        assert_eq!(SswMethod::catalog().len(), 5);
+        assert_eq!(AswMethod::catalog().len(), 4);
+        assert_eq!(ClrConfig::catalog().len(), 80);
+        assert_eq!(ClrConfig::hw_only_catalog().len(), 4);
+        assert_eq!(ClrConfig::ssw_only_catalog().len(), 5);
+        assert_eq!(ClrConfig::asw_only_catalog().len(), 4);
+    }
+
+    #[test]
+    fn catalog_is_distinct_and_hashable() {
+        let set: HashSet<ClrConfig> = ClrConfig::catalog().into_iter().collect();
+        assert_eq!(set.len(), 80);
+    }
+
+    #[test]
+    fn generic_variants_roundtrip_params() {
+        let g = GenMasking {
+            masking: 0.42,
+            time_factor: 1.5,
+            power_factor: 2.0,
+        };
+        assert_eq!(HwMethod::Generic(g).params().masking, 0.42);
+        assert_eq!(AswMethod::Generic(g).params().time_factor, 1.5);
+        let t = GenTemporal {
+            detection_coverage: 0.8,
+            tolerance_masking: 0.9,
+            intervals: 7,
+            detection_overhead: 0.01,
+            tolerance_overhead: 0.02,
+            checkpoint_overhead: 0.03,
+            checkpoint_error_prob: 0.0,
+        };
+        assert_eq!(SswMethod::Generic(t).params().intervals, 7);
+    }
+
+    #[test]
+    fn memory_factors_track_redundancy() {
+        assert_eq!(HwMethod::None.params().mem_factor, 1.0);
+        assert!(HwMethod::Tmr.params().mem_factor > 3.0);
+        assert!(AswMethod::CodeTripling.params().mem_factor >= 3.0);
+        assert_eq!(AswMethod::None.params().mem_factor, 1.0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(
+            ClrConfig::unprotected().to_string(),
+            "hw:none+ssw:none+asw:none"
+        );
+        assert_eq!(SswMethod::Retry.to_string(), "ssw:retry");
+        assert_eq!(AswMethod::HammingCorrection.to_string(), "asw:hamming");
+    }
+
+    #[test]
+    fn default_is_unprotected() {
+        assert_eq!(ClrConfig::default(), ClrConfig::unprotected());
+    }
+
+    #[test]
+    fn single_layer_catalogs_only_touch_their_layer() {
+        for c in ClrConfig::ssw_only_catalog() {
+            assert_eq!(c.hw, HwMethod::None);
+            assert_eq!(c.asw, AswMethod::None);
+        }
+        for c in ClrConfig::asw_only_catalog() {
+            assert_eq!(c.hw, HwMethod::None);
+            assert_eq!(c.ssw, SswMethod::None);
+        }
+    }
+}

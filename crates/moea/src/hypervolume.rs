@@ -1,0 +1,237 @@
+//! Exact hypervolume computation — the paper's solution-quality indicator.
+//!
+//! The hypervolume of a minimization front `S` w.r.t. a reference point
+//! `r` is the Lebesgue measure of the region dominated by `S` and bounded
+//! by `r`. Two exact algorithms are provided:
+//!
+//! * a 2-D sweep ([`hypervolume_2d`]) — `O(n log n)`, used by the
+//!   system-level bi-objective experiments (Tables V–VII), and
+//! * the WFG recursive algorithm ([`hypervolume`]) for any dimension —
+//!   exponential in the worst case but fast for the front sizes the DSE
+//!   produces (tens of points).
+//!
+//! Points that do not strictly dominate the reference point contribute
+//! nothing and are ignored.
+
+use crate::pareto::pareto_filter;
+
+/// Exact 2-D hypervolume by sweeping the front in ascending first
+/// objective.
+///
+/// # Panics
+///
+/// Panics if any point has a dimension other than 2.
+///
+/// # Examples
+///
+/// ```
+/// use clre_moea::hypervolume::hypervolume_2d;
+///
+/// let front = vec![vec![1.0, 2.0], vec![2.0, 1.0]];
+/// // Boxes: (4-1)·(4-2) plus (4-2)·(2-1).
+/// assert_eq!(hypervolume_2d(&front, &[4.0, 4.0]), 8.0);
+/// ```
+pub fn hypervolume_2d(points: &[Vec<f64>], reference: &[f64; 2]) -> f64 {
+    for p in points {
+        assert_eq!(p.len(), 2, "hypervolume_2d requires 2-D points");
+    }
+    let mut front: Vec<Vec<f64>> = pareto_filter(points)
+        .into_iter()
+        .filter(|p| p[0] < reference[0] && p[1] < reference[1])
+        .collect();
+    front.sort_by(|a, b| a[0].partial_cmp(&b[0]).expect("finite objectives"));
+    let mut hv = 0.0;
+    let mut prev_y = reference[1];
+    for p in &front {
+        hv += (reference[0] - p[0]) * (prev_y - p[1]);
+        prev_y = p[1];
+    }
+    hv
+}
+
+/// Exact hypervolume in any dimension via the WFG algorithm.
+///
+/// Dispatches to the 2-D sweep when possible. For 1-D the hypervolume is
+/// the distance from the best point to the reference.
+///
+/// # Panics
+///
+/// Panics if points and reference dimensions disagree or the dimension is
+/// zero.
+///
+/// # Examples
+///
+/// ```
+/// use clre_moea::hypervolume::hypervolume;
+///
+/// let front = vec![vec![1.0, 1.0, 1.0]];
+/// assert_eq!(hypervolume(&front, &[2.0, 2.0, 2.0]), 1.0);
+/// ```
+pub fn hypervolume(points: &[Vec<f64>], reference: &[f64]) -> f64 {
+    let d = reference.len();
+    assert!(d > 0, "reference point must have at least one dimension");
+    for p in points {
+        assert_eq!(p.len(), d, "point/reference dimension mismatch");
+    }
+    let front: Vec<Vec<f64>> = pareto_filter(points)
+        .into_iter()
+        .filter(|p| p.iter().zip(reference).all(|(&x, &r)| x < r))
+        .collect();
+    match d {
+        1 => front
+            .iter()
+            .map(|p| reference[0] - p[0])
+            .fold(0.0, f64::max),
+        2 => hypervolume_2d(&front, &[reference[0], reference[1]]),
+        _ => wfg(&front, reference),
+    }
+}
+
+/// WFG: hv(S) = Σ_i exclhv(p_i, {p_{i+1}, …}).
+fn wfg(front: &[Vec<f64>], reference: &[f64]) -> f64 {
+    let mut total = 0.0;
+    for (i, p) in front.iter().enumerate() {
+        total += exclusive_hv(p, &front[i + 1..], reference);
+    }
+    total
+}
+
+/// Exclusive hypervolume of `p` relative to the set `rest`.
+fn exclusive_hv(p: &[f64], rest: &[Vec<f64>], reference: &[f64]) -> f64 {
+    inclusive_hv(p, reference) - wfg(&limit_set(rest, p), reference)
+}
+
+/// Hypervolume of the single box `[p, reference]`.
+fn inclusive_hv(p: &[f64], reference: &[f64]) -> f64 {
+    p.iter()
+        .zip(reference)
+        .map(|(&x, &r)| (r - x).max(0.0))
+        .product()
+}
+
+/// Clips every point of `set` into the region dominated by `p`, then
+/// Pareto-filters the result.
+fn limit_set(set: &[Vec<f64>], p: &[f64]) -> Vec<Vec<f64>> {
+    let clipped: Vec<Vec<f64>> = set
+        .iter()
+        .map(|q| q.iter().zip(p).map(|(&a, &b)| a.max(b)).collect())
+        .collect();
+    pareto_filter(&clipped)
+}
+
+/// Percentage increase of `a` over `b`: `100·(a − b)/b`.
+///
+/// Returns `f64::INFINITY` when `b == 0` and `a > 0` (the paper's 10-task
+/// outlier in Table V is exactly this situation rounded to a huge
+/// percentage), and `0.0` when both are zero.
+///
+/// # Examples
+///
+/// ```
+/// use clre_moea::hypervolume::percent_increase;
+///
+/// assert_eq!(percent_increase(3.0, 2.0), 50.0);
+/// assert_eq!(percent_increase(0.0, 0.0), 0.0);
+/// assert!(percent_increase(1.0, 0.0).is_infinite());
+/// ```
+pub fn percent_increase(a: f64, b: f64) -> f64 {
+    if b == 0.0 {
+        if a == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        100.0 * (a - b) / b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_point_box() {
+        assert_eq!(hypervolume(&[vec![1.0, 1.0]], &[3.0, 4.0]), 6.0);
+        assert_eq!(hypervolume_2d(&[vec![1.0, 1.0]], &[3.0, 4.0]), 6.0);
+    }
+
+    #[test]
+    fn empty_front_is_zero() {
+        assert_eq!(hypervolume(&[], &[1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn points_outside_reference_ignored() {
+        let pts = vec![vec![0.5, 0.5], vec![2.0, 0.1]]; // second violates r0
+        assert_eq!(hypervolume(&pts, &[1.0, 1.0]), 0.25);
+    }
+
+    #[test]
+    fn dominated_points_do_not_change_hv() {
+        let front = vec![vec![1.0, 2.0], vec![2.0, 1.0]];
+        let with_dominated = vec![vec![1.0, 2.0], vec![2.0, 1.0], vec![2.5, 2.5]];
+        let r = [4.0, 4.0];
+        assert_eq!(
+            hypervolume_2d(&front, &r),
+            hypervolume_2d(&with_dominated, &r)
+        );
+    }
+
+    #[test]
+    fn staircase_2d() {
+        let front = vec![vec![1.0, 3.0], vec![2.0, 2.0], vec![3.0, 1.0]];
+        // (4-1)(4-3) + (4-2)(3-2) + (4-3)(2-1) = 3 + 2 + 1 = 6.
+        assert_eq!(hypervolume_2d(&front, &[4.0, 4.0]), 6.0);
+    }
+
+    #[test]
+    fn wfg_matches_2d_sweep() {
+        let front = vec![
+            vec![1.0, 5.0],
+            vec![2.0, 3.0],
+            vec![4.0, 2.0],
+            vec![5.5, 1.0],
+        ];
+        let r = [7.0, 6.0];
+        let sweep = hypervolume_2d(&front, &r);
+        let wfg_val = wfg(&pareto_filter(&front), &r);
+        assert!((sweep - wfg_val).abs() < 1e-12);
+    }
+
+    #[test]
+    fn three_d_hand_computed() {
+        // Two boxes overlapping in a 1×1×1 cube region.
+        let front = vec![vec![0.0, 1.0, 1.0], vec![1.0, 0.0, 1.0]];
+        let r = [2.0, 2.0, 2.0];
+        // inclusive each: 2·1·1 = 2; intersection: max per dim = (1,1,1) → 1.
+        assert_eq!(hypervolume(&front, &r), 2.0 + 2.0 - 1.0);
+    }
+
+    #[test]
+    fn one_d_is_best_distance() {
+        assert_eq!(hypervolume(&[vec![3.0], vec![1.0]], &[5.0]), 4.0);
+    }
+
+    #[test]
+    fn hv_monotone_in_front_quality() {
+        // Adding a non-dominated point can only grow hypervolume.
+        let r = [10.0, 10.0];
+        let base = vec![vec![2.0, 8.0], vec![8.0, 2.0]];
+        let better = vec![vec![2.0, 8.0], vec![8.0, 2.0], vec![4.0, 4.0]];
+        assert!(hypervolume_2d(&better, &r) > hypervolume_2d(&base, &r));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn dimension_mismatch_panics() {
+        hypervolume(&[vec![1.0, 2.0]], &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn percent_increase_cases() {
+        assert_eq!(percent_increase(4.62, 1.4), 230.00000000000003);
+        assert_eq!(percent_increase(2.0, 2.0), 0.0);
+        assert!(percent_increase(0.5, 1.0) < 0.0);
+    }
+}

@@ -1,0 +1,74 @@
+//! Multi-objective evolutionary optimization built from scratch for the
+//! CL(R)Early reproduction: NSGA-II, Pareto utilities and hypervolume.
+//!
+//! The paper implements its GA-based DSE on top of DEAP/PYGMO; no
+//! comparable Rust library is assumed here, so this crate provides:
+//!
+//! * [`Problem`] / [`Variation`] — the abstraction between an optimization
+//!   problem (genome sampling + evaluation) and its genetic operators,
+//! * [`pareto`] — dominance tests, non-dominated filtering and fast
+//!   non-dominated sorting (Deb et al., with constraint-domination),
+//! * [`Nsga2`] — the elitist generational loop with crowding-distance
+//!   truncation, tournament selection (tournament of 5 as in the paper)
+//!   and optional *seeding* of the initial population — the mechanism the
+//!   proposed methodology uses to chain `pfCLR → fcCLR`,
+//! * [`hypervolume`] — exact 2-D sweep and exact n-D WFG computation, the
+//!   paper's solution-quality indicator (Tables V–VII),
+//! * [`Spea2`] — a second MOEA backend (the paper runs on DEAP *and*
+//!   PYGMO); the `ablation_moea` study checks the methodology is not
+//!   NSGA-II-specific.
+//!
+//! All objectives are minimized; see `clre-model`'s QoS docs for the sign
+//! convention.
+//!
+//! # Examples
+//!
+//! Minimize the bi-objective Schaffer problem `f(x) = (x², (x−2)²)`:
+//!
+//! ```
+//! use clre_moea::{Evaluation, Nsga2, Nsga2Config, Problem, Variation};
+//! use rand::Rng;
+//!
+//! struct Schaffer;
+//! impl Problem for Schaffer {
+//!     type Genome = f64;
+//!     fn objective_count(&self) -> usize { 2 }
+//!     fn random_genome(&self, rng: &mut dyn rand::RngCore) -> f64 {
+//!         rng.gen_range(-10.0..10.0)
+//!     }
+//!     fn evaluate(&self, x: &f64) -> Evaluation {
+//!         Evaluation::feasible(vec![x * x, (x - 2.0) * (x - 2.0)])
+//!     }
+//! }
+//! struct Gaussian;
+//! impl Variation<f64> for Gaussian {
+//!     fn crossover(&self, a: &f64, b: &f64, _rng: &mut dyn rand::RngCore) -> (f64, f64) {
+//!         let mid = (a + b) / 2.0;
+//!         (mid, a + b - mid)
+//!     }
+//!     fn mutate(&self, x: &mut f64, rng: &mut dyn rand::RngCore) {
+//!         *x += rng.gen_range(-0.5..0.5);
+//!     }
+//! }
+//!
+//! let cfg = Nsga2Config::new(40, 60).with_seed(7);
+//! let result = Nsga2::new(Schaffer, Gaussian, cfg).run();
+//! // The true Pareto set is x ∈ [0, 2].
+//! for ind in result.front() {
+//!     assert!(ind.genome > -0.5 && ind.genome < 2.5);
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hypervolume;
+mod nsga2;
+pub mod pareto;
+mod problem;
+mod spea2;
+pub mod test_problems;
+
+pub use nsga2::{Individual, Nsga2, Nsga2Config, OptimizationResult};
+pub use problem::{Evaluation, Problem, Variation};
+pub use spea2::{Spea2, Spea2Config, Spea2Result};

@@ -1,0 +1,507 @@
+use crate::pareto::{crowding_distance, fast_non_dominated_sort};
+use crate::{Evaluation, Problem, Variation};
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// Configuration of one NSGA-II run.
+///
+/// Defaults follow the paper's experiment setup: crossover probability
+/// 0.8, mutation probability 0.05, tournament of 5.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Nsga2Config {
+    /// Population size (kept constant across generations).
+    pub population_size: usize,
+    /// Number of generations.
+    pub generations: usize,
+    /// Per-pair crossover probability.
+    pub crossover_prob: f64,
+    /// Per-offspring mutation probability.
+    pub mutation_prob: f64,
+    /// Tournament size for parent selection.
+    pub tournament_size: usize,
+    /// RNG seed; equal seeds give identical runs.
+    pub seed: u64,
+}
+
+impl Nsga2Config {
+    /// Creates a configuration with the paper's operator probabilities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `population_size < 2` or `generations == 0`.
+    pub fn new(population_size: usize, generations: usize) -> Self {
+        assert!(population_size >= 2, "population must hold at least 2");
+        assert!(generations > 0, "at least one generation is required");
+        Nsga2Config {
+            population_size,
+            generations,
+            crossover_prob: 0.8,
+            mutation_prob: 0.05,
+            tournament_size: 5,
+            seed: 0,
+        }
+    }
+
+    /// Sets the RNG seed (builder style).
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the crossover probability (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p ∉ [0, 1]`.
+    #[must_use]
+    pub fn with_crossover_prob(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.crossover_prob = p;
+        self
+    }
+
+    /// Sets the mutation probability (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p ∉ [0, 1]`.
+    #[must_use]
+    pub fn with_mutation_prob(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.mutation_prob = p;
+        self
+    }
+
+    /// Sets the tournament size (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    #[must_use]
+    pub fn with_tournament_size(mut self, k: usize) -> Self {
+        assert!(k > 0, "tournament size must be positive");
+        self.tournament_size = k;
+        self
+    }
+}
+
+/// One evaluated member of the population.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Individual<G> {
+    /// The genome.
+    pub genome: G,
+    /// Its minimization objective vector.
+    pub objectives: Vec<f64>,
+    /// Its constraint violation (0 = feasible).
+    pub violation: f64,
+}
+
+/// The outcome of an NSGA-II run.
+#[derive(Debug, Clone)]
+pub struct OptimizationResult<G> {
+    population: Vec<Individual<G>>,
+    front_indices: Vec<usize>,
+    /// Total number of fitness evaluations performed.
+    pub evaluations: usize,
+    /// Generations actually run.
+    pub generations_run: usize,
+}
+
+impl<G> OptimizationResult<G> {
+    /// The final population.
+    pub fn population(&self) -> &[Individual<G>] {
+        &self.population
+    }
+
+    /// The non-dominated individuals of the final population.
+    pub fn front(&self) -> Vec<&Individual<G>> {
+        self.front_indices
+            .iter()
+            .map(|&i| &self.population[i])
+            .collect()
+    }
+
+    /// The objective vectors of the final front.
+    pub fn front_objectives(&self) -> Vec<Vec<f64>> {
+        self.front_indices
+            .iter()
+            .map(|&i| self.population[i].objectives.clone())
+            .collect()
+    }
+
+    /// Consumes the result, returning the owned front individuals.
+    pub fn into_front(mut self) -> Vec<Individual<G>> {
+        let mut idx = std::mem::take(&mut self.front_indices);
+        idx.sort_unstable();
+        let mut out = Vec::with_capacity(idx.len());
+        // Drain from the back so earlier indices stay valid.
+        for &i in idx.iter().rev() {
+            out.push(self.population.swap_remove(i));
+        }
+        out.reverse();
+        out
+    }
+}
+
+/// The NSGA-II optimizer.
+///
+/// See the [crate-level example](crate) for a complete run. Use
+/// [`Nsga2::with_seeds`] to inject known-good genomes into the initial
+/// population — the mechanism behind the paper's `pfCLR → fcCLR` seeded
+/// search.
+#[derive(Debug)]
+pub struct Nsga2<P: Problem, V> {
+    problem: P,
+    variation: V,
+    config: Nsga2Config,
+    seeds: Vec<P::Genome>,
+}
+
+impl<P, V> Nsga2<P, V>
+where
+    P: Problem,
+    V: Variation<P::Genome>,
+{
+    /// Creates an optimizer.
+    pub fn new(problem: P, variation: V, config: Nsga2Config) -> Self {
+        Nsga2 {
+            problem,
+            variation,
+            config,
+            seeds: Vec::new(),
+        }
+    }
+
+    /// Injects seed genomes into the initial population (builder style).
+    /// At most `population_size` seeds are used; the remainder of the
+    /// initial population is random.
+    #[must_use]
+    pub fn with_seeds(mut self, seeds: Vec<P::Genome>) -> Self {
+        self.seeds = seeds;
+        self
+    }
+
+    /// The wrapped problem.
+    pub fn problem(&self) -> &P {
+        &self.problem
+    }
+
+    /// Runs the optimization to completion.
+    pub fn run(&self) -> OptimizationResult<P::Genome> {
+        let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0x005A_6A11);
+        let pop_size = self.config.population_size;
+        let mut evaluations = 0usize;
+
+        let mut population: Vec<Individual<P::Genome>> = Vec::with_capacity(pop_size);
+        for g in self.seeds.iter().take(pop_size).cloned() {
+            population.push(self.evaluated(g, &mut evaluations));
+        }
+        while population.len() < pop_size {
+            let g = self.problem.random_genome(&mut rng);
+            population.push(self.evaluated(g, &mut evaluations));
+        }
+
+        let (mut ranks, mut crowding) = rank_and_crowd(&population);
+        for _ in 0..self.config.generations {
+            // Offspring generation.
+            let mut offspring: Vec<Individual<P::Genome>> = Vec::with_capacity(pop_size);
+            while offspring.len() < pop_size {
+                let a = self.tournament(&population, &ranks, &crowding, &mut rng);
+                let b = self.tournament(&population, &ranks, &crowding, &mut rng);
+                let (mut c1, mut c2) = if rng.gen_bool(self.config.crossover_prob) {
+                    self.variation
+                        .crossover(&population[a].genome, &population[b].genome, &mut rng)
+                } else {
+                    (population[a].genome.clone(), population[b].genome.clone())
+                };
+                if rng.gen_bool(self.config.mutation_prob) {
+                    self.variation.mutate(&mut c1, &mut rng);
+                }
+                if rng.gen_bool(self.config.mutation_prob) {
+                    self.variation.mutate(&mut c2, &mut rng);
+                }
+                offspring.push(self.evaluated(c1, &mut evaluations));
+                if offspring.len() < pop_size {
+                    offspring.push(self.evaluated(c2, &mut evaluations));
+                }
+            }
+            // Environmental selection over parents ∪ offspring.
+            population.extend(offspring);
+            population = environmental_selection(population, pop_size);
+            let rc = rank_and_crowd(&population);
+            ranks = rc.0;
+            crowding = rc.1;
+        }
+
+        let front_indices: Vec<usize> = (0..population.len()).filter(|&i| ranks[i] == 0).collect();
+        OptimizationResult {
+            population,
+            front_indices,
+            evaluations,
+            generations_run: self.config.generations,
+        }
+    }
+
+    fn evaluated(&self, genome: P::Genome, evaluations: &mut usize) -> Individual<P::Genome> {
+        let Evaluation {
+            objectives,
+            violation,
+        } = self.problem.evaluate(&genome);
+        debug_assert_eq!(objectives.len(), self.problem.objective_count());
+        *evaluations += 1;
+        Individual {
+            genome,
+            objectives,
+            violation,
+        }
+    }
+
+    /// Tournament of `k`: winner has the lowest (rank, −crowding).
+    fn tournament(
+        &self,
+        pop: &[Individual<P::Genome>],
+        ranks: &[usize],
+        crowding: &[f64],
+        rng: &mut dyn RngCore,
+    ) -> usize {
+        let mut best = rng.gen_range(0..pop.len());
+        for _ in 1..self.config.tournament_size {
+            let c = rng.gen_range(0..pop.len());
+            let better =
+                ranks[c] < ranks[best] || (ranks[c] == ranks[best] && crowding[c] > crowding[best]);
+            if better {
+                best = c;
+            }
+        }
+        best
+    }
+}
+
+/// Computes each individual's front rank and crowding distance.
+fn rank_and_crowd<G>(pop: &[Individual<G>]) -> (Vec<usize>, Vec<f64>) {
+    let points: Vec<Vec<f64>> = pop.iter().map(|i| i.objectives.clone()).collect();
+    let violations: Vec<f64> = pop.iter().map(|i| i.violation).collect();
+    let fronts = fast_non_dominated_sort(&points, &violations);
+    let mut ranks = vec![0usize; pop.len()];
+    let mut crowding = vec![0.0f64; pop.len()];
+    for (r, front) in fronts.iter().enumerate() {
+        let front_points: Vec<Vec<f64>> = front.iter().map(|&i| points[i].clone()).collect();
+        let dist = crowding_distance(&front_points);
+        for (&i, &d) in front.iter().zip(&dist) {
+            ranks[i] = r;
+            crowding[i] = d;
+        }
+    }
+    (ranks, crowding)
+}
+
+/// NSGA-II elitist truncation: fill by fronts, split the last front by
+/// descending crowding distance.
+fn environmental_selection<G>(pop: Vec<Individual<G>>, target: usize) -> Vec<Individual<G>> {
+    let points: Vec<Vec<f64>> = pop.iter().map(|i| i.objectives.clone()).collect();
+    let violations: Vec<f64> = pop.iter().map(|i| i.violation).collect();
+    let fronts = fast_non_dominated_sort(&points, &violations);
+    let mut chosen: Vec<usize> = Vec::with_capacity(target);
+    for front in fronts {
+        if chosen.len() + front.len() <= target {
+            chosen.extend(front);
+            if chosen.len() == target {
+                break;
+            }
+        } else {
+            let front_points: Vec<Vec<f64>> = front.iter().map(|&i| points[i].clone()).collect();
+            let dist = crowding_distance(&front_points);
+            let mut order: Vec<usize> = (0..front.len()).collect();
+            order.sort_by(|&a, &b| {
+                dist[b]
+                    .partial_cmp(&dist[a])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            for &k in order.iter().take(target - chosen.len()) {
+                chosen.push(front[k]);
+            }
+            break;
+        }
+    }
+    // Extract in index order while preserving `chosen`'s selection.
+    let mut keep = vec![false; pop.len()];
+    for &i in &chosen {
+        keep[i] = true;
+    }
+    pop.into_iter()
+        .zip(keep)
+        .filter_map(|(ind, k)| k.then_some(ind))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    /// Bi-objective Schaffer problem; true Pareto set is x ∈ [0, 2].
+    struct Schaffer;
+
+    impl Problem for Schaffer {
+        type Genome = f64;
+
+        fn objective_count(&self) -> usize {
+            2
+        }
+
+        fn random_genome(&self, rng: &mut dyn RngCore) -> f64 {
+            rng.gen_range(-100.0f64..100.0)
+        }
+
+        fn evaluate(&self, x: &f64) -> Evaluation {
+            Evaluation::feasible(vec![x * x, (x - 2.0) * (x - 2.0)])
+        }
+    }
+
+    /// Constrained variant: x must be ≥ 1.
+    struct ConstrainedSchaffer;
+
+    impl Problem for ConstrainedSchaffer {
+        type Genome = f64;
+
+        fn objective_count(&self) -> usize {
+            2
+        }
+
+        fn random_genome(&self, rng: &mut dyn RngCore) -> f64 {
+            rng.gen_range(-100.0f64..100.0)
+        }
+
+        fn evaluate(&self, x: &f64) -> Evaluation {
+            let v = if *x < 1.0 { 1.0 - *x } else { 0.0 };
+            Evaluation::with_violation(vec![x * x, (x - 2.0) * (x - 2.0)], v)
+        }
+    }
+
+    struct Gaussian;
+
+    impl Variation<f64> for Gaussian {
+        fn crossover(&self, a: &f64, b: &f64, rng: &mut dyn RngCore) -> (f64, f64) {
+            let t: f64 = rng.gen_range(0.0..1.0);
+            (t * a + (1.0 - t) * b, (1.0 - t) * a + t * b)
+        }
+
+        fn mutate(&self, x: &mut f64, rng: &mut dyn RngCore) {
+            *x += rng.gen_range(-1.0f64..1.0);
+        }
+    }
+
+    #[test]
+    fn converges_to_schaffer_front() {
+        let cfg = Nsga2Config::new(60, 80).with_seed(1);
+        let res = Nsga2::new(Schaffer, Gaussian, cfg).run();
+        let front = res.front();
+        assert!(!front.is_empty());
+        for ind in &front {
+            assert!(
+                ind.genome > -0.6 && ind.genome < 2.6,
+                "genome {} off the Pareto set",
+                ind.genome
+            );
+        }
+        // Spread: both extremes approached.
+        let min = front.iter().map(|i| i.genome).fold(f64::MAX, f64::min);
+        let max = front.iter().map(|i| i.genome).fold(f64::MIN, f64::max);
+        assert!(min < 0.7 && max > 1.3, "front collapsed: [{min}, {max}]");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = Nsga2Config::new(20, 10).with_seed(9);
+        let a = Nsga2::new(Schaffer, Gaussian, cfg.clone()).run();
+        let b = Nsga2::new(Schaffer, Gaussian, cfg).run();
+        assert_eq!(a.front_objectives(), b.front_objectives());
+        let c = Nsga2::new(Schaffer, Gaussian, Nsga2Config::new(20, 10).with_seed(10)).run();
+        assert_ne!(a.front_objectives(), c.front_objectives());
+    }
+
+    #[test]
+    fn respects_constraints() {
+        let cfg = Nsga2Config::new(60, 80).with_seed(3);
+        let res = Nsga2::new(ConstrainedSchaffer, Gaussian, cfg).run();
+        for ind in res.front() {
+            assert_eq!(ind.violation, 0.0);
+            assert!(ind.genome >= 0.99, "infeasible genome {}", ind.genome);
+        }
+    }
+
+    #[test]
+    fn seeding_preserves_good_genomes() {
+        // Seed with the known optimum x = 1; it must survive to the front.
+        let cfg = Nsga2Config::new(20, 5).with_seed(4);
+        let res = Nsga2::new(Schaffer, Gaussian, cfg)
+            .with_seeds(vec![1.0])
+            .run();
+        let best_sum: f64 = res
+            .front()
+            .iter()
+            .map(|i| i.objectives.iter().sum::<f64>())
+            .fold(f64::MAX, f64::min);
+        // x = 1 gives 1 + 1 = 2, the minimal achievable sum.
+        assert!(best_sum <= 2.0 + 1e-9);
+    }
+
+    #[test]
+    fn seeding_improves_early_convergence() {
+        // With only 3 generations, seeded search must not be worse than
+        // unseeded in best achieved makespan-style scalarization.
+        let cfg = Nsga2Config::new(16, 3).with_seed(5);
+        let unseeded = Nsga2::new(Schaffer, Gaussian, cfg.clone()).run();
+        let seeded = Nsga2::new(Schaffer, Gaussian, cfg)
+            .with_seeds(vec![0.0, 1.0, 2.0])
+            .run();
+        let best = |r: &OptimizationResult<f64>| {
+            r.front()
+                .iter()
+                .map(|i| i.objectives.iter().sum::<f64>())
+                .fold(f64::MAX, f64::min)
+        };
+        assert!(best(&seeded) <= best(&unseeded) + 1e-9);
+    }
+
+    #[test]
+    fn population_size_constant() {
+        let cfg = Nsga2Config::new(30, 5).with_seed(1);
+        let res = Nsga2::new(Schaffer, Gaussian, cfg).run();
+        assert_eq!(res.population().len(), 30);
+        assert_eq!(res.generations_run, 5);
+        // evaluations = pop + gens·pop.
+        assert_eq!(res.evaluations, 30 + 5 * 30);
+    }
+
+    #[test]
+    fn into_front_returns_owned_front() {
+        let cfg = Nsga2Config::new(20, 10).with_seed(2);
+        let res = Nsga2::new(Schaffer, Gaussian, cfg).run();
+        let n = res.front().len();
+        let owned = res.into_front();
+        assert_eq!(owned.len(), n);
+    }
+
+    #[test]
+    fn excess_seeds_truncated() {
+        let cfg = Nsga2Config::new(4, 2).with_seed(2);
+        let res = Nsga2::new(Schaffer, Gaussian, cfg)
+            .with_seeds(vec![0.0, 0.5, 1.0, 1.5, 2.0, 2.5])
+            .run();
+        assert_eq!(res.population().len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "population must hold")]
+    fn tiny_population_rejected() {
+        Nsga2Config::new(1, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability out of range")]
+    fn bad_probability_rejected() {
+        let _ = Nsga2Config::new(10, 10).with_crossover_prob(1.5);
+    }
+}

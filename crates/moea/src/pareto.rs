@@ -1,0 +1,293 @@
+//! Pareto dominance utilities: dominance tests, non-dominated filtering
+//! and fast non-dominated sorting with constraint-domination.
+//!
+//! All comparisons assume **minimization** on every axis.
+
+use std::cmp::Ordering;
+
+/// Returns `true` if `a` Pareto-dominates `b` (a ≤ b everywhere, a < b
+/// somewhere).
+///
+/// # Panics
+///
+/// Panics if the vectors have different lengths.
+///
+/// # Examples
+///
+/// ```
+/// use clre_moea::pareto::dominates;
+///
+/// assert!(dominates(&[1.0, 2.0], &[1.0, 3.0]));
+/// assert!(!dominates(&[1.0, 2.0], &[1.0, 2.0]));
+/// assert!(!dominates(&[1.0, 3.0], &[2.0, 2.0])); // incomparable
+/// ```
+pub fn dominates(a: &[f64], b: &[f64]) -> bool {
+    assert_eq!(a.len(), b.len(), "objective vectors must share a length");
+    let mut strictly = false;
+    for (&x, &y) in a.iter().zip(b) {
+        if x > y {
+            return false;
+        }
+        if x < y {
+            strictly = true;
+        }
+    }
+    strictly
+}
+
+/// Constraint-domination (Deb's rules): a feasible solution dominates any
+/// infeasible one; among infeasible solutions the smaller violation
+/// dominates; among feasible solutions regular Pareto dominance applies.
+pub fn constrained_dominates(a: &[f64], va: f64, b: &[f64], vb: f64) -> bool {
+    match (va == 0.0, vb == 0.0) {
+        (true, false) => true,
+        (false, true) => false,
+        (false, false) => va < vb,
+        (true, true) => dominates(a, b),
+    }
+}
+
+/// Returns the indices of the non-dominated points of `points`.
+///
+/// Duplicates are kept (the first occurrence wins; exact duplicates of a
+/// retained point are also retained, since neither strictly dominates the
+/// other).
+///
+/// # Examples
+///
+/// ```
+/// use clre_moea::pareto::non_dominated_indices;
+///
+/// let pts = vec![vec![1.0, 4.0], vec![2.0, 2.0], vec![3.0, 3.0], vec![4.0, 1.0]];
+/// assert_eq!(non_dominated_indices(&pts), vec![0, 1, 3]);
+/// ```
+pub fn non_dominated_indices(points: &[Vec<f64>]) -> Vec<usize> {
+    let mut keep = Vec::new();
+    'outer: for (i, p) in points.iter().enumerate() {
+        for (j, q) in points.iter().enumerate() {
+            if i != j && (dominates(q, p) || (q == p && j < i)) {
+                // Strictly dominated, or an exact duplicate of an earlier
+                // point (keep only the first copy).
+                continue 'outer;
+            }
+        }
+        keep.push(i);
+    }
+    keep
+}
+
+/// Filters `points` down to its Pareto front (first occurrence of
+/// duplicates kept).
+pub fn pareto_filter(points: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    non_dominated_indices(points)
+        .into_iter()
+        .map(|i| points[i].clone())
+        .collect()
+}
+
+/// Fast non-dominated sort. Returns fronts of indices: `fronts[0]` is the
+/// non-dominated set, `fronts[1]` the set dominated only by front 0, etc.
+///
+/// `violations[i]` feeds constraint-domination; pass all zeros for an
+/// unconstrained sort.
+///
+/// # Panics
+///
+/// Panics if `points` and `violations` differ in length.
+pub fn fast_non_dominated_sort(points: &[Vec<f64>], violations: &[f64]) -> Vec<Vec<usize>> {
+    assert_eq!(points.len(), violations.len(), "length mismatch");
+    let n = points.len();
+    let mut dominated_by: Vec<Vec<usize>> = vec![Vec::new(); n]; // p dominates these
+    let mut counts = vec![0usize; n]; // how many dominate p
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if constrained_dominates(&points[i], violations[i], &points[j], violations[j]) {
+                dominated_by[i].push(j);
+                counts[j] += 1;
+            } else if constrained_dominates(&points[j], violations[j], &points[i], violations[i]) {
+                dominated_by[j].push(i);
+                counts[i] += 1;
+            }
+        }
+    }
+    let mut fronts = Vec::new();
+    let mut current: Vec<usize> = (0..n).filter(|&i| counts[i] == 0).collect();
+    while !current.is_empty() {
+        let mut next = Vec::new();
+        for &p in &current {
+            for &q in &dominated_by[p] {
+                counts[q] -= 1;
+                if counts[q] == 0 {
+                    next.push(q);
+                }
+            }
+        }
+        fronts.push(std::mem::take(&mut current));
+        current = next;
+    }
+    fronts
+}
+
+/// Crowding distance of each point within one front (Deb et al.).
+/// Boundary points get `f64::INFINITY`.
+///
+/// # Panics
+///
+/// Panics if the points have inconsistent dimensionality.
+#[allow(clippy::needless_range_loop)] // per-objective passes read clearest indexed
+pub fn crowding_distance(points: &[Vec<f64>]) -> Vec<f64> {
+    let n = points.len();
+    let mut dist = vec![0.0f64; n];
+    if n == 0 {
+        return dist;
+    }
+    let m = points[0].len();
+    for p in points {
+        assert_eq!(p.len(), m, "inconsistent dimensionality");
+    }
+    if n <= 2 {
+        return vec![f64::INFINITY; n];
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    for obj in 0..m {
+        order.sort_by(|&a, &b| {
+            points[a][obj]
+                .partial_cmp(&points[b][obj])
+                .unwrap_or(Ordering::Equal)
+        });
+        dist[order[0]] = f64::INFINITY;
+        dist[order[n - 1]] = f64::INFINITY;
+        let span = points[order[n - 1]][obj] - points[order[0]][obj];
+        if span <= 0.0 {
+            continue;
+        }
+        for w in 1..(n - 1) {
+            let prev = points[order[w - 1]][obj];
+            let next = points[order[w + 1]][obj];
+            dist[order[w]] += (next - prev) / span;
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominance_basics() {
+        assert!(dominates(&[0.0, 0.0], &[1.0, 1.0]));
+        assert!(dominates(&[0.0, 1.0], &[0.0, 2.0]));
+        assert!(!dominates(&[0.0, 2.0], &[0.0, 1.0]));
+        assert!(!dominates(&[1.0], &[1.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "share a length")]
+    fn dominance_length_mismatch_panics() {
+        dominates(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn constrained_dominance_rules() {
+        // Feasible beats infeasible regardless of objectives.
+        assert!(constrained_dominates(&[9.0], 0.0, &[0.0], 1.0));
+        assert!(!constrained_dominates(&[0.0], 1.0, &[9.0], 0.0));
+        // Less violation wins among infeasible.
+        assert!(constrained_dominates(&[9.0], 0.1, &[0.0], 0.2));
+        // Both feasible: Pareto.
+        assert!(constrained_dominates(&[1.0], 0.0, &[2.0], 0.0));
+    }
+
+    #[test]
+    fn filter_keeps_front_and_first_duplicate() {
+        let pts = vec![
+            vec![1.0, 4.0],
+            vec![2.0, 2.0],
+            vec![2.0, 2.0], // duplicate: dropped
+            vec![3.0, 3.0], // dominated
+            vec![4.0, 1.0],
+        ];
+        assert_eq!(non_dominated_indices(&pts), vec![0, 1, 4]);
+        assert_eq!(pareto_filter(&pts).len(), 3);
+    }
+
+    #[test]
+    fn filter_of_single_point() {
+        assert_eq!(pareto_filter(&[vec![1.0, 1.0]]).len(), 1);
+        assert!(pareto_filter(&[]).is_empty());
+    }
+
+    #[test]
+    fn sort_produces_layered_fronts() {
+        let pts = vec![
+            vec![1.0, 1.0], // front 0
+            vec![2.0, 2.0], // front 1
+            vec![3.0, 3.0], // front 2
+            vec![1.0, 2.5], // front 1 (dominated only by [1,1])
+        ];
+        let fronts = fast_non_dominated_sort(&pts, &[0.0; 4]);
+        assert_eq!(fronts[0], vec![0]);
+        assert_eq!(fronts[1], vec![1, 3]);
+        assert_eq!(fronts[2], vec![2]);
+    }
+
+    #[test]
+    fn sort_respects_constraints() {
+        let pts = vec![vec![0.0, 0.0], vec![5.0, 5.0]];
+        // The better point is infeasible ⇒ it lands in front 1.
+        let fronts = fast_non_dominated_sort(&pts, &[1.0, 0.0]);
+        assert_eq!(fronts[0], vec![1]);
+        assert_eq!(fronts[1], vec![0]);
+    }
+
+    #[test]
+    fn sort_total_size_preserved() {
+        let pts: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![(i % 5) as f64, (i / 5) as f64])
+            .collect();
+        let fronts = fast_non_dominated_sort(&pts, &[0.0; 20]);
+        let total: usize = fronts.iter().map(Vec::len).sum();
+        assert_eq!(total, 20);
+    }
+
+    #[test]
+    fn crowding_boundaries_infinite() {
+        let pts = vec![
+            vec![0.0, 3.0],
+            vec![1.0, 2.0],
+            vec![2.0, 1.0],
+            vec![3.0, 0.0],
+        ];
+        let d = crowding_distance(&pts);
+        assert_eq!(d[0], f64::INFINITY);
+        assert_eq!(d[3], f64::INFINITY);
+        assert!(d[1].is_finite() && d[1] > 0.0);
+        // Symmetric layout ⇒ equal interior distances.
+        assert!((d[1] - d[2]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn crowding_small_fronts_all_infinite() {
+        assert_eq!(crowding_distance(&[vec![1.0, 2.0]]), vec![f64::INFINITY]);
+        assert_eq!(
+            crowding_distance(&[vec![1.0, 2.0], vec![2.0, 1.0]]),
+            vec![f64::INFINITY, f64::INFINITY]
+        );
+        assert!(crowding_distance(&[]).is_empty());
+    }
+
+    #[test]
+    fn crowding_rewards_isolation() {
+        // Middle point crowded between close neighbours vs isolated one.
+        let pts = vec![
+            vec![0.0, 10.0],
+            vec![0.1, 9.8], // crowded
+            vec![0.2, 9.6],
+            vec![5.0, 1.0], // isolated
+            vec![10.0, 0.0],
+        ];
+        let d = crowding_distance(&pts);
+        assert!(d[3] > d[1]);
+    }
+}

@@ -1,0 +1,79 @@
+use rand::RngCore;
+
+/// The outcome of evaluating one genome: a minimization objective vector
+/// plus a scalar constraint violation (0 = feasible).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Evaluation {
+    /// Objective values, all minimized.
+    pub objectives: Vec<f64>,
+    /// Total normalized constraint violation; `0.0` means feasible.
+    pub violation: f64,
+}
+
+impl Evaluation {
+    /// A feasible evaluation.
+    pub fn feasible(objectives: Vec<f64>) -> Self {
+        Evaluation {
+            objectives,
+            violation: 0.0,
+        }
+    }
+
+    /// An evaluation with the given constraint violation.
+    pub fn with_violation(objectives: Vec<f64>, violation: f64) -> Self {
+        Evaluation {
+            objectives,
+            violation,
+        }
+    }
+
+    /// Whether this evaluation satisfies all constraints.
+    pub fn is_feasible(&self) -> bool {
+        self.violation == 0.0
+    }
+}
+
+/// A multi-objective optimization problem.
+///
+/// Implementors define the genome type, how to sample a random genome and
+/// how to evaluate one. Genetic operators live separately in
+/// [`Variation`], so the same problem can be searched with different
+/// operator suites (which the ablation benches exploit).
+pub trait Problem {
+    /// The genome (decision-variable encoding).
+    type Genome: Clone;
+
+    /// Number of objectives produced by [`Problem::evaluate`].
+    fn objective_count(&self) -> usize;
+
+    /// Samples a uniform random genome.
+    fn random_genome(&self, rng: &mut dyn RngCore) -> Self::Genome;
+
+    /// Evaluates a genome.
+    ///
+    /// Must return exactly [`Problem::objective_count`] objective values.
+    fn evaluate(&self, genome: &Self::Genome) -> Evaluation;
+}
+
+/// Genetic operators over a genome type.
+pub trait Variation<G> {
+    /// Recombines two parents into two offspring.
+    fn crossover(&self, a: &G, b: &G, rng: &mut dyn RngCore) -> (G, G);
+
+    /// Mutates a genome in place.
+    fn mutate(&self, genome: &mut G, rng: &mut dyn RngCore);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evaluation_constructors() {
+        let f = Evaluation::feasible(vec![1.0, 2.0]);
+        assert!(f.is_feasible());
+        let v = Evaluation::with_violation(vec![1.0], 0.5);
+        assert!(!v.is_feasible());
+        assert_eq!(v.violation, 0.5);
+    }
+}

@@ -1,0 +1,479 @@
+//! SPEA2 — the Strength Pareto Evolutionary Algorithm 2 (Zitzler,
+//! Laumanns & Thiele, 2001).
+//!
+//! Provided as a second MOEA backend next to [`Nsga2`](crate::Nsga2): the
+//! paper implements its GA flows on DEAP *and* PYGMO, and the
+//! `ablation_moea` study uses this implementation to check that the
+//! methodology's conclusions do not hinge on the particular MOEA.
+//!
+//! Differences from NSGA-II: fitness combines *strength*-based raw
+//! fitness (how many dominators an individual has, weighted by how much
+//! those dominators dominate) with a k-nearest-neighbour density estimate,
+//! and elitism flows through a fixed-size external archive truncated by
+//! iteratively removing the most crowded member.
+
+use crate::pareto::constrained_dominates;
+use crate::{Evaluation, Individual, Problem, Variation};
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// Configuration of one SPEA2 run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spea2Config {
+    /// Working population size per generation.
+    pub population_size: usize,
+    /// External archive size (commonly equal to the population size).
+    pub archive_size: usize,
+    /// Number of generations.
+    pub generations: usize,
+    /// Per-pair crossover probability.
+    pub crossover_prob: f64,
+    /// Per-offspring mutation probability.
+    pub mutation_prob: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Spea2Config {
+    /// Creates a configuration with the paper's operator probabilities
+    /// (crossover 0.8, mutation 0.05) and `archive_size =
+    /// population_size`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `population_size < 2` or `generations == 0`.
+    pub fn new(population_size: usize, generations: usize) -> Self {
+        assert!(population_size >= 2, "population must hold at least 2");
+        assert!(generations > 0, "at least one generation is required");
+        Spea2Config {
+            population_size,
+            archive_size: population_size,
+            generations,
+            crossover_prob: 0.8,
+            mutation_prob: 0.05,
+            seed: 0,
+        }
+    }
+
+    /// Sets the RNG seed (builder style).
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the archive size (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size == 0`.
+    #[must_use]
+    pub fn with_archive_size(mut self, size: usize) -> Self {
+        assert!(size > 0, "archive must hold at least 1");
+        self.archive_size = size;
+        self
+    }
+}
+
+/// The SPEA2 optimizer; same [`Problem`]/[`Variation`] interface as
+/// [`Nsga2`](crate::Nsga2).
+///
+/// # Examples
+///
+/// ```
+/// use clre_moea::{Evaluation, Problem, Spea2, Spea2Config, Variation};
+/// use rand::Rng;
+///
+/// struct Schaffer;
+/// impl Problem for Schaffer {
+///     type Genome = f64;
+///     fn objective_count(&self) -> usize { 2 }
+///     fn random_genome(&self, rng: &mut dyn rand::RngCore) -> f64 {
+///         rng.gen_range(-10.0..10.0)
+///     }
+///     fn evaluate(&self, x: &f64) -> Evaluation {
+///         Evaluation::feasible(vec![x * x, (x - 2.0) * (x - 2.0)])
+///     }
+/// }
+/// struct Blend;
+/// impl Variation<f64> for Blend {
+///     fn crossover(&self, a: &f64, b: &f64, _: &mut dyn rand::RngCore) -> (f64, f64) {
+///         ((a + b) / 2.0, (a + b) / 2.0)
+///     }
+///     fn mutate(&self, x: &mut f64, rng: &mut dyn rand::RngCore) {
+///         *x += rng.gen_range(-0.5..0.5);
+///     }
+/// }
+///
+/// let result = Spea2::new(Schaffer, Blend, Spea2Config::new(40, 60).with_seed(3)).run();
+/// for ind in result.archive() {
+///     assert!(ind.genome > -0.7 && ind.genome < 2.7);
+/// }
+/// ```
+#[derive(Debug)]
+pub struct Spea2<P: Problem, V> {
+    problem: P,
+    variation: V,
+    config: Spea2Config,
+    seeds: Vec<P::Genome>,
+}
+
+/// The outcome of a SPEA2 run: the final archive (non-dominated members
+/// first — the archive *is* the approximation set).
+#[derive(Debug, Clone)]
+pub struct Spea2Result<G> {
+    archive: Vec<Individual<G>>,
+    /// Total fitness evaluations performed.
+    pub evaluations: usize,
+}
+
+impl<G> Spea2Result<G> {
+    /// The final archive.
+    pub fn archive(&self) -> &[Individual<G>] {
+        &self.archive
+    }
+
+    /// The non-dominated objective vectors of the archive.
+    pub fn front_objectives(&self) -> Vec<Vec<f64>> {
+        let objs: Vec<Vec<f64>> = self.archive.iter().map(|i| i.objectives.clone()).collect();
+        crate::pareto::non_dominated_indices(&objs)
+            .into_iter()
+            .map(|i| objs[i].clone())
+            .collect()
+    }
+}
+
+impl<P, V> Spea2<P, V>
+where
+    P: Problem,
+    V: Variation<P::Genome>,
+{
+    /// Creates an optimizer.
+    pub fn new(problem: P, variation: V, config: Spea2Config) -> Self {
+        Spea2 {
+            problem,
+            variation,
+            config,
+            seeds: Vec::new(),
+        }
+    }
+
+    /// Injects seed genomes into the initial population (builder style).
+    #[must_use]
+    pub fn with_seeds(mut self, seeds: Vec<P::Genome>) -> Self {
+        self.seeds = seeds;
+        self
+    }
+
+    /// Runs the optimization to completion.
+    pub fn run(&self) -> Spea2Result<P::Genome> {
+        let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0x5EA2_5EA2);
+        let mut evaluations = 0usize;
+        let evaluate = |genome: P::Genome, evals: &mut usize| {
+            let Evaluation {
+                objectives,
+                violation,
+            } = self.problem.evaluate(&genome);
+            *evals += 1;
+            Individual {
+                genome,
+                objectives,
+                violation,
+            }
+        };
+
+        let mut population: Vec<Individual<P::Genome>> = self
+            .seeds
+            .iter()
+            .take(self.config.population_size)
+            .cloned()
+            .map(|g| evaluate(g, &mut evaluations))
+            .collect();
+        while population.len() < self.config.population_size {
+            let g = self.problem.random_genome(&mut rng);
+            population.push(evaluate(g, &mut evaluations));
+        }
+        let mut archive: Vec<Individual<P::Genome>> = Vec::new();
+
+        for _ in 0..self.config.generations {
+            // Union, fitness, environmental selection into the archive.
+            let mut union = std::mem::take(&mut population);
+            union.extend(std::mem::take(&mut archive));
+            let fitness = spea2_fitness(&union);
+            archive = environmental_selection(union, &fitness, self.config.archive_size);
+
+            // Mating selection by binary tournament on SPEA2 fitness
+            // (recomputed within the archive).
+            let arch_fitness = spea2_fitness(&archive);
+            while population.len() < self.config.population_size {
+                let a = tournament(&arch_fitness, &mut rng);
+                let b = tournament(&arch_fitness, &mut rng);
+                let (mut c1, mut c2) = if rng.gen_bool(self.config.crossover_prob) {
+                    self.variation
+                        .crossover(&archive[a].genome, &archive[b].genome, &mut rng)
+                } else {
+                    (archive[a].genome.clone(), archive[b].genome.clone())
+                };
+                if rng.gen_bool(self.config.mutation_prob) {
+                    self.variation.mutate(&mut c1, &mut rng);
+                }
+                if rng.gen_bool(self.config.mutation_prob) {
+                    self.variation.mutate(&mut c2, &mut rng);
+                }
+                population.push(evaluate(c1, &mut evaluations));
+                if population.len() < self.config.population_size {
+                    population.push(evaluate(c2, &mut evaluations));
+                }
+            }
+        }
+
+        // Final archive update over the last generation.
+        let mut union = population;
+        union.extend(archive);
+        let fitness = spea2_fitness(&union);
+        let archive = environmental_selection(union, &fitness, self.config.archive_size);
+        Spea2Result {
+            archive,
+            evaluations,
+        }
+    }
+}
+
+/// Binary tournament: lower SPEA2 fitness wins.
+fn tournament(fitness: &[f64], rng: &mut dyn RngCore) -> usize {
+    let a = rng.gen_range(0..fitness.len());
+    let b = rng.gen_range(0..fitness.len());
+    if fitness[a] <= fitness[b] {
+        a
+    } else {
+        b
+    }
+}
+
+/// SPEA2 fitness F(i) = R(i) + D(i): raw strength-based fitness plus the
+/// k-nearest-neighbour density term (< 1 iff non-dominated).
+fn spea2_fitness<G>(pop: &[Individual<G>]) -> Vec<f64> {
+    let n = pop.len();
+    // Strength: how many others each individual dominates.
+    let mut strength = vec![0usize; n];
+    let mut dominated_by: Vec<Vec<usize>> = vec![Vec::new(); n]; // dominators of i
+    for i in 0..n {
+        for j in 0..n {
+            if i != j
+                && constrained_dominates(
+                    &pop[i].objectives,
+                    pop[i].violation,
+                    &pop[j].objectives,
+                    pop[j].violation,
+                )
+            {
+                strength[i] += 1;
+                dominated_by[j].push(i);
+            }
+        }
+    }
+    // Raw fitness: sum of the strengths of one's dominators.
+    let raw: Vec<f64> = (0..n)
+        .map(|i| dominated_by[i].iter().map(|&d| strength[d] as f64).sum())
+        .collect();
+    // Density: 1 / (σ_k + 2) with k = √n.
+    let k = (n as f64).sqrt() as usize;
+    let density: Vec<f64> = (0..n)
+        .map(|i| {
+            let mut dists: Vec<f64> = (0..n)
+                .filter(|&j| j != i)
+                .map(|j| sq_dist(&pop[i].objectives, &pop[j].objectives))
+                .collect();
+            dists.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            let sigma_k = dists
+                .get(k.saturating_sub(1))
+                .copied()
+                .unwrap_or(0.0)
+                .sqrt();
+            1.0 / (sigma_k + 2.0)
+        })
+        .collect();
+    raw.iter().zip(&density).map(|(r, d)| r + d).collect()
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// SPEA2 environmental selection: keep all non-dominated (F < 1); truncate
+/// overflow by iteratively removing the member with the smallest
+/// nearest-neighbour distance; fill underflow with the best dominated.
+fn environmental_selection<G>(
+    union: Vec<Individual<G>>,
+    fitness: &[f64],
+    target: usize,
+) -> Vec<Individual<G>> {
+    let mut order: Vec<usize> = (0..union.len()).collect();
+    order.sort_by(|&a, &b| {
+        fitness[a]
+            .partial_cmp(&fitness[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let nondom: Vec<usize> = order
+        .iter()
+        .copied()
+        .filter(|&i| fitness[i] < 1.0)
+        .collect();
+    let chosen: Vec<usize> = if nondom.len() > target {
+        truncate_by_distance(&union, nondom, target)
+    } else {
+        order.into_iter().take(target).collect()
+    };
+    let mut keep = vec![false; union.len()];
+    for &i in &chosen {
+        keep[i] = true;
+    }
+    union
+        .into_iter()
+        .zip(keep)
+        .filter_map(|(ind, k)| k.then_some(ind))
+        .collect()
+}
+
+/// Iterative truncation: repeatedly drop the individual whose sorted
+/// distance vector to the remaining members is lexicographically smallest.
+fn truncate_by_distance<G>(
+    union: &[Individual<G>],
+    mut members: Vec<usize>,
+    target: usize,
+) -> Vec<usize> {
+    while members.len() > target {
+        let mut worst_pos = 0usize;
+        let mut worst_key: Vec<f64> = Vec::new();
+        for (pos, &i) in members.iter().enumerate() {
+            let mut dists: Vec<f64> = members
+                .iter()
+                .filter(|&&j| j != i)
+                .map(|&j| sq_dist(&union[i].objectives, &union[j].objectives))
+                .collect();
+            dists.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            if pos == 0 || dists < worst_key {
+                worst_key = dists;
+                worst_pos = pos;
+            }
+        }
+        members.swap_remove(worst_pos);
+    }
+    members
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    struct Schaffer;
+
+    impl Problem for Schaffer {
+        type Genome = f64;
+
+        fn objective_count(&self) -> usize {
+            2
+        }
+
+        fn random_genome(&self, rng: &mut dyn RngCore) -> f64 {
+            rng.gen_range(-100.0f64..100.0)
+        }
+
+        fn evaluate(&self, x: &f64) -> Evaluation {
+            Evaluation::feasible(vec![x * x, (x - 2.0) * (x - 2.0)])
+        }
+    }
+
+    struct Gaussian;
+
+    impl Variation<f64> for Gaussian {
+        fn crossover(&self, a: &f64, b: &f64, rng: &mut dyn RngCore) -> (f64, f64) {
+            let t: f64 = rng.gen_range(0.0..1.0);
+            (t * a + (1.0 - t) * b, (1.0 - t) * a + t * b)
+        }
+
+        fn mutate(&self, x: &mut f64, rng: &mut dyn RngCore) {
+            *x += rng.gen_range(-1.0f64..1.0);
+        }
+    }
+
+    #[test]
+    fn converges_to_schaffer_front() {
+        let res = Spea2::new(Schaffer, Gaussian, Spea2Config::new(40, 60).with_seed(1)).run();
+        assert!(!res.archive().is_empty());
+        for ind in res.archive() {
+            assert!(
+                ind.genome > -1.0 && ind.genome < 3.0,
+                "genome {} far off the Pareto set",
+                ind.genome
+            );
+        }
+        let front = res.front_objectives();
+        assert!(
+            front.len() >= 5,
+            "front collapsed to {} points",
+            front.len()
+        );
+    }
+
+    #[test]
+    fn archive_respects_size_bound() {
+        let cfg = Spea2Config::new(30, 15).with_seed(2).with_archive_size(12);
+        let res = Spea2::new(Schaffer, Gaussian, cfg).run();
+        assert!(res.archive().len() <= 12);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = Spea2Config::new(20, 10).with_seed(7);
+        let a = Spea2::new(Schaffer, Gaussian, cfg.clone()).run();
+        let b = Spea2::new(Schaffer, Gaussian, cfg).run();
+        assert_eq!(a.front_objectives(), b.front_objectives());
+    }
+
+    #[test]
+    fn seeding_preserves_optimum() {
+        let res = Spea2::new(Schaffer, Gaussian, Spea2Config::new(16, 4).with_seed(3))
+            .with_seeds(vec![1.0])
+            .run();
+        let best: f64 = res
+            .archive()
+            .iter()
+            .map(|i| i.objectives.iter().sum::<f64>())
+            .fold(f64::MAX, f64::min);
+        assert!(best <= 2.0 + 1e-9);
+    }
+
+    #[test]
+    fn fitness_below_one_iff_nondominated() {
+        let pop = vec![
+            Individual {
+                genome: 0.0,
+                objectives: vec![1.0, 1.0],
+                violation: 0.0,
+            },
+            Individual {
+                genome: 0.0,
+                objectives: vec![2.0, 2.0],
+                violation: 0.0,
+            },
+            Individual {
+                genome: 0.0,
+                objectives: vec![0.5, 3.0],
+                violation: 0.0,
+            },
+        ];
+        let f = spea2_fitness(&pop);
+        assert!(f[0] < 1.0);
+        assert!(f[1] >= 1.0, "dominated point must have F ≥ 1: {}", f[1]);
+        assert!(f[2] < 1.0);
+    }
+
+    #[test]
+    fn evaluations_counted() {
+        let cfg = Spea2Config::new(10, 5).with_seed(1);
+        let res = Spea2::new(Schaffer, Gaussian, cfg).run();
+        assert_eq!(res.evaluations, 10 + 5 * 10);
+    }
+}

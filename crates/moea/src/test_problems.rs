@@ -1,0 +1,311 @@
+//! Standard multi-objective benchmark problems (ZDT suite, Zitzler–Deb–
+//! Thiele 2000) with known Pareto fronts, plus quality indicators.
+//!
+//! These exist so the MOEA implementations can be validated against
+//! published ground truth rather than only against each other: the test
+//! suites assert that NSGA-II and SPEA2 converge to the analytical fronts
+//! under the [`generational_distance`] indicator.
+//!
+//! # Examples
+//!
+//! ```
+//! use clre_moea::test_problems::{generational_distance, Zdt1};
+//! use clre_moea::{Nsga2, Nsga2Config, Problem};
+//!
+//! let problem = Zdt1::new(8);
+//! let result = Nsga2::new(problem, clre_moea::test_problems::ZdtVariation,
+//!                         Nsga2Config::new(60, 100).with_seed(1)).run();
+//! let front = result.front_objectives();
+//! let gd = generational_distance(&front, |f1| Zdt1::true_front_f2(f1));
+//! assert!(gd < 0.05, "NSGA-II failed to approach the ZDT1 front: {gd}");
+//! ```
+
+use crate::{Evaluation, Problem, Variation};
+use rand::{Rng, RngCore};
+
+/// Genome of the ZDT problems: a real vector in `[0, 1]ⁿ`.
+pub type RealVector = Vec<f64>;
+
+/// ZDT1: convex Pareto front `f₂ = 1 − √f₁` at `x₂ … xₙ = 0`.
+#[derive(Debug, Clone, Copy)]
+pub struct Zdt1 {
+    dims: usize,
+}
+
+impl Zdt1 {
+    /// Creates the problem with `dims ≥ 2` decision variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims < 2`.
+    pub fn new(dims: usize) -> Self {
+        assert!(dims >= 2, "ZDT needs at least two variables");
+        Zdt1 { dims }
+    }
+
+    /// The true front: `f₂ = 1 − √f₁` for `f₁ ∈ [0, 1]`.
+    pub fn true_front_f2(f1: f64) -> f64 {
+        1.0 - f1.max(0.0).sqrt()
+    }
+}
+
+impl Problem for Zdt1 {
+    type Genome = RealVector;
+
+    fn objective_count(&self) -> usize {
+        2
+    }
+
+    fn random_genome(&self, rng: &mut dyn RngCore) -> RealVector {
+        (0..self.dims).map(|_| rng.gen_range(0.0..1.0)).collect()
+    }
+
+    fn evaluate(&self, x: &RealVector) -> Evaluation {
+        let f1 = x[0];
+        let g = 1.0 + 9.0 * x[1..].iter().sum::<f64>() / (self.dims - 1) as f64;
+        let f2 = g * (1.0 - (f1 / g).sqrt());
+        Evaluation::feasible(vec![f1, f2])
+    }
+}
+
+/// ZDT2: concave Pareto front `f₂ = 1 − f₁²`.
+#[derive(Debug, Clone, Copy)]
+pub struct Zdt2 {
+    dims: usize,
+}
+
+impl Zdt2 {
+    /// Creates the problem with `dims ≥ 2` decision variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims < 2`.
+    pub fn new(dims: usize) -> Self {
+        assert!(dims >= 2, "ZDT needs at least two variables");
+        Zdt2 { dims }
+    }
+
+    /// The true front: `f₂ = 1 − f₁²` for `f₁ ∈ [0, 1]`.
+    pub fn true_front_f2(f1: f64) -> f64 {
+        1.0 - f1 * f1
+    }
+}
+
+impl Problem for Zdt2 {
+    type Genome = RealVector;
+
+    fn objective_count(&self) -> usize {
+        2
+    }
+
+    fn random_genome(&self, rng: &mut dyn RngCore) -> RealVector {
+        (0..self.dims).map(|_| rng.gen_range(0.0..1.0)).collect()
+    }
+
+    fn evaluate(&self, x: &RealVector) -> Evaluation {
+        let f1 = x[0];
+        let g = 1.0 + 9.0 * x[1..].iter().sum::<f64>() / (self.dims - 1) as f64;
+        let f2 = g * (1.0 - (f1 / g) * (f1 / g));
+        Evaluation::feasible(vec![f1, f2])
+    }
+}
+
+/// ZDT3: disconnected front
+/// `f₂ = 1 − √f₁ − f₁·sin(10πf₁)` (only its non-dominated sections).
+#[derive(Debug, Clone, Copy)]
+pub struct Zdt3 {
+    dims: usize,
+}
+
+impl Zdt3 {
+    /// Creates the problem with `dims ≥ 2` decision variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims < 2`.
+    pub fn new(dims: usize) -> Self {
+        assert!(dims >= 2, "ZDT needs at least two variables");
+        Zdt3 { dims }
+    }
+
+    /// The `g = 1` objective surface the optimal sections lie on.
+    pub fn surface_f2(f1: f64) -> f64 {
+        1.0 - f1.max(0.0).sqrt() - f1 * (10.0 * std::f64::consts::PI * f1).sin()
+    }
+}
+
+impl Problem for Zdt3 {
+    type Genome = RealVector;
+
+    fn objective_count(&self) -> usize {
+        2
+    }
+
+    fn random_genome(&self, rng: &mut dyn RngCore) -> RealVector {
+        (0..self.dims).map(|_| rng.gen_range(0.0..1.0)).collect()
+    }
+
+    fn evaluate(&self, x: &RealVector) -> Evaluation {
+        let f1 = x[0];
+        let g = 1.0 + 9.0 * x[1..].iter().sum::<f64>() / (self.dims - 1) as f64;
+        let f2 = g * (1.0 - (f1 / g).sqrt() - (f1 / g) * (10.0 * std::f64::consts::PI * f1).sin());
+        Evaluation::feasible(vec![f1, f2])
+    }
+}
+
+/// Real-vector operators for the ZDT problems: BLX-α crossover (samples
+/// slightly *beyond* the parents, preserving spread) and per-gene
+/// perturbation with occasional uniform resets, both clamped to `[0, 1]`.
+#[derive(Debug, Clone, Copy)]
+pub struct ZdtVariation;
+
+/// BLX exploration margin.
+const BLX_ALPHA: f64 = 0.3;
+
+impl Variation<RealVector> for ZdtVariation {
+    fn crossover(
+        &self,
+        a: &RealVector,
+        b: &RealVector,
+        rng: &mut dyn RngCore,
+    ) -> (RealVector, RealVector) {
+        let mut c1 = Vec::with_capacity(a.len());
+        let mut c2 = Vec::with_capacity(a.len());
+        for (&x, &y) in a.iter().zip(b) {
+            let (lo, hi) = (x.min(y), x.max(y));
+            let d = (hi - lo).max(1e-12);
+            let range = (lo - BLX_ALPHA * d)..(hi + BLX_ALPHA * d);
+            c1.push(rng.gen_range(range.clone()).clamp(0.0, 1.0));
+            c2.push(rng.gen_range(range).clamp(0.0, 1.0));
+        }
+        (c1, c2)
+    }
+
+    fn mutate(&self, genome: &mut RealVector, rng: &mut dyn RngCore) {
+        let i = rng.gen_range(0..genome.len());
+        if rng.gen_bool(0.1) {
+            // Occasional uniform reset keeps the boundary reachable.
+            genome[i] = rng.gen_range(0.0..1.0);
+        } else {
+            let delta: f64 = rng.gen_range(-0.2..0.2);
+            genome[i] = (genome[i] + delta).clamp(0.0, 1.0);
+        }
+    }
+}
+
+/// Generational distance of a front to an analytically known true front:
+/// the mean distance of each obtained point to its projection
+/// `(f₁, true_f2(f₁))` — valid for the ZDT fronts, whose optimal `f₂` is a
+/// function of `f₁`.
+///
+/// # Panics
+///
+/// Panics if `front` is empty or any point is not 2-D.
+pub fn generational_distance(front: &[Vec<f64>], true_f2: impl Fn(f64) -> f64) -> f64 {
+    assert!(!front.is_empty(), "front must be non-empty");
+    let total: f64 = front
+        .iter()
+        .map(|p| {
+            assert_eq!(p.len(), 2, "ZDT fronts are bi-objective");
+            (p[1] - true_f2(p[0])).abs()
+        })
+        .sum();
+    total / front.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Nsga2, Nsga2Config, Spea2, Spea2Config};
+
+    #[test]
+    fn zdt1_optimum_on_true_front() {
+        let p = Zdt1::new(6);
+        let e = p.evaluate(&vec![0.25, 0.0, 0.0, 0.0, 0.0, 0.0]);
+        assert!((e.objectives[1] - Zdt1::true_front_f2(0.25)).abs() < 1e-12);
+        // Off-front genomes evaluate strictly above the front.
+        let off = p.evaluate(&vec![0.25, 0.5, 0.0, 0.0, 0.0, 0.0]);
+        assert!(off.objectives[1] > e.objectives[1]);
+    }
+
+    #[test]
+    fn zdt2_optimum_on_true_front() {
+        let p = Zdt2::new(4);
+        let e = p.evaluate(&vec![0.5, 0.0, 0.0, 0.0]);
+        assert!((e.objectives[1] - Zdt2::true_front_f2(0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zdt3_surface_matches_evaluation_at_g1() {
+        let p = Zdt3::new(4);
+        let e = p.evaluate(&vec![0.1, 0.0, 0.0, 0.0]);
+        assert!((e.objectives[1] - Zdt3::surface_f2(0.1)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nsga2_converges_on_zdt1() {
+        let result = Nsga2::new(
+            Zdt1::new(8),
+            ZdtVariation,
+            Nsga2Config::new(60, 120).with_seed(5),
+        )
+        .run();
+        let front = result.front_objectives();
+        let gd = generational_distance(&front, Zdt1::true_front_f2);
+        assert!(gd < 0.05, "generational distance too large: {gd}");
+        // Decent spread along f1.
+        let min = front.iter().map(|p| p[0]).fold(f64::MAX, f64::min);
+        let max = front.iter().map(|p| p[0]).fold(f64::MIN, f64::max);
+        assert!(max - min > 0.5, "front spread collapsed: [{min}, {max}]");
+    }
+
+    #[test]
+    fn nsga2_converges_on_zdt2() {
+        let result = Nsga2::new(
+            Zdt2::new(8),
+            ZdtVariation,
+            Nsga2Config::new(60, 120).with_seed(6),
+        )
+        .run();
+        let gd = generational_distance(&result.front_objectives(), Zdt2::true_front_f2);
+        assert!(gd < 0.06, "generational distance too large: {gd}");
+    }
+
+    #[test]
+    fn spea2_converges_on_zdt1() {
+        let result = Spea2::new(
+            Zdt1::new(8),
+            ZdtVariation,
+            Spea2Config::new(60, 120).with_seed(7),
+        )
+        .run();
+        let gd = generational_distance(&result.front_objectives(), Zdt1::true_front_f2);
+        assert!(gd < 0.06, "generational distance too large: {gd}");
+    }
+
+    #[test]
+    fn zdt3_points_never_below_surface_sections() {
+        // Every obtained ZDT3 point lies on or above the g=1 surface.
+        let result = Nsga2::new(
+            Zdt3::new(6),
+            ZdtVariation,
+            Nsga2Config::new(40, 60).with_seed(8),
+        )
+        .run();
+        for p in result.front_objectives() {
+            assert!(p[1] >= Zdt3::surface_f2(p[0]) - 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two variables")]
+    fn zdt_requires_two_dims() {
+        Zdt1::new(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn gd_requires_points() {
+        generational_distance(&[], Zdt1::true_front_f2);
+    }
+}

@@ -1,0 +1,98 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for the numeric routines in this crate.
+///
+/// # Examples
+///
+/// ```
+/// use clre_num::{Matrix, NumError};
+///
+/// let a = Matrix::from_rows(&[&[1.0, 2.0]]).unwrap();
+/// let b = Matrix::from_rows(&[&[1.0, 2.0]]).unwrap();
+/// assert!(matches!(a.mul(&b), Err(NumError::DimensionMismatch { .. })));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NumError {
+    /// Two operands had incompatible shapes.
+    DimensionMismatch {
+        /// Shape of the left operand as `(rows, cols)`.
+        left: (usize, usize),
+        /// Shape of the right operand as `(rows, cols)`.
+        right: (usize, usize),
+        /// Name of the operation that failed.
+        op: &'static str,
+    },
+    /// A square matrix was required but a rectangular one was supplied.
+    NotSquare {
+        /// The offending shape as `(rows, cols)`.
+        shape: (usize, usize),
+    },
+    /// The matrix is singular (or numerically so) and cannot be factored.
+    Singular {
+        /// Pivot column at which factorization broke down.
+        pivot: usize,
+    },
+    /// A constructor was given rows of unequal length or no rows at all.
+    RaggedRows,
+    /// An argument was outside the function's domain.
+    Domain {
+        /// Human-readable description of the violated requirement.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for NumError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NumError::DimensionMismatch { left, right, op } => write!(
+                f,
+                "dimension mismatch in {op}: {}x{} vs {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            NumError::NotSquare { shape } => {
+                write!(f, "matrix must be square, got {}x{}", shape.0, shape.1)
+            }
+            NumError::Singular { pivot } => {
+                write!(f, "matrix is singular at pivot column {pivot}")
+            }
+            NumError::RaggedRows => write!(f, "rows must be non-empty and of equal length"),
+            NumError::Domain { what } => write!(f, "argument out of domain: {what}"),
+        }
+    }
+}
+
+impl Error for NumError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs = [
+            NumError::DimensionMismatch {
+                left: (1, 2),
+                right: (3, 4),
+                op: "mul",
+            },
+            NumError::NotSquare { shape: (2, 3) },
+            NumError::Singular { pivot: 1 },
+            NumError::RaggedRows,
+            NumError::Domain { what: "x > 0" },
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+            assert!(!s.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NumError>();
+    }
+}

@@ -1,0 +1,226 @@
+use crate::{Matrix, NumError};
+
+/// LU decomposition with partial pivoting: `P·A = L·U`.
+///
+/// Factor once with [`Lu::factor`], then reuse the factorization for
+/// multiple right-hand sides via [`Lu::solve`], for the full inverse via
+/// [`Lu::inverse`], or for the determinant via [`Lu::det`]. This is the
+/// workhorse behind the fundamental-matrix computation `N = (I − Q)⁻¹` in
+/// the Markov-chain analysis.
+///
+/// # Examples
+///
+/// ```
+/// use clre_num::{Lu, Matrix};
+///
+/// # fn main() -> Result<(), clre_num::NumError> {
+/// let a = Matrix::from_rows(&[&[0.0, 2.0], &[1.0, 1.0]])?; // needs pivoting
+/// let lu = Lu::factor(&a)?;
+/// let x = lu.solve(&[4.0, 3.0])?;
+/// assert!((x[0] - 1.0).abs() < 1e-12 && (x[1] - 2.0).abs() < 1e-12);
+/// assert!((lu.det() + 2.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Lu {
+    /// Combined L (strict lower, unit diagonal implied) and U (upper) factors.
+    lu: Matrix,
+    /// Row permutation: `perm[i]` is the source row of pivoted row `i`.
+    perm: Vec<usize>,
+    /// Sign of the permutation, `+1.0` or `-1.0`.
+    sign: f64,
+}
+
+/// Pivots smaller than this (relative to the column's max) are treated as
+/// singular.
+const PIVOT_EPS: f64 = 1e-304;
+
+impl Lu {
+    /// Factors `a` as `P·a = L·U`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::NotSquare`] if `a` is rectangular and
+    /// [`NumError::Singular`] if a pivot underflows.
+    pub fn factor(a: &Matrix) -> Result<Self, NumError> {
+        if !a.is_square() {
+            return Err(NumError::NotSquare { shape: a.shape() });
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+
+        for col in 0..n {
+            // Partial pivoting: find the largest magnitude entry in/below the diagonal.
+            let mut pivot_row = col;
+            let mut pivot_val = lu.get(col, col).abs();
+            for r in (col + 1)..n {
+                let v = lu.get(r, col).abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = r;
+                }
+            }
+            if pivot_val < PIVOT_EPS {
+                return Err(NumError::Singular { pivot: col });
+            }
+            if pivot_row != col {
+                for c in 0..n {
+                    let tmp = lu.get(col, c);
+                    lu.set(col, c, lu.get(pivot_row, c));
+                    lu.set(pivot_row, c, tmp);
+                }
+                perm.swap(col, pivot_row);
+                sign = -sign;
+            }
+            let diag = lu.get(col, col);
+            for r in (col + 1)..n {
+                let factor = lu.get(r, col) / diag;
+                lu.set(r, col, factor);
+                for c in (col + 1)..n {
+                    let v = lu.get(r, c) - factor * lu.get(col, c);
+                    lu.set(r, c, v);
+                }
+            }
+        }
+        Ok(Lu { lu, perm, sign })
+    }
+
+    /// Solves `A·x = b` using the stored factorization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::DimensionMismatch`] if `b.len()` differs from the
+    /// matrix dimension.
+    #[allow(clippy::needless_range_loop)] // triangular solves read clearest indexed
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, NumError> {
+        let n = self.lu.rows();
+        if b.len() != n {
+            return Err(NumError::DimensionMismatch {
+                left: (n, n),
+                right: (b.len(), 1),
+                op: "solve",
+            });
+        }
+        // Forward substitution on the permuted RHS (L has unit diagonal).
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut acc = b[self.perm[i]];
+            for j in 0..i {
+                acc -= self.lu.get(i, j) * y[j];
+            }
+            y[i] = acc;
+        }
+        // Back substitution with U.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut acc = y[i];
+            for j in (i + 1)..n {
+                acc -= self.lu.get(i, j) * x[j];
+            }
+            x[i] = acc / self.lu.get(i, i);
+        }
+        Ok(x)
+    }
+
+    /// Computes the full inverse, one solve per unit vector.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for a successfully factored matrix, but keeps the
+    /// `Result` signature so callers can use `?` uniformly.
+    pub fn inverse(&self) -> Result<Matrix, NumError> {
+        let n = self.lu.rows();
+        let mut inv = Matrix::zeros(n, n);
+        let mut e = vec![0.0; n];
+        for col in 0..n {
+            e[col] = 1.0;
+            let x = self.solve(&e)?;
+            e[col] = 0.0;
+            for (row, v) in x.into_iter().enumerate() {
+                inv.set(row, col, v);
+            }
+        }
+        Ok(inv)
+    }
+
+    /// Returns the determinant of the factored matrix.
+    pub fn det(&self) -> f64 {
+        let n = self.lu.rows();
+        let mut d = self.sign;
+        for i in 0..n {
+            d *= self.lu.get(i, i);
+        }
+        d
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-10, "{a} vs {b}");
+    }
+
+    #[test]
+    fn rejects_rectangular() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(Lu::factor(&a), Err(NumError::NotSquare { .. })));
+    }
+
+    #[test]
+    fn detects_singular() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        assert!(matches!(Lu::factor(&a), Err(NumError::Singular { .. })));
+    }
+
+    #[test]
+    fn solve_simple_system() {
+        let a = Matrix::from_rows(&[&[3.0, 1.0], &[1.0, 2.0]]).unwrap();
+        let x = a.solve(&[9.0, 8.0]).unwrap();
+        assert_close(x[0], 2.0);
+        assert_close(x[1], 3.0);
+    }
+
+    #[test]
+    fn solve_requires_matching_rhs() {
+        let a = Matrix::identity(3);
+        let lu = Lu::factor(&a).unwrap();
+        assert!(lu.solve(&[1.0, 2.0]).is_err());
+        assert_eq!(lu.dim(), 3);
+    }
+
+    #[test]
+    fn inverse_times_matrix_is_identity() {
+        let a =
+            Matrix::from_rows(&[&[4.0, -2.0, 1.0], &[-2.0, 4.0, -2.0], &[1.0, -2.0, 4.0]]).unwrap();
+        let inv = a.inverse().unwrap();
+        let id = a.mul(&inv).unwrap();
+        assert!(id.max_abs_diff(&Matrix::identity(3)).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn determinant_matches_cofactor_expansion() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        assert_close(Lu::factor(&a).unwrap().det(), -2.0);
+        let b = Matrix::from_rows(&[&[2.0, 0.0, 0.0], &[0.0, 3.0, 0.0], &[0.0, 0.0, 5.0]]).unwrap();
+        assert_close(Lu::factor(&b).unwrap().det(), 30.0);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_diagonal() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        let x = a.solve(&[5.0, 7.0]).unwrap();
+        assert_close(x[0], 7.0);
+        assert_close(x[1], 5.0);
+        assert_close(Lu::factor(&a).unwrap().det(), -1.0);
+    }
+}

@@ -1,0 +1,50 @@
+//! Synthetic characterization substrate — the reproduction's stand-in for
+//! the paper's Gem5 + McPAT tool flow.
+//!
+//! The paper estimates each task type's execution cycles and power with
+//! Gem5/McPAT and derives soft-error rates, temperature and aging stress
+//! from them. This crate provides the same *interface* with closed-form,
+//! physically shaped models:
+//!
+//! * dynamic power `P = C·V²·f` plus voltage-proportional leakage
+//!   ([`ProfileModel::power`]),
+//! * soft-error (SEU) rate that grows exponentially as the supply voltage
+//!   drops ([`ProfileModel::seu_rate`]), following the low-voltage
+//!   susceptibility model of Das et al. (DATE'14),
+//! * steady-state temperature `T = T_amb + R_th·P`
+//!   ([`ProfileModel::steady_temp`]),
+//! * Arrhenius-scaled Weibull aging `η(T) = A·exp(E_a / k_B·T)`
+//!   ([`ProfileModel::eta_at`]).
+//!
+//! Because the DSE layers consume only the resulting metric tuples, any
+//! monotone generator with these shapes exercises exactly the same code
+//! paths as the authors' tool flow (see DESIGN.md §2 for the substitution
+//! argument).
+//!
+//! # Examples
+//!
+//! ```
+//! use clre_model::DvfsMode;
+//! use clre_profile::ProfileModel;
+//!
+//! let model = ProfileModel::default();
+//! let fast = DvfsMode::new("1.2V/900MHz", 1.2, 900.0e6);
+//! let slow = DvfsMode::new("1.06V/300MHz", 1.06, 300.0e6);
+//! let a = model.operating_point(3.0e5, 1.0e-9, &fast);
+//! let b = model.operating_point(3.0e5, 1.0e-9, &slow);
+//! assert!(a.exec_time < b.exec_time);   // faster clock
+//! assert!(a.power > b.power);           // but hotter and hungrier
+//! assert!(a.seu_rate < b.seu_rate);     // low voltage raises the SEU rate
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod characterize;
+mod model;
+
+pub use characterize::SyntheticCharacterizer;
+pub use model::{OperatingPoint, ProfileModel};
+
+/// Boltzmann constant in eV/K, used by the Arrhenius aging model.
+pub const BOLTZMANN_EV: f64 = 8.617_333_262e-5;

@@ -1,0 +1,208 @@
+use crate::BOLTZMANN_EV;
+use clre_model::DvfsMode;
+use serde::{Deserialize, Serialize};
+
+/// The derived characterization of one `(implementation, DVFS mode)` pair:
+/// everything the task-level reliability analysis needs about the raw
+/// (unprotected) execution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OperatingPoint {
+    /// Fault-free execution time in seconds (`cycles / f`).
+    pub exec_time: f64,
+    /// Average power in watts (dynamic + leakage).
+    pub power: f64,
+    /// Steady-state temperature in kelvin while executing.
+    pub temp_k: f64,
+    /// Single-event-upset rate `λ` in errors per second at this voltage.
+    pub seu_rate: f64,
+    /// Weibull scale parameter `η` in seconds at this thermal stress.
+    pub eta: f64,
+}
+
+/// Closed-form characterization model (gem5/McPAT substitute).
+///
+/// The default constants are tuned so that a ~3·10⁵-cycle task lands in the
+/// regime of the paper's Fig. 6(a): a few hundred microseconds of execution
+/// time and single-digit-percent raw error probability at the nominal
+/// operating point, rising steeply at low voltage.
+///
+/// # Examples
+///
+/// ```
+/// use clre_profile::ProfileModel;
+///
+/// let m = ProfileModel::default();
+/// // Lower voltage ⇒ exponentially higher SEU rate.
+/// assert!(m.seu_rate(1.06) > 2.0 * m.seu_rate(1.2));
+/// // Hotter silicon ages faster (smaller Weibull scale η).
+/// assert!(m.eta_at(360.0) < m.eta_at(320.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProfileModel {
+    /// Ambient temperature in kelvin.
+    pub ambient_k: f64,
+    /// Junction-to-ambient thermal resistance in K/W.
+    pub r_th: f64,
+    /// SEU rate at the nominal voltage, in errors/s.
+    pub lambda0: f64,
+    /// Exponential voltage sensitivity of the SEU rate, in decades/V.
+    pub volt_sensitivity: f64,
+    /// Nominal supply voltage in volts.
+    pub v_nominal: f64,
+    /// Pre-exponential constant of the Arrhenius aging law, in seconds.
+    pub aging_a: f64,
+    /// Activation energy of the dominant aging mechanism, in eV.
+    pub aging_ea_ev: f64,
+    /// Leakage power per volt of supply, in W/V.
+    pub leak_per_volt: f64,
+}
+
+impl Default for ProfileModel {
+    fn default() -> Self {
+        ProfileModel {
+            ambient_k: 318.0,      // 45 °C enclosure
+            r_th: 40.0,            // small embedded package
+            lambda0: 100.0,        // ~3 % raw error over 300 µs at nominal V
+            volt_sensitivity: 3.0, // ×10 SEU rate per 0.33 V of undervolting
+            v_nominal: 1.2,
+            aging_a: 40.0, // η ≈ 10 years at ~350 K with Ea = 0.48 eV
+            aging_ea_ev: 0.48,
+            leak_per_volt: 0.10,
+        }
+    }
+}
+
+impl ProfileModel {
+    /// Dynamic plus leakage power at capacitance `c` (farads), voltage `v`
+    /// (volts) and frequency `f` (hertz): `C·V²·f + k_leak·V`.
+    pub fn power(&self, c: f64, v: f64, f: f64) -> f64 {
+        c * v * v * f + self.leak_per_volt * v
+    }
+
+    /// SEU rate `λ(V) = λ₀ · 10^{k·(V_nom − V)}` in errors/s.
+    ///
+    /// Undervolting reduces the critical charge of storage nodes, which
+    /// raises the soft-error rate exponentially.
+    pub fn seu_rate(&self, v: f64) -> f64 {
+        self.lambda0 * 10f64.powf(self.volt_sensitivity * (self.v_nominal - v))
+    }
+
+    /// Steady-state junction temperature `T = T_amb + R_th · P` in kelvin.
+    pub fn steady_temp(&self, power: f64) -> f64 {
+        self.ambient_k + self.r_th * power
+    }
+
+    /// Weibull scale parameter `η(T) = A · exp(E_a / (k_B·T))` in seconds.
+    ///
+    /// Follows Black's-equation-style Arrhenius acceleration: hotter
+    /// silicon has a smaller `η` (it wears out sooner).
+    pub fn eta_at(&self, temp_k: f64) -> f64 {
+        self.aging_a * (self.aging_ea_ev / (BOLTZMANN_EV * temp_k)).exp()
+    }
+
+    /// Full characterization of a `(cycles, capacitance)` implementation at
+    /// a DVFS mode.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use clre_model::DvfsMode;
+    /// use clre_profile::ProfileModel;
+    ///
+    /// let m = ProfileModel::default();
+    /// let op = m.operating_point(9.0e5, 1.0e-9, &DvfsMode::new("n", 1.2, 900.0e6));
+    /// assert!((op.exec_time - 1.0e-3).abs() < 1e-12); // 9e5 cycles at 900 MHz
+    /// ```
+    pub fn operating_point(
+        &self,
+        cycles: f64,
+        capacitance: f64,
+        mode: &DvfsMode,
+    ) -> OperatingPoint {
+        let v = mode.voltage();
+        let f = mode.frequency_hz();
+        let exec_time = cycles / f;
+        let power = self.power(capacitance, v, f);
+        let temp_k = self.steady_temp(power);
+        OperatingPoint {
+            exec_time,
+            power,
+            temp_k,
+            seu_rate: self.seu_rate(v),
+            eta: self.eta_at(temp_k),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> ProfileModel {
+        ProfileModel::default()
+    }
+
+    #[test]
+    fn power_components() {
+        let m = model();
+        // 1 nF at 1 V, 1 Hz: dynamic = 1e-9 W, leakage = 0.1 W.
+        let p = m.power(1.0e-9, 1.0, 1.0);
+        assert!((p - (1.0e-9 + 0.1)).abs() < 1e-15);
+        // Dynamic power scales quadratically with voltage.
+        let hi = m.power(1.0e-9, 1.2, 900.0e6) - m.leak_per_volt * 1.2;
+        let lo = m.power(1.0e-9, 0.6, 900.0e6) - m.leak_per_volt * 0.6;
+        assert!((hi / lo - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn seu_rate_nominal_and_decades() {
+        let m = model();
+        assert!((m.seu_rate(m.v_nominal) - m.lambda0).abs() < 1e-9);
+        // One third of a volt of undervolting ≈ one decade (k = 3/V).
+        let ratio = m.seu_rate(m.v_nominal - 1.0 / 3.0) / m.lambda0;
+        assert!((ratio - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn temperature_rises_with_power() {
+        let m = model();
+        assert_eq!(m.steady_temp(0.0), m.ambient_k);
+        assert!(m.steady_temp(2.0) > m.steady_temp(1.0));
+    }
+
+    #[test]
+    fn eta_order_of_magnitude_is_years() {
+        let m = model();
+        let eta = m.eta_at(350.0);
+        // Between one and one hundred years.
+        assert!(eta > 3.0e7 && eta < 3.0e9, "eta = {eta}");
+    }
+
+    #[test]
+    fn operating_point_consistency() {
+        let m = model();
+        let mode = DvfsMode::new("n", 1.2, 900.0e6);
+        let op = m.operating_point(3.0e5, 1.0e-9, &mode);
+        assert!((op.exec_time - 3.0e5 / 900.0e6).abs() < 1e-18);
+        assert_eq!(op.power, m.power(1.0e-9, 1.2, 900.0e6));
+        assert_eq!(op.temp_k, m.steady_temp(op.power));
+        assert_eq!(op.eta, m.eta_at(op.temp_k));
+        assert_eq!(op.seu_rate, m.seu_rate(1.2));
+    }
+
+    #[test]
+    fn dvfs_tradeoff_shape_matches_fig6a() {
+        // Scaling down V/f must trade time for error probability the way
+        // Fig. 6(a) shows: slower AND less reliable per unit time is not
+        // the point — slower and *more error-prone over the whole run*.
+        let m = model();
+        let hi = m.operating_point(3.0e5, 1.0e-9, &DvfsMode::new("hi", 1.2, 900.0e6));
+        let lo = m.operating_point(3.0e5, 1.0e-9, &DvfsMode::new("lo", 1.06, 300.0e6));
+        assert!(lo.exec_time > 2.5 * hi.exec_time);
+        let raw_err_hi = 1.0 - (-hi.seu_rate * hi.exec_time).exp();
+        let raw_err_lo = 1.0 - (-lo.seu_rate * lo.exec_time).exp();
+        assert!(raw_err_lo > 3.0 * raw_err_hi);
+        // Low V runs cooler, so it ages slower (bigger η).
+        assert!(lo.eta > hi.eta);
+    }
+}

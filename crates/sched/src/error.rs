@@ -1,0 +1,70 @@
+use clre_model::{PeId, TaskId};
+use std::error::Error;
+use std::fmt;
+
+/// Error type for scheduling and QoS evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SchedError {
+    /// The mapping holds a different number of assignments than the graph
+    /// has tasks.
+    AssignmentCountMismatch {
+        /// Assignments provided.
+        assignments: usize,
+        /// Tasks in the graph.
+        tasks: usize,
+    },
+    /// The priority list is not a permutation of the task ids.
+    InvalidPriorityList,
+    /// An assignment referenced a PE outside the platform.
+    PeOutOfRange {
+        /// The offending task.
+        task: TaskId,
+        /// The dangling PE id.
+        pe: PeId,
+        /// Number of PEs in the platform.
+        count: usize,
+    },
+}
+
+impl fmt::Display for SchedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedError::AssignmentCountMismatch { assignments, tasks } => {
+                write!(f, "mapping has {assignments} assignments for {tasks} tasks")
+            }
+            SchedError::InvalidPriorityList => {
+                write!(f, "priority list is not a permutation of the task ids")
+            }
+            SchedError::PeOutOfRange { task, pe, count } => {
+                write!(f, "task {task} mapped to {pe}, platform has {count} PEs")
+            }
+        }
+    }
+}
+
+impl Error for SchedError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        let errs = [
+            SchedError::AssignmentCountMismatch {
+                assignments: 2,
+                tasks: 3,
+            },
+            SchedError::InvalidPriorityList,
+            SchedError::PeOutOfRange {
+                task: TaskId::new(0),
+                pe: PeId::new(9),
+                count: 6,
+            },
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

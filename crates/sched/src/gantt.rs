@@ -1,0 +1,175 @@
+//! Text Gantt rendering and schedule statistics — the designer-facing
+//! view of a mapping during early-stage exploration.
+
+use crate::Schedule;
+use clre_model::{PeId, Platform};
+
+/// Per-PE busy fraction of the schedule's makespan.
+///
+/// Returns one entry per PE; idle PEs report `0.0`. Returns all zeros for
+/// an empty or zero-length schedule.
+///
+/// # Examples
+///
+/// ```
+/// use clre_model::platform::paper_platform;
+/// use clre_model::{qos::TaskMetrics, BaseImpl, PeId, PeTypeId, TaskGraph, TaskType};
+/// use clre_sched::{list_schedule, utilization, Mapping};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let platform = paper_platform();
+/// let ty = TaskType::new("f").with_impl(BaseImpl::new("i", PeTypeId::new(0), 1e5, 1e-9));
+/// let graph = TaskGraph::builder("g", 1.0)
+///     .task_type(ty).task("a", "f")?.task("b", "f")?.edge(0, 1).build()?;
+/// let m = TaskMetrics { min_exec_time: 1.0, avg_exec_time: 1.0, error_prob: 0.0,
+///                       eta: 1e8, power: 1.0, energy: 1.0, peak_temp: 320.0 };
+/// let schedule = list_schedule(&graph, &platform, &Mapping::uniform(&graph, PeId::new(0), m))?;
+/// let u = utilization(&schedule, &platform);
+/// assert_eq!(u[0], 1.0);      // PE0 busy the whole makespan
+/// assert_eq!(u[1], 0.0);      // everything else idle
+/// # Ok(())
+/// # }
+/// ```
+pub fn utilization(schedule: &Schedule, platform: &Platform) -> Vec<f64> {
+    let mut busy = vec![0.0f64; platform.pe_count()];
+    for iv in schedule.intervals() {
+        busy[iv.pe.index()] += iv.end - iv.start;
+    }
+    let span = schedule.makespan();
+    if span <= 0.0 {
+        return vec![0.0; platform.pe_count()];
+    }
+    busy.iter().map(|b| b / span).collect()
+}
+
+/// Renders the schedule as a fixed-width text Gantt chart, one row per PE.
+///
+/// Each task occupies a run of cells labelled with its id modulo 10 (a
+/// `#`-free visual for quick terminal inspection); idle time is `.`.
+///
+/// # Panics
+///
+/// Panics if `width == 0`.
+///
+/// # Examples
+///
+/// ```
+/// # use clre_model::platform::paper_platform;
+/// # use clre_model::{qos::TaskMetrics, BaseImpl, PeId, PeTypeId, TaskGraph, TaskType};
+/// # use clre_sched::{list_schedule, render_gantt, Mapping};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// # let platform = paper_platform();
+/// # let ty = TaskType::new("f").with_impl(BaseImpl::new("i", PeTypeId::new(0), 1e5, 1e-9));
+/// # let graph = TaskGraph::builder("g", 1.0)
+/// #     .task_type(ty).task("a", "f")?.task("b", "f")?.edge(0, 1).build()?;
+/// # let m = TaskMetrics { min_exec_time: 1.0, avg_exec_time: 1.0, error_prob: 0.0,
+/// #                       eta: 1e8, power: 1.0, energy: 1.0, peak_temp: 320.0 };
+/// # let schedule = list_schedule(&graph, &platform, &Mapping::uniform(&graph, PeId::new(0), m))?;
+/// let chart = render_gantt(&schedule, &platform, 40);
+/// assert!(chart.lines().count() >= platform.pe_count());
+/// assert!(chart.contains("PE0"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn render_gantt(schedule: &Schedule, platform: &Platform, width: usize) -> String {
+    assert!(width > 0, "chart width must be positive");
+    let span = schedule.makespan();
+    let mut out = String::new();
+    for pe in 0..platform.pe_count() {
+        let pe = PeId::new(pe as u32);
+        let mut row = vec!['.'; width];
+        if span > 0.0 {
+            for iv in schedule.intervals().iter().filter(|iv| iv.pe == pe) {
+                let a = ((iv.start / span) * width as f64).floor() as usize;
+                let b = (((iv.end / span) * width as f64).ceil() as usize).min(width);
+                let label =
+                    char::from_digit((iv.task.index() % 10) as u32, 10).expect("single digit");
+                for c in row.iter_mut().take(b).skip(a.min(width)) {
+                    *c = label;
+                }
+            }
+        }
+        let line: String = row.into_iter().collect();
+        out.push_str(&format!("{pe:<4} |{line}|\n"));
+    }
+    out.push_str(&format!("makespan: {:.3e} s\n", span));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{list_schedule, Mapping};
+    use clre_model::platform::paper_platform;
+    use clre_model::{qos::TaskMetrics, BaseImpl, PeTypeId, TaskGraph, TaskId, TaskType};
+
+    fn metrics(t: f64) -> TaskMetrics {
+        TaskMetrics {
+            min_exec_time: t,
+            avg_exec_time: t,
+            error_prob: 0.0,
+            eta: 1e8,
+            power: 1.0,
+            energy: t,
+            peak_temp: 320.0,
+        }
+    }
+
+    fn two_tasks() -> TaskGraph {
+        let ty = TaskType::new("f").with_impl(BaseImpl::new("i", PeTypeId::new(0), 1e5, 1e-9));
+        TaskGraph::builder("g", 1.0)
+            .task_type(ty)
+            .task("a", "f")
+            .unwrap()
+            .task("b", "f")
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn utilization_sums_busy_time() {
+        let g = two_tasks();
+        let p = paper_platform();
+        let m = Mapping::new(
+            vec![PeId::new(0), PeId::new(3)],
+            vec![metrics(1.0), metrics(0.5)],
+            vec![TaskId::new(0), TaskId::new(1)],
+        );
+        let s = list_schedule(&g, &p, &m).unwrap();
+        let u = utilization(&s, &p);
+        assert_eq!(u[0], 1.0);
+        assert_eq!(u[3], 0.5);
+        assert_eq!(u[1], 0.0);
+        assert_eq!(u.len(), 6);
+    }
+
+    #[test]
+    fn gantt_shows_all_pes_and_tasks() {
+        let g = two_tasks();
+        let p = paper_platform();
+        let m = Mapping::new(
+            vec![PeId::new(0), PeId::new(1)],
+            vec![metrics(1.0), metrics(1.0)],
+            vec![TaskId::new(0), TaskId::new(1)],
+        );
+        let s = list_schedule(&g, &p, &m).unwrap();
+        let chart = render_gantt(&s, &p, 20);
+        assert_eq!(chart.lines().count(), 7); // 6 PEs + makespan footer
+        let lines: Vec<&str> = chart.lines().collect();
+        assert!(lines[0].contains('0'));
+        assert!(lines[1].contains('1'));
+        assert!(lines[2].contains("...")); // idle PE
+        assert!(lines[6].starts_with("makespan"));
+    }
+
+    #[test]
+    #[should_panic(expected = "chart width must be positive")]
+    fn zero_width_panics() {
+        let g = two_tasks();
+        let p = paper_platform();
+        let m = Mapping::uniform(&g, PeId::new(0), metrics(1.0));
+        let s = list_schedule(&g, &p, &m).unwrap();
+        let _ = render_gantt(&s, &p, 0);
+    }
+}

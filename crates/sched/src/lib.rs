@@ -1,0 +1,56 @@
+//! List scheduling and system-level QoS estimation — Table III of the
+//! paper.
+//!
+//! Given a task graph, a platform and a [`Mapping`] (per-task PE binding +
+//! task-level metrics + a priority order), this crate produces:
+//!
+//! * a non-preemptive [`Schedule`] via priority list scheduling
+//!   ([`list_schedule`]), and
+//! * the system-level QoS tuple of Table III via [`QosEvaluator`]:
+//!   average makespan `S_app`, criticality-weighted application error
+//!   probability `1 − F_app`, lifetime `L_app = MTTF_sys`, peak power
+//!   `W_app` and energy `J_app`.
+//!
+//! # Examples
+//!
+//! ```
+//! use clre_model::platform::paper_platform;
+//! use clre_model::{qos::TaskMetrics, BaseImpl, PeId, PeTypeId, TaskGraph, TaskType};
+//! use clre_sched::{list_schedule, Mapping, QosEvaluator};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let platform = paper_platform();
+//! let ty = TaskType::new("f").with_impl(BaseImpl::new("i", PeTypeId::new(0), 1e5, 1e-9));
+//! let graph = TaskGraph::builder("app", 1.0e-2)
+//!     .task_type(ty)
+//!     .task("a", "f")?
+//!     .task("b", "f")?
+//!     .edge(0, 1)
+//!     .build()?;
+//! let metrics = TaskMetrics {
+//!     min_exec_time: 1.0e-4, avg_exec_time: 1.2e-4, error_prob: 0.01,
+//!     eta: 3.0e8, power: 0.5, energy: 6.0e-5, peak_temp: 330.0,
+//! };
+//! let mapping = Mapping::uniform(&graph, PeId::new(0), metrics);
+//! let schedule = list_schedule(&graph, &platform, &mapping)?;
+//! assert!((schedule.makespan() - 2.4e-4).abs() < 1e-12); // serial chain
+//! let qos = QosEvaluator::new(&platform).evaluate(&graph, &mapping)?;
+//! assert!(qos.error_prob > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod gantt;
+mod mapping;
+mod qos_eval;
+mod schedule;
+
+pub use error::SchedError;
+pub use gantt::{render_gantt, utilization};
+pub use mapping::Mapping;
+pub use qos_eval::QosEvaluator;
+pub use schedule::{list_schedule, Schedule, TaskInterval};

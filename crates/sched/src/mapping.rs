@@ -1,0 +1,252 @@
+use crate::SchedError;
+use clre_model::{qos::TaskMetrics, PeId, Platform, TaskGraph, TaskId};
+use serde::{Deserialize, Serialize};
+
+/// A fully decoded mapping configuration `X_i`: per-task PE binding and
+/// task-level metrics, plus the scheduling priority order.
+///
+/// This is the interface between the DSE encodings (which know about
+/// genes, implementations and CLR configurations) and the scheduler/QoS
+/// layer (which only needs *where* each task runs, *how long* it takes and
+/// *how reliable* it is).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mapping {
+    /// `pes[t]` is the PE executing task `t`.
+    pes: Vec<PeId>,
+    /// `metrics[t]` are task `t`'s task-level metrics under its chosen
+    /// implementation/DVFS/CLR point.
+    metrics: Vec<TaskMetrics>,
+    /// Scheduling priority: a permutation of all task ids, highest
+    /// priority first.
+    priority: Vec<TaskId>,
+    /// Optional per-task memory footprints in bytes (storage-constraint
+    /// extension); absent means zero footprint everywhere.
+    footprints: Option<Vec<f64>>,
+}
+
+impl Mapping {
+    /// Creates a mapping from parallel per-task vectors and a priority
+    /// permutation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the three vectors have different lengths; permutation
+    /// validity is checked later by [`Mapping::validate`] (so the GA can
+    /// construct candidates cheaply and validate once).
+    pub fn new(pes: Vec<PeId>, metrics: Vec<TaskMetrics>, priority: Vec<TaskId>) -> Self {
+        assert_eq!(pes.len(), metrics.len(), "pes/metrics length mismatch");
+        assert_eq!(pes.len(), priority.len(), "pes/priority length mismatch");
+        Mapping {
+            pes,
+            metrics,
+            priority,
+            footprints: None,
+        }
+    }
+
+    /// Convenience constructor: every task on the same PE with identical
+    /// metrics, priority = index order. Useful in tests and examples.
+    pub fn uniform(graph: &TaskGraph, pe: PeId, metrics: TaskMetrics) -> Self {
+        let n = graph.task_count();
+        Mapping {
+            pes: vec![pe; n],
+            metrics: vec![metrics; n],
+            priority: (0..n as u32).map(TaskId::new).collect(),
+            footprints: None,
+        }
+    }
+
+    /// Attaches per-task memory footprints in bytes (builder style); used
+    /// by the storage-constraint extension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `footprints.len()` differs from the task count.
+    #[must_use]
+    pub fn with_footprints(mut self, footprints: Vec<f64>) -> Self {
+        assert_eq!(
+            footprints.len(),
+            self.pes.len(),
+            "footprints/task length mismatch"
+        );
+        self.footprints = Some(footprints);
+        self
+    }
+
+    /// Task `t`'s memory footprint in bytes (0 when footprints were not
+    /// attached).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range and footprints are attached.
+    pub fn footprint_of(&self, t: TaskId) -> f64 {
+        self.footprints.as_ref().map_or(0.0, |f| f[t.index()])
+    }
+
+    /// The PE executing task `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range.
+    pub fn pe_of(&self, t: TaskId) -> PeId {
+        self.pes[t.index()]
+    }
+
+    /// Task `t`'s task-level metrics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range.
+    pub fn metrics_of(&self, t: TaskId) -> &TaskMetrics {
+        &self.metrics[t.index()]
+    }
+
+    /// The priority permutation, highest first.
+    pub fn priority(&self) -> &[TaskId] {
+        &self.priority
+    }
+
+    /// Number of mapped tasks.
+    pub fn task_count(&self) -> usize {
+        self.pes.len()
+    }
+
+    /// Validates the mapping against a graph and platform.
+    ///
+    /// # Errors
+    ///
+    /// * [`SchedError::AssignmentCountMismatch`] on a task-count mismatch.
+    /// * [`SchedError::PeOutOfRange`] for dangling PE references.
+    /// * [`SchedError::InvalidPriorityList`] if `priority` is not a
+    ///   permutation of `0..T`.
+    pub fn validate(&self, graph: &TaskGraph, platform: &Platform) -> Result<(), SchedError> {
+        if self.pes.len() != graph.task_count() {
+            return Err(SchedError::AssignmentCountMismatch {
+                assignments: self.pes.len(),
+                tasks: graph.task_count(),
+            });
+        }
+        for (t, &pe) in self.pes.iter().enumerate() {
+            if pe.index() >= platform.pe_count() {
+                return Err(SchedError::PeOutOfRange {
+                    task: TaskId::new(t as u32),
+                    pe,
+                    count: platform.pe_count(),
+                });
+            }
+        }
+        let mut seen = vec![false; self.pes.len()];
+        for &t in &self.priority {
+            if t.index() >= seen.len() || seen[t.index()] {
+                return Err(SchedError::InvalidPriorityList);
+            }
+            seen[t.index()] = true;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clre_model::platform::paper_platform;
+    use clre_model::{BaseImpl, PeTypeId, TaskType};
+
+    fn metrics() -> TaskMetrics {
+        TaskMetrics {
+            min_exec_time: 1.0e-4,
+            avg_exec_time: 1.2e-4,
+            error_prob: 0.01,
+            eta: 3.0e8,
+            power: 0.5,
+            energy: 6.0e-5,
+            peak_temp: 330.0,
+        }
+    }
+
+    fn graph(n: u32) -> TaskGraph {
+        let ty = TaskType::new("f").with_impl(BaseImpl::new("i", PeTypeId::new(0), 1e5, 1e-9));
+        let mut b = TaskGraph::builder("g", 1.0).task_type(ty);
+        for i in 0..n {
+            b = b.task(&format!("t{i}"), "f").unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn uniform_is_valid() {
+        let g = graph(4);
+        let p = paper_platform();
+        let m = Mapping::uniform(&g, PeId::new(1), metrics());
+        assert!(m.validate(&g, &p).is_ok());
+        assert_eq!(m.task_count(), 4);
+        assert_eq!(m.pe_of(TaskId::new(2)), PeId::new(1));
+        assert_eq!(m.metrics_of(TaskId::new(0)).error_prob, 0.01);
+    }
+
+    #[test]
+    fn detects_count_mismatch() {
+        let g = graph(3);
+        let p = paper_platform();
+        let m = Mapping::new(
+            vec![PeId::new(0); 2],
+            vec![metrics(); 2],
+            vec![TaskId::new(0), TaskId::new(1)],
+        );
+        assert!(matches!(
+            m.validate(&g, &p),
+            Err(SchedError::AssignmentCountMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn detects_pe_out_of_range() {
+        let g = graph(1);
+        let p = paper_platform();
+        let m = Mapping::new(vec![PeId::new(9)], vec![metrics()], vec![TaskId::new(0)]);
+        assert!(matches!(
+            m.validate(&g, &p),
+            Err(SchedError::PeOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn detects_bad_permutation() {
+        let g = graph(2);
+        let p = paper_platform();
+        let dup = Mapping::new(
+            vec![PeId::new(0); 2],
+            vec![metrics(); 2],
+            vec![TaskId::new(0), TaskId::new(0)],
+        );
+        assert_eq!(dup.validate(&g, &p), Err(SchedError::InvalidPriorityList));
+        let oob = Mapping::new(
+            vec![PeId::new(0); 2],
+            vec![metrics(); 2],
+            vec![TaskId::new(0), TaskId::new(5)],
+        );
+        assert_eq!(oob.validate(&g, &p), Err(SchedError::InvalidPriorityList));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn new_rejects_ragged_vectors() {
+        Mapping::new(vec![PeId::new(0)], vec![], vec![TaskId::new(0)]);
+    }
+
+    #[test]
+    fn footprints_default_zero_and_attach() {
+        let g = graph(2);
+        let m = Mapping::uniform(&g, PeId::new(0), metrics());
+        assert_eq!(m.footprint_of(TaskId::new(1)), 0.0);
+        let m = m.with_footprints(vec![100.0, 200.0]);
+        assert_eq!(m.footprint_of(TaskId::new(1)), 200.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "footprints/task length mismatch")]
+    fn footprints_must_match_task_count() {
+        let g = graph(2);
+        let _ = Mapping::uniform(&g, PeId::new(0), metrics()).with_footprints(vec![1.0]);
+    }
+}

@@ -1,0 +1,396 @@
+use crate::{list_schedule, Mapping, SchedError, Schedule};
+use clre_model::{qos::SystemMetrics, Platform, TaskGraph};
+use clre_num::{gamma, util::kahan_sum};
+
+/// System-level QoS estimator implementing Table III of the paper.
+///
+/// Precomputes the per-PE-type Weibull terms `Γ(1 + 1/β_p)` once per
+/// platform, then evaluates mappings in `O(T log T)`.
+#[derive(Debug, Clone)]
+pub struct QosEvaluator<'p> {
+    platform: &'p Platform,
+    /// `gamma_terms[pe_type] = Γ(1 + 1/β)`.
+    gamma_terms: Vec<f64>,
+}
+
+impl<'p> QosEvaluator<'p> {
+    /// Creates an evaluator for `platform`.
+    pub fn new(platform: &'p Platform) -> Self {
+        let gamma_terms = platform
+            .pe_types()
+            .iter()
+            .map(|t| gamma(1.0 + 1.0 / t.weibull_beta()))
+            .collect();
+        QosEvaluator {
+            platform,
+            gamma_terms,
+        }
+    }
+
+    /// The platform this evaluator is bound to.
+    pub fn platform(&self) -> &Platform {
+        self.platform
+    }
+
+    /// Schedules `mapping` and derives the full Table III metric tuple.
+    ///
+    /// # Errors
+    ///
+    /// Propagates mapping validation failures from [`list_schedule`].
+    pub fn evaluate(
+        &self,
+        graph: &TaskGraph,
+        mapping: &Mapping,
+    ) -> Result<SystemMetrics, SchedError> {
+        let schedule = list_schedule(graph, self.platform, mapping)?;
+        Ok(self.metrics_from_schedule(graph, mapping, &schedule))
+    }
+
+    /// Like [`QosEvaluator::evaluate`] but also returns the schedule
+    /// (C-INTERMEDIATE: callers that need Gantt data should not pay for a
+    /// second scheduling pass).
+    ///
+    /// # Errors
+    ///
+    /// Propagates mapping validation failures from [`list_schedule`].
+    pub fn evaluate_with_schedule(
+        &self,
+        graph: &TaskGraph,
+        mapping: &Mapping,
+    ) -> Result<(SystemMetrics, Schedule), SchedError> {
+        let schedule = list_schedule(graph, self.platform, mapping)?;
+        let m = self.metrics_from_schedule(graph, mapping, &schedule);
+        Ok((m, schedule))
+    }
+
+    /// Normalized local-memory overflow of the mapping: for each PE, the
+    /// summed footprints of its tasks beyond the PE type's capacity,
+    /// relative to that capacity; `0.0` when every PE fits (the
+    /// storage-constraint extension of DESIGN.md §8).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mapping references PEs outside the platform; validate
+    /// first when the mapping is untrusted.
+    pub fn memory_violation(&self, graph: &TaskGraph, mapping: &Mapping) -> f64 {
+        let mut used = vec![0.0f64; self.platform.pe_count()];
+        for t in graph.tasks() {
+            used[mapping.pe_of(t.id()).index()] += mapping.footprint_of(t.id());
+        }
+        let mut violation = 0.0;
+        for (pe, &u) in used.iter().enumerate() {
+            let cap = self
+                .platform
+                .type_of(clre_model::PeId::new(pe as u32))
+                .local_memory_bytes();
+            if u > cap {
+                violation += (u - cap) / cap;
+            }
+        }
+        violation
+    }
+
+    fn metrics_from_schedule(
+        &self,
+        graph: &TaskGraph,
+        mapping: &Mapping,
+        schedule: &Schedule,
+    ) -> SystemMetrics {
+        let n = graph.task_count();
+        // Functional reliability: criticality-weighted series-system form
+        // F_app = Π F_t^{ζ_t·T}. With uniform criticalities the exponents
+        // are 1 and this is the plain series-system product of Xiang et
+        // al. (the paper's lifetime reference [19]); criticality skews a
+        // task's weight exactly as Equation 3's ζ_t does. Computed in log
+        // space for numerical robustness at large T.
+        let zeta = graph.normalized_criticalities();
+        let log_f = kahan_sum(graph.tasks().iter().map(|t| {
+            let rel = 1.0 - mapping.metrics_of(t.id()).error_prob;
+            let w = zeta[t.id().index()] * n as f64;
+            if rel <= 0.0 {
+                f64::NEG_INFINITY
+            } else {
+                w * rel.ln()
+            }
+        }));
+        let error_prob = clre_num::util::clamp_prob(1.0 - log_f.exp());
+
+        // Lifetime (Equation 2): MTTF_p = P_app / Σ_{t on p} AvgExT/MTTF(t,i,p).
+        let mut stress_per_pe = vec![0.0f64; self.platform.pe_count()];
+        for t in graph.tasks() {
+            let m = mapping.metrics_of(t.id());
+            let pe = mapping.pe_of(t.id());
+            let ty = self.platform.pe(pe).expect("validated").pe_type();
+            let gamma_term = self.gamma_terms[ty.index()];
+            let mttf_tip = m.eta * gamma_term;
+            stress_per_pe[pe.index()] += m.avg_exec_time / mttf_tip;
+        }
+        let period = graph.period();
+        let mttf = stress_per_pe
+            .iter()
+            .filter(|&&s| s > 0.0)
+            .map(|&s| period / s)
+            .fold(f64::INFINITY, f64::min);
+        let mttf = if mttf.is_finite() { mttf } else { f64::MAX };
+
+        // Peak power (Equation 4): sweep interval endpoints.
+        let mut events: Vec<(f64, f64)> = Vec::with_capacity(2 * n);
+        for iv in schedule.intervals() {
+            let w = mapping.metrics_of(iv.task).power;
+            events.push((iv.start, w));
+            events.push((iv.end, -w));
+        }
+        events.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .expect("schedule times are finite")
+                .then(a.1.partial_cmp(&b.1).expect("powers are finite"))
+        });
+        let mut current = 0.0f64;
+        let mut peak = 0.0f64;
+        for (_, dw) in events {
+            current += dw;
+            peak = peak.max(current);
+        }
+
+        // Energy: Σ AvgExT × W.
+        let energy = kahan_sum(graph.tasks().iter().map(|t| {
+            let m = mapping.metrics_of(t.id());
+            m.avg_exec_time * m.power
+        }));
+
+        SystemMetrics {
+            makespan: schedule.makespan(),
+            error_prob,
+            mttf,
+            energy,
+            peak_power: peak,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clre_model::platform::paper_platform;
+    use clre_model::{qos::TaskMetrics, BaseImpl, PeId, PeTypeId, TaskId, TaskType};
+
+    fn metrics(t: f64, err: f64, w: f64) -> TaskMetrics {
+        TaskMetrics {
+            min_exec_time: t,
+            avg_exec_time: t,
+            error_prob: err,
+            eta: 3.0e8,
+            power: w,
+            energy: t * w,
+            peak_temp: 330.0,
+        }
+    }
+
+    fn chain(n: u32) -> TaskGraph {
+        let ty = TaskType::new("f").with_impl(BaseImpl::new("i", PeTypeId::new(0), 1e5, 1e-9));
+        let mut b = TaskGraph::builder("c", 1.0e-2).task_type(ty);
+        for i in 0..n {
+            b = b.task(&format!("t{i}"), "f").unwrap();
+        }
+        for i in 1..n {
+            b = b.edge(i - 1, i);
+        }
+        b.build().unwrap()
+    }
+
+    fn two_independent() -> TaskGraph {
+        let ty = TaskType::new("f").with_impl(BaseImpl::new("i", PeTypeId::new(0), 1e5, 1e-9));
+        TaskGraph::builder("i2", 1.0e-2)
+            .task_type(ty)
+            .task("a", "f")
+            .unwrap()
+            .task("b", "f")
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn error_prob_is_series_product() {
+        let g = two_independent();
+        let p = paper_platform();
+        let m = Mapping::new(
+            vec![PeId::new(0), PeId::new(1)],
+            vec![metrics(1e-4, 0.2, 1.0), metrics(1e-4, 0.1, 1.0)],
+            vec![TaskId::new(0), TaskId::new(1)],
+        );
+        let q = QosEvaluator::new(&p).evaluate(&g, &m).unwrap();
+        // Uniform ζ with T = 2 gives unit exponents: F = 0.8 · 0.9.
+        assert!((q.error_prob - (1.0 - 0.8 * 0.9)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn error_prob_grows_with_task_count() {
+        let p = paper_platform();
+        let per_task = metrics(1e-4, 0.02, 1.0);
+        let err_at = |n: u32| {
+            let g = chain(n);
+            let m = Mapping::uniform(&g, PeId::new(0), per_task);
+            QosEvaluator::new(&p).evaluate(&g, &m).unwrap().error_prob
+        };
+        let e5 = err_at(5);
+        let e20 = err_at(20);
+        assert!(e20 > e5);
+        assert!((e5 - (1.0 - 0.98f64.powi(5))).abs() < 1e-12);
+        assert!((e20 - (1.0 - 0.98f64.powi(20))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn criticality_skews_error_weighting() {
+        // A critical task's error weighs more than a non-critical one's.
+        let p = paper_platform();
+        let ty = TaskType::new("f").with_impl(BaseImpl::new("i", PeTypeId::new(0), 1e5, 1e-9));
+        let g = TaskGraph::builder("c", 1.0e-2)
+            .task_type(ty)
+            .task_with_criticality("hot", "f", 3.0)
+            .unwrap()
+            .task_with_criticality("cold", "f", 1.0)
+            .unwrap()
+            .build()
+            .unwrap();
+        let err_hot = Mapping::new(
+            vec![PeId::new(0), PeId::new(1)],
+            vec![metrics(1e-4, 0.1, 1.0), metrics(1e-4, 0.0, 1.0)],
+            vec![TaskId::new(0), TaskId::new(1)],
+        );
+        let err_cold = Mapping::new(
+            vec![PeId::new(0), PeId::new(1)],
+            vec![metrics(1e-4, 0.0, 1.0), metrics(1e-4, 0.1, 1.0)],
+            vec![TaskId::new(0), TaskId::new(1)],
+        );
+        let ev = QosEvaluator::new(&p);
+        let qh = ev.evaluate(&g, &err_hot).unwrap();
+        let qc = ev.evaluate(&g, &err_cold).unwrap();
+        assert!(qh.error_prob > qc.error_prob);
+    }
+
+    #[test]
+    fn peak_power_counts_overlap_only() {
+        let g = two_independent();
+        let p = paper_platform();
+        // Parallel on two PEs: peak = 1.5 W; serial on one PE: peak = 1.0.
+        let par = Mapping::new(
+            vec![PeId::new(0), PeId::new(1)],
+            vec![metrics(1e-4, 0.0, 1.0), metrics(1e-4, 0.0, 0.5)],
+            vec![TaskId::new(0), TaskId::new(1)],
+        );
+        let ser = Mapping::new(
+            vec![PeId::new(0), PeId::new(0)],
+            vec![metrics(1e-4, 0.0, 1.0), metrics(1e-4, 0.0, 0.5)],
+            vec![TaskId::new(0), TaskId::new(1)],
+        );
+        let ev = QosEvaluator::new(&p);
+        let qp = ev.evaluate(&g, &par).unwrap();
+        let qs = ev.evaluate(&g, &ser).unwrap();
+        assert!((qp.peak_power - 1.5).abs() < 1e-12);
+        assert!((qs.peak_power - 1.0).abs() < 1e-12);
+        // Energy identical either way.
+        assert!((qp.energy - qs.energy).abs() < 1e-15);
+        // Makespan differs.
+        assert!(qp.makespan < qs.makespan);
+    }
+
+    #[test]
+    fn mttf_follows_utilization_and_min_rule() {
+        let g = two_independent();
+        let p = paper_platform();
+        let ev = QosEvaluator::new(&p);
+        // Both tasks on PE0 stresses it twice as much as split mapping.
+        let both = Mapping::uniform(&g, PeId::new(0), metrics(1e-4, 0.0, 1.0));
+        let split = Mapping::new(
+            vec![PeId::new(0), PeId::new(1)],
+            vec![metrics(1e-4, 0.0, 1.0); 2],
+            vec![TaskId::new(0), TaskId::new(1)],
+        );
+        let q_both = ev.evaluate(&g, &both).unwrap();
+        let q_split = ev.evaluate(&g, &split).unwrap();
+        assert!(q_split.mttf > 1.9 * q_both.mttf && q_split.mttf < 2.1 * q_both.mttf);
+    }
+
+    #[test]
+    fn mttf_scales_with_eta_and_gamma() {
+        let g = chain(1);
+        let p = paper_platform();
+        let ev = QosEvaluator::new(&p);
+        let m = Mapping::uniform(&g, PeId::new(0), metrics(1e-4, 0.0, 1.0));
+        let q = ev.evaluate(&g, &m).unwrap();
+        // MTTF_p = P / (t/ (η·Γ)) = P·η·Γ/t.
+        let beta = p.type_of(PeId::new(0)).weibull_beta();
+        let expect = 1.0e-2 * 3.0e8 * gamma(1.0 + 1.0 / beta) / 1.0e-4;
+        assert!((q.mttf / expect - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn makespan_matches_chain_length() {
+        let g = chain(5);
+        let p = paper_platform();
+        let m = Mapping::uniform(&g, PeId::new(2), metrics(2e-4, 0.0, 1.0));
+        let q = QosEvaluator::new(&p).evaluate(&g, &m).unwrap();
+        assert!((q.makespan - 1.0e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn evaluate_with_schedule_returns_both() {
+        let g = chain(3);
+        let p = paper_platform();
+        let m = Mapping::uniform(&g, PeId::new(0), metrics(1e-4, 0.01, 1.0));
+        let (q, s) = QosEvaluator::new(&p)
+            .evaluate_with_schedule(&g, &m)
+            .unwrap();
+        assert_eq!(q.makespan, s.makespan());
+        assert_eq!(s.intervals().len(), 3);
+    }
+
+    #[test]
+    fn memory_violation_accumulates_overflows() {
+        use clre_model::platform::{DvfsMode, PeType, Platform};
+        let platform = Platform::builder()
+            .pe_type(
+                PeType::processor("tiny", 2.0, 0.3)
+                    .with_dvfs_mode(DvfsMode::new("m", 1.0, 1.0e8))
+                    .with_local_memory_bytes(1000.0),
+            )
+            .pes_of_type("tiny", 2)
+            .unwrap()
+            .build()
+            .unwrap();
+        let g = two_independent();
+        let ev = QosEvaluator::new(&platform);
+        // Fits: 600 + 300 on separate PEs.
+        let fits = Mapping::new(
+            vec![PeId::new(0), PeId::new(1)],
+            vec![metrics(1e-4, 0.0, 1.0); 2],
+            vec![TaskId::new(0), TaskId::new(1)],
+        )
+        .with_footprints(vec![600.0, 300.0]);
+        assert_eq!(ev.memory_violation(&g, &fits), 0.0);
+        // Overflows: 600 + 600 on one PE → 200/1000 = 0.2.
+        let tight = Mapping::new(
+            vec![PeId::new(0), PeId::new(0)],
+            vec![metrics(1e-4, 0.0, 1.0); 2],
+            vec![TaskId::new(0), TaskId::new(1)],
+        )
+        .with_footprints(vec![600.0, 600.0]);
+        assert!((ev.memory_violation(&g, &tight) - 0.2).abs() < 1e-12);
+        // Without footprints there is never a violation.
+        let none = Mapping::uniform(&g, PeId::new(0), metrics(1e-4, 0.0, 1.0));
+        assert_eq!(ev.memory_violation(&g, &none), 0.0);
+    }
+
+    #[test]
+    fn errors_propagate() {
+        let g = chain(2);
+        let p = paper_platform();
+        let bad = Mapping::new(
+            vec![PeId::new(0), PeId::new(99)],
+            vec![metrics(1e-4, 0.0, 1.0); 2],
+            vec![TaskId::new(0), TaskId::new(1)],
+        );
+        assert!(QosEvaluator::new(&p).evaluate(&g, &bad).is_err());
+    }
+}

@@ -1,0 +1,347 @@
+use crate::{Mapping, SchedError};
+use clre_model::{PeId, Platform, TaskGraph, TaskId};
+use serde::{Deserialize, Serialize};
+
+/// One scheduled execution interval.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TaskInterval {
+    /// The scheduled task.
+    pub task: TaskId,
+    /// The PE it executes on.
+    pub pe: PeId,
+    /// Average start time `SST_t` in seconds.
+    pub start: f64,
+    /// Average end time `SET_t` in seconds.
+    pub end: f64,
+}
+
+/// A complete non-preemptive schedule of one application iteration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Schedule {
+    intervals: Vec<TaskInterval>,
+    makespan: f64,
+}
+
+impl Schedule {
+    /// Per-task intervals, indexed by task id.
+    pub fn intervals(&self) -> &[TaskInterval] {
+        &self.intervals
+    }
+
+    /// The interval of task `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range.
+    pub fn interval(&self, t: TaskId) -> &TaskInterval {
+        &self.intervals[t.index()]
+    }
+
+    /// Average makespan `S_app = max_t SET_t`.
+    pub fn makespan(&self) -> f64 {
+        self.makespan
+    }
+}
+
+/// Priority list scheduling with fixed task-to-PE binding.
+///
+/// Repeatedly picks the highest-priority *ready* task (all predecessors
+/// finished) and starts it at the later of its PE's availability and its
+/// latest predecessor finish time, using each task's **average** execution
+/// time — this yields the paper's average makespan `S_app`.
+///
+/// When the platform declares an
+/// [`Interconnect`](clre_model::platform::Interconnect), a predecessor on
+/// a *different* PE additionally delays the task by the transfer time of
+/// the edge's data volume (the communication-aware extension of
+/// DESIGN.md §8); same-PE communication is free.
+///
+/// # Errors
+///
+/// Propagates [`Mapping::validate`] failures.
+///
+/// # Examples
+///
+/// See the [crate-level example](crate).
+pub fn list_schedule(
+    graph: &TaskGraph,
+    platform: &Platform,
+    mapping: &Mapping,
+) -> Result<Schedule, SchedError> {
+    mapping.validate(graph, platform)?;
+    let n = graph.task_count();
+    // priority_rank[t] = position of t in the priority list (lower = sooner).
+    let mut priority_rank = vec![0usize; n];
+    for (rank, &t) in mapping.priority().iter().enumerate() {
+        priority_rank[t.index()] = rank;
+    }
+    let mut pe_free = vec![0.0f64; platform.pe_count()];
+    let mut finish: Vec<Option<f64>> = vec![None; n];
+    let mut remaining_preds: Vec<usize> = (0..n)
+        .map(|t| graph.predecessors(TaskId::new(t as u32)).len())
+        .collect();
+    let mut intervals = vec![
+        TaskInterval {
+            task: TaskId::new(0),
+            pe: PeId::new(0),
+            start: 0.0,
+            end: 0.0,
+        };
+        n
+    ];
+    let mut scheduled = 0usize;
+    let mut ready: Vec<usize> = (0..n).filter(|&t| remaining_preds[t] == 0).collect();
+    while scheduled < n {
+        // Highest priority ready task.
+        let (pos, &t) = ready
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &t)| priority_rank[t])
+            .expect("DAG with unscheduled tasks always has a ready task");
+        ready.swap_remove(pos);
+        let tid = TaskId::new(t as u32);
+        let pe = mapping.pe_of(tid);
+        let preds_done = graph
+            .predecessor_edges(tid)
+            .iter()
+            .map(|&(p, volume)| {
+                let end = finish[p.index()].expect("predecessor scheduled before successor");
+                match platform.interconnect() {
+                    Some(noc) if mapping.pe_of(p) != pe => end + noc.transfer_time(volume),
+                    _ => end,
+                }
+            })
+            .fold(0.0f64, f64::max);
+        let start = pe_free[pe.index()].max(preds_done);
+        let end = start + mapping.metrics_of(tid).avg_exec_time;
+        pe_free[pe.index()] = end;
+        finish[t] = Some(end);
+        intervals[t] = TaskInterval {
+            task: tid,
+            pe,
+            start,
+            end,
+        };
+        scheduled += 1;
+        for &s in graph.successors(tid) {
+            remaining_preds[s.index()] -= 1;
+            if remaining_preds[s.index()] == 0 {
+                ready.push(s.index());
+            }
+        }
+    }
+    let makespan = intervals.iter().map(|i| i.end).fold(0.0, f64::max);
+    Ok(Schedule {
+        intervals,
+        makespan,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clre_model::platform::paper_platform;
+    use clre_model::{qos::TaskMetrics, BaseImpl, PeTypeId, TaskType};
+
+    fn metrics(t: f64) -> TaskMetrics {
+        TaskMetrics {
+            min_exec_time: t,
+            avg_exec_time: t,
+            error_prob: 0.0,
+            eta: 1e8,
+            power: 1.0,
+            energy: t,
+            peak_temp: 320.0,
+        }
+    }
+
+    fn diamond() -> TaskGraph {
+        let ty = TaskType::new("f").with_impl(BaseImpl::new("i", PeTypeId::new(0), 1e5, 1e-9));
+        TaskGraph::builder("d", 1.0)
+            .task_type(ty)
+            .task("a", "f")
+            .unwrap()
+            .task("b", "f")
+            .unwrap()
+            .task("c", "f")
+            .unwrap()
+            .task("d", "f")
+            .unwrap()
+            .edge(0, 1)
+            .edge(0, 2)
+            .edge(1, 3)
+            .edge(2, 3)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn diamond_parallel_on_two_pes() {
+        let g = diamond();
+        let p = paper_platform();
+        // b on PE0, c on PE1 → they overlap; makespan = 3 slots not 4.
+        let pes = vec![PeId::new(0), PeId::new(0), PeId::new(1), PeId::new(0)];
+        let m = Mapping::new(
+            pes,
+            vec![metrics(1.0); 4],
+            (0..4).map(TaskId::new).collect(),
+        );
+        let s = list_schedule(&g, &p, &m).unwrap();
+        assert_eq!(s.makespan(), 3.0);
+        assert_eq!(s.interval(TaskId::new(1)).start, 1.0);
+        assert_eq!(s.interval(TaskId::new(2)).start, 1.0);
+        assert_eq!(s.interval(TaskId::new(3)).start, 2.0);
+    }
+
+    #[test]
+    fn diamond_serial_on_one_pe() {
+        let g = diamond();
+        let p = paper_platform();
+        let m = Mapping::uniform(&g, PeId::new(0), metrics(1.0));
+        let s = list_schedule(&g, &p, &m).unwrap();
+        assert_eq!(s.makespan(), 4.0);
+        // No overlap on the single PE.
+        let mut iv: Vec<_> = s.intervals().to_vec();
+        iv.sort_by(|a, b| a.start.partial_cmp(&b.start).unwrap());
+        for w in iv.windows(2) {
+            assert!(w[1].start >= w[0].end - 1e-12);
+        }
+    }
+
+    #[test]
+    fn priority_breaks_ties() {
+        // Two independent tasks on one PE: priority decides the order.
+        let ty = TaskType::new("f").with_impl(BaseImpl::new("i", PeTypeId::new(0), 1e5, 1e-9));
+        let g = TaskGraph::builder("p", 1.0)
+            .task_type(ty)
+            .task("a", "f")
+            .unwrap()
+            .task("b", "f")
+            .unwrap()
+            .build()
+            .unwrap();
+        let p = paper_platform();
+        let m = Mapping::new(
+            vec![PeId::new(0); 2],
+            vec![metrics(1.0), metrics(2.0)],
+            vec![TaskId::new(1), TaskId::new(0)], // b first
+        );
+        let s = list_schedule(&g, &p, &m).unwrap();
+        assert_eq!(s.interval(TaskId::new(1)).start, 0.0);
+        assert_eq!(s.interval(TaskId::new(0)).start, 2.0);
+        assert_eq!(s.makespan(), 3.0);
+    }
+
+    #[test]
+    fn dependencies_always_respected() {
+        // Even when the priority order inverts the topological order, a
+        // successor never starts before its predecessor ends.
+        let g = diamond();
+        let p = paper_platform();
+        let m = Mapping::new(
+            vec![PeId::new(0), PeId::new(1), PeId::new(2), PeId::new(3)],
+            vec![metrics(1.0); 4],
+            vec![
+                TaskId::new(3),
+                TaskId::new(2),
+                TaskId::new(1),
+                TaskId::new(0),
+            ],
+        );
+        let s = list_schedule(&g, &p, &m).unwrap();
+        for &(f, t) in g.edges() {
+            assert!(s.interval(t).start >= s.interval(f).end - 1e-12);
+        }
+    }
+
+    #[test]
+    fn propagates_validation_errors() {
+        let g = diamond();
+        let p = paper_platform();
+        let m = Mapping::new(
+            vec![PeId::new(0); 4],
+            vec![metrics(1.0); 4],
+            vec![TaskId::new(0); 4],
+        );
+        assert!(list_schedule(&g, &p, &m).is_err());
+    }
+
+    #[test]
+    fn interconnect_delays_cross_pe_edges_only() {
+        use clre_model::platform::{DvfsMode, Interconnect, PeType, Platform};
+        let platform = Platform::builder()
+            .pe_type(
+                PeType::processor("p", 2.0, 0.3).with_dvfs_mode(DvfsMode::new("m", 1.0, 1.0e8)),
+            )
+            .pes_of_type("p", 2)
+            .unwrap()
+            .interconnect(Interconnect::new(0.5, 10.0))
+            .build()
+            .unwrap();
+        let ty = TaskType::new("f").with_impl(BaseImpl::new("i", PeTypeId::new(0), 1e5, 1e-9));
+        let g = TaskGraph::builder("c", 1.0)
+            .task_type(ty)
+            .task("a", "f")
+            .unwrap()
+            .task("b", "f")
+            .unwrap()
+            .edge_with_volume(0, 1, 20.0)
+            .build()
+            .unwrap();
+        // Same PE: no communication cost.
+        let same = Mapping::uniform(&g, PeId::new(0), metrics(1.0));
+        let s_same = list_schedule(&g, &platform, &same).unwrap();
+        assert_eq!(s_same.makespan(), 2.0);
+        // Cross PE: 0.5 s latency + 20 B / 10 B/s = 2.5 s extra.
+        let cross = Mapping::new(
+            vec![PeId::new(0), PeId::new(1)],
+            vec![metrics(1.0); 2],
+            vec![TaskId::new(0), TaskId::new(1)],
+        );
+        let s_cross = list_schedule(&g, &platform, &cross).unwrap();
+        assert!((s_cross.interval(TaskId::new(1)).start - 3.5).abs() < 1e-12);
+        assert!((s_cross.makespan() - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_interconnect_means_free_communication() {
+        let g = diamond();
+        let p = paper_platform(); // declares no interconnect
+        let cross = Mapping::new(
+            vec![PeId::new(0), PeId::new(1), PeId::new(2), PeId::new(3)],
+            vec![metrics(1.0); 4],
+            (0..4).map(TaskId::new).collect(),
+        );
+        let s = list_schedule(&g, &p, &cross).unwrap();
+        assert_eq!(s.makespan(), 3.0);
+    }
+
+    #[test]
+    fn pe_exclusivity_holds_under_random_mappings() {
+        // Deterministic pseudo-random sweep: no two intervals on one PE
+        // may overlap.
+        let g = diamond();
+        let p = paper_platform();
+        let mut state = 12345u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) as usize
+        };
+        for _ in 0..50 {
+            let pes: Vec<PeId> = (0..4).map(|_| PeId::new((next() % 6) as u32)).collect();
+            let mut prio: Vec<TaskId> = (0..4).map(TaskId::new).collect();
+            for i in (1..4).rev() {
+                prio.swap(i, next() % (i + 1));
+            }
+            let m = Mapping::new(pes, vec![metrics(1.0); 4], prio);
+            let s = list_schedule(&g, &p, &m).unwrap();
+            for a in s.intervals() {
+                for b in s.intervals() {
+                    if a.task != b.task && a.pe == b.pe {
+                        assert!(a.end <= b.start + 1e-12 || b.end <= a.start + 1e-12);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Task-level DVFS/reliability trade-off exploration (the Fig. 6(a)
+//! study): enumerate one task type's full candidate space and print the
+//! Pareto front of every DVFS operating point.
+//!
+//! ```sh
+//! cargo run --release --example dvfs_tradeoffs
+//! ```
+
+use clrearly::core::apps;
+use clrearly::core::tdse::{candidates_for_type, TdseConfig};
+use clrearly::model::{TaskGraph, TaskType, TaskTypeId};
+use clrearly::moea::pareto::non_dominated_indices;
+use clrearly::profile::SyntheticCharacterizer;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let platform = apps::sobel_platform();
+    let ch = SyntheticCharacterizer::new(42);
+    let mut ty = TaskType::new("matmul");
+    for imp in ch.impls_for_type(0, &platform) {
+        ty = ty.with_impl(imp);
+    }
+    let graph = TaskGraph::builder("single", 10.0e-3)
+        .task_type(ty)
+        .task("t0", "matmul")?
+        .build()?;
+
+    let cands = candidates_for_type(&graph, &platform, TaskTypeId::new(0), &TdseConfig::new())?;
+    let proc = platform
+        .pe_type_by_name("embedded-proc")
+        .expect("platform defines the processor type");
+    let modes = platform
+        .pe_type(proc)
+        .expect("valid type id")
+        .dvfs_modes()
+        .to_vec();
+
+    println!(
+        "{} candidates across {} DVFS modes\n",
+        cands.len(),
+        modes.len()
+    );
+    for (mode_idx, mode) in modes.iter().enumerate() {
+        let mode_cands: Vec<_> = cands
+            .iter()
+            .filter(|c| c.pe_type == proc && c.dvfs.index() == mode_idx)
+            .collect();
+        let points: Vec<Vec<f64>> = mode_cands
+            .iter()
+            .map(|c| vec![c.metrics.avg_exec_time, c.metrics.error_prob])
+            .collect();
+        let front = non_dominated_indices(&points);
+        println!(
+            "== {} : {} candidates, {} Pareto points ==",
+            mode.name(),
+            mode_cands.len(),
+            front.len()
+        );
+        println!(
+            "{:<14} {:<12} CLR configuration",
+            "avg-time[us]", "err-prob[%]"
+        );
+        let mut rows: Vec<_> = front.iter().map(|&i| mode_cands[i]).collect();
+        rows.sort_by(|a, b| {
+            a.metrics
+                .avg_exec_time
+                .partial_cmp(&b.metrics.avg_exec_time)
+                .expect("finite")
+        });
+        for c in rows {
+            println!(
+                "{:<14.1} {:<12.4} {}",
+                c.metrics.avg_exec_time * 1.0e6,
+                c.metrics.error_prob * 100.0,
+                c.clr
+            );
+        }
+        println!();
+    }
+    Ok(())
+}

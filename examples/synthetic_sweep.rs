@@ -1,0 +1,38 @@
+//! Scaling study on synthetic TGFF-style applications: compares the
+//! proposed two-stage methodology against fcCLR and pfCLR as the task
+//! count grows (the Tables VI/VII regime at example scale).
+//!
+//! ```sh
+//! cargo run --release --example synthetic_sweep
+//! ```
+
+use clrearly::core::apps;
+use clrearly::core::methodology::{reference_point, ClrEarly, StageBudget};
+use clrearly::moea::hypervolume::{hypervolume, percent_increase};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!(
+        "{:<8} {:>12} {:>12} {:>12} {:>16} {:>16}",
+        "#tasks", "hv(fcCLR)", "hv(pfCLR)", "hv(prop)", "prop vs fc [%]", "prop vs pf [%]"
+    );
+    for tasks in [10usize, 20, 30] {
+        let (platform, graph) = apps::synthetic_app(tasks, 100 + tasks as u64)?;
+        let dse = ClrEarly::new(&graph, &platform)?;
+        let budget = StageBudget::new(40, 40).with_seed(5);
+        let fc = dse.run_fc(&budget)?.objectives();
+        let pf = dse.run_pf(&budget)?.objectives();
+        let prop = dse.run_proposed(&budget)?.objectives();
+        let r = reference_point([fc.as_slice(), pf.as_slice(), prop.as_slice()]);
+        let (hf, hp, hr) = (
+            hypervolume(&fc, &r),
+            hypervolume(&pf, &r),
+            hypervolume(&prop, &r),
+        );
+        println!(
+            "{tasks:<8} {hf:>12.4e} {hp:>12.4e} {hr:>12.4e} {:>16.1} {:>16.1}",
+            percent_increase(hr, hf),
+            percent_increase(hr, hp)
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,42 @@
+//! `clrearly` — facade crate for the CL(R)Early reproduction.
+//!
+//! Re-exports every workspace crate under one roof so applications (and
+//! the examples in `examples/`) can depend on a single crate:
+//!
+//! * [`core`] — the DSE methodology (tDSE, fcCLR/pfCLR/proposed/Agnostic).
+//! * [`model`] — platform / application / CLR / QoS domain model.
+//! * [`markov`] — absorbing Markov chains and the Fig. 3 chain builders.
+//! * [`profile`] — the gem5/McPAT-substitute characterization models.
+//! * [`tgff`] — the TGFF-style synthetic task-graph generator.
+//! * [`sched`] — list scheduling and Table III QoS estimation.
+//! * [`moea`] — NSGA-II, Pareto utilities and hypervolume.
+//! * [`sim`] — Monte-Carlo fault injection validating the Markov models.
+//! * [`num`] — dense linear algebra and `Γ(x)`.
+//!
+//! # Examples
+//!
+//! ```
+//! use clrearly::core::apps;
+//! use clrearly::core::methodology::{ClrEarly, StageBudget};
+//!
+//! # fn main() -> Result<(), clrearly::core::DseError> {
+//! let platform = apps::paper_platform();
+//! let graph = apps::sobel(&platform, 42)?;
+//! let front = ClrEarly::new(&graph, &platform)?
+//!     .run_proposed(&StageBudget::smoke_test())?;
+//! assert!(!front.front().is_empty());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use clre as core;
+pub use clre_markov as markov;
+pub use clre_model as model;
+pub use clre_moea as moea;
+pub use clre_num as num;
+pub use clre_profile as profile;
+pub use clre_sched as sched;
+pub use clre_sim as sim;
+pub use clre_tgff as tgff;

@@ -1,0 +1,118 @@
+//! Property-based tests of the GA encoding: every operator sequence over
+//! random graphs must preserve permutation validity and choice
+//! compatibility, and decoding must always produce schedulable mappings.
+
+use clrearly::core::encoding::{ChoiceMode, ClrVariation, Codec, Genome};
+use clrearly::core::tdse::{build_library, TdseConfig};
+use clrearly::model::platform::paper_platform;
+use clrearly::moea::Variation;
+use clrearly::profile::SyntheticCharacterizer;
+use clrearly::sched::QosEvaluator;
+use clrearly::tgff::TgffConfig;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn is_valid(codec: &Codec<'_>, genome: &Genome) -> bool {
+    let n = codec.graph().task_count();
+    let mut seen = vec![false; n];
+    for g in genome {
+        if g.task.index() >= n || seen[g.task.index()] {
+            return false;
+        }
+        seen[g.task.index()] = true;
+        let ty = codec.graph().tasks()[g.task.index()].task_type();
+        if codec
+            .choices(ty, g.pe)
+            .binary_search(&(g.choice as usize))
+            .is_err()
+        {
+            return false;
+        }
+    }
+    genome.len() == n
+}
+
+proptest! {
+    // Library construction dominates runtime; keep the case count modest.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn operator_chains_preserve_validity(
+        tasks in 2usize..20,
+        graph_seed in 0u64..100,
+        rng_seed in 0u64..1000,
+        ops in prop::collection::vec(0u8..3, 1..25),
+        pareto in prop::bool::ANY,
+    ) {
+        let platform = paper_platform();
+        let ch = SyntheticCharacterizer::new(5);
+        let graph = clrearly::tgff::generate(
+            &TgffConfig::new(tasks).with_type_count(3),
+            graph_seed,
+            |ty| ch.impls_for_type(ty, &platform),
+        ).expect("generator");
+        let library = build_library(&graph, &platform, &TdseConfig::new())
+            .expect("library");
+        let mode = if pareto { ChoiceMode::ParetoFiltered } else { ChoiceMode::Full };
+        let codec = Codec::new(&graph, &platform, &library, mode).expect("codec");
+        let var = ClrVariation::new(&codec);
+        let mut rng = StdRng::seed_from_u64(rng_seed);
+
+        let mut a = codec.random_genome(&mut rng);
+        let mut b = codec.random_genome(&mut rng);
+        prop_assert!(is_valid(&codec, &a));
+        prop_assert!(is_valid(&codec, &b));
+
+        for &op in &ops {
+            match op {
+                0 => {
+                    let (c1, c2) = var.crossover(&a, &b, &mut rng);
+                    a = c1;
+                    b = c2;
+                }
+                1 => var.mutate(&mut a, &mut rng),
+                _ => var.mutate(&mut b, &mut rng),
+            }
+            prop_assert!(is_valid(&codec, &a), "a invalidated by op {op}");
+            prop_assert!(is_valid(&codec, &b), "b invalidated by op {op}");
+        }
+
+        // Decoded mappings always schedule and yield physical metrics.
+        let mapping = codec.decode(&a);
+        let q = QosEvaluator::new(&platform)
+            .evaluate(&graph, &mapping)
+            .expect("decoded mapping schedules");
+        prop_assert!(q.makespan > 0.0);
+        prop_assert!((0.0..=1.0).contains(&q.error_prob));
+    }
+
+    #[test]
+    fn pareto_mode_choices_subset_of_full(
+        tasks in 2usize..12,
+        graph_seed in 0u64..50,
+    ) {
+        let platform = paper_platform();
+        let ch = SyntheticCharacterizer::new(5);
+        let graph = clrearly::tgff::generate(
+            &TgffConfig::new(tasks).with_type_count(3),
+            graph_seed,
+            |ty| ch.impls_for_type(ty, &platform),
+        ).expect("generator");
+        let library = build_library(&graph, &platform, &TdseConfig::new())
+            .expect("library");
+        let pf = Codec::new(&graph, &platform, &library, ChoiceMode::ParetoFiltered)
+            .expect("pf codec");
+        let fc = Codec::new(&graph, &platform, &library, ChoiceMode::Full)
+            .expect("fc codec");
+        for task in graph.tasks() {
+            for pe in platform.pes() {
+                let small = pf.choices(task.task_type(), pe.id());
+                let big = fc.choices(task.task_type(), pe.id());
+                for c in small {
+                    prop_assert!(big.contains(c), "pf choice {c} not in full set");
+                }
+            }
+        }
+    }
+}

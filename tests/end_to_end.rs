@@ -1,0 +1,134 @@
+//! End-to-end integration tests spanning every crate: application
+//! construction → task-level DSE → system-level search → QoS metrics.
+
+use clrearly::core::apps;
+use clrearly::core::methodology::{reference_point, ClrEarly, StageBudget};
+use clrearly::core::tdse::{build_library, TdseConfig};
+use clrearly::model::qos::ObjectiveSet;
+use clrearly::model::TaskTypeId;
+use clrearly::moea::hypervolume::hypervolume;
+use clrearly::moea::pareto::non_dominated_indices;
+
+#[test]
+fn sobel_full_pipeline() {
+    let platform = apps::paper_platform();
+    let graph = apps::sobel(&platform, 42).expect("sobel builds");
+    let dse = ClrEarly::new(&graph, &platform).expect("tDSE succeeds");
+    let budget = StageBudget::smoke_test();
+    let result = dse.run_proposed(&budget).expect("proposed runs");
+    assert!(!result.front().is_empty());
+    for p in result.front() {
+        // Makespan must be at least the longest single task (serial lower
+        // bound is harder to state; this sanity bound always holds).
+        assert!(p.metrics.makespan > 1.0e-5);
+        assert!(p.metrics.makespan < 1.0);
+        assert!((0.0..=1.0).contains(&p.metrics.error_prob));
+        assert!(p.metrics.mttf > 0.0);
+        assert!(p.metrics.energy > 0.0);
+        assert!(p.metrics.peak_power > 0.0);
+    }
+}
+
+#[test]
+fn front_is_internally_consistent() {
+    let (platform, graph) = apps::synthetic_app(12, 5).expect("app builds");
+    let dse = ClrEarly::new(&graph, &platform).expect("tDSE succeeds");
+    let result = dse.run_pf(&StageBudget::smoke_test()).expect("runs");
+    // Objectives really are (makespan, error_prob) of the metrics.
+    for p in result.front() {
+        assert_eq!(p.objectives[0], p.metrics.makespan);
+        assert_eq!(p.objectives[1], p.metrics.error_prob);
+    }
+    // And mutually non-dominated.
+    let objs = result.objectives();
+    assert_eq!(non_dominated_indices(&objs).len(), objs.len());
+}
+
+#[test]
+fn proposed_dominates_fcclr_on_medium_apps() {
+    let (platform, graph) = apps::synthetic_app(30, 9).expect("app builds");
+    let dse = ClrEarly::new(&graph, &platform).expect("tDSE succeeds");
+    let budget = StageBudget::new(24, 16).with_seed(5);
+    let fc = dse.run_fc(&budget).expect("fc runs").objectives();
+    let prop = dse
+        .run_proposed(&budget)
+        .expect("proposed runs")
+        .objectives();
+    let r = reference_point([fc.as_slice(), prop.as_slice()]);
+    assert!(
+        hypervolume(&prop, &r) > hypervolume(&fc, &r),
+        "proposed must beat fcCLR at T=30"
+    );
+}
+
+#[test]
+fn whole_flow_is_deterministic() {
+    let run = || {
+        let (platform, graph) = apps::synthetic_app(10, 3).expect("app builds");
+        let dse = ClrEarly::new(&graph, &platform).expect("tDSE succeeds");
+        dse.run_proposed(&StageBudget::smoke_test().with_seed(77))
+            .expect("runs")
+            .objectives()
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn library_counts_match_catalog_arithmetic() {
+    let platform = apps::sobel_platform();
+    let graph = apps::sobel(&platform, 42).expect("sobel builds");
+    let lib = build_library(&graph, &platform, &TdseConfig::new()).expect("library");
+    // 1 processor impl × 3 modes × 80 CLR + 1 accel impl × 1 mode × 80.
+    for ty in 0..4 {
+        assert_eq!(lib.full_count(TaskTypeId::new(ty)), 3 * 80 + 80);
+        let pareto = lib.pareto_count(TaskTypeId::new(ty));
+        assert!((2..80).contains(&pareto), "pareto count {pareto} off-range");
+    }
+}
+
+#[test]
+fn tasklevel_objective_sets_shape_system_search_space() {
+    let (platform, graph) = apps::synthetic_app(10, 7).expect("app builds");
+    let small = ClrEarly::with_tdse_config(
+        &graph,
+        &platform,
+        TdseConfig::new().with_objectives(ObjectiveSet::set_ii()),
+    )
+    .expect("tDSE");
+    let large = ClrEarly::with_tdse_config(
+        &graph,
+        &platform,
+        TdseConfig::new().with_objectives(ObjectiveSet::set_iii()),
+    )
+    .expect("tDSE");
+    let total = |dse: &ClrEarly<'_>| -> usize {
+        (0..graph.task_types().len())
+            .map(|ty| dse.library().pareto_count(TaskTypeId::new(ty as u32)))
+            .sum()
+    };
+    assert!(total(&large) > total(&small));
+}
+
+#[test]
+fn agnostic_is_dominated_in_error_floor() {
+    // The cross-layer front must reach a lower application error than the
+    // best single-layer combination — the core CLR claim.
+    let (platform, graph) = apps::synthetic_app(15, 21).expect("app builds");
+    let dse = ClrEarly::new(&graph, &platform).expect("tDSE succeeds");
+    let budget = StageBudget::new(24, 16).with_seed(2);
+    let clr = dse.run_proposed(&budget).expect("clr runs");
+    let agn = dse.run_agnostic(&budget).expect("agnostic runs");
+    let min_err = |front: &clrearly::core::FrontResult| {
+        front
+            .front()
+            .iter()
+            .map(|p| p.metrics.error_prob)
+            .fold(f64::MAX, f64::min)
+    };
+    assert!(
+        min_err(&clr) < min_err(&agn),
+        "CLR error floor {} must undercut agnostic {}",
+        min_err(&clr),
+        min_err(&agn)
+    );
+}

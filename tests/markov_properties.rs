@@ -1,0 +1,128 @@
+//! Property-based tests of the Markov-chain reliability analysis: the
+//! general matrix solver must agree with the loop-free closed form, and
+//! the physics must be monotone in every masking knob.
+
+use clrearly::markov::closed_form;
+use clrearly::markov::clr::{analyze, ClrChainParams};
+use proptest::prelude::*;
+
+fn arb_params() -> impl Strategy<Value = ClrChainParams> {
+    (
+        1.0e-5..2.0e-3f64, // exec_time
+        0.0..2000.0f64,    // seu_rate
+        0.0..0.99f64,      // m_hw
+        0.0..0.5f64,       // m_impl_ssw
+        0.0..0.99f64,      // cov_det
+        0.0..0.99f64,      // m_tol
+        0.0..0.99f64,      // m_asw
+        0.0..0.2f64,       // det overhead fraction
+        0.0..0.2f64,       // tol overhead fraction
+    )
+        .prop_map(
+            |(exec_time, seu, m_hw, m_impl, cov, m_tol, m_asw, det, tol)| ClrChainParams {
+                exec_time,
+                seu_rate: seu,
+                m_hw,
+                m_impl_ssw: m_impl,
+                cov_det: cov,
+                m_tol,
+                m_asw,
+                intervals: 1,
+                t_det: det * exec_time,
+                t_tol: tol * exec_time,
+                t_chk: 0.0,
+                p_chk_err: 0.0,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn matrix_solver_matches_closed_form(p in arb_params()) {
+        let exact = closed_form::analyze(&p).expect("single-interval closed form");
+        let markov = analyze(&p).expect("markov analysis");
+        prop_assert!((exact.error_prob - markov.error_prob).abs() < 1e-9,
+            "err: {} vs {}", exact.error_prob, markov.error_prob);
+        let rel = ((exact.avg_exec_time - markov.avg_exec_time)
+            / exact.avg_exec_time).abs();
+        prop_assert!(rel < 1e-9, "time: {} vs {}", exact.avg_exec_time, markov.avg_exec_time);
+    }
+
+    #[test]
+    fn error_prob_is_a_probability(p in arb_params()) {
+        let r = analyze(&p).expect("markov analysis");
+        prop_assert!((0.0..=1.0).contains(&r.error_prob));
+        prop_assert!(r.avg_exec_time >= r.min_exec_time - 1e-12);
+        prop_assert!(r.avg_exec_time.is_finite());
+    }
+
+    #[test]
+    fn hw_masking_monotone(p in arb_params(), bump in 0.001..0.3f64) {
+        let base = analyze(&p).expect("base analysis");
+        let mut stronger = p;
+        stronger.m_hw = (p.m_hw + bump).min(0.999);
+        let better = analyze(&stronger).expect("bumped analysis");
+        prop_assert!(better.error_prob <= base.error_prob + 1e-12);
+    }
+
+    #[test]
+    fn asw_masking_monotone(p in arb_params(), bump in 0.001..0.3f64) {
+        let base = analyze(&p).expect("base analysis");
+        let mut stronger = p;
+        stronger.m_asw = (p.m_asw + bump).min(0.999);
+        let better = analyze(&stronger).expect("bumped analysis");
+        prop_assert!(better.error_prob <= base.error_prob + 1e-12);
+    }
+
+    #[test]
+    fn seu_rate_monotone_in_error(p in arb_params()) {
+        let base = analyze(&p).expect("base analysis");
+        let mut harsher = p;
+        harsher.seu_rate = p.seu_rate * 2.0 + 10.0;
+        let worse = analyze(&harsher).expect("harsher analysis");
+        prop_assert!(worse.error_prob >= base.error_prob - 1e-12);
+    }
+
+    #[test]
+    fn more_intervals_never_lose_time_at_high_fault_rates(
+        base in arb_params(),
+    ) {
+        // With detection+tolerance active and non-trivial fault rates,
+        // checkpointing bounds re-execution: avg time with k=4 must not
+        // exceed k=1 by more than the checkpoint overhead it adds.
+        let p1 = ClrChainParams {
+            cov_det: 0.95,
+            m_tol: 0.95,
+            seu_rate: 2000.0,
+            intervals: 1,
+            t_chk: 0.01 * base.exec_time,
+            ..base
+        };
+        let p4 = ClrChainParams { intervals: 4, ..p1 };
+        let r1 = analyze(&p1).expect("k=1");
+        let r4 = analyze(&p4).expect("k=4");
+        // k=4 pays 3 extra checkpoints and 3 extra detection residences
+        // fault-free (t_det is per inter-checkpoint interval), but each
+        // detected error re-executes only a quarter of the work. The
+        // deterministic overhead delta bounds any fault-free loss; allow
+        // a small slack for recovery-path differences at low fault rates.
+        let static_overhead = 3.0 * (p4.t_chk + p4.t_det);
+        prop_assert!(
+            r4.avg_exec_time <= r1.avg_exec_time * 1.05 + static_overhead + 1e-12,
+            "k=4 {} vs k=1 {}", r4.avg_exec_time, r1.avg_exec_time);
+        prop_assert!((r4.min_exec_time - (r1.min_exec_time + static_overhead)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn absorption_probabilities_always_sum_to_one(
+        p in arb_params(), intervals in 1u32..5
+    ) {
+        let p = ClrChainParams { intervals, p_chk_err: 1e-4, t_chk: 0.02 * p.exec_time, ..p };
+        let (chain, start) = clrearly::markov::clr::functional_chain(&p).expect("chain");
+        let probs = chain.absorption_probabilities(start).expect("absorbing");
+        let total: f64 = probs.values().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9, "sum = {total}");
+    }
+}

@@ -1,0 +1,141 @@
+//! Property-based tests of the MOEA substrate: dominance, Pareto
+//! filtering, non-dominated sorting, crowding and hypervolume invariants.
+
+use clrearly::moea::hypervolume::{hypervolume, hypervolume_2d};
+use clrearly::moea::pareto::{
+    crowding_distance, dominates, fast_non_dominated_sort, non_dominated_indices, pareto_filter,
+};
+use proptest::prelude::*;
+
+fn arb_points(dim: usize, max: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(prop::collection::vec(0.0..10.0f64, dim), 1..max)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn dominance_is_irreflexive_and_antisymmetric(p in prop::collection::vec(0.0..10.0f64, 3)) {
+        prop_assert!(!dominates(&p, &p));
+        let q: Vec<f64> = p.iter().map(|x| x + 1.0).collect();
+        prop_assert!(dominates(&p, &q));
+        prop_assert!(!dominates(&q, &p));
+    }
+
+    #[test]
+    fn pareto_filter_is_idempotent(points in arb_points(2, 40)) {
+        let once = pareto_filter(&points);
+        let twice = pareto_filter(&once);
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn filtered_points_are_mutually_nondominated(points in arb_points(3, 40)) {
+        let front = pareto_filter(&points);
+        for a in &front {
+            for b in &front {
+                prop_assert!(!dominates(a, b) || a == b);
+            }
+        }
+    }
+
+    #[test]
+    fn every_dropped_point_is_dominated_or_duplicate(points in arb_points(2, 30)) {
+        let keep = non_dominated_indices(&points);
+        for (i, p) in points.iter().enumerate() {
+            if keep.contains(&i) {
+                continue;
+            }
+            let covered = points
+                .iter()
+                .enumerate()
+                .any(|(j, q)| i != j && (dominates(q, p) || (q == p && j < i)));
+            prop_assert!(covered, "point {i} dropped without a dominator");
+        }
+    }
+
+    #[test]
+    fn sort_fronts_partition_population(points in arb_points(2, 40)) {
+        let violations = vec![0.0; points.len()];
+        let fronts = fast_non_dominated_sort(&points, &violations);
+        let mut seen = vec![false; points.len()];
+        for front in &fronts {
+            for &i in front {
+                prop_assert!(!seen[i], "index {i} in two fronts");
+                seen[i] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+        // Front 0 must equal the non-dominated filter result (as sets).
+        let mut f0 = fronts[0].clone();
+        f0.sort_unstable();
+        let mut nd = non_dominated_indices(&points);
+        // non_dominated_indices drops exact duplicates; front 0 keeps them.
+        // Every nd index must be in front 0.
+        nd.retain(|i| !f0.contains(i));
+        prop_assert!(nd.is_empty(), "nd indices missing from front 0: {nd:?}");
+    }
+
+    #[test]
+    fn later_fronts_are_dominated_by_earlier(points in arb_points(2, 25)) {
+        let violations = vec![0.0; points.len()];
+        let fronts = fast_non_dominated_sort(&points, &violations);
+        for w in fronts.windows(2) {
+            for &later in &w[1] {
+                let dominated = w[0]
+                    .iter()
+                    .any(|&earlier| dominates(&points[earlier], &points[later]));
+                prop_assert!(dominated, "front member {later} not dominated by previous front");
+            }
+        }
+    }
+
+    #[test]
+    fn crowding_is_nonnegative_and_boundaries_infinite(points in arb_points(2, 20)) {
+        let front = pareto_filter(&points);
+        let d = crowding_distance(&front);
+        prop_assert!(d.iter().all(|&x| x >= 0.0));
+        if front.len() > 2 {
+            let inf = d.iter().filter(|x| x.is_infinite()).count();
+            prop_assert!(inf >= 2, "at least both boundary points must be infinite");
+        }
+    }
+
+    #[test]
+    fn hypervolume_nonnegative_and_bounded(points in arb_points(2, 30)) {
+        let r = [11.0, 11.0];
+        let hv = hypervolume_2d(&points, &r);
+        prop_assert!(hv >= 0.0);
+        // Bounded by the box from the ideal corner to the reference.
+        prop_assert!(hv <= 11.0 * 11.0 + 1e-9);
+    }
+
+    #[test]
+    fn hypervolume_monotone_under_union(a in arb_points(2, 15), b in arb_points(2, 15)) {
+        let r = [11.0, 11.0];
+        let mut union = a.clone();
+        union.extend(b);
+        prop_assert!(hypervolume_2d(&union, &r) >= hypervolume_2d(&a, &r) - 1e-12);
+    }
+
+    #[test]
+    fn wfg_agrees_with_sweep_in_2d(points in arb_points(2, 12)) {
+        // Route the same points through the n-D WFG machinery by lifting
+        // them to 3-D with a constant third axis; volumes must match the
+        // 2-D sweep times the third-axis extent.
+        let r2 = [11.0, 11.0];
+        let sweep = hypervolume_2d(&points, &r2);
+        let lifted: Vec<Vec<f64>> = points.iter().map(|p| vec![p[0], p[1], 5.0]).collect();
+        let wfg = hypervolume(&lifted, &[11.0, 11.0, 6.0]);
+        prop_assert!((wfg - sweep).abs() < 1e-9, "{wfg} vs {sweep}");
+    }
+
+    #[test]
+    fn dominated_points_never_change_hypervolume(points in arb_points(2, 20)) {
+        let r = [11.0, 11.0];
+        let full = hypervolume_2d(&points, &r);
+        let front = pareto_filter(&points);
+        let filtered = hypervolume_2d(&front, &r);
+        prop_assert!((full - filtered).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,168 @@
+//! Property-based tests of the scheduler and QoS estimator on randomly
+//! generated TGFF-style applications and random valid mappings.
+
+use clrearly::model::platform::paper_platform;
+use clrearly::model::qos::TaskMetrics;
+use clrearly::model::{PeId, TaskGraph, TaskId};
+use clrearly::sched::{list_schedule, Mapping, QosEvaluator};
+use clrearly::tgff::TgffConfig;
+use proptest::prelude::*;
+
+fn make_graph(tasks: usize, seed: u64) -> TaskGraph {
+    clrearly::tgff::generate(&TgffConfig::new(tasks).with_type_count(4), seed, |ty| {
+        vec![clrearly::model::BaseImpl::new(
+            format!("syn{ty}"),
+            clrearly::model::PeTypeId::new(0),
+            1.0e5,
+            1.0e-9,
+        )]
+    })
+    .expect("generator produces valid graphs")
+}
+
+fn make_mapping(graph: &TaskGraph, pe_picks: &[u8], times: &[u16], errs: &[u16]) -> Mapping {
+    let n = graph.task_count();
+    let pes: Vec<PeId> = (0..n)
+        .map(|i| PeId::new((pe_picks[i % pe_picks.len()] % 6) as u32))
+        .collect();
+    let metrics: Vec<TaskMetrics> = (0..n)
+        .map(|i| {
+            let t = 1.0e-5 + times[i % times.len()] as f64 * 1.0e-7;
+            let e = errs[i % errs.len()] as f64 / 65536.0 * 0.2;
+            TaskMetrics {
+                min_exec_time: t,
+                avg_exec_time: t,
+                error_prob: e,
+                eta: 3.0e8,
+                power: 0.5 + (i % 3) as f64 * 0.25,
+                energy: t,
+                peak_temp: 330.0,
+            }
+        })
+        .collect();
+    // Priority: reversed index order (worst case for naive schedulers).
+    let priority: Vec<TaskId> = (0..n as u32).rev().map(TaskId::new).collect();
+    Mapping::new(pes, metrics, priority)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn schedule_respects_dependencies_and_exclusivity(
+        tasks in 2usize..40,
+        seed in 0u64..500,
+        pe_picks in prop::collection::vec(0u8..6, 1..8),
+        times in prop::collection::vec(1u16..1000, 1..8),
+        errs in prop::collection::vec(0u16..65535, 1..8),
+    ) {
+        let graph = make_graph(tasks, seed);
+        let platform = paper_platform();
+        let mapping = make_mapping(&graph, &pe_picks, &times, &errs);
+        let schedule = list_schedule(&graph, &platform, &mapping).expect("valid mapping");
+
+        // Dependencies.
+        for &(f, t) in graph.edges() {
+            prop_assert!(schedule.interval(t).start >= schedule.interval(f).end - 1e-12);
+        }
+        // PE exclusivity.
+        for a in schedule.intervals() {
+            for b in schedule.intervals() {
+                if a.task != b.task && a.pe == b.pe {
+                    prop_assert!(a.end <= b.start + 1e-12 || b.end <= a.start + 1e-12);
+                }
+            }
+        }
+        // Makespan equals the latest end.
+        let max_end = schedule.intervals().iter().map(|i| i.end).fold(0.0, f64::max);
+        prop_assert!((schedule.makespan() - max_end).abs() < 1e-15);
+    }
+
+    #[test]
+    fn makespan_bounds_hold(
+        tasks in 2usize..30,
+        seed in 0u64..200,
+        times in prop::collection::vec(1u16..1000, 1..8),
+    ) {
+        let graph = make_graph(tasks, seed);
+        let platform = paper_platform();
+        let mapping = make_mapping(&graph, &[0, 1, 2, 3, 4, 5], &times, &[0]);
+        let schedule = list_schedule(&graph, &platform, &mapping).expect("valid mapping");
+        let total: f64 = (0..tasks)
+            .map(|i| mapping.metrics_of(TaskId::new(i as u32)).avg_exec_time)
+            .sum();
+        let longest = (0..tasks)
+            .map(|i| mapping.metrics_of(TaskId::new(i as u32)).avg_exec_time)
+            .fold(0.0, f64::max);
+        // Lower bound: the longest task; upper bound: full serialization.
+        prop_assert!(schedule.makespan() >= longest - 1e-12);
+        prop_assert!(schedule.makespan() <= total + 1e-12);
+    }
+
+    #[test]
+    fn qos_metrics_are_physical(
+        tasks in 2usize..30,
+        seed in 0u64..200,
+        pe_picks in prop::collection::vec(0u8..6, 1..8),
+        errs in prop::collection::vec(0u16..60000, 1..8),
+    ) {
+        let graph = make_graph(tasks, seed);
+        let platform = paper_platform();
+        let mapping = make_mapping(&graph, &pe_picks, &[100, 300, 700], &errs);
+        let q = QosEvaluator::new(&platform).evaluate(&graph, &mapping).expect("valid");
+        prop_assert!((0.0..=1.0).contains(&q.error_prob));
+        prop_assert!(q.mttf > 0.0);
+        prop_assert!(q.energy > 0.0);
+        // Peak power is at most the sum and at least the max of powers.
+        let powers: Vec<f64> = (0..tasks)
+            .map(|i| mapping.metrics_of(TaskId::new(i as u32)).power)
+            .collect();
+        let sum: f64 = powers.iter().sum();
+        let max = powers.iter().copied().fold(0.0, f64::max);
+        prop_assert!(q.peak_power <= sum + 1e-9);
+        prop_assert!(q.peak_power >= max - 1e-9);
+    }
+
+    #[test]
+    fn serializing_onto_one_pe_never_improves_makespan(
+        tasks in 2usize..25,
+        seed in 0u64..200,
+    ) {
+        let graph = make_graph(tasks, seed);
+        let platform = paper_platform();
+        let spread = make_mapping(&graph, &[0, 1, 2, 3, 4, 5], &[500], &[0]);
+        let singled = make_mapping(&graph, &[2], &[500], &[0]);
+        let ev = QosEvaluator::new(&platform);
+        let q_spread = ev.evaluate(&graph, &spread).expect("valid");
+        let q_single = ev.evaluate(&graph, &singled).expect("valid");
+        prop_assert!(q_single.makespan >= q_spread.makespan - 1e-12);
+        // Serial execution has unit concurrency: peak power == max power.
+        let max_power = (0..tasks)
+            .map(|i| singled.metrics_of(TaskId::new(i as u32)).power)
+            .fold(0.0, f64::max);
+        prop_assert!((q_single.peak_power - max_power).abs() < 1e-9);
+    }
+
+    #[test]
+    fn error_prob_monotone_in_any_task(
+        tasks in 2usize..20,
+        seed in 0u64..100,
+        which in 0usize..20,
+        bump in 1u16..20000,
+    ) {
+        let graph = make_graph(tasks, seed);
+        let platform = paper_platform();
+        let which = which % tasks;
+        let base_errs: Vec<u16> = vec![1000; tasks];
+        let mut bumped = base_errs.clone();
+        bumped[which] = bumped[which].saturating_add(bump);
+        let ev = QosEvaluator::new(&platform);
+        let q0 = ev
+            .evaluate(&graph, &make_mapping(&graph, &[0, 1], &[100], &base_errs))
+            .expect("valid");
+        let q1 = ev
+            .evaluate(&graph, &make_mapping(&graph, &[0, 1], &[100], &bumped))
+            .expect("valid");
+        prop_assert!(q1.error_prob >= q0.error_prob - 1e-12);
+    }
+}
