@@ -122,19 +122,18 @@ impl<'a> Codec<'a> {
         }
     }
 
-    /// The valid candidate choices for a task type on a given PE.
+    /// The valid candidate choices for a task type on a given PE; an
+    /// out-of-range `pe` simply has no choices (empty slice), so callers
+    /// uniformly treat it as "not mappable there".
     ///
     /// # Panics
     ///
-    /// Panics if `pe` or `ty` is out of range.
+    /// Panics if `ty` is out of range.
     pub fn choices(&self, ty: TaskTypeId, pe: PeId) -> &[usize] {
-        let pe_ty = self
-            .platform
-            .pe(pe)
-            .expect("validated PE id")
-            .pe_type()
-            .index();
-        Self::choice_list(self.library, self.mode, ty, pe_ty)
+        match self.platform.pe(pe) {
+            Some(pe) => Self::choice_list(self.library, self.mode, ty, pe.pe_type().index()),
+            None => &[],
+        }
     }
 
     /// The application graph.
@@ -208,13 +207,66 @@ impl<'a> Codec<'a> {
         }
     }
 
+    /// Validates a genome against this codec: correct length, a true task
+    /// permutation, in-range PEs and in-range candidate indices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DseError::InvalidGenome`] describing the first violated
+    /// invariant.
+    pub fn validate_genome(&self, genome: &Genome) -> Result<(), DseError> {
+        let n = self.graph.task_count();
+        if genome.len() != n {
+            return Err(DseError::InvalidGenome {
+                what: "genome length differs from the graph's task count",
+            });
+        }
+        let mut seen = vec![false; n];
+        for gene in genome {
+            let Some(task) = self.graph.tasks().get(gene.task.index()) else {
+                return Err(DseError::InvalidGenome {
+                    what: "gene references a task outside the graph",
+                });
+            };
+            if std::mem::replace(&mut seen[gene.task.index()], true) {
+                return Err(DseError::InvalidGenome {
+                    what: "genome is not a task permutation (duplicate task)",
+                });
+            }
+            if gene.pe.index() >= self.platform.pe_count() {
+                return Err(DseError::InvalidGenome {
+                    what: "gene references a PE outside the platform",
+                });
+            }
+            let ty = task.task_type();
+            if (gene.choice as usize) >= self.library.full_count(ty) {
+                return Err(DseError::InvalidGenome {
+                    what: "gene's candidate choice is outside the task type's library",
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Validates and decodes a genome into a scheduler-level [`Mapping`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DseError::InvalidGenome`] instead of panicking on any
+    /// out-of-range index — the entry point for evaluating *untrusted*
+    /// genomes (e.g. ones restored from a checkpoint).
+    pub fn try_decode(&self, genome: &Genome) -> Result<Mapping, DseError> {
+        self.validate_genome(genome)?;
+        Ok(self.decode(genome))
+    }
+
     /// Decodes a genome into a scheduler-level [`Mapping`].
     ///
     /// # Panics
     ///
     /// Panics on out-of-range indices; genomes produced by
     /// [`Codec::random_genome`] + the [`ClrVariation`] operators are
-    /// always in range.
+    /// always in range. Use [`Codec::try_decode`] for untrusted genomes.
     pub fn decode(&self, genome: &Genome) -> Mapping {
         let n = self.graph.task_count();
         let placeholder = self

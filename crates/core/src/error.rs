@@ -25,6 +25,18 @@ pub enum DseError {
         /// Description of the violated requirement.
         what: &'static str,
     },
+    /// A genome failed validation against its codec (wrong length, not a
+    /// task permutation, or an out-of-range PE/candidate index).
+    InvalidGenome {
+        /// Description of the violated invariant.
+        what: &'static str,
+    },
+    /// A persisted run checkpoint could not be decoded or does not match
+    /// the run it is being applied to.
+    Checkpoint {
+        /// Description of the mismatch or parse failure.
+        what: String,
+    },
 }
 
 impl fmt::Display for DseError {
@@ -37,6 +49,8 @@ impl fmt::Display for DseError {
                 write!(f, "task type {ty} has no mappable candidate implementation")
             }
             DseError::InvalidConfig { what } => write!(f, "invalid configuration: {what}"),
+            DseError::InvalidGenome { what } => write!(f, "invalid genome: {what}"),
+            DseError::Checkpoint { what } => write!(f, "checkpoint error: {what}"),
         }
     }
 }

@@ -24,6 +24,9 @@
 //!   the merged *Agnostic* baseline.
 //! * [`apps`] — the Sobel Edge Detection case study (Fig. 2(b)) and the
 //!   evaluation platforms.
+//! * [`resilience`] — the fault-tolerant DSE runtime: panic/error-isolated
+//!   fitness evaluation with quarantine, periodic GA checkpoints with
+//!   deterministic resume, and per-run [`RunHealth`] reports.
 //!
 //! # Examples
 //!
@@ -52,6 +55,7 @@
 //! [`Problem`]: clre_moea::Problem
 //! [`QosSpec`]: clre_model::qos::QosSpec
 //! [`ClrEarly`]: methodology::ClrEarly
+//! [`RunHealth`]: resilience::RunHealth
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -62,9 +66,11 @@ mod error;
 pub mod library;
 pub mod methodology;
 pub mod problem;
+pub mod resilience;
 pub mod tdse;
 
 pub use error::DseError;
 pub use library::{CandidateImpl, ImplLibrary};
 pub use methodology::{ClrEarly, FrontPoint, FrontResult, StageBudget};
+pub use resilience::{RunHealth, RunOutcome, RunSupervisor, SupervisorConfig};
 pub use tdse::TdseConfig;

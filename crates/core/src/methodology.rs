@@ -19,13 +19,15 @@ use clre_model::qos::{ObjectiveSet, QosSpec, SystemMetrics};
 use clre_model::reliability::ClrConfig;
 use clre_model::{Platform, TaskGraph};
 use clre_moea::pareto::non_dominated_indices;
-use clre_moea::{Nsga2, Nsga2Config, Spea2, Spea2Config};
+use clre_moea::{Nsga2, Nsga2Config, Nsga2State, Spea2, Spea2Config};
 use serde::{Deserialize, Serialize};
+use std::fs;
 
 use crate::encoding::{ChoiceMode, ClrVariation, Codec, Genome};
 use crate::library::ImplLibrary;
 use crate::problem::SystemProblem;
-use crate::tdse::{build_library, DvfsPolicy, TdseConfig};
+use crate::resilience::{Checkpoint, ResilientProblem, RunHealth, RunOutcome, RunSupervisor};
+use crate::tdse::{build_library, build_library_with_health, DvfsPolicy, TdseConfig, TdseHealth};
 use crate::DseError;
 
 /// A single reliability layer (degree of freedom) for the Agnostic
@@ -114,6 +116,8 @@ pub struct FrontPoint {
     pub objectives: Vec<f64>,
     /// The full Table III metrics of the design point.
     pub metrics: SystemMetrics,
+    /// The design point itself — the genome realizing these metrics.
+    pub genome: Genome,
 }
 
 /// The outcome of one methodology run.
@@ -123,6 +127,11 @@ pub struct FrontResult {
     points: Vec<FrontPoint>,
     /// Total fitness evaluations spent.
     pub evaluations: usize,
+    /// Resilience report: failures isolated, candidates quarantined,
+    /// degraded analyses, checkpoint/resume activity. Populated by the
+    /// supervised entry points ([`ClrEarly::run_fc_supervised`] and
+    /// friends); the plain runs leave it at its clean default.
+    pub health: RunHealth,
 }
 
 impl FrontResult {
@@ -144,6 +153,11 @@ impl FrontResult {
     /// Merges several results into one Pareto-filtered front (used by the
     /// Agnostic baseline and by multi-run studies).
     ///
+    /// The merged `health` is reset to its clean default: per-stage health
+    /// reports are cumulative under the supervised flow, so summing them
+    /// here would double-count. Callers that track health across stages
+    /// set it explicitly on the merged result.
+    ///
     /// # Panics
     ///
     /// Panics if the results carry different objective dimensionalities.
@@ -164,6 +178,7 @@ impl FrontResult {
             method: label.into(),
             points,
             evaluations,
+            health: RunHealth::default(),
         }
     }
 }
@@ -179,6 +194,7 @@ pub struct ClrEarly<'a> {
     platform: &'a Platform,
     tdse: TdseConfig,
     library: ImplLibrary,
+    tdse_health: TdseHealth,
     objectives: ObjectiveSet,
     spec: QosSpec,
 }
@@ -206,12 +222,13 @@ impl<'a> ClrEarly<'a> {
         platform: &'a Platform,
         tdse: TdseConfig,
     ) -> Result<Self, DseError> {
-        let library = build_library(graph, platform, &tdse)?;
+        let (library, tdse_health) = build_library_with_health(graph, platform, &tdse)?;
         Ok(ClrEarly {
             graph,
             platform,
             tdse,
             library,
+            tdse_health,
             objectives: ObjectiveSet::system_bi(),
             spec: QosSpec::new(),
         })
@@ -234,6 +251,13 @@ impl<'a> ClrEarly<'a> {
     /// The task-level library built at construction.
     pub fn library(&self) -> &ImplLibrary {
         &self.library
+    }
+
+    /// Health counters of the task-level DSE sweep that built the
+    /// library — notably how many Markov analyses fell back to the
+    /// degraded closed-form solver.
+    pub fn tdse_health(&self) -> &TdseHealth {
+        &self.tdse_health
     }
 
     /// The application graph.
@@ -269,6 +293,7 @@ impl<'a> ClrEarly<'a> {
             points.push(FrontPoint {
                 objectives: ind.objectives.clone(),
                 metrics: problem.metrics_of(&ind.genome),
+                genome: ind.genome.clone(),
             });
             genomes.push(ind.genome);
         }
@@ -282,6 +307,7 @@ impl<'a> ClrEarly<'a> {
                 method: label.to_owned(),
                 points,
                 evaluations,
+                health: RunHealth::default(),
             },
             genomes,
         ))
@@ -352,6 +378,458 @@ impl<'a> ClrEarly<'a> {
         Ok(FrontResult::merge("proposed", [&pf_result, &fc_result]))
     }
 
+    /// Runs fcCLR under a [`RunSupervisor`]: evaluation failures are
+    /// isolated and quarantined, and the GA state is checkpointed so the
+    /// run can be resumed by [`ClrEarly::resume_supervised`] after a
+    /// crash — deterministically, to the identical final front.
+    ///
+    /// # Errors
+    ///
+    /// Propagates codec construction and checkpoint I/O failures.
+    pub fn run_fc_supervised(
+        &self,
+        budget: &StageBudget,
+        supervisor: &RunSupervisor,
+    ) -> Result<RunOutcome, DseError> {
+        let out = self.run_stage_supervised(
+            StageContext::fresh("fcCLR", "fcCLR", 0, ChoiceMode::Full, 1),
+            budget,
+            supervisor,
+        )?;
+        self.conclude_single_stage(out, supervisor)
+    }
+
+    /// Runs pfCLR under a [`RunSupervisor`]; see
+    /// [`ClrEarly::run_fc_supervised`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates codec construction and checkpoint I/O failures.
+    pub fn run_pf_supervised(
+        &self,
+        budget: &StageBudget,
+        supervisor: &RunSupervisor,
+    ) -> Result<RunOutcome, DseError> {
+        let out = self.run_stage_supervised(
+            StageContext::fresh("pfCLR", "pfCLR", 0, ChoiceMode::ParetoFiltered, 2),
+            budget,
+            supervisor,
+        )?;
+        self.conclude_single_stage(out, supervisor)
+    }
+
+    /// Runs the proposed two-stage methodology under a [`RunSupervisor`].
+    /// Both stages checkpoint to the same file; the checkpoint records
+    /// which stage it belongs to, and stage 1 checkpoints additionally
+    /// carry the pf-stage front so a resume can reconstitute the final
+    /// merge without re-running stage 0.
+    ///
+    /// # Errors
+    ///
+    /// Propagates codec construction and checkpoint I/O failures.
+    pub fn run_proposed_supervised(
+        &self,
+        budget: &StageBudget,
+        supervisor: &RunSupervisor,
+    ) -> Result<RunOutcome, DseError> {
+        let out = self.run_stage_supervised(
+            StageContext::fresh(
+                "proposed",
+                "proposed/pf-stage",
+                0,
+                ChoiceMode::ParetoFiltered,
+                2,
+            ),
+            budget,
+            supervisor,
+        )?;
+        match out {
+            StageOutcome::Complete { result, genomes } => {
+                self.finish_proposed(result, genomes, budget, supervisor, None)
+            }
+            StageOutcome::Interrupted { generation } => Ok(RunOutcome::Interrupted {
+                stage: 0,
+                generation,
+            }),
+        }
+    }
+
+    /// Resumes an interrupted supervised run from the supervisor's
+    /// checkpoint file and drives it to completion (unless the
+    /// supervisor's crash-injection seam interrupts it again).
+    ///
+    /// The checkpoint's configuration echo (method, stage, budget, seed,
+    /// objective count, genome shape) is validated against this
+    /// orchestrator first; any mismatch is a [`DseError::Checkpoint`].
+    /// Because the checkpoint restores the exact population, RNG state
+    /// words and stage bookkeeping, the resumed run reproduces the
+    /// uninterrupted run's final front bit-for-bit.
+    ///
+    /// # Errors
+    ///
+    /// [`DseError::Checkpoint`] for a missing, malformed, or mismatched
+    /// checkpoint; otherwise as for the supervised runs.
+    pub fn resume_supervised(
+        &self,
+        budget: &StageBudget,
+        supervisor: &RunSupervisor,
+    ) -> Result<RunOutcome, DseError> {
+        let cp = Checkpoint::load(supervisor.checkpoint_path())?;
+        self.validate_checkpoint(&cp, budget)?;
+        let Checkpoint {
+            method,
+            stage,
+            prior_evaluations,
+            aux_genomes,
+            state,
+            mut health,
+            ..
+        } = cp;
+        if health.resumed_from_generation.is_none() {
+            health.resumed_from_generation = Some(state.generation);
+        }
+        match (method.as_str(), stage) {
+            ("fcCLR", 0) => {
+                let ctx = StageContext::resumed(
+                    "fcCLR",
+                    "fcCLR",
+                    0,
+                    ChoiceMode::Full,
+                    1,
+                    prior_evaluations,
+                    aux_genomes,
+                    health,
+                    state,
+                );
+                let out = self.run_stage_supervised(ctx, budget, supervisor)?;
+                self.conclude_single_stage(out, supervisor)
+            }
+            ("pfCLR", 0) => {
+                let ctx = StageContext::resumed(
+                    "pfCLR",
+                    "pfCLR",
+                    0,
+                    ChoiceMode::ParetoFiltered,
+                    2,
+                    prior_evaluations,
+                    aux_genomes,
+                    health,
+                    state,
+                );
+                let out = self.run_stage_supervised(ctx, budget, supervisor)?;
+                self.conclude_single_stage(out, supervisor)
+            }
+            ("proposed", 0) => {
+                let ctx = StageContext::resumed(
+                    "proposed",
+                    "proposed/pf-stage",
+                    0,
+                    ChoiceMode::ParetoFiltered,
+                    2,
+                    prior_evaluations,
+                    aux_genomes,
+                    health,
+                    state,
+                );
+                match self.run_stage_supervised(ctx, budget, supervisor)? {
+                    StageOutcome::Complete { result, genomes } => {
+                        self.finish_proposed(result, genomes, budget, supervisor, None)
+                    }
+                    StageOutcome::Interrupted { generation } => Ok(RunOutcome::Interrupted {
+                        stage: 0,
+                        generation,
+                    }),
+                }
+            }
+            ("proposed", 1) => {
+                // Stage 1 checkpoints carry the pf-stage front as aux
+                // genomes: reconstitute that stage's result (its metrics
+                // are a pure function of the genomes), then continue the
+                // fc stage from the snapshot.
+                let pf_result = self.front_from_genomes(
+                    "proposed/pf-stage",
+                    ChoiceMode::ParetoFiltered,
+                    &aux_genomes,
+                    prior_evaluations,
+                )?;
+                let ctx = StageContext::resumed(
+                    "proposed",
+                    "proposed/fc-stage",
+                    1,
+                    ChoiceMode::Full,
+                    4,
+                    prior_evaluations,
+                    aux_genomes,
+                    health,
+                    state,
+                );
+                match self.run_stage_supervised(ctx, budget, supervisor)? {
+                    StageOutcome::Complete { result, .. } => {
+                        self.conclude_proposed(pf_result, result, supervisor)
+                    }
+                    StageOutcome::Interrupted { generation } => Ok(RunOutcome::Interrupted {
+                        stage: 1,
+                        generation,
+                    }),
+                }
+            }
+            (m, s) => Err(DseError::Checkpoint {
+                what: format!("cannot resume method {m:?} at stage {s}"),
+            }),
+        }
+    }
+
+    /// Runs the fc stage of the proposed flow (fresh or resumed) and
+    /// merges it with the pf-stage result.
+    fn finish_proposed(
+        &self,
+        pf_result: FrontResult,
+        seeds: Vec<Genome>,
+        budget: &StageBudget,
+        supervisor: &RunSupervisor,
+        resume: Option<Nsga2State<Genome>>,
+    ) -> Result<RunOutcome, DseError> {
+        let base_health = pf_result.health.clone();
+        let ctx = StageContext {
+            method: "proposed",
+            label: "proposed/fc-stage",
+            stage: 1,
+            mode: ChoiceMode::Full,
+            salt: 4,
+            prior_evaluations: pf_result.evaluations,
+            aux_genomes: seeds,
+            base_health,
+            resume,
+        };
+        match self.run_stage_supervised(ctx, budget, supervisor)? {
+            StageOutcome::Complete { result, .. } => {
+                self.conclude_proposed(pf_result, result, supervisor)
+            }
+            StageOutcome::Interrupted { generation } => Ok(RunOutcome::Interrupted {
+                stage: 1,
+                generation,
+            }),
+        }
+    }
+
+    fn conclude_proposed(
+        &self,
+        pf_result: FrontResult,
+        fc_result: FrontResult,
+        supervisor: &RunSupervisor,
+    ) -> Result<RunOutcome, DseError> {
+        // The fc stage's health is cumulative across both stages (its
+        // base was the pf stage's report), so it becomes the merged
+        // report; merge() itself resets health to avoid double counting.
+        let mut health = fc_result.health.clone();
+        health.degraded_analyses += self.tdse_health.degraded_analyses;
+        let mut merged = FrontResult::merge("proposed", [&pf_result, &fc_result]);
+        merged.health = health;
+        let _ = fs::remove_file(supervisor.checkpoint_path());
+        Ok(RunOutcome::Complete(merged))
+    }
+
+    fn conclude_single_stage(
+        &self,
+        out: StageOutcome,
+        supervisor: &RunSupervisor,
+    ) -> Result<RunOutcome, DseError> {
+        match out {
+            StageOutcome::Complete { mut result, .. } => {
+                result.health.degraded_analyses += self.tdse_health.degraded_analyses;
+                let _ = fs::remove_file(supervisor.checkpoint_path());
+                Ok(RunOutcome::Complete(result))
+            }
+            StageOutcome::Interrupted { generation } => Ok(RunOutcome::Interrupted {
+                stage: 0,
+                generation,
+            }),
+        }
+    }
+
+    /// One supervised GA stage: step-wise NSGA-II over a panic-isolating
+    /// problem wrapper, checkpointing at the supervisor's cadence.
+    fn run_stage_supervised(
+        &self,
+        ctx: StageContext<'_>,
+        budget: &StageBudget,
+        supervisor: &RunSupervisor,
+    ) -> Result<StageOutcome, DseError> {
+        let config = budget.nsga2_config(budget.generations, ctx.salt);
+        let codec = Codec::new(self.graph, self.platform, &self.library, ctx.mode)?;
+        let problem = SystemProblem::new(codec.clone(), self.objectives.clone(), self.spec);
+        let resilient =
+            ResilientProblem::new(problem).with_max_retries(supervisor.config().max_retries);
+        let eval_health = resilient.health();
+        let variation = ClrVariation::new(&codec);
+        // Seeds only shape init_state, so passing them on resume is a
+        // no-op; the aux genomes double as this stage's seeds.
+        let ga = Nsga2::new(resilient, variation, config).with_seeds(ctx.aux_genomes.clone());
+        let mut state = match ctx.resume {
+            Some(s) => s,
+            None => ga.init_state(),
+        };
+
+        let mut checkpoints = 0usize;
+        let health_now = |checkpoints: usize| {
+            let mut h = ctx.base_health.clone();
+            h.merge(&eval_health.borrow());
+            h.checkpoints_written += checkpoints;
+            h
+        };
+        let save = |state: &Nsga2State<Genome>, health: RunHealth| -> Result<(), DseError> {
+            Checkpoint {
+                method: ctx.method.to_owned(),
+                stage: ctx.stage,
+                population_size: budget.population,
+                generations: budget.generations,
+                seed: budget.seed,
+                objective_count: self.objectives.len(),
+                prior_evaluations: ctx.prior_evaluations,
+                aux_genomes: ctx.aux_genomes.clone(),
+                state: state.clone(),
+                health,
+            }
+            .save(supervisor.checkpoint_path())
+        };
+
+        loop {
+            if supervisor.should_interrupt(ctx.stage, state.generation) {
+                checkpoints += 1;
+                save(&state, health_now(checkpoints))?;
+                return Ok(StageOutcome::Interrupted {
+                    generation: state.generation,
+                });
+            }
+            if !ga.step(&mut state) {
+                break;
+            }
+            if state.generation % supervisor.config().every_generations == 0 {
+                checkpoints += 1;
+                save(&state, health_now(checkpoints))?;
+            }
+        }
+
+        let health = health_now(checkpoints);
+        let evaluations = state.evaluations;
+        let result = ga.finalize(state);
+        let front = result.into_front();
+        let metrics_problem = SystemProblem::new(codec, self.objectives.clone(), self.spec);
+        let mut points = Vec::with_capacity(front.len());
+        let mut genomes = Vec::with_capacity(front.len());
+        for ind in front {
+            // A fully quarantined population can push unevaluable
+            // genomes onto rank 0; they carry no physical metrics, so
+            // they are dropped from the reported front (the quarantine
+            // events themselves are visible in `health`).
+            if let Ok(metrics) = metrics_problem.try_metrics_of(&ind.genome) {
+                points.push(FrontPoint {
+                    objectives: ind.objectives.clone(),
+                    metrics,
+                    genome: ind.genome.clone(),
+                });
+            }
+            genomes.push(ind.genome);
+        }
+        let objs: Vec<Vec<f64>> = points.iter().map(|p| p.objectives.clone()).collect();
+        let keep = non_dominated_indices(&objs);
+        let points: Vec<FrontPoint> = keep.into_iter().map(|i| points[i].clone()).collect();
+        Ok(StageOutcome::Complete {
+            result: FrontResult {
+                method: ctx.label.to_owned(),
+                points,
+                evaluations,
+                health,
+            },
+            genomes,
+        })
+    }
+
+    /// Reconstitutes a stage result from its front genomes: metrics (and
+    /// thus objectives) are a pure function of each genome, so a
+    /// checkpoint only needs the genomes.
+    fn front_from_genomes(
+        &self,
+        label: &str,
+        mode: ChoiceMode,
+        genomes: &[Genome],
+        evaluations: usize,
+    ) -> Result<FrontResult, DseError> {
+        let codec = Codec::new(self.graph, self.platform, &self.library, mode)?;
+        let problem = SystemProblem::new(codec, self.objectives.clone(), self.spec);
+        let mut points = Vec::with_capacity(genomes.len());
+        for g in genomes {
+            if let Ok(metrics) = problem.try_metrics_of(g) {
+                points.push(FrontPoint {
+                    objectives: metrics.objective_vector(&self.objectives),
+                    metrics,
+                    genome: g.clone(),
+                });
+            }
+        }
+        let objs: Vec<Vec<f64>> = points.iter().map(|p| p.objectives.clone()).collect();
+        let keep = non_dominated_indices(&objs);
+        let points: Vec<FrontPoint> = keep.into_iter().map(|i| points[i].clone()).collect();
+        Ok(FrontResult {
+            method: label.to_owned(),
+            points,
+            evaluations,
+            health: RunHealth::default(),
+        })
+    }
+
+    fn validate_checkpoint(&self, cp: &Checkpoint, budget: &StageBudget) -> Result<(), DseError> {
+        let mismatch =
+            |what: String| -> Result<(), DseError> { Err(DseError::Checkpoint { what }) };
+        if cp.population_size != budget.population {
+            return mismatch(format!(
+                "population mismatch: checkpoint {}, budget {}",
+                cp.population_size, budget.population
+            ));
+        }
+        if cp.generations != budget.generations {
+            return mismatch(format!(
+                "generation budget mismatch: checkpoint {}, budget {}",
+                cp.generations, budget.generations
+            ));
+        }
+        if cp.seed != budget.seed {
+            return mismatch(format!(
+                "seed mismatch: checkpoint {}, budget {}",
+                cp.seed, budget.seed
+            ));
+        }
+        if cp.objective_count != self.objectives.len() {
+            return mismatch(format!(
+                "objective count mismatch: checkpoint {}, run {}",
+                cp.objective_count,
+                self.objectives.len()
+            ));
+        }
+        if cp.state.generation > cp.generations {
+            return mismatch(format!(
+                "corrupt snapshot: generation {} beyond budget {}",
+                cp.state.generation, cp.generations
+            ));
+        }
+        let task_count = self.graph.tasks().len();
+        let genome_shapes = cp
+            .state
+            .population
+            .iter()
+            .map(|ind| &ind.genome)
+            .chain(cp.aux_genomes.iter());
+        for g in genome_shapes {
+            if g.len() != task_count {
+                return mismatch(format!(
+                    "genome length {} does not match application task count {task_count}",
+                    g.len()
+                ));
+            }
+        }
+        Ok(())
+    }
+
     /// Runs a single-degree-of-freedom baseline for one layer.
     ///
     /// # Errors
@@ -411,6 +889,7 @@ impl<'a> ClrEarly<'a> {
             .map(|ind| FrontPoint {
                 objectives: ind.objectives.clone(),
                 metrics: problem.metrics_of(&ind.genome),
+                genome: ind.genome.clone(),
             })
             .collect();
         let objs: Vec<Vec<f64>> = points.iter().map(|p| p.objectives.clone()).collect();
@@ -420,6 +899,7 @@ impl<'a> ClrEarly<'a> {
             method: "pfCLR/spea2".to_owned(),
             points,
             evaluations,
+            health: RunHealth::default(),
         })
     }
 
@@ -495,6 +975,88 @@ impl<'a> ClrEarly<'a> {
             .collect::<Result<Vec<_>, _>>()?;
         Ok(FrontResult::merge("Agnostic", runs.iter()))
     }
+}
+
+/// Parameters of one supervised GA stage (fresh or resumed).
+struct StageContext<'b> {
+    /// Checkpoint method tag (validated on resume).
+    method: &'b str,
+    /// Label of the stage's [`FrontResult`].
+    label: &'b str,
+    /// Stage index within the method (0-based).
+    stage: u32,
+    /// Choice-list mode of the stage's codec.
+    mode: ChoiceMode,
+    /// Seed salt (same scheme as the plain runs, so supervised and plain
+    /// runs of the same method share their RNG trajectory).
+    salt: u64,
+    /// Evaluations spent by earlier stages (checkpoint bookkeeping).
+    prior_evaluations: usize,
+    /// Seeds for this stage; persisted in checkpoints.
+    aux_genomes: Vec<Genome>,
+    /// Cumulative health carried into this stage (prior stages and, on
+    /// resume, the pre-crash portion of this stage).
+    base_health: RunHealth,
+    /// Snapshot to continue from (`None` = fresh stage).
+    resume: Option<Nsga2State<Genome>>,
+}
+
+impl<'b> StageContext<'b> {
+    fn fresh(method: &'b str, label: &'b str, stage: u32, mode: ChoiceMode, salt: u64) -> Self {
+        StageContext {
+            method,
+            label,
+            stage,
+            mode,
+            salt,
+            prior_evaluations: 0,
+            aux_genomes: Vec::new(),
+            base_health: RunHealth::default(),
+            resume: None,
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn resumed(
+        method: &'b str,
+        label: &'b str,
+        stage: u32,
+        mode: ChoiceMode,
+        salt: u64,
+        prior_evaluations: usize,
+        aux_genomes: Vec<Genome>,
+        base_health: RunHealth,
+        state: Nsga2State<Genome>,
+    ) -> Self {
+        StageContext {
+            method,
+            label,
+            stage,
+            mode,
+            salt,
+            prior_evaluations,
+            aux_genomes,
+            base_health,
+            resume: Some(state),
+        }
+    }
+}
+
+/// Outcome of one supervised stage.
+enum StageOutcome {
+    /// The stage ran to its generation budget.
+    Complete {
+        /// The stage's front (health cumulative up to this stage).
+        result: FrontResult,
+        /// All rank-0 genomes, in population order (stage-1 seeds).
+        genomes: Vec<Genome>,
+    },
+    /// The supervisor's crash-injection seam fired; a checkpoint is on
+    /// disk.
+    Interrupted {
+        /// Generations completed when the stage stopped.
+        generation: usize,
+    },
 }
 
 /// Computes a common hypervolume reference point for a family of fronts:

@@ -15,6 +15,7 @@ use clre_sched::QosEvaluator;
 use rand::RngCore;
 
 use crate::encoding::{Codec, Genome};
+use crate::DseError;
 
 /// The system-level mapping optimization problem.
 #[derive(Debug, Clone)]
@@ -53,12 +54,48 @@ impl<'a> SystemProblem<'a> {
     /// # Panics
     ///
     /// Panics if `genome` is invalid for this problem's codec; genomes
-    /// produced by the GA always validate.
+    /// produced by the GA always validate. Use
+    /// [`SystemProblem::try_metrics_of`] for untrusted genomes.
     pub fn metrics_of(&self, genome: &Genome) -> SystemMetrics {
-        let mapping = self.codec.decode(genome);
-        self.evaluator
-            .evaluate(self.codec.graph(), &mapping)
-            .expect("codec-produced mappings are valid")
+        match self.try_metrics_of(genome) {
+            Ok(m) => m,
+            Err(e) => panic!("genome evaluation failed: {e}"),
+        }
+    }
+
+    /// Fallible variant of [`SystemProblem::metrics_of`]: validates the
+    /// genome and propagates scheduling failures as typed errors.
+    ///
+    /// # Errors
+    ///
+    /// [`DseError::InvalidGenome`] for codec violations,
+    /// [`DseError::Sched`] for scheduling/QoS failures.
+    pub fn try_metrics_of(&self, genome: &Genome) -> Result<SystemMetrics, DseError> {
+        let mapping = self.codec.try_decode(genome)?;
+        Ok(self.evaluator.evaluate(self.codec.graph(), &mapping)?)
+    }
+
+    /// Fallible fitness evaluation: the typed-error twin of the
+    /// [`Problem::evaluate`] impl, used by the resilient runtime to
+    /// quarantine failing candidates instead of unwinding.
+    ///
+    /// # Errors
+    ///
+    /// [`DseError::InvalidGenome`] for codec violations,
+    /// [`DseError::Sched`] for scheduling/QoS failures.
+    pub fn try_evaluate(&self, genome: &Genome) -> Result<Evaluation, DseError> {
+        let mapping = self.codec.try_decode(genome)?;
+        let metrics = self.evaluator.evaluate(self.codec.graph(), &mapping)?;
+        // QoS SPEC violations plus local-memory overflow (the storage
+        // constraint of DESIGN.md §8; zero on unconstrained platforms).
+        let violation = self.spec.violation(&metrics)
+            + self
+                .evaluator
+                .memory_violation(self.codec.graph(), &mapping);
+        Ok(Evaluation::with_violation(
+            metrics.objective_vector(&self.objectives),
+            violation,
+        ))
     }
 }
 
@@ -73,19 +110,15 @@ impl Problem for SystemProblem<'_> {
         self.codec.random_genome(rng)
     }
 
+    /// Panics (with the underlying [`DseError`] in the message) if the
+    /// genome is invalid — the [`Problem`] trait's signature admits no
+    /// error channel. GA-produced genomes always validate; the resilient
+    /// runtime catches this unwind and quarantines the candidate.
     fn evaluate(&self, genome: &Genome) -> Evaluation {
-        let mapping = self.codec.decode(genome);
-        let metrics = self
-            .evaluator
-            .evaluate(self.codec.graph(), &mapping)
-            .expect("codec-produced mappings are valid");
-        // QoS SPEC violations plus local-memory overflow (the storage
-        // constraint of DESIGN.md §8; zero on unconstrained platforms).
-        let violation = self.spec.violation(&metrics)
-            + self
-                .evaluator
-                .memory_violation(self.codec.graph(), &mapping);
-        Evaluation::with_violation(metrics.objective_vector(&self.objectives), violation)
+        match self.try_evaluate(genome) {
+            Ok(eval) => eval,
+            Err(e) => panic!("genome evaluation failed: {e}"),
+        }
     }
 }
 

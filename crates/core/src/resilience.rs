@@ -1,0 +1,898 @@
+//! Fault-tolerant DSE runtime: run health accounting, panic/error-isolated
+//! candidate evaluation, and persistent GA checkpoints.
+//!
+//! Long early-stage DSE campaigns fail for boring reasons — a pathological
+//! candidate panics the evaluator, a numeric corner case surfaces hours in,
+//! the host machine reboots. This module keeps such events from destroying
+//! a run:
+//!
+//! * [`RunHealth`] — counters describing everything non-nominal that
+//!   happened during a run (caught panics, typed evaluation errors,
+//!   retries, quarantined candidates, degraded Markov analyses,
+//!   checkpoints written, resume point). Attached to
+//!   [`FrontResult`](crate::methodology::FrontResult) by the supervised
+//!   entry points.
+//! * [`ResilientProblem`] — wraps any [`FallibleProblem`] so a panicking
+//!   or erroring fitness evaluation is caught, retried a bounded number
+//!   of times, and finally *quarantined*: the candidate receives
+//!   [`QUARANTINE_OBJECTIVE`] on every axis plus an equal constraint
+//!   violation, so Deb's constraint-domination ranks it behind every
+//!   healthy individual and selection breeds it out.
+//! * [`Checkpoint`] — a versioned, self-validating, plain-text snapshot
+//!   of a GA stage (generation index, evaluated population, RNG state
+//!   words, stage bookkeeping). Written atomically (temp file + rename)
+//!   by the supervised runs in [`crate::methodology`] and decoded by
+//!   [`ClrEarly::resume_supervised`](crate::ClrEarly::resume_supervised),
+//!   which deterministically continues to the *identical* final front.
+//! * [`RunSupervisor`] / [`SupervisorConfig`] — where checkpoints go, how
+//!   often they are written, and how many retries a failing evaluation
+//!   gets. The supervisor also hosts the crash-injection seam used by the
+//!   resilience integration tests.
+//!
+//! Checkpoints encode every `f64` through its IEEE-754 bit pattern, so a
+//! resumed run replays bit-identically; the GA side of that guarantee is
+//! the step-wise API of [`clre_moea::Nsga2`] (`init_state`/`step`/
+//! `finalize`), whose RNG state words round-trip exactly.
+
+use std::cell::RefCell;
+use std::fmt::Write as _;
+use std::fs;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::rc::Rc;
+
+use clre_model::{PeId, TaskId};
+use clre_moea::{Evaluation, Individual, Nsga2State, Problem};
+use rand::RngCore;
+
+use crate::encoding::{Gene, Genome};
+use crate::methodology::FrontResult;
+use crate::problem::SystemProblem;
+use crate::DseError;
+
+/// Objective value assigned to quarantined candidates. Finite (so sorting
+/// and crowding stay well-defined) but far beyond any physical metric;
+/// combined with an equal constraint violation it loses every
+/// constraint-domination comparison against a healthy individual.
+pub const QUARANTINE_OBJECTIVE: f64 = 1.0e30;
+
+/// Everything non-nominal that happened during a (possibly multi-stage,
+/// possibly resumed) DSE run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunHealth {
+    /// Evaluations that panicked and were caught.
+    pub panics_isolated: usize,
+    /// Evaluations that returned a typed error (or non-finite fitness).
+    pub errors_isolated: usize,
+    /// Re-evaluation attempts made after a caught failure.
+    pub retries: usize,
+    /// Candidates that exhausted their retries and were assigned
+    /// [`QUARANTINE_OBJECTIVE`] fitness.
+    pub quarantined: usize,
+    /// Task-level Markov analyses answered by the degraded closed-form
+    /// fallback instead of the matrix solver.
+    pub degraded_analyses: usize,
+    /// Checkpoints written by the supervisor.
+    pub checkpoints_written: usize,
+    /// Generation the run was resumed from, if it was resumed.
+    pub resumed_from_generation: Option<usize>,
+}
+
+impl RunHealth {
+    /// `true` when nothing non-nominal happened: no failures were
+    /// isolated, nothing was quarantined, and no analysis degraded.
+    /// (Checkpointing and resuming are nominal supervisor activity.)
+    pub fn is_clean(&self) -> bool {
+        self.panics_isolated == 0
+            && self.errors_isolated == 0
+            && self.retries == 0
+            && self.quarantined == 0
+            && self.degraded_analyses == 0
+    }
+
+    /// Folds another health report's counters into this one.
+    pub fn merge(&mut self, other: &RunHealth) {
+        self.panics_isolated += other.panics_isolated;
+        self.errors_isolated += other.errors_isolated;
+        self.retries += other.retries;
+        self.quarantined += other.quarantined;
+        self.degraded_analyses += other.degraded_analyses;
+        self.checkpoints_written += other.checkpoints_written;
+        if self.resumed_from_generation.is_none() {
+            self.resumed_from_generation = other.resumed_from_generation;
+        }
+    }
+}
+
+/// A problem that can report evaluation failures as typed errors instead
+/// of (only) panicking. [`ResilientProblem`] uses this channel to count
+/// and classify failures without unwinding where possible; panics remain
+/// the fallback channel for truly unexpected failures.
+pub trait FallibleProblem: Problem {
+    /// Fallible fitness evaluation.
+    ///
+    /// # Errors
+    ///
+    /// Implementation-specific evaluation failures.
+    fn try_evaluate(&self, genome: &Self::Genome) -> Result<Evaluation, DseError>;
+}
+
+impl FallibleProblem for SystemProblem<'_> {
+    fn try_evaluate(&self, genome: &Genome) -> Result<Evaluation, DseError> {
+        SystemProblem::try_evaluate(self, genome)
+    }
+}
+
+/// Panic- and error-isolating wrapper around a [`FallibleProblem`].
+///
+/// Every evaluation runs under [`catch_unwind`]; a panic or typed error
+/// is retried up to `max_retries` times and then quarantined with
+/// [`QUARANTINE_OBJECTIVE`] fitness. All events are tallied in a shared
+/// [`RunHealth`] handle so the GA driver can report them after the run.
+///
+/// # Examples
+///
+/// ```
+/// use clre::resilience::{FallibleProblem, ResilientProblem, QUARANTINE_OBJECTIVE};
+/// use clre_moea::{Evaluation, Problem};
+/// use rand::RngCore;
+///
+/// struct Fragile;
+/// impl Problem for Fragile {
+///     type Genome = u32;
+///     fn objective_count(&self) -> usize { 1 }
+///     fn random_genome(&self, _: &mut dyn RngCore) -> u32 { 0 }
+///     fn evaluate(&self, g: &u32) -> Evaluation {
+///         if *g == 13 { panic!("unlucky") }
+///         Evaluation::feasible(vec![f64::from(*g)])
+///     }
+/// }
+/// impl FallibleProblem for Fragile {
+///     fn try_evaluate(&self, g: &u32) -> Result<Evaluation, clre::DseError> {
+///         Ok(self.evaluate(g))
+///     }
+/// }
+///
+/// let p = ResilientProblem::new(Fragile);
+/// let health = p.health();
+/// assert_eq!(p.evaluate(&2).objectives, vec![2.0]);
+/// assert_eq!(p.evaluate(&13).objectives, vec![QUARANTINE_OBJECTIVE]);
+/// assert_eq!(health.borrow().quarantined, 1);
+/// ```
+#[derive(Debug)]
+pub struct ResilientProblem<P: FallibleProblem> {
+    inner: P,
+    max_retries: usize,
+    health: Rc<RefCell<RunHealth>>,
+}
+
+impl<P: FallibleProblem> ResilientProblem<P> {
+    /// Wraps `inner` with one retry per failing evaluation.
+    pub fn new(inner: P) -> Self {
+        ResilientProblem {
+            inner,
+            max_retries: 1,
+            health: Rc::new(RefCell::new(RunHealth::default())),
+        }
+    }
+
+    /// Sets the retry budget per failing evaluation (builder style).
+    /// Zero means quarantine on the first failure.
+    #[must_use]
+    pub fn with_max_retries(mut self, max_retries: usize) -> Self {
+        self.max_retries = max_retries;
+        self
+    }
+
+    /// Shared handle to the failure counters, live during the run.
+    pub fn health(&self) -> Rc<RefCell<RunHealth>> {
+        Rc::clone(&self.health)
+    }
+
+    fn quarantine(&self) -> Evaluation {
+        self.health.borrow_mut().quarantined += 1;
+        Evaluation::with_violation(
+            vec![QUARANTINE_OBJECTIVE; self.inner.objective_count()],
+            QUARANTINE_OBJECTIVE,
+        )
+    }
+}
+
+impl<P: FallibleProblem> Problem for ResilientProblem<P> {
+    type Genome = P::Genome;
+
+    fn objective_count(&self) -> usize {
+        self.inner.objective_count()
+    }
+
+    fn random_genome(&self, rng: &mut dyn RngCore) -> Self::Genome {
+        self.inner.random_genome(rng)
+    }
+
+    fn evaluate(&self, genome: &Self::Genome) -> Evaluation {
+        for attempt in 0..=self.max_retries {
+            if attempt > 0 {
+                self.health.borrow_mut().retries += 1;
+            }
+            // AssertUnwindSafe: the inner problem is only read here, and a
+            // caught failure discards the attempt's partial state entirely.
+            match catch_unwind(AssertUnwindSafe(|| self.inner.try_evaluate(genome))) {
+                Ok(Ok(eval))
+                    if eval.violation.is_finite()
+                        && eval.objectives.iter().all(|v| v.is_finite()) =>
+                {
+                    return eval;
+                }
+                Ok(_) => self.health.borrow_mut().errors_isolated += 1,
+                Err(_) => self.health.borrow_mut().panics_isolated += 1,
+            }
+        }
+        self.quarantine()
+    }
+}
+
+/// Where and how often a supervised run checkpoints, and how failures are
+/// retried.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SupervisorConfig {
+    /// File the checkpoint is (atomically) written to.
+    pub checkpoint_path: PathBuf,
+    /// Checkpoint every this many generations (≥ 1).
+    pub every_generations: usize,
+    /// Retry budget per failing fitness evaluation.
+    pub max_retries: usize,
+}
+
+impl SupervisorConfig {
+    /// Checkpoints to `path` every generation with one retry per failure.
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        SupervisorConfig {
+            checkpoint_path: path.into(),
+            every_generations: 1,
+            max_retries: 1,
+        }
+    }
+
+    /// Sets the checkpoint cadence in generations (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every == 0`.
+    #[must_use]
+    pub fn with_interval(mut self, every: usize) -> Self {
+        assert!(every > 0, "checkpoint interval must be at least 1");
+        self.every_generations = every;
+        self
+    }
+
+    /// Sets the per-evaluation retry budget (builder style).
+    #[must_use]
+    pub fn with_max_retries(mut self, max_retries: usize) -> Self {
+        self.max_retries = max_retries;
+        self
+    }
+}
+
+/// Drives a supervised run: owns the [`SupervisorConfig`] plus the
+/// crash-injection seam used by the resilience tests.
+#[derive(Debug, Clone)]
+pub struct RunSupervisor {
+    config: SupervisorConfig,
+    interrupt_at: Option<(u32, usize)>,
+}
+
+impl RunSupervisor {
+    /// A supervisor over the given configuration.
+    pub fn new(config: SupervisorConfig) -> Self {
+        RunSupervisor {
+            config,
+            interrupt_at: None,
+        }
+    }
+
+    /// Test seam: simulate a crash once stage `stage` has completed
+    /// `generation` generations — the run writes a final checkpoint and
+    /// returns [`RunOutcome::Interrupted`] instead of finishing.
+    /// `generation` must be below the stage's generation budget for the
+    /// interrupt to fire.
+    #[must_use]
+    pub fn with_interrupt_at(mut self, stage: u32, generation: usize) -> Self {
+        self.interrupt_at = Some((stage, generation));
+        self
+    }
+
+    /// The supervisor configuration.
+    pub fn config(&self) -> &SupervisorConfig {
+        &self.config
+    }
+
+    /// The checkpoint file location.
+    pub fn checkpoint_path(&self) -> &Path {
+        &self.config.checkpoint_path
+    }
+
+    /// Whether the crash-injection seam fires at this stage/generation.
+    pub fn should_interrupt(&self, stage: u32, generation: usize) -> bool {
+        self.interrupt_at == Some((stage, generation))
+    }
+}
+
+/// Result of a supervised run: either a finished front or a persisted
+/// interruption that [`ClrEarly::resume_supervised`] can continue.
+///
+/// [`ClrEarly::resume_supervised`]: crate::ClrEarly::resume_supervised
+#[derive(Debug, Clone)]
+pub enum RunOutcome {
+    /// The run finished; the checkpoint file has been removed.
+    Complete(FrontResult),
+    /// The run stopped early; a checkpoint describing this exact point is
+    /// on disk.
+    Interrupted {
+        /// Stage index at the interruption (0-based).
+        stage: u32,
+        /// Generations the interrupted stage had completed.
+        generation: usize,
+    },
+}
+
+impl RunOutcome {
+    /// Unwraps the completed front.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run was interrupted.
+    pub fn expect_complete(self) -> FrontResult {
+        match self {
+            RunOutcome::Complete(r) => r,
+            RunOutcome::Interrupted { stage, generation } => {
+                panic!("run was interrupted at stage {stage}, generation {generation}")
+            }
+        }
+    }
+}
+
+/// A persisted snapshot of one GA stage of a supervised run.
+///
+/// The `method`/`stage`/budget fields echo the run configuration and are
+/// validated on resume — resuming a checkpoint against a different
+/// problem or budget is a [`DseError::Checkpoint`], not silent garbage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// Method label (`"fcCLR"`, `"pfCLR"`, `"proposed"`).
+    pub method: String,
+    /// Stage index within the method (0-based; `proposed` has stages 0
+    /// and 1).
+    pub stage: u32,
+    /// Population size of the interrupted stage.
+    pub population_size: usize,
+    /// Generation budget of the interrupted stage.
+    pub generations: usize,
+    /// User-level RNG seed of the run ([`StageBudget::seed`]).
+    ///
+    /// [`StageBudget::seed`]: crate::methodology::StageBudget
+    pub seed: u64,
+    /// System-level objective count.
+    pub objective_count: usize,
+    /// Fitness evaluations spent by *earlier* stages of the run.
+    pub prior_evaluations: usize,
+    /// Auxiliary genomes carried between stages (the pf-stage front that
+    /// seeds and reconstitutes stage 1 of `proposed`).
+    pub aux_genomes: Vec<Genome>,
+    /// The GA state at the last completed generation boundary.
+    pub state: Nsga2State<Genome>,
+    /// Cumulative run health up to this snapshot.
+    pub health: RunHealth,
+}
+
+const CHECKPOINT_HEADER: &str = "clrearly-checkpoint v1";
+
+fn f64_hex(v: f64) -> String {
+    format!("{:016x}", v.to_bits())
+}
+
+fn parse_f64(tok: &str) -> Result<f64, DseError> {
+    u64::from_str_radix(tok, 16)
+        .map(f64::from_bits)
+        .map_err(|_| bad(format!("malformed f64 bits {tok:?}")))
+}
+
+fn parse_u64(tok: &str) -> Result<u64, DseError> {
+    tok.parse()
+        .map_err(|_| bad(format!("malformed integer {tok:?}")))
+}
+
+fn parse_usize(tok: &str) -> Result<usize, DseError> {
+    tok.parse()
+        .map_err(|_| bad(format!("malformed integer {tok:?}")))
+}
+
+fn bad(what: impl Into<String>) -> DseError {
+    DseError::Checkpoint { what: what.into() }
+}
+
+fn encode_genome(out: &mut String, genome: &Genome) {
+    let _ = write!(out, "{}", genome.len());
+    for g in genome {
+        let _ = write!(out, " {}:{}:{}", g.task.index(), g.pe.index(), g.choice);
+    }
+}
+
+fn parse_genome(tokens: &mut std::str::SplitWhitespace<'_>) -> Result<Genome, DseError> {
+    let len = parse_usize(tokens.next().ok_or_else(|| bad("missing genome length"))?)?;
+    let mut genome = Vec::with_capacity(len);
+    for _ in 0..len {
+        let tok = tokens.next().ok_or_else(|| bad("truncated genome"))?;
+        let mut parts = tok.split(':');
+        let mut next = |what: &str| {
+            parts
+                .next()
+                .ok_or_else(|| bad(format!("gene missing {what} in {tok:?}")))
+        };
+        let task = parse_usize(next("task")?)?;
+        let pe = parse_usize(next("pe")?)?;
+        let choice = parse_usize(next("choice")?)?;
+        genome.push(Gene {
+            task: TaskId::new(u32::try_from(task).map_err(|_| bad("task id overflow"))?),
+            pe: PeId::new(u32::try_from(pe).map_err(|_| bad("pe id overflow"))?),
+            choice: u32::try_from(choice).map_err(|_| bad("choice index overflow"))?,
+        });
+    }
+    Ok(genome)
+}
+
+impl Checkpoint {
+    /// Serializes to the versioned plain-text format. All floats are
+    /// stored as IEEE-754 bit patterns, so encode → decode round-trips
+    /// bit-exactly.
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{CHECKPOINT_HEADER}");
+        let _ = writeln!(out, "method {}", self.method);
+        let _ = writeln!(out, "stage {}", self.stage);
+        let _ = writeln!(out, "population-size {}", self.population_size);
+        let _ = writeln!(out, "generations {}", self.generations);
+        let _ = writeln!(out, "seed {}", self.seed);
+        let _ = writeln!(out, "objectives {}", self.objective_count);
+        let _ = writeln!(out, "prior-evaluations {}", self.prior_evaluations);
+        let h = &self.health;
+        let _ = writeln!(
+            out,
+            "health {} {} {} {} {} {} {}",
+            h.panics_isolated,
+            h.errors_isolated,
+            h.retries,
+            h.quarantined,
+            h.degraded_analyses,
+            h.checkpoints_written,
+            h.resumed_from_generation
+                .map_or_else(|| "-".to_owned(), |g| g.to_string()),
+        );
+        let _ = writeln!(out, "aux {}", self.aux_genomes.len());
+        for g in &self.aux_genomes {
+            out.push_str("genome ");
+            encode_genome(&mut out, g);
+            out.push('\n');
+        }
+        let _ = writeln!(out, "generation {}", self.state.generation);
+        let _ = writeln!(out, "evaluations {}", self.state.evaluations);
+        let w = self.state.rng_state;
+        let _ = writeln!(
+            out,
+            "rng {:016x} {:016x} {:016x} {:016x}",
+            w[0], w[1], w[2], w[3]
+        );
+        let _ = writeln!(out, "population {}", self.state.population.len());
+        for ind in &self.state.population {
+            out.push_str("individual ");
+            let _ = write!(out, "{} {}", f64_hex(ind.violation), ind.objectives.len());
+            for &o in &ind.objectives {
+                let _ = write!(out, " {}", f64_hex(o));
+            }
+            out.push(' ');
+            encode_genome(&mut out, &ind.genome);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses the text format produced by [`Checkpoint::encode`].
+    ///
+    /// # Errors
+    ///
+    /// [`DseError::Checkpoint`] on any structural or lexical mismatch.
+    pub fn decode(text: &str) -> Result<Checkpoint, DseError> {
+        let mut lines = text.lines();
+        if lines.next() != Some(CHECKPOINT_HEADER) {
+            return Err(bad("not a clrearly v1 checkpoint"));
+        }
+        // Fixed-order `key value...` lines; keyed parsing keeps mistakes
+        // loud instead of positional.
+        let mut field = |key: &str| -> Result<String, DseError> {
+            let line = lines.next().ok_or_else(|| bad(format!("missing {key}")))?;
+            line.strip_prefix(key)
+                .and_then(|rest| rest.strip_prefix(' '))
+                .map(str::to_owned)
+                .ok_or_else(|| bad(format!("expected `{key} …`, found {line:?}")))
+        };
+        let method = field("method")?;
+        let stage =
+            u32::try_from(parse_u64(&field("stage")?)?).map_err(|_| bad("stage index overflow"))?;
+        let population_size = parse_usize(&field("population-size")?)?;
+        let generations = parse_usize(&field("generations")?)?;
+        let seed = parse_u64(&field("seed")?)?;
+        let objective_count = parse_usize(&field("objectives")?)?;
+        let prior_evaluations = parse_usize(&field("prior-evaluations")?)?;
+
+        let health_line = field("health")?;
+        let mut toks = health_line.split_whitespace();
+        let mut next_count = |what: &str| -> Result<usize, DseError> {
+            parse_usize(
+                toks.next()
+                    .ok_or_else(|| bad(format!("health missing {what}")))?,
+            )
+        };
+        let health = RunHealth {
+            panics_isolated: next_count("panics")?,
+            errors_isolated: next_count("errors")?,
+            retries: next_count("retries")?,
+            quarantined: next_count("quarantined")?,
+            degraded_analyses: next_count("degraded")?,
+            checkpoints_written: next_count("checkpoints")?,
+            resumed_from_generation: match toks.next() {
+                Some("-") | None => None,
+                Some(tok) => Some(parse_usize(tok)?),
+            },
+        };
+
+        let aux_count = parse_usize(&field("aux")?)?;
+        let mut aux_genomes = Vec::with_capacity(aux_count);
+        for _ in 0..aux_count {
+            let line = field("genome")?;
+            let mut toks = line.split_whitespace();
+            aux_genomes.push(parse_genome(&mut toks)?);
+            if toks.next().is_some() {
+                return Err(bad("trailing tokens after aux genome"));
+            }
+        }
+
+        let generation = parse_usize(&field("generation")?)?;
+        let evaluations = parse_usize(&field("evaluations")?)?;
+        let rng_line = field("rng")?;
+        let mut rng_state = [0u64; 4];
+        let mut toks = rng_line.split_whitespace();
+        for w in &mut rng_state {
+            let tok = toks.next().ok_or_else(|| bad("truncated rng state"))?;
+            *w = u64::from_str_radix(tok, 16)
+                .map_err(|_| bad(format!("malformed rng word {tok:?}")))?;
+        }
+
+        let pop_count = parse_usize(&field("population")?)?;
+        let mut population = Vec::with_capacity(pop_count);
+        for _ in 0..pop_count {
+            let line = field("individual")?;
+            let mut toks = line.split_whitespace();
+            let violation = parse_f64(
+                toks.next()
+                    .ok_or_else(|| bad("individual missing violation"))?,
+            )?;
+            let obj_count =
+                parse_usize(toks.next().ok_or_else(|| bad("individual missing arity"))?)?;
+            let mut objectives = Vec::with_capacity(obj_count);
+            for _ in 0..obj_count {
+                objectives.push(parse_f64(
+                    toks.next().ok_or_else(|| bad("truncated objectives"))?,
+                )?);
+            }
+            let genome = parse_genome(&mut toks)?;
+            if toks.next().is_some() {
+                return Err(bad("trailing tokens after individual"));
+            }
+            population.push(Individual {
+                genome,
+                objectives,
+                violation,
+            });
+        }
+
+        Ok(Checkpoint {
+            method,
+            stage,
+            population_size,
+            generations,
+            seed,
+            objective_count,
+            prior_evaluations,
+            aux_genomes,
+            state: Nsga2State {
+                population,
+                generation,
+                evaluations,
+                rng_state,
+            },
+            health,
+        })
+    }
+
+    /// Atomically writes the checkpoint: the encoded text goes to a
+    /// sibling temp file first and is renamed into place, so a crash
+    /// mid-write never corrupts an existing good checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// [`DseError::Checkpoint`] wrapping the I/O failure.
+    pub fn save(&self, path: &Path) -> Result<(), DseError> {
+        let tmp = path.with_extension("tmp");
+        fs::write(&tmp, self.encode())
+            .map_err(|e| bad(format!("writing {}: {e}", tmp.display())))?;
+        fs::rename(&tmp, path).map_err(|e| bad(format!("installing {}: {e}", path.display())))
+    }
+
+    /// Reads and decodes a checkpoint file.
+    ///
+    /// # Errors
+    ///
+    /// [`DseError::Checkpoint`] if the file is missing, unreadable, or
+    /// malformed.
+    pub fn load(path: &Path) -> Result<Checkpoint, DseError> {
+        let text = fs::read_to_string(path)
+            .map_err(|e| bad(format!("reading {}: {e}", path.display())))?;
+        Checkpoint::decode(&text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clre_moea::Evaluation;
+
+    fn gene(t: u32, p: u32, c: u32) -> Gene {
+        Gene {
+            task: TaskId::new(t),
+            pe: PeId::new(p),
+            choice: c,
+        }
+    }
+
+    fn sample_checkpoint() -> Checkpoint {
+        Checkpoint {
+            method: "proposed".to_owned(),
+            stage: 1,
+            population_size: 2,
+            generations: 8,
+            seed: 42,
+            objective_count: 2,
+            prior_evaluations: 144,
+            aux_genomes: vec![vec![gene(0, 1, 2), gene(1, 0, 0)]],
+            state: Nsga2State {
+                population: vec![
+                    Individual {
+                        genome: vec![gene(1, 2, 3), gene(0, 0, 1)],
+                        objectives: vec![1.5e-3, -0.0],
+                        violation: 0.0,
+                    },
+                    Individual {
+                        genome: vec![gene(0, 1, 0), gene(1, 1, 7)],
+                        objectives: vec![f64::MIN_POSITIVE, 1.0 / 3.0],
+                        violation: QUARANTINE_OBJECTIVE,
+                    },
+                ],
+                generation: 5,
+                evaluations: 112,
+                rng_state: [u64::MAX, 1, 0x0123_4567_89ab_cdef, 7],
+            },
+            health: RunHealth {
+                panics_isolated: 1,
+                errors_isolated: 2,
+                retries: 3,
+                quarantined: 1,
+                degraded_analyses: 4,
+                checkpoints_written: 6,
+                resumed_from_generation: Some(3),
+            },
+        }
+    }
+
+    #[test]
+    fn checkpoint_roundtrips_bit_exactly() {
+        let cp = sample_checkpoint();
+        let decoded = Checkpoint::decode(&cp.encode()).unwrap();
+        assert_eq!(decoded, cp);
+        // -0.0 == 0.0 under PartialEq; check the sign bit survived too.
+        assert!(decoded.state.population[0].objectives[1].is_sign_negative());
+    }
+
+    #[test]
+    fn checkpoint_roundtrips_none_resume_marker() {
+        let mut cp = sample_checkpoint();
+        cp.health.resumed_from_generation = None;
+        cp.aux_genomes.clear();
+        assert_eq!(Checkpoint::decode(&cp.encode()).unwrap(), cp);
+    }
+
+    #[test]
+    fn decode_rejects_malformed_inputs() {
+        let good = sample_checkpoint().encode();
+        assert!(Checkpoint::decode("").is_err());
+        assert!(Checkpoint::decode("other-format v9\n").is_err());
+        // Truncation anywhere must error, never panic.
+        for cut in [10, 40, 80, good.len() / 2, good.len() - 5] {
+            assert!(
+                Checkpoint::decode(&good[..cut]).is_err(),
+                "cut at {cut} should fail"
+            );
+        }
+        let corrupt = good.replace("rng ", "rng zz ");
+        assert!(Checkpoint::decode(&corrupt).is_err());
+    }
+
+    #[test]
+    fn save_and_load_roundtrip() {
+        let dir = std::env::temp_dir().join("clre-resilience-test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.ckpt");
+        let cp = sample_checkpoint();
+        cp.save(&path).unwrap();
+        assert_eq!(Checkpoint::load(&path).unwrap(), cp);
+        fs::remove_file(&path).unwrap();
+        assert!(matches!(
+            Checkpoint::load(&path),
+            Err(DseError::Checkpoint { .. })
+        ));
+    }
+
+    #[test]
+    fn health_merge_and_cleanliness() {
+        let mut a = RunHealth::default();
+        assert!(a.is_clean());
+        a.checkpoints_written = 3;
+        assert!(a.is_clean(), "checkpointing is nominal");
+        let b = RunHealth {
+            panics_isolated: 1,
+            retries: 2,
+            resumed_from_generation: Some(4),
+            ..RunHealth::default()
+        };
+        a.merge(&b);
+        assert!(!a.is_clean());
+        assert_eq!(a.panics_isolated, 1);
+        assert_eq!(a.retries, 2);
+        assert_eq!(a.checkpoints_written, 3);
+        assert_eq!(a.resumed_from_generation, Some(4));
+        // First resume point wins.
+        a.merge(&RunHealth {
+            resumed_from_generation: Some(9),
+            ..RunHealth::default()
+        });
+        assert_eq!(a.resumed_from_generation, Some(4));
+    }
+
+    // A deliberately unreliable scalar problem for isolation tests.
+    struct Flaky {
+        panic_on: u32,
+        error_on: u32,
+    }
+
+    impl Problem for Flaky {
+        type Genome = u32;
+        fn objective_count(&self) -> usize {
+            2
+        }
+        fn random_genome(&self, rng: &mut dyn RngCore) -> u32 {
+            rng.next_u32() % 100
+        }
+        fn evaluate(&self, g: &u32) -> Evaluation {
+            self.try_evaluate(g).unwrap()
+        }
+    }
+
+    impl FallibleProblem for Flaky {
+        fn try_evaluate(&self, g: &u32) -> Result<Evaluation, DseError> {
+            if *g == self.panic_on {
+                panic!("injected panic for genome {g}");
+            }
+            if *g == self.error_on {
+                return Err(DseError::InvalidGenome {
+                    what: "injected failure",
+                });
+            }
+            Ok(Evaluation::feasible(vec![
+                f64::from(*g),
+                100.0 - f64::from(*g),
+            ]))
+        }
+    }
+
+    #[test]
+    fn panics_are_isolated_and_quarantined() {
+        let p = ResilientProblem::new(Flaky {
+            panic_on: 7,
+            error_on: 9,
+        })
+        .with_max_retries(2);
+        let health = p.health();
+
+        // Suppress the default panic hook's stderr spew for this test.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let eval = p.evaluate(&7);
+        std::panic::set_hook(prev);
+
+        assert_eq!(eval.objectives, vec![QUARANTINE_OBJECTIVE; 2]);
+        assert_eq!(eval.violation, QUARANTINE_OBJECTIVE);
+        assert!(!eval.is_feasible());
+        let h = health.borrow();
+        assert_eq!(h.panics_isolated, 3, "initial attempt + 2 retries");
+        assert_eq!(h.retries, 2);
+        assert_eq!(h.quarantined, 1);
+    }
+
+    #[test]
+    fn typed_errors_are_isolated_without_unwinding() {
+        let p = ResilientProblem::new(Flaky {
+            panic_on: 7,
+            error_on: 9,
+        })
+        .with_max_retries(0);
+        let health = p.health();
+        let eval = p.evaluate(&9);
+        assert_eq!(eval.objectives, vec![QUARANTINE_OBJECTIVE; 2]);
+        let h = health.borrow();
+        assert_eq!(h.errors_isolated, 1);
+        assert_eq!(h.panics_isolated, 0);
+        assert_eq!(h.retries, 0);
+        assert_eq!(h.quarantined, 1);
+    }
+
+    #[test]
+    fn healthy_evaluations_pass_through_untouched() {
+        let p = ResilientProblem::new(Flaky {
+            panic_on: 7,
+            error_on: 9,
+        });
+        let health = p.health();
+        let eval = p.evaluate(&30);
+        assert_eq!(eval.objectives, vec![30.0, 70.0]);
+        assert_eq!(eval.violation, 0.0);
+        assert!(health.borrow().is_clean());
+    }
+
+    struct NonFinite;
+    impl Problem for NonFinite {
+        type Genome = u32;
+        fn objective_count(&self) -> usize {
+            1
+        }
+        fn random_genome(&self, _: &mut dyn RngCore) -> u32 {
+            0
+        }
+        fn evaluate(&self, _: &u32) -> Evaluation {
+            Evaluation::feasible(vec![f64::NAN])
+        }
+    }
+    impl FallibleProblem for NonFinite {
+        fn try_evaluate(&self, g: &u32) -> Result<Evaluation, DseError> {
+            Ok(self.evaluate(g))
+        }
+    }
+
+    #[test]
+    fn non_finite_fitness_is_quarantined() {
+        let p = ResilientProblem::new(NonFinite).with_max_retries(0);
+        let health = p.health();
+        let eval = p.evaluate(&0);
+        assert_eq!(eval.objectives, vec![QUARANTINE_OBJECTIVE]);
+        assert_eq!(health.borrow().errors_isolated, 1);
+        assert_eq!(health.borrow().quarantined, 1);
+    }
+
+    #[test]
+    fn supervisor_interrupt_seam() {
+        let sup = RunSupervisor::new(SupervisorConfig::new("/tmp/x.ckpt")).with_interrupt_at(1, 3);
+        assert!(sup.should_interrupt(1, 3));
+        assert!(!sup.should_interrupt(0, 3));
+        assert!(!sup.should_interrupt(1, 2));
+        let plain = RunSupervisor::new(SupervisorConfig::new("/tmp/x.ckpt"));
+        assert!(!plain.should_interrupt(0, 0));
+        assert_eq!(plain.config().every_generations, 1);
+    }
+}

@@ -12,7 +12,7 @@
 //! DVFS policy, the Pareto objective set (Table IV's sets I–VI) and an
 //! optional implicit-masking override (Fig. 6(b)).
 
-use clre_markov::clr::{analyze, ClrChainParams};
+use clre_markov::clr::{analyze_robust, ClrChainParams};
 use clre_model::qos::{ObjectiveSet, TaskMetrics};
 use clre_model::reliability::ClrConfig;
 use clre_model::{BaseImpl, DvfsMode, DvfsModeId, ImplId, PeType, Platform, TaskGraph, TaskTypeId};
@@ -114,6 +114,25 @@ impl TdseConfig {
     }
 }
 
+/// Health counters from one task-level DSE sweep — how many candidate
+/// analyses ran and how many had to fall back to the degraded closed-form
+/// solver (see [`clre_markov::clr::analyze_robust`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TdseHealth {
+    /// Total candidate evaluations performed.
+    pub candidates_evaluated: usize,
+    /// Evaluations answered by the degraded closed-form fallback.
+    pub degraded_analyses: usize,
+}
+
+impl TdseHealth {
+    /// Folds another sweep's counters into this one.
+    pub fn merge(&mut self, other: &TdseHealth) {
+        self.candidates_evaluated += other.candidates_evaluated;
+        self.degraded_analyses += other.degraded_analyses;
+    }
+}
+
 /// Estimates the Table II metrics of one fully configured candidate.
 ///
 /// Steps:
@@ -155,6 +174,24 @@ pub fn evaluate_candidate(
     profile: &ProfileModel,
     implicit_masking_override: Option<f64>,
 ) -> Result<TaskMetrics, DseError> {
+    evaluate_candidate_robust(imp, pe_type, mode, clr, profile, implicit_masking_override)
+        .map(|(metrics, _degraded)| metrics)
+}
+
+/// [`evaluate_candidate`] exposing whether the Markov analysis had to
+/// degrade to the closed-form fallback (the second tuple element).
+///
+/// # Errors
+///
+/// As for [`evaluate_candidate`].
+pub fn evaluate_candidate_robust(
+    imp: &BaseImpl,
+    pe_type: &PeType,
+    mode: &DvfsMode,
+    clr: &ClrConfig,
+    profile: &ProfileModel,
+    implicit_masking_override: Option<f64>,
+) -> Result<(TaskMetrics, bool), DseError> {
     let op = profile.operating_point(imp.cycles(), imp.capacitance(), mode);
     let hw = clr.hw.params();
     let asw = clr.asw.params();
@@ -162,16 +199,20 @@ pub fn evaluate_candidate(
     let temp = profile.steady_temp(power);
     let eta = profile.eta_at(temp);
     let params = chain_params(imp, pe_type, mode, clr, profile, implicit_masking_override);
-    let r = analyze(&params)?;
-    Ok(TaskMetrics {
-        min_exec_time: r.min_exec_time,
-        avg_exec_time: r.avg_exec_time,
-        error_prob: r.error_prob,
-        eta,
-        power,
-        energy: r.avg_exec_time * power,
-        peak_temp: temp,
-    })
+    let robust = analyze_robust(&params)?;
+    let r = robust.reliability;
+    Ok((
+        TaskMetrics {
+            min_exec_time: r.min_exec_time,
+            avg_exec_time: r.avg_exec_time,
+            error_prob: r.error_prob,
+            eta,
+            power,
+            energy: r.avg_exec_time * power,
+            peak_temp: temp,
+        },
+        robust.degraded,
+    ))
 }
 
 /// The Markov-chain parameters of a fully configured candidate — the
@@ -249,6 +290,23 @@ pub fn candidates_for_type(
     ty: TaskTypeId,
     config: &TdseConfig,
 ) -> Result<Vec<CandidateImpl>, DseError> {
+    let mut health = TdseHealth::default();
+    candidates_for_type_with_health(graph, platform, ty, config, &mut health)
+}
+
+/// [`candidates_for_type`] that also accumulates degraded-analysis
+/// counters into `health`.
+///
+/// # Errors
+///
+/// As for [`candidates_for_type`].
+pub fn candidates_for_type_with_health(
+    graph: &TaskGraph,
+    platform: &Platform,
+    ty: TaskTypeId,
+    config: &TdseConfig,
+    health: &mut TdseHealth,
+) -> Result<Vec<CandidateImpl>, DseError> {
     let task_type = graph.task_type(ty).ok_or(DseError::InvalidConfig {
         what: "task type id out of range",
     })?;
@@ -265,7 +323,7 @@ pub fn candidates_for_type(
         };
         for (mode_idx, mode) in modes.iter().enumerate() {
             for clr in &config.clr_catalog {
-                let metrics = evaluate_candidate(
+                let (metrics, degraded) = evaluate_candidate_robust(
                     imp,
                     pe_type,
                     mode,
@@ -273,6 +331,8 @@ pub fn candidates_for_type(
                     &config.profile,
                     config.implicit_masking_override,
                 )?;
+                health.candidates_evaluated += 1;
+                health.degraded_analyses += usize::from(degraded);
                 out.push(CandidateImpl {
                     impl_id: ImplId::new(impl_idx as u32),
                     pe_type: imp.pe_type(),
@@ -299,18 +359,34 @@ pub fn build_library(
     platform: &Platform,
     config: &TdseConfig,
 ) -> Result<ImplLibrary, DseError> {
+    build_library_with_health(graph, platform, config).map(|(lib, _)| lib)
+}
+
+/// [`build_library`] that also reports how many candidate analyses ran
+/// and how many used the degraded closed-form fallback.
+///
+/// # Errors
+///
+/// As for [`build_library`].
+pub fn build_library_with_health(
+    graph: &TaskGraph,
+    platform: &Platform,
+    config: &TdseConfig,
+) -> Result<(ImplLibrary, TdseHealth), DseError> {
+    let mut health = TdseHealth::default();
     let mut all = Vec::with_capacity(graph.task_types().len());
     for ty in 0..graph.task_types().len() {
-        all.push(candidates_for_type(
+        all.push(candidates_for_type_with_health(
             graph,
             platform,
             TaskTypeId::new(ty as u32),
             config,
+            &mut health,
         )?);
     }
     let lib = ImplLibrary::from_candidates(all, platform.pe_types().len(), &config.objectives)?;
     lib.validate_for(graph)?;
-    Ok(lib)
+    Ok((lib, health))
 }
 
 #[cfg(test)]

@@ -345,6 +345,92 @@ pub fn analyze_with_intervals(
     })
 }
 
+/// Outcome of a robust analysis: the metrics plus a flag recording
+/// whether the degraded closed-form fallback produced them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RobustAnalysis {
+    /// The task-level reliability metrics (exact or degraded).
+    pub reliability: TaskReliability,
+    /// `true` when the matrix solver failed and the single-interval
+    /// closed form supplied an approximation instead.
+    pub degraded: bool,
+}
+
+/// Like [`analyze`], but numeric failures of the matrix solver degrade
+/// to the loop-free [`crate::closed_form`] approximation instead of
+/// aborting the caller.
+///
+/// The fallback collapses the configuration to a single inter-checkpoint
+/// interval, solves it exactly, then re-adds the deterministic per-interval
+/// detection and checkpoint overheads and folds checkpoint corruption back
+/// in as an independent error floor. The result is exact in the fault-free
+/// limit (`λ = 0`) and a close approximation (first-order in `λ·T`)
+/// otherwise; it is tagged `degraded: true` so callers can surface it in
+/// run health reports.
+///
+/// # Errors
+///
+/// Out-of-domain parameters still fail — degraded mode papers over
+/// *numeric* trouble, not invalid inputs. [`MarkovError::NotAbsorbing`]
+/// is returned only when the closed form agrees the configuration loops
+/// forever.
+pub fn analyze_robust(params: &ClrChainParams) -> Result<RobustAnalysis, MarkovError> {
+    analyze_robust_with(params, analyze)
+}
+
+/// [`analyze_robust`] with an injectable primary solver — the seam used
+/// by fault-injection tests to prove the fallback engages on
+/// [`MarkovError::Numeric`] / non-finite results without aborting.
+///
+/// # Errors
+///
+/// As for [`analyze_robust`].
+pub fn analyze_robust_with(
+    params: &ClrChainParams,
+    primary: impl Fn(&ClrChainParams) -> Result<TaskReliability, MarkovError>,
+) -> Result<RobustAnalysis, MarkovError> {
+    match primary(params) {
+        Ok(r) if r.avg_exec_time.is_finite() && r.error_prob.is_finite() => Ok(RobustAnalysis {
+            reliability: r,
+            degraded: false,
+        }),
+        // Non-finite metrics or a numeric/absorption failure: degrade.
+        Ok(_) | Err(MarkovError::Numeric(_)) | Err(MarkovError::NotAbsorbing) => {
+            Ok(RobustAnalysis {
+                reliability: closed_form_fallback(params)?,
+                degraded: true,
+            })
+        }
+        // Domain errors (bad probabilities, negative times, …) are the
+        // caller's bug; no approximation can repair them.
+        Err(e) => Err(e),
+    }
+}
+
+/// Degraded-mode approximation: single-interval closed form plus the
+/// deterministic multi-interval overheads and a checkpoint-corruption
+/// error floor.
+fn closed_form_fallback(params: &ClrChainParams) -> Result<TaskReliability, MarkovError> {
+    let collapsed = ClrChainParams {
+        intervals: 1,
+        ..*params
+    };
+    let base = crate::closed_form::analyze(&collapsed)?;
+    // Deterministic overhead the collapse dropped: (k−1) extra detection
+    // phases and (k−1) checkpoints on the fault-free path.
+    let overhead = params.min_exec_time() - collapsed.min_exec_time();
+    // Checkpoint creation corrupts state independently per checkpoint;
+    // fold the (k−1) corruption chances the collapse removed back in as
+    // an independent error floor (exact when λ = 0).
+    let k = params.intervals.max(1) as i32;
+    let p_chk_ok = (1.0 - params.p_chk_err).powi(k - 1);
+    Ok(TaskReliability {
+        min_exec_time: params.min_exec_time(),
+        avg_exec_time: base.avg_exec_time + overhead,
+        error_prob: clre_num::util::clamp_prob(1.0 - (1.0 - base.error_prob) * p_chk_ok),
+    })
+}
+
 /// Runs both chains and extracts the task-level reliability metrics.
 ///
 /// # Errors
@@ -582,6 +668,95 @@ mod tests {
         let mut p = base();
         p.t_tol = f64::NAN;
         assert!(analyze(&p).is_err());
+    }
+
+    #[test]
+    fn robust_passthrough_when_solver_healthy() {
+        let mut p = base();
+        p.m_hw = 0.6;
+        p.intervals = 2;
+        let r = analyze_robust(&p).unwrap();
+        assert!(!r.degraded);
+        assert_eq!(r.reliability, analyze(&p).unwrap());
+    }
+
+    #[test]
+    fn robust_degrades_on_injected_numeric_failure() {
+        let mut p = base();
+        p.cov_det = 0.9;
+        p.m_tol = 0.97;
+        p.t_det = 5.0e-6;
+        let r = analyze_robust_with(&p, |_| {
+            Err(MarkovError::Numeric(clre_num::NumError::Singular {
+                pivot: 0,
+            }))
+        })
+        .unwrap();
+        assert!(r.degraded);
+        // Single interval: fallback is the exact closed form.
+        let exact = analyze(&p).unwrap();
+        assert!((r.reliability.avg_exec_time - exact.avg_exec_time).abs() < 1e-12);
+        assert!((r.reliability.error_prob - exact.error_prob).abs() < 1e-12);
+    }
+
+    #[test]
+    fn robust_degrades_on_nonfinite_metrics() {
+        let p = base();
+        let r = analyze_robust_with(&p, |q| {
+            let mut m = analyze(q)?;
+            m.avg_exec_time = f64::NAN;
+            Ok(m)
+        })
+        .unwrap();
+        assert!(r.degraded);
+        assert!(r.reliability.avg_exec_time.is_finite());
+    }
+
+    #[test]
+    fn robust_fallback_is_exact_in_fault_free_limit() {
+        let mut p = base();
+        p.seu_rate = 0.0;
+        p.intervals = 4;
+        p.cov_det = 0.9;
+        p.t_det = 5.0e-6;
+        p.t_chk = 3.0e-6;
+        let exact = analyze(&p).unwrap();
+        let degraded = analyze_robust_with(&p, |_| {
+            Err(MarkovError::Numeric(clre_num::NumError::RaggedRows))
+        })
+        .unwrap();
+        assert!(degraded.degraded);
+        assert!((degraded.reliability.avg_exec_time - exact.avg_exec_time).abs() < 1e-15);
+        assert_eq!(degraded.reliability.error_prob, exact.error_prob);
+        assert_eq!(degraded.reliability.min_exec_time, exact.min_exec_time);
+    }
+
+    #[test]
+    fn robust_fallback_tracks_exact_multi_interval_solution() {
+        // Collapsing intervals is first-order exact in λ·T: the degraded
+        // answer must stay within 1% (relative) of the matrix solution.
+        let mut p = base();
+        p.intervals = 3;
+        p.m_hw = 0.8;
+        p.cov_det = 0.95;
+        p.m_tol = 0.98;
+        p.p_chk_err = 0.01;
+        p.t_chk = 2.0e-6;
+        let exact = analyze(&p).unwrap();
+        let degraded = analyze_robust_with(&p, |_| Err(MarkovError::NotAbsorbing)).unwrap();
+        assert!(degraded.degraded);
+        let rel = (degraded.reliability.error_prob - exact.error_prob).abs() / exact.error_prob;
+        assert!(rel < 1e-2, "relative error {rel}");
+        let rel_t =
+            (degraded.reliability.avg_exec_time - exact.avg_exec_time).abs() / exact.avg_exec_time;
+        assert!(rel_t < 1e-2, "relative time error {rel_t}");
+    }
+
+    #[test]
+    fn robust_propagates_domain_errors() {
+        let mut p = base();
+        p.m_hw = 1.5;
+        assert!(analyze_robust(&p).is_err());
     }
 
     #[test]

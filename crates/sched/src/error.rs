@@ -25,6 +25,22 @@ pub enum SchedError {
         /// Number of PEs in the platform.
         count: usize,
     },
+    /// List scheduling ran out of ready tasks before scheduling the whole
+    /// graph — the dependence structure contains a cycle.
+    CyclicDependency {
+        /// Tasks scheduled before the stall.
+        scheduled: usize,
+        /// Tasks in the graph.
+        tasks: usize,
+    },
+    /// A task was picked for scheduling before one of its predecessors
+    /// finished — an internal ready-set inconsistency.
+    UnscheduledPredecessor {
+        /// The task that was about to start.
+        task: TaskId,
+        /// The predecessor with no finish time.
+        predecessor: TaskId,
+    },
 }
 
 impl fmt::Display for SchedError {
@@ -38,6 +54,19 @@ impl fmt::Display for SchedError {
             }
             SchedError::PeOutOfRange { task, pe, count } => {
                 write!(f, "task {task} mapped to {pe}, platform has {count} PEs")
+            }
+            SchedError::CyclicDependency { scheduled, tasks } => {
+                write!(
+                    f,
+                    "no ready task after scheduling {scheduled} of {tasks} tasks: \
+                     the graph contains a dependence cycle"
+                )
+            }
+            SchedError::UnscheduledPredecessor { task, predecessor } => {
+                write!(
+                    f,
+                    "task {task} became ready before predecessor {predecessor} finished"
+                )
             }
         }
     }
@@ -61,6 +90,14 @@ mod tests {
                 task: TaskId::new(0),
                 pe: PeId::new(9),
                 count: 6,
+            },
+            SchedError::CyclicDependency {
+                scheduled: 2,
+                tasks: 4,
+            },
+            SchedError::UnscheduledPredecessor {
+                task: TaskId::new(1),
+                predecessor: TaskId::new(0),
             },
         ];
         for e in errs {

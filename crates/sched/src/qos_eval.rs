@@ -43,7 +43,7 @@ impl<'p> QosEvaluator<'p> {
         mapping: &Mapping,
     ) -> Result<SystemMetrics, SchedError> {
         let schedule = list_schedule(graph, self.platform, mapping)?;
-        Ok(self.metrics_from_schedule(graph, mapping, &schedule))
+        self.metrics_from_schedule(graph, mapping, &schedule)
     }
 
     /// Like [`QosEvaluator::evaluate`] but also returns the schedule
@@ -59,7 +59,7 @@ impl<'p> QosEvaluator<'p> {
         mapping: &Mapping,
     ) -> Result<(SystemMetrics, Schedule), SchedError> {
         let schedule = list_schedule(graph, self.platform, mapping)?;
-        let m = self.metrics_from_schedule(graph, mapping, &schedule);
+        let m = self.metrics_from_schedule(graph, mapping, &schedule)?;
         Ok((m, schedule))
     }
 
@@ -95,7 +95,7 @@ impl<'p> QosEvaluator<'p> {
         graph: &TaskGraph,
         mapping: &Mapping,
         schedule: &Schedule,
-    ) -> SystemMetrics {
+    ) -> Result<SystemMetrics, SchedError> {
         let n = graph.task_count();
         // Functional reliability: criticality-weighted series-system form
         // F_app = Π F_t^{ζ_t·T}. With uniform criticalities the exponents
@@ -120,7 +120,15 @@ impl<'p> QosEvaluator<'p> {
         for t in graph.tasks() {
             let m = mapping.metrics_of(t.id());
             let pe = mapping.pe_of(t.id());
-            let ty = self.platform.pe(pe).expect("validated").pe_type();
+            let ty = self
+                .platform
+                .pe(pe)
+                .ok_or(SchedError::PeOutOfRange {
+                    task: t.id(),
+                    pe,
+                    count: self.platform.pe_count(),
+                })?
+                .pe_type();
             let gamma_term = self.gamma_terms[ty.index()];
             let mttf_tip = m.eta * gamma_term;
             stress_per_pe[pe.index()] += m.avg_exec_time / mttf_tip;
@@ -140,11 +148,10 @@ impl<'p> QosEvaluator<'p> {
             events.push((iv.start, w));
             events.push((iv.end, -w));
         }
-        events.sort_by(|a, b| {
-            a.0.partial_cmp(&b.0)
-                .expect("schedule times are finite")
-                .then(a.1.partial_cmp(&b.1).expect("powers are finite"))
-        });
+        // total_cmp gives a total order even for non-finite inputs, so a
+        // degenerate schedule degrades to a well-defined (if meaningless)
+        // peak instead of aborting the whole DSE run.
+        events.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.total_cmp(&b.1)));
         let mut current = 0.0f64;
         let mut peak = 0.0f64;
         for (_, dw) in events {
@@ -158,13 +165,13 @@ impl<'p> QosEvaluator<'p> {
             m.avg_exec_time * m.power
         }));
 
-        SystemMetrics {
+        Ok(SystemMetrics {
             makespan: schedule.makespan(),
             error_prob,
             mttf,
             energy,
             peak_power: peak,
-        }
+        })
     }
 }
 

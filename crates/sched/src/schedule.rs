@@ -58,7 +58,9 @@ impl Schedule {
 ///
 /// # Errors
 ///
-/// Propagates [`Mapping::validate`] failures.
+/// Propagates [`Mapping::validate`] failures, and returns
+/// [`SchedError::CyclicDependency`] if the graph's dependence structure
+/// stalls the ready set before every task is scheduled.
 ///
 /// # Examples
 ///
@@ -97,21 +99,25 @@ pub fn list_schedule(
             .iter()
             .enumerate()
             .min_by_key(|(_, &t)| priority_rank[t])
-            .expect("DAG with unscheduled tasks always has a ready task");
+            .ok_or(SchedError::CyclicDependency {
+                scheduled,
+                tasks: n,
+            })?;
         ready.swap_remove(pos);
         let tid = TaskId::new(t as u32);
         let pe = mapping.pe_of(tid);
-        let preds_done = graph
-            .predecessor_edges(tid)
-            .iter()
-            .map(|&(p, volume)| {
-                let end = finish[p.index()].expect("predecessor scheduled before successor");
-                match platform.interconnect() {
-                    Some(noc) if mapping.pe_of(p) != pe => end + noc.transfer_time(volume),
-                    _ => end,
-                }
-            })
-            .fold(0.0f64, f64::max);
+        let mut preds_done = 0.0f64;
+        for &(p, volume) in graph.predecessor_edges(tid) {
+            let end = finish[p.index()].ok_or(SchedError::UnscheduledPredecessor {
+                task: tid,
+                predecessor: p,
+            })?;
+            let arrival = match platform.interconnect() {
+                Some(noc) if mapping.pe_of(p) != pe => end + noc.transfer_time(volume),
+                _ => end,
+            };
+            preds_done = preds_done.max(arrival);
+        }
         let start = pe_free[pe.index()].max(preds_done);
         let end = start + mapping.metrics_of(tid).avg_exec_time;
         pe_free[pe.index()] = end;

@@ -1,0 +1,68 @@
+//! Resilient run: the proposed methodology under a [`RunSupervisor`] —
+//! periodic GA checkpoints, a simulated mid-run crash, and a
+//! deterministic resume to the identical Pareto front.
+//!
+//! ```sh
+//! cargo run --release --example resilient_run
+//! ```
+//!
+//! [`RunSupervisor`]: clrearly::core::RunSupervisor
+
+use clrearly::core::apps;
+use clrearly::core::methodology::{ClrEarly, StageBudget};
+use clrearly::core::{RunOutcome, RunSupervisor, SupervisorConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let platform = apps::paper_platform();
+    let graph = apps::sobel(&platform, 42)?;
+    let dse = ClrEarly::new(&graph, &platform)?;
+    let budget = StageBudget::new(40, 40).with_seed(7);
+
+    let checkpoint = std::env::temp_dir().join("clrearly-resilient-run.ckpt");
+    let config = SupervisorConfig::new(&checkpoint).with_interval(5);
+
+    // 1. Reference: an uninterrupted supervised run. Evaluation failures
+    //    (panics, typed errors, non-finite fitness) are isolated and
+    //    quarantined instead of tearing down the search, and the GA
+    //    state is checkpointed every 5 generations.
+    let reference = dse
+        .run_proposed_supervised(&budget, &RunSupervisor::new(config.clone()))?
+        .expect_complete();
+    println!(
+        "uninterrupted: {} Pareto points after {} evaluations",
+        reference.front().len(),
+        reference.evaluations
+    );
+    println!("  health: {:?}", reference.health);
+
+    // 2. Crash injection: the supervisor's test seam kills the run at
+    //    generation 20 of the fc stage (stage 1). A real deployment
+    //    would lose the process here — the checkpoint file survives.
+    let crashing = RunSupervisor::new(config.clone()).with_interrupt_at(1, 20);
+    match dse.run_proposed_supervised(&budget, &crashing)? {
+        RunOutcome::Interrupted { stage, generation } => {
+            println!("\nsimulated crash at stage {stage}, generation {generation}");
+        }
+        RunOutcome::Complete(_) => unreachable!("the crash seam fired"),
+    }
+
+    // 3. Resume: a fresh supervisor (fresh process, in a real
+    //    deployment) picks the run back up from the checkpoint. The
+    //    checkpoint restores the exact population, RNG state and stage
+    //    bookkeeping, so the resumed run replays the uninterrupted
+    //    trajectory bit-for-bit.
+    let resumed = dse
+        .resume_supervised(&budget, &RunSupervisor::new(config))?
+        .expect_complete();
+    println!(
+        "resumed:       {} Pareto points after {} evaluations",
+        resumed.front().len(),
+        resumed.evaluations
+    );
+    println!("  health: {:?}", resumed.health);
+
+    let identical = reference.front() == resumed.front();
+    println!("\nfronts identical after resume: {identical}");
+    assert!(identical, "resume must reproduce the uninterrupted front");
+    Ok(())
+}

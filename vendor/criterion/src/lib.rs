@@ -1,0 +1,167 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build environment cannot fetch crates, so this crate provides the
+//! slice of the criterion API the workspace benches use, backed by a
+//! minimal wall-clock harness: each benchmark runs `sample_size`
+//! iterations and reports the mean time per iteration to stdout. There is
+//! no statistical analysis, warm-up, or HTML report; the point is that
+//! `cargo bench` compiles, runs, and prints plausible numbers offline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortises setup; carried for API fidelity only.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs; setup runs once per iteration here.
+    SmallInput,
+    /// Large per-iteration inputs; treated identically to `SmallInput`.
+    LargeInput,
+    /// Per-iteration batch sizing; treated identically to `SmallInput`.
+    PerIteration,
+}
+
+/// Runs one benchmark's iterations and accumulates measured time.
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` over the configured number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Time `routine` with a fresh `setup` value per iteration; setup time
+    /// is excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut elapsed = Duration::ZERO;
+        for _ in 0..self.iterations {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            elapsed += start.elapsed();
+        }
+        self.elapsed = elapsed;
+    }
+}
+
+/// Benchmark registry and configuration.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 100 }
+    }
+}
+
+impl Criterion {
+    /// Set the number of iterations measured per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Measure `routine` and print the mean time per iteration.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: &str,
+        mut routine: F,
+    ) -> &mut Self {
+        let mut bencher = Bencher {
+            iterations: self.sample_size as u64,
+            elapsed: Duration::ZERO,
+        };
+        routine(&mut bencher);
+        let per_iter = if bencher.iterations > 0 {
+            bencher.elapsed / bencher.iterations as u32
+        } else {
+            Duration::ZERO
+        };
+        println!(
+            "{id:<48} {:>12.3} us/iter ({} iters)",
+            per_iter.as_secs_f64() * 1e6,
+            bencher.iterations
+        );
+        self
+    }
+}
+
+/// Bundle benchmark functions under a group function, mirroring
+/// criterion's `criterion_group!` (both the plain and `name =`/`config =`
+/// forms).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Generate `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_bench(c: &mut Criterion) {
+        c.bench_function("sum_to_100", |b| b.iter(|| (0u64..100).sum::<u64>()));
+        c.bench_function("batched_reverse", |b| {
+            b.iter_batched(
+                || vec![1u32, 2, 3, 4],
+                |mut v| {
+                    v.reverse();
+                    v
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(10);
+        targets = tiny_bench
+    }
+
+    criterion_group!(plain_form, tiny_bench);
+
+    #[test]
+    fn groups_run() {
+        benches();
+        plain_form();
+    }
+}

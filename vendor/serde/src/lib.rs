@@ -1,0 +1,69 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment cannot fetch crates, and the workspace only uses
+//! serde as derive decoration (no data format is linked, and run
+//! checkpoints use the hand-rolled codec in `clre::resilience`). This shim
+//! keeps `use serde::{Serialize, Deserialize}` and
+//! `#[derive(Serialize, Deserialize)]` compiling: the traits are markers
+//! blanket-implemented for every type, and the derives are no-ops.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+
+impl<T: ?Sized> DeserializeOwned for T {}
+
+/// Stand-in for the `serde::de` module.
+pub mod de {
+    pub use super::{Deserialize, DeserializeOwned};
+}
+
+/// Stand-in for the `serde::ser` module.
+pub mod ser {
+    pub use super::Serialize;
+}
+
+#[cfg(test)]
+mod tests {
+    #[allow(unused_imports)]
+    use super::{Deserialize, Serialize};
+
+    #[derive(serde_derive::Serialize, serde_derive::Deserialize)]
+    #[allow(dead_code)]
+    struct Point {
+        #[serde(default)]
+        x: f64,
+        y: f64,
+    }
+
+    #[derive(serde_derive::Serialize, serde_derive::Deserialize)]
+    #[allow(dead_code)]
+    enum Shape {
+        Dot,
+        Line(Point, Point),
+        Poly { corners: Vec<Point> },
+    }
+
+    fn assert_markers<T: super::Serialize + for<'de> super::Deserialize<'de>>() {}
+
+    #[test]
+    fn derives_compile_and_traits_blanket() {
+        assert_markers::<Point>();
+        assert_markers::<Shape>();
+        assert_markers::<Vec<String>>();
+    }
+}
