@@ -1,29 +1,53 @@
 //! Regenerates the paper's tables and figures.
 //!
-//! Usage: `experiments <id> [--smoke]` where `<id>` is one of
-//! `fig6a fig6b table4 fig7 table5 fig8 table6 fig9 fig10 table7
-//! ablations all`.
+//! Usage: `experiments <id> [--smoke] [--workers N] [--trace FILE]` where
+//! `<id>` is one of `fig6a fig6b table4 fig7 table5 fig8 table6 fig9
+//! fig10 table7 scaling chkpt multiobj ablations all`.
+//!
+//! `--workers N` sets the evaluation worker-pool size (default: available
+//! parallelism); results are bit-identical for any value. `--trace FILE`
+//! writes the machine-readable per-generation execution trace (see
+//! DESIGN.md §10) next to the printed report.
 
-use clre_bench::{system, tasklevel, RunScale};
+use std::path::PathBuf;
+
+use clre_bench::{exec_settings, system, tasklevel, RunScale};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments <fig6a|fig6b|table4|fig7|table5|fig8|table6|fig9|fig10|table7|scaling|chkpt|multiobj|ablations|all> [--smoke]"
+        "usage: experiments <fig6a|fig6b|table4|fig7|table5|fig8|table6|fig9|fig10|table7|scaling|chkpt|multiobj|ablations|all> [--smoke] [--workers N] [--trace FILE]"
     );
     std::process::exit(2);
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let scale = if args.iter().any(|a| a == "--smoke") {
-        RunScale::Smoke
-    } else {
-        RunScale::Paper
-    };
-    let Some(id) = args.iter().find(|a| !a.starts_with("--")) else {
-        usage();
-    };
-    let out = match id.as_str() {
+    let mut scale = RunScale::Paper;
+    let mut id: Option<&str> = None;
+    let mut trace: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        let value = |i: &mut usize| -> &str {
+            *i += 1;
+            args.get(*i).map(String::as_str).unwrap_or_else(|| usage())
+        };
+        match arg {
+            "--smoke" => scale = RunScale::Smoke,
+            "--workers" => match value(&mut i).parse() {
+                Ok(n) => exec_settings::set_workers(n),
+                Err(_) => usage(),
+            },
+            "--trace" => trace = Some(PathBuf::from(value(&mut i))),
+            _ if arg.starts_with("--") => usage(),
+            _ if id.is_none() => id = Some(arg),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    let Some(id) = id else { usage() };
+    let sink = trace.as_ref().map(|_| exec_settings::enable_trace());
+    let out = match id {
         "fig6a" => tasklevel::fig6a(),
         "fig6b" => tasklevel::fig6b(),
         "table4" => tasklevel::table4(),
@@ -49,4 +73,17 @@ fn main() {
         _ => usage(),
     };
     println!("{out}");
+    if let (Some(path), Some(sink)) = (trace, sink) {
+        let telemetry = sink.lock().expect("trace sink poisoned");
+        if let Err(e) = telemetry.write_trace(&path) {
+            eprintln!("failed to write trace to {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        eprintln!(
+            "trace: {} records, {} evaluations -> {}",
+            telemetry.records().len(),
+            telemetry.total_evaluations(),
+            path.display()
+        );
+    }
 }

@@ -1,0 +1,86 @@
+//! Process-wide execution settings for the experiment harness.
+//!
+//! The experiment functions all share the signature `fn(RunScale) ->
+//! String` so the `experiments` binary, the integration tests and the
+//! Criterion benches can drive them interchangeably. Worker count and
+//! telemetry therefore travel through this module rather than through
+//! every signature: the binary calls [`set_workers`] / [`enable_trace`]
+//! once at startup, and each experiment builds its [`ClrEarly`] driver
+//! with [`executor`].
+//!
+//! Parallelism never changes results — the engine merges worker output
+//! in submission order (see `clre-exec`) — so experiments stay
+//! bit-reproducible no matter what this module is set to.
+//!
+//! [`ClrEarly`]: clre::methodology::ClrEarly
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use clre_exec::{ExecPool, Executor, RunTelemetry, TelemetrySink};
+
+/// Configured worker count; 0 means "auto" (available parallelism).
+static WORKERS: AtomicUsize = AtomicUsize::new(0);
+
+fn sink_slot() -> &'static Mutex<Option<TelemetrySink>> {
+    static SLOT: OnceLock<Mutex<Option<TelemetrySink>>> = OnceLock::new();
+    SLOT.get_or_init(|| Mutex::new(None))
+}
+
+/// Sets the worker count used by every subsequently built [`executor`].
+/// Zero restores the default (available parallelism).
+pub fn set_workers(n: usize) {
+    WORKERS.store(n, Ordering::Relaxed);
+}
+
+/// The effective worker count: the configured value, or the machine's
+/// available parallelism when unconfigured.
+pub fn workers() -> usize {
+    match WORKERS.load(Ordering::Relaxed) {
+        0 => ExecPool::auto().workers(),
+        n => n,
+    }
+}
+
+/// Installs (and returns) a fresh process-wide telemetry sink. Every
+/// executor built by [`executor`] after this call feeds it, so one sink
+/// collects the trace across all stages of an experiment.
+pub fn enable_trace() -> TelemetrySink {
+    let sink = RunTelemetry::sink();
+    *sink_slot().lock().expect("trace sink poisoned") = Some(sink.clone());
+    sink
+}
+
+/// An [`Executor`] honoring the current settings. Stage labels are
+/// applied downstream by the methodology driver.
+pub fn executor() -> Executor {
+    let exec = Executor::new(ExecPool::new(workers()));
+    match sink_slot().lock().expect("trace sink poisoned").as_ref() {
+        Some(sink) => exec.with_telemetry(sink.clone()),
+        None => exec,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn settings_flow_into_executors() {
+        // Default: auto (≥ 1), no telemetry.
+        assert!(workers() >= 1);
+        assert!(executor().telemetry().is_none());
+
+        set_workers(3);
+        assert_eq!(executor().workers(), 3);
+
+        let sink = enable_trace();
+        let exec = executor();
+        assert!(exec.telemetry().is_some());
+        let _ = exec.evaluate_batch(0, &[1u8, 2, 3], |x| x + 1);
+        assert_eq!(sink.lock().unwrap().total_evaluations(), 3);
+
+        set_workers(0);
+        assert!(workers() >= 1);
+    }
+}

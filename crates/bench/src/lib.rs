@@ -23,6 +23,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod exec_settings;
 pub mod report;
 pub mod system;
 pub mod tasklevel;

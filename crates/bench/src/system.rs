@@ -7,6 +7,7 @@ use clre::methodology::{reference_point, ClrEarly, FrontResult, Layer, StageBudg
 use clre::tdse::TdseConfig;
 use clre_moea::hypervolume::{hypervolume, percent_increase};
 
+use crate::exec_settings;
 use crate::report::{pct, series, Table};
 use crate::tasklevel::tdse_runs;
 use crate::RunScale;
@@ -19,7 +20,9 @@ use crate::RunScale;
 /// makespan range.
 pub fn fig7(scale: RunScale) -> String {
     let (platform, graph) = apps::synthetic_app(20, 7).expect("synthetic app builds");
-    let dse = ClrEarly::new(&graph, &platform).expect("tDSE succeeds");
+    let dse = ClrEarly::new(&graph, &platform)
+        .expect("tDSE succeeds")
+        .with_executor(exec_settings::executor());
     let budget = scale.budget();
     let mut out = String::from("# series: method, avg-makespan[s], app-error-prob\n");
     let clr = dse.run_proposed(&budget).expect("proposed runs");
@@ -49,7 +52,9 @@ pub fn table5(scale: RunScale) -> String {
     for &tasks in &scale.sizes() {
         let (platform, graph) =
             apps::synthetic_app(tasks, 7 + tasks as u64).expect("synthetic app builds");
-        let dse = ClrEarly::new(&graph, &platform).expect("tDSE succeeds");
+        let dse = ClrEarly::new(&graph, &platform)
+            .expect("tDSE succeeds")
+            .with_executor(exec_settings::executor());
         let clr = dse.run_proposed(&budget).expect("proposed runs");
         let agn = dse.run_agnostic(&budget).expect("agnostic runs");
         let clr_objs = clr.objectives();
@@ -73,7 +78,9 @@ pub fn fig8(scale: RunScale) -> String {
     };
     let (platform, graph) =
         apps::synthetic_app(tasks, 7 + tasks as u64).expect("synthetic app builds");
-    let dse = ClrEarly::new(&graph, &platform).expect("tDSE succeeds");
+    let dse = ClrEarly::new(&graph, &platform)
+        .expect("tDSE succeeds")
+        .with_executor(exec_settings::executor());
     let budget = scale.budget();
     let mut out = String::from("# series: method, avg-makespan[s], app-error-prob\n");
     out.push_str(&series(
@@ -103,7 +110,9 @@ pub fn table6(scale: RunScale) -> String {
     for &tasks in &scale.sizes() {
         let (platform, graph) =
             apps::synthetic_app(tasks, 7 + tasks as u64).expect("synthetic app builds");
-        let dse = ClrEarly::new(&graph, &platform).expect("tDSE succeeds");
+        let dse = ClrEarly::new(&graph, &platform)
+            .expect("tDSE succeeds")
+            .with_executor(exec_settings::executor());
         let fc = dse.run_fc(&budget).expect("fcCLR runs");
         let prop = dse.run_proposed(&budget).expect("proposed runs");
         let fc_objs = fc.objectives();
@@ -133,7 +142,8 @@ pub fn fig10(scale: RunScale) -> String {
     for (label, objs) in tdse_runs() {
         let dse =
             ClrEarly::with_tdse_config(&graph, &platform, TdseConfig::new().with_objectives(objs))
-                .expect("tDSE succeeds");
+                .expect("tDSE succeeds")
+                .with_executor(exec_settings::executor());
         out.push_str(&series(
             &format!("proposed_{label}"),
             &dse.run_proposed(&budget)
@@ -178,7 +188,8 @@ pub fn table7(scale: RunScale) -> String {
                 &platform,
                 TdseConfig::new().with_objectives(objs.clone()),
             )
-            .expect("tDSE succeeds");
+            .expect("tDSE succeeds")
+            .with_executor(exec_settings::executor());
             fronts.push((
                 format!("proposed_{label}"),
                 dse.run_proposed(&budget)
@@ -209,7 +220,9 @@ pub fn table7(scale: RunScale) -> String {
 /// total budget, isolating the value of seeding (DESIGN.md §5).
 pub fn ablation_seeding(scale: RunScale) -> String {
     let (platform, graph) = apps::synthetic_app(30, 37).expect("synthetic app builds");
-    let dse = ClrEarly::new(&graph, &platform).expect("tDSE succeeds");
+    let dse = ClrEarly::new(&graph, &platform)
+        .expect("tDSE succeeds")
+        .with_executor(exec_settings::executor());
     let budget = scale.budget();
     let seeded = dse.run_proposed(&budget).expect("proposed runs");
     let unseeded = dse.run_fc(&budget).expect("fcCLR runs");
@@ -227,7 +240,9 @@ pub fn ablation_seeding(scale: RunScale) -> String {
 /// Ablation: tournament size 5 (paper) vs 2, at equal budget.
 pub fn ablation_tournament(scale: RunScale) -> String {
     let (platform, graph) = apps::synthetic_app(30, 41).expect("synthetic app builds");
-    let dse = ClrEarly::new(&graph, &platform).expect("tDSE succeeds");
+    let dse = ClrEarly::new(&graph, &platform)
+        .expect("tDSE succeeds")
+        .with_executor(exec_settings::executor());
     let budget = scale.budget();
     // The tournament size lives in Nsga2Config; emulate k=2 by a pf run
     // with a direct Nsga2 invocation through the public API.
@@ -249,7 +264,9 @@ pub fn ablation_tournament(scale: RunScale) -> String {
 /// Ablation: pfCLR's Pareto pruning vs a random subset of equal size.
 pub fn ablation_pruning(scale: RunScale) -> String {
     let (platform, graph) = apps::synthetic_app(30, 43).expect("synthetic app builds");
-    let dse = ClrEarly::new(&graph, &platform).expect("tDSE succeeds");
+    let dse = ClrEarly::new(&graph, &platform)
+        .expect("tDSE succeeds")
+        .with_executor(exec_settings::executor());
     let budget = scale.budget();
     let pruned = dse.run_pf(&budget).expect("pfCLR runs");
     let random = dse
@@ -270,7 +287,9 @@ pub fn ablation_pruning(scale: RunScale) -> String {
 /// budget (DESIGN.md §5).
 pub fn ablation_moea(scale: RunScale) -> String {
     let (platform, graph) = apps::synthetic_app(30, 47).expect("synthetic app builds");
-    let dse = ClrEarly::new(&graph, &platform).expect("tDSE succeeds");
+    let dse = ClrEarly::new(&graph, &platform)
+        .expect("tDSE succeeds")
+        .with_executor(exec_settings::executor());
     let budget = scale.budget();
     let nsga = dse.run_pf(&budget).expect("NSGA-II runs");
     let spea = dse.run_pf_spea2(&budget).expect("SPEA2 runs");
@@ -301,6 +320,7 @@ pub fn ablation_comm(scale: RunScale) -> String {
     let run = |platform: &clre_model::Platform| {
         ClrEarly::new(&graph, platform)
             .expect("tDSE succeeds")
+            .with_executor(exec_settings::executor())
             .run_proposed(&budget)
             .expect("proposed runs")
     };
@@ -352,6 +372,7 @@ pub fn multiobj(scale: RunScale) -> String {
         let dse =
             ClrEarly::with_tdse_config(&graph, &platform, Cfg::new().with_objectives(tdse_objs))
                 .expect("tDSE succeeds")
+                .with_executor(exec_settings::executor())
                 .with_objectives(objectives.clone());
         if proposed {
             dse.run_proposed(&budget).expect("proposed runs")
@@ -402,7 +423,9 @@ pub fn scaling(scale: RunScale) -> String {
         let (platform, graph) =
             apps::synthetic_app(tasks, 7 + tasks as u64).expect("synthetic app builds");
         let t0 = Instant::now();
-        let dse = ClrEarly::new(&graph, &platform).expect("tDSE succeeds");
+        let dse = ClrEarly::new(&graph, &platform)
+            .expect("tDSE succeeds")
+            .with_executor(exec_settings::executor());
         let t_tdse = t0.elapsed();
         let t0 = Instant::now();
         dse.run_pf(&budget).expect("pfCLR runs");
@@ -442,7 +465,9 @@ pub fn scaling(scale: RunScale) -> String {
 pub fn clr_vs_agnostic_hv(tasks: usize, budget: &StageBudget) -> (f64, f64) {
     let (platform, graph) =
         apps::synthetic_app(tasks, 7 + tasks as u64).expect("synthetic app builds");
-    let dse = ClrEarly::new(&graph, &platform).expect("tDSE succeeds");
+    let dse = ClrEarly::new(&graph, &platform)
+        .expect("tDSE succeeds")
+        .with_executor(exec_settings::executor());
     let clr = dse.run_proposed(budget).expect("proposed runs");
     let agn = dse.run_agnostic(budget).expect("agnostic runs");
     let a = clr.objectives();

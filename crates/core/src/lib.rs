@@ -72,5 +72,7 @@ pub mod tdse;
 pub use error::DseError;
 pub use library::{CandidateImpl, ImplLibrary};
 pub use methodology::{ClrEarly, FrontPoint, FrontResult, StageBudget};
-pub use resilience::{RunHealth, RunOutcome, RunSupervisor, SupervisorConfig};
+pub use resilience::{
+    HealthHandle, QuarantineRecord, RunHealth, RunOutcome, RunSupervisor, SupervisorConfig,
+};
 pub use tdse::TdseConfig;

@@ -15,18 +15,21 @@
 //!   with a single degree of freedom each (DVFS / HWRel / SSWRel /
 //!   ASWRel), merged and Pareto-filtered.
 
+use clre_exec::Executor;
 use clre_model::qos::{ObjectiveSet, QosSpec, SystemMetrics};
 use clre_model::reliability::ClrConfig;
 use clre_model::{Platform, TaskGraph};
 use clre_moea::pareto::non_dominated_indices;
 use clre_moea::{Nsga2, Nsga2Config, Nsga2State, Spea2, Spea2Config};
 use serde::{Deserialize, Serialize};
-use std::fs;
 
 use crate::encoding::{ChoiceMode, ClrVariation, Codec, Genome};
 use crate::library::ImplLibrary;
 use crate::problem::SystemProblem;
-use crate::resilience::{Checkpoint, ResilientProblem, RunHealth, RunOutcome, RunSupervisor};
+use crate::resilience::{
+    quarantine_sidecar_path, remove_checkpoint_files, write_quarantine_sidecar, Checkpoint,
+    ResilientProblem, RunHealth, RunOutcome, RunSupervisor,
+};
 use crate::tdse::{build_library, build_library_with_health, DvfsPolicy, TdseConfig, TdseHealth};
 use crate::DseError;
 
@@ -197,6 +200,7 @@ pub struct ClrEarly<'a> {
     tdse_health: TdseHealth,
     objectives: ObjectiveSet,
     spec: QosSpec,
+    exec: Executor,
 }
 
 impl<'a> ClrEarly<'a> {
@@ -231,6 +235,7 @@ impl<'a> ClrEarly<'a> {
             tdse_health,
             objectives: ObjectiveSet::system_bi(),
             spec: QosSpec::new(),
+            exec: Executor::serial(),
         })
     }
 
@@ -246,6 +251,26 @@ impl<'a> ClrEarly<'a> {
     pub fn with_spec(mut self, spec: QosSpec) -> Self {
         self.spec = spec;
         self
+    }
+
+    /// Sets the evaluation executor (builder style): every GA run of this
+    /// orchestrator fans its fitness batches through it, re-labeled per
+    /// stage. Results are bit-identical for any worker count; only the
+    /// wall clock and the telemetry trace differ.
+    #[must_use]
+    pub fn with_executor(mut self, exec: Executor) -> Self {
+        self.exec = exec;
+        self
+    }
+
+    /// The orchestrator's evaluation executor.
+    pub fn executor(&self) -> &Executor {
+        &self.exec
+    }
+
+    /// This orchestrator's executor re-labeled for one stage.
+    fn stage_exec(&self, label: &str) -> Executor {
+        self.exec.clone().with_label(label)
     }
 
     /// The task-level library built at construction.
@@ -283,7 +308,7 @@ impl<'a> ClrEarly<'a> {
         let variation = ClrVariation::new(&codec);
         let result = Nsga2::new(problem, variation, config)
             .with_seeds(seeds)
-            .run();
+            .run_with(&self.stage_exec(label));
         let evaluations = result.evaluations;
         let front = result.into_front();
         let problem = SystemProblem::new(codec, self.objectives.clone(), self.spec);
@@ -625,7 +650,10 @@ impl<'a> ClrEarly<'a> {
         health.degraded_analyses += self.tdse_health.degraded_analyses;
         let mut merged = FrontResult::merge("proposed", [&pf_result, &fc_result]);
         merged.health = health;
-        let _ = fs::remove_file(supervisor.checkpoint_path());
+        remove_checkpoint_files(
+            supervisor.checkpoint_path(),
+            supervisor.config().keep_checkpoints,
+        );
         Ok(RunOutcome::Complete(merged))
     }
 
@@ -637,7 +665,10 @@ impl<'a> ClrEarly<'a> {
         match out {
             StageOutcome::Complete { mut result, .. } => {
                 result.health.degraded_analyses += self.tdse_health.degraded_analyses;
-                let _ = fs::remove_file(supervisor.checkpoint_path());
+                remove_checkpoint_files(
+                    supervisor.checkpoint_path(),
+                    supervisor.config().keep_checkpoints,
+                );
                 Ok(RunOutcome::Complete(result))
             }
             StageOutcome::Interrupted { generation } => Ok(RunOutcome::Interrupted {
@@ -661,22 +692,28 @@ impl<'a> ClrEarly<'a> {
         let resilient =
             ResilientProblem::new(problem).with_max_retries(supervisor.config().max_retries);
         let eval_health = resilient.health();
+        let quarantine_log = resilient.quarantine_log();
         let variation = ClrVariation::new(&codec);
+        let exec = self.stage_exec(ctx.label);
         // Seeds only shape init_state, so passing them on resume is a
         // no-op; the aux genomes double as this stage's seeds.
         let ga = Nsga2::new(resilient, variation, config).with_seeds(ctx.aux_genomes.clone());
+        let fresh = ctx.resume.is_none();
         let mut state = match ctx.resume {
             Some(s) => s,
-            None => ga.init_state(),
+            None => ga.init_state_with(&exec),
         };
 
         let mut checkpoints = 0usize;
         let health_now = |checkpoints: usize| {
             let mut h = ctx.base_health.clone();
-            h.merge(&eval_health.borrow());
+            h.merge(&eval_health.lock().expect("run health poisoned"));
             h.checkpoints_written += checkpoints;
             h
         };
+        // Checkpoints carry nothing thread-dependent: the GA state's
+        // population and RNG words are identical for any worker count, and
+        // the health counters are totals, not per-worker data.
         let save = |state: &Nsga2State<Genome>, health: RunHealth| -> Result<(), DseError> {
             Checkpoint {
                 method: ctx.method.to_owned(),
@@ -690,8 +727,24 @@ impl<'a> ClrEarly<'a> {
                 state: state.clone(),
                 health,
             }
-            .save(supervisor.checkpoint_path())
+            .save_rotated(
+                supervisor.checkpoint_path(),
+                supervisor.config().keep_checkpoints,
+            )?;
+            write_quarantine_sidecar(
+                &quarantine_sidecar_path(supervisor.checkpoint_path()),
+                &quarantine_log.lock().expect("quarantine log poisoned"),
+            )
         };
+        // Stamp the cumulative quarantine/degraded counters onto the trace
+        // record of the batch that just ran (no batch ran on resume).
+        let annotate = || {
+            let h = health_now(0);
+            exec.annotate_health(h.quarantined, h.degraded_analyses);
+        };
+        if fresh {
+            annotate();
+        }
 
         loop {
             if supervisor.should_interrupt(ctx.stage, state.generation) {
@@ -701,14 +754,21 @@ impl<'a> ClrEarly<'a> {
                     generation: state.generation,
                 });
             }
-            if !ga.step(&mut state) {
+            if !ga.step_with(&mut state, &exec) {
                 break;
             }
+            annotate();
             if state.generation % supervisor.config().every_generations == 0 {
                 checkpoints += 1;
                 save(&state, health_now(checkpoints))?;
             }
         }
+        // Stage-end sidecar write, so triage data survives even when the
+        // run completes and the checkpoints are cleaned up.
+        write_quarantine_sidecar(
+            &quarantine_sidecar_path(supervisor.checkpoint_path()),
+            &quarantine_log.lock().expect("quarantine log poisoned"),
+        )?;
 
         let health = health_now(checkpoints);
         let evaluations = state.evaluations;
@@ -880,7 +940,8 @@ impl<'a> ClrEarly<'a> {
         let variation = ClrVariation::new(&codec);
         let config = Spea2Config::new(budget.population, budget.generations.max(1))
             .with_seed(budget.seed.wrapping_mul(0x9E37_79B9).wrapping_add(7));
-        let result = Spea2::new(problem, variation, config).run();
+        let result =
+            Spea2::new(problem, variation, config).run_with(&self.stage_exec("pfCLR/spea2"));
         let evaluations = result.evaluations;
         let problem = SystemProblem::new(codec, self.objectives.clone(), self.spec);
         let mut points: Vec<FrontPoint> = result

@@ -34,12 +34,11 @@
 //! the step-wise API of [`clre_moea::Nsga2`] (`init_state`/`step`/
 //! `finalize`), whose RNG state words round-trip exactly.
 
-use std::cell::RefCell;
 use std::fmt::Write as _;
 use std::fs;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use clre_model::{PeId, TaskId};
 use clre_moea::{Evaluation, Individual, Nsga2State, Problem};
@@ -55,6 +54,11 @@ use crate::DseError;
 /// combined with an equal constraint violation it loses every
 /// constraint-domination comparison against a healthy individual.
 pub const QUARANTINE_OBJECTIVE: f64 = 1.0e30;
+
+/// Shared, thread-safe handle to a [`RunHealth`]: the resilient wrapper
+/// mutates the counters from whichever worker thread evaluates a
+/// candidate, and the GA driver reads them between generations.
+pub type HealthHandle = Arc<Mutex<RunHealth>>;
 
 /// Everything non-nominal that happened during a (possibly multi-stage,
 /// possibly resumed) DSE run.
@@ -115,12 +119,77 @@ pub trait FallibleProblem: Problem {
     ///
     /// Implementation-specific evaluation failures.
     fn try_evaluate(&self, genome: &Self::Genome) -> Result<Evaluation, DseError>;
+
+    /// A human-readable rendering of a genome for triage artifacts (the
+    /// quarantine sidecar). The default is a placeholder; problems with a
+    /// meaningful text form should override it.
+    fn describe_genome(&self, _genome: &Self::Genome) -> String {
+        "<genome>".to_owned()
+    }
 }
 
 impl FallibleProblem for SystemProblem<'_> {
     fn try_evaluate(&self, genome: &Genome) -> Result<Evaluation, DseError> {
         SystemProblem::try_evaluate(self, genome)
     }
+
+    fn describe_genome(&self, genome: &Genome) -> String {
+        let mut out = String::new();
+        encode_genome(&mut out, genome);
+        out
+    }
+}
+
+/// One quarantined candidate: what it looked like and why every attempt
+/// to evaluate it failed. Collected by [`ResilientProblem`] and persisted
+/// as the `quarantine.txt` triage sidecar by the supervised runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantineRecord {
+    /// The genome, rendered via [`FallibleProblem::describe_genome`].
+    pub genome: String,
+    /// The failure message of the last attempt (panic payload or typed
+    /// error).
+    pub error: String,
+}
+
+impl QuarantineRecord {
+    /// One-line `quarantine-v1 error=… genome=…` sidecar form. The error
+    /// string is flattened to a single line.
+    pub fn line(&self) -> String {
+        format!(
+            "quarantine-v1 error={} genome={}",
+            self.error.replace(['\n', '\r'], " "),
+            self.genome,
+        )
+    }
+}
+
+/// Writes the quarantine triage sidecar: one [`QuarantineRecord::line`]
+/// per record. An empty record set removes any stale sidecar instead of
+/// writing an empty file.
+///
+/// # Errors
+///
+/// [`DseError::Checkpoint`] wrapping the underlying I/O failure.
+pub fn write_quarantine_sidecar(path: &Path, records: &[QuarantineRecord]) -> Result<(), DseError> {
+    if records.is_empty() {
+        let _ = fs::remove_file(path);
+        return Ok(());
+    }
+    let mut out = String::new();
+    for r in records {
+        let _ = writeln!(out, "{}", r.line());
+    }
+    fs::write(path, out).map_err(|e| bad(format!("writing {}: {e}", path.display())))
+}
+
+/// The conventional sidecar location: `quarantine.txt` next to the
+/// checkpoint file.
+pub fn quarantine_sidecar_path(checkpoint_path: &Path) -> PathBuf {
+    checkpoint_path
+        .parent()
+        .map_or_else(|| PathBuf::from("quarantine.txt"), Path::to_path_buf)
+        .join("quarantine.txt")
 }
 
 /// Panic- and error-isolating wrapper around a [`FallibleProblem`].
@@ -157,13 +226,14 @@ impl FallibleProblem for SystemProblem<'_> {
 /// let health = p.health();
 /// assert_eq!(p.evaluate(&2).objectives, vec![2.0]);
 /// assert_eq!(p.evaluate(&13).objectives, vec![QUARANTINE_OBJECTIVE]);
-/// assert_eq!(health.borrow().quarantined, 1);
+/// assert_eq!(health.lock().unwrap().quarantined, 1);
 /// ```
 #[derive(Debug)]
 pub struct ResilientProblem<P: FallibleProblem> {
     inner: P,
     max_retries: usize,
-    health: Rc<RefCell<RunHealth>>,
+    health: HealthHandle,
+    quarantine_log: Arc<Mutex<Vec<QuarantineRecord>>>,
 }
 
 impl<P: FallibleProblem> ResilientProblem<P> {
@@ -172,7 +242,8 @@ impl<P: FallibleProblem> ResilientProblem<P> {
         ResilientProblem {
             inner,
             max_retries: 1,
-            health: Rc::new(RefCell::new(RunHealth::default())),
+            health: Arc::new(Mutex::new(RunHealth::default())),
+            quarantine_log: Arc::new(Mutex::new(Vec::new())),
         }
     }
 
@@ -185,16 +256,45 @@ impl<P: FallibleProblem> ResilientProblem<P> {
     }
 
     /// Shared handle to the failure counters, live during the run.
-    pub fn health(&self) -> Rc<RefCell<RunHealth>> {
-        Rc::clone(&self.health)
+    pub fn health(&self) -> HealthHandle {
+        Arc::clone(&self.health)
     }
 
-    fn quarantine(&self) -> Evaluation {
-        self.health.borrow_mut().quarantined += 1;
+    /// Shared handle to the quarantine triage log: one record per
+    /// candidate that exhausted its retries, in quarantine order.
+    pub fn quarantine_log(&self) -> Arc<Mutex<Vec<QuarantineRecord>>> {
+        Arc::clone(&self.quarantine_log)
+    }
+
+    fn health_mut(&self) -> std::sync::MutexGuard<'_, RunHealth> {
+        self.health.lock().expect("run health poisoned")
+    }
+
+    fn quarantine(&self, genome: &P::Genome, error: String) -> Evaluation {
+        self.health_mut().quarantined += 1;
+        self.quarantine_log
+            .lock()
+            .expect("quarantine log poisoned")
+            .push(QuarantineRecord {
+                genome: self.inner.describe_genome(genome),
+                error,
+            });
         Evaluation::with_violation(
             vec![QUARANTINE_OBJECTIVE; self.inner.objective_count()],
             QUARANTINE_OBJECTIVE,
         )
+    }
+}
+
+/// Renders a `catch_unwind` payload as text (`&str`/`String` payloads
+/// verbatim, anything else a placeholder).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_owned()
     }
 }
 
@@ -210,9 +310,10 @@ impl<P: FallibleProblem> Problem for ResilientProblem<P> {
     }
 
     fn evaluate(&self, genome: &Self::Genome) -> Evaluation {
+        let mut last_error = String::new();
         for attempt in 0..=self.max_retries {
             if attempt > 0 {
-                self.health.borrow_mut().retries += 1;
+                self.health_mut().retries += 1;
             }
             // AssertUnwindSafe: the inner problem is only read here, and a
             // caught failure discards the attempt's partial state entirely.
@@ -223,11 +324,21 @@ impl<P: FallibleProblem> Problem for ResilientProblem<P> {
                 {
                     return eval;
                 }
-                Ok(_) => self.health.borrow_mut().errors_isolated += 1,
-                Err(_) => self.health.borrow_mut().panics_isolated += 1,
+                Ok(Ok(_)) => {
+                    self.health_mut().errors_isolated += 1;
+                    last_error = "non-finite fitness".to_owned();
+                }
+                Ok(Err(e)) => {
+                    self.health_mut().errors_isolated += 1;
+                    last_error = e.to_string();
+                }
+                Err(payload) => {
+                    self.health_mut().panics_isolated += 1;
+                    last_error = format!("panic: {}", panic_message(payload.as_ref()));
+                }
             }
         }
-        self.quarantine()
+        self.quarantine(genome, last_error)
     }
 }
 
@@ -241,15 +352,21 @@ pub struct SupervisorConfig {
     pub every_generations: usize,
     /// Retry budget per failing fitness evaluation.
     pub max_retries: usize,
+    /// Number of checkpoint generations to keep (≥ 1). The newest lives
+    /// at `checkpoint_path`; older generations are rotated to
+    /// `<path>.1 … <path>.keep-1`, oldest pruned.
+    pub keep_checkpoints: usize,
 }
 
 impl SupervisorConfig {
-    /// Checkpoints to `path` every generation with one retry per failure.
+    /// Checkpoints to `path` every generation with one retry per failure,
+    /// keeping only the newest checkpoint.
     pub fn new(path: impl Into<PathBuf>) -> Self {
         SupervisorConfig {
             checkpoint_path: path.into(),
             every_generations: 1,
             max_retries: 1,
+            keep_checkpoints: 1,
         }
     }
 
@@ -270,6 +387,58 @@ impl SupervisorConfig {
     pub fn with_max_retries(mut self, max_retries: usize) -> Self {
         self.max_retries = max_retries;
         self
+    }
+
+    /// Sets how many checkpoint generations to keep (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keep == 0`.
+    #[must_use]
+    pub fn with_keep_checkpoints(mut self, keep: usize) -> Self {
+        assert!(keep > 0, "must keep at least one checkpoint");
+        self.keep_checkpoints = keep;
+        self
+    }
+}
+
+/// The path of rotation slot `n` of `path` (`n ≥ 1`): `<path>.<n>`.
+pub fn rotated_checkpoint_path(path: &Path, n: usize) -> PathBuf {
+    let mut os = path.as_os_str().to_owned();
+    os.push(format!(".{n}"));
+    PathBuf::from(os)
+}
+
+/// Rotates existing checkpoint generations aside and prunes the oldest:
+/// `<path>.keep-2 → <path>.keep-1`, …, `<path> → <path>.1`; everything at
+/// slot `keep-1` and beyond is removed. With `keep == 1` this just prunes
+/// stale rotation files. Called by [`Checkpoint::save_rotated`] before
+/// installing a fresh checkpoint at `path`.
+fn rotate_checkpoints(path: &Path, keep: usize) {
+    // Prune slots that fall outside the retention window (also covers a
+    // `keep` that shrank between runs, up to a generous scan bound).
+    let scan_to = keep.max(8) + 8;
+    for n in (keep.max(1) - 1).max(1)..=scan_to {
+        let _ = fs::remove_file(rotated_checkpoint_path(path, n));
+    }
+    // Shift the survivors one slot older, oldest first.
+    for n in (1..keep.max(1) - 1).rev() {
+        let _ = fs::rename(
+            rotated_checkpoint_path(path, n),
+            rotated_checkpoint_path(path, n + 1),
+        );
+    }
+    if keep > 1 {
+        let _ = fs::rename(path, rotated_checkpoint_path(path, 1));
+    }
+}
+
+/// Removes the checkpoint at `path` and every rotation slot next to it
+/// (used once a supervised run completes).
+pub fn remove_checkpoint_files(path: &Path, keep: usize) {
+    let _ = fs::remove_file(path);
+    for n in 1..=keep.max(8) + 8 {
+        let _ = fs::remove_file(rotated_checkpoint_path(path, n));
     }
 }
 
@@ -627,6 +796,22 @@ impl Checkpoint {
         fs::rename(&tmp, path).map_err(|e| bad(format!("installing {}: {e}", path.display())))
     }
 
+    /// [`Checkpoint::save`] with retention: the previous checkpoint
+    /// generations are rotated to `<path>.1 … <path>.keep-1` (oldest
+    /// pruned) before the new checkpoint is atomically installed at
+    /// `path`. With `keep == 1` this is exactly [`Checkpoint::save`]
+    /// (plus pruning of stale rotation files).
+    ///
+    /// # Errors
+    ///
+    /// [`DseError::Checkpoint`] wrapping the I/O failure of the install;
+    /// rotation failures of older generations are ignored (retention is
+    /// best-effort, the newest checkpoint is the contract).
+    pub fn save_rotated(&self, path: &Path, keep: usize) -> Result<(), DseError> {
+        rotate_checkpoints(path, keep);
+        self.save(path)
+    }
+
     /// Reads and decodes a checkpoint file.
     ///
     /// # Errors
@@ -820,7 +1005,7 @@ mod tests {
         assert_eq!(eval.objectives, vec![QUARANTINE_OBJECTIVE; 2]);
         assert_eq!(eval.violation, QUARANTINE_OBJECTIVE);
         assert!(!eval.is_feasible());
-        let h = health.borrow();
+        let h = health.lock().unwrap();
         assert_eq!(h.panics_isolated, 3, "initial attempt + 2 retries");
         assert_eq!(h.retries, 2);
         assert_eq!(h.quarantined, 1);
@@ -836,7 +1021,7 @@ mod tests {
         let health = p.health();
         let eval = p.evaluate(&9);
         assert_eq!(eval.objectives, vec![QUARANTINE_OBJECTIVE; 2]);
-        let h = health.borrow();
+        let h = health.lock().unwrap();
         assert_eq!(h.errors_isolated, 1);
         assert_eq!(h.panics_isolated, 0);
         assert_eq!(h.retries, 0);
@@ -853,7 +1038,7 @@ mod tests {
         let eval = p.evaluate(&30);
         assert_eq!(eval.objectives, vec![30.0, 70.0]);
         assert_eq!(eval.violation, 0.0);
-        assert!(health.borrow().is_clean());
+        assert!(health.lock().unwrap().is_clean());
     }
 
     struct NonFinite;
@@ -881,8 +1066,101 @@ mod tests {
         let health = p.health();
         let eval = p.evaluate(&0);
         assert_eq!(eval.objectives, vec![QUARANTINE_OBJECTIVE]);
-        assert_eq!(health.borrow().errors_isolated, 1);
-        assert_eq!(health.borrow().quarantined, 1);
+        assert_eq!(health.lock().unwrap().errors_isolated, 1);
+        assert_eq!(health.lock().unwrap().quarantined, 1);
+    }
+
+    #[test]
+    fn save_rotated_keeps_last_n_checkpoints() {
+        let dir = std::env::temp_dir().join(format!("clre-rotation-test-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.ckpt");
+        let keep = 3;
+        let mut cp = sample_checkpoint();
+        for generation in 0..5 {
+            cp.state.generation = generation;
+            cp.save_rotated(&path, keep).unwrap();
+        }
+        // Newest at `path`, then one generation older per slot.
+        assert_eq!(Checkpoint::load(&path).unwrap().state.generation, 4);
+        for (slot, generation) in [(1, 3), (2, 2)] {
+            let rotated = rotated_checkpoint_path(&path, slot);
+            assert_eq!(
+                Checkpoint::load(&rotated).unwrap().state.generation,
+                generation,
+                "slot {slot}"
+            );
+        }
+        // Slot keep-1+1 and beyond were pruned.
+        assert!(!rotated_checkpoint_path(&path, 3).exists());
+        remove_checkpoint_files(&path, keep);
+        assert!(!path.exists());
+        assert!(!rotated_checkpoint_path(&path, 1).exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn save_rotated_keep_one_matches_plain_save() {
+        let dir = std::env::temp_dir().join(format!("clre-rotation-one-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.ckpt");
+        let cp = sample_checkpoint();
+        cp.save_rotated(&path, 1).unwrap();
+        cp.save_rotated(&path, 1).unwrap();
+        assert!(path.exists());
+        assert!(!rotated_checkpoint_path(&path, 1).exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn quarantine_log_records_genome_and_error() {
+        let p = ResilientProblem::new(Flaky {
+            panic_on: 7,
+            error_on: 9,
+        })
+        .with_max_retries(0);
+        let log = p.quarantine_log();
+        let _ = p.evaluate(&9);
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let _ = p.evaluate(&7);
+        std::panic::set_hook(prev);
+        let records = log.lock().unwrap().clone();
+        assert_eq!(records.len(), 2);
+        assert!(records[0].error.contains("injected failure"), "{records:?}");
+        assert!(records[1].error.contains("injected panic"), "{records:?}");
+        let line = records[0].line();
+        assert!(line.starts_with("quarantine-v1 error="));
+        assert!(line.contains("genome="));
+    }
+
+    #[test]
+    fn quarantine_sidecar_roundtrips_and_clears() {
+        let dir = std::env::temp_dir().join(format!("clre-quarantine-test-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = quarantine_sidecar_path(&dir.join("run.ckpt"));
+        assert_eq!(path, dir.join("quarantine.txt"));
+        let records = vec![QuarantineRecord {
+            genome: "2 0:1:2 1:0:0".to_owned(),
+            error: "panic: multi\nline".to_owned(),
+        }];
+        write_quarantine_sidecar(&path, &records).unwrap();
+        let text = fs::read_to_string(&path).unwrap();
+        assert_eq!(
+            text,
+            "quarantine-v1 error=panic: multi line genome=2 0:1:2 1:0:0\n"
+        );
+        // Empty record set removes the stale sidecar.
+        write_quarantine_sidecar(&path, &[]).unwrap();
+        assert!(!path.exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn system_problem_genomes_render_as_gene_triples() {
+        let mut out = String::new();
+        encode_genome(&mut out, &vec![gene(0, 1, 2), gene(3, 4, 5)]);
+        assert_eq!(out, "2 0:1:2 3:4:5");
     }
 
     #[test]

@@ -1,0 +1,240 @@
+//! The deterministic batch-evaluation pool.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+use std::time::Instant;
+
+use crate::histogram::LatencyHistogram;
+
+/// Observability record of one [`ExecPool::evaluate_batch`] call: wall
+/// time, how the batch was split across workers, and the per-evaluation
+/// latency distribution. Pure telemetry — nothing in here feeds back into
+/// the evaluation results.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Wall-clock duration of the whole batch, in nanoseconds.
+    pub wall_nanos: u64,
+    /// Candidates evaluated by each worker, indexed by worker id. Length
+    /// is the number of workers actually spawned (1 for the serial path).
+    pub per_worker: Vec<usize>,
+    /// Log-spaced per-evaluation latency histogram over the batch.
+    pub histogram: LatencyHistogram,
+}
+
+/// A fixed-size evaluation worker pool.
+///
+/// The pool holds no threads between batches: each
+/// [`ExecPool::evaluate_batch`] call opens a `std::thread::scope`, fans
+/// the items out over `workers` scoped threads through an atomic
+/// work-stealing index, and joins them before returning. That keeps the
+/// engine dependency-free and the borrow story trivial (workers may
+/// borrow the items and the evaluator directly), at a per-batch cost of a
+/// few thread spawns — noise next to the Markov-chain solves that
+/// dominate a DSE generation.
+///
+/// **Determinism invariant:** every item's result is written into the
+/// item's own index in a pre-sized buffer, and the buffer is drained in
+/// index order after all workers joined. The returned `Vec` is therefore
+/// bit-identical to what a serial loop over `items` would produce, for
+/// any worker count and any thread interleaving. Only [`ExecStats`]
+/// varies between runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecPool {
+    workers: usize,
+}
+
+impl ExecPool {
+    /// A pool with exactly one worker: evaluation runs inline on the
+    /// calling thread.
+    pub fn serial() -> Self {
+        ExecPool { workers: 1 }
+    }
+
+    /// A pool with `workers` workers (at least 1; `0` is clamped to 1).
+    pub fn new(workers: usize) -> Self {
+        ExecPool {
+            workers: workers.max(1),
+        }
+    }
+
+    /// A pool sized to `std::thread::available_parallelism` (1 if the
+    /// hardware parallelism cannot be determined).
+    pub fn auto() -> Self {
+        ExecPool::new(thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get))
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Evaluates `f` over every item, returning the results in item order
+    /// plus the batch's [`ExecStats`].
+    ///
+    /// With one worker (or at most one item) this is a plain serial loop;
+    /// otherwise the items are pulled by `min(workers, items.len())`
+    /// scoped threads off a shared atomic cursor. A panicking evaluation
+    /// propagates out of this call in both modes (the resilient runtime
+    /// wraps evaluators that should not unwind).
+    pub fn evaluate_batch<T, R, F>(&self, items: &[T], f: F) -> (Vec<R>, ExecStats)
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        let start = Instant::now();
+        let workers = self.workers.min(items.len()).max(1);
+        if workers <= 1 {
+            let mut histogram = LatencyHistogram::new();
+            let results = items
+                .iter()
+                .map(|item| {
+                    let t0 = Instant::now();
+                    let r = f(item);
+                    histogram.record(duration_nanos(t0));
+                    r
+                })
+                .collect::<Vec<R>>();
+            let stats = ExecStats {
+                wall_nanos: duration_nanos(start),
+                per_worker: vec![items.len()],
+                histogram,
+            };
+            return (results, stats);
+        }
+
+        // One pre-sized slot per item; workers write results by index, so
+        // the in-order drain below reproduces the serial output exactly.
+        let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+        let cursor = AtomicUsize::new(0);
+        let worker_stats: Vec<(usize, LatencyHistogram)> = thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut count = 0usize;
+                        let mut histogram = LatencyHistogram::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some(item) = items.get(i) else { break };
+                            let t0 = Instant::now();
+                            let r = f(item);
+                            histogram.record(duration_nanos(t0));
+                            *slots[i].lock().expect("result slot poisoned") = Some(r);
+                            count += 1;
+                        }
+                        (count, histogram)
+                    })
+                })
+                .collect();
+            // Join in spawn order so `per_worker` is indexed by worker id.
+            // A worker panic (i.e. an evaluator panic) resurfaces here on
+            // the calling thread, as in the serial path.
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(s) => s,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
+                .collect()
+        });
+
+        let mut histogram = LatencyHistogram::new();
+        let mut per_worker = Vec::with_capacity(workers);
+        for (count, h) in &worker_stats {
+            per_worker.push(*count);
+            histogram.merge(h);
+        }
+        let results = slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("every index below items.len() was claimed by exactly one worker")
+            })
+            .collect();
+        let stats = ExecStats {
+            wall_nanos: duration_nanos(start),
+            per_worker,
+            histogram,
+        };
+        (results, stats)
+    }
+}
+
+fn duration_nanos(since: Instant) -> u64 {
+    u64::try_from(since.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_matches_serial_bitwise() {
+        // f64 results with bit-sensitive values: identical merge order is
+        // observable through to_bits().
+        let items: Vec<f64> = (0..500).map(|i| f64::from(i) * 0.1 - 25.0).collect();
+        let eval = |x: &f64| (x.sin() * 1e9, x.to_bits().rotate_left(7));
+        let (serial, _) = ExecPool::serial().evaluate_batch(&items, eval);
+        for workers in [2, 3, 8, 64] {
+            let (parallel, stats) = ExecPool::new(workers).evaluate_batch(&items, eval);
+            assert_eq!(serial.len(), parallel.len());
+            for (a, b) in serial.iter().zip(&parallel) {
+                assert_eq!(a.0.to_bits(), b.0.to_bits(), "workers={workers}");
+                assert_eq!(a.1, b.1);
+            }
+            assert_eq!(stats.per_worker.iter().sum::<usize>(), items.len());
+            assert_eq!(stats.histogram.total(), items.len() as u64);
+        }
+    }
+
+    #[test]
+    fn empty_and_single_batches() {
+        let pool = ExecPool::new(8);
+        let (empty, stats) = pool.evaluate_batch(&[] as &[u32], |x| x + 1);
+        assert!(empty.is_empty());
+        assert_eq!(stats.per_worker, vec![0]);
+        let (one, stats) = pool.evaluate_batch(&[41u32], |x| x + 1);
+        assert_eq!(one, vec![42]);
+        assert_eq!(stats.per_worker, vec![1], "one item stays serial");
+    }
+
+    #[test]
+    fn worker_count_is_clamped() {
+        assert_eq!(ExecPool::new(0).workers(), 1);
+        assert_eq!(ExecPool::serial().workers(), 1);
+        assert!(ExecPool::auto().workers() >= 1);
+    }
+
+    #[test]
+    fn every_item_evaluated_exactly_once() {
+        use std::sync::atomic::AtomicU64;
+        let calls = AtomicU64::new(0);
+        let items: Vec<u64> = (0..1000).collect();
+        let (results, _) = ExecPool::new(4).evaluate_batch(&items, |x| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            x * 2
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 1000);
+        assert_eq!(results[999], 1998);
+    }
+
+    #[test]
+    fn evaluator_panic_propagates() {
+        // Suppress the default panic hook's stderr spew for this test.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let items: Vec<u32> = (0..64).collect();
+        let result = std::panic::catch_unwind(|| {
+            ExecPool::new(4).evaluate_batch(&items, |x| {
+                if *x == 13 {
+                    panic!("unlucky");
+                }
+                *x
+            })
+        });
+        std::panic::set_hook(prev);
+        assert!(result.is_err(), "worker panic must reach the caller");
+    }
+}

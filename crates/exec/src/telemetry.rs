@@ -1,0 +1,362 @@
+//! Run telemetry: per-generation trace records and the [`Executor`] that
+//! produces them.
+
+use std::fmt::Write as _;
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+use crate::histogram::LatencyHistogram;
+use crate::pool::{ExecPool, ExecStats};
+
+/// Shared handle to a [`RunTelemetry`], passed into an [`Executor`] and
+/// read back by the driver after (or during) the run.
+pub type TelemetrySink = Arc<Mutex<RunTelemetry>>;
+
+/// One evaluation batch (one MOEA generation, or the initial-population
+/// evaluation as step 0) as recorded by an [`Executor`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GenerationTrace {
+    /// Phase label of the executor that ran the batch (e.g.
+    /// `"proposed/fc-stage"`).
+    pub phase: String,
+    /// Step index within the phase: 0 for the initial population, then
+    /// the generation number.
+    pub step: usize,
+    /// Number of candidates evaluated.
+    pub batch: usize,
+    /// Wall-clock nanoseconds spent on the batch.
+    pub wall_nanos: u64,
+    /// Configured worker count of the pool.
+    pub workers: usize,
+    /// Candidates evaluated per worker (length = workers spawned).
+    pub per_worker: Vec<usize>,
+    /// Per-evaluation latency histogram of the batch.
+    pub histogram: LatencyHistogram,
+    /// Cumulative quarantined-candidate count at the end of this batch,
+    /// as reported by the resilient runtime (0 when unsupervised).
+    pub quarantined: usize,
+    /// Cumulative degraded-mode analysis count at the end of this batch
+    /// (0 when unsupervised).
+    pub degraded: usize,
+}
+
+impl GenerationTrace {
+    /// The machine-readable one-line form of this record.
+    ///
+    /// Format (space-separated `key=value`, `|`-separated lists):
+    ///
+    /// ```text
+    /// trace-v1 phase=<label> step=<n> batch=<n> eval_us=<n> workers=<n> \
+    ///     per_worker=<c0|c1|…> hist=<b0|b1|…> quarantined=<n> degraded=<n>
+    /// ```
+    pub fn line(&self) -> String {
+        let per_worker = if self.per_worker.is_empty() {
+            "-".to_owned()
+        } else {
+            self.per_worker
+                .iter()
+                .map(usize::to_string)
+                .collect::<Vec<_>>()
+                .join("|")
+        };
+        format!(
+            "trace-v1 phase={} step={} batch={} eval_us={} workers={} per_worker={} hist={} quarantined={} degraded={}",
+            self.phase,
+            self.step,
+            self.batch,
+            self.wall_nanos / 1_000,
+            self.workers,
+            per_worker,
+            self.histogram.compact(),
+            self.quarantined,
+            self.degraded,
+        )
+    }
+}
+
+/// The run-level telemetry accumulator: an append-only list of
+/// [`GenerationTrace`] records plus run totals.
+///
+/// Create one with [`RunTelemetry::sink`], attach the sink to every
+/// [`Executor`] involved in the run, and read the trace back when done.
+/// Telemetry never influences results: a run with and without a sink is
+/// bit-identical.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunTelemetry {
+    records: Vec<GenerationTrace>,
+}
+
+impl RunTelemetry {
+    /// An empty telemetry store.
+    pub fn new() -> Self {
+        RunTelemetry::default()
+    }
+
+    /// An empty telemetry store behind a shared sink handle.
+    pub fn sink() -> TelemetrySink {
+        Arc::new(Mutex::new(RunTelemetry::new()))
+    }
+
+    /// Appends a record.
+    pub fn record(&mut self, record: GenerationTrace) {
+        self.records.push(record);
+    }
+
+    /// Updates the newest record's cumulative quarantine/degraded-mode
+    /// counters (the resilient runtime learns them only after the batch
+    /// returns). No-op on an empty store.
+    pub fn annotate_last(&mut self, quarantined: usize, degraded: usize) {
+        if let Some(last) = self.records.last_mut() {
+            last.quarantined = quarantined;
+            last.degraded = degraded;
+        }
+    }
+
+    /// All records, in execution order.
+    pub fn records(&self) -> &[GenerationTrace] {
+        &self.records
+    }
+
+    /// Total candidates evaluated across all records.
+    pub fn total_evaluations(&self) -> usize {
+        self.records.iter().map(|r| r.batch).sum()
+    }
+
+    /// Total wall-clock nanoseconds spent evaluating, summed over
+    /// batches.
+    pub fn total_wall_nanos(&self) -> u64 {
+        self.records.iter().map(|r| r.wall_nanos).sum()
+    }
+
+    /// Wall-clock nanoseconds per phase label, in first-seen order.
+    pub fn per_phase_wall_nanos(&self) -> Vec<(String, u64)> {
+        let mut phases: Vec<(String, u64)> = Vec::new();
+        for r in &self.records {
+            match phases.iter_mut().find(|(p, _)| *p == r.phase) {
+                Some((_, nanos)) => *nanos += r.wall_nanos,
+                None => phases.push((r.phase.clone(), r.wall_nanos)),
+            }
+        }
+        phases
+    }
+
+    /// The machine-readable trace: one line per record plus a trailing
+    /// `totals` line.
+    pub fn trace(&self) -> String {
+        let mut out = String::new();
+        for r in &self.records {
+            let _ = writeln!(out, "{}", r.line());
+        }
+        let _ = writeln!(
+            out,
+            "trace-v1 totals records={} evaluations={} eval_us={}",
+            self.records.len(),
+            self.total_evaluations(),
+            self.total_wall_nanos() / 1_000,
+        );
+        out
+    }
+
+    /// Writes [`RunTelemetry::trace`] to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error.
+    pub fn write_trace(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, self.trace())
+    }
+}
+
+/// An [`ExecPool`] bound to a phase label and an optional
+/// [`TelemetrySink`] — the handle the MOEA layer drives batches through.
+///
+/// Cloning is cheap (the sink is shared); [`Executor::with_label`]
+/// re-labels a clone so one run-wide executor can be specialized per
+/// stage.
+#[derive(Debug, Clone)]
+pub struct Executor {
+    pool: ExecPool,
+    label: String,
+    sink: Option<TelemetrySink>,
+}
+
+impl Executor {
+    /// A serial executor with no telemetry — the default everywhere an
+    /// executor is optional.
+    pub fn serial() -> Self {
+        Executor::new(ExecPool::serial())
+    }
+
+    /// An executor over the given pool, unlabeled and without telemetry.
+    pub fn new(pool: ExecPool) -> Self {
+        Executor {
+            pool,
+            label: String::new(),
+            sink: None,
+        }
+    }
+
+    /// Sets the phase label stamped on every trace record (builder
+    /// style).
+    #[must_use]
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+
+    /// Attaches a telemetry sink (builder style).
+    #[must_use]
+    pub fn with_telemetry(mut self, sink: TelemetrySink) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// The underlying pool.
+    pub fn pool(&self) -> ExecPool {
+        self.pool
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.pool.workers()
+    }
+
+    /// The phase label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The attached telemetry sink, if any.
+    pub fn telemetry(&self) -> Option<&TelemetrySink> {
+        self.sink.as_ref()
+    }
+
+    /// Evaluates one batch through the pool and appends a
+    /// [`GenerationTrace`] record (phase = this executor's label,
+    /// step = `step`) to the sink, if one is attached.
+    ///
+    /// Results are bit-identical to serial order for any worker count;
+    /// see [`ExecPool::evaluate_batch`].
+    pub fn evaluate_batch<T, R, F>(&self, step: usize, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        let (results, stats) = self.pool.evaluate_batch(items, f);
+        self.record(step, items.len(), stats);
+        results
+    }
+
+    /// Updates the newest trace record's quarantine/degraded counters;
+    /// no-op without a sink.
+    pub fn annotate_health(&self, quarantined: usize, degraded: usize) {
+        if let Some(sink) = &self.sink {
+            sink.lock()
+                .expect("telemetry sink poisoned")
+                .annotate_last(quarantined, degraded);
+        }
+    }
+
+    fn record(&self, step: usize, batch: usize, stats: ExecStats) {
+        let Some(sink) = &self.sink else { return };
+        sink.lock()
+            .expect("telemetry sink poisoned")
+            .record(GenerationTrace {
+                phase: self.label.clone(),
+                step,
+                batch,
+                wall_nanos: stats.wall_nanos,
+                workers: self.pool.workers(),
+                per_worker: stats.per_worker,
+                histogram: stats.histogram,
+                quarantined: 0,
+                degraded: 0,
+            });
+    }
+}
+
+impl Default for Executor {
+    fn default() -> Self {
+        Executor::serial()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn executor_records_one_trace_per_batch() {
+        let sink = RunTelemetry::sink();
+        let exec = Executor::new(ExecPool::new(2))
+            .with_label("stage-a")
+            .with_telemetry(sink.clone());
+        let items: Vec<u32> = (0..10).collect();
+        let out = exec.evaluate_batch(0, &items, |x| x + 1);
+        assert_eq!(out[9], 10);
+        let _ = exec.evaluate_batch(1, &items, |x| x * 2);
+        exec.annotate_health(3, 7);
+
+        let t = sink.lock().unwrap();
+        assert_eq!(t.records().len(), 2);
+        assert_eq!(t.total_evaluations(), 20);
+        assert_eq!(t.records()[0].phase, "stage-a");
+        assert_eq!(t.records()[0].step, 0);
+        assert_eq!(t.records()[0].quarantined, 0);
+        assert_eq!(t.records()[1].quarantined, 3);
+        assert_eq!(t.records()[1].degraded, 7);
+        assert_eq!(t.per_phase_wall_nanos().len(), 1);
+    }
+
+    #[test]
+    fn trace_lines_are_machine_readable() {
+        let mut h = LatencyHistogram::new();
+        h.record(100);
+        let rec = GenerationTrace {
+            phase: "pfCLR".into(),
+            step: 12,
+            batch: 32,
+            wall_nanos: 5_250_000,
+            workers: 4,
+            per_worker: vec![8, 9, 8, 7],
+            histogram: h,
+            quarantined: 1,
+            degraded: 2,
+        };
+        assert_eq!(
+            rec.line(),
+            "trace-v1 phase=pfCLR step=12 batch=32 eval_us=5250 workers=4 \
+             per_worker=8|9|8|7 hist=1 quarantined=1 degraded=2"
+        );
+        let mut t = RunTelemetry::new();
+        t.record(rec);
+        let trace = t.trace();
+        assert_eq!(trace.lines().count(), 2, "one record + totals");
+        assert!(trace.ends_with("evaluations=32 eval_us=5250\n"));
+    }
+
+    #[test]
+    fn telemetry_without_sink_is_a_noop() {
+        let exec = Executor::serial().with_label("x");
+        let out = exec.evaluate_batch(0, &[1u8, 2, 3], |x| x * 3);
+        assert_eq!(out, vec![3, 6, 9]);
+        exec.annotate_health(9, 9);
+        assert!(exec.telemetry().is_none());
+    }
+
+    #[test]
+    fn write_trace_roundtrips_through_disk() {
+        let sink = RunTelemetry::sink();
+        let exec = Executor::new(ExecPool::serial())
+            .with_label("io")
+            .with_telemetry(sink.clone());
+        let _ = exec.evaluate_batch(0, &[1u32], |x| *x);
+        let path = std::env::temp_dir().join(format!("clre-exec-trace-{}.txt", std::process::id()));
+        sink.lock().unwrap().write_trace(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("trace-v1 phase=io step=0 batch=1"));
+        assert!(text.contains("trace-v1 totals records=1 evaluations=1"));
+        std::fs::remove_file(&path).unwrap();
+    }
+}

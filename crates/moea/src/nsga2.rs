@@ -1,5 +1,6 @@
 use crate::pareto::{crowding_distance, fast_non_dominated_sort};
 use crate::{Evaluation, Problem, Variation};
+use clre_exec::Executor;
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
 
@@ -227,25 +228,62 @@ where
     /// Evaluates the initial population (seeds first, then random
     /// genomes) and captures the RNG at the first generation boundary.
     pub fn init_state(&self) -> Nsga2State<P::Genome> {
-        let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0x005A_6A11);
-        let pop_size = self.config.population_size;
-        let mut evaluations = 0usize;
+        self.init_core(|genomes| genomes.into_iter().map(|g| self.eval_one(g)).collect())
+    }
 
-        let mut population: Vec<Individual<P::Genome>> = Vec::with_capacity(pop_size);
-        for g in self.seeds.iter().take(pop_size).cloned() {
-            population.push(self.evaluated(g, &mut evaluations));
-        }
-        while population.len() < pop_size {
-            let g = self.problem.random_genome(&mut rng);
-            population.push(self.evaluated(g, &mut evaluations));
-        }
+    /// [`Nsga2::run`] with batch evaluation through `exec` — bit-identical
+    /// results for any worker count (see [`Nsga2State`] and the
+    /// `clre_exec` determinism invariant).
+    pub fn run_with(&self, exec: &Executor) -> OptimizationResult<P::Genome>
+    where
+        P: Sync,
+        P::Genome: Send + Sync,
+        V: Sync,
+    {
+        self.run_from_with(self.init_state_with(exec), exec)
+    }
 
-        Nsga2State {
-            population,
-            generation: 0,
-            evaluations,
-            rng_state: rng.state_words(),
-        }
+    /// [`Nsga2::run_from`] with batch evaluation through `exec`.
+    pub fn run_from_with(
+        &self,
+        mut state: Nsga2State<P::Genome>,
+        exec: &Executor,
+    ) -> OptimizationResult<P::Genome>
+    where
+        P: Sync,
+        P::Genome: Send + Sync,
+        V: Sync,
+    {
+        while self.step_with(&mut state, exec) {}
+        self.finalize(state)
+    }
+
+    /// [`Nsga2::init_state`] with the initial-population evaluation fanned
+    /// out through `exec` (recorded as trace step 0).
+    pub fn init_state_with(&self, exec: &Executor) -> Nsga2State<P::Genome>
+    where
+        P: Sync,
+        P::Genome: Send + Sync,
+        V: Sync,
+    {
+        self.init_core(|genomes| exec.evaluate_batch(0, &genomes, |g| self.eval_one(g.clone())))
+    }
+
+    /// [`Nsga2::step`] with the offspring batch fanned out through `exec`
+    /// (recorded as a trace step at the new generation number).
+    ///
+    /// Offspring *generation* (the only RNG consumer) stays on the calling
+    /// thread, so `step` and `step_with` advance the state identically —
+    /// including the stored RNG words — for any worker count.
+    pub fn step_with(&self, state: &mut Nsga2State<P::Genome>, exec: &Executor) -> bool
+    where
+        P: Sync,
+        P::Genome: Send + Sync,
+        V: Sync,
+    {
+        self.step_core(state, |genomes, generation| {
+            exec.evaluate_batch(generation, &genomes, |g| self.eval_one(g.clone()))
+        })
     }
 
     /// Advances the state by one generation: offspring via tournament
@@ -257,42 +295,97 @@ where
     /// population, so they are recomputed here instead of being part of
     /// the (persistable) state.
     pub fn step(&self, state: &mut Nsga2State<P::Genome>) -> bool {
+        self.step_core(state, |genomes, _| {
+            genomes.into_iter().map(|g| self.eval_one(g)).collect()
+        })
+    }
+
+    /// Shared skeleton of [`Nsga2::init_state`] /
+    /// [`Nsga2::init_state_with`]: sample the initial genomes (seeds
+    /// first, then random), hand the whole batch to `evaluate`, and
+    /// capture the RNG at the first generation boundary. Genome sampling
+    /// is the only RNG consumer, so serial and batched evaluation replay
+    /// the identical random stream.
+    fn init_core<E>(&self, evaluate: E) -> Nsga2State<P::Genome>
+    where
+        E: FnOnce(Vec<P::Genome>) -> Vec<Individual<P::Genome>>,
+    {
+        let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0x005A_6A11);
+        let pop_size = self.config.population_size;
+        let mut genomes: Vec<P::Genome> = self.seeds.iter().take(pop_size).cloned().collect();
+        while genomes.len() < pop_size {
+            genomes.push(self.problem.random_genome(&mut rng));
+        }
+        let evaluations = genomes.len();
+        Nsga2State {
+            population: evaluate(genomes),
+            generation: 0,
+            evaluations,
+            rng_state: rng.state_words(),
+        }
+    }
+
+    /// Shared skeleton of [`Nsga2::step`] / [`Nsga2::step_with`]:
+    /// generate the full offspring batch first (consuming the RNG in
+    /// exactly the order the classic interleaved loop did — fitness
+    /// evaluation never touches the RNG), then evaluate the batch through
+    /// `evaluate` (called with the offspring genomes and the 1-based
+    /// generation number they belong to), then apply elitist
+    /// environmental selection.
+    fn step_core<E>(&self, state: &mut Nsga2State<P::Genome>, evaluate: E) -> bool
+    where
+        E: FnOnce(Vec<P::Genome>, usize) -> Vec<Individual<P::Genome>>,
+    {
         if state.generation >= self.config.generations {
             return false;
         }
         let pop_size = self.config.population_size;
         let mut rng = StdRng::from_state_words(state.rng_state);
-        let population = &mut state.population;
-        let (ranks, crowding) = rank_and_crowd(population);
-
-        let mut offspring: Vec<Individual<P::Genome>> = Vec::with_capacity(pop_size);
-        while offspring.len() < pop_size {
-            let a = self.tournament(population, &ranks, &crowding, &mut rng);
-            let b = self.tournament(population, &ranks, &crowding, &mut rng);
-            let (mut c1, mut c2) = if rng.gen_bool(self.config.crossover_prob) {
-                self.variation
-                    .crossover(&population[a].genome, &population[b].genome, &mut rng)
-            } else {
-                (population[a].genome.clone(), population[b].genome.clone())
-            };
-            if rng.gen_bool(self.config.mutation_prob) {
-                self.variation.mutate(&mut c1, &mut rng);
-            }
-            if rng.gen_bool(self.config.mutation_prob) {
-                self.variation.mutate(&mut c2, &mut rng);
-            }
-            offspring.push(self.evaluated(c1, &mut state.evaluations));
-            if offspring.len() < pop_size {
-                offspring.push(self.evaluated(c2, &mut state.evaluations));
-            }
-        }
+        let genomes = self.offspring_genomes(&state.population, &mut rng);
+        state.evaluations += genomes.len();
+        let offspring = evaluate(genomes, state.generation + 1);
+        debug_assert_eq!(offspring.len(), pop_size);
         // Environmental selection over parents ∪ offspring.
+        let population = &mut state.population;
         population.extend(offspring);
         let survivors = environmental_selection(std::mem::take(population), pop_size);
         *population = survivors;
         state.generation += 1;
         state.rng_state = rng.state_words();
         true
+    }
+
+    /// Breeds one generation's offspring genomes: tournament selection +
+    /// crossover + mutation, exactly `population_size` of them.
+    fn offspring_genomes(
+        &self,
+        population: &[Individual<P::Genome>],
+        rng: &mut StdRng,
+    ) -> Vec<P::Genome> {
+        let pop_size = self.config.population_size;
+        let (ranks, crowding) = rank_and_crowd(population);
+        let mut genomes: Vec<P::Genome> = Vec::with_capacity(pop_size);
+        while genomes.len() < pop_size {
+            let a = self.tournament(population, &ranks, &crowding, rng);
+            let b = self.tournament(population, &ranks, &crowding, rng);
+            let (mut c1, mut c2) = if rng.gen_bool(self.config.crossover_prob) {
+                self.variation
+                    .crossover(&population[a].genome, &population[b].genome, rng)
+            } else {
+                (population[a].genome.clone(), population[b].genome.clone())
+            };
+            if rng.gen_bool(self.config.mutation_prob) {
+                self.variation.mutate(&mut c1, rng);
+            }
+            if rng.gen_bool(self.config.mutation_prob) {
+                self.variation.mutate(&mut c2, rng);
+            }
+            genomes.push(c1);
+            if genomes.len() < pop_size {
+                genomes.push(c2);
+            }
+        }
+        genomes
     }
 
     /// Turns a state into the run result (rank-0 front of the current
@@ -310,13 +403,15 @@ where
         }
     }
 
-    fn evaluated(&self, genome: P::Genome, evaluations: &mut usize) -> Individual<P::Genome> {
+    /// Evaluates one genome into an [`Individual`]. Pure with respect to
+    /// the optimizer: no RNG, no shared state — safe to call from any
+    /// worker thread.
+    fn eval_one(&self, genome: P::Genome) -> Individual<P::Genome> {
         let Evaluation {
             objectives,
             violation,
         } = self.problem.evaluate(&genome);
         debug_assert_eq!(objectives.len(), self.problem.objective_count());
-        *evaluations += 1;
         Individual {
             genome,
             objectives,
@@ -594,6 +689,64 @@ mod tests {
         let frozen = state.clone();
         assert!(!opt.step(&mut state));
         assert_eq!(state, frozen);
+    }
+
+    #[test]
+    fn parallel_run_matches_serial_bitwise() {
+        use clre_exec::ExecPool;
+        let cfg = Nsga2Config::new(24, 10).with_seed(17);
+        let opt = Nsga2::new(Schaffer, Gaussian, cfg);
+        let serial = opt.run();
+        for workers in [1, 2, 8] {
+            let exec = Executor::new(ExecPool::new(workers));
+            let par = opt.run_with(&exec);
+            assert_eq!(serial.population(), par.population(), "workers={workers}");
+            assert_eq!(serial.evaluations, par.evaluations);
+            let a = serial.front_objectives();
+            let b = par.front_objectives();
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().flatten().zip(b.iter().flatten()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "workers={workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_step_preserves_rng_stream() {
+        use clre_exec::ExecPool;
+        let cfg = Nsga2Config::new(16, 5).with_seed(23);
+        let opt = Nsga2::new(Schaffer, Gaussian, cfg);
+        let exec = Executor::new(ExecPool::new(4));
+        let mut serial = opt.init_state();
+        let mut par = opt.init_state_with(&exec);
+        assert_eq!(serial, par, "init");
+        loop {
+            let more = opt.step(&mut serial);
+            let more_p = opt.step_with(&mut par, &exec);
+            assert_eq!(more, more_p);
+            assert_eq!(serial.rng_state, par.rng_state, "gen {}", serial.generation);
+            assert_eq!(serial, par, "gen {}", serial.generation);
+            if !more {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn executor_telemetry_counts_every_evaluation() {
+        use clre_exec::{ExecPool, RunTelemetry};
+        let sink = RunTelemetry::sink();
+        let exec = Executor::new(ExecPool::new(2))
+            .with_label("nsga2-test")
+            .with_telemetry(sink.clone());
+        let cfg = Nsga2Config::new(12, 4).with_seed(1);
+        let res = Nsga2::new(Schaffer, Gaussian, cfg).run_with(&exec);
+        let t = sink.lock().unwrap();
+        // init batch + one batch per generation.
+        assert_eq!(t.records().len(), 5);
+        assert_eq!(t.total_evaluations(), res.evaluations);
+        assert_eq!(t.records()[0].step, 0);
+        assert_eq!(t.records()[4].step, 4);
     }
 
     #[test]

@@ -14,6 +14,7 @@
 
 use crate::pareto::constrained_dominates;
 use crate::{Evaluation, Individual, Problem, Variation};
+use clre_exec::Executor;
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
 
@@ -118,6 +119,31 @@ pub struct Spea2<P: Problem, V> {
     seeds: Vec<P::Genome>,
 }
 
+/// Resumable mid-run SPEA2 state: the evaluated working population, the
+/// external archive, and the exact raw RNG state, captured between
+/// generations — the same step-wise contract as
+/// [`Nsga2State`](crate::Nsga2State).
+///
+/// Produced by [`Spea2::init_state`], advanced by [`Spea2::step`] and
+/// consumed by [`Spea2::finalize`]; `init_state` + `generations`×`step` +
+/// `finalize` replays the *identical* random stream of [`Spea2::run`], so
+/// a run interrupted at any generation boundary and resumed from a
+/// snapshot of this state reaches the same final archive.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spea2State<G> {
+    /// The current evaluated working population.
+    pub population: Vec<Individual<G>>,
+    /// The external archive (empty before the first step).
+    pub archive: Vec<Individual<G>>,
+    /// Generations completed so far.
+    pub generation: usize,
+    /// Fitness evaluations spent so far.
+    pub evaluations: usize,
+    /// Raw xoshiro state words of the run's RNG, as of the last completed
+    /// generation boundary.
+    pub rng_state: [u64; 4],
+}
+
 /// The outcome of a SPEA2 run: the final archive (non-dominated members
 /// first — the archive *is* the approximation set).
 #[derive(Debug, Clone)]
@@ -167,74 +193,191 @@ where
 
     /// Runs the optimization to completion.
     pub fn run(&self) -> Spea2Result<P::Genome> {
-        let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0x5EA2_5EA2);
-        let mut evaluations = 0usize;
-        let evaluate = |genome: P::Genome, evals: &mut usize| {
-            let Evaluation {
-                objectives,
-                violation,
-            } = self.problem.evaluate(&genome);
-            *evals += 1;
-            Individual {
-                genome,
-                objectives,
-                violation,
-            }
-        };
+        self.run_from(self.init_state())
+    }
 
-        let mut population: Vec<Individual<P::Genome>> = self
-            .seeds
-            .iter()
-            .take(self.config.population_size)
-            .cloned()
-            .map(|g| evaluate(g, &mut evaluations))
-            .collect();
-        while population.len() < self.config.population_size {
-            let g = self.problem.random_genome(&mut rng);
-            population.push(evaluate(g, &mut evaluations));
-        }
-        let mut archive: Vec<Individual<P::Genome>> = Vec::new();
+    /// Continues a (possibly restored) state to completion.
+    pub fn run_from(&self, mut state: Spea2State<P::Genome>) -> Spea2Result<P::Genome> {
+        while self.step(&mut state) {}
+        self.finalize(state)
+    }
 
-        for _ in 0..self.config.generations {
-            // Union, fitness, environmental selection into the archive.
-            let mut union = std::mem::take(&mut population);
-            union.extend(std::mem::take(&mut archive));
-            let fitness = spea2_fitness(&union);
-            archive = environmental_selection(union, &fitness, self.config.archive_size);
+    /// [`Spea2::run`] with batch evaluation through `exec` — bit-identical
+    /// results for any worker count.
+    pub fn run_with(&self, exec: &Executor) -> Spea2Result<P::Genome>
+    where
+        P: Sync,
+        P::Genome: Send + Sync,
+        V: Sync,
+    {
+        self.run_from_with(self.init_state_with(exec), exec)
+    }
 
-            // Mating selection by binary tournament on SPEA2 fitness
-            // (recomputed within the archive).
-            let arch_fitness = spea2_fitness(&archive);
-            while population.len() < self.config.population_size {
-                let a = tournament(&arch_fitness, &mut rng);
-                let b = tournament(&arch_fitness, &mut rng);
-                let (mut c1, mut c2) = if rng.gen_bool(self.config.crossover_prob) {
-                    self.variation
-                        .crossover(&archive[a].genome, &archive[b].genome, &mut rng)
-                } else {
-                    (archive[a].genome.clone(), archive[b].genome.clone())
-                };
-                if rng.gen_bool(self.config.mutation_prob) {
-                    self.variation.mutate(&mut c1, &mut rng);
-                }
-                if rng.gen_bool(self.config.mutation_prob) {
-                    self.variation.mutate(&mut c2, &mut rng);
-                }
-                population.push(evaluate(c1, &mut evaluations));
-                if population.len() < self.config.population_size {
-                    population.push(evaluate(c2, &mut evaluations));
-                }
-            }
-        }
+    /// [`Spea2::run_from`] with batch evaluation through `exec`.
+    pub fn run_from_with(
+        &self,
+        mut state: Spea2State<P::Genome>,
+        exec: &Executor,
+    ) -> Spea2Result<P::Genome>
+    where
+        P: Sync,
+        P::Genome: Send + Sync,
+        V: Sync,
+    {
+        while self.step_with(&mut state, exec) {}
+        self.finalize(state)
+    }
 
-        // Final archive update over the last generation.
-        let mut union = population;
-        union.extend(archive);
+    /// Evaluates the initial population (seeds first, then random
+    /// genomes) and captures the RNG at the first generation boundary.
+    pub fn init_state(&self) -> Spea2State<P::Genome> {
+        self.init_core(|genomes| genomes.into_iter().map(|g| self.eval_one(g)).collect())
+    }
+
+    /// [`Spea2::init_state`] with the initial-population evaluation fanned
+    /// out through `exec` (recorded as trace step 0).
+    pub fn init_state_with(&self, exec: &Executor) -> Spea2State<P::Genome>
+    where
+        P: Sync,
+        P::Genome: Send + Sync,
+        V: Sync,
+    {
+        self.init_core(|genomes| exec.evaluate_batch(0, &genomes, |g| self.eval_one(g.clone())))
+    }
+
+    /// Advances the state by one generation: environmental selection of
+    /// the external archive from population ∪ archive, then a fresh
+    /// working population bred from the archive by binary tournament on
+    /// SPEA2 fitness. Returns `false` (leaving the state untouched) once
+    /// the configured generation count is reached.
+    pub fn step(&self, state: &mut Spea2State<P::Genome>) -> bool {
+        self.step_core(state, |genomes, _| {
+            genomes.into_iter().map(|g| self.eval_one(g)).collect()
+        })
+    }
+
+    /// [`Spea2::step`] with the offspring batch fanned out through `exec`
+    /// (recorded as a trace step at the new generation number). Breeding
+    /// (the only RNG consumer) stays on the calling thread, so `step` and
+    /// `step_with` advance the state identically for any worker count.
+    pub fn step_with(&self, state: &mut Spea2State<P::Genome>, exec: &Executor) -> bool
+    where
+        P: Sync,
+        P::Genome: Send + Sync,
+        V: Sync,
+    {
+        self.step_core(state, |genomes, generation| {
+            exec.evaluate_batch(generation, &genomes, |g| self.eval_one(g.clone()))
+        })
+    }
+
+    /// Turns a state into the run result: one last environmental
+    /// selection over population ∪ archive.
+    pub fn finalize(&self, state: Spea2State<P::Genome>) -> Spea2Result<P::Genome> {
+        let mut union = state.population;
+        union.extend(state.archive);
         let fitness = spea2_fitness(&union);
         let archive = environmental_selection(union, &fitness, self.config.archive_size);
         Spea2Result {
             archive,
+            evaluations: state.evaluations,
+        }
+    }
+
+    fn init_core<E>(&self, evaluate: E) -> Spea2State<P::Genome>
+    where
+        E: FnOnce(Vec<P::Genome>) -> Vec<Individual<P::Genome>>,
+    {
+        let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0x5EA2_5EA2);
+        let mut genomes: Vec<P::Genome> = self
+            .seeds
+            .iter()
+            .take(self.config.population_size)
+            .cloned()
+            .collect();
+        while genomes.len() < self.config.population_size {
+            genomes.push(self.problem.random_genome(&mut rng));
+        }
+        let evaluations = genomes.len();
+        Spea2State {
+            population: evaluate(genomes),
+            archive: Vec::new(),
+            generation: 0,
             evaluations,
+            rng_state: rng.state_words(),
+        }
+    }
+
+    /// Shared skeleton of [`Spea2::step`] / [`Spea2::step_with`]: the
+    /// offspring batch is fully bred first (consuming the RNG in exactly
+    /// the order the classic interleaved loop did — fitness evaluation
+    /// never touches the RNG) and then handed to `evaluate` along with the
+    /// 1-based generation number it belongs to.
+    fn step_core<E>(&self, state: &mut Spea2State<P::Genome>, evaluate: E) -> bool
+    where
+        E: FnOnce(Vec<P::Genome>, usize) -> Vec<Individual<P::Genome>>,
+    {
+        if state.generation >= self.config.generations {
+            return false;
+        }
+        let mut rng = StdRng::from_state_words(state.rng_state);
+
+        // Union, fitness, environmental selection into the archive.
+        let mut union = std::mem::take(&mut state.population);
+        union.extend(std::mem::take(&mut state.archive));
+        let fitness = spea2_fitness(&union);
+        state.archive = environmental_selection(union, &fitness, self.config.archive_size);
+
+        // Mating selection by binary tournament on SPEA2 fitness
+        // (recomputed within the archive).
+        let arch_fitness = spea2_fitness(&state.archive);
+        let pop_size = self.config.population_size;
+        let mut genomes: Vec<P::Genome> = Vec::with_capacity(pop_size);
+        while genomes.len() < pop_size {
+            let a = tournament(&arch_fitness, &mut rng);
+            let b = tournament(&arch_fitness, &mut rng);
+            let (mut c1, mut c2) = if rng.gen_bool(self.config.crossover_prob) {
+                self.variation.crossover(
+                    &state.archive[a].genome,
+                    &state.archive[b].genome,
+                    &mut rng,
+                )
+            } else {
+                (
+                    state.archive[a].genome.clone(),
+                    state.archive[b].genome.clone(),
+                )
+            };
+            if rng.gen_bool(self.config.mutation_prob) {
+                self.variation.mutate(&mut c1, &mut rng);
+            }
+            if rng.gen_bool(self.config.mutation_prob) {
+                self.variation.mutate(&mut c2, &mut rng);
+            }
+            genomes.push(c1);
+            if genomes.len() < pop_size {
+                genomes.push(c2);
+            }
+        }
+        state.evaluations += genomes.len();
+        state.population = evaluate(genomes, state.generation + 1);
+        state.generation += 1;
+        state.rng_state = rng.state_words();
+        true
+    }
+
+    /// Evaluates one genome into an [`Individual`]. Pure with respect to
+    /// the optimizer: no RNG, no shared state — safe to call from any
+    /// worker thread.
+    fn eval_one(&self, genome: P::Genome) -> Individual<P::Genome> {
+        let Evaluation {
+            objectives,
+            violation,
+        } = self.problem.evaluate(&genome);
+        Individual {
+            genome,
+            objectives,
+            violation,
         }
     }
 }
@@ -475,5 +618,71 @@ mod tests {
         let cfg = Spea2Config::new(10, 5).with_seed(1);
         let res = Spea2::new(Schaffer, Gaussian, cfg).run();
         assert_eq!(res.evaluations, 10 + 5 * 10);
+    }
+
+    #[test]
+    fn stepwise_equals_run() {
+        let cfg = Spea2Config::new(18, 7).with_seed(11);
+        let opt = Spea2::new(Schaffer, Gaussian, cfg);
+        let direct = opt.run();
+        let mut state = opt.init_state();
+        let mut steps = 0;
+        while opt.step(&mut state) {
+            steps += 1;
+        }
+        let stepped = opt.finalize(state);
+        assert_eq!(steps, 7);
+        assert_eq!(direct.archive(), stepped.archive());
+        assert_eq!(direct.evaluations, stepped.evaluations);
+    }
+
+    #[test]
+    fn resume_from_snapshot_reproduces_run() {
+        let cfg = Spea2Config::new(12, 5).with_seed(13);
+        let opt = Spea2::new(Schaffer, Gaussian, cfg);
+        let direct = opt.run();
+        for k in 0..=5 {
+            let mut state = opt.init_state();
+            for _ in 0..k {
+                opt.step(&mut state);
+            }
+            let snapshot = state.clone();
+            drop(state);
+            let resumed = opt.run_from(snapshot);
+            assert_eq!(direct.archive(), resumed.archive(), "k={k}");
+            assert_eq!(direct.evaluations, resumed.evaluations, "k={k}");
+        }
+    }
+
+    #[test]
+    fn step_past_end_is_noop() {
+        let cfg = Spea2Config::new(8, 2).with_seed(1);
+        let opt = Spea2::new(Schaffer, Gaussian, cfg);
+        let mut state = opt.init_state();
+        while opt.step(&mut state) {}
+        let frozen = state.clone();
+        assert!(!opt.step(&mut state));
+        assert_eq!(state, frozen);
+    }
+
+    #[test]
+    fn parallel_run_matches_serial_bitwise() {
+        use clre_exec::ExecPool;
+        let cfg = Spea2Config::new(16, 6).with_seed(17);
+        let opt = Spea2::new(Schaffer, Gaussian, cfg);
+        let serial = opt.run();
+        for workers in [1, 2, 8] {
+            let exec = Executor::new(ExecPool::new(workers));
+            let par = opt.run_with(&exec);
+            assert_eq!(serial.archive(), par.archive(), "workers={workers}");
+            for (a, b) in serial
+                .front_objectives()
+                .iter()
+                .flatten()
+                .zip(par.front_objectives().iter().flatten())
+            {
+                assert_eq!(a.to_bits(), b.to_bits(), "workers={workers}");
+            }
+        }
     }
 }

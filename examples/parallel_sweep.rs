@@ -1,0 +1,78 @@
+//! Worker-count invariance demo: runs the proposed two-stage flow on one
+//! synthetic application once per requested worker-pool size, printing
+//! wall-clock time, the evaluation totals from the telemetry trace and a
+//! digest of the final front. The digests must agree for every pool size
+//! — parallelism is purely a wall-clock knob.
+//!
+//! ```sh
+//! cargo run --release --example parallel_sweep -- 100 32 24 1 4
+//! #                                  tasks ──────┘   │  │  └┴─ worker counts
+//! #                                  population ─────┘  └──── generations
+//! ```
+
+use std::time::Instant;
+
+use clrearly::core::apps;
+use clrearly::core::methodology::{ClrEarly, StageBudget};
+use clrearly::exec::{ExecPool, Executor, RunTelemetry};
+
+fn main() {
+    let args: Vec<usize> = std::env::args()
+        .skip(1)
+        .map(|a| a.parse().expect("numeric argument"))
+        .collect();
+    let tasks = args.first().copied().unwrap_or(100);
+    let population = args.get(1).copied().unwrap_or(32);
+    let generations = args.get(2).copied().unwrap_or(24);
+    let worker_counts = if args.len() > 3 { &args[3..] } else { &[1, 4] };
+
+    let (platform, graph) = apps::synthetic_app(tasks, 7 + tasks as u64).expect("app builds");
+    let budget = StageBudget::new(population, generations).with_seed(11);
+    println!("tasks={tasks} population={population} generations={generations}");
+
+    let mut digests = Vec::new();
+    for &workers in worker_counts {
+        let sink = RunTelemetry::sink();
+        let dse = ClrEarly::new(&graph, &platform)
+            .expect("tDSE succeeds")
+            .with_executor(Executor::new(ExecPool::new(workers)).with_telemetry(sink.clone()));
+        let t0 = Instant::now();
+        let front = dse.run_proposed(&budget).expect("proposed runs");
+        let wall = t0.elapsed();
+
+        // Order-sensitive FNV-1a over genomes and objective bits: equal
+        // digests mean bit-identical fronts.
+        let mut digest: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |byte: u64| {
+            digest ^= byte;
+            digest = digest.wrapping_mul(0x1_0000_01b3);
+        };
+        for point in front.front() {
+            for gene in &point.genome {
+                mix(gene.task.index() as u64);
+                mix(gene.pe.index() as u64);
+                mix(u64::from(gene.choice));
+            }
+            for objective in &point.objectives {
+                mix(objective.to_bits());
+            }
+        }
+        let telemetry = sink.lock().expect("sink poisoned");
+        println!(
+            "workers={workers} wall={:.2}s evaluations={} batches={} front={} digest={digest:016x}",
+            wall.as_secs_f64(),
+            telemetry.total_evaluations(),
+            telemetry.records().len(),
+            front.front().len(),
+        );
+        digests.push(digest);
+    }
+    assert!(
+        digests.windows(2).all(|w| w[0] == w[1]),
+        "fronts diverged across worker counts: {digests:x?}"
+    );
+    println!(
+        "all {} worker counts produced bit-identical fronts",
+        digests.len()
+    );
+}

@@ -11,6 +11,7 @@
 //! * [`sched`] — list scheduling and Table III QoS estimation.
 //! * [`moea`] — NSGA-II, Pareto utilities and hypervolume.
 //! * [`sim`] — Monte-Carlo fault injection validating the Markov models.
+//! * [`exec`] — deterministic parallel evaluation engine and telemetry.
 //! * [`num`] — dense linear algebra and `Γ(x)`.
 //!
 //! # Examples
@@ -32,6 +33,7 @@
 #![forbid(unsafe_code)]
 
 pub use clre as core;
+pub use clre_exec as exec;
 pub use clre_markov as markov;
 pub use clre_model as model;
 pub use clre_moea as moea;

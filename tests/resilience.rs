@@ -208,7 +208,7 @@ fn injected_singular_failures_do_not_abort_the_ga() {
     let result = ga.run();
     assert!(!result.front().is_empty());
 
-    let report = health.borrow().clone();
+    let report = health.lock().unwrap().clone();
     assert!(
         report.errors_isolated > 0,
         "no failures were injected: {report:?}"
