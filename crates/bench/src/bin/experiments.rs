@@ -1,21 +1,26 @@
 //! Regenerates the paper's tables and figures.
 //!
-//! Usage: `experiments <id> [--smoke] [--workers N] [--trace FILE]` where
-//! `<id>` is one of `fig6a fig6b table4 fig7 table5 fig8 table6 fig9
-//! fig10 table7 scaling chkpt multiobj ablations all`.
+//! Usage: `experiments <id> [--smoke|--tiny] [--workers N] [--trace FILE]
+//! [--ledger FILE] [--halt-after-cells N]` where `<id>` is one of `fig6a
+//! fig6b table4 fig7 table5 fig8 table6 fig9 fig10 table7 scaling chkpt
+//! multiobj ablations all`.
 //!
 //! `--workers N` sets the evaluation worker-pool size (default: available
 //! parallelism); results are bit-identical for any value. `--trace FILE`
 //! writes the machine-readable per-generation execution trace (see
-//! DESIGN.md §10) next to the printed report.
+//! DESIGN.md §10) next to the printed report. `--ledger FILE` journals
+//! every finished `(task count, method)` sweep cell so a killed run can
+//! be restarted with the same file and resume at the last finished cell;
+//! `--halt-after-cells N` stops after computing N uncached cells (exit
+//! code 3) — the deterministic stand-in for a kill used by CI.
 
 use std::path::PathBuf;
 
-use clre_bench::{exec_settings, system, tasklevel, RunScale};
+use clre_bench::{exec_settings, sweep, system, tasklevel, RunScale};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments <fig6a|fig6b|table4|fig7|table5|fig8|table6|fig9|fig10|table7|scaling|chkpt|multiobj|ablations|all> [--smoke] [--workers N] [--trace FILE]"
+        "usage: experiments <fig6a|fig6b|table4|fig7|table5|fig8|table6|fig9|fig10|table7|scaling|chkpt|multiobj|ablations|all> [--smoke|--tiny] [--workers N] [--trace FILE] [--ledger FILE] [--halt-after-cells N]"
     );
     std::process::exit(2);
 }
@@ -25,6 +30,8 @@ fn main() {
     let mut scale = RunScale::Paper;
     let mut id: Option<&str> = None;
     let mut trace: Option<PathBuf> = None;
+    let mut ledger: Option<PathBuf> = None;
+    let mut halt_after: Option<usize> = None;
     let mut i = 0;
     while i < args.len() {
         let arg = args[i].as_str();
@@ -34,11 +41,17 @@ fn main() {
         };
         match arg {
             "--smoke" => scale = RunScale::Smoke,
+            "--tiny" => scale = RunScale::Tiny,
             "--workers" => match value(&mut i).parse() {
                 Ok(n) => exec_settings::set_workers(n),
                 Err(_) => usage(),
             },
             "--trace" => trace = Some(PathBuf::from(value(&mut i))),
+            "--ledger" => ledger = Some(PathBuf::from(value(&mut i))),
+            "--halt-after-cells" => match value(&mut i).parse() {
+                Ok(n) => halt_after = Some(n),
+                Err(_) => usage(),
+            },
             _ if arg.starts_with("--") => usage(),
             _ if id.is_none() => id = Some(arg),
             _ => usage(),
@@ -46,6 +59,16 @@ fn main() {
         i += 1;
     }
     let Some(id) = id else { usage() };
+    if halt_after.is_some() && ledger.is_none() {
+        eprintln!("--halt-after-cells requires --ledger");
+        usage();
+    }
+    if let Some(path) = &ledger {
+        if let Err(e) = sweep::configure(path, halt_after) {
+            eprintln!("failed to open sweep ledger {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
     let sink = trace.as_ref().map(|_| exec_settings::enable_trace());
     let out = match id {
         "fig6a" => tasklevel::fig6a(),
@@ -85,5 +108,9 @@ fn main() {
             telemetry.total_evaluations(),
             path.display()
         );
+    }
+    if sweep::halted() {
+        eprintln!("sweep halted: cell budget exhausted; rerun with the same --ledger to resume");
+        std::process::exit(3);
     }
 }

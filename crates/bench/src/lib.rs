@@ -25,6 +25,7 @@
 
 pub mod exec_settings;
 pub mod report;
+pub mod sweep;
 pub mod system;
 pub mod tasklevel;
 

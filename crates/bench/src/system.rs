@@ -1,16 +1,63 @@
 //! System-level experiments: Fig. 7 / Table V (CLR vs Agnostic), Fig. 8 /
 //! Table VI (proposed vs fcCLR), Fig. 10 / Table VII (proposed vs pfCLR
 //! under growing task-level libraries).
+//!
+//! Every sweep is a data-driven grid of `(task count, method)` cells,
+//! each executed through the declarative [`CampaignPlan`] runner and
+//! memoized in the active [`crate::sweep`] ledger — a killed
+//! `experiments` run restarted with the same `--ledger` file resumes at
+//! the last finished cell instead of recomputing the whole table.
 
 use clre::apps;
-use clre::methodology::{reference_point, ClrEarly, FrontResult, Layer, StageBudget};
+use clre::methodology::{reference_point, ClrEarly, Layer, StageBudget};
 use clre::tdse::TdseConfig;
+use clre::CampaignPlan;
 use clre_moea::hypervolume::{hypervolume, percent_increase};
+use clre_moea::pareto::non_dominated_indices;
 
 use crate::exec_settings;
 use crate::report::{pct, series, Table};
+use crate::sweep::{self, CellData};
 use crate::tasklevel::tdse_runs;
 use crate::RunScale;
+
+/// Runs one `(task count, method)` grid cell through the Campaign
+/// runner, memoized under `experiment/T<tasks>/<label>` in the active
+/// sweep ledger. `None` means the ledger's compute budget ran out — the
+/// sweep should stop where a killed run would have.
+fn campaign_cell(
+    experiment: &str,
+    tasks: usize,
+    label: &str,
+    dse: &ClrEarly,
+    plan: &CampaignPlan,
+    budget: &StageBudget,
+) -> Option<CellData> {
+    sweep::cell(&format!("{experiment}/T{tasks}/{label}"), || {
+        let result = dse.run_campaign(plan, budget).expect("campaign runs");
+        CellData {
+            evaluations: result.evaluations,
+            objectives: result.objectives(),
+        }
+    })
+}
+
+/// Terminates a sweep whose cell budget ran out, marking the report.
+fn halted(mut out: String) -> String {
+    out.push_str(sweep::HALT_LINE);
+    out
+}
+
+/// Pareto-filters the union of several fronts' objective vectors — the
+/// objective-space mirror of `FrontResult::merge`, used to rebuild the
+/// merged Agnostic baseline from journalled per-layer cells.
+fn merge_objectives(fronts: &[Vec<Vec<f64>>]) -> Vec<Vec<f64>> {
+    let union: Vec<Vec<f64>> = fronts.concat();
+    non_dominated_indices(&union)
+        .into_iter()
+        .map(|i| union[i].clone())
+        .collect()
+}
 
 /// Fig. 7: Pareto fronts of the cross-layer approach vs the merged
 /// single-layer (Agnostic) baseline, plus each per-layer front, for a
@@ -24,17 +71,24 @@ pub fn fig7(scale: RunScale) -> String {
         .expect("tDSE succeeds")
         .with_executor(exec_settings::executor());
     let budget = scale.budget();
+    let mut grid: Vec<(&str, CampaignPlan)> = vec![("CLR", CampaignPlan::proposed())];
+    grid.extend(
+        Layer::ALL
+            .iter()
+            .map(|&layer| (layer.name(), CampaignPlan::single_layer(layer))),
+    );
     let mut out = String::from("# series: method, avg-makespan[s], app-error-prob\n");
-    let clr = dse.run_proposed(&budget).expect("proposed runs");
-    out.push_str(&series("CLR", &clr.objectives()));
-    let mut layer_runs = Vec::new();
-    for layer in Layer::ALL {
-        let r = dse.run_single_layer(layer, &budget).expect("layer runs");
-        out.push_str(&series(layer.name(), &r.objectives()));
-        layer_runs.push(r);
+    let mut layer_fronts = Vec::new();
+    for (label, plan) in &grid {
+        let Some(cell) = campaign_cell("fig7", 20, label, &dse, plan, &budget) else {
+            return halted(out);
+        };
+        out.push_str(&series(label, &cell.objectives));
+        if *label != "CLR" {
+            layer_fronts.push(cell.objectives);
+        }
     }
-    let agnostic = FrontResult::merge("Agnostic", layer_runs.iter());
-    out.push_str(&series("Agnostic", &agnostic.objectives()));
+    out.push_str(&series("Agnostic", &merge_objectives(&layer_fronts)));
     out
 }
 
@@ -55,12 +109,19 @@ pub fn table5(scale: RunScale) -> String {
         let dse = ClrEarly::new(&graph, &platform)
             .expect("tDSE succeeds")
             .with_executor(exec_settings::executor());
-        let clr = dse.run_proposed(&budget).expect("proposed runs");
-        let agn = dse.run_agnostic(&budget).expect("agnostic runs");
-        let clr_objs = clr.objectives();
-        let agn_objs = agn.objectives();
-        let r = reference_point([clr_objs.as_slice(), agn_objs.as_slice()]);
-        let gain = percent_increase(hypervolume(&clr_objs, &r), hypervolume(&agn_objs, &r));
+        let grid = [
+            ("proposed", CampaignPlan::proposed()),
+            ("Agnostic", CampaignPlan::agnostic()),
+        ];
+        let mut fronts = Vec::new();
+        for (label, plan) in &grid {
+            let Some(cell) = campaign_cell("table5", tasks, label, &dse, plan, &budget) else {
+                return halted(table.to_string());
+            };
+            fronts.push(cell.objectives);
+        }
+        let r = reference_point(fronts.iter().map(Vec::as_slice));
+        let gain = percent_increase(hypervolume(&fronts[0], &r), hypervolume(&fronts[1], &r));
         table.row(vec![tasks.to_string(), pct(gain)]);
     }
     table.to_string()
@@ -83,16 +144,16 @@ pub fn fig8(scale: RunScale) -> String {
         .with_executor(exec_settings::executor());
     let budget = scale.budget();
     let mut out = String::from("# series: method, avg-makespan[s], app-error-prob\n");
-    out.push_str(&series(
-        "fcCLR",
-        &dse.run_fc(&budget).expect("fcCLR runs").objectives(),
-    ));
-    out.push_str(&series(
-        "proposed",
-        &dse.run_proposed(&budget)
-            .expect("proposed runs")
-            .objectives(),
-    ));
+    let grid = [
+        ("fcCLR", CampaignPlan::fc()),
+        ("proposed", CampaignPlan::proposed()),
+    ];
+    for (label, plan) in &grid {
+        let Some(cell) = campaign_cell("fig8", tasks, label, &dse, plan, &budget) else {
+            return halted(out);
+        };
+        out.push_str(&series(label, &cell.objectives));
+    }
     out
 }
 
@@ -113,12 +174,19 @@ pub fn table6(scale: RunScale) -> String {
         let dse = ClrEarly::new(&graph, &platform)
             .expect("tDSE succeeds")
             .with_executor(exec_settings::executor());
-        let fc = dse.run_fc(&budget).expect("fcCLR runs");
-        let prop = dse.run_proposed(&budget).expect("proposed runs");
-        let fc_objs = fc.objectives();
-        let prop_objs = prop.objectives();
-        let r = reference_point([fc_objs.as_slice(), prop_objs.as_slice()]);
-        let gain = percent_increase(hypervolume(&prop_objs, &r), hypervolume(&fc_objs, &r));
+        let grid = [
+            ("fcCLR", CampaignPlan::fc()),
+            ("proposed", CampaignPlan::proposed()),
+        ];
+        let mut fronts = Vec::new();
+        for (label, plan) in &grid {
+            let Some(cell) = campaign_cell("table6", tasks, label, &dse, plan, &budget) else {
+                return halted(table.to_string());
+            };
+            fronts.push(cell.objectives);
+        }
+        let r = reference_point(fronts.iter().map(Vec::as_slice));
+        let gain = percent_increase(hypervolume(&fronts[1], &r), hypervolume(&fronts[0], &r));
         table.row(vec![tasks.to_string(), pct(gain)]);
     }
     table.to_string()
@@ -144,16 +212,16 @@ pub fn fig10(scale: RunScale) -> String {
             ClrEarly::with_tdse_config(&graph, &platform, TdseConfig::new().with_objectives(objs))
                 .expect("tDSE succeeds")
                 .with_executor(exec_settings::executor());
-        out.push_str(&series(
-            &format!("proposed_{label}"),
-            &dse.run_proposed(&budget)
-                .expect("proposed runs")
-                .objectives(),
-        ));
-        out.push_str(&series(
-            &format!("pfCLR_{label}"),
-            &dse.run_pf(&budget).expect("pfCLR runs").objectives(),
-        ));
+        let grid = [
+            (format!("proposed_{label}"), CampaignPlan::proposed()),
+            (format!("pfCLR_{label}"), CampaignPlan::pf()),
+        ];
+        for (tag, plan) in &grid {
+            let Some(cell) = campaign_cell("fig10", tasks, tag, &dse, plan, &budget) else {
+                return halted(out);
+            };
+            out.push_str(&series(tag, &cell.objectives));
+        }
     }
     out
 }
@@ -181,7 +249,7 @@ pub fn table7(scale: RunScale) -> String {
         let (platform, graph) =
             apps::synthetic_app(tasks, 7 + tasks as u64).expect("synthetic app builds");
         // Collect all six fronts, then score against a common reference.
-        let mut fronts: Vec<(String, Vec<Vec<f64>>)> = Vec::new();
+        let mut fronts: Vec<Vec<Vec<f64>>> = Vec::new();
         for (label, objs) in &runs {
             let dse = ClrEarly::with_tdse_config(
                 &graph,
@@ -190,22 +258,19 @@ pub fn table7(scale: RunScale) -> String {
             )
             .expect("tDSE succeeds")
             .with_executor(exec_settings::executor());
-            fronts.push((
-                format!("proposed_{label}"),
-                dse.run_proposed(&budget)
-                    .expect("proposed runs")
-                    .objectives(),
-            ));
-            fronts.push((
-                format!("pfCLR_{label}"),
-                dse.run_pf(&budget).expect("pfCLR runs").objectives(),
-            ));
+            let grid = [
+                (format!("proposed_{label}"), CampaignPlan::proposed()),
+                (format!("pfCLR_{label}"), CampaignPlan::pf()),
+            ];
+            for (tag, plan) in &grid {
+                let Some(cell) = campaign_cell("table7", tasks, tag, &dse, plan, &budget) else {
+                    return halted(table.to_string());
+                };
+                fronts.push(cell.objectives);
+            }
         }
-        let reference = reference_point(fronts.iter().map(|(_, f)| f.as_slice()));
-        let hv: Vec<f64> = fronts
-            .iter()
-            .map(|(_, f)| hypervolume(f, &reference))
-            .collect();
+        let reference = reference_point(fronts.iter().map(Vec::as_slice));
+        let hv: Vec<f64> = fronts.iter().map(|f| hypervolume(f, &reference)).collect();
         let baseline = hv[5]; // pfCLR_tDSE_3
         let mut row = vec![tasks.to_string()];
         for &h in &hv {
@@ -216,95 +281,87 @@ pub fn table7(scale: RunScale) -> String {
     table.to_string()
 }
 
-/// Ablation: proposed (seeded) vs an unseeded fcCLR run with the *same*
-/// total budget, isolating the value of seeding (DESIGN.md §5).
-pub fn ablation_seeding(scale: RunScale) -> String {
-    let (platform, graph) = apps::synthetic_app(30, 37).expect("synthetic app builds");
+/// Formats the two-method hypervolume comparison the ablations share.
+fn hv_pair(tag_a: &str, a: &[Vec<f64>], tag_b: &str, b: &[Vec<f64>]) -> String {
+    let r = reference_point([a, b]);
+    format!(
+        "{tag_a},{:.6e}\n{tag_b},{:.6e}\ngain-pct,{}\n",
+        hypervolume(a, &r),
+        hypervolume(b, &r),
+        pct(percent_increase(hypervolume(a, &r), hypervolume(b, &r)))
+    )
+}
+
+/// Runs a two-cell ablation grid on a 30-task application, returning the
+/// two fronts (or `None` when the sweep ledger halts the run).
+fn ablation_grid(
+    experiment: &str,
+    app_seed: u64,
+    grid: &[(&str, CampaignPlan); 2],
+    scale: RunScale,
+) -> Option<[Vec<Vec<f64>>; 2]> {
+    let (platform, graph) = apps::synthetic_app(30, app_seed).expect("synthetic app builds");
     let dse = ClrEarly::new(&graph, &platform)
         .expect("tDSE succeeds")
         .with_executor(exec_settings::executor());
     let budget = scale.budget();
-    let seeded = dse.run_proposed(&budget).expect("proposed runs");
-    let unseeded = dse.run_fc(&budget).expect("fcCLR runs");
-    let a = seeded.objectives();
-    let b = unseeded.objectives();
-    let r = reference_point([a.as_slice(), b.as_slice()]);
-    format!(
-        "seeded-hv,{:.6e}\nunseeded-hv,{:.6e}\ngain-pct,{}\n",
-        hypervolume(&a, &r),
-        hypervolume(&b, &r),
-        pct(percent_increase(hypervolume(&a, &r), hypervolume(&b, &r)))
-    )
+    let mut fronts = Vec::new();
+    for (label, plan) in grid {
+        let cell = campaign_cell(experiment, 30, label, &dse, plan, &budget)?;
+        fronts.push(cell.objectives);
+    }
+    let [a, b] = <[Vec<Vec<f64>>; 2]>::try_from(fronts).expect("two cells");
+    Some([a, b])
+}
+
+/// Ablation: proposed (seeded) vs an unseeded fcCLR run with the *same*
+/// total budget, isolating the value of seeding (DESIGN.md §5).
+pub fn ablation_seeding(scale: RunScale) -> String {
+    let grid = [
+        ("proposed", CampaignPlan::proposed()),
+        ("fcCLR", CampaignPlan::fc()),
+    ];
+    let Some([seeded, unseeded]) = ablation_grid("ablation_seeding", 37, &grid, scale) else {
+        return halted(String::new());
+    };
+    hv_pair("seeded-hv", &seeded, "unseeded-hv", &unseeded)
 }
 
 /// Ablation: tournament size 5 (paper) vs 2, at equal budget.
 pub fn ablation_tournament(scale: RunScale) -> String {
-    let (platform, graph) = apps::synthetic_app(30, 41).expect("synthetic app builds");
-    let dse = ClrEarly::new(&graph, &platform)
-        .expect("tDSE succeeds")
-        .with_executor(exec_settings::executor());
-    let budget = scale.budget();
-    // The tournament size lives in Nsga2Config; emulate k=2 by a pf run
-    // with a direct Nsga2 invocation through the public API.
-    let k5 = dse.run_pf(&budget).expect("pfCLR runs");
-    let k2 = dse
-        .run_pf_with_tournament(&budget, 2)
-        .expect("pfCLR runs with k=2");
-    let a = k5.objectives();
-    let b = k2.objectives();
-    let r = reference_point([a.as_slice(), b.as_slice()]);
-    format!(
-        "k5-hv,{:.6e}\nk2-hv,{:.6e}\ngain-pct,{}\n",
-        hypervolume(&a, &r),
-        hypervolume(&b, &r),
-        pct(percent_increase(hypervolume(&a, &r), hypervolume(&b, &r)))
-    )
+    let grid = [
+        ("pfCLR", CampaignPlan::pf()),
+        ("pfCLR_k2", CampaignPlan::pf_with_tournament(2)),
+    ];
+    let Some([k5, k2]) = ablation_grid("ablation_tournament", 41, &grid, scale) else {
+        return halted(String::new());
+    };
+    hv_pair("k5-hv", &k5, "k2-hv", &k2)
 }
 
 /// Ablation: pfCLR's Pareto pruning vs a random subset of equal size.
 pub fn ablation_pruning(scale: RunScale) -> String {
-    let (platform, graph) = apps::synthetic_app(30, 43).expect("synthetic app builds");
-    let dse = ClrEarly::new(&graph, &platform)
-        .expect("tDSE succeeds")
-        .with_executor(exec_settings::executor());
-    let budget = scale.budget();
-    let pruned = dse.run_pf(&budget).expect("pfCLR runs");
-    let random = dse
-        .run_random_subset(&budget, 99)
-        .expect("random-subset run");
-    let a = pruned.objectives();
-    let b = random.objectives();
-    let r = reference_point([a.as_slice(), b.as_slice()]);
-    format!(
-        "pareto-hv,{:.6e}\nrandom-hv,{:.6e}\ngain-pct,{}\n",
-        hypervolume(&a, &r),
-        hypervolume(&b, &r),
-        pct(percent_increase(hypervolume(&a, &r), hypervolume(&b, &r)))
-    )
+    let grid = [
+        ("pfCLR", CampaignPlan::pf()),
+        ("random-subset", CampaignPlan::random_subset(99)),
+    ];
+    let Some([pruned, random]) = ablation_grid("ablation_pruning", 43, &grid, scale) else {
+        return halted(String::new());
+    };
+    hv_pair("pareto-hv", &pruned, "random-hv", &random)
 }
 
 /// Ablation: NSGA-II vs SPEA2 as the MOEA backend for pfCLR at equal
 /// budget (DESIGN.md §5).
 pub fn ablation_moea(scale: RunScale) -> String {
-    let (platform, graph) = apps::synthetic_app(30, 47).expect("synthetic app builds");
-    let dse = ClrEarly::new(&graph, &platform)
-        .expect("tDSE succeeds")
-        .with_executor(exec_settings::executor());
-    let budget = scale.budget();
-    let nsga = dse.run_pf(&budget).expect("NSGA-II runs");
-    let spea = dse.run_pf_spea2(&budget).expect("SPEA2 runs");
-    let a = nsga.objectives();
-    let b = spea.objectives();
-    let r = reference_point([a.as_slice(), b.as_slice()]);
-    format!(
-        "nsga2-hv,{:.6e}
-spea2-hv,{:.6e}
-nsga2-gain-pct,{}
-",
-        hypervolume(&a, &r),
-        hypervolume(&b, &r),
-        pct(percent_increase(hypervolume(&a, &r), hypervolume(&b, &r)))
-    )
+    let grid = [
+        ("pfCLR", CampaignPlan::pf()),
+        ("pfCLR_spea2", CampaignPlan::pf_spea2()),
+    ];
+    let Some([nsga, spea]) = ablation_grid("ablation_moea", 47, &grid, scale) else {
+        return halted(String::new());
+    };
+    hv_pair("nsga2-hv", &nsga, "spea2-hv", &spea).replace("gain-pct", "nsga2-gain-pct")
 }
 
 /// Extension study (DESIGN.md §8): the same application optimized on the
@@ -315,33 +372,28 @@ nsga2-gain-pct,{}
 pub fn ablation_comm(scale: RunScale) -> String {
     let (_, graph) = apps::synthetic_app(30, 53).expect("synthetic app builds");
     let budget = scale.budget();
-    let free = apps::paper_platform();
-    let noc = apps::paper_platform_with_noc();
-    let run = |platform: &clre_model::Platform| {
-        ClrEarly::new(&graph, platform)
+    let plan = CampaignPlan::proposed();
+    let grid = [
+        ("comm-free", apps::paper_platform()),
+        ("comm-aware", apps::paper_platform_with_noc()),
+    ];
+    let mut out = String::from("# series: platform, avg-makespan[s], app-error-prob\n");
+    let mut fronts = Vec::new();
+    for (label, platform) in &grid {
+        let dse = ClrEarly::new(&graph, platform)
             .expect("tDSE succeeds")
-            .with_executor(exec_settings::executor())
-            .run_proposed(&budget)
-            .expect("proposed runs")
-    };
-    let f_free = run(&free);
-    let f_noc = run(&noc);
-    let best_makespan = |f: &FrontResult| {
-        f.front()
-            .iter()
-            .map(|p| p.metrics.makespan)
-            .fold(f64::MAX, f64::min)
-    };
-    let mut out = String::from(
-        "# series: platform, avg-makespan[s], app-error-prob
-",
-    );
-    out.push_str(&series("comm-free", &f_free.objectives()));
-    out.push_str(&series("comm-aware", &f_noc.objectives()));
+            .with_executor(exec_settings::executor());
+        let Some(cell) = campaign_cell("ablation_comm", 30, label, &dse, &plan, &budget) else {
+            return halted(out);
+        };
+        out.push_str(&series(label, &cell.objectives));
+        fronts.push(cell.objectives);
+    }
+    // Objective 0 is the average makespan for the default objective set.
+    let best_makespan = |front: &[Vec<f64>]| front.iter().map(|p| p[0]).fold(f64::MAX, f64::min);
     out.push_str(&format!(
-        "min-makespan-inflation-pct,{:.1}
-",
-        100.0 * (best_makespan(&f_noc) - best_makespan(&f_free)) / best_makespan(&f_free)
+        "min-makespan-inflation-pct,{:.1}\n",
+        100.0 * (best_makespan(&fronts[1]) - best_makespan(&fronts[0])) / best_makespan(&fronts[0])
     ));
     out
 }
@@ -368,26 +420,39 @@ pub fn multiobj(scale: RunScale) -> String {
         Objective::Mttf,
     ]);
     let budget = scale.budget();
-    let run = |tdse_objs: ObjectiveSet, proposed: bool| {
-        let dse =
-            ClrEarly::with_tdse_config(&graph, &platform, Cfg::new().with_objectives(tdse_objs))
-                .expect("tDSE succeeds")
-                .with_executor(exec_settings::executor())
-                .with_objectives(objectives.clone());
-        if proposed {
-            dse.run_proposed(&budget).expect("proposed runs")
-        } else {
-            dse.run_fc(&budget).expect("fcCLR runs")
-        }
-    };
-    let mismatched = run(ObjectiveSet::set_ii(), true).objectives();
-    let matched = run(ObjectiveSet::set_iii(), true).objectives();
-    let fc = run(ObjectiveSet::set_ii(), false).objectives();
-    let r = reference_point([mismatched.as_slice(), matched.as_slice(), fc.as_slice()]);
+    let grid = [
+        (
+            "proposed-mismatched",
+            ObjectiveSet::set_ii(),
+            CampaignPlan::proposed(),
+        ),
+        (
+            "proposed-matched",
+            ObjectiveSet::set_iii(),
+            CampaignPlan::proposed(),
+        ),
+        ("fcCLR", ObjectiveSet::set_ii(), CampaignPlan::fc()),
+    ];
+    let mut fronts = Vec::new();
+    for (label, tdse_objs, plan) in &grid {
+        let dse = ClrEarly::with_tdse_config(
+            &graph,
+            &platform,
+            Cfg::new().with_objectives(tdse_objs.clone()),
+        )
+        .expect("tDSE succeeds")
+        .with_executor(exec_settings::executor())
+        .with_objectives(objectives.clone());
+        let Some(cell) = campaign_cell("multiobj", 20, label, &dse, plan, &budget) else {
+            return halted(String::new());
+        };
+        fronts.push(cell.objectives);
+    }
+    let r = reference_point(fronts.iter().map(Vec::as_slice));
     let (hm, hq, hf) = (
-        hypervolume(&mismatched, &r),
-        hypervolume(&matched, &r),
-        hypervolume(&fc, &r),
+        hypervolume(&fronts[0], &r),
+        hypervolume(&fronts[1], &r),
+        hypervolume(&fronts[2], &r),
     );
     format!(
         "proposed-mismatched-hv3d,{hm:.6e}
@@ -408,6 +473,9 @@ matched-vs-mismatched-pct,{}
 /// evaluation here (metrics are precomputed for both), so the scaling
 /// argument rests on search-space size — which the two rightmost columns
 /// make explicit.
+///
+/// Wall-clock measurements are never ledgered: replaying a cached cell
+/// would report the cache hit's latency, not the solver's.
 pub fn scaling(scale: RunScale) -> String {
     use std::time::Instant;
     let budget = scale.budget();

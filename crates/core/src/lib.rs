@@ -22,6 +22,10 @@
 //!   [`ClrEarly`] runs `fcCLR`, `pfCLR`, the **proposed** two-stage
 //!   pfCLR-seeded-fcCLR flow, per-layer single-degree-of-freedom runs and
 //!   the merged *Agnostic* baseline.
+//! * [`campaign`] — the declarative stage-graph [`CampaignPlan`] runner
+//!   every method above compiles into: one execution path threading the
+//!   executor, telemetry labels, and checkpoint/resume supervision
+//!   through NSGA-II and SPEA2 stages alike.
 //! * [`apps`] — the Sobel Edge Detection case study (Fig. 2(b)) and the
 //!   evaluation platforms.
 //! * [`resilience`] — the fault-tolerant DSE runtime: panic/error-isolated
@@ -56,11 +60,13 @@
 //! [`QosSpec`]: clre_model::qos::QosSpec
 //! [`ClrEarly`]: methodology::ClrEarly
 //! [`RunHealth`]: resilience::RunHealth
+//! [`CampaignPlan`]: campaign::CampaignPlan
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod apps;
+pub mod campaign;
 pub mod encoding;
 mod error;
 pub mod library;
@@ -69,10 +75,12 @@ pub mod problem;
 pub mod resilience;
 pub mod tdse;
 
+pub use campaign::{CampaignPlan, LibrarySource, StageAlgorithm, StagePlan};
 pub use error::DseError;
 pub use library::{CandidateImpl, ImplLibrary};
-pub use methodology::{ClrEarly, FrontPoint, FrontResult, StageBudget};
+pub use methodology::{ClrEarly, FrontPoint, FrontResult, Layer, StageBudget};
 pub use resilience::{
-    HealthHandle, QuarantineRecord, RunHealth, RunOutcome, RunSupervisor, SupervisorConfig,
+    AlgorithmTag, Checkpoint, CompletedStage, HealthHandle, QuarantineRecord, RunHealth,
+    RunOutcome, RunSupervisor, SupervisorConfig,
 };
 pub use tdse::TdseConfig;

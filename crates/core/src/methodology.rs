@@ -17,20 +17,16 @@
 
 use clre_exec::Executor;
 use clre_model::qos::{ObjectiveSet, QosSpec, SystemMetrics};
-use clre_model::reliability::ClrConfig;
 use clre_model::{Platform, TaskGraph};
 use clre_moea::pareto::non_dominated_indices;
-use clre_moea::{Nsga2, Nsga2Config, Nsga2State, Spea2, Spea2Config};
+use clre_moea::Nsga2Config;
 use serde::{Deserialize, Serialize};
 
-use crate::encoding::{ChoiceMode, ClrVariation, Codec, Genome};
+use crate::campaign::CampaignPlan;
+use crate::encoding::Genome;
 use crate::library::ImplLibrary;
-use crate::problem::SystemProblem;
-use crate::resilience::{
-    quarantine_sidecar_path, remove_checkpoint_files, write_quarantine_sidecar, Checkpoint,
-    ResilientProblem, RunHealth, RunOutcome, RunSupervisor,
-};
-use crate::tdse::{build_library, build_library_with_health, DvfsPolicy, TdseConfig, TdseHealth};
+use crate::resilience::{Checkpoint, RunHealth, RunOutcome, RunSupervisor};
+use crate::tdse::{build_library_with_health, TdseConfig, TdseHealth};
 use crate::DseError;
 
 /// A single reliability layer (degree of freedom) for the Agnostic
@@ -100,7 +96,7 @@ impl StageBudget {
         self
     }
 
-    fn nsga2_config(&self, generations: usize, salt: u64) -> Nsga2Config {
+    pub(crate) fn nsga2_config(&self, generations: usize, salt: u64) -> Nsga2Config {
         Nsga2Config::new(self.population, generations.max(1))
             .with_seed(self.seed.wrapping_mul(0x9E37_79B9).wrapping_add(salt))
     }
@@ -126,8 +122,8 @@ pub struct FrontPoint {
 /// The outcome of one methodology run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FrontResult {
-    method: String,
-    points: Vec<FrontPoint>,
+    pub(crate) method: String,
+    pub(crate) points: Vec<FrontPoint>,
     /// Total fitness evaluations spent.
     pub evaluations: usize,
     /// Resilience report: failures isolated, candidates quarantined,
@@ -193,14 +189,14 @@ impl FrontResult {
 /// baselines build their own restricted libraries on demand.
 #[derive(Debug)]
 pub struct ClrEarly<'a> {
-    graph: &'a TaskGraph,
-    platform: &'a Platform,
-    tdse: TdseConfig,
-    library: ImplLibrary,
-    tdse_health: TdseHealth,
-    objectives: ObjectiveSet,
-    spec: QosSpec,
-    exec: Executor,
+    pub(crate) graph: &'a TaskGraph,
+    pub(crate) platform: &'a Platform,
+    pub(crate) tdse: TdseConfig,
+    pub(crate) library: ImplLibrary,
+    pub(crate) tdse_health: TdseHealth,
+    pub(crate) objectives: ObjectiveSet,
+    pub(crate) spec: QosSpec,
+    pub(crate) exec: Executor,
 }
 
 impl<'a> ClrEarly<'a> {
@@ -269,7 +265,7 @@ impl<'a> ClrEarly<'a> {
     }
 
     /// This orchestrator's executor re-labeled for one stage.
-    fn stage_exec(&self, label: &str) -> Executor {
+    pub(crate) fn stage_exec(&self, label: &str) -> Executor {
         self.exec.clone().with_label(label)
     }
 
@@ -295,63 +291,13 @@ impl<'a> ClrEarly<'a> {
         self.platform
     }
 
-    fn run_ga(
-        &self,
-        library: &ImplLibrary,
-        mode: ChoiceMode,
-        config: Nsga2Config,
-        seeds: Vec<Genome>,
-        label: &str,
-    ) -> Result<(FrontResult, Vec<Genome>), DseError> {
-        let codec = Codec::new(self.graph, self.platform, library, mode)?;
-        let problem = SystemProblem::new(codec.clone(), self.objectives.clone(), self.spec);
-        let variation = ClrVariation::new(&codec);
-        let result = Nsga2::new(problem, variation, config)
-            .with_seeds(seeds)
-            .run_with(&self.stage_exec(label));
-        let evaluations = result.evaluations;
-        let front = result.into_front();
-        let problem = SystemProblem::new(codec, self.objectives.clone(), self.spec);
-        let mut points = Vec::with_capacity(front.len());
-        let mut genomes = Vec::with_capacity(front.len());
-        for ind in front {
-            points.push(FrontPoint {
-                objectives: ind.objectives.clone(),
-                metrics: problem.metrics_of(&ind.genome),
-                genome: ind.genome.clone(),
-            });
-            genomes.push(ind.genome);
-        }
-        // NSGA-II's rank-0 set may contain exact duplicates (neither copy
-        // strictly dominates the other); report each front point once.
-        let objs: Vec<Vec<f64>> = points.iter().map(|p| p.objectives.clone()).collect();
-        let keep = non_dominated_indices(&objs);
-        let points: Vec<FrontPoint> = keep.into_iter().map(|i| points[i].clone()).collect();
-        Ok((
-            FrontResult {
-                method: label.to_owned(),
-                points,
-                evaluations,
-                health: RunHealth::default(),
-            },
-            genomes,
-        ))
-    }
-
     /// Runs the problem-agnostic fcCLR baseline.
     ///
     /// # Errors
     ///
     /// Propagates codec construction failures.
     pub fn run_fc(&self, budget: &StageBudget) -> Result<FrontResult, DseError> {
-        self.run_ga(
-            &self.library,
-            ChoiceMode::Full,
-            budget.nsga2_config(budget.generations, 1),
-            Vec::new(),
-            "fcCLR",
-        )
-        .map(|(r, _)| r)
+        self.run_campaign(&CampaignPlan::fc(), budget)
     }
 
     /// Runs the task-level-Pareto-filtered pfCLR method.
@@ -360,14 +306,7 @@ impl<'a> ClrEarly<'a> {
     ///
     /// Propagates codec construction failures.
     pub fn run_pf(&self, budget: &StageBudget) -> Result<FrontResult, DseError> {
-        self.run_ga(
-            &self.library,
-            ChoiceMode::ParetoFiltered,
-            budget.nsga2_config(budget.generations, 2),
-            Vec::new(),
-            "pfCLR",
-        )
-        .map(|(r, _)| r)
+        self.run_campaign(&CampaignPlan::pf(), budget)
     }
 
     /// Runs the proposed two-stage methodology exactly as Section VI-C
@@ -386,21 +325,7 @@ impl<'a> ClrEarly<'a> {
     ///
     /// Propagates codec construction failures.
     pub fn run_proposed(&self, budget: &StageBudget) -> Result<FrontResult, DseError> {
-        let (pf_result, seeds) = self.run_ga(
-            &self.library,
-            ChoiceMode::ParetoFiltered,
-            budget.nsga2_config(budget.generations, 2),
-            Vec::new(),
-            "proposed/pf-stage",
-        )?;
-        let (fc_result, _) = self.run_ga(
-            &self.library,
-            ChoiceMode::Full,
-            budget.nsga2_config(budget.generations, 4),
-            seeds,
-            "proposed/fc-stage",
-        )?;
-        Ok(FrontResult::merge("proposed", [&pf_result, &fc_result]))
+        self.run_campaign(&CampaignPlan::proposed(), budget)
     }
 
     /// Runs fcCLR under a [`RunSupervisor`]: evaluation failures are
@@ -416,12 +341,7 @@ impl<'a> ClrEarly<'a> {
         budget: &StageBudget,
         supervisor: &RunSupervisor,
     ) -> Result<RunOutcome, DseError> {
-        let out = self.run_stage_supervised(
-            StageContext::fresh("fcCLR", "fcCLR", 0, ChoiceMode::Full, 1),
-            budget,
-            supervisor,
-        )?;
-        self.conclude_single_stage(out, supervisor)
+        self.run_campaign_supervised(&CampaignPlan::fc(), budget, supervisor)
     }
 
     /// Runs pfCLR under a [`RunSupervisor`]; see
@@ -435,12 +355,7 @@ impl<'a> ClrEarly<'a> {
         budget: &StageBudget,
         supervisor: &RunSupervisor,
     ) -> Result<RunOutcome, DseError> {
-        let out = self.run_stage_supervised(
-            StageContext::fresh("pfCLR", "pfCLR", 0, ChoiceMode::ParetoFiltered, 2),
-            budget,
-            supervisor,
-        )?;
-        self.conclude_single_stage(out, supervisor)
+        self.run_campaign_supervised(&CampaignPlan::pf(), budget, supervisor)
     }
 
     /// Runs the proposed two-stage methodology under a [`RunSupervisor`].
@@ -457,26 +372,38 @@ impl<'a> ClrEarly<'a> {
         budget: &StageBudget,
         supervisor: &RunSupervisor,
     ) -> Result<RunOutcome, DseError> {
-        let out = self.run_stage_supervised(
-            StageContext::fresh(
-                "proposed",
-                "proposed/pf-stage",
-                0,
-                ChoiceMode::ParetoFiltered,
-                2,
-            ),
-            budget,
-            supervisor,
-        )?;
-        match out {
-            StageOutcome::Complete { result, genomes } => {
-                self.finish_proposed(result, genomes, budget, supervisor, None)
-            }
-            StageOutcome::Interrupted { generation } => Ok(RunOutcome::Interrupted {
-                stage: 0,
-                generation,
-            }),
-        }
+        self.run_campaign_supervised(&CampaignPlan::proposed(), budget, supervisor)
+    }
+
+    /// Runs the layer-agnostic baseline campaign under a
+    /// [`RunSupervisor`]: all four single-layer stages checkpoint to the
+    /// same file, so a crash in any stage resumes there with the earlier
+    /// layers' fronts reconstituted from the checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Propagates codec construction and checkpoint I/O failures.
+    pub fn run_agnostic_supervised(
+        &self,
+        budget: &StageBudget,
+        supervisor: &RunSupervisor,
+    ) -> Result<RunOutcome, DseError> {
+        self.run_campaign_supervised(&CampaignPlan::agnostic(), budget, supervisor)
+    }
+
+    /// Runs the SPEA2-backed pfCLR ablation under a [`RunSupervisor`] —
+    /// checkpoint/resume works identically to the NSGA-II runs via the
+    /// shared `EvolutionState` path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates codec construction and checkpoint I/O failures.
+    pub fn run_pf_spea2_supervised(
+        &self,
+        budget: &StageBudget,
+        supervisor: &RunSupervisor,
+    ) -> Result<RunOutcome, DseError> {
+        self.run_campaign_supervised(&CampaignPlan::pf_spea2(), budget, supervisor)
     }
 
     /// Resumes an interrupted supervised run from the supervisor's
@@ -500,394 +427,23 @@ impl<'a> ClrEarly<'a> {
         supervisor: &RunSupervisor,
     ) -> Result<RunOutcome, DseError> {
         let cp = Checkpoint::load(supervisor.checkpoint_path())?;
-        self.validate_checkpoint(&cp, budget)?;
-        let Checkpoint {
-            method,
-            stage,
-            prior_evaluations,
-            aux_genomes,
-            state,
-            mut health,
-            ..
-        } = cp;
-        if health.resumed_from_generation.is_none() {
-            health.resumed_from_generation = Some(state.generation);
-        }
-        match (method.as_str(), stage) {
-            ("fcCLR", 0) => {
-                let ctx = StageContext::resumed(
-                    "fcCLR",
-                    "fcCLR",
-                    0,
-                    ChoiceMode::Full,
-                    1,
-                    prior_evaluations,
-                    aux_genomes,
-                    health,
-                    state,
-                );
-                let out = self.run_stage_supervised(ctx, budget, supervisor)?;
-                self.conclude_single_stage(out, supervisor)
+        let plan = match cp.method.as_str() {
+            "fcCLR" => CampaignPlan::fc(),
+            "pfCLR" => CampaignPlan::pf(),
+            "proposed" => CampaignPlan::proposed(),
+            "Agnostic" => CampaignPlan::agnostic(),
+            "pfCLR/spea2" => CampaignPlan::pf_spea2(),
+            "DVFS" => CampaignPlan::single_layer(Layer::Dvfs),
+            "HWRel" => CampaignPlan::single_layer(Layer::Hw),
+            "SSWRel" => CampaignPlan::single_layer(Layer::Ssw),
+            "ASWRel" => CampaignPlan::single_layer(Layer::Asw),
+            m => {
+                return Err(DseError::Checkpoint {
+                    what: format!("cannot resume method {m:?} at stage {}", cp.stage),
+                })
             }
-            ("pfCLR", 0) => {
-                let ctx = StageContext::resumed(
-                    "pfCLR",
-                    "pfCLR",
-                    0,
-                    ChoiceMode::ParetoFiltered,
-                    2,
-                    prior_evaluations,
-                    aux_genomes,
-                    health,
-                    state,
-                );
-                let out = self.run_stage_supervised(ctx, budget, supervisor)?;
-                self.conclude_single_stage(out, supervisor)
-            }
-            ("proposed", 0) => {
-                let ctx = StageContext::resumed(
-                    "proposed",
-                    "proposed/pf-stage",
-                    0,
-                    ChoiceMode::ParetoFiltered,
-                    2,
-                    prior_evaluations,
-                    aux_genomes,
-                    health,
-                    state,
-                );
-                match self.run_stage_supervised(ctx, budget, supervisor)? {
-                    StageOutcome::Complete { result, genomes } => {
-                        self.finish_proposed(result, genomes, budget, supervisor, None)
-                    }
-                    StageOutcome::Interrupted { generation } => Ok(RunOutcome::Interrupted {
-                        stage: 0,
-                        generation,
-                    }),
-                }
-            }
-            ("proposed", 1) => {
-                // Stage 1 checkpoints carry the pf-stage front as aux
-                // genomes: reconstitute that stage's result (its metrics
-                // are a pure function of the genomes), then continue the
-                // fc stage from the snapshot.
-                let pf_result = self.front_from_genomes(
-                    "proposed/pf-stage",
-                    ChoiceMode::ParetoFiltered,
-                    &aux_genomes,
-                    prior_evaluations,
-                )?;
-                let ctx = StageContext::resumed(
-                    "proposed",
-                    "proposed/fc-stage",
-                    1,
-                    ChoiceMode::Full,
-                    4,
-                    prior_evaluations,
-                    aux_genomes,
-                    health,
-                    state,
-                );
-                match self.run_stage_supervised(ctx, budget, supervisor)? {
-                    StageOutcome::Complete { result, .. } => {
-                        self.conclude_proposed(pf_result, result, supervisor)
-                    }
-                    StageOutcome::Interrupted { generation } => Ok(RunOutcome::Interrupted {
-                        stage: 1,
-                        generation,
-                    }),
-                }
-            }
-            (m, s) => Err(DseError::Checkpoint {
-                what: format!("cannot resume method {m:?} at stage {s}"),
-            }),
-        }
-    }
-
-    /// Runs the fc stage of the proposed flow (fresh or resumed) and
-    /// merges it with the pf-stage result.
-    fn finish_proposed(
-        &self,
-        pf_result: FrontResult,
-        seeds: Vec<Genome>,
-        budget: &StageBudget,
-        supervisor: &RunSupervisor,
-        resume: Option<Nsga2State<Genome>>,
-    ) -> Result<RunOutcome, DseError> {
-        let base_health = pf_result.health.clone();
-        let ctx = StageContext {
-            method: "proposed",
-            label: "proposed/fc-stage",
-            stage: 1,
-            mode: ChoiceMode::Full,
-            salt: 4,
-            prior_evaluations: pf_result.evaluations,
-            aux_genomes: seeds,
-            base_health,
-            resume,
         };
-        match self.run_stage_supervised(ctx, budget, supervisor)? {
-            StageOutcome::Complete { result, .. } => {
-                self.conclude_proposed(pf_result, result, supervisor)
-            }
-            StageOutcome::Interrupted { generation } => Ok(RunOutcome::Interrupted {
-                stage: 1,
-                generation,
-            }),
-        }
-    }
-
-    fn conclude_proposed(
-        &self,
-        pf_result: FrontResult,
-        fc_result: FrontResult,
-        supervisor: &RunSupervisor,
-    ) -> Result<RunOutcome, DseError> {
-        // The fc stage's health is cumulative across both stages (its
-        // base was the pf stage's report), so it becomes the merged
-        // report; merge() itself resets health to avoid double counting.
-        let mut health = fc_result.health.clone();
-        health.degraded_analyses += self.tdse_health.degraded_analyses;
-        let mut merged = FrontResult::merge("proposed", [&pf_result, &fc_result]);
-        merged.health = health;
-        remove_checkpoint_files(
-            supervisor.checkpoint_path(),
-            supervisor.config().keep_checkpoints,
-        );
-        Ok(RunOutcome::Complete(merged))
-    }
-
-    fn conclude_single_stage(
-        &self,
-        out: StageOutcome,
-        supervisor: &RunSupervisor,
-    ) -> Result<RunOutcome, DseError> {
-        match out {
-            StageOutcome::Complete { mut result, .. } => {
-                result.health.degraded_analyses += self.tdse_health.degraded_analyses;
-                remove_checkpoint_files(
-                    supervisor.checkpoint_path(),
-                    supervisor.config().keep_checkpoints,
-                );
-                Ok(RunOutcome::Complete(result))
-            }
-            StageOutcome::Interrupted { generation } => Ok(RunOutcome::Interrupted {
-                stage: 0,
-                generation,
-            }),
-        }
-    }
-
-    /// One supervised GA stage: step-wise NSGA-II over a panic-isolating
-    /// problem wrapper, checkpointing at the supervisor's cadence.
-    fn run_stage_supervised(
-        &self,
-        ctx: StageContext<'_>,
-        budget: &StageBudget,
-        supervisor: &RunSupervisor,
-    ) -> Result<StageOutcome, DseError> {
-        let config = budget.nsga2_config(budget.generations, ctx.salt);
-        let codec = Codec::new(self.graph, self.platform, &self.library, ctx.mode)?;
-        let problem = SystemProblem::new(codec.clone(), self.objectives.clone(), self.spec);
-        let resilient =
-            ResilientProblem::new(problem).with_max_retries(supervisor.config().max_retries);
-        let eval_health = resilient.health();
-        let quarantine_log = resilient.quarantine_log();
-        let variation = ClrVariation::new(&codec);
-        let exec = self.stage_exec(ctx.label);
-        // Seeds only shape init_state, so passing them on resume is a
-        // no-op; the aux genomes double as this stage's seeds.
-        let ga = Nsga2::new(resilient, variation, config).with_seeds(ctx.aux_genomes.clone());
-        let fresh = ctx.resume.is_none();
-        let mut state = match ctx.resume {
-            Some(s) => s,
-            None => ga.init_state_with(&exec),
-        };
-
-        let mut checkpoints = 0usize;
-        let health_now = |checkpoints: usize| {
-            let mut h = ctx.base_health.clone();
-            h.merge(&eval_health.lock().expect("run health poisoned"));
-            h.checkpoints_written += checkpoints;
-            h
-        };
-        // Checkpoints carry nothing thread-dependent: the GA state's
-        // population and RNG words are identical for any worker count, and
-        // the health counters are totals, not per-worker data.
-        let save = |state: &Nsga2State<Genome>, health: RunHealth| -> Result<(), DseError> {
-            Checkpoint {
-                method: ctx.method.to_owned(),
-                stage: ctx.stage,
-                population_size: budget.population,
-                generations: budget.generations,
-                seed: budget.seed,
-                objective_count: self.objectives.len(),
-                prior_evaluations: ctx.prior_evaluations,
-                aux_genomes: ctx.aux_genomes.clone(),
-                state: state.clone(),
-                health,
-            }
-            .save_rotated(
-                supervisor.checkpoint_path(),
-                supervisor.config().keep_checkpoints,
-            )?;
-            write_quarantine_sidecar(
-                &quarantine_sidecar_path(supervisor.checkpoint_path()),
-                &quarantine_log.lock().expect("quarantine log poisoned"),
-            )
-        };
-        // Stamp the cumulative quarantine/degraded counters onto the trace
-        // record of the batch that just ran (no batch ran on resume).
-        let annotate = || {
-            let h = health_now(0);
-            exec.annotate_health(h.quarantined, h.degraded_analyses);
-        };
-        if fresh {
-            annotate();
-        }
-
-        loop {
-            if supervisor.should_interrupt(ctx.stage, state.generation) {
-                checkpoints += 1;
-                save(&state, health_now(checkpoints))?;
-                return Ok(StageOutcome::Interrupted {
-                    generation: state.generation,
-                });
-            }
-            if !ga.step_with(&mut state, &exec) {
-                break;
-            }
-            annotate();
-            if state.generation % supervisor.config().every_generations == 0 {
-                checkpoints += 1;
-                save(&state, health_now(checkpoints))?;
-            }
-        }
-        // Stage-end sidecar write, so triage data survives even when the
-        // run completes and the checkpoints are cleaned up.
-        write_quarantine_sidecar(
-            &quarantine_sidecar_path(supervisor.checkpoint_path()),
-            &quarantine_log.lock().expect("quarantine log poisoned"),
-        )?;
-
-        let health = health_now(checkpoints);
-        let evaluations = state.evaluations;
-        let result = ga.finalize(state);
-        let front = result.into_front();
-        let metrics_problem = SystemProblem::new(codec, self.objectives.clone(), self.spec);
-        let mut points = Vec::with_capacity(front.len());
-        let mut genomes = Vec::with_capacity(front.len());
-        for ind in front {
-            // A fully quarantined population can push unevaluable
-            // genomes onto rank 0; they carry no physical metrics, so
-            // they are dropped from the reported front (the quarantine
-            // events themselves are visible in `health`).
-            if let Ok(metrics) = metrics_problem.try_metrics_of(&ind.genome) {
-                points.push(FrontPoint {
-                    objectives: ind.objectives.clone(),
-                    metrics,
-                    genome: ind.genome.clone(),
-                });
-            }
-            genomes.push(ind.genome);
-        }
-        let objs: Vec<Vec<f64>> = points.iter().map(|p| p.objectives.clone()).collect();
-        let keep = non_dominated_indices(&objs);
-        let points: Vec<FrontPoint> = keep.into_iter().map(|i| points[i].clone()).collect();
-        Ok(StageOutcome::Complete {
-            result: FrontResult {
-                method: ctx.label.to_owned(),
-                points,
-                evaluations,
-                health,
-            },
-            genomes,
-        })
-    }
-
-    /// Reconstitutes a stage result from its front genomes: metrics (and
-    /// thus objectives) are a pure function of each genome, so a
-    /// checkpoint only needs the genomes.
-    fn front_from_genomes(
-        &self,
-        label: &str,
-        mode: ChoiceMode,
-        genomes: &[Genome],
-        evaluations: usize,
-    ) -> Result<FrontResult, DseError> {
-        let codec = Codec::new(self.graph, self.platform, &self.library, mode)?;
-        let problem = SystemProblem::new(codec, self.objectives.clone(), self.spec);
-        let mut points = Vec::with_capacity(genomes.len());
-        for g in genomes {
-            if let Ok(metrics) = problem.try_metrics_of(g) {
-                points.push(FrontPoint {
-                    objectives: metrics.objective_vector(&self.objectives),
-                    metrics,
-                    genome: g.clone(),
-                });
-            }
-        }
-        let objs: Vec<Vec<f64>> = points.iter().map(|p| p.objectives.clone()).collect();
-        let keep = non_dominated_indices(&objs);
-        let points: Vec<FrontPoint> = keep.into_iter().map(|i| points[i].clone()).collect();
-        Ok(FrontResult {
-            method: label.to_owned(),
-            points,
-            evaluations,
-            health: RunHealth::default(),
-        })
-    }
-
-    fn validate_checkpoint(&self, cp: &Checkpoint, budget: &StageBudget) -> Result<(), DseError> {
-        let mismatch =
-            |what: String| -> Result<(), DseError> { Err(DseError::Checkpoint { what }) };
-        if cp.population_size != budget.population {
-            return mismatch(format!(
-                "population mismatch: checkpoint {}, budget {}",
-                cp.population_size, budget.population
-            ));
-        }
-        if cp.generations != budget.generations {
-            return mismatch(format!(
-                "generation budget mismatch: checkpoint {}, budget {}",
-                cp.generations, budget.generations
-            ));
-        }
-        if cp.seed != budget.seed {
-            return mismatch(format!(
-                "seed mismatch: checkpoint {}, budget {}",
-                cp.seed, budget.seed
-            ));
-        }
-        if cp.objective_count != self.objectives.len() {
-            return mismatch(format!(
-                "objective count mismatch: checkpoint {}, run {}",
-                cp.objective_count,
-                self.objectives.len()
-            ));
-        }
-        if cp.state.generation > cp.generations {
-            return mismatch(format!(
-                "corrupt snapshot: generation {} beyond budget {}",
-                cp.state.generation, cp.generations
-            ));
-        }
-        let task_count = self.graph.tasks().len();
-        let genome_shapes = cp
-            .state
-            .population
-            .iter()
-            .map(|ind| &ind.genome)
-            .chain(cp.aux_genomes.iter());
-        for g in genome_shapes {
-            if g.len() != task_count {
-                return mismatch(format!(
-                    "genome length {} does not match application task count {task_count}",
-                    g.len()
-                ));
-            }
-        }
-        Ok(())
+        self.resume_campaign(&plan, budget, supervisor)
     }
 
     /// Runs a single-degree-of-freedom baseline for one layer.
@@ -900,26 +456,7 @@ impl<'a> ClrEarly<'a> {
         layer: Layer,
         budget: &StageBudget,
     ) -> Result<FrontResult, DseError> {
-        let (catalog, policy) = match layer {
-            Layer::Dvfs => (vec![ClrConfig::unprotected()], DvfsPolicy::All),
-            Layer::Hw => (ClrConfig::hw_only_catalog(), DvfsPolicy::NominalOnly),
-            Layer::Ssw => (ClrConfig::ssw_only_catalog(), DvfsPolicy::NominalOnly),
-            Layer::Asw => (ClrConfig::asw_only_catalog(), DvfsPolicy::NominalOnly),
-        };
-        let tdse = self
-            .tdse
-            .clone()
-            .with_clr_catalog(catalog)
-            .with_dvfs_policy(policy);
-        let library = build_library(self.graph, self.platform, &tdse)?;
-        self.run_ga(
-            &library,
-            ChoiceMode::Full,
-            budget.nsga2_config(budget.generations, 10 + layer as u64),
-            Vec::new(),
-            layer.name(),
-        )
-        .map(|(r, _)| r)
+        self.run_campaign(&CampaignPlan::single_layer(layer), budget)
     }
 
     /// Runs pfCLR under the SPEA2 backend instead of NSGA-II — the
@@ -930,38 +467,7 @@ impl<'a> ClrEarly<'a> {
     ///
     /// Propagates codec construction failures.
     pub fn run_pf_spea2(&self, budget: &StageBudget) -> Result<FrontResult, DseError> {
-        let codec = Codec::new(
-            self.graph,
-            self.platform,
-            &self.library,
-            ChoiceMode::ParetoFiltered,
-        )?;
-        let problem = SystemProblem::new(codec.clone(), self.objectives.clone(), self.spec);
-        let variation = ClrVariation::new(&codec);
-        let config = Spea2Config::new(budget.population, budget.generations.max(1))
-            .with_seed(budget.seed.wrapping_mul(0x9E37_79B9).wrapping_add(7));
-        let result =
-            Spea2::new(problem, variation, config).run_with(&self.stage_exec("pfCLR/spea2"));
-        let evaluations = result.evaluations;
-        let problem = SystemProblem::new(codec, self.objectives.clone(), self.spec);
-        let mut points: Vec<FrontPoint> = result
-            .archive()
-            .iter()
-            .map(|ind| FrontPoint {
-                objectives: ind.objectives.clone(),
-                metrics: problem.metrics_of(&ind.genome),
-                genome: ind.genome.clone(),
-            })
-            .collect();
-        let objs: Vec<Vec<f64>> = points.iter().map(|p| p.objectives.clone()).collect();
-        let keep = non_dominated_indices(&objs);
-        points = keep.into_iter().map(|i| points[i].clone()).collect();
-        Ok(FrontResult {
-            method: "pfCLR/spea2".to_owned(),
-            points,
-            evaluations,
-            health: RunHealth::default(),
-        })
+        self.run_campaign(&CampaignPlan::pf_spea2(), budget)
     }
 
     /// Runs pfCLR with a non-default tournament size — the
@@ -979,17 +485,7 @@ impl<'a> ClrEarly<'a> {
         budget: &StageBudget,
         tournament_size: usize,
     ) -> Result<FrontResult, DseError> {
-        let config = budget
-            .nsga2_config(budget.generations, 2)
-            .with_tournament_size(tournament_size);
-        self.run_ga(
-            &self.library,
-            ChoiceMode::ParetoFiltered,
-            config,
-            Vec::new(),
-            "pfCLR",
-        )
-        .map(|(r, _)| r)
+        self.run_campaign(&CampaignPlan::pf_with_tournament(tournament_size), budget)
     }
 
     /// Runs the pruning ablation of DESIGN.md §5: a pfCLR-shaped search
@@ -1004,15 +500,7 @@ impl<'a> ClrEarly<'a> {
         budget: &StageBudget,
         subset_seed: u64,
     ) -> Result<FrontResult, DseError> {
-        let library = self.library.with_random_subsets(subset_seed);
-        self.run_ga(
-            &library,
-            ChoiceMode::ParetoFiltered,
-            budget.nsga2_config(budget.generations, 5),
-            Vec::new(),
-            "random-subset",
-        )
-        .map(|(r, _)| r)
+        self.run_campaign(&CampaignPlan::random_subset(subset_seed), budget)
     }
 
     /// Runs the other-layer-agnostic baseline: all four single-layer
@@ -1026,98 +514,8 @@ impl<'a> ClrEarly<'a> {
     ///
     /// Propagates single-layer failures.
     pub fn run_agnostic(&self, budget: &StageBudget) -> Result<FrontResult, DseError> {
-        let per_layer = StageBudget {
-            generations: (budget.generations / Layer::ALL.len()).max(1),
-            ..budget.clone()
-        };
-        let runs = Layer::ALL
-            .iter()
-            .map(|&l| self.run_single_layer(l, &per_layer))
-            .collect::<Result<Vec<_>, _>>()?;
-        Ok(FrontResult::merge("Agnostic", runs.iter()))
+        self.run_campaign(&CampaignPlan::agnostic(), budget)
     }
-}
-
-/// Parameters of one supervised GA stage (fresh or resumed).
-struct StageContext<'b> {
-    /// Checkpoint method tag (validated on resume).
-    method: &'b str,
-    /// Label of the stage's [`FrontResult`].
-    label: &'b str,
-    /// Stage index within the method (0-based).
-    stage: u32,
-    /// Choice-list mode of the stage's codec.
-    mode: ChoiceMode,
-    /// Seed salt (same scheme as the plain runs, so supervised and plain
-    /// runs of the same method share their RNG trajectory).
-    salt: u64,
-    /// Evaluations spent by earlier stages (checkpoint bookkeeping).
-    prior_evaluations: usize,
-    /// Seeds for this stage; persisted in checkpoints.
-    aux_genomes: Vec<Genome>,
-    /// Cumulative health carried into this stage (prior stages and, on
-    /// resume, the pre-crash portion of this stage).
-    base_health: RunHealth,
-    /// Snapshot to continue from (`None` = fresh stage).
-    resume: Option<Nsga2State<Genome>>,
-}
-
-impl<'b> StageContext<'b> {
-    fn fresh(method: &'b str, label: &'b str, stage: u32, mode: ChoiceMode, salt: u64) -> Self {
-        StageContext {
-            method,
-            label,
-            stage,
-            mode,
-            salt,
-            prior_evaluations: 0,
-            aux_genomes: Vec::new(),
-            base_health: RunHealth::default(),
-            resume: None,
-        }
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn resumed(
-        method: &'b str,
-        label: &'b str,
-        stage: u32,
-        mode: ChoiceMode,
-        salt: u64,
-        prior_evaluations: usize,
-        aux_genomes: Vec<Genome>,
-        base_health: RunHealth,
-        state: Nsga2State<Genome>,
-    ) -> Self {
-        StageContext {
-            method,
-            label,
-            stage,
-            mode,
-            salt,
-            prior_evaluations,
-            aux_genomes,
-            base_health,
-            resume: Some(state),
-        }
-    }
-}
-
-/// Outcome of one supervised stage.
-enum StageOutcome {
-    /// The stage ran to its generation budget.
-    Complete {
-        /// The stage's front (health cumulative up to this stage).
-        result: FrontResult,
-        /// All rank-0 genomes, in population order (stage-1 seeds).
-        genomes: Vec<Genome>,
-    },
-    /// The supervisor's crash-injection seam fired; a checkpoint is on
-    /// disk.
-    Interrupted {
-        /// Generations completed when the stage stopped.
-        generation: usize,
-    },
 }
 
 /// Computes a common hypervolume reference point for a family of fronts:

@@ -41,7 +41,7 @@ use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 
 use clre_model::{PeId, TaskId};
-use clre_moea::{Evaluation, Individual, Nsga2State, Problem};
+use clre_moea::{Evaluation, EvoSnapshot, Individual, Problem};
 use rand::RngCore;
 
 use crate::encoding::{Gene, Genome};
@@ -356,17 +356,24 @@ pub struct SupervisorConfig {
     /// at `checkpoint_path`; older generations are rotated to
     /// `<path>.1 … <path>.keep-1`, oldest pruned.
     pub keep_checkpoints: usize,
+    /// When `Some(n)`, checkpoints between full keyframes are written as
+    /// sparse deltas against the last keyframe (genomes change sparsely
+    /// between generations); a fresh keyframe is forced every `n`
+    /// snapshots. `None` (the default) writes every checkpoint in full.
+    pub delta_checkpoints: Option<usize>,
 }
 
 impl SupervisorConfig {
     /// Checkpoints to `path` every generation with one retry per failure,
-    /// keeping only the newest checkpoint.
+    /// keeping only the newest checkpoint, every checkpoint written in
+    /// full.
     pub fn new(path: impl Into<PathBuf>) -> Self {
         SupervisorConfig {
             checkpoint_path: path.into(),
             every_generations: 1,
             max_retries: 1,
             keep_checkpoints: 1,
+            delta_checkpoints: None,
         }
     }
 
@@ -398,6 +405,22 @@ impl SupervisorConfig {
     pub fn with_keep_checkpoints(mut self, keep: usize) -> Self {
         assert!(keep > 0, "must keep at least one checkpoint");
         self.keep_checkpoints = keep;
+        self
+    }
+
+    /// Enables sparse delta encoding between consecutive checkpoints
+    /// (builder style): a full keyframe is written every `keyframe_every`
+    /// snapshots (and whenever the stage changes), the checkpoints in
+    /// between store only the individuals that changed since the
+    /// keyframe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keyframe_every == 0`.
+    #[must_use]
+    pub fn with_delta_checkpoints(mut self, keyframe_every: usize) -> Self {
+        assert!(keyframe_every > 0, "keyframe cadence must be at least 1");
+        self.delta_checkpoints = Some(keyframe_every);
         self
     }
 }
@@ -433,10 +456,11 @@ fn rotate_checkpoints(path: &Path, keep: usize) {
     }
 }
 
-/// Removes the checkpoint at `path` and every rotation slot next to it
-/// (used once a supervised run completes).
+/// Removes the checkpoint at `path`, its delta keyframe, and every
+/// rotation slot next to it (used once a supervised run completes).
 pub fn remove_checkpoint_files(path: &Path, keep: usize) {
     let _ = fs::remove_file(path);
+    let _ = fs::remove_file(keyframe_path(path));
     for n in 1..=keep.max(8) + 8 {
         let _ = fs::remove_file(rotated_checkpoint_path(path, n));
     }
@@ -520,21 +544,69 @@ impl RunOutcome {
     }
 }
 
-/// A persisted snapshot of one GA stage of a supervised run.
+/// Which MOEA backend produced a checkpointed state. Stage resumes are
+/// validated against the campaign plan's algorithm, so an NSGA-II
+/// snapshot can never be fed into a SPEA2 stage (or vice versa).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlgorithmTag {
+    /// NSGA-II ([`clre_moea::Nsga2`]).
+    Nsga2,
+    /// SPEA2 ([`clre_moea::Spea2`]).
+    Spea2,
+}
+
+impl AlgorithmTag {
+    /// The checkpoint-format token of this tag.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AlgorithmTag::Nsga2 => "nsga2",
+            AlgorithmTag::Spea2 => "spea2",
+        }
+    }
+
+    fn parse(tok: &str) -> Result<Self, DseError> {
+        match tok {
+            "nsga2" => Ok(AlgorithmTag::Nsga2),
+            "spea2" => Ok(AlgorithmTag::Spea2),
+            other => Err(bad(format!("unknown algorithm tag {other:?}"))),
+        }
+    }
+}
+
+/// The persisted record of one finished campaign stage: everything a
+/// resume needs to reconstitute the stage's front (the metrics are a pure
+/// function of the genomes) and to seed later stages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompletedStage {
+    /// The stage label (whitespace-free, e.g. `"proposed/pf-stage"`).
+    pub label: String,
+    /// Fitness evaluations the stage spent.
+    pub evaluations: usize,
+    /// The stage's approximation-set genomes, in member order.
+    pub genomes: Vec<Genome>,
+}
+
+/// A persisted snapshot of one GA stage of a supervised campaign.
 ///
 /// The `method`/`stage`/budget fields echo the run configuration and are
 /// validated on resume — resuming a checkpoint against a different
-/// problem or budget is a [`DseError::Checkpoint`], not silent garbage.
+/// problem, budget, or algorithm is a [`DseError::Checkpoint`], not
+/// silent garbage. Earlier finished stages travel along as
+/// [`CompletedStage`] records, so a multi-stage campaign resumes without
+/// re-running anything that already completed.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Checkpoint {
-    /// Method label (`"fcCLR"`, `"pfCLR"`, `"proposed"`).
+    /// Campaign plan name (`"fcCLR"`, `"proposed"`, `"Agnostic"`, …).
     pub method: String,
-    /// Stage index within the method (0-based; `proposed` has stages 0
-    /// and 1).
+    /// MOEA backend of the interrupted stage.
+    pub algorithm: AlgorithmTag,
+    /// Stage index within the campaign (0-based).
     pub stage: u32,
     /// Population size of the interrupted stage.
     pub population_size: usize,
-    /// Generation budget of the interrupted stage.
+    /// Generation budget of the campaign ([`StageBudget::generations`]).
+    ///
+    /// [`StageBudget::generations`]: crate::methodology::StageBudget
     pub generations: usize,
     /// User-level RNG seed of the run ([`StageBudget::seed`]).
     ///
@@ -542,18 +614,16 @@ pub struct Checkpoint {
     pub seed: u64,
     /// System-level objective count.
     pub objective_count: usize,
-    /// Fitness evaluations spent by *earlier* stages of the run.
-    pub prior_evaluations: usize,
-    /// Auxiliary genomes carried between stages (the pf-stage front that
-    /// seeds and reconstitutes stage 1 of `proposed`).
-    pub aux_genomes: Vec<Genome>,
+    /// Stages of this campaign that already ran to completion.
+    pub completed: Vec<CompletedStage>,
     /// The GA state at the last completed generation boundary.
-    pub state: Nsga2State<Genome>,
+    pub state: EvoSnapshot<Genome>,
     /// Cumulative run health up to this snapshot.
     pub health: RunHealth,
 }
 
-const CHECKPOINT_HEADER: &str = "clrearly-checkpoint v1";
+const CHECKPOINT_HEADER: &str = "clrearly-checkpoint v2";
+const DELTA_HEADER: &str = "clrearly-delta v1";
 
 fn f64_hex(v: f64) -> String {
     format!("{:016x}", v.to_bits())
@@ -609,6 +679,133 @@ fn parse_genome(tokens: &mut std::str::SplitWhitespace<'_>) -> Result<Genome, Ds
     Ok(genome)
 }
 
+fn encode_health(out: &mut String, h: &RunHealth) {
+    let _ = writeln!(
+        out,
+        "health {} {} {} {} {} {} {}",
+        h.panics_isolated,
+        h.errors_isolated,
+        h.retries,
+        h.quarantined,
+        h.degraded_analyses,
+        h.checkpoints_written,
+        h.resumed_from_generation
+            .map_or_else(|| "-".to_owned(), |g| g.to_string()),
+    );
+}
+
+fn parse_health(line: &str) -> Result<RunHealth, DseError> {
+    let mut toks = line.split_whitespace();
+    let mut next_count = |what: &str| -> Result<usize, DseError> {
+        parse_usize(
+            toks.next()
+                .ok_or_else(|| bad(format!("health missing {what}")))?,
+        )
+    };
+    Ok(RunHealth {
+        panics_isolated: next_count("panics")?,
+        errors_isolated: next_count("errors")?,
+        retries: next_count("retries")?,
+        quarantined: next_count("quarantined")?,
+        degraded_analyses: next_count("degraded")?,
+        checkpoints_written: next_count("checkpoints")?,
+        resumed_from_generation: match toks.next() {
+            Some("-") | None => None,
+            Some(tok) => Some(parse_usize(tok)?),
+        },
+    })
+}
+
+/// Encodes one individual as the whitespace-separated
+/// `<violation-hex> <arity> <objective-hex…> <genome>` payload (no
+/// leading keyword, no newline).
+fn encode_individual(out: &mut String, ind: &Individual<Genome>) {
+    let _ = write!(out, "{} {}", f64_hex(ind.violation), ind.objectives.len());
+    for &o in &ind.objectives {
+        let _ = write!(out, " {}", f64_hex(o));
+    }
+    out.push(' ');
+    encode_genome(out, &ind.genome);
+}
+
+fn individual_line(ind: &Individual<Genome>) -> String {
+    let mut out = String::new();
+    encode_individual(&mut out, ind);
+    out
+}
+
+fn parse_individual(
+    toks: &mut std::str::SplitWhitespace<'_>,
+) -> Result<Individual<Genome>, DseError> {
+    let violation = parse_f64(
+        toks.next()
+            .ok_or_else(|| bad("individual missing violation"))?,
+    )?;
+    let obj_count = parse_usize(toks.next().ok_or_else(|| bad("individual missing arity"))?)?;
+    let mut objectives = Vec::with_capacity(obj_count);
+    for _ in 0..obj_count {
+        objectives.push(parse_f64(
+            toks.next().ok_or_else(|| bad("truncated objectives"))?,
+        )?);
+    }
+    let genome = parse_genome(toks)?;
+    if toks.next().is_some() {
+        return Err(bad("trailing tokens after individual"));
+    }
+    Ok(Individual {
+        genome,
+        objectives,
+        violation,
+    })
+}
+
+fn parse_rng_words(line: &str) -> Result<[u64; 4], DseError> {
+    let mut rng_state = [0u64; 4];
+    let mut toks = line.split_whitespace();
+    for w in &mut rng_state {
+        let tok = toks.next().ok_or_else(|| bad("truncated rng state"))?;
+        *w =
+            u64::from_str_radix(tok, 16).map_err(|_| bad(format!("malformed rng word {tok:?}")))?;
+    }
+    Ok(rng_state)
+}
+
+/// Atomically writes `text` to `path` via a sibling `<path>.tmp` +
+/// rename, so a crash mid-write never corrupts an existing good file.
+fn atomic_write(path: &Path, text: &str) -> Result<(), DseError> {
+    let mut os = path.as_os_str().to_owned();
+    os.push(".tmp");
+    let tmp = PathBuf::from(os);
+    fs::write(&tmp, text).map_err(|e| bad(format!("writing {}: {e}", tmp.display())))?;
+    fs::rename(&tmp, path).map_err(|e| bad(format!("installing {}: {e}", path.display())))
+}
+
+/// 64-bit FNV-1a digest, used to pin a delta checkpoint to the exact
+/// keyframe bytes it was encoded against.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The delta keyframe location for the checkpoint at `path`:
+/// `<path>.key`, with any numeric rotation suffix (`<path>.3`) stripped
+/// first so rotated delta slots resolve to the same keyframe as the live
+/// checkpoint.
+pub fn keyframe_path(path: &Path) -> PathBuf {
+    let s = path.as_os_str().to_string_lossy();
+    let base = match s.rfind('.') {
+        Some(i) if !s[i + 1..].is_empty() && s[i + 1..].bytes().all(|b| b.is_ascii_digit()) => {
+            &s[..i]
+        }
+        _ => s.as_ref(),
+    };
+    PathBuf::from(format!("{base}.key"))
+}
+
 impl Checkpoint {
     /// Serializes to the versioned plain-text format. All floats are
     /// stored as IEEE-754 bit patterns, so encode → decode round-trips
@@ -617,30 +814,31 @@ impl Checkpoint {
         let mut out = String::new();
         let _ = writeln!(out, "{CHECKPOINT_HEADER}");
         let _ = writeln!(out, "method {}", self.method);
+        let _ = writeln!(out, "algorithm {}", self.algorithm.as_str());
         let _ = writeln!(out, "stage {}", self.stage);
         let _ = writeln!(out, "population-size {}", self.population_size);
         let _ = writeln!(out, "generations {}", self.generations);
         let _ = writeln!(out, "seed {}", self.seed);
         let _ = writeln!(out, "objectives {}", self.objective_count);
-        let _ = writeln!(out, "prior-evaluations {}", self.prior_evaluations);
-        let h = &self.health;
-        let _ = writeln!(
-            out,
-            "health {} {} {} {} {} {} {}",
-            h.panics_isolated,
-            h.errors_isolated,
-            h.retries,
-            h.quarantined,
-            h.degraded_analyses,
-            h.checkpoints_written,
-            h.resumed_from_generation
-                .map_or_else(|| "-".to_owned(), |g| g.to_string()),
-        );
-        let _ = writeln!(out, "aux {}", self.aux_genomes.len());
-        for g in &self.aux_genomes {
-            out.push_str("genome ");
-            encode_genome(&mut out, g);
-            out.push('\n');
+        encode_health(&mut out, &self.health);
+        let _ = writeln!(out, "completed {}", self.completed.len());
+        for s in &self.completed {
+            debug_assert!(
+                !s.label.contains(char::is_whitespace),
+                "stage labels must be whitespace-free"
+            );
+            let _ = writeln!(
+                out,
+                "completed-stage {} {} {}",
+                s.label,
+                s.evaluations,
+                s.genomes.len()
+            );
+            for g in &s.genomes {
+                out.push_str("genome ");
+                encode_genome(&mut out, g);
+                out.push('\n');
+            }
         }
         let _ = writeln!(out, "generation {}", self.state.generation);
         let _ = writeln!(out, "evaluations {}", self.state.evaluations);
@@ -650,16 +848,16 @@ impl Checkpoint {
             "rng {:016x} {:016x} {:016x} {:016x}",
             w[0], w[1], w[2], w[3]
         );
-        let _ = writeln!(out, "population {}", self.state.population.len());
-        for ind in &self.state.population {
-            out.push_str("individual ");
-            let _ = write!(out, "{} {}", f64_hex(ind.violation), ind.objectives.len());
-            for &o in &ind.objectives {
-                let _ = write!(out, " {}", f64_hex(o));
+        for (key, members) in [
+            ("population", &self.state.population),
+            ("archive", &self.state.archive),
+        ] {
+            let _ = writeln!(out, "{key} {}", members.len());
+            for ind in members {
+                out.push_str("individual ");
+                encode_individual(&mut out, ind);
+                out.push('\n');
             }
-            out.push(' ');
-            encode_genome(&mut out, &ind.genome);
-            out.push('\n');
         }
         out
     }
@@ -672,7 +870,7 @@ impl Checkpoint {
     pub fn decode(text: &str) -> Result<Checkpoint, DseError> {
         let mut lines = text.lines();
         if lines.next() != Some(CHECKPOINT_HEADER) {
-            return Err(bad("not a clrearly v1 checkpoint"));
+            return Err(bad("not a clrearly v2 checkpoint"));
         }
         // Fixed-order `key value...` lines; keyed parsing keeps mistakes
         // loud instead of positional.
@@ -684,96 +882,81 @@ impl Checkpoint {
                 .ok_or_else(|| bad(format!("expected `{key} …`, found {line:?}")))
         };
         let method = field("method")?;
+        let algorithm = AlgorithmTag::parse(&field("algorithm")?)?;
         let stage =
             u32::try_from(parse_u64(&field("stage")?)?).map_err(|_| bad("stage index overflow"))?;
         let population_size = parse_usize(&field("population-size")?)?;
         let generations = parse_usize(&field("generations")?)?;
         let seed = parse_u64(&field("seed")?)?;
         let objective_count = parse_usize(&field("objectives")?)?;
-        let prior_evaluations = parse_usize(&field("prior-evaluations")?)?;
+        let health = parse_health(&field("health")?)?;
 
-        let health_line = field("health")?;
-        let mut toks = health_line.split_whitespace();
-        let mut next_count = |what: &str| -> Result<usize, DseError> {
-            parse_usize(
-                toks.next()
-                    .ok_or_else(|| bad(format!("health missing {what}")))?,
-            )
-        };
-        let health = RunHealth {
-            panics_isolated: next_count("panics")?,
-            errors_isolated: next_count("errors")?,
-            retries: next_count("retries")?,
-            quarantined: next_count("quarantined")?,
-            degraded_analyses: next_count("degraded")?,
-            checkpoints_written: next_count("checkpoints")?,
-            resumed_from_generation: match toks.next() {
-                Some("-") | None => None,
-                Some(tok) => Some(parse_usize(tok)?),
-            },
-        };
-
-        let aux_count = parse_usize(&field("aux")?)?;
-        let mut aux_genomes = Vec::with_capacity(aux_count);
-        for _ in 0..aux_count {
-            let line = field("genome")?;
+        let completed_count = parse_usize(&field("completed")?)?;
+        let mut completed = Vec::with_capacity(completed_count);
+        for _ in 0..completed_count {
+            let line = field("completed-stage")?;
             let mut toks = line.split_whitespace();
-            aux_genomes.push(parse_genome(&mut toks)?);
+            let label = toks
+                .next()
+                .ok_or_else(|| bad("completed stage missing label"))?
+                .to_owned();
+            let evaluations = parse_usize(
+                toks.next()
+                    .ok_or_else(|| bad("stage missing evaluations"))?,
+            )?;
+            let genome_count = parse_usize(
+                toks.next()
+                    .ok_or_else(|| bad("stage missing genome count"))?,
+            )?;
             if toks.next().is_some() {
-                return Err(bad("trailing tokens after aux genome"));
+                return Err(bad("trailing tokens after completed stage"));
             }
+            let mut genomes = Vec::with_capacity(genome_count);
+            for _ in 0..genome_count {
+                let line = field("genome")?;
+                let mut toks = line.split_whitespace();
+                genomes.push(parse_genome(&mut toks)?);
+                if toks.next().is_some() {
+                    return Err(bad("trailing tokens after stage genome"));
+                }
+            }
+            completed.push(CompletedStage {
+                label,
+                evaluations,
+                genomes,
+            });
         }
 
         let generation = parse_usize(&field("generation")?)?;
         let evaluations = parse_usize(&field("evaluations")?)?;
-        let rng_line = field("rng")?;
-        let mut rng_state = [0u64; 4];
-        let mut toks = rng_line.split_whitespace();
-        for w in &mut rng_state {
-            let tok = toks.next().ok_or_else(|| bad("truncated rng state"))?;
-            *w = u64::from_str_radix(tok, 16)
-                .map_err(|_| bad(format!("malformed rng word {tok:?}")))?;
-        }
+        let rng_state = parse_rng_words(&field("rng")?)?;
 
-        let pop_count = parse_usize(&field("population")?)?;
-        let mut population = Vec::with_capacity(pop_count);
-        for _ in 0..pop_count {
-            let line = field("individual")?;
-            let mut toks = line.split_whitespace();
-            let violation = parse_f64(
-                toks.next()
-                    .ok_or_else(|| bad("individual missing violation"))?,
-            )?;
-            let obj_count =
-                parse_usize(toks.next().ok_or_else(|| bad("individual missing arity"))?)?;
-            let mut objectives = Vec::with_capacity(obj_count);
-            for _ in 0..obj_count {
-                objectives.push(parse_f64(
-                    toks.next().ok_or_else(|| bad("truncated objectives"))?,
-                )?);
+        let mut sections: Vec<Vec<Individual<Genome>>> = Vec::with_capacity(2);
+        for key in ["population", "archive"] {
+            let count = parse_usize(&field(key)?)?;
+            let mut members = Vec::with_capacity(count);
+            for _ in 0..count {
+                let line = field("individual")?;
+                let mut toks = line.split_whitespace();
+                members.push(parse_individual(&mut toks)?);
             }
-            let genome = parse_genome(&mut toks)?;
-            if toks.next().is_some() {
-                return Err(bad("trailing tokens after individual"));
-            }
-            population.push(Individual {
-                genome,
-                objectives,
-                violation,
-            });
+            sections.push(members);
         }
+        let archive = sections.pop().expect("archive section");
+        let population = sections.pop().expect("population section");
 
         Ok(Checkpoint {
             method,
+            algorithm,
             stage,
             population_size,
             generations,
             seed,
             objective_count,
-            prior_evaluations,
-            aux_genomes,
-            state: Nsga2State {
+            completed,
+            state: EvoSnapshot {
                 population,
+                archive,
                 generation,
                 evaluations,
                 rng_state,
@@ -790,10 +973,7 @@ impl Checkpoint {
     ///
     /// [`DseError::Checkpoint`] wrapping the I/O failure.
     pub fn save(&self, path: &Path) -> Result<(), DseError> {
-        let tmp = path.with_extension("tmp");
-        fs::write(&tmp, self.encode())
-            .map_err(|e| bad(format!("writing {}: {e}", tmp.display())))?;
-        fs::rename(&tmp, path).map_err(|e| bad(format!("installing {}: {e}", path.display())))
+        atomic_write(path, &self.encode())
     }
 
     /// [`Checkpoint::save`] with retention: the previous checkpoint
@@ -812,16 +992,203 @@ impl Checkpoint {
         self.save(path)
     }
 
-    /// Reads and decodes a checkpoint file.
+    /// Reads and decodes a checkpoint file. A delta checkpoint (written
+    /// by a [`CheckpointWriter`] with delta encoding enabled) is
+    /// transparently resolved against its keyframe at
+    /// [`keyframe_path`]; the keyframe's digest is verified first.
     ///
     /// # Errors
     ///
-    /// [`DseError::Checkpoint`] if the file is missing, unreadable, or
-    /// malformed.
+    /// [`DseError::Checkpoint`] if the file (or the keyframe a delta
+    /// refers to) is missing, unreadable, malformed, or fails digest
+    /// verification.
     pub fn load(path: &Path) -> Result<Checkpoint, DseError> {
         let text = fs::read_to_string(path)
             .map_err(|e| bad(format!("reading {}: {e}", path.display())))?;
-        Checkpoint::decode(&text)
+        if text.starts_with(DELTA_HEADER) {
+            let key = keyframe_path(path);
+            let base_text = fs::read_to_string(&key)
+                .map_err(|e| bad(format!("reading keyframe {}: {e}", key.display())))?;
+            let base = Checkpoint::decode(&base_text)?;
+            apply_delta(base, fnv1a64(base_text.as_bytes()), &text)
+        } else {
+            Checkpoint::decode(&text)
+        }
+    }
+}
+
+/// Encodes `cp` as a sparse delta against `base`: scalars that change
+/// every generation (generation/evaluations/RNG/health) are stored in
+/// full, population and archive members that already exist in the base
+/// (bit-identically) are stored as `keep <base-index>` references into
+/// the base's concatenated population∥archive.
+fn encode_delta(base: &Checkpoint, base_digest: u64, cp: &Checkpoint) -> String {
+    use std::collections::HashMap;
+    let mut index: HashMap<String, usize> = HashMap::new();
+    for (i, ind) in base
+        .state
+        .population
+        .iter()
+        .chain(&base.state.archive)
+        .enumerate()
+    {
+        index.entry(individual_line(ind)).or_insert(i);
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "{DELTA_HEADER}");
+    let _ = writeln!(out, "base-digest {base_digest:016x}");
+    let _ = writeln!(out, "generation {}", cp.state.generation);
+    let _ = writeln!(out, "evaluations {}", cp.state.evaluations);
+    let w = cp.state.rng_state;
+    let _ = writeln!(
+        out,
+        "rng {:016x} {:016x} {:016x} {:016x}",
+        w[0], w[1], w[2], w[3]
+    );
+    encode_health(&mut out, &cp.health);
+    for (key, members) in [
+        ("population", &cp.state.population),
+        ("archive", &cp.state.archive),
+    ] {
+        let _ = writeln!(out, "{key} {}", members.len());
+        for ind in members {
+            let line = individual_line(ind);
+            match index.get(&line) {
+                Some(&i) => {
+                    let _ = writeln!(out, "keep {i}");
+                }
+                None => {
+                    let _ = writeln!(out, "individual {line}");
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Resolves a delta checkpoint against its decoded keyframe.
+/// `base_digest` is the FNV-1a digest of the keyframe's raw bytes and
+/// must match the digest recorded in the delta.
+fn apply_delta(base: Checkpoint, base_digest: u64, text: &str) -> Result<Checkpoint, DseError> {
+    fn field(lines: &mut std::str::Lines<'_>, key: &str) -> Result<String, DseError> {
+        let line = lines.next().ok_or_else(|| bad(format!("missing {key}")))?;
+        line.strip_prefix(key)
+            .and_then(|rest| rest.strip_prefix(' '))
+            .map(str::to_owned)
+            .ok_or_else(|| bad(format!("expected `{key} …`, found {line:?}")))
+    }
+    let mut lines = text.lines();
+    if lines.next() != Some(DELTA_HEADER) {
+        return Err(bad("not a clrearly delta checkpoint"));
+    }
+    let recorded = u64::from_str_radix(&field(&mut lines, "base-digest")?, 16)
+        .map_err(|_| bad("malformed base digest"))?;
+    if recorded != base_digest {
+        return Err(bad(format!(
+            "delta was encoded against a different keyframe \
+             (digest {recorded:016x}, keyframe {base_digest:016x})"
+        )));
+    }
+    let generation = parse_usize(&field(&mut lines, "generation")?)?;
+    let evaluations = parse_usize(&field(&mut lines, "evaluations")?)?;
+    let rng_state = parse_rng_words(&field(&mut lines, "rng")?)?;
+    let health = parse_health(&field(&mut lines, "health")?)?;
+
+    let pool: Vec<&Individual<Genome>> = base
+        .state
+        .population
+        .iter()
+        .chain(&base.state.archive)
+        .collect();
+    let mut sections: Vec<Vec<Individual<Genome>>> = Vec::with_capacity(2);
+    for key in ["population", "archive"] {
+        let count = parse_usize(&field(&mut lines, key)?)?;
+        let mut members = Vec::with_capacity(count);
+        for _ in 0..count {
+            let line = lines.next().ok_or_else(|| bad("truncated delta"))?;
+            if let Some(rest) = line.strip_prefix("keep ") {
+                let i = parse_usize(rest.trim())?;
+                let ind = pool
+                    .get(i)
+                    .ok_or_else(|| bad(format!("delta keep index {i} out of range")))?;
+                members.push((*ind).clone());
+            } else if let Some(rest) = line.strip_prefix("individual ") {
+                let mut toks = rest.split_whitespace();
+                members.push(parse_individual(&mut toks)?);
+            } else {
+                return Err(bad(format!("expected `keep`/`individual`, found {line:?}")));
+            }
+        }
+        sections.push(members);
+    }
+    let archive = sections.pop().expect("archive section");
+    let population = sections.pop().expect("population section");
+
+    Ok(Checkpoint {
+        state: EvoSnapshot {
+            population,
+            archive,
+            generation,
+            evaluations,
+            rng_state,
+        },
+        health,
+        ..base
+    })
+}
+
+/// Stateful checkpoint persister used by the supervised campaign driver:
+/// with delta encoding off it is a thin wrapper over
+/// [`Checkpoint::save_rotated`]; with delta encoding on it writes a full
+/// keyframe (at the checkpoint path *and* the [`keyframe_path`] sidecar)
+/// every `keyframe_every` snapshots and digest-pinned sparse deltas in
+/// between. Create one writer per supervised stage — the first save of a
+/// stage is always a keyframe.
+#[derive(Debug)]
+pub struct CheckpointWriter {
+    keyframe_every: Option<usize>,
+    since_keyframe: usize,
+    base: Option<(Checkpoint, u64)>,
+}
+
+impl CheckpointWriter {
+    /// A writer following `config`'s delta policy.
+    pub fn new(config: &SupervisorConfig) -> Self {
+        CheckpointWriter {
+            keyframe_every: config.delta_checkpoints,
+            since_keyframe: 0,
+            base: None,
+        }
+    }
+
+    /// Persists `cp` at `path` (with rotation retention `keep`), as a
+    /// keyframe or delta per the writer's policy.
+    ///
+    /// # Errors
+    ///
+    /// [`DseError::Checkpoint`] wrapping the underlying I/O failure.
+    pub fn save(&mut self, cp: &Checkpoint, path: &Path, keep: usize) -> Result<(), DseError> {
+        let Some(keyframe_every) = self.keyframe_every else {
+            return cp.save_rotated(path, keep);
+        };
+        let need_keyframe = match &self.base {
+            None => true,
+            Some(_) => self.since_keyframe >= keyframe_every,
+        };
+        if need_keyframe {
+            cp.save_rotated(path, keep)?;
+            let text = cp.encode();
+            atomic_write(&keyframe_path(path), &text)?;
+            self.base = Some((cp.clone(), fnv1a64(text.as_bytes())));
+            self.since_keyframe = 1;
+        } else {
+            let (base, digest) = self.base.as_ref().expect("keyframe base");
+            let delta = encode_delta(base, *digest, cp);
+            rotate_checkpoints(path, keep);
+            atomic_write(path, &delta)?;
+            self.since_keyframe += 1;
+        }
+        Ok(())
     }
 }
 
@@ -841,14 +1208,18 @@ mod tests {
     fn sample_checkpoint() -> Checkpoint {
         Checkpoint {
             method: "proposed".to_owned(),
+            algorithm: AlgorithmTag::Nsga2,
             stage: 1,
             population_size: 2,
             generations: 8,
             seed: 42,
             objective_count: 2,
-            prior_evaluations: 144,
-            aux_genomes: vec![vec![gene(0, 1, 2), gene(1, 0, 0)]],
-            state: Nsga2State {
+            completed: vec![CompletedStage {
+                label: "proposed/pf-stage".to_owned(),
+                evaluations: 144,
+                genomes: vec![vec![gene(0, 1, 2), gene(1, 0, 0)]],
+            }],
+            state: EvoSnapshot {
                 population: vec![
                     Individual {
                         genome: vec![gene(1, 2, 3), gene(0, 0, 1)],
@@ -861,6 +1232,11 @@ mod tests {
                         violation: QUARANTINE_OBJECTIVE,
                     },
                 ],
+                archive: vec![Individual {
+                    genome: vec![gene(1, 0, 4), gene(0, 2, 2)],
+                    objectives: vec![2.25, 0.5],
+                    violation: 0.0,
+                }],
                 generation: 5,
                 evaluations: 112,
                 rng_state: [u64::MAX, 1, 0x0123_4567_89ab_cdef, 7],
@@ -890,8 +1266,18 @@ mod tests {
     fn checkpoint_roundtrips_none_resume_marker() {
         let mut cp = sample_checkpoint();
         cp.health.resumed_from_generation = None;
-        cp.aux_genomes.clear();
+        cp.completed.clear();
+        cp.state.archive.clear();
         assert_eq!(Checkpoint::decode(&cp.encode()).unwrap(), cp);
+    }
+
+    #[test]
+    fn checkpoint_roundtrips_spea2_tag() {
+        let mut cp = sample_checkpoint();
+        cp.algorithm = AlgorithmTag::Spea2;
+        assert_eq!(Checkpoint::decode(&cp.encode()).unwrap(), cp);
+        let corrupt = cp.encode().replace("algorithm spea2", "algorithm cmaes");
+        assert!(Checkpoint::decode(&corrupt).is_err());
     }
 
     #[test]
@@ -923,6 +1309,78 @@ mod tests {
             Checkpoint::load(&path),
             Err(DseError::Checkpoint { .. })
         ));
+    }
+
+    #[test]
+    fn keyframe_path_strips_rotation_suffix() {
+        let live = Path::new("/tmp/run.ckpt");
+        assert_eq!(keyframe_path(live), Path::new("/tmp/run.ckpt.key"));
+        assert_eq!(
+            keyframe_path(&rotated_checkpoint_path(live, 3)),
+            Path::new("/tmp/run.ckpt.key"),
+            "rotated slots share the live checkpoint's keyframe"
+        );
+    }
+
+    #[test]
+    fn delta_checkpoints_roundtrip_through_load() {
+        let dir = std::env::temp_dir().join(format!("clre-delta-test-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.ckpt");
+        let config = SupervisorConfig::new(&path).with_delta_checkpoints(3);
+        let mut writer = CheckpointWriter::new(&config);
+
+        let mut cp = sample_checkpoint();
+        for generation in 5..11 {
+            cp.state.generation = generation;
+            cp.state.evaluations += 16;
+            cp.health.checkpoints_written += 1;
+            // Mutate one member so deltas are genuinely sparse, not empty.
+            cp.state.population[0].objectives[0] += 1.0;
+            writer.save(&cp, &path, 1).unwrap();
+            let text = fs::read_to_string(&path).unwrap();
+            let expect_keyframe = (generation - 5) % 3 == 0;
+            assert_eq!(
+                text.starts_with(CHECKPOINT_HEADER),
+                expect_keyframe,
+                "generation {generation}"
+            );
+            if !expect_keyframe {
+                assert!(text.starts_with(DELTA_HEADER));
+                assert!(text.contains("\nkeep "), "unchanged members are references");
+            }
+            assert_eq!(Checkpoint::load(&path).unwrap(), cp, "gen {generation}");
+        }
+
+        // A delta whose keyframe has been replaced must fail digest
+        // verification rather than resume from mismatched state.
+        let final_text = fs::read_to_string(&path).unwrap();
+        assert!(final_text.starts_with(DELTA_HEADER));
+        cp.state.generation = 99;
+        atomic_write(&keyframe_path(&path), &cp.encode()).unwrap();
+        assert!(Checkpoint::load(&path).is_err());
+
+        remove_checkpoint_files(&path, 1);
+        assert!(!keyframe_path(&path).exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn delta_writer_disabled_writes_full_checkpoints() {
+        let dir = std::env::temp_dir().join(format!("clre-delta-off-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.ckpt");
+        let config = SupervisorConfig::new(&path);
+        let mut writer = CheckpointWriter::new(&config);
+        let cp = sample_checkpoint();
+        for _ in 0..3 {
+            writer.save(&cp, &path, 1).unwrap();
+            assert!(fs::read_to_string(&path)
+                .unwrap()
+                .starts_with(CHECKPOINT_HEADER));
+        }
+        assert!(!keyframe_path(&path).exists());
+        fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! DVFS policy, the Pareto objective set (Table IV's sets I–VI) and an
 //! optional implicit-masking override (Fig. 6(b)).
 
-use clre_markov::clr::{analyze_robust, ClrChainParams};
+use clre_markov::clr::{analyze_robust, ClrChainParams, RobustAnalysis};
 use clre_model::qos::{ObjectiveSet, TaskMetrics};
 use clre_model::reliability::ClrConfig;
 use clre_model::{BaseImpl, DvfsMode, DvfsModeId, ImplId, PeType, Platform, TaskGraph, TaskTypeId};
@@ -123,6 +123,10 @@ pub struct TdseHealth {
     pub candidates_evaluated: usize,
     /// Evaluations answered by the degraded closed-form fallback.
     pub degraded_analyses: usize,
+    /// Evaluations where the plain solver failed and the scaled-pivoting
+    /// retry was attempted; retries that succeed keep the analysis exact
+    /// (they are *not* counted in [`TdseHealth::degraded_analyses`]).
+    pub solver_retries: usize,
 }
 
 impl TdseHealth {
@@ -130,6 +134,7 @@ impl TdseHealth {
     pub fn merge(&mut self, other: &TdseHealth) {
         self.candidates_evaluated += other.candidates_evaluated;
         self.degraded_analyses += other.degraded_analyses;
+        self.solver_retries += other.solver_retries;
     }
 }
 
@@ -175,10 +180,11 @@ pub fn evaluate_candidate(
     implicit_masking_override: Option<f64>,
 ) -> Result<TaskMetrics, DseError> {
     evaluate_candidate_robust(imp, pe_type, mode, clr, profile, implicit_masking_override)
-        .map(|(metrics, _degraded)| metrics)
+        .map(|(metrics, _robust)| metrics)
 }
 
-/// [`evaluate_candidate`] exposing whether the Markov analysis had to
+/// [`evaluate_candidate`] exposing the full [`RobustAnalysis`] verdict —
+/// whether the scaled-pivoting retry ran and whether the analysis had to
 /// degrade to the closed-form fallback (the second tuple element).
 ///
 /// # Errors
@@ -191,7 +197,7 @@ pub fn evaluate_candidate_robust(
     clr: &ClrConfig,
     profile: &ProfileModel,
     implicit_masking_override: Option<f64>,
-) -> Result<(TaskMetrics, bool), DseError> {
+) -> Result<(TaskMetrics, RobustAnalysis), DseError> {
     let op = profile.operating_point(imp.cycles(), imp.capacitance(), mode);
     let hw = clr.hw.params();
     let asw = clr.asw.params();
@@ -211,7 +217,7 @@ pub fn evaluate_candidate_robust(
             energy: r.avg_exec_time * power,
             peak_temp: temp,
         },
-        robust.degraded,
+        robust,
     ))
 }
 
@@ -323,7 +329,7 @@ pub fn candidates_for_type_with_health(
         };
         for (mode_idx, mode) in modes.iter().enumerate() {
             for clr in &config.clr_catalog {
-                let (metrics, degraded) = evaluate_candidate_robust(
+                let (metrics, robust) = evaluate_candidate_robust(
                     imp,
                     pe_type,
                     mode,
@@ -332,7 +338,8 @@ pub fn candidates_for_type_with_health(
                     config.implicit_masking_override,
                 )?;
                 health.candidates_evaluated += 1;
-                health.degraded_analyses += usize::from(degraded);
+                health.degraded_analyses += usize::from(robust.degraded);
+                health.solver_retries += usize::from(robust.retried);
                 out.push(CandidateImpl {
                     impl_id: ImplId::new(impl_idx as u32),
                     pe_type: imp.pe_type(),

@@ -140,9 +140,29 @@ impl MarkovChain {
     /// Returns [`MarkovError::NotAbsorbing`] if some transient state can
     /// never reach absorption (singular `I − Q`).
     pub fn fundamental_matrix(&self) -> Result<Matrix, MarkovError> {
+        self.fundamental_matrix_via(false)
+    }
+
+    /// [`MarkovChain::fundamental_matrix`] computed with *scaled* partial
+    /// pivoting — the more robust (and slightly costlier) factorization
+    /// used as the retry path when the plain solver fails or returns
+    /// non-finite values on badly row-scaled `I − Q` blocks.
+    ///
+    /// # Errors
+    ///
+    /// As for [`MarkovChain::fundamental_matrix`].
+    pub fn fundamental_matrix_scaled(&self) -> Result<Matrix, MarkovError> {
+        self.fundamental_matrix_via(true)
+    }
+
+    fn fundamental_matrix_via(&self, scaled: bool) -> Result<Matrix, MarkovError> {
         let q = self.q_matrix();
         let n = Matrix::identity(q.rows()).sub(&q)?;
-        Ok(n.inverse()?)
+        Ok(if scaled {
+            n.inverse_scaled()?
+        } else {
+            n.inverse()?
+        })
     }
 
     /// Expected total residence time accumulated before absorption when
@@ -154,13 +174,32 @@ impl MarkovChain {
     /// * [`MarkovError::StartIsAbsorbing`] if `start` is absorbing.
     /// * [`MarkovError::NotAbsorbing`] if absorption is not certain.
     pub fn expected_time_to_absorption(&self, start: StateId) -> Result<f64, MarkovError> {
+        self.expected_time_via(start, false)
+    }
+
+    /// [`MarkovChain::expected_time_to_absorption`] solved with scaled
+    /// partial pivoting (see
+    /// [`MarkovChain::fundamental_matrix_scaled`]).
+    ///
+    /// # Errors
+    ///
+    /// As for [`MarkovChain::expected_time_to_absorption`].
+    pub fn expected_time_to_absorption_scaled(&self, start: StateId) -> Result<f64, MarkovError> {
+        self.expected_time_via(start, true)
+    }
+
+    fn expected_time_via(&self, start: StateId, scaled: bool) -> Result<f64, MarkovError> {
         let row = self.transient_row(start)?;
         // Solve (I − Q)ᵀ is unnecessary: solve (I − Q)·t = r directly and
         // pick the entry for `start` — one LU solve instead of an inverse.
         let q = self.q_matrix();
         let a = Matrix::identity(q.rows()).sub(&q)?;
         let r: Vec<f64> = self.transient.iter().map(|&s| self.residence[s]).collect();
-        let t = a.solve(&r)?;
+        let t = if scaled {
+            a.solve_scaled(&r)?
+        } else {
+            a.solve(&r)?
+        };
         Ok(t[row])
     }
 
@@ -259,8 +298,30 @@ impl MarkovChain {
         &self,
         start: StateId,
     ) -> Result<BTreeMap<StateId, f64>, MarkovError> {
+        self.absorption_probabilities_via(start, false)
+    }
+
+    /// [`MarkovChain::absorption_probabilities`] computed through the
+    /// scaled-pivoting fundamental matrix (see
+    /// [`MarkovChain::fundamental_matrix_scaled`]).
+    ///
+    /// # Errors
+    ///
+    /// As for [`MarkovChain::absorption_probabilities`].
+    pub fn absorption_probabilities_scaled(
+        &self,
+        start: StateId,
+    ) -> Result<BTreeMap<StateId, f64>, MarkovError> {
+        self.absorption_probabilities_via(start, true)
+    }
+
+    fn absorption_probabilities_via(
+        &self,
+        start: StateId,
+        scaled: bool,
+    ) -> Result<BTreeMap<StateId, f64>, MarkovError> {
         let row = self.transient_row(start)?;
-        let n = self.fundamental_matrix()?;
+        let n = self.fundamental_matrix_via(scaled)?;
         let mut out = BTreeMap::new();
         for &abs in &self.absorbing_ids {
             // B[row, abs] = Σ_j N[row, j] · R[j, abs]

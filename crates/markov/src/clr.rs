@@ -345,20 +345,25 @@ pub fn analyze_with_intervals(
     })
 }
 
-/// Outcome of a robust analysis: the metrics plus a flag recording
-/// whether the degraded closed-form fallback produced them.
+/// Outcome of a robust analysis: the metrics plus flags recording
+/// whether the scaled-pivoting retry ran and whether the degraded
+/// closed-form fallback ultimately produced them.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RobustAnalysis {
     /// The task-level reliability metrics (exact or degraded).
     pub reliability: TaskReliability,
-    /// `true` when the matrix solver failed and the single-interval
+    /// `true` when both exact solvers failed and the single-interval
     /// closed form supplied an approximation instead.
     pub degraded: bool,
+    /// `true` when the primary solver failed and the scaled-pivoting
+    /// retry was attempted (whether or not it succeeded).
+    pub retried: bool,
 }
 
-/// Like [`analyze`], but numeric failures of the matrix solver degrade
-/// to the loop-free [`crate::closed_form`] approximation instead of
-/// aborting the caller.
+/// Like [`analyze`], but numeric failures of the matrix solver are
+/// *retried* once with row-scaled partial-pivot LU ([`analyze_scaled`])
+/// and only then degrade to the loop-free [`crate::closed_form`]
+/// approximation instead of aborting the caller.
 ///
 /// The fallback collapses the configuration to a single inter-checkpoint
 /// interval, solves it exactly, then re-adds the deterministic per-interval
@@ -366,7 +371,9 @@ pub struct RobustAnalysis {
 /// in as an independent error floor. The result is exact in the fault-free
 /// limit (`λ = 0`) and a close approximation (first-order in `λ·T`)
 /// otherwise; it is tagged `degraded: true` so callers can surface it in
-/// run health reports.
+/// run health reports. A successful retry is tagged `retried: true` with
+/// `degraded: false` — the answer is still exact, just from the more
+/// careful factorization.
 ///
 /// # Errors
 ///
@@ -375,12 +382,13 @@ pub struct RobustAnalysis {
 /// is returned only when the closed form agrees the configuration loops
 /// forever.
 pub fn analyze_robust(params: &ClrChainParams) -> Result<RobustAnalysis, MarkovError> {
-    analyze_robust_with(params, analyze)
+    analyze_robust_with(params, analyze, analyze_scaled)
 }
 
-/// [`analyze_robust`] with an injectable primary solver — the seam used
-/// by fault-injection tests to prove the fallback engages on
-/// [`MarkovError::Numeric`] / non-finite results without aborting.
+/// [`analyze_robust`] with injectable primary and retry solvers — the
+/// seam used by fault-injection tests to prove the retry and fallback
+/// engage on [`MarkovError::Numeric`] / non-finite results without
+/// aborting.
 ///
 /// # Errors
 ///
@@ -388,18 +396,33 @@ pub fn analyze_robust(params: &ClrChainParams) -> Result<RobustAnalysis, MarkovE
 pub fn analyze_robust_with(
     params: &ClrChainParams,
     primary: impl Fn(&ClrChainParams) -> Result<TaskReliability, MarkovError>,
+    retry: impl Fn(&ClrChainParams) -> Result<TaskReliability, MarkovError>,
 ) -> Result<RobustAnalysis, MarkovError> {
+    let finite = |r: &TaskReliability| r.avg_exec_time.is_finite() && r.error_prob.is_finite();
     match primary(params) {
-        Ok(r) if r.avg_exec_time.is_finite() && r.error_prob.is_finite() => Ok(RobustAnalysis {
+        Ok(r) if finite(&r) => Ok(RobustAnalysis {
             reliability: r,
             degraded: false,
+            retried: false,
         }),
-        // Non-finite metrics or a numeric/absorption failure: degrade.
+        // Non-finite metrics or a numeric/absorption failure: retry the
+        // exact solver once with scaled pivoting before approximating.
         Ok(_) | Err(MarkovError::Numeric(_)) | Err(MarkovError::NotAbsorbing) => {
-            Ok(RobustAnalysis {
-                reliability: closed_form_fallback(params)?,
-                degraded: true,
-            })
+            match retry(params) {
+                Ok(r) if finite(&r) => Ok(RobustAnalysis {
+                    reliability: r,
+                    degraded: false,
+                    retried: true,
+                }),
+                Ok(_) | Err(MarkovError::Numeric(_)) | Err(MarkovError::NotAbsorbing) => {
+                    Ok(RobustAnalysis {
+                        reliability: closed_form_fallback(params)?,
+                        degraded: true,
+                        retried: true,
+                    })
+                }
+                Err(e) => Err(e),
+            }
         }
         // Domain errors (bad probabilities, negative times, …) are the
         // caller's bug; no approximation can repair them.
@@ -444,10 +467,34 @@ fn closed_form_fallback(params: &ClrChainParams) -> Result<TaskReliability, Mark
 ///
 /// See the [crate-level example](crate).
 pub fn analyze(params: &ClrChainParams) -> Result<TaskReliability, MarkovError> {
+    analyze_via(params, false)
+}
+
+/// [`analyze`] solving both chains with row-scaled partial-pivot LU —
+/// the retry path [`analyze_robust`] attempts when the plain solver
+/// fails numerically. Slightly costlier per factorization but robust to
+/// badly row-scaled `I − Q` blocks.
+///
+/// # Errors
+///
+/// As for [`analyze`].
+pub fn analyze_scaled(params: &ClrChainParams) -> Result<TaskReliability, MarkovError> {
+    analyze_via(params, true)
+}
+
+fn analyze_via(params: &ClrChainParams, scaled: bool) -> Result<TaskReliability, MarkovError> {
     let (timing, t_start) = timing_chain(params)?;
-    let avg_exec_time = timing.expected_time_to_absorption(t_start)?;
+    let avg_exec_time = if scaled {
+        timing.expected_time_to_absorption_scaled(t_start)?
+    } else {
+        timing.expected_time_to_absorption(t_start)?
+    };
     let (func, f_start) = functional_chain(params)?;
-    let probs = func.absorption_probabilities(f_start)?;
+    let probs = if scaled {
+        func.absorption_probabilities_scaled(f_start)?
+    } else {
+        func.absorption_probabilities(f_start)?
+    };
     let error = func
         .absorbing_states()
         .into_iter()
@@ -677,6 +724,7 @@ mod tests {
         p.intervals = 2;
         let r = analyze_robust(&p).unwrap();
         assert!(!r.degraded);
+        assert!(!r.retried);
         assert_eq!(r.reliability, analyze(&p).unwrap());
     }
 
@@ -686,13 +734,14 @@ mod tests {
         p.cov_det = 0.9;
         p.m_tol = 0.97;
         p.t_det = 5.0e-6;
-        let r = analyze_robust_with(&p, |_| {
+        let fail = |_: &ClrChainParams| -> Result<TaskReliability, MarkovError> {
             Err(MarkovError::Numeric(clre_num::NumError::Singular {
                 pivot: 0,
             }))
-        })
-        .unwrap();
+        };
+        let r = analyze_robust_with(&p, fail, fail).unwrap();
         assert!(r.degraded);
+        assert!(r.retried);
         // Single interval: fallback is the exact closed form.
         let exact = analyze(&p).unwrap();
         assert!((r.reliability.avg_exec_time - exact.avg_exec_time).abs() < 1e-12);
@@ -702,14 +751,57 @@ mod tests {
     #[test]
     fn robust_degrades_on_nonfinite_metrics() {
         let p = base();
-        let r = analyze_robust_with(&p, |q| {
+        let poison = |q: &ClrChainParams| {
             let mut m = analyze(q)?;
             m.avg_exec_time = f64::NAN;
             Ok(m)
-        })
-        .unwrap();
+        };
+        let r = analyze_robust_with(&p, poison, poison).unwrap();
         assert!(r.degraded);
+        assert!(r.retried);
         assert!(r.reliability.avg_exec_time.is_finite());
+    }
+
+    #[test]
+    fn scaled_retry_rescues_failed_primary_without_degrading() {
+        let mut p = base();
+        p.m_hw = 0.6;
+        p.intervals = 3;
+        p.cov_det = 0.9;
+        p.t_chk = 2.0e-6;
+        let r = analyze_robust_with(
+            &p,
+            |_| {
+                Err(MarkovError::Numeric(clre_num::NumError::Singular {
+                    pivot: 1,
+                }))
+            },
+            analyze_scaled,
+        )
+        .unwrap();
+        assert!(!r.degraded, "successful retry must not be tagged degraded");
+        assert!(r.retried);
+        // The rescued answer is the exact solver's, not the closed form's.
+        let exact = analyze(&p).unwrap();
+        assert!((r.reliability.avg_exec_time - exact.avg_exec_time).abs() < 1e-12);
+        assert!((r.reliability.error_prob - exact.error_prob).abs() < 1e-12);
+    }
+
+    #[test]
+    fn analyze_scaled_matches_plain_analysis() {
+        let mut p = base();
+        p.m_hw = 0.8;
+        p.cov_det = 0.95;
+        p.m_tol = 0.98;
+        p.intervals = 4;
+        p.t_det = 5.0e-6;
+        p.t_chk = 3.0e-6;
+        p.p_chk_err = 0.01;
+        let plain = analyze(&p).unwrap();
+        let scaled = analyze_scaled(&p).unwrap();
+        assert!((plain.avg_exec_time - scaled.avg_exec_time).abs() / plain.avg_exec_time < 1e-12);
+        assert!((plain.error_prob - scaled.error_prob).abs() < 1e-12);
+        assert_eq!(plain.min_exec_time, scaled.min_exec_time);
     }
 
     #[test]
@@ -721,10 +813,10 @@ mod tests {
         p.t_det = 5.0e-6;
         p.t_chk = 3.0e-6;
         let exact = analyze(&p).unwrap();
-        let degraded = analyze_robust_with(&p, |_| {
+        let fail = |_: &ClrChainParams| -> Result<TaskReliability, MarkovError> {
             Err(MarkovError::Numeric(clre_num::NumError::RaggedRows))
-        })
-        .unwrap();
+        };
+        let degraded = analyze_robust_with(&p, fail, fail).unwrap();
         assert!(degraded.degraded);
         assert!((degraded.reliability.avg_exec_time - exact.avg_exec_time).abs() < 1e-15);
         assert_eq!(degraded.reliability.error_prob, exact.error_prob);
@@ -743,7 +835,10 @@ mod tests {
         p.p_chk_err = 0.01;
         p.t_chk = 2.0e-6;
         let exact = analyze(&p).unwrap();
-        let degraded = analyze_robust_with(&p, |_| Err(MarkovError::NotAbsorbing)).unwrap();
+        let fail = |_: &ClrChainParams| -> Result<TaskReliability, MarkovError> {
+            Err(MarkovError::NotAbsorbing)
+        };
+        let degraded = analyze_robust_with(&p, fail, fail).unwrap();
         assert!(degraded.degraded);
         let rel = (degraded.reliability.error_prob - exact.error_prob).abs() / exact.error_prob;
         assert!(rel < 1e-2, "relative error {rel}");

@@ -1,0 +1,344 @@
+//! An algorithm-agnostic view of a resumable evolutionary run.
+//!
+//! [`Nsga2`](crate::Nsga2) and [`Spea2`](crate::Spea2) expose the same
+//! step-wise shape — `init_state` / `step` / `finalize` plus the `_with`
+//! parallel variants — but as unrelated inherent methods, which forced
+//! every supervisor (checkpointing, telemetry, stage graphs) to be
+//! written twice. [`EvolutionState`] abstracts that shape: a driver
+//! written against the trait runs either backend, and both serialize
+//! through the same [`EvoSnapshot`] so checkpoint/resume works for SPEA2
+//! exactly as it does for NSGA-II.
+//!
+//! The trait is generic over the *algorithm* type `A` (not the genome):
+//! `Nsga2State<G>` implements `EvolutionState<Nsga2<P, V>>` and
+//! `Spea2State<G>` implements `EvolutionState<Spea2<P, V>>`, which keeps
+//! every type parameter constrained and lets one state type drive
+//! different problem wrappings.
+
+use crate::{Individual, Nsga2, Nsga2State, Problem, Spea2, Spea2State, Variation};
+use clre_exec::Executor;
+
+/// An algorithm-neutral serializable snapshot of a mid-run state.
+///
+/// NSGA-II has no external archive, so its snapshots carry an empty
+/// `archive`; SPEA2 uses both vectors. The RNG words, generation and
+/// evaluation counters round-trip exactly, so
+/// `S::restore(state.snapshot())` resumes bit-identically for either
+/// backend.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvoSnapshot<G> {
+    /// The current evaluated working population.
+    pub population: Vec<Individual<G>>,
+    /// The external archive (always empty for NSGA-II).
+    pub archive: Vec<Individual<G>>,
+    /// Generations completed so far.
+    pub generation: usize,
+    /// Fitness evaluations spent so far.
+    pub evaluations: usize,
+    /// Raw xoshiro state words at the last generation boundary.
+    pub rng_state: [u64; 4],
+}
+
+/// The algorithm-neutral outcome of a finished run: the approximation
+/// set (NSGA-II's rank-0 front in population order, SPEA2's final
+/// archive) and the total evaluation count.
+#[derive(Debug, Clone)]
+pub struct EvoOutcome<G> {
+    /// The members of the approximation set.
+    pub members: Vec<Individual<G>>,
+    /// Total fitness evaluations performed.
+    pub evaluations: usize,
+}
+
+/// A resumable evolutionary state driven by algorithm `A`.
+///
+/// Laws shared with the inherent APIs (and tested below): `init` +
+/// repeated `step` until it returns `false` + `finalize` equals the
+/// algorithm's one-shot `run`; `step` and `step_with` advance the state
+/// identically for any worker count; `restore(snapshot())` is the
+/// identity.
+pub trait EvolutionState<A>: Clone + Sized {
+    /// The genome type evolved by `A`.
+    type Genome: Clone;
+
+    /// Evaluates the initial population serially.
+    fn init(alg: &A) -> Self;
+
+    /// Evaluates the initial population through `exec` (trace step 0).
+    fn init_with(alg: &A, exec: &Executor) -> Self;
+
+    /// Advances one generation serially. Returns `false` (leaving the
+    /// state untouched) once the configured generation count is reached.
+    fn step(&mut self, alg: &A) -> bool;
+
+    /// [`EvolutionState::step`] with offspring evaluation fanned out
+    /// through `exec`; breeding stays on the calling thread so the RNG
+    /// stream is worker-count-invariant.
+    fn step_with(&mut self, alg: &A, exec: &Executor) -> bool;
+
+    /// Turns the state into the run outcome.
+    fn finalize(self, alg: &A) -> EvoOutcome<Self::Genome>;
+
+    /// Captures the state as an algorithm-neutral snapshot.
+    fn snapshot(&self) -> EvoSnapshot<Self::Genome>;
+
+    /// Rebuilds the state from a snapshot produced by
+    /// [`EvolutionState::snapshot`].
+    fn restore(snapshot: EvoSnapshot<Self::Genome>) -> Self;
+
+    /// Generations completed so far.
+    fn generation(&self) -> usize;
+
+    /// Fitness evaluations spent so far.
+    fn evaluations(&self) -> usize;
+}
+
+impl<P, V> EvolutionState<Nsga2<P, V>> for Nsga2State<P::Genome>
+where
+    P: Problem + Sync,
+    P::Genome: Clone + Send + Sync,
+    V: Variation<P::Genome> + Sync,
+{
+    type Genome = P::Genome;
+
+    fn init(alg: &Nsga2<P, V>) -> Self {
+        alg.init_state()
+    }
+
+    fn init_with(alg: &Nsga2<P, V>, exec: &Executor) -> Self {
+        alg.init_state_with(exec)
+    }
+
+    fn step(&mut self, alg: &Nsga2<P, V>) -> bool {
+        alg.step(self)
+    }
+
+    fn step_with(&mut self, alg: &Nsga2<P, V>, exec: &Executor) -> bool {
+        alg.step_with(self, exec)
+    }
+
+    fn finalize(self, alg: &Nsga2<P, V>) -> EvoOutcome<P::Genome> {
+        let result = alg.finalize(self);
+        let evaluations = result.evaluations;
+        EvoOutcome {
+            members: result.into_front(),
+            evaluations,
+        }
+    }
+
+    fn snapshot(&self) -> EvoSnapshot<P::Genome> {
+        EvoSnapshot {
+            population: self.population.clone(),
+            archive: Vec::new(),
+            generation: self.generation,
+            evaluations: self.evaluations,
+            rng_state: self.rng_state,
+        }
+    }
+
+    fn restore(snapshot: EvoSnapshot<P::Genome>) -> Self {
+        debug_assert!(
+            snapshot.archive.is_empty(),
+            "NSGA-II snapshots carry no archive"
+        );
+        Nsga2State {
+            population: snapshot.population,
+            generation: snapshot.generation,
+            evaluations: snapshot.evaluations,
+            rng_state: snapshot.rng_state,
+        }
+    }
+
+    fn generation(&self) -> usize {
+        self.generation
+    }
+
+    fn evaluations(&self) -> usize {
+        self.evaluations
+    }
+}
+
+impl<P, V> EvolutionState<Spea2<P, V>> for Spea2State<P::Genome>
+where
+    P: Problem + Sync,
+    P::Genome: Clone + Send + Sync,
+    V: Variation<P::Genome> + Sync,
+{
+    type Genome = P::Genome;
+
+    fn init(alg: &Spea2<P, V>) -> Self {
+        alg.init_state()
+    }
+
+    fn init_with(alg: &Spea2<P, V>, exec: &Executor) -> Self {
+        alg.init_state_with(exec)
+    }
+
+    fn step(&mut self, alg: &Spea2<P, V>) -> bool {
+        alg.step(self)
+    }
+
+    fn step_with(&mut self, alg: &Spea2<P, V>, exec: &Executor) -> bool {
+        alg.step_with(self, exec)
+    }
+
+    fn finalize(self, alg: &Spea2<P, V>) -> EvoOutcome<P::Genome> {
+        let result = alg.finalize(self);
+        let evaluations = result.evaluations;
+        EvoOutcome {
+            members: result.into_archive(),
+            evaluations,
+        }
+    }
+
+    fn snapshot(&self) -> EvoSnapshot<P::Genome> {
+        EvoSnapshot {
+            population: self.population.clone(),
+            archive: self.archive.clone(),
+            generation: self.generation,
+            evaluations: self.evaluations,
+            rng_state: self.rng_state,
+        }
+    }
+
+    fn restore(snapshot: EvoSnapshot<P::Genome>) -> Self {
+        Spea2State {
+            population: snapshot.population,
+            archive: snapshot.archive,
+            generation: snapshot.generation,
+            evaluations: snapshot.evaluations,
+            rng_state: snapshot.rng_state,
+        }
+    }
+
+    fn generation(&self) -> usize {
+        self.generation
+    }
+
+    fn evaluations(&self) -> usize {
+        self.evaluations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Evaluation, Nsga2Config, Spea2Config};
+    use rand::{Rng, RngCore};
+
+    struct Schaffer;
+
+    impl Problem for Schaffer {
+        type Genome = f64;
+
+        fn objective_count(&self) -> usize {
+            2
+        }
+
+        fn random_genome(&self, rng: &mut dyn RngCore) -> f64 {
+            rng.gen_range(-100.0f64..100.0)
+        }
+
+        fn evaluate(&self, x: &f64) -> Evaluation {
+            Evaluation::feasible(vec![x * x, (x - 2.0) * (x - 2.0)])
+        }
+    }
+
+    struct Gaussian;
+
+    impl Variation<f64> for Gaussian {
+        fn crossover(&self, a: &f64, b: &f64, rng: &mut dyn RngCore) -> (f64, f64) {
+            let t: f64 = rng.gen_range(0.0..1.0);
+            (t * a + (1.0 - t) * b, (1.0 - t) * a + t * b)
+        }
+
+        fn mutate(&self, x: &mut f64, rng: &mut dyn RngCore) {
+            *x += rng.gen_range(-1.0f64..1.0);
+        }
+    }
+
+    /// A driver written purely against the trait: init, interrupt after
+    /// `k` steps via snapshot/restore, run to completion, finalize.
+    fn drive<A, S: EvolutionState<A, Genome = f64>>(
+        alg: &A,
+        interrupt_at: usize,
+    ) -> EvoOutcome<f64> {
+        let mut state = S::init(alg);
+        for _ in 0..interrupt_at {
+            state.step(alg);
+        }
+        let snapshot = state.snapshot();
+        drop(state);
+        let mut resumed = S::restore(snapshot);
+        while resumed.step(alg) {}
+        resumed.finalize(alg)
+    }
+
+    #[test]
+    fn generic_driver_matches_nsga2_run() {
+        let cfg = Nsga2Config::new(16, 6).with_seed(13);
+        let opt = Nsga2::new(Schaffer, Gaussian, cfg);
+        let direct: Vec<Individual<f64>> = opt.run().into_front();
+        for k in 0..=6 {
+            let out = drive::<_, Nsga2State<f64>>(&opt, k);
+            assert_eq!(direct, out.members, "k={k}");
+        }
+    }
+
+    #[test]
+    fn generic_driver_matches_spea2_run() {
+        let cfg = Spea2Config::new(12, 5).with_seed(13);
+        let opt = Spea2::new(Schaffer, Gaussian, cfg);
+        let direct = opt.run();
+        for k in 0..=5 {
+            let out = drive::<_, Spea2State<f64>>(&opt, k);
+            assert_eq!(direct.archive(), out.members.as_slice(), "k={k}");
+            assert_eq!(direct.evaluations, out.evaluations, "k={k}");
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_is_identity() {
+        fn n_roundtrip(s: &Nsga2State<f64>) -> Nsga2State<f64> {
+            type S = Nsga2State<f64>;
+            <S as EvolutionState<Nsga2<Schaffer, Gaussian>>>::restore(<S as EvolutionState<
+                Nsga2<Schaffer, Gaussian>,
+            >>::snapshot(s))
+        }
+        fn s_roundtrip(s: &Spea2State<f64>) -> Spea2State<f64> {
+            type S = Spea2State<f64>;
+            <S as EvolutionState<Spea2<Schaffer, Gaussian>>>::restore(<S as EvolutionState<
+                Spea2<Schaffer, Gaussian>,
+            >>::snapshot(s))
+        }
+
+        let nsga = Nsga2::new(Schaffer, Gaussian, Nsga2Config::new(8, 3).with_seed(5));
+        let mut ns = nsga.init_state();
+        nsga.step(&mut ns);
+        assert_eq!(n_roundtrip(&ns), ns);
+
+        let spea = Spea2::new(Schaffer, Gaussian, Spea2Config::new(8, 3).with_seed(5));
+        let mut ss = spea.init_state();
+        spea.step(&mut ss);
+        assert!(!ss.archive.is_empty());
+        assert_eq!(s_roundtrip(&ss), ss);
+    }
+
+    #[test]
+    fn trait_step_with_matches_serial() {
+        use clre_exec::{ExecPool, Executor};
+        let exec = Executor::new(ExecPool::new(3));
+        let opt = Spea2::new(Schaffer, Gaussian, Spea2Config::new(10, 4).with_seed(21));
+        let mut serial = Spea2State::init(&opt);
+        let mut par = Spea2State::init_with(&opt, &exec);
+        assert_eq!(serial, par);
+        loop {
+            let more = serial.step(&opt);
+            assert_eq!(more, par.step_with(&opt, &exec));
+            assert_eq!(serial, par, "gen {}", serial.generation);
+            if !more {
+                break;
+            }
+        }
+    }
+}

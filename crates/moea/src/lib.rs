@@ -62,6 +62,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod evolution;
 pub mod hypervolume;
 mod nsga2;
 pub mod pareto;
@@ -69,6 +70,7 @@ mod problem;
 mod spea2;
 pub mod test_problems;
 
+pub use evolution::{EvoOutcome, EvoSnapshot, EvolutionState};
 pub use nsga2::{Individual, Nsga2, Nsga2Config, Nsga2State, OptimizationResult};
 pub use problem::{Evaluation, Problem, Variation};
 pub use spea2::{Spea2, Spea2Config, Spea2Result, Spea2State};

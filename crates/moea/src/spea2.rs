@@ -159,6 +159,11 @@ impl<G> Spea2Result<G> {
         &self.archive
     }
 
+    /// Consumes the result, returning the owned archive members.
+    pub fn into_archive(self) -> Vec<Individual<G>> {
+        self.archive
+    }
+
     /// The non-dominated objective vectors of the archive.
     pub fn front_objectives(&self) -> Vec<Vec<f64>> {
         let objs: Vec<Vec<f64>> = self.archive.iter().map(|i| i.objectives.clone()).collect();

@@ -44,6 +44,47 @@ impl Lu {
     /// Returns [`NumError::NotSquare`] if `a` is rectangular and
     /// [`NumError::Singular`] if a pivot underflows.
     pub fn factor(a: &Matrix) -> Result<Self, NumError> {
+        Self::factor_with(a, None)
+    }
+
+    /// Factors `a` with *scaled* partial pivoting (implicit row
+    /// equilibration): the pivot row maximizes `|a_ri| / s_r` where
+    /// `s_r = max_j |a_rj|`, instead of the raw magnitude used by
+    /// [`Lu::factor`].
+    ///
+    /// Scaled pivoting resists the accuracy loss plain partial pivoting
+    /// suffers on badly row-scaled systems — e.g. the near-singular
+    /// probability blocks `I − Q` of long Markov chains, where one row's
+    /// entries can dwarf another's by many orders of magnitude. The
+    /// returned factorization is used identically ([`Lu::solve`],
+    /// [`Lu::inverse`], [`Lu::det`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::NotSquare`] if `a` is rectangular and
+    /// [`NumError::Singular`] if a row is entirely (near-)zero or a
+    /// scaled pivot underflows.
+    pub fn factor_scaled(a: &Matrix) -> Result<Self, NumError> {
+        if !a.is_square() {
+            return Err(NumError::NotSquare { shape: a.shape() });
+        }
+        let n = a.rows();
+        let mut scales = vec![0.0f64; n];
+        for (r, s) in scales.iter_mut().enumerate() {
+            for c in 0..n {
+                *s = s.max(a.get(r, c).abs());
+            }
+            if *s < PIVOT_EPS {
+                // An all-zero row can never host a pivot.
+                return Err(NumError::Singular { pivot: r });
+            }
+        }
+        Self::factor_with(a, Some(scales))
+    }
+
+    /// Shared elimination kernel: with `scales`, pivot selection
+    /// maximizes the scale-relative magnitude `|a_ri| / s_r`.
+    fn factor_with(a: &Matrix, mut scales: Option<Vec<f64>>) -> Result<Self, NumError> {
         if !a.is_square() {
             return Err(NumError::NotSquare { shape: a.shape() });
         }
@@ -53,11 +94,19 @@ impl Lu {
         let mut sign = 1.0;
 
         for col in 0..n {
-            // Partial pivoting: find the largest magnitude entry in/below the diagonal.
-            let mut pivot_row = col;
-            let mut pivot_val = lu.get(col, col).abs();
-            for r in (col + 1)..n {
+            // Partial pivoting: find the largest (scale-relative) magnitude
+            // entry in/below the diagonal.
+            let weight = |r: usize, s: &Option<Vec<f64>>| {
                 let v = lu.get(r, col).abs();
+                match s {
+                    Some(scales) => v / scales[r],
+                    None => v,
+                }
+            };
+            let mut pivot_row = col;
+            let mut pivot_val = weight(col, &scales);
+            for r in (col + 1)..n {
+                let v = weight(r, &scales);
                 if v > pivot_val {
                     pivot_val = v;
                     pivot_row = r;
@@ -73,6 +122,9 @@ impl Lu {
                     lu.set(pivot_row, c, tmp);
                 }
                 perm.swap(col, pivot_row);
+                if let Some(scales) = scales.as_mut() {
+                    scales.swap(col, pivot_row);
+                }
                 sign = -sign;
             }
             let diag = lu.get(col, col);
@@ -222,5 +274,64 @@ mod tests {
         assert_close(x[0], 7.0);
         assert_close(x[1], 5.0);
         assert_close(Lu::factor(&a).unwrap().det(), -1.0);
+    }
+
+    #[test]
+    fn scaled_factor_matches_plain_on_well_conditioned_input() {
+        let a =
+            Matrix::from_rows(&[&[4.0, -2.0, 1.0], &[-2.0, 4.0, -2.0], &[1.0, -2.0, 4.0]]).unwrap();
+        let plain = Lu::factor(&a).unwrap();
+        let scaled = Lu::factor_scaled(&a).unwrap();
+        let b = [1.0, 2.0, 3.0];
+        let xp = plain.solve(&b).unwrap();
+        let xs = scaled.solve(&b).unwrap();
+        for (p, s) in xp.iter().zip(&xs) {
+            assert_close(*p, *s);
+        }
+        assert_close(plain.det(), scaled.det());
+    }
+
+    #[test]
+    fn scaled_factor_rejects_rectangular_and_zero_rows() {
+        assert!(matches!(
+            Lu::factor_scaled(&Matrix::zeros(2, 3)),
+            Err(NumError::NotSquare { .. })
+        ));
+        let zero_row = Matrix::from_rows(&[&[1.0, 2.0], &[0.0, 0.0]]).unwrap();
+        assert!(matches!(
+            Lu::factor_scaled(&zero_row),
+            Err(NumError::Singular { pivot: 1 })
+        ));
+        let dependent = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        assert!(matches!(
+            Lu::factor_scaled(&dependent),
+            Err(NumError::Singular { .. })
+        ));
+    }
+
+    #[test]
+    fn scaled_pivoting_rescues_badly_row_scaled_system() {
+        // Forsythe–Moler style example: raw partial pivoting keeps the
+        // huge first row as pivot and catastrophically cancels x₀, while
+        // scale-relative pivoting swaps in the small row and stays exact.
+        // Exact solution is x ≈ [1, 1] (to within 1e-17).
+        let a = Matrix::from_rows(&[&[2.0, 2.0e17], &[1.0, 1.0]]).unwrap();
+        let b = [2.0e17, 2.0];
+        let plain = Lu::factor(&a).unwrap().solve(&b).unwrap();
+        let scaled = Lu::factor_scaled(&a).unwrap().solve(&b).unwrap();
+        assert!(
+            (plain[0] - 1.0).abs() > 0.5,
+            "plain pivoting unexpectedly accurate: {plain:?}"
+        );
+        assert!((scaled[0] - 1.0).abs() < 1e-10, "{scaled:?}");
+        assert!((scaled[1] - 1.0).abs() < 1e-10, "{scaled:?}");
+    }
+
+    #[test]
+    fn scaled_inverse_times_matrix_is_identity() {
+        let a = Matrix::from_rows(&[&[1.0e6, 2.0e6], &[3.0, -1.0]]).unwrap();
+        let inv = Lu::factor_scaled(&a).unwrap().inverse().unwrap();
+        let id = a.mul(&inv).unwrap();
+        assert!(id.max_abs_diff(&Matrix::identity(2)).unwrap() < 1e-9);
     }
 }

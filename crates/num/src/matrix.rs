@@ -340,6 +340,18 @@ impl Matrix {
         Lu::factor(self)?.solve(b)
     }
 
+    /// Like [`Matrix::solve`] but factoring with scaled partial pivoting
+    /// ([`Lu::factor_scaled`]) — the retry path for badly row-scaled
+    /// systems where plain pivoting loses accuracy or misdeclares
+    /// singularity.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Matrix::solve`].
+    pub fn solve_scaled(&self, b: &[f64]) -> Result<Vec<f64>, NumError> {
+        Lu::factor_scaled(self)?.solve(b)
+    }
+
     /// Computes the inverse via LU decomposition.
     ///
     /// # Errors
@@ -348,6 +360,16 @@ impl Matrix {
     /// [`NumError::Singular`] if the matrix cannot be inverted.
     pub fn inverse(&self) -> Result<Matrix, NumError> {
         Lu::factor(self)?.inverse()
+    }
+
+    /// Like [`Matrix::inverse`] but factoring with scaled partial
+    /// pivoting ([`Lu::factor_scaled`]).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Matrix::inverse`].
+    pub fn inverse_scaled(&self) -> Result<Matrix, NumError> {
+        Lu::factor_scaled(self)?.inverse()
     }
 
     /// Largest absolute element difference to `rhs`, or `None` when the

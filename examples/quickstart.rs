@@ -7,6 +7,7 @@
 
 use clrearly::core::apps;
 use clrearly::core::methodology::{ClrEarly, StageBudget};
+use clrearly::core::CampaignPlan;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. The evaluation platform: 6 PEs of 3 types (Fig. 2(a)).
@@ -35,9 +36,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    // 4. System-level DSE: the proposed two-stage pfCLR→fcCLR search.
+    // 4. System-level DSE: the proposed two-stage pfCLR→fcCLR search,
+    //    expressed as a campaign stage graph (a Pareto-filtered stage
+    //    seeding a full-space stage, fronts merged). `run_proposed` is a
+    //    thin wrapper over exactly this plan.
     let budget = StageBudget::new(40, 40).with_seed(7);
-    let result = dse.run_proposed(&budget)?;
+    let result = dse.run_campaign(&CampaignPlan::proposed(), &budget)?;
     println!(
         "\nproposed methodology: {} Pareto points after {} evaluations",
         result.front().len(),

@@ -7,8 +7,8 @@ use std::path::PathBuf;
 
 use clrearly::core::apps;
 use clrearly::core::methodology::{ClrEarly, FrontResult, StageBudget};
-use clrearly::core::resilience::{FallibleProblem, ResilientProblem};
-use clrearly::core::{DseError, RunOutcome, RunSupervisor, SupervisorConfig};
+use clrearly::core::resilience::{keyframe_path, FallibleProblem, ResilientProblem};
+use clrearly::core::{CampaignPlan, DseError, Layer, RunOutcome, RunSupervisor, SupervisorConfig};
 use clrearly::markov::MarkovError;
 use clrearly::moea::{Evaluation, Nsga2, Nsga2Config, Problem, Variation};
 use clrearly::num::NumError;
@@ -119,6 +119,143 @@ fn proposed_resume_reproduces_front_from_either_stage() {
         .expect_complete();
     assert_same_front(&baseline, &resumed1);
     assert_eq!(resumed1.health.resumed_from_generation, Some(5));
+}
+
+#[test]
+fn spea2_pf_resume_reproduces_uninterrupted_front() {
+    let platform = apps::paper_platform();
+    let graph = apps::sobel(&platform, 42).unwrap();
+    let dse = ClrEarly::new(&graph, &platform).unwrap();
+    let budget = StageBudget::smoke_test().with_seed(5);
+
+    let baseline = dse.run_pf_spea2(&budget).unwrap();
+
+    // Kill the SPEA2 run mid-generation: the archive, population and RNG
+    // stream all live in the checkpoint, so the resumed trajectory must
+    // be the uninterrupted one bit-for-bit.
+    let sup = supervisor("spea2-interrupt").with_interrupt_at(0, 3);
+    match dse.run_pf_spea2_supervised(&budget, &sup).unwrap() {
+        RunOutcome::Interrupted { stage, generation } => {
+            assert_eq!((stage, generation), (0, 3));
+        }
+        RunOutcome::Complete(_) => panic!("expected an interrupted run"),
+    }
+    let resumed = dse
+        .resume_supervised(&budget, &supervisor("spea2-interrupt"))
+        .unwrap()
+        .expect_complete();
+
+    assert_same_front(&baseline, &resumed);
+    assert_eq!(resumed.health.resumed_from_generation, Some(3));
+    assert!(
+        !checkpoint_path("spea2-interrupt").exists(),
+        "checkpoint not cleaned up"
+    );
+}
+
+#[test]
+fn agnostic_resume_reproduces_merged_front_mid_campaign() {
+    let platform = apps::paper_platform();
+    let graph = apps::sobel(&platform, 42).unwrap();
+    let dse = ClrEarly::new(&graph, &platform).unwrap();
+    let budget = StageBudget::smoke_test().with_seed(3);
+
+    let baseline = dse.run_agnostic(&budget).unwrap();
+
+    // The Agnostic campaign runs four single-layer stages on a quarter
+    // of the generation budget each (smoke budget: 2 generations per
+    // stage). Kill it inside the third stage: the resume must replay
+    // that stage's tail plus the fourth stage and still merge all four
+    // layer fronts into the identical Pareto set.
+    let sup = supervisor("agnostic-interrupt").with_interrupt_at(2, 1);
+    match dse.run_agnostic_supervised(&budget, &sup).unwrap() {
+        RunOutcome::Interrupted { stage, generation } => {
+            assert_eq!((stage, generation), (2, 1));
+        }
+        RunOutcome::Complete(_) => panic!("expected a stage-2 interruption"),
+    }
+    let resumed = dse
+        .resume_supervised(&budget, &supervisor("agnostic-interrupt"))
+        .unwrap()
+        .expect_complete();
+
+    assert_same_front(&baseline, &resumed);
+    assert_eq!(resumed.health.resumed_from_generation, Some(1));
+    assert!(
+        !checkpoint_path("agnostic-interrupt").exists(),
+        "checkpoint not cleaned up"
+    );
+}
+
+#[test]
+fn delta_checkpoints_resume_identically() {
+    let platform = apps::paper_platform();
+    let graph = apps::sobel(&platform, 42).unwrap();
+    let dse = ClrEarly::new(&graph, &platform).unwrap();
+    let budget = StageBudget::smoke_test().with_seed(7);
+
+    let baseline = dse.run_proposed(&budget).unwrap();
+
+    let delta_supervisor = |name: &str| {
+        RunSupervisor::new(SupervisorConfig::new(checkpoint_path(name)).with_delta_checkpoints(2))
+    };
+
+    let sup = delta_supervisor("delta-interrupt").with_interrupt_at(1, 5);
+    match dse.run_proposed_supervised(&budget, &sup).unwrap() {
+        RunOutcome::Interrupted { stage, generation } => {
+            assert_eq!((stage, generation), (1, 5));
+        }
+        RunOutcome::Complete(_) => panic!("expected an interrupted run"),
+    }
+    // With a keyframe cadence of 2, the stage-1 interrupt leaves a
+    // keyframe plus a delta on disk — the resume must reassemble the
+    // full checkpoint from the pair.
+    assert!(
+        keyframe_path(&checkpoint_path("delta-interrupt")).exists(),
+        "delta mode wrote no keyframe"
+    );
+    let resumed = dse
+        .resume_supervised(&budget, &delta_supervisor("delta-interrupt"))
+        .unwrap()
+        .expect_complete();
+
+    assert_same_front(&baseline, &resumed);
+    assert_eq!(resumed.health.resumed_from_generation, Some(5));
+    assert!(
+        !checkpoint_path("delta-interrupt").exists(),
+        "checkpoint not cleaned up"
+    );
+    assert!(
+        !keyframe_path(&checkpoint_path("delta-interrupt")).exists(),
+        "keyframe not cleaned up"
+    );
+}
+
+#[test]
+fn campaign_plans_match_run_wrappers() {
+    let platform = apps::paper_platform();
+    let graph = apps::sobel(&platform, 42).unwrap();
+    let dse = ClrEarly::new(&graph, &platform).unwrap();
+    let budget = StageBudget::smoke_test().with_seed(13);
+
+    // Every `run_*` entry point is a thin wrapper over a built-in
+    // campaign plan; the front a caller-assembled plan produces must be
+    // the wrapper's, bit for bit.
+    let plans = [
+        (CampaignPlan::fc(), dse.run_fc(&budget)),
+        (CampaignPlan::pf(), dse.run_pf(&budget)),
+        (CampaignPlan::proposed(), dse.run_proposed(&budget)),
+        (CampaignPlan::agnostic(), dse.run_agnostic(&budget)),
+        (CampaignPlan::pf_spea2(), dse.run_pf_spea2(&budget)),
+        (
+            CampaignPlan::single_layer(Layer::Hw),
+            dse.run_single_layer(Layer::Hw, &budget),
+        ),
+    ];
+    for (plan, wrapper) in plans {
+        let via_campaign = dse.run_campaign(&plan, &budget).unwrap();
+        assert_same_front(&via_campaign, &wrapper.unwrap());
+    }
 }
 
 #[test]
