@@ -1,9 +1,9 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! Usage: `experiments <id> [--smoke|--tiny] [--workers N] [--trace FILE]
-//! [--ledger FILE] [--halt-after-cells N]` where `<id>` is one of `fig6a
-//! fig6b table4 fig7 table5 fig8 table6 fig9 fig10 table7 scaling chkpt
-//! multiobj ablations all`.
+//! [--ledger FILE] [--halt-after-cells N] [--cache FILE]` where `<id>` is
+//! one of `fig6a fig6b table4 fig7 table5 fig8 table6 fig9 fig10 table7
+//! scaling chkpt multiobj ablations cachebench all`.
 //!
 //! `--workers N` sets the evaluation worker-pool size (default: available
 //! parallelism); results are bit-identical for any value. `--trace FILE`
@@ -13,14 +13,18 @@
 //! be restarted with the same file and resume at the last finished cell;
 //! `--halt-after-cells N` stops after computing N uncached cells (exit
 //! code 3) — the deterministic stand-in for a kill used by CI.
+//! `--cache FILE` enables the process-wide evaluation cache (DESIGN.md
+//! §12) persisted at FILE, so a rerun or a resumed sweep warm-starts from
+//! everything already evaluated; results stay bit-identical, only faster.
+//! `--ledger FILE` enables it implicitly, persisting next to the ledger.
 
 use std::path::PathBuf;
 
-use clre_bench::{exec_settings, sweep, system, tasklevel, RunScale};
+use clre_bench::{cachebench, exec_settings, sweep, system, tasklevel, RunScale};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments <fig6a|fig6b|table4|fig7|table5|fig8|table6|fig9|fig10|table7|scaling|chkpt|multiobj|ablations|all> [--smoke|--tiny] [--workers N] [--trace FILE] [--ledger FILE] [--halt-after-cells N]"
+        "usage: experiments <fig6a|fig6b|table4|fig7|table5|fig8|table6|fig9|fig10|table7|scaling|chkpt|multiobj|ablations|cachebench|all> [--smoke|--tiny] [--workers N] [--trace FILE] [--ledger FILE] [--halt-after-cells N] [--cache FILE]"
     );
     std::process::exit(2);
 }
@@ -32,6 +36,7 @@ fn main() {
     let mut trace: Option<PathBuf> = None;
     let mut ledger: Option<PathBuf> = None;
     let mut halt_after: Option<usize> = None;
+    let mut cache_file: Option<PathBuf> = None;
     let mut i = 0;
     while i < args.len() {
         let arg = args[i].as_str();
@@ -52,6 +57,7 @@ fn main() {
                 Ok(n) => halt_after = Some(n),
                 Err(_) => usage(),
             },
+            "--cache" => cache_file = Some(PathBuf::from(value(&mut i))),
             _ if arg.starts_with("--") => usage(),
             _ if id.is_none() => id = Some(arg),
             _ => usage(),
@@ -67,6 +73,22 @@ fn main() {
         if let Err(e) = sweep::configure(path, halt_after) {
             eprintln!("failed to open sweep ledger {}: {e}", path.display());
             std::process::exit(1);
+        }
+        // A journaled sweep warm-starts its evaluations too: persist the
+        // cache next to the ledger unless --cache chose a spot itself.
+        if cache_file.is_none() {
+            cache_file = Some(clre::cache::cache_sidecar_path(path));
+        }
+    }
+    if let Some(path) = &cache_file {
+        let cache = exec_settings::enable_cache();
+        if let Err(e) = cache.bind_sidecar(path) {
+            // The cache is an accelerator, never a correctness input:
+            // run cold in memory rather than abort.
+            eprintln!(
+                "cache sidecar {} unusable ({e}); running cold",
+                path.display()
+            );
         }
     }
     let sink = trace.as_ref().map(|_| exec_settings::enable_trace());
@@ -92,6 +114,7 @@ fn main() {
             system::ablation_moea(scale),
             system::ablation_comm(scale)
         ),
+        "cachebench" => cachebench::eval_cache(scale),
         "all" => clre_bench::run_all(scale),
         _ => usage(),
     };

@@ -15,8 +15,10 @@
 //! [`ClrEarly`]: clre::methodology::ClrEarly
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 
+use clre::methodology::ClrEarly;
+use clre::EvalCache;
 use clre_exec::{ExecPool, Executor, RunTelemetry, TelemetrySink};
 
 /// Configured worker count; 0 means "auto" (available parallelism).
@@ -24,6 +26,11 @@ static WORKERS: AtomicUsize = AtomicUsize::new(0);
 
 fn sink_slot() -> &'static Mutex<Option<TelemetrySink>> {
     static SLOT: OnceLock<Mutex<Option<TelemetrySink>>> = OnceLock::new();
+    SLOT.get_or_init(|| Mutex::new(None))
+}
+
+fn cache_slot() -> &'static Mutex<Option<Arc<EvalCache>>> {
+    static SLOT: OnceLock<Mutex<Option<Arc<EvalCache>>>> = OnceLock::new();
     SLOT.get_or_init(|| Mutex::new(None))
 }
 
@@ -51,6 +58,28 @@ pub fn enable_trace() -> TelemetrySink {
     sink
 }
 
+/// Installs (and returns) a fresh process-wide evaluation cache. Every
+/// driver passed through [`apply`] after this call shares it, so task
+/// analyses and genome fitness memoize across the cells of a sweep.
+/// Cached and uncached runs are bit-identical; only the wall clock and
+/// the hit/miss telemetry differ.
+pub fn enable_cache() -> Arc<EvalCache> {
+    let cache = EvalCache::shared();
+    *cache_slot().lock().expect("cache slot poisoned") = Some(Arc::clone(&cache));
+    cache
+}
+
+/// Removes the process-wide evaluation cache (drivers built afterwards
+/// run uncached).
+pub fn disable_cache() {
+    *cache_slot().lock().expect("cache slot poisoned") = None;
+}
+
+/// The process-wide evaluation cache, if one is enabled.
+pub fn cache() -> Option<Arc<EvalCache>> {
+    cache_slot().lock().expect("cache slot poisoned").clone()
+}
+
 /// An [`Executor`] honoring the current settings. Stage labels are
 /// applied downstream by the methodology driver.
 pub fn executor() -> Executor {
@@ -58,6 +87,19 @@ pub fn executor() -> Executor {
     match sink_slot().lock().expect("trace sink poisoned").as_ref() {
         Some(sink) => exec.with_telemetry(sink.clone()),
         None => exec,
+    }
+}
+
+/// Applies every process-wide setting to a freshly built driver: the
+/// worker pool + telemetry executor, and the evaluation cache when one
+/// is enabled. All experiments funnel their [`ClrEarly`] construction
+/// through this so `--workers`, `--trace` and `--cache` need no
+/// per-experiment plumbing.
+pub fn apply(dse: ClrEarly<'_>) -> ClrEarly<'_> {
+    let dse = dse.with_executor(executor());
+    match cache() {
+        Some(cache) => dse.with_cache(cache),
+        None => dse,
     }
 }
 

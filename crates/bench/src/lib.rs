@@ -23,6 +23,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cachebench;
 pub mod exec_settings;
 pub mod report;
 pub mod sweep;

@@ -67,9 +67,7 @@ fn merge_objectives(fronts: &[Vec<Vec<f64>>]) -> Vec<Vec<f64>> {
 /// makespan range.
 pub fn fig7(scale: RunScale) -> String {
     let (platform, graph) = apps::synthetic_app(20, 7).expect("synthetic app builds");
-    let dse = ClrEarly::new(&graph, &platform)
-        .expect("tDSE succeeds")
-        .with_executor(exec_settings::executor());
+    let dse = exec_settings::apply(ClrEarly::new(&graph, &platform).expect("tDSE succeeds"));
     let budget = scale.budget();
     let mut grid: Vec<(&str, CampaignPlan)> = vec![("CLR", CampaignPlan::proposed())];
     grid.extend(
@@ -106,9 +104,7 @@ pub fn table5(scale: RunScale) -> String {
     for &tasks in &scale.sizes() {
         let (platform, graph) =
             apps::synthetic_app(tasks, 7 + tasks as u64).expect("synthetic app builds");
-        let dse = ClrEarly::new(&graph, &platform)
-            .expect("tDSE succeeds")
-            .with_executor(exec_settings::executor());
+        let dse = exec_settings::apply(ClrEarly::new(&graph, &platform).expect("tDSE succeeds"));
         let grid = [
             ("proposed", CampaignPlan::proposed()),
             ("Agnostic", CampaignPlan::agnostic()),
@@ -139,9 +135,7 @@ pub fn fig8(scale: RunScale) -> String {
     };
     let (platform, graph) =
         apps::synthetic_app(tasks, 7 + tasks as u64).expect("synthetic app builds");
-    let dse = ClrEarly::new(&graph, &platform)
-        .expect("tDSE succeeds")
-        .with_executor(exec_settings::executor());
+    let dse = exec_settings::apply(ClrEarly::new(&graph, &platform).expect("tDSE succeeds"));
     let budget = scale.budget();
     let mut out = String::from("# series: method, avg-makespan[s], app-error-prob\n");
     let grid = [
@@ -171,9 +165,7 @@ pub fn table6(scale: RunScale) -> String {
     for &tasks in &scale.sizes() {
         let (platform, graph) =
             apps::synthetic_app(tasks, 7 + tasks as u64).expect("synthetic app builds");
-        let dse = ClrEarly::new(&graph, &platform)
-            .expect("tDSE succeeds")
-            .with_executor(exec_settings::executor());
+        let dse = exec_settings::apply(ClrEarly::new(&graph, &platform).expect("tDSE succeeds"));
         let grid = [
             ("fcCLR", CampaignPlan::fc()),
             ("proposed", CampaignPlan::proposed()),
@@ -208,10 +200,10 @@ pub fn fig10(scale: RunScale) -> String {
     let budget = scale.budget();
     let mut out = String::from("# series: method_run, avg-makespan[s], app-error-prob\n");
     for (label, objs) in tdse_runs() {
-        let dse =
+        let dse = exec_settings::apply(
             ClrEarly::with_tdse_config(&graph, &platform, TdseConfig::new().with_objectives(objs))
-                .expect("tDSE succeeds")
-                .with_executor(exec_settings::executor());
+                .expect("tDSE succeeds"),
+        );
         let grid = [
             (format!("proposed_{label}"), CampaignPlan::proposed()),
             (format!("pfCLR_{label}"), CampaignPlan::pf()),
@@ -251,13 +243,14 @@ pub fn table7(scale: RunScale) -> String {
         // Collect all six fronts, then score against a common reference.
         let mut fronts: Vec<Vec<Vec<f64>>> = Vec::new();
         for (label, objs) in &runs {
-            let dse = ClrEarly::with_tdse_config(
-                &graph,
-                &platform,
-                TdseConfig::new().with_objectives(objs.clone()),
-            )
-            .expect("tDSE succeeds")
-            .with_executor(exec_settings::executor());
+            let dse = exec_settings::apply(
+                ClrEarly::with_tdse_config(
+                    &graph,
+                    &platform,
+                    TdseConfig::new().with_objectives(objs.clone()),
+                )
+                .expect("tDSE succeeds"),
+            );
             let grid = [
                 (format!("proposed_{label}"), CampaignPlan::proposed()),
                 (format!("pfCLR_{label}"), CampaignPlan::pf()),
@@ -301,9 +294,7 @@ fn ablation_grid(
     scale: RunScale,
 ) -> Option<[Vec<Vec<f64>>; 2]> {
     let (platform, graph) = apps::synthetic_app(30, app_seed).expect("synthetic app builds");
-    let dse = ClrEarly::new(&graph, &platform)
-        .expect("tDSE succeeds")
-        .with_executor(exec_settings::executor());
+    let dse = exec_settings::apply(ClrEarly::new(&graph, &platform).expect("tDSE succeeds"));
     let budget = scale.budget();
     let mut fronts = Vec::new();
     for (label, plan) in grid {
@@ -380,9 +371,7 @@ pub fn ablation_comm(scale: RunScale) -> String {
     let mut out = String::from("# series: platform, avg-makespan[s], app-error-prob\n");
     let mut fronts = Vec::new();
     for (label, platform) in &grid {
-        let dse = ClrEarly::new(&graph, platform)
-            .expect("tDSE succeeds")
-            .with_executor(exec_settings::executor());
+        let dse = exec_settings::apply(ClrEarly::new(&graph, platform).expect("tDSE succeeds"));
         let Some(cell) = campaign_cell("ablation_comm", 30, label, &dse, &plan, &budget) else {
             return halted(out);
         };
@@ -435,13 +424,14 @@ pub fn multiobj(scale: RunScale) -> String {
     ];
     let mut fronts = Vec::new();
     for (label, tdse_objs, plan) in &grid {
-        let dse = ClrEarly::with_tdse_config(
-            &graph,
-            &platform,
-            Cfg::new().with_objectives(tdse_objs.clone()),
+        let dse = exec_settings::apply(
+            ClrEarly::with_tdse_config(
+                &graph,
+                &platform,
+                Cfg::new().with_objectives(tdse_objs.clone()),
+            )
+            .expect("tDSE succeeds"),
         )
-        .expect("tDSE succeeds")
-        .with_executor(exec_settings::executor())
         .with_objectives(objectives.clone());
         let Some(cell) = campaign_cell("multiobj", 20, label, &dse, plan, &budget) else {
             return halted(String::new());
@@ -491,9 +481,7 @@ pub fn scaling(scale: RunScale) -> String {
         let (platform, graph) =
             apps::synthetic_app(tasks, 7 + tasks as u64).expect("synthetic app builds");
         let t0 = Instant::now();
-        let dse = ClrEarly::new(&graph, &platform)
-            .expect("tDSE succeeds")
-            .with_executor(exec_settings::executor());
+        let dse = exec_settings::apply(ClrEarly::new(&graph, &platform).expect("tDSE succeeds"));
         let t_tdse = t0.elapsed();
         let t0 = Instant::now();
         dse.run_pf(&budget).expect("pfCLR runs");
@@ -533,9 +521,7 @@ pub fn scaling(scale: RunScale) -> String {
 pub fn clr_vs_agnostic_hv(tasks: usize, budget: &StageBudget) -> (f64, f64) {
     let (platform, graph) =
         apps::synthetic_app(tasks, 7 + tasks as u64).expect("synthetic app builds");
-    let dse = ClrEarly::new(&graph, &platform)
-        .expect("tDSE succeeds")
-        .with_executor(exec_settings::executor());
+    let dse = exec_settings::apply(ClrEarly::new(&graph, &platform).expect("tDSE succeeds"));
     let clr = dse.run_proposed(budget).expect("proposed runs");
     let agn = dse.run_agnostic(budget).expect("agnostic runs");
     let a = clr.objectives();

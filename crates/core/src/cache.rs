@@ -1,0 +1,871 @@
+//! Content-addressed evaluation cache: two-level memoization for the
+//! exact, deterministic computations that dominate DSE cost.
+//!
+//! * **Level 1 — task analysis.** [`analyze_robust`] solves two absorbing
+//!   Markov chains (LU factorizations) per `(implementation × DVFS × CLR)`
+//!   point. The same points recur across campaign stages (`agnostic`
+//!   rebuilds four single-layer libraries), across sweep cells, and across
+//!   `ClrEarly` instances. The analysis cache keys on
+//!   [`ClrChainParams::digest`] — FNV-1a over the IEEE-754 bit patterns of
+//!   every field, exact bits, no quantization — and stores the full
+//!   parameter set so a digest collision is detected by comparison and
+//!   degrades to a recomputation, never to a wrong answer.
+//! * **Level 2 — genome fitness.** Every GA generation re-decodes and
+//!   re-schedules genomes that recur across generations and seeded stages.
+//!   The fitness cache keys on the exact gene sequence plus a *problem
+//!   digest* (graph, platform, library content, objectives, QoS spec) so
+//!   one cache may be shared across stages and sweep cells without
+//!   cross-contamination. It stores `(SystemMetrics, violation)` — not the
+//!   projected objective vector — so front annotation is a pure lookup.
+//!
+//! Both levels use sharded locks (safe under the `clre-exec` worker pool)
+//! with an **insert-once** discipline: the first writer wins, later
+//! writers adopt the stored value. Because every cached computation is a
+//! deterministic pure function of its key, a hit replays the uncached
+//! computation bit-for-bit — cached and uncached runs produce identical
+//! Pareto fronts for any worker count (DESIGN.md §12 gives the full
+//! argument).
+//!
+//! # Persistence
+//!
+//! [`EvalCache::bind_sidecar`] attaches an append-only journal
+//! (header [`CACHE_HEADER`]) next to the campaign checkpoint: existing
+//! entries are loaded (warm start), and every subsequent first-insert
+//! appends one self-contained line. Like the sweep ledger, the file is
+//! torn-tail tolerant — a process killed mid-write leaves at most one
+//! malformed line, which the loader skips; a corrupted or foreign file
+//! degrades to a cold cache without error.
+//!
+//! # Examples
+//!
+//! ```
+//! use clre::cache::EvalCache;
+//! use clre_markov::clr::ClrChainParams;
+//!
+//! let cache = EvalCache::new();
+//! let params = ClrChainParams::unprotected(300.0e-6, 100.0);
+//! assert!(cache.analysis(&params).is_none()); // cold
+//! let analysis = clre_markov::clr::analyze_robust(&params).unwrap();
+//! cache.insert_analysis(&params, analysis);
+//! assert_eq!(cache.analysis(&params), Some(analysis)); // exact replay
+//! ```
+//!
+//! [`analyze_robust`]: clre_markov::clr::analyze_robust
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use clre_markov::clr::{ClrChainParams, RobustAnalysis, TaskReliability};
+use clre_model::qos::SystemMetrics;
+
+use crate::encoding::Genome;
+
+/// First line of every cache sidecar file.
+pub const CACHE_HEADER: &str = "clrearly-cache v1";
+
+/// Number of lock shards per cache level. A power of two so the shard
+/// index is a cheap mask of the key digest.
+const SHARDS: usize = 16;
+
+/// Incremental FNV-1a (64-bit) hasher over machine words.
+///
+/// The cache's content digests — [`ClrChainParams::digest`], the genome
+/// key, the problem digest — are all FNV-1a over little-endian byte
+/// streams, built through this helper so every layer folds words the same
+/// way.
+#[derive(Debug, Clone)]
+pub struct Fnv(u64);
+
+impl Fnv {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// A hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Fnv(Self::OFFSET)
+    }
+
+    /// Folds one 64-bit word (as little-endian bytes).
+    pub fn write_u64(&mut self, word: u64) {
+        for byte in word.to_le_bytes() {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// Folds an `f64` by its IEEE-754 bit pattern (exact bits: `-0.0`
+    /// and `0.0` hash differently, as do distinct NaN payloads).
+    pub fn write_f64(&mut self, value: f64) {
+        self.write_u64(value.to_bits());
+    }
+
+    /// Folds raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// The digest so far.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Monotonic hit/miss/insert counts of one cache level (or the sum of
+/// both, via [`EvalCache::counts`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheCounts {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that found nothing (or a digest collision).
+    pub misses: u64,
+    /// First-writer insertions (loaded sidecar entries not included).
+    pub inserts: u64,
+}
+
+impl CacheCounts {
+    /// Fitness-style hit rate `hits / (hits + misses)`; `0.0` when idle.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct LevelStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
+}
+
+impl LevelStats {
+    fn counts(&self) -> CacheCounts {
+        CacheCounts {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The memoized outcome of one genome evaluation: the full system metrics
+/// plus the total constraint violation (QoS spec + memory capacity).
+///
+/// The objective vector is *not* stored: it is a pure projection of the
+/// metrics through the problem's `ObjectiveSet`, recomputed on hit. This
+/// is what lets front annotation reuse the cache as a pure lookup instead
+/// of re-decoding and re-scheduling the genome.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CachedFitness {
+    /// The Table III system metrics of the decoded, scheduled mapping.
+    pub metrics: SystemMetrics,
+    /// Total normalized constraint violation; `0.0` means feasible.
+    pub violation: f64,
+}
+
+/// One fitness-cache entry: the exact key (for collision detection) plus
+/// the memoized value.
+#[derive(Debug, Clone)]
+struct FitnessEntry {
+    problem: u64,
+    genome: Genome,
+    value: CachedFitness,
+}
+
+type AnalysisShard = Mutex<HashMap<u64, (ClrChainParams, RobustAnalysis)>>;
+type FitnessShard = Mutex<HashMap<u64, FitnessEntry>>;
+
+/// The two-level, thread-safe, content-addressed evaluation cache.
+///
+/// Shared by [`Arc`]: one instance may serve many `ClrEarly` campaigns,
+/// sweep cells and worker threads concurrently. See the [module
+/// docs](self) for the determinism argument and the sidecar format.
+#[derive(Debug)]
+pub struct EvalCache {
+    analysis: Vec<AnalysisShard>,
+    fitness: Vec<FitnessShard>,
+    analysis_stats: LevelStats,
+    fitness_stats: LevelStats,
+    sidecar: Mutex<Option<fs::File>>,
+}
+
+impl Default for EvalCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EvalCache {
+    /// An empty, unbound (in-memory only) cache.
+    pub fn new() -> Self {
+        EvalCache {
+            analysis: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            fitness: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            analysis_stats: LevelStats::default(),
+            fitness_stats: LevelStats::default(),
+            sidecar: Mutex::new(None),
+        }
+    }
+
+    /// An empty cache behind an [`Arc`], ready to share across campaign
+    /// stages and worker threads.
+    pub fn shared() -> Arc<Self> {
+        Arc::new(Self::new())
+    }
+
+    fn shard(digest: u64) -> usize {
+        // The digest's low byte is well-mixed (FNV multiplies last).
+        (digest as usize) & (SHARDS - 1)
+    }
+
+    /// Looks up a task analysis by exact parameter bits.
+    ///
+    /// Returns `None` on a true miss *and* on a digest collision (the
+    /// stored parameters differ bit-wise) — a collision recomputes rather
+    /// than ever replaying the wrong analysis.
+    pub fn analysis(&self, params: &ClrChainParams) -> Option<RobustAnalysis> {
+        let digest = params.digest();
+        let shard = self.analysis[Self::shard(digest)]
+            .lock()
+            .expect("analysis cache poisoned");
+        match shard.get(&digest) {
+            Some((stored, analysis)) if stored == params => {
+                self.analysis_stats.hits.fetch_add(1, Ordering::Relaxed);
+                Some(*analysis)
+            }
+            _ => {
+                self.analysis_stats.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts a task analysis (insert-once: the first writer wins) and
+    /// returns the stored value — callers use the return value so every
+    /// worker proceeds with identical bits.
+    pub fn insert_analysis(
+        &self,
+        params: &ClrChainParams,
+        analysis: RobustAnalysis,
+    ) -> RobustAnalysis {
+        let digest = params.digest();
+        let (stored, fresh) = {
+            let mut shard = self.analysis[Self::shard(digest)]
+                .lock()
+                .expect("analysis cache poisoned");
+            match shard.entry(digest) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    let (stored_params, stored) = e.get();
+                    // A collision slot belongs to the first key; adopt the
+                    // stored value only for the matching key.
+                    if stored_params == params {
+                        (*stored, false)
+                    } else {
+                        (analysis, false)
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert((*params, analysis));
+                    (analysis, true)
+                }
+            }
+        };
+        if fresh {
+            self.analysis_stats.inserts.fetch_add(1, Ordering::Relaxed);
+            self.append_line(&encode_analysis(params, &stored));
+        }
+        stored
+    }
+
+    /// Looks up a genome fitness by problem digest + exact gene sequence.
+    pub fn fitness(&self, problem: u64, genome: &Genome) -> Option<CachedFitness> {
+        let digest = fitness_digest(problem, genome);
+        let shard = self.fitness[Self::shard(digest)]
+            .lock()
+            .expect("fitness cache poisoned");
+        match shard.get(&digest) {
+            Some(entry) if entry.problem == problem && entry.genome == *genome => {
+                self.fitness_stats.hits.fetch_add(1, Ordering::Relaxed);
+                Some(entry.value)
+            }
+            _ => {
+                self.fitness_stats.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts a genome fitness (insert-once: the first writer wins) and
+    /// returns the stored value.
+    pub fn insert_fitness(
+        &self,
+        problem: u64,
+        genome: &Genome,
+        value: CachedFitness,
+    ) -> CachedFitness {
+        let digest = fitness_digest(problem, genome);
+        let (stored, fresh) = {
+            let mut shard = self.fitness[Self::shard(digest)]
+                .lock()
+                .expect("fitness cache poisoned");
+            match shard.entry(digest) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    let entry = e.get();
+                    if entry.problem == problem && entry.genome == *genome {
+                        (entry.value, false)
+                    } else {
+                        (value, false)
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(FitnessEntry {
+                        problem,
+                        genome: genome.clone(),
+                        value,
+                    });
+                    (value, true)
+                }
+            }
+        };
+        if fresh {
+            self.fitness_stats.inserts.fetch_add(1, Ordering::Relaxed);
+            self.append_line(&encode_fitness(problem, genome, &stored));
+        }
+        stored
+    }
+
+    /// Analysis-level counters.
+    pub fn analysis_counts(&self) -> CacheCounts {
+        self.analysis_stats.counts()
+    }
+
+    /// Fitness-level counters.
+    pub fn fitness_counts(&self) -> CacheCounts {
+        self.fitness_stats.counts()
+    }
+
+    /// Both levels summed — what threads into `RunHealth` and the
+    /// per-generation trace.
+    pub fn counts(&self) -> CacheCounts {
+        let a = self.analysis_counts();
+        let f = self.fitness_counts();
+        CacheCounts {
+            hits: a.hits + f.hits,
+            misses: a.misses + f.misses,
+            inserts: a.inserts + f.inserts,
+        }
+    }
+
+    /// Number of distinct analyses currently held.
+    pub fn analysis_len(&self) -> usize {
+        self.analysis
+            .iter()
+            .map(|s| s.lock().expect("analysis cache poisoned").len())
+            .sum()
+    }
+
+    /// Number of distinct genome fitnesses currently held.
+    pub fn fitness_len(&self) -> usize {
+        self.fitness
+            .iter()
+            .map(|s| s.lock().expect("fitness cache poisoned").len())
+            .sum()
+    }
+
+    /// Binds this cache to an append-only sidecar journal: loads every
+    /// entry already journalled at `path` (warm start), then appends one
+    /// line per future first-insert.
+    ///
+    /// Degrades rather than fails: a missing file is created; malformed
+    /// lines — at most the torn tail of a killed run, or wholesale
+    /// corruption — are skipped; a file with a foreign header is left
+    /// untouched and the cache simply stays unbound (cold, in-memory
+    /// only).
+    ///
+    /// # Errors
+    ///
+    /// Only genuine I/O failures (permissions, disk) are reported.
+    pub fn bind_sidecar(&self, path: &Path) -> io::Result<()> {
+        match fs::read_to_string(path) {
+            Ok(text) => {
+                let mut lines = text.lines();
+                match lines.next() {
+                    Some(first) if first != CACHE_HEADER => {
+                        // Foreign file: never append into it.
+                        return Ok(());
+                    }
+                    _ => {}
+                }
+                for line in lines {
+                    self.load_line(line);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        let mut file = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        if file.metadata()?.len() == 0 {
+            writeln!(file, "{CACHE_HEADER}")?;
+        }
+        *self.sidecar.lock().expect("cache sidecar poisoned") = Some(file);
+        Ok(())
+    }
+
+    /// Whether a sidecar journal is currently bound.
+    pub fn is_bound(&self) -> bool {
+        self.sidecar
+            .lock()
+            .expect("cache sidecar poisoned")
+            .is_some()
+    }
+
+    /// Inserts one journal line without re-appending it; malformed lines
+    /// are skipped (torn-tail tolerance).
+    fn load_line(&self, line: &str) {
+        if let Some((params, analysis)) = parse_analysis(line) {
+            let digest = params.digest();
+            self.analysis[Self::shard(digest)]
+                .lock()
+                .expect("analysis cache poisoned")
+                .entry(digest)
+                .or_insert((params, analysis));
+        } else if let Some(entry) = parse_fitness(line) {
+            let digest = fitness_digest(entry.problem, &entry.genome);
+            self.fitness[Self::shard(digest)]
+                .lock()
+                .expect("fitness cache poisoned")
+                .entry(digest)
+                .or_insert(entry);
+        }
+    }
+
+    /// Appends one line to the bound sidecar; unbound caches skip the
+    /// write. Append failure is deliberately swallowed: the cache is an
+    /// accelerator, a full disk must not fail the evaluation itself.
+    fn append_line(&self, line: &str) {
+        let mut guard = self.sidecar.lock().expect("cache sidecar poisoned");
+        if let Some(file) = guard.as_mut() {
+            let _ = writeln!(file, "{line}");
+        }
+    }
+}
+
+/// The sidecar journal path for a given checkpoint path: `cache.txt` next
+/// to the checkpoint (mirroring the quarantine sidecar convention).
+pub fn cache_sidecar_path(checkpoint_path: &Path) -> PathBuf {
+    match checkpoint_path.parent() {
+        Some(dir) => dir.join("cache.txt"),
+        None => PathBuf::from("cache.txt"),
+    }
+}
+
+/// Digest of one fitness key: the problem digest folded with every gene's
+/// `(task, pe, choice)` triple.
+fn fitness_digest(problem: u64, genome: &Genome) -> u64 {
+    let mut fnv = Fnv::new();
+    fnv.write_u64(problem);
+    for gene in genome {
+        fnv.write_u64(gene.task.index() as u64);
+        fnv.write_u64(gene.pe.index() as u64);
+        fnv.write_u64(u64::from(gene.choice));
+    }
+    fnv.finish()
+}
+
+fn f64_hex(v: f64) -> String {
+    format!("{:016x}", v.to_bits())
+}
+
+fn parse_f64_hex(tok: &str) -> Option<f64> {
+    if tok.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(tok, 16).ok().map(f64::from_bits)
+}
+
+/// One analysis line:
+/// `analysis <11 param hex> <intervals> <min> <avg> <err> <degraded> <retried>`
+/// with every `f64` as an IEEE-754 bit pattern (exact round-trip).
+fn encode_analysis(params: &ClrChainParams, analysis: &RobustAnalysis) -> String {
+    let mut line = String::from("analysis");
+    for v in [
+        params.exec_time,
+        params.seu_rate,
+        params.m_hw,
+        params.m_impl_ssw,
+        params.cov_det,
+        params.m_tol,
+        params.m_asw,
+    ] {
+        let _ = write!(line, " {}", f64_hex(v));
+    }
+    let _ = write!(line, " {}", params.intervals);
+    for v in [params.t_det, params.t_tol, params.t_chk, params.p_chk_err] {
+        let _ = write!(line, " {}", f64_hex(v));
+    }
+    let _ = write!(
+        line,
+        " {} {} {} {} {}",
+        f64_hex(analysis.reliability.min_exec_time),
+        f64_hex(analysis.reliability.avg_exec_time),
+        f64_hex(analysis.reliability.error_prob),
+        u8::from(analysis.degraded),
+        u8::from(analysis.retried),
+    );
+    line
+}
+
+fn parse_analysis(line: &str) -> Option<(ClrChainParams, RobustAnalysis)> {
+    let mut tokens = line.split_whitespace();
+    if tokens.next() != Some("analysis") {
+        return None;
+    }
+    let mut f = || parse_f64_hex(tokens.next()?);
+    let exec_time = f()?;
+    let seu_rate = f()?;
+    let m_hw = f()?;
+    let m_impl_ssw = f()?;
+    let cov_det = f()?;
+    let m_tol = f()?;
+    let m_asw = f()?;
+    let intervals: u32 = tokens.next()?.parse().ok()?;
+    let mut f = || parse_f64_hex(tokens.next()?);
+    let t_det = f()?;
+    let t_tol = f()?;
+    let t_chk = f()?;
+    let p_chk_err = f()?;
+    let min_exec_time = f()?;
+    let avg_exec_time = f()?;
+    let error_prob = f()?;
+    let degraded = match tokens.next()? {
+        "0" => false,
+        "1" => true,
+        _ => return None,
+    };
+    let retried = match tokens.next()? {
+        "0" => false,
+        "1" => true,
+        _ => return None,
+    };
+    if tokens.next().is_some() {
+        return None; // trailing garbage: treat the line as torn
+    }
+    Some((
+        ClrChainParams {
+            exec_time,
+            seu_rate,
+            m_hw,
+            m_impl_ssw,
+            cov_det,
+            m_tol,
+            m_asw,
+            intervals,
+            t_det,
+            t_tol,
+            t_chk,
+            p_chk_err,
+        },
+        RobustAnalysis {
+            reliability: TaskReliability {
+                min_exec_time,
+                avg_exec_time,
+                error_prob,
+            },
+            degraded,
+            retried,
+        },
+    ))
+}
+
+/// One fitness line:
+/// `fitness <problem hex> <n> <task:pe:choice>* <violation> <5 metric hex>`
+fn encode_fitness(problem: u64, genome: &Genome, value: &CachedFitness) -> String {
+    let mut line = format!("fitness {problem:016x} {}", genome.len());
+    for gene in genome {
+        let _ = write!(
+            line,
+            " {}:{}:{}",
+            gene.task.index(),
+            gene.pe.index(),
+            gene.choice
+        );
+    }
+    let _ = write!(
+        line,
+        " {} {} {} {} {} {}",
+        f64_hex(value.violation),
+        f64_hex(value.metrics.makespan),
+        f64_hex(value.metrics.error_prob),
+        f64_hex(value.metrics.mttf),
+        f64_hex(value.metrics.energy),
+        f64_hex(value.metrics.peak_power),
+    );
+    line
+}
+
+fn parse_fitness(line: &str) -> Option<FitnessEntry> {
+    use clre_model::{PeId, TaskId};
+
+    let mut tokens = line.split_whitespace();
+    if tokens.next() != Some("fitness") {
+        return None;
+    }
+    let problem_tok = tokens.next()?;
+    if problem_tok.len() != 16 {
+        return None;
+    }
+    let problem = u64::from_str_radix(problem_tok, 16).ok()?;
+    let count: usize = tokens.next()?.parse().ok()?;
+    let mut genome = Vec::with_capacity(count);
+    for _ in 0..count {
+        let triple = tokens.next()?;
+        let mut parts = triple.split(':');
+        let task: u32 = parts.next()?.parse().ok()?;
+        let pe: u32 = parts.next()?.parse().ok()?;
+        let choice: u32 = parts.next()?.parse().ok()?;
+        if parts.next().is_some() {
+            return None;
+        }
+        genome.push(crate::encoding::Gene {
+            task: TaskId::new(task),
+            pe: PeId::new(pe),
+            choice,
+        });
+    }
+    let mut f = || parse_f64_hex(tokens.next()?);
+    let violation = f()?;
+    let makespan = f()?;
+    let error_prob = f()?;
+    let mttf = f()?;
+    let energy = f()?;
+    let peak_power = f()?;
+    if tokens.next().is_some() {
+        return None;
+    }
+    Some(FitnessEntry {
+        problem,
+        genome,
+        value: CachedFitness {
+            metrics: SystemMetrics {
+                makespan,
+                error_prob,
+                mttf,
+                energy,
+                peak_power,
+            },
+            violation,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clre_model::{PeId, TaskId};
+
+    fn params(seed: f64) -> ClrChainParams {
+        let mut p = ClrChainParams::unprotected(300.0e-6 * seed, 100.0);
+        p.m_hw = 0.25;
+        p
+    }
+
+    fn analysis(seed: f64) -> RobustAnalysis {
+        RobustAnalysis {
+            reliability: TaskReliability {
+                min_exec_time: 1.0e-3 * seed,
+                avg_exec_time: 1.5e-3 * seed,
+                error_prob: 0.125 * seed,
+            },
+            degraded: false,
+            retried: true,
+        }
+    }
+
+    fn genome(seed: u32) -> Genome {
+        (0..3)
+            .map(|i| crate::encoding::Gene {
+                task: TaskId::new(i),
+                pe: PeId::new((i + seed) % 4),
+                choice: seed.wrapping_mul(7) + i,
+            })
+            .collect()
+    }
+
+    fn fitness_value(seed: f64) -> CachedFitness {
+        CachedFitness {
+            metrics: SystemMetrics {
+                makespan: 1.0e-3 * seed,
+                error_prob: 0.01 * seed,
+                mttf: 1.0e7 * seed,
+                energy: 0.5 * seed,
+                peak_power: 2.0 * seed,
+            },
+            violation: 0.0,
+        }
+    }
+
+    fn temp_path(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("clre-cache-tests");
+        fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn analysis_roundtrip_and_counters() {
+        let cache = EvalCache::new();
+        let p = params(1.0);
+        assert_eq!(cache.analysis(&p), None);
+        let stored = cache.insert_analysis(&p, analysis(1.0));
+        assert_eq!(stored, analysis(1.0));
+        assert_eq!(cache.analysis(&p), Some(analysis(1.0)));
+        let counts = cache.analysis_counts();
+        assert_eq!((counts.hits, counts.misses, counts.inserts), (1, 1, 1));
+        assert_eq!(cache.analysis_len(), 1);
+    }
+
+    #[test]
+    fn insert_once_keeps_the_first_value() {
+        let cache = EvalCache::new();
+        let p = params(1.0);
+        cache.insert_analysis(&p, analysis(1.0));
+        // A second writer adopts the stored value, not its own.
+        let stored = cache.insert_analysis(&p, analysis(9.0));
+        assert_eq!(stored, analysis(1.0));
+        assert_eq!(cache.analysis_counts().inserts, 1);
+
+        let g = genome(1);
+        cache.insert_fitness(3, &g, fitness_value(1.0));
+        let stored = cache.insert_fitness(3, &g, fitness_value(9.0));
+        assert_eq!(stored, fitness_value(1.0));
+        assert_eq!(cache.fitness_counts().inserts, 1);
+    }
+
+    #[test]
+    fn fitness_is_scoped_by_problem_digest() {
+        let cache = EvalCache::new();
+        let g = genome(2);
+        cache.insert_fitness(1, &g, fitness_value(1.0));
+        assert_eq!(cache.fitness(1, &g), Some(fitness_value(1.0)));
+        assert_eq!(cache.fitness(2, &g), None, "other problem never hits");
+        assert_eq!(cache.fitness(1, &genome(3)), None, "other genome misses");
+    }
+
+    #[test]
+    fn sidecar_roundtrips_both_levels() {
+        let path = temp_path("roundtrip.cache");
+        let _ = fs::remove_file(&path);
+        let cache = EvalCache::new();
+        cache.bind_sidecar(&path).unwrap();
+        assert!(cache.is_bound());
+        cache.insert_analysis(&params(1.0), analysis(1.0));
+        cache.insert_fitness(7, &genome(1), fitness_value(1.0));
+
+        let warm = EvalCache::new();
+        warm.bind_sidecar(&path).unwrap();
+        assert_eq!(warm.analysis(&params(1.0)), Some(analysis(1.0)));
+        assert_eq!(warm.fitness(7, &genome(1)), Some(fitness_value(1.0)));
+        assert_eq!(warm.counts().inserts, 0, "loads are not inserts");
+        let text = fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with(CACHE_HEADER));
+    }
+
+    #[test]
+    fn torn_tail_degrades_to_partial_load() {
+        let path = temp_path("torn.cache");
+        let mut text = format!("{CACHE_HEADER}\n");
+        text.push_str(&encode_analysis(&params(1.0), &analysis(1.0)));
+        text.push('\n');
+        let torn = encode_fitness(7, &genome(1), &fitness_value(1.0));
+        text.push_str(&torn[..torn.len() / 2]);
+        fs::write(&path, text).unwrap();
+
+        let cache = EvalCache::new();
+        cache.bind_sidecar(&path).unwrap();
+        assert_eq!(cache.analysis(&params(1.0)), Some(analysis(1.0)));
+        assert_eq!(cache.fitness(7, &genome(1)), None, "torn tail skipped");
+    }
+
+    #[test]
+    fn wholesale_corruption_degrades_to_cold_cache() {
+        let path = temp_path("corrupt.cache");
+        fs::write(&path, format!("{CACHE_HEADER}\n\u{0}garbage lines\nmore\n")).unwrap();
+        let cache = EvalCache::new();
+        cache.bind_sidecar(&path).unwrap();
+        assert_eq!(cache.analysis_len() + cache.fitness_len(), 0);
+        assert!(cache.is_bound(), "still journals fresh inserts");
+    }
+
+    #[test]
+    fn foreign_files_are_left_untouched() {
+        let path = temp_path("foreign.cache");
+        fs::write(&path, "clrearly-sweep v1\ncell t/a 1 0 0\n").unwrap();
+        let cache = EvalCache::new();
+        cache.bind_sidecar(&path).unwrap();
+        assert!(!cache.is_bound(), "cold cache, no appends");
+        cache.insert_analysis(&params(1.0), analysis(1.0));
+        let text = fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "clrearly-sweep v1\ncell t/a 1 0 0\n");
+    }
+
+    #[test]
+    fn exact_bit_fidelity_through_the_sidecar() {
+        let path = temp_path("bits.cache");
+        let _ = fs::remove_file(&path);
+        let cache = EvalCache::new();
+        cache.bind_sidecar(&path).unwrap();
+        let mut v = fitness_value(1.0);
+        v.metrics.makespan = f64::from_bits(0x3FF0_0000_0000_0001); // 1 + ulp
+        v.violation = 1.0e30;
+        cache.insert_fitness(5, &genome(4), v);
+
+        let warm = EvalCache::new();
+        warm.bind_sidecar(&path).unwrap();
+        let hit = warm.fitness(5, &genome(4)).unwrap();
+        assert_eq!(hit.metrics.makespan.to_bits(), v.metrics.makespan.to_bits());
+        assert_eq!(hit.violation.to_bits(), v.violation.to_bits());
+    }
+
+    #[test]
+    fn sidecar_path_sits_next_to_the_checkpoint() {
+        let p = cache_sidecar_path(Path::new("/runs/x/checkpoint.txt"));
+        assert_eq!(p, Path::new("/runs/x/cache.txt"));
+    }
+
+    #[test]
+    fn concurrent_inserts_agree() {
+        let cache = EvalCache::shared();
+        let g = genome(1);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let cache = Arc::clone(&cache);
+                let g = g.clone();
+                scope.spawn(move || {
+                    let stored = cache.insert_fitness(1, &g, fitness_value(1.0));
+                    assert_eq!(stored, fitness_value(1.0));
+                });
+            }
+        });
+        assert_eq!(cache.fitness_counts().inserts, 1, "insert-once");
+        assert_eq!(cache.fitness_len(), 1);
+    }
+}

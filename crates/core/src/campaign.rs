@@ -35,6 +35,7 @@
 //! ```
 
 use std::borrow::Cow;
+use std::sync::Arc;
 
 use clre_exec::Executor;
 use clre_model::reliability::ClrConfig;
@@ -43,6 +44,7 @@ use clre_moea::{
     EvoOutcome, EvoSnapshot, EvolutionState, Nsga2, Nsga2State, Spea2, Spea2Config, Spea2State,
 };
 
+use crate::cache::{cache_sidecar_path, EvalCache};
 use crate::encoding::{ChoiceMode, ClrVariation, Codec, Genome};
 use crate::library::ImplLibrary;
 use crate::methodology::{ClrEarly, FrontPoint, FrontResult, Layer, StageBudget};
@@ -132,6 +134,76 @@ impl StagePlan {
             generations_divisor: 1,
             seed_from: None,
         }
+    }
+
+    /// Sets the implementation library this stage searches (builder
+    /// style).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use clre::campaign::{LibrarySource, StagePlan};
+    /// use clre::encoding::ChoiceMode;
+    ///
+    /// let stage = StagePlan::nsga2("ablation", ChoiceMode::ParetoFiltered, 5)
+    ///     .with_library(LibrarySource::RandomSubset(9));
+    /// assert_eq!(stage.library, LibrarySource::RandomSubset(9));
+    /// ```
+    #[must_use]
+    pub fn with_library(mut self, library: LibrarySource) -> Self {
+        self.library = library;
+        self
+    }
+
+    /// Sets the NSGA-II tournament size override (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stage is not an NSGA-II stage or `k == 0`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use clre::campaign::{StageAlgorithm, StagePlan};
+    /// use clre::encoding::ChoiceMode;
+    ///
+    /// let stage = StagePlan::nsga2("pfCLR", ChoiceMode::ParetoFiltered, 2)
+    ///     .with_tournament(3);
+    /// assert_eq!(
+    ///     stage.algorithm,
+    ///     StageAlgorithm::Nsga2 { tournament: Some(3) }
+    /// );
+    /// ```
+    #[must_use]
+    pub fn with_tournament(mut self, k: usize) -> Self {
+        assert!(k > 0, "tournament size must be at least 1");
+        match &mut self.algorithm {
+            StageAlgorithm::Nsga2 { tournament } => *tournament = Some(k),
+            StageAlgorithm::Spea2 => panic!("SPEA2 stages have no tournament size"),
+        }
+        self
+    }
+
+    /// Sets the budget-fairness divisor (builder style): the stage runs
+    /// `(budget.generations / divisor).max(1)` generations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor == 0`.
+    #[must_use]
+    pub fn with_generations_divisor(mut self, divisor: usize) -> Self {
+        assert!(divisor > 0, "divisor must be at least 1");
+        self.generations_divisor = divisor;
+        self
+    }
+
+    /// Declares a seeding edge from an earlier stage (builder style): the
+    /// front genomes of stage `index` seed this stage's initial
+    /// population, the pf → fc hand-off of the proposed flow.
+    #[must_use]
+    pub fn with_seed_from(mut self, index: usize) -> Self {
+        self.seed_from = Some(index);
+        self
     }
 
     /// This stage's generation budget under `budget`.
@@ -249,6 +321,37 @@ impl CampaignPlan {
                 library: LibrarySource::RandomSubset(subset_seed),
                 ..StagePlan::nsga2("random-subset", ChoiceMode::ParetoFiltered, 5)
             }],
+        }
+    }
+
+    /// Appends a stage to the plan (builder style).
+    ///
+    /// # Examples
+    ///
+    /// A custom two-stage plan with an explicit seeding edge:
+    ///
+    /// ```
+    /// use clre::campaign::{CampaignPlan, StagePlan};
+    /// use clre::encoding::ChoiceMode;
+    ///
+    /// let plan = CampaignPlan::named("pf-then-fc")
+    ///     .with_stage(StagePlan::nsga2("pf", ChoiceMode::ParetoFiltered, 2))
+    ///     .with_stage(StagePlan::nsga2("fc", ChoiceMode::Full, 4).with_seed_from(0));
+    /// assert_eq!(plan.stages.len(), 2);
+    /// assert_eq!(plan.stages[1].seed_from, Some(0));
+    /// ```
+    #[must_use]
+    pub fn with_stage(mut self, stage: StagePlan) -> Self {
+        self.stages.push(stage);
+        self
+    }
+
+    /// An empty plan with the given campaign name; add stages with
+    /// [`CampaignPlan::with_stage`]. The name must be whitespace-free.
+    pub fn named(name: impl Into<String>) -> Self {
+        CampaignPlan {
+            name: name.into(),
+            stages: Vec::new(),
         }
     }
 
@@ -378,6 +481,7 @@ impl<'a> ClrEarly<'a> {
         supervisor: &RunSupervisor,
     ) -> Result<RunOutcome, DseError> {
         plan.assert_well_formed();
+        self.bind_cache_sidecar(supervisor);
         self.drive_campaign(
             plan,
             budget,
@@ -417,6 +521,10 @@ impl<'a> ClrEarly<'a> {
         supervisor: &RunSupervisor,
     ) -> Result<RunOutcome, DseError> {
         plan.assert_well_formed();
+        // Warm-start: load the persisted cache before the completed
+        // stages are reconstituted, so their re-annotation is answered
+        // from the sidecar instead of re-scheduling every front genome.
+        self.bind_cache_sidecar(supervisor);
         let cp = Checkpoint::load(supervisor.checkpoint_path())?;
         self.validate_campaign_checkpoint(plan, &cp, budget)?;
         let Checkpoint {
@@ -513,6 +621,29 @@ impl<'a> ClrEarly<'a> {
         Ok(RunOutcome::Complete(final_result))
     }
 
+    /// A stage problem over `codec` with this orchestrator's objective
+    /// set, QoS spec and (if attached) fitness cache.
+    fn stage_problem<'b>(&self, codec: Codec<'b>) -> SystemProblem<'b> {
+        let problem = SystemProblem::new(codec, self.objectives.clone(), self.spec);
+        match &self.cache {
+            Some(cache) => problem.with_cache(Arc::clone(cache)),
+            None => problem,
+        }
+    }
+
+    /// Binds the attached cache's persistence sidecar next to the
+    /// supervisor's checkpoint file (idempotent; a cache bound earlier —
+    /// e.g. to a sweep-wide sidecar — keeps its binding). Failures are
+    /// swallowed: the cache is an accelerator, and a read-only disk must
+    /// degrade it to in-memory, not fail the campaign.
+    fn bind_cache_sidecar(&self, supervisor: &RunSupervisor) {
+        if let Some(cache) = &self.cache {
+            if !cache.is_bound() {
+                let _ = cache.bind_sidecar(&cache_sidecar_path(supervisor.checkpoint_path()));
+            }
+        }
+    }
+
     /// Resolves a stage's implementation library.
     fn resolve_library(&self, source: LibrarySource) -> Result<Cow<'_, ImplLibrary>, DseError> {
         match source {
@@ -527,7 +658,7 @@ impl<'a> ClrEarly<'a> {
                 let tdse = self
                     .tdse
                     .clone()
-                    .with_clr_catalog(catalog)
+                    .with_clr_catalog(catalog)?
                     .with_dvfs_policy(policy);
                 Ok(Cow::Owned(build_library(self.graph, self.platform, &tdse)?))
             }
@@ -547,7 +678,7 @@ impl<'a> ClrEarly<'a> {
     ) -> Result<(FrontResult, Vec<Genome>), DseError> {
         let library = self.resolve_library(stage.library)?;
         let codec = Codec::new(self.graph, self.platform, &library, stage.mode)?;
-        let problem = SystemProblem::new(codec.clone(), self.objectives.clone(), self.spec);
+        let problem = self.stage_problem(codec.clone());
         let exec = self.stage_exec(&stage.label);
         let outcome = {
             let variation = ClrVariation::new(&codec);
@@ -570,7 +701,7 @@ impl<'a> ClrEarly<'a> {
                 }
             }
         };
-        let metrics_problem = SystemProblem::new(codec, self.objectives.clone(), self.spec);
+        let metrics_problem = self.stage_problem(codec);
         let mut points = Vec::with_capacity(outcome.members.len());
         let mut genomes = Vec::with_capacity(outcome.members.len());
         for ind in outcome.members {
@@ -611,7 +742,7 @@ impl<'a> ClrEarly<'a> {
         let stage = &plan.stages[index];
         let library = self.resolve_library(stage.library)?;
         let codec = Codec::new(self.graph, self.platform, &library, stage.mode)?;
-        let problem = SystemProblem::new(codec.clone(), self.objectives.clone(), self.spec);
+        let problem = self.stage_problem(codec.clone());
         let resilient =
             ResilientProblem::new(problem).with_max_retries(supervisor.config().max_retries);
         let eval_health = resilient.health();
@@ -644,6 +775,7 @@ impl<'a> ClrEarly<'a> {
                         &base_health,
                         &eval_health,
                         &quarantine_log,
+                        self.cache.as_deref(),
                         resume,
                     )?
                 }
@@ -661,6 +793,7 @@ impl<'a> ClrEarly<'a> {
                         &base_health,
                         &eval_health,
                         &quarantine_log,
+                        self.cache.as_deref(),
                         resume,
                     )?
                 }
@@ -675,7 +808,7 @@ impl<'a> ClrEarly<'a> {
                 evaluations,
                 health,
             } => {
-                let metrics_problem = SystemProblem::new(codec, self.objectives.clone(), self.spec);
+                let metrics_problem = self.stage_problem(codec);
                 let mut points = Vec::with_capacity(members.len());
                 let mut genomes = Vec::with_capacity(members.len());
                 for ind in members {
@@ -716,7 +849,7 @@ impl<'a> ClrEarly<'a> {
     ) -> Result<FrontResult, DseError> {
         let library = self.resolve_library(stage.library)?;
         let codec = Codec::new(self.graph, self.platform, &library, stage.mode)?;
-        let problem = SystemProblem::new(codec, self.objectives.clone(), self.spec);
+        let problem = self.stage_problem(codec);
         let mut points = Vec::with_capacity(genomes.len());
         for g in genomes {
             if let Ok(metrics) = problem.try_metrics_of(g) {
@@ -883,6 +1016,7 @@ fn supervise<A, S: EvolutionState<A, Genome = Genome>>(
     base_health: &RunHealth,
     eval_health: &crate::resilience::HealthHandle,
     quarantine_log: &std::sync::Arc<std::sync::Mutex<Vec<crate::resilience::QuarantineRecord>>>,
+    cache: Option<&EvalCache>,
     resume: Option<EvoSnapshot<Genome>>,
 ) -> Result<SupervisedDrive, DseError> {
     let fresh = resume.is_none();
@@ -896,6 +1030,16 @@ fn supervise<A, S: EvolutionState<A, Genome = Genome>>(
         let mut h = base_health.clone();
         h.merge(&eval_health.lock().expect("run health poisoned"));
         h.checkpoints_written += checkpoints;
+        // Cache counters are live process-wide totals of the attached
+        // cache (sidecar warm-start loads are not counted as activity),
+        // so they are stamped, not accumulated, to stay monotone across
+        // the stages of one campaign.
+        if let Some(cache) = cache {
+            let counts = cache.counts();
+            h.cache_hits = counts.hits;
+            h.cache_misses = counts.misses;
+            h.cache_inserts = counts.inserts;
+        }
         h
     };
     // Checkpoints carry nothing thread-dependent: the state's population
@@ -930,6 +1074,10 @@ fn supervise<A, S: EvolutionState<A, Genome = Genome>>(
     let annotate = || {
         let h = health_now(0);
         exec.annotate_health(h.quarantined, h.degraded_analyses);
+        if let Some(cache) = cache {
+            let counts = cache.fitness_counts();
+            exec.annotate_cache(counts.hits, counts.misses);
+        }
     };
     if fresh {
         annotate();

@@ -31,6 +31,10 @@
 //! * [`resilience`] — the fault-tolerant DSE runtime: panic/error-isolated
 //!   fitness evaluation with quarantine, periodic GA checkpoints with
 //!   deterministic resume, and per-run [`RunHealth`] reports.
+//! * [`cache`] — the content-addressed evaluation cache: two-level
+//!   (task-analysis + genome-fitness) memoization with a persistent
+//!   sidecar for warm-started resumes; hits replay the uncached
+//!   computation bit-for-bit.
 //!
 //! # Examples
 //!
@@ -66,6 +70,7 @@
 #![warn(missing_docs)]
 
 pub mod apps;
+pub mod cache;
 pub mod campaign;
 pub mod encoding;
 mod error;
@@ -75,6 +80,7 @@ pub mod problem;
 pub mod resilience;
 pub mod tdse;
 
+pub use cache::{CacheCounts, CachedFitness, EvalCache};
 pub use campaign::{CampaignPlan, LibrarySource, StageAlgorithm, StagePlan};
 pub use error::DseError;
 pub use library::{CandidateImpl, ImplLibrary};

@@ -217,6 +217,37 @@ impl ImplLibrary {
         }
     }
 
+    /// FNV-1a content digest over everything evaluation reads from this
+    /// library: every candidate's identity, Table II metric bit patterns
+    /// and memory footprint, in candidate order.
+    ///
+    /// The Pareto/full index lists are deliberately *not* folded in: they
+    /// steer sampling and repair, never evaluation, so a library and its
+    /// [`ImplLibrary::with_random_subsets`] twin share a digest — and may
+    /// therefore share fitness-cache entries, which is exactly right
+    /// because equal genomes evaluate identically under both.
+    pub fn content_digest(&self) -> u64 {
+        let mut fnv = crate::cache::Fnv::new();
+        fnv.write_u64(self.candidates.len() as u64);
+        for cands in &self.candidates {
+            fnv.write_u64(cands.len() as u64);
+            for c in cands {
+                fnv.write_u64(c.impl_id.index() as u64);
+                fnv.write_u64(c.pe_type.index() as u64);
+                fnv.write_u64(c.dvfs.index() as u64);
+                fnv.write_f64(c.metrics.min_exec_time);
+                fnv.write_f64(c.metrics.avg_exec_time);
+                fnv.write_f64(c.metrics.error_prob);
+                fnv.write_f64(c.metrics.eta);
+                fnv.write_f64(c.metrics.power);
+                fnv.write_f64(c.metrics.energy);
+                fnv.write_f64(c.metrics.peak_temp);
+                fnv.write_f64(c.memory_bytes);
+            }
+        }
+        fnv.finish()
+    }
+
     /// Checks that every task of `graph` has at least one mappable
     /// candidate on at least one PE type.
     ///
@@ -346,6 +377,28 @@ mod tests {
                 .pareto_choices(ty, PeTypeId::new(0)),
             rnd.pareto_choices(ty, PeTypeId::new(0))
         );
+    }
+
+    #[test]
+    fn content_digest_tracks_candidates_not_index_lists() {
+        let cands = vec![vec![
+            cand(0, 1.0, 0.3),
+            cand(0, 2.0, 0.1),
+            cand(0, 2.5, 0.35),
+            cand(0, 3.0, 0.05),
+            cand(1, 9.0, 0.9),
+        ]];
+        let lib = ImplLibrary::from_candidates(cands.clone(), 2, &ObjectiveSet::set_ii()).unwrap();
+        // Random subsets reshuffle only the sampling lists: same digest.
+        assert_eq!(
+            lib.content_digest(),
+            lib.with_random_subsets(7).content_digest()
+        );
+        // Any candidate metric change moves the digest.
+        let mut changed = cands;
+        changed[0][0].metrics.error_prob += 1.0e-12;
+        let other = ImplLibrary::from_candidates(changed, 2, &ObjectiveSet::set_ii()).unwrap();
+        assert_ne!(lib.content_digest(), other.content_digest());
     }
 
     #[test]

@@ -15,6 +15,8 @@
 //!   with a single degree of freedom each (DVFS / HWRel / SSWRel /
 //!   ASWRel), merged and Pareto-filtered.
 
+use std::sync::Arc;
+
 use clre_exec::Executor;
 use clre_model::qos::{ObjectiveSet, QosSpec, SystemMetrics};
 use clre_model::{Platform, TaskGraph};
@@ -22,6 +24,7 @@ use clre_moea::pareto::non_dominated_indices;
 use clre_moea::Nsga2Config;
 use serde::{Deserialize, Serialize};
 
+use crate::cache::EvalCache;
 use crate::campaign::CampaignPlan;
 use crate::encoding::Genome;
 use crate::library::ImplLibrary;
@@ -197,6 +200,7 @@ pub struct ClrEarly<'a> {
     pub(crate) objectives: ObjectiveSet,
     pub(crate) spec: QosSpec,
     pub(crate) exec: Executor,
+    pub(crate) cache: Option<Arc<EvalCache>>,
 }
 
 impl<'a> ClrEarly<'a> {
@@ -232,6 +236,7 @@ impl<'a> ClrEarly<'a> {
             objectives: ObjectiveSet::system_bi(),
             spec: QosSpec::new(),
             exec: Executor::serial(),
+            cache: None,
         })
     }
 
@@ -262,6 +267,28 @@ impl<'a> ClrEarly<'a> {
     /// The orchestrator's evaluation executor.
     pub fn executor(&self) -> &Executor {
         &self.exec
+    }
+
+    /// Attaches a shared evaluation cache (builder style): every GA run
+    /// of this orchestrator memoizes genome fitness through it, and the
+    /// single-layer baselines reuse its task-analysis level when they
+    /// rebuild their restricted libraries. Cached and uncached runs
+    /// produce bit-identical fronts for any worker count; only the wall
+    /// clock and the hit/miss telemetry differ.
+    ///
+    /// The library built at construction time predates this call; attach
+    /// the cache through [`TdseConfig::with_eval_cache`] and
+    /// [`ClrEarly::with_tdse_config`] to memoize that initial build too.
+    #[must_use]
+    pub fn with_cache(mut self, cache: Arc<EvalCache>) -> Self {
+        self.tdse = self.tdse.clone().with_eval_cache(Arc::clone(&cache));
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The attached evaluation cache, if any.
+    pub fn cache(&self) -> Option<&Arc<EvalCache>> {
+        self.cache.as_ref()
     }
 
     /// This orchestrator's executor re-labeled for one stage.

@@ -80,12 +80,20 @@ pub struct RunHealth {
     pub checkpoints_written: usize,
     /// Generation the run was resumed from, if it was resumed.
     pub resumed_from_generation: Option<usize>,
+    /// Evaluation-cache lookups answered from the cache (both levels:
+    /// task analyses and genome fitness). Zero when no cache is attached.
+    pub cache_hits: u64,
+    /// Evaluation-cache lookups that had to compute.
+    pub cache_misses: u64,
+    /// Fresh results inserted into the evaluation cache.
+    pub cache_inserts: u64,
 }
 
 impl RunHealth {
     /// `true` when nothing non-nominal happened: no failures were
     /// isolated, nothing was quarantined, and no analysis degraded.
-    /// (Checkpointing and resuming are nominal supervisor activity.)
+    /// (Checkpointing, resuming and cache activity are nominal
+    /// supervisor/accelerator behaviour.)
     pub fn is_clean(&self) -> bool {
         self.panics_isolated == 0
             && self.errors_isolated == 0
@@ -105,6 +113,12 @@ impl RunHealth {
         if self.resumed_from_generation.is_none() {
             self.resumed_from_generation = other.resumed_from_generation;
         }
+        // Cache counters are process-wide running totals (stamped, not
+        // per-stage deltas), so merging keeps the larger snapshot rather
+        // than summing — summing would double-count shared-cache stages.
+        self.cache_hits = self.cache_hits.max(other.cache_hits);
+        self.cache_misses = self.cache_misses.max(other.cache_misses);
+        self.cache_inserts = self.cache_inserts.max(other.cache_inserts);
     }
 }
 
@@ -112,6 +126,12 @@ impl RunHealth {
 /// of (only) panicking. [`ResilientProblem`] uses this channel to count
 /// and classify failures without unwinding where possible; panics remain
 /// the fallback channel for truly unexpected failures.
+///
+/// This is the domain-level (`DseError`-typed) sibling of the
+/// MOEA-generic [`Problem::try_evaluate`]: a problem whose
+/// [`Problem::reports_errors`] returns `true` promises that this channel
+/// is its native failure path, which lets [`ResilientProblem`] skip
+/// `catch_unwind` entirely in the common path.
 pub trait FallibleProblem: Problem {
     /// Fallible fitness evaluation.
     ///
@@ -194,10 +214,13 @@ pub fn quarantine_sidecar_path(checkpoint_path: &Path) -> PathBuf {
 
 /// Panic- and error-isolating wrapper around a [`FallibleProblem`].
 ///
-/// Every evaluation runs under [`catch_unwind`]; a panic or typed error
-/// is retried up to `max_retries` times and then quarantined with
-/// [`QUARANTINE_OBJECTIVE`] fitness. All events are tallied in a shared
-/// [`RunHealth`] handle so the GA driver can report them after the run.
+/// Failures are retried up to `max_retries` times and then quarantined
+/// with [`QUARANTINE_OBJECTIVE`] fitness; all events are tallied in a
+/// shared [`RunHealth`] handle so the GA driver can report them after the
+/// run. Problems that natively report failures as typed errors
+/// ([`Problem::reports_errors`]) are driven through the typed channel
+/// directly; [`catch_unwind`] is kept only as a last-resort fallback for
+/// legacy problems whose sole failure channel is a panic.
 ///
 /// # Examples
 ///
@@ -310,14 +333,28 @@ impl<P: FallibleProblem> Problem for ResilientProblem<P> {
     }
 
     fn evaluate(&self, genome: &Self::Genome) -> Evaluation {
+        // Common path: a problem that natively reports failures as typed
+        // errors (`Problem::reports_errors`) is driven through the typed
+        // channel directly — no unwind machinery at all. `catch_unwind`
+        // is kept only as a last-resort fallback for legacy problems
+        // whose sole failure channel is a panic.
+        let typed = self.inner.reports_errors();
         let mut last_error = String::new();
         for attempt in 0..=self.max_retries {
             if attempt > 0 {
                 self.health_mut().retries += 1;
             }
-            // AssertUnwindSafe: the inner problem is only read here, and a
-            // caught failure discards the attempt's partial state entirely.
-            match catch_unwind(AssertUnwindSafe(|| self.inner.try_evaluate(genome))) {
+            let outcome = if typed {
+                Ok(FallibleProblem::try_evaluate(&self.inner, genome))
+            } else {
+                // AssertUnwindSafe: the inner problem is only read here,
+                // and a caught failure discards the attempt's partial
+                // state entirely.
+                catch_unwind(AssertUnwindSafe(|| {
+                    FallibleProblem::try_evaluate(&self.inner, genome)
+                }))
+            };
+            match outcome {
                 Ok(Ok(eval))
                     if eval.violation.is_finite()
                         && eval.objectives.iter().all(|v| v.is_finite()) =>
@@ -339,6 +376,15 @@ impl<P: FallibleProblem> Problem for ResilientProblem<P> {
             }
         }
         self.quarantine(genome, last_error)
+    }
+
+    fn try_evaluate(&self, genome: &Self::Genome) -> Result<Evaluation, clre_moea::EvalError> {
+        Ok(self.evaluate(genome))
+    }
+
+    fn reports_errors(&self) -> bool {
+        // Evaluation never fails: the quarantine absorbs every failure.
+        true
     }
 }
 
@@ -367,6 +413,26 @@ impl SupervisorConfig {
     /// Checkpoints to `path` every generation with one retry per failure,
     /// keeping only the newest checkpoint, every checkpoint written in
     /// full.
+    ///
+    /// Every `with_*` method is a consuming builder: it returns the
+    /// updated configuration (and is `#[must_use]` — dropping the result
+    /// discards the setting).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use clre::resilience::SupervisorConfig;
+    ///
+    /// let config = SupervisorConfig::new("/tmp/run.ckpt")
+    ///     .with_interval(5)
+    ///     .with_max_retries(2)
+    ///     .with_keep_checkpoints(3)
+    ///     .with_delta_checkpoints(4);
+    /// assert_eq!(config.every_generations, 5);
+    /// assert_eq!(config.max_retries, 2);
+    /// assert_eq!(config.keep_checkpoints, 3);
+    /// assert_eq!(config.delta_checkpoints, Some(4));
+    /// ```
     pub fn new(path: impl Into<PathBuf>) -> Self {
         SupervisorConfig {
             checkpoint_path: path.into(),
@@ -682,7 +748,7 @@ fn parse_genome(tokens: &mut std::str::SplitWhitespace<'_>) -> Result<Genome, Ds
 fn encode_health(out: &mut String, h: &RunHealth) {
     let _ = writeln!(
         out,
-        "health {} {} {} {} {} {} {}",
+        "health {} {} {} {} {} {} {} {} {} {}",
         h.panics_isolated,
         h.errors_isolated,
         h.retries,
@@ -691,6 +757,9 @@ fn encode_health(out: &mut String, h: &RunHealth) {
         h.checkpoints_written,
         h.resumed_from_generation
             .map_or_else(|| "-".to_owned(), |g| g.to_string()),
+        h.cache_hits,
+        h.cache_misses,
+        h.cache_inserts,
     );
 }
 
@@ -702,17 +771,35 @@ fn parse_health(line: &str) -> Result<RunHealth, DseError> {
                 .ok_or_else(|| bad(format!("health missing {what}")))?,
         )
     };
+    let panics_isolated = next_count("panics")?;
+    let errors_isolated = next_count("errors")?;
+    let retries = next_count("retries")?;
+    let quarantined = next_count("quarantined")?;
+    let degraded_analyses = next_count("degraded")?;
+    let checkpoints_written = next_count("checkpoints")?;
+    let resumed_from_generation = match toks.next() {
+        Some("-") | None => None,
+        Some(tok) => Some(parse_usize(tok)?),
+    };
+    // Cache counters entered the format later; a health line written by
+    // an earlier build simply lacks them (a cold cache).
+    let mut next_cache = || -> Result<u64, DseError> {
+        match toks.next() {
+            Some(tok) => parse_u64(tok),
+            None => Ok(0),
+        }
+    };
     Ok(RunHealth {
-        panics_isolated: next_count("panics")?,
-        errors_isolated: next_count("errors")?,
-        retries: next_count("retries")?,
-        quarantined: next_count("quarantined")?,
-        degraded_analyses: next_count("degraded")?,
-        checkpoints_written: next_count("checkpoints")?,
-        resumed_from_generation: match toks.next() {
-            Some("-") | None => None,
-            Some(tok) => Some(parse_usize(tok)?),
-        },
+        panics_isolated,
+        errors_isolated,
+        retries,
+        quarantined,
+        degraded_analyses,
+        checkpoints_written,
+        resumed_from_generation,
+        cache_hits: next_cache()?,
+        cache_misses: next_cache()?,
+        cache_inserts: next_cache()?,
     })
 }
 
@@ -1249,6 +1336,9 @@ mod tests {
                 degraded_analyses: 4,
                 checkpoints_written: 6,
                 resumed_from_generation: Some(3),
+                cache_hits: 250,
+                cache_misses: 40,
+                cache_inserts: 40,
             },
         }
     }
@@ -1407,6 +1497,27 @@ mod tests {
             ..RunHealth::default()
         });
         assert_eq!(a.resumed_from_generation, Some(4));
+        // Cache counters are snapshots: merge keeps the max, never sums,
+        // and cache activity stays nominal.
+        a.cache_hits = 10;
+        a.merge(&RunHealth {
+            cache_hits: 7,
+            cache_misses: 5,
+            ..RunHealth::default()
+        });
+        assert_eq!(a.cache_hits, 10);
+        assert_eq!(a.cache_misses, 5);
+        assert!(!a.is_clean(), "cleanliness unaffected by cache counters");
+    }
+
+    #[test]
+    fn health_line_without_cache_counters_still_parses() {
+        // The pre-cache seven-field line must keep decoding (old
+        // checkpoints resume with a cold cache).
+        let h = parse_health("1 2 3 4 5 6 -").unwrap();
+        assert_eq!(h.panics_isolated, 1);
+        assert_eq!(h.checkpoints_written, 6);
+        assert_eq!((h.cache_hits, h.cache_misses, h.cache_inserts), (0, 0, 0));
     }
 
     // A deliberately unreliable scalar problem for isolation tests.
@@ -1424,7 +1535,7 @@ mod tests {
             rng.next_u32() % 100
         }
         fn evaluate(&self, g: &u32) -> Evaluation {
-            self.try_evaluate(g).unwrap()
+            FallibleProblem::try_evaluate(self, g).unwrap()
         }
     }
 

@@ -12,12 +12,15 @@
 //! DVFS policy, the Pareto objective set (Table IV's sets I–VI) and an
 //! optional implicit-masking override (Fig. 6(b)).
 
+use std::sync::Arc;
+
 use clre_markov::clr::{analyze_robust, ClrChainParams, RobustAnalysis};
 use clre_model::qos::{ObjectiveSet, TaskMetrics};
 use clre_model::reliability::ClrConfig;
 use clre_model::{BaseImpl, DvfsMode, DvfsModeId, ImplId, PeType, Platform, TaskGraph, TaskTypeId};
 use clre_profile::ProfileModel;
 
+use crate::cache::EvalCache;
 use crate::library::{CandidateImpl, ImplLibrary};
 use crate::DseError;
 
@@ -33,7 +36,7 @@ pub enum DvfsPolicy {
 }
 
 /// Configuration of one task-level DSE run.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct TdseConfig {
     /// The CLR configurations to explore per candidate.
     pub clr_catalog: Vec<ClrConfig>,
@@ -46,6 +49,30 @@ pub struct TdseConfig {
     pub implicit_masking_override: Option<f64>,
     /// The characterization substrate.
     pub profile: ProfileModel,
+    /// Optional task-analysis cache consulted in front of every
+    /// [`analyze_robust`] call. Shared (via [`Arc`]) across library
+    /// builds so campaign stages and sweep cells hit instead of
+    /// re-factoring the same LU systems.
+    pub cache: Option<Arc<EvalCache>>,
+}
+
+impl PartialEq for TdseConfig {
+    /// Two configs are equal when they describe the same exploration;
+    /// the attached cache is an accelerator, not part of the
+    /// configuration's identity, and compares by instance (`Arc`
+    /// pointer).
+    fn eq(&self, other: &Self) -> bool {
+        self.clr_catalog == other.clr_catalog
+            && self.dvfs_policy == other.dvfs_policy
+            && self.objectives == other.objectives
+            && self.implicit_masking_override == other.implicit_masking_override
+            && self.profile == other.profile
+            && match (&self.cache, &other.cache) {
+                (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+                (None, None) => true,
+                _ => false,
+            }
+    }
 }
 
 impl Default for TdseConfig {
@@ -56,6 +83,7 @@ impl Default for TdseConfig {
             objectives: ObjectiveSet::set_ii(),
             implicit_masking_override: None,
             profile: ProfileModel::default(),
+            cache: None,
         }
     }
 }
@@ -69,13 +97,51 @@ impl TdseConfig {
 
     /// Sets the CLR catalog (builder style).
     ///
+    /// # Errors
+    ///
+    /// Returns [`DseError::InvalidConfig`] if `catalog` is empty — an
+    /// empty catalog would make every task type unmappable.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use clre::tdse::TdseConfig;
+    /// use clre_model::reliability::ClrConfig;
+    ///
+    /// let cfg = TdseConfig::new().with_clr_catalog(vec![ClrConfig::unprotected()])?;
+    /// assert_eq!(cfg.clr_catalog.len(), 1);
+    /// assert!(TdseConfig::new().with_clr_catalog(vec![]).is_err());
+    /// # Ok::<(), clre::DseError>(())
+    /// ```
+    pub fn with_clr_catalog(mut self, catalog: Vec<ClrConfig>) -> Result<Self, DseError> {
+        if catalog.is_empty() {
+            return Err(DseError::InvalidConfig {
+                what: "CLR catalog must be non-empty",
+            });
+        }
+        self.clr_catalog = catalog;
+        Ok(self)
+    }
+
+    /// Panicking predecessor of [`TdseConfig::with_clr_catalog`], kept as
+    /// a migration shim.
+    ///
     /// # Panics
     ///
     /// Panics if `catalog` is empty.
+    #[deprecated(note = "use `with_clr_catalog`, which returns `Result` instead of panicking")]
     #[must_use]
-    pub fn with_clr_catalog(mut self, catalog: Vec<ClrConfig>) -> Self {
-        assert!(!catalog.is_empty(), "CLR catalog must be non-empty");
-        self.clr_catalog = catalog;
+    pub fn with_clr_catalog_or_panic(self, catalog: Vec<ClrConfig>) -> Self {
+        self.with_clr_catalog(catalog)
+            .expect("CLR catalog must be non-empty")
+    }
+
+    /// Attaches a shared evaluation cache (builder style): every
+    /// [`analyze_robust`] call made while building libraries under this
+    /// config first consults the cache's task-analysis level.
+    #[must_use]
+    pub fn with_eval_cache(mut self, cache: Arc<EvalCache>) -> Self {
+        self.cache = Some(cache);
         self
     }
 
@@ -198,6 +264,36 @@ pub fn evaluate_candidate_robust(
     profile: &ProfileModel,
     implicit_masking_override: Option<f64>,
 ) -> Result<(TaskMetrics, RobustAnalysis), DseError> {
+    evaluate_candidate_cached(
+        imp,
+        pe_type,
+        mode,
+        clr,
+        profile,
+        implicit_masking_override,
+        None,
+    )
+}
+
+/// [`evaluate_candidate_robust`] with an optional task-analysis cache in
+/// front of the Markov solve. On a hit the stored [`RobustAnalysis`] —
+/// including its `degraded`/`retried` flags — replays the uncached
+/// computation bit-for-bit; the closed-form power/thermal/aging estimates
+/// are cheap and always recomputed.
+///
+/// # Errors
+///
+/// As for [`evaluate_candidate`]. Failed analyses are never cached.
+#[allow(clippy::too_many_arguments)]
+pub fn evaluate_candidate_cached(
+    imp: &BaseImpl,
+    pe_type: &PeType,
+    mode: &DvfsMode,
+    clr: &ClrConfig,
+    profile: &ProfileModel,
+    implicit_masking_override: Option<f64>,
+    cache: Option<&EvalCache>,
+) -> Result<(TaskMetrics, RobustAnalysis), DseError> {
     let op = profile.operating_point(imp.cycles(), imp.capacitance(), mode);
     let hw = clr.hw.params();
     let asw = clr.asw.params();
@@ -205,7 +301,13 @@ pub fn evaluate_candidate_robust(
     let temp = profile.steady_temp(power);
     let eta = profile.eta_at(temp);
     let params = chain_params(imp, pe_type, mode, clr, profile, implicit_masking_override);
-    let robust = analyze_robust(&params)?;
+    let robust = match cache {
+        Some(cache) => match cache.analysis(&params) {
+            Some(hit) => hit,
+            None => cache.insert_analysis(&params, analyze_robust(&params)?),
+        },
+        None => analyze_robust(&params)?,
+    };
     let r = robust.reliability;
     Ok((
         TaskMetrics {
@@ -329,13 +431,14 @@ pub fn candidates_for_type_with_health(
         };
         for (mode_idx, mode) in modes.iter().enumerate() {
             for clr in &config.clr_catalog {
-                let (metrics, robust) = evaluate_candidate_robust(
+                let (metrics, robust) = evaluate_candidate_cached(
                     imp,
                     pe_type,
                     mode,
                     clr,
                     &config.profile,
                     config.implicit_masking_override,
+                    config.cache.as_deref(),
                 )?;
                 health.candidates_evaluated += 1;
                 health.degraded_analyses += usize::from(robust.degraded);
@@ -426,6 +529,40 @@ mod tests {
         let cands = candidates_for_type(&g, &p, TaskTypeId::new(0), &cfg).unwrap();
         // 2 processor impls × 3 modes × 80 + 1 accel impl × 1 mode × 80.
         assert_eq!(cands.len(), (2 * 3 + 1) * 80);
+    }
+
+    #[test]
+    fn cached_library_build_is_bit_identical() {
+        let p = paper_platform();
+        let g = test_graph(&p);
+        let cold = build_library_with_health(&g, &p, &TdseConfig::default()).unwrap();
+
+        let cache = EvalCache::shared();
+        let cfg = TdseConfig::default().with_eval_cache(Arc::clone(&cache));
+        let first = build_library_with_health(&g, &p, &cfg).unwrap();
+        let after_first = cache.analysis_counts();
+        assert!(after_first.inserts > 0, "cold build populates the cache");
+
+        let warm = build_library_with_health(&g, &p, &cfg).unwrap();
+        let after_warm = cache.analysis_counts();
+        assert_eq!(
+            after_warm.inserts, after_first.inserts,
+            "warm build inserts nothing new"
+        );
+        assert!(after_warm.hits > after_first.hits);
+
+        // Cache off, cache cold, cache warm: all bit-identical — including
+        // the degraded/retried health counters replayed from stored flags.
+        assert_eq!(cold.0, first.0);
+        assert_eq!(first.0, warm.0);
+        assert_eq!(cold.1, first.1);
+        assert_eq!(first.1, warm.1);
+    }
+
+    #[test]
+    fn empty_catalog_is_a_typed_error() {
+        let err = TdseConfig::default().with_clr_catalog(vec![]).unwrap_err();
+        assert!(matches!(err, DseError::InvalidConfig { .. }));
     }
 
     #[test]

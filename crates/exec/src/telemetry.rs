@@ -38,6 +38,11 @@ pub struct GenerationTrace {
     /// Cumulative degraded-mode analysis count at the end of this batch
     /// (0 when unsupervised).
     pub degraded: usize,
+    /// Cumulative fitness-cache hits at the end of this batch (0 when no
+    /// evaluation cache is attached).
+    pub cache_hits: u64,
+    /// Cumulative fitness-cache misses at the end of this batch.
+    pub cache_misses: u64,
 }
 
 impl GenerationTrace {
@@ -47,7 +52,8 @@ impl GenerationTrace {
     ///
     /// ```text
     /// trace-v1 phase=<label> step=<n> batch=<n> eval_us=<n> workers=<n> \
-    ///     per_worker=<c0|c1|…> hist=<b0|b1|…> quarantined=<n> degraded=<n>
+    ///     per_worker=<c0|c1|…> hist=<b0|b1|…> quarantined=<n> degraded=<n> \
+    ///     cache_hits=<n> cache_misses=<n>
     /// ```
     pub fn line(&self) -> String {
         let per_worker = if self.per_worker.is_empty() {
@@ -60,7 +66,7 @@ impl GenerationTrace {
                 .join("|")
         };
         format!(
-            "trace-v1 phase={} step={} batch={} eval_us={} workers={} per_worker={} hist={} quarantined={} degraded={}",
+            "trace-v1 phase={} step={} batch={} eval_us={} workers={} per_worker={} hist={} quarantined={} degraded={} cache_hits={} cache_misses={}",
             self.phase,
             self.step,
             self.batch,
@@ -70,6 +76,8 @@ impl GenerationTrace {
             self.histogram.compact(),
             self.quarantined,
             self.degraded,
+            self.cache_hits,
+            self.cache_misses,
         )
     }
 }
@@ -109,6 +117,16 @@ impl RunTelemetry {
         if let Some(last) = self.records.last_mut() {
             last.quarantined = quarantined;
             last.degraded = degraded;
+        }
+    }
+
+    /// Updates the newest record's cumulative evaluation-cache counters
+    /// (stamped after the batch, like [`RunTelemetry::annotate_last`]).
+    /// No-op on an empty store.
+    pub fn annotate_cache_last(&mut self, hits: u64, misses: u64) {
+        if let Some(last) = self.records.last_mut() {
+            last.cache_hits = hits;
+            last.cache_misses = misses;
         }
     }
 
@@ -258,6 +276,16 @@ impl Executor {
         }
     }
 
+    /// Updates the newest trace record's cumulative evaluation-cache
+    /// counters; no-op without a sink.
+    pub fn annotate_cache(&self, hits: u64, misses: u64) {
+        if let Some(sink) = &self.sink {
+            sink.lock()
+                .expect("telemetry sink poisoned")
+                .annotate_cache_last(hits, misses);
+        }
+    }
+
     fn record(&self, step: usize, batch: usize, stats: ExecStats) {
         let Some(sink) = &self.sink else { return };
         sink.lock()
@@ -272,6 +300,8 @@ impl Executor {
                 histogram: stats.histogram,
                 quarantined: 0,
                 degraded: 0,
+                cache_hits: 0,
+                cache_misses: 0,
             });
     }
 }
@@ -297,6 +327,7 @@ mod tests {
         assert_eq!(out[9], 10);
         let _ = exec.evaluate_batch(1, &items, |x| x * 2);
         exec.annotate_health(3, 7);
+        exec.annotate_cache(40, 12);
 
         let t = sink.lock().unwrap();
         assert_eq!(t.records().len(), 2);
@@ -306,6 +337,9 @@ mod tests {
         assert_eq!(t.records()[0].quarantined, 0);
         assert_eq!(t.records()[1].quarantined, 3);
         assert_eq!(t.records()[1].degraded, 7);
+        assert_eq!(t.records()[0].cache_hits, 0);
+        assert_eq!(t.records()[1].cache_hits, 40);
+        assert_eq!(t.records()[1].cache_misses, 12);
         assert_eq!(t.per_phase_wall_nanos().len(), 1);
     }
 
@@ -323,11 +357,14 @@ mod tests {
             histogram: h,
             quarantined: 1,
             degraded: 2,
+            cache_hits: 20,
+            cache_misses: 12,
         };
         assert_eq!(
             rec.line(),
             "trace-v1 phase=pfCLR step=12 batch=32 eval_us=5250 workers=4 \
-             per_worker=8|9|8|7 hist=1 quarantined=1 degraded=2"
+             per_worker=8|9|8|7 hist=1 quarantined=1 degraded=2 \
+             cache_hits=20 cache_misses=12"
         );
         let mut t = RunTelemetry::new();
         t.record(rec);
@@ -342,6 +379,7 @@ mod tests {
         let out = exec.evaluate_batch(0, &[1u8, 2, 3], |x| x * 3);
         assert_eq!(out, vec![3, 6, 9]);
         exec.annotate_health(9, 9);
+        exec.annotate_cache(9, 9);
         assert!(exec.telemetry().is_none());
     }
 

@@ -95,6 +95,41 @@ impl ClrChainParams {
         self.exec_time + k * self.t_det + (k - 1.0) * self.t_chk
     }
 
+    /// Content digest of this parameter set: FNV-1a (64-bit) over the
+    /// IEEE-754 bit patterns of every field, in declaration order.
+    ///
+    /// Exact bits, no quantization: two parameter sets share a digest only
+    /// if every field is bit-identical (so `0.0` and `-0.0` digest
+    /// differently, as do distinct NaN payloads). Used as the key of the
+    /// task-analysis cache, where bit-exactness is what guarantees cached
+    /// analyses replay the uncached computation verbatim.
+    pub fn digest(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let words = [
+            self.exec_time.to_bits(),
+            self.seu_rate.to_bits(),
+            self.m_hw.to_bits(),
+            self.m_impl_ssw.to_bits(),
+            self.cov_det.to_bits(),
+            self.m_tol.to_bits(),
+            self.m_asw.to_bits(),
+            u64::from(self.intervals),
+            self.t_det.to_bits(),
+            self.t_tol.to_bits(),
+            self.t_chk.to_bits(),
+            self.p_chk_err.to_bits(),
+        ];
+        let mut hash = FNV_OFFSET;
+        for word in words {
+            for byte in word.to_le_bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(FNV_PRIME);
+            }
+        }
+        hash
+    }
+
     fn validate(&self) -> Result<(), MarkovError> {
         let probs = [
             self.m_hw,
@@ -527,6 +562,24 @@ mod tests {
             t_chk: 0.0,
             p_chk_err: 0.0,
         }
+    }
+
+    #[test]
+    fn digest_is_exact_bits() {
+        let p = base();
+        assert_eq!(p.digest(), base().digest(), "digest is a pure function");
+
+        // Any single-field change — even a sign flip on zero — must move
+        // the digest: the cache keys on exact bit patterns.
+        let mut q = base();
+        q.t_det = -0.0;
+        assert_ne!(p.digest(), q.digest(), "-0.0 and 0.0 are distinct keys");
+        let mut q = base();
+        q.intervals = 2;
+        assert_ne!(p.digest(), q.digest());
+        let mut q = base();
+        q.exec_time = f64::from_bits(p.exec_time.to_bits() ^ 1);
+        assert_ne!(p.digest(), q.digest(), "one ULP is a different key");
     }
 
     #[test]

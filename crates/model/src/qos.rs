@@ -325,6 +325,22 @@ impl QosSpec {
         self
     }
 
+    /// The five bounds in declaration order: max makespan, min
+    /// reliability, min MTTF, max energy, max peak power (`None` = unset).
+    ///
+    /// Exposes the spec's content for identity purposes — e.g. the
+    /// evaluation cache digests these bounds so specs with different
+    /// constraints never share cached fitness values.
+    pub fn bounds(&self) -> [Option<f64>; 5] {
+        [
+            self.max_makespan,
+            self.min_reliability,
+            self.min_mttf,
+            self.max_energy,
+            self.max_peak_power,
+        ]
+    }
+
     /// Returns `true` when `m` satisfies every set bound.
     pub fn is_feasible(&self, m: &SystemMetrics) -> bool {
         self.violation(m) == 0.0

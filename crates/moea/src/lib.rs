@@ -72,5 +72,5 @@ pub mod test_problems;
 
 pub use evolution::{EvoOutcome, EvoSnapshot, EvolutionState};
 pub use nsga2::{Individual, Nsga2, Nsga2Config, Nsga2State, OptimizationResult};
-pub use problem::{Evaluation, Problem, Variation};
+pub use problem::{EvalError, Evaluation, Problem, Variation};
 pub use spea2::{Spea2, Spea2Config, Spea2Result, Spea2State};

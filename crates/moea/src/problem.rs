@@ -1,4 +1,41 @@
 use rand::RngCore;
+use std::fmt;
+
+/// A typed evaluation failure: what went wrong while evaluating one
+/// genome, as a human-readable message.
+///
+/// This is the error half of [`Problem::try_evaluate`]. It deliberately
+/// carries only a rendered message: the MOEA layer does not interpret
+/// failure causes, it only needs to report them (and supervising layers
+/// such as `ResilientProblem` quarantine on any error alike). Domain
+/// layers convert their own error enums into this via [`EvalError::new`]
+/// or the blanket `From<E: Display>` conversion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvalError {
+    message: String,
+}
+
+impl EvalError {
+    /// An evaluation error with the given message.
+    pub fn new(message: impl Into<String>) -> Self {
+        EvalError {
+            message: message.into(),
+        }
+    }
+
+    /// The rendered failure message.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for EvalError {}
 
 /// The outcome of evaluating one genome: a minimization objective vector
 /// plus a scalar constraint violation (0 = feasible).
@@ -53,6 +90,35 @@ pub trait Problem {
     ///
     /// Must return exactly [`Problem::objective_count`] objective values.
     fn evaluate(&self, genome: &Self::Genome) -> Evaluation;
+
+    /// Evaluates a genome, reporting failures as typed errors instead of
+    /// panicking.
+    ///
+    /// The default implementation wraps the panicking [`Problem::evaluate`]
+    /// path unguarded (a legacy problem that panics still panics here);
+    /// problems with a native fallible evaluation path should override
+    /// this — and [`Problem::reports_errors`] — so supervising layers can
+    /// use the typed channel directly without `catch_unwind`.
+    ///
+    /// # Errors
+    ///
+    /// An [`EvalError`] describing why the genome could not be evaluated.
+    fn try_evaluate(&self, genome: &Self::Genome) -> Result<Evaluation, EvalError> {
+        Ok(self.evaluate(genome))
+    }
+
+    /// Whether [`Problem::try_evaluate`] natively reports failures as
+    /// `Err` rather than panicking.
+    ///
+    /// `false` (the default) means `try_evaluate` is the unguarded
+    /// wrapper around the panicking path and callers that must survive
+    /// bad genomes need `catch_unwind` as a backstop. Problems that
+    /// override `try_evaluate` with a genuinely fallible implementation
+    /// should return `true` so supervisors can skip the unwind machinery
+    /// in the common path.
+    fn reports_errors(&self) -> bool {
+        false
+    }
 }
 
 /// Genetic operators over a genome type.
@@ -75,5 +141,38 @@ mod tests {
         let v = Evaluation::with_violation(vec![1.0], 0.5);
         assert!(!v.is_feasible());
         assert_eq!(v.violation, 0.5);
+    }
+
+    struct Legacy;
+
+    impl Problem for Legacy {
+        type Genome = u32;
+
+        fn objective_count(&self) -> usize {
+            1
+        }
+
+        fn random_genome(&self, _rng: &mut dyn RngCore) -> u32 {
+            0
+        }
+
+        fn evaluate(&self, genome: &u32) -> Evaluation {
+            Evaluation::feasible(vec![f64::from(*genome)])
+        }
+    }
+
+    #[test]
+    fn default_try_evaluate_wraps_the_panicking_path() {
+        let p = Legacy;
+        assert!(!p.reports_errors());
+        let eval = p.try_evaluate(&7).unwrap();
+        assert_eq!(eval, p.evaluate(&7));
+    }
+
+    #[test]
+    fn eval_error_renders_its_message() {
+        let e = EvalError::new("decode failed");
+        assert_eq!(e.message(), "decode failed");
+        assert_eq!(e.to_string(), "decode failed");
     }
 }

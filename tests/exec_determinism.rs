@@ -225,7 +225,7 @@ impl Problem for FlakyEvaluator {
     }
 
     fn evaluate(&self, genome: &u32) -> Evaluation {
-        match self.try_evaluate(genome) {
+        match FallibleProblem::try_evaluate(self, genome) {
             Ok(eval) => eval,
             Err(e) => panic!("genome evaluation failed: {e}"),
         }

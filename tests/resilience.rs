@@ -298,7 +298,7 @@ impl Problem for SingularInjector {
     }
 
     fn evaluate(&self, genome: &u32) -> Evaluation {
-        match self.try_evaluate(genome) {
+        match FallibleProblem::try_evaluate(self, genome) {
             Ok(eval) => eval,
             Err(e) => panic!("genome evaluation failed: {e}"),
         }
