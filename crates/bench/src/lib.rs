@@ -25,6 +25,7 @@
 
 pub mod cachebench;
 pub mod exec_settings;
+pub mod kernelbench;
 pub mod report;
 pub mod sweep;
 pub mod system;

@@ -39,9 +39,9 @@ use std::sync::Arc;
 
 use clre_exec::Executor;
 use clre_model::reliability::ClrConfig;
-use clre_moea::pareto::non_dominated_indices;
 use clre_moea::{
-    EvoOutcome, EvoSnapshot, EvolutionState, Nsga2, Nsga2State, Spea2, Spea2Config, Spea2State,
+    EvoOutcome, EvoSnapshot, EvolutionState, Nsga2, Nsga2State, ObjectiveMatrix, Spea2,
+    Spea2Config, Spea2State,
 };
 
 use crate::cache::{cache_sidecar_path, EvalCache};
@@ -983,10 +983,24 @@ fn run_to_completion<A, S: EvolutionState<A, Genome = Genome>>(
 
 /// NSGA-II's rank-0 set (and merged fronts) may contain exact duplicates
 /// (neither copy strictly dominates the other); report each point once.
+///
+/// Objectives are borrowed into one flat matrix and survivors are moved
+/// out by keep-mask — no per-point clones.
 fn dedup_front(points: Vec<FrontPoint>) -> Vec<FrontPoint> {
-    let objs: Vec<Vec<f64>> = points.iter().map(|p| p.objectives.clone()).collect();
-    let keep = non_dominated_indices(&objs);
-    keep.into_iter().map(|i| points[i].clone()).collect()
+    let cols = points.first().map_or(0, |p| p.objectives.len());
+    let mut objs = ObjectiveMatrix::with_capacity(cols, points.len());
+    for p in &points {
+        objs.push_row(&p.objectives);
+    }
+    let mut keep = vec![false; points.len()];
+    for i in clre_moea::kernels::non_dominated_matrix(&objs) {
+        keep[i] = true;
+    }
+    points
+        .into_iter()
+        .zip(keep)
+        .filter_map(|(p, k)| k.then_some(p))
+        .collect()
 }
 
 /// Final-result assembly shared by the plain and supervised paths: a

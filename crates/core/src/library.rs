@@ -19,7 +19,8 @@
 use clre_model::qos::{ObjectiveSet, TaskMetrics};
 use clre_model::reliability::ClrConfig;
 use clre_model::{DvfsModeId, ImplId, PeTypeId, TaskGraph, TaskTypeId};
-use clre_moea::pareto::non_dominated_indices;
+use clre_moea::kernels::non_dominated_matrix;
+use clre_moea::ObjectiveMatrix;
 use serde::{Deserialize, Serialize};
 
 use crate::DseError;
@@ -69,6 +70,9 @@ impl ImplLibrary {
     ) -> Result<Self, DseError> {
         let mut full = Vec::with_capacity(candidates.len());
         let mut pareto = Vec::with_capacity(candidates.len());
+        // One flat matrix refilled per (task type, PE type) group instead
+        // of a fresh Vec<Vec<f64>> per group.
+        let mut points = ObjectiveMatrix::default();
         for (ty, cands) in candidates.iter().enumerate() {
             if cands.is_empty() {
                 return Err(DseError::EmptyChoiceGroup {
@@ -84,19 +88,23 @@ impl ImplLibrary {
                 }
                 groups[c.pe_type.index()].push(i);
             }
-            let filtered: Vec<Vec<usize>> = groups
-                .iter()
-                .map(|group| {
-                    let points: Vec<Vec<f64>> = group
-                        .iter()
-                        .map(|&i| cands[i].metrics.objective_vector(objectives))
-                        .collect();
-                    non_dominated_indices(&points)
+            let mut filtered: Vec<Vec<usize>> = Vec::with_capacity(groups.len());
+            for group in &groups {
+                points.reset(0);
+                for (pos, &i) in group.iter().enumerate() {
+                    let v = cands[i].metrics.objective_vector(objectives);
+                    if pos == 0 {
+                        points.reset(v.len());
+                    }
+                    points.push_row(&v);
+                }
+                filtered.push(
+                    non_dominated_matrix(&points)
                         .into_iter()
                         .map(|k| group[k])
-                        .collect()
-                })
-                .collect();
+                        .collect(),
+                );
+            }
             full.push(groups);
             pareto.push(filtered);
         }

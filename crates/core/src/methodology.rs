@@ -20,7 +20,6 @@ use std::sync::Arc;
 use clre_exec::Executor;
 use clre_model::qos::{ObjectiveSet, QosSpec, SystemMetrics};
 use clre_model::{Platform, TaskGraph};
-use clre_moea::pareto::non_dominated_indices;
 use clre_moea::Nsga2Config;
 use serde::{Deserialize, Serialize};
 
@@ -173,9 +172,20 @@ impl FrontResult {
             points.extend(r.points.iter().cloned());
             evaluations += r.evaluations;
         }
-        let objs: Vec<Vec<f64>> = points.iter().map(|p| p.objectives.clone()).collect();
-        let keep = non_dominated_indices(&objs);
-        let points = keep.into_iter().map(|i| points[i].clone()).collect();
+        let cols = points.first().map_or(0, |p| p.objectives.len());
+        let mut objs = clre_moea::ObjectiveMatrix::with_capacity(cols, points.len());
+        for p in &points {
+            objs.push_row(&p.objectives);
+        }
+        let mut keep = vec![false; points.len()];
+        for i in clre_moea::kernels::non_dominated_matrix(&objs) {
+            keep[i] = true;
+        }
+        let points = points
+            .into_iter()
+            .zip(keep)
+            .filter_map(|(p, k)| k.then_some(p))
+            .collect();
         FrontResult {
             method: label.into(),
             points,
@@ -604,6 +614,7 @@ mod tests {
     use super::*;
     use clre_model::platform::paper_platform;
     use clre_moea::hypervolume::hypervolume;
+    use clre_moea::pareto::non_dominated_indices;
     use clre_profile::SyntheticCharacterizer;
     use clre_tgff::TgffConfig;
 

@@ -43,6 +43,11 @@ pub struct GenerationTrace {
     pub cache_hits: u64,
     /// Cumulative fitness-cache misses at the end of this batch.
     pub cache_misses: u64,
+    /// Microseconds the driving thread spent in the selection kernels
+    /// (non-dominated sort, crowding/density, truncation) for the
+    /// generation this batch belongs to (0 when the MOEA layer does not
+    /// report it, e.g. for the initial-population batch).
+    pub selection_us: u64,
 }
 
 impl GenerationTrace {
@@ -53,7 +58,7 @@ impl GenerationTrace {
     /// ```text
     /// trace-v1 phase=<label> step=<n> batch=<n> eval_us=<n> workers=<n> \
     ///     per_worker=<c0|c1|…> hist=<b0|b1|…> quarantined=<n> degraded=<n> \
-    ///     cache_hits=<n> cache_misses=<n>
+    ///     cache_hits=<n> cache_misses=<n> selection_us=<n>
     /// ```
     pub fn line(&self) -> String {
         let per_worker = if self.per_worker.is_empty() {
@@ -66,7 +71,7 @@ impl GenerationTrace {
                 .join("|")
         };
         format!(
-            "trace-v1 phase={} step={} batch={} eval_us={} workers={} per_worker={} hist={} quarantined={} degraded={} cache_hits={} cache_misses={}",
+            "trace-v1 phase={} step={} batch={} eval_us={} workers={} per_worker={} hist={} quarantined={} degraded={} cache_hits={} cache_misses={} selection_us={}",
             self.phase,
             self.step,
             self.batch,
@@ -78,6 +83,7 @@ impl GenerationTrace {
             self.degraded,
             self.cache_hits,
             self.cache_misses,
+            self.selection_us,
         )
     }
 }
@@ -127,6 +133,15 @@ impl RunTelemetry {
         if let Some(last) = self.records.last_mut() {
             last.cache_hits = hits;
             last.cache_misses = misses;
+        }
+    }
+
+    /// Updates the newest record's selection-kernel timing (the MOEA
+    /// layer measures it on the driving thread and reports it after the
+    /// generation's batch is recorded). No-op on an empty store.
+    pub fn annotate_selection_last(&mut self, micros: u64) {
+        if let Some(last) = self.records.last_mut() {
+            last.selection_us = micros;
         }
     }
 
@@ -286,6 +301,16 @@ impl Executor {
         }
     }
 
+    /// Updates the newest trace record's selection-kernel timing;
+    /// no-op without a sink.
+    pub fn annotate_selection(&self, micros: u64) {
+        if let Some(sink) = &self.sink {
+            sink.lock()
+                .expect("telemetry sink poisoned")
+                .annotate_selection_last(micros);
+        }
+    }
+
     fn record(&self, step: usize, batch: usize, stats: ExecStats) {
         let Some(sink) = &self.sink else { return };
         sink.lock()
@@ -302,6 +327,7 @@ impl Executor {
                 degraded: 0,
                 cache_hits: 0,
                 cache_misses: 0,
+                selection_us: 0,
             });
     }
 }
@@ -328,6 +354,7 @@ mod tests {
         let _ = exec.evaluate_batch(1, &items, |x| x * 2);
         exec.annotate_health(3, 7);
         exec.annotate_cache(40, 12);
+        exec.annotate_selection(55);
 
         let t = sink.lock().unwrap();
         assert_eq!(t.records().len(), 2);
@@ -340,6 +367,8 @@ mod tests {
         assert_eq!(t.records()[0].cache_hits, 0);
         assert_eq!(t.records()[1].cache_hits, 40);
         assert_eq!(t.records()[1].cache_misses, 12);
+        assert_eq!(t.records()[0].selection_us, 0);
+        assert_eq!(t.records()[1].selection_us, 55);
         assert_eq!(t.per_phase_wall_nanos().len(), 1);
     }
 
@@ -359,12 +388,13 @@ mod tests {
             degraded: 2,
             cache_hits: 20,
             cache_misses: 12,
+            selection_us: 830,
         };
         assert_eq!(
             rec.line(),
             "trace-v1 phase=pfCLR step=12 batch=32 eval_us=5250 workers=4 \
              per_worker=8|9|8|7 hist=1 quarantined=1 degraded=2 \
-             cache_hits=20 cache_misses=12"
+             cache_hits=20 cache_misses=12 selection_us=830"
         );
         let mut t = RunTelemetry::new();
         t.record(rec);
@@ -380,6 +410,7 @@ mod tests {
         assert_eq!(out, vec![3, 6, 9]);
         exec.annotate_health(9, 9);
         exec.annotate_cache(9, 9);
+        exec.annotate_selection(9);
         assert!(exec.telemetry().is_none());
     }
 

@@ -13,7 +13,8 @@
 //! Points that do not strictly dominate the reference point contribute
 //! nothing and are ignored.
 
-use crate::pareto::pareto_filter;
+use crate::kernels;
+use crate::matrix::ObjectiveMatrix;
 
 /// Exact 2-D hypervolume by sweeping the front in ascending first
 /// objective.
@@ -35,14 +36,28 @@ pub fn hypervolume_2d(points: &[Vec<f64>], reference: &[f64; 2]) -> f64 {
     for p in points {
         assert_eq!(p.len(), 2, "hypervolume_2d requires 2-D points");
     }
-    let mut front: Vec<Vec<f64>> = pareto_filter(points)
+    hv2d_matrix(&ObjectiveMatrix::from_rows(points), reference)
+}
+
+/// 2-D sweep over a flat matrix: sort the in-reference non-dominated row
+/// indices by first objective, no row copies.
+fn hv2d_matrix(points: &ObjectiveMatrix, reference: &[f64; 2]) -> f64 {
+    let mut front: Vec<usize> = kernels::non_dominated_matrix(points)
         .into_iter()
-        .filter(|p| p[0] < reference[0] && p[1] < reference[1])
+        .filter(|&i| {
+            let p = points.row(i);
+            p[0] < reference[0] && p[1] < reference[1]
+        })
         .collect();
-    front.sort_by(|a, b| a[0].partial_cmp(&b[0]).expect("finite objectives"));
+    front.sort_by(|&a, &b| {
+        points.row(a)[0]
+            .partial_cmp(&points.row(b)[0])
+            .expect("finite objectives")
+    });
     let mut hv = 0.0;
     let mut prev_y = reference[1];
-    for p in &front {
+    for &i in &front {
+        let p = points.row(i);
         hv += (reference[0] - p[0]) * (prev_y - p[1]);
         prev_y = p[1];
     }
@@ -73,32 +88,52 @@ pub fn hypervolume(points: &[Vec<f64>], reference: &[f64]) -> f64 {
     for p in points {
         assert_eq!(p.len(), d, "point/reference dimension mismatch");
     }
-    let front: Vec<Vec<f64>> = pareto_filter(points)
-        .into_iter()
-        .filter(|p| p.iter().zip(reference).all(|(&x, &r)| x < r))
-        .collect();
+    hypervolume_matrix(&ObjectiveMatrix::from_rows(points), reference)
+}
+
+/// [`hypervolume`] on an already-flat [`ObjectiveMatrix`] — the entry
+/// point for callers that keep objectives in matrix form (the kernel
+/// benchmarks, future indicator plumbing).
+///
+/// # Panics
+///
+/// Panics if `reference.len()` is zero or differs from `points.cols()`
+/// on a non-empty matrix.
+pub fn hypervolume_matrix(points: &ObjectiveMatrix, reference: &[f64]) -> f64 {
+    let d = reference.len();
+    assert!(d > 0, "reference point must have at least one dimension");
+    if !points.is_empty() {
+        assert_eq!(points.cols(), d, "point/reference dimension mismatch");
+    }
+    let mut front = ObjectiveMatrix::with_capacity(d, points.rows());
+    for i in kernels::non_dominated_matrix(points) {
+        let row = points.row(i);
+        if row.iter().zip(reference).all(|(&x, &r)| x < r) {
+            front.push_row(row);
+        }
+    }
     match d {
         1 => front
-            .iter()
+            .iter_rows()
             .map(|p| reference[0] - p[0])
             .fold(0.0, f64::max),
-        2 => hypervolume_2d(&front, &[reference[0], reference[1]]),
+        2 => hv2d_matrix(&front, &[reference[0], reference[1]]),
         _ => wfg(&front, reference),
     }
 }
 
 /// WFG: hv(S) = Σ_i exclhv(p_i, {p_{i+1}, …}).
-fn wfg(front: &[Vec<f64>], reference: &[f64]) -> f64 {
+fn wfg(front: &ObjectiveMatrix, reference: &[f64]) -> f64 {
     let mut total = 0.0;
-    for (i, p) in front.iter().enumerate() {
-        total += exclusive_hv(p, &front[i + 1..], reference);
+    for i in 0..front.rows() {
+        total += exclusive_hv(front, i, reference);
     }
     total
 }
 
-/// Exclusive hypervolume of `p` relative to the set `rest`.
-fn exclusive_hv(p: &[f64], rest: &[Vec<f64>], reference: &[f64]) -> f64 {
-    inclusive_hv(p, reference) - wfg(&limit_set(rest, p), reference)
+/// Exclusive hypervolume of row `i` relative to the later rows.
+fn exclusive_hv(front: &ObjectiveMatrix, i: usize, reference: &[f64]) -> f64 {
+    inclusive_hv(front.row(i), reference) - wfg(&limit_set(front, i), reference)
 }
 
 /// Hypervolume of the single box `[p, reference]`.
@@ -109,14 +144,26 @@ fn inclusive_hv(p: &[f64], reference: &[f64]) -> f64 {
         .product()
 }
 
-/// Clips every point of `set` into the region dominated by `p`, then
-/// Pareto-filters the result.
-fn limit_set(set: &[Vec<f64>], p: &[f64]) -> Vec<Vec<f64>> {
-    let clipped: Vec<Vec<f64>> = set
-        .iter()
-        .map(|q| q.iter().zip(p).map(|(&a, &b)| a.max(b)).collect())
-        .collect();
-    pareto_filter(&clipped)
+/// Clips every row after `i` into the region dominated by row `i`, then
+/// Pareto-filters the result — one matrix allocation per recursion level
+/// instead of one `Vec` per point.
+fn limit_set(front: &ObjectiveMatrix, i: usize) -> ObjectiveMatrix {
+    let p = front.row(i);
+    let cols = front.cols();
+    let mut clipped = ObjectiveMatrix::with_capacity(cols, front.rows() - i - 1);
+    let mut buf = vec![0.0; cols];
+    for j in (i + 1)..front.rows() {
+        for (b, (&a, &q)) in buf.iter_mut().zip(front.row(j).iter().zip(p)) {
+            *b = a.max(q);
+        }
+        clipped.push_row(&buf);
+    }
+    let keep = kernels::non_dominated_matrix(&clipped);
+    let mut filtered = ObjectiveMatrix::with_capacity(cols, keep.len());
+    for k in keep {
+        filtered.push_row(clipped.row(k));
+    }
+    filtered
 }
 
 /// Percentage increase of `a` over `b`: `100·(a − b)/b`.
@@ -195,7 +242,7 @@ mod tests {
         ];
         let r = [7.0, 6.0];
         let sweep = hypervolume_2d(&front, &r);
-        let wfg_val = wfg(&pareto_filter(&front), &r);
+        let wfg_val = wfg(&ObjectiveMatrix::from_rows(&front), &r);
         assert!((sweep - wfg_val).abs() < 1e-12);
     }
 

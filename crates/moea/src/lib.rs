@@ -14,6 +14,10 @@
 //!   proposed methodology uses to chain `pfCLR → fcCLR`,
 //! * [`hypervolume`] — exact 2-D sweep and exact n-D WFG computation, the
 //!   paper's solution-quality indicator (Tables V–VII),
+//! * [`matrix`] / [`kernels`] — the flat-buffer selection kernels both
+//!   backends share: ENS-SS non-dominated sort, index-based crowding and
+//!   cached-distance SPEA2 truncation, bit-identical to the naive
+//!   algorithms they replace (kept alongside as test oracles),
 //! * [`Spea2`] — a second MOEA backend (the paper runs on DEAP *and*
 //!   PYGMO); the `ablation_moea` study checks the methodology is not
 //!   NSGA-II-specific.
@@ -64,6 +68,8 @@
 
 pub mod evolution;
 pub mod hypervolume;
+pub mod kernels;
+pub mod matrix;
 mod nsga2;
 pub mod pareto;
 mod problem;
@@ -71,6 +77,7 @@ mod spea2;
 pub mod test_problems;
 
 pub use evolution::{EvoOutcome, EvoSnapshot, EvolutionState};
+pub use matrix::{DistanceMatrix, ObjectiveMatrix};
 pub use nsga2::{Individual, Nsga2, Nsga2Config, Nsga2State, OptimizationResult};
 pub use problem::{EvalError, Evaluation, Problem, Variation};
 pub use spea2::{Spea2, Spea2Config, Spea2Result, Spea2State};

@@ -1,0 +1,315 @@
+//! Flat contiguous storage for objective vectors and pairwise distances.
+//!
+//! The selection kernels ([`crate::kernels`]) operate on an
+//! [`ObjectiveMatrix`] — one `Vec<f64>` plus a stride — instead of a
+//! `Vec<Vec<f64>>`. One allocation per generation (reused across
+//! generations through the kernel scratch, see
+//! [`crate::kernels::with_scratch`]) replaces N row allocations, rows sit
+//! contiguously for cache-friendly dominance scans, and a row view is a
+//! plain `&[f64]` so all the existing slice-based comparisons keep their
+//! exact semantics.
+
+/// A dense row-major matrix of objective vectors: `rows × cols` values in
+/// one flat buffer.
+///
+/// `cols` is fixed at construction (the objective count); rows are pushed
+/// one vector at a time. [`ObjectiveMatrix::clear`] keeps the allocation,
+/// which is what makes per-generation reuse free.
+///
+/// # Examples
+///
+/// ```
+/// use clre_moea::matrix::ObjectiveMatrix;
+///
+/// let mut m = ObjectiveMatrix::new(2);
+/// m.push_row(&[1.0, 4.0]);
+/// m.push_row(&[2.0, 3.0]);
+/// assert_eq!(m.rows(), 2);
+/// assert_eq!(m.row(1), &[2.0, 3.0]);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ObjectiveMatrix {
+    data: Vec<f64>,
+    cols: usize,
+    rows: usize,
+}
+
+impl ObjectiveMatrix {
+    /// An empty matrix with `cols` objectives per row.
+    pub fn new(cols: usize) -> Self {
+        ObjectiveMatrix {
+            data: Vec::new(),
+            cols,
+            rows: 0,
+        }
+    }
+
+    /// An empty matrix with capacity preallocated for `rows` rows.
+    pub fn with_capacity(cols: usize, rows: usize) -> Self {
+        ObjectiveMatrix {
+            data: Vec::with_capacity(cols * rows),
+            cols,
+            rows: 0,
+        }
+    }
+
+    /// Builds a matrix from row vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have inconsistent lengths.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        let cols = rows.first().map_or(0, Vec::len);
+        let mut m = ObjectiveMatrix::with_capacity(cols, rows.len());
+        for r in rows {
+            m.push_row(r);
+        }
+        m
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len() != cols`.
+    pub fn push_row(&mut self, row: &[f64]) {
+        assert_eq!(row.len(), self.cols, "row length must equal cols");
+        self.data.extend_from_slice(row);
+        self.rows += 1;
+    }
+
+    /// Empties the matrix, optionally re-striding it, keeping the
+    /// allocation for reuse.
+    pub fn reset(&mut self, cols: usize) {
+        self.data.clear();
+        self.cols = cols;
+        self.rows = 0;
+    }
+
+    /// Empties the matrix keeping stride and allocation.
+    pub fn clear(&mut self) {
+        self.data.clear();
+        self.rows = 0;
+    }
+
+    /// Clears the matrix and refills it from borrowed rows — the
+    /// per-generation reuse entry point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have inconsistent lengths.
+    pub fn refill<'a, I>(&mut self, cols: usize, rows: I)
+    where
+        I: IntoIterator<Item = &'a [f64]>,
+    {
+        self.reset(cols);
+        for r in rows {
+            self.push_row(r);
+        }
+    }
+
+    /// Row `i` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        debug_assert!(i < self.rows, "row index out of range");
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (objectives per row).
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `true` when the matrix holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Iterates over the rows as slices.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[f64]> + '_ {
+        (0..self.rows).map(move |i| self.row(i))
+    }
+
+    /// Copies the matrix back out into row vectors (the legacy shape —
+    /// used only at API boundaries that still speak `Vec<Vec<f64>>`).
+    pub fn to_rows(&self) -> Vec<Vec<f64>> {
+        self.iter_rows().map(<[f64]>::to_vec).collect()
+    }
+
+    /// `true` if any stored value is NaN (the kernels' degraded-input
+    /// detector — see [`crate::kernels::ens_non_dominated_sort`]).
+    pub fn any_nan(&self) -> bool {
+        self.data.iter().any(|x| x.is_nan())
+    }
+}
+
+/// A symmetric matrix of pairwise squared Euclidean distances over `n`
+/// points, stored flat (`n × n`, the diagonal is zero).
+///
+/// Computed once per selection from an [`ObjectiveMatrix`] and then
+/// indexed by the SPEA2 density estimate and the archive truncation — the
+/// cached replacement for recomputing `sq_dist` per pair per truncation
+/// round.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DistanceMatrix {
+    data: Vec<f64>,
+    n: usize,
+}
+
+impl DistanceMatrix {
+    /// Builds the full pairwise squared-distance matrix of `points`.
+    ///
+    /// `d(i, j)` is evaluated once (for `i < j`) and mirrored:
+    /// `(x−y)²` sums are bitwise symmetric, so the mirror is exact.
+    pub fn from_points(points: &ObjectiveMatrix) -> Self {
+        let n = points.rows();
+        let mut m = DistanceMatrix {
+            data: vec![0.0; n * n],
+            n,
+        };
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = sq_dist(points.row(i), points.row(j));
+                m.data[i * n + j] = d;
+                m.data[j * n + i] = d;
+            }
+        }
+        m
+    }
+
+    /// Rebuilds the matrix in place from `points`, reusing the buffer.
+    pub fn refill(&mut self, points: &ObjectiveMatrix) {
+        let n = points.rows();
+        self.n = n;
+        self.data.clear();
+        self.data.resize(n * n, 0.0);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = sq_dist(points.row(i), points.row(j));
+                self.data[i * n + j] = d;
+                self.data[j * n + i] = d;
+            }
+        }
+    }
+
+    /// The squared distance between points `i` and `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.n && j < self.n, "index out of range");
+        self.data[i * self.n + j]
+    }
+
+    /// Row `i`: squared distances from point `i` to every point
+    /// (including itself at position `i`).
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.n..(i + 1) * self.n]
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` when the matrix covers no points.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+}
+
+/// Squared Euclidean distance between two objective vectors.
+#[inline]
+pub fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_view_rows() {
+        let mut m = ObjectiveMatrix::new(3);
+        assert!(m.is_empty());
+        m.push_row(&[1.0, 2.0, 3.0]);
+        m.push_row(&[4.0, 5.0, 6.0]);
+        assert_eq!((m.rows(), m.cols()), (2, 3));
+        assert_eq!(m.row(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(m.iter_rows().count(), 2);
+    }
+
+    #[test]
+    fn from_rows_roundtrips() {
+        let rows = vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]];
+        let m = ObjectiveMatrix::from_rows(&rows);
+        assert_eq!(m.to_rows(), rows);
+    }
+
+    #[test]
+    #[should_panic(expected = "row length")]
+    fn inconsistent_row_rejected() {
+        let mut m = ObjectiveMatrix::new(2);
+        m.push_row(&[1.0]);
+    }
+
+    #[test]
+    fn refill_reuses_and_restrides() {
+        let mut m = ObjectiveMatrix::from_rows(&[vec![1.0, 2.0]]);
+        let rows = [vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]];
+        m.refill(3, rows.iter().map(Vec::as_slice));
+        assert_eq!((m.rows(), m.cols()), (2, 3));
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.cols(), 3);
+    }
+
+    #[test]
+    fn nan_detector() {
+        let mut m = ObjectiveMatrix::new(2);
+        m.push_row(&[1.0, 2.0]);
+        assert!(!m.any_nan());
+        m.push_row(&[f64::NAN, 0.0]);
+        assert!(m.any_nan());
+    }
+
+    #[test]
+    fn distance_matrix_is_symmetric_with_zero_diagonal() {
+        let points = ObjectiveMatrix::from_rows(&[vec![0.0, 0.0], vec![3.0, 4.0], vec![1.0, 1.0]]);
+        let d = DistanceMatrix::from_points(&points);
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.get(0, 1), 25.0);
+        for i in 0..3 {
+            assert_eq!(d.get(i, i), 0.0);
+            for j in 0..3 {
+                assert_eq!(d.get(i, j).to_bits(), d.get(j, i).to_bits());
+            }
+        }
+        assert_eq!(d.row(0), &[0.0, 25.0, 2.0]);
+    }
+
+    #[test]
+    fn distance_matrix_refill_matches_fresh() {
+        let a = ObjectiveMatrix::from_rows(&[vec![1.0], vec![4.0]]);
+        let b = ObjectiveMatrix::from_rows(&[vec![0.0], vec![2.0], vec![5.0]]);
+        let mut d = DistanceMatrix::from_points(&a);
+        d.refill(&b);
+        assert_eq!(d, DistanceMatrix::from_points(&b));
+    }
+}

@@ -1,8 +1,9 @@
-use crate::pareto::{crowding_distance, fast_non_dominated_sort};
+use crate::kernels;
 use crate::{Evaluation, Problem, Variation};
 use clre_exec::Executor;
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
+use std::time::Instant;
 
 /// Configuration of one NSGA-II run.
 ///
@@ -281,9 +282,13 @@ where
         P::Genome: Send + Sync,
         V: Sync,
     {
-        self.step_core(state, |genomes, generation| {
-            exec.evaluate_batch(generation, &genomes, |g| self.eval_one(g.clone()))
-        })
+        self.step_core(
+            state,
+            |genomes, generation| {
+                exec.evaluate_batch(generation, &genomes, |g| self.eval_one(g.clone()))
+            },
+            |micros| exec.annotate_selection(micros),
+        )
     }
 
     /// Advances the state by one generation: offspring via tournament
@@ -295,9 +300,11 @@ where
     /// population, so they are recomputed here instead of being part of
     /// the (persistable) state.
     pub fn step(&self, state: &mut Nsga2State<P::Genome>) -> bool {
-        self.step_core(state, |genomes, _| {
-            genomes.into_iter().map(|g| self.eval_one(g)).collect()
-        })
+        self.step_core(
+            state,
+            |genomes, _| genomes.into_iter().map(|g| self.eval_one(g)).collect(),
+            |_| {},
+        )
     }
 
     /// Shared skeleton of [`Nsga2::init_state`] /
@@ -332,26 +339,38 @@ where
     /// `evaluate` (called with the offspring genomes and the 1-based
     /// generation number they belong to), then apply elitist
     /// environmental selection.
-    fn step_core<E>(&self, state: &mut Nsga2State<P::Genome>, evaluate: E) -> bool
+    ///
+    /// `report` receives the generation's selection-kernel wall time in
+    /// microseconds (mating rank/crowding + environmental selection) once
+    /// the step is complete — after `evaluate`, so a telemetry-backed
+    /// reporter annotates this generation's own trace record.
+    fn step_core<E, R>(&self, state: &mut Nsga2State<P::Genome>, evaluate: E, report: R) -> bool
     where
         E: FnOnce(Vec<P::Genome>, usize) -> Vec<Individual<P::Genome>>,
+        R: FnOnce(u64),
     {
         if state.generation >= self.config.generations {
             return false;
         }
         let pop_size = self.config.population_size;
         let mut rng = StdRng::from_state_words(state.rng_state);
-        let genomes = self.offspring_genomes(&state.population, &mut rng);
+        let mating = Instant::now();
+        let (ranks, crowding) = rank_and_crowd(&state.population);
+        let mut selection_nanos = mating.elapsed().as_nanos() as u64;
+        let genomes = self.offspring_genomes(&state.population, &ranks, &crowding, &mut rng);
         state.evaluations += genomes.len();
         let offspring = evaluate(genomes, state.generation + 1);
         debug_assert_eq!(offspring.len(), pop_size);
         // Environmental selection over parents ∪ offspring.
         let population = &mut state.population;
         population.extend(offspring);
+        let environmental = Instant::now();
         let survivors = environmental_selection(std::mem::take(population), pop_size);
+        selection_nanos += environmental.elapsed().as_nanos() as u64;
         *population = survivors;
         state.generation += 1;
         state.rng_state = rng.state_words();
+        report(selection_nanos / 1_000);
         true
     }
 
@@ -360,14 +379,15 @@ where
     fn offspring_genomes(
         &self,
         population: &[Individual<P::Genome>],
+        ranks: &[usize],
+        crowding: &[f64],
         rng: &mut StdRng,
     ) -> Vec<P::Genome> {
         let pop_size = self.config.population_size;
-        let (ranks, crowding) = rank_and_crowd(population);
         let mut genomes: Vec<P::Genome> = Vec::with_capacity(pop_size);
         while genomes.len() < pop_size {
-            let a = self.tournament(population, &ranks, &crowding, rng);
-            let b = self.tournament(population, &ranks, &crowding, rng);
+            let a = self.tournament(population, ranks, crowding, rng);
+            let b = self.tournament(population, ranks, crowding, rng);
             let (mut c1, mut c2) = if rng.gen_bool(self.config.crossover_prob) {
                 self.variation
                     .crossover(&population[a].genome, &population[b].genome, rng)
@@ -440,52 +460,69 @@ where
     }
 }
 
-/// Computes each individual's front rank and crowding distance.
+/// Fills this thread's selection scratch with the population's
+/// objectives and violations (borrowed, no per-row clones) and runs `f`
+/// on the flat buffers.
+fn with_population_scratch<G, R>(
+    pop: &[Individual<G>],
+    f: impl FnOnce(&crate::matrix::ObjectiveMatrix, &[f64]) -> R,
+) -> R {
+    let cols = pop.first().map_or(0, |i| i.objectives.len());
+    kernels::with_scratch(|s| {
+        s.objectives
+            .refill(cols, pop.iter().map(|i| i.objectives.as_slice()));
+        s.violations.clear();
+        s.violations.extend(pop.iter().map(|i| i.violation));
+        f(&s.objectives, &s.violations)
+    })
+}
+
+/// Computes each individual's front rank and crowding distance on the
+/// reusable flat objective buffer — one fill, no per-front row copies.
 fn rank_and_crowd<G>(pop: &[Individual<G>]) -> (Vec<usize>, Vec<f64>) {
-    let points: Vec<Vec<f64>> = pop.iter().map(|i| i.objectives.clone()).collect();
-    let violations: Vec<f64> = pop.iter().map(|i| i.violation).collect();
-    let fronts = fast_non_dominated_sort(&points, &violations);
-    let mut ranks = vec![0usize; pop.len()];
-    let mut crowding = vec![0.0f64; pop.len()];
-    for (r, front) in fronts.iter().enumerate() {
-        let front_points: Vec<Vec<f64>> = front.iter().map(|&i| points[i].clone()).collect();
-        let dist = crowding_distance(&front_points);
-        for (&i, &d) in front.iter().zip(&dist) {
-            ranks[i] = r;
-            crowding[i] = d;
+    with_population_scratch(pop, |objectives, violations| {
+        let fronts = kernels::ens_non_dominated_sort(objectives, violations);
+        let mut ranks = vec![0usize; pop.len()];
+        let mut crowding = vec![0.0f64; pop.len()];
+        for (r, front) in fronts.iter().enumerate() {
+            let dist = kernels::crowding_distance_indexed(objectives, front);
+            for (&i, &d) in front.iter().zip(&dist) {
+                ranks[i] = r;
+                crowding[i] = d;
+            }
         }
-    }
-    (ranks, crowding)
+        (ranks, crowding)
+    })
 }
 
 /// NSGA-II elitist truncation: fill by fronts, split the last front by
 /// descending crowding distance.
 fn environmental_selection<G>(pop: Vec<Individual<G>>, target: usize) -> Vec<Individual<G>> {
-    let points: Vec<Vec<f64>> = pop.iter().map(|i| i.objectives.clone()).collect();
-    let violations: Vec<f64> = pop.iter().map(|i| i.violation).collect();
-    let fronts = fast_non_dominated_sort(&points, &violations);
-    let mut chosen: Vec<usize> = Vec::with_capacity(target);
-    for front in fronts {
-        if chosen.len() + front.len() <= target {
-            chosen.extend(front);
-            if chosen.len() == target {
+    let chosen = with_population_scratch(&pop, |objectives, violations| {
+        let fronts = kernels::ens_non_dominated_sort(objectives, violations);
+        let mut chosen: Vec<usize> = Vec::with_capacity(target);
+        for front in fronts {
+            if chosen.len() + front.len() <= target {
+                chosen.extend(front);
+                if chosen.len() == target {
+                    break;
+                }
+            } else {
+                let dist = kernels::crowding_distance_indexed(objectives, &front);
+                let mut order: Vec<usize> = (0..front.len()).collect();
+                order.sort_by(|&a, &b| {
+                    dist[b]
+                        .partial_cmp(&dist[a])
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                });
+                for &k in order.iter().take(target - chosen.len()) {
+                    chosen.push(front[k]);
+                }
                 break;
             }
-        } else {
-            let front_points: Vec<Vec<f64>> = front.iter().map(|&i| points[i].clone()).collect();
-            let dist = crowding_distance(&front_points);
-            let mut order: Vec<usize> = (0..front.len()).collect();
-            order.sort_by(|&a, &b| {
-                dist[b]
-                    .partial_cmp(&dist[a])
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            });
-            for &k in order.iter().take(target - chosen.len()) {
-                chosen.push(front[k]);
-            }
-            break;
         }
-    }
+        chosen
+    });
     // Extract in index order while preserving `chosen`'s selection.
     let mut keep = vec![false; pop.len()];
     for &i in &chosen {

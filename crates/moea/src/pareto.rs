@@ -2,8 +2,15 @@
 //! and fast non-dominated sorting with constraint-domination.
 //!
 //! All comparisons assume **minimization** on every axis.
+//!
+//! The slice-of-`Vec` entry points here are thin wrappers over the
+//! flat-buffer kernels in [`crate::kernels`]; callers on the hot path
+//! (the MOEA generation loops) use the kernels directly on an
+//! [`ObjectiveMatrix`](crate::matrix::ObjectiveMatrix) to skip the
+//! per-row allocations.
 
-use std::cmp::Ordering;
+use crate::kernels;
+use crate::matrix::ObjectiveMatrix;
 
 /// Returns `true` if `a` Pareto-dominates `b` (a ≤ b everywhere, a < b
 /// somewhere).
@@ -62,18 +69,7 @@ pub fn constrained_dominates(a: &[f64], va: f64, b: &[f64], vb: f64) -> bool {
 /// assert_eq!(non_dominated_indices(&pts), vec![0, 1, 3]);
 /// ```
 pub fn non_dominated_indices(points: &[Vec<f64>]) -> Vec<usize> {
-    let mut keep = Vec::new();
-    'outer: for (i, p) in points.iter().enumerate() {
-        for (j, q) in points.iter().enumerate() {
-            if i != j && (dominates(q, p) || (q == p && j < i)) {
-                // Strictly dominated, or an exact duplicate of an earlier
-                // point (keep only the first copy).
-                continue 'outer;
-            }
-        }
-        keep.push(i);
-    }
-    keep
+    kernels::non_dominated_matrix(&ObjectiveMatrix::from_rows(points))
 }
 
 /// Filters `points` down to its Pareto front (first occurrence of
@@ -91,41 +87,17 @@ pub fn pareto_filter(points: &[Vec<f64>]) -> Vec<Vec<f64>> {
 /// `violations[i]` feeds constraint-domination; pass all zeros for an
 /// unconstrained sort.
 ///
+/// Dispatches to the ENS-SS kernel
+/// ([`kernels::ens_non_dominated_sort`]), which returns the same fronts
+/// in the same order as the classic Deb peeling sort (kept as
+/// [`kernels::deb_non_dominated_sort`], the test oracle and
+/// degraded-input fallback).
+///
 /// # Panics
 ///
 /// Panics if `points` and `violations` differ in length.
 pub fn fast_non_dominated_sort(points: &[Vec<f64>], violations: &[f64]) -> Vec<Vec<usize>> {
-    assert_eq!(points.len(), violations.len(), "length mismatch");
-    let n = points.len();
-    let mut dominated_by: Vec<Vec<usize>> = vec![Vec::new(); n]; // p dominates these
-    let mut counts = vec![0usize; n]; // how many dominate p
-    for i in 0..n {
-        for j in (i + 1)..n {
-            if constrained_dominates(&points[i], violations[i], &points[j], violations[j]) {
-                dominated_by[i].push(j);
-                counts[j] += 1;
-            } else if constrained_dominates(&points[j], violations[j], &points[i], violations[i]) {
-                dominated_by[j].push(i);
-                counts[i] += 1;
-            }
-        }
-    }
-    let mut fronts = Vec::new();
-    let mut current: Vec<usize> = (0..n).filter(|&i| counts[i] == 0).collect();
-    while !current.is_empty() {
-        let mut next = Vec::new();
-        for &p in &current {
-            for &q in &dominated_by[p] {
-                counts[q] -= 1;
-                if counts[q] == 0 {
-                    next.push(q);
-                }
-            }
-        }
-        fronts.push(std::mem::take(&mut current));
-        current = next;
-    }
-    fronts
+    kernels::ens_non_dominated_sort(&ObjectiveMatrix::from_rows(points), violations)
 }
 
 /// Crowding distance of each point within one front (Deb et al.).
@@ -134,40 +106,10 @@ pub fn fast_non_dominated_sort(points: &[Vec<f64>], violations: &[f64]) -> Vec<V
 /// # Panics
 ///
 /// Panics if the points have inconsistent dimensionality.
-#[allow(clippy::needless_range_loop)] // per-objective passes read clearest indexed
 pub fn crowding_distance(points: &[Vec<f64>]) -> Vec<f64> {
-    let n = points.len();
-    let mut dist = vec![0.0f64; n];
-    if n == 0 {
-        return dist;
-    }
-    let m = points[0].len();
-    for p in points {
-        assert_eq!(p.len(), m, "inconsistent dimensionality");
-    }
-    if n <= 2 {
-        return vec![f64::INFINITY; n];
-    }
-    let mut order: Vec<usize> = (0..n).collect();
-    for obj in 0..m {
-        order.sort_by(|&a, &b| {
-            points[a][obj]
-                .partial_cmp(&points[b][obj])
-                .unwrap_or(Ordering::Equal)
-        });
-        dist[order[0]] = f64::INFINITY;
-        dist[order[n - 1]] = f64::INFINITY;
-        let span = points[order[n - 1]][obj] - points[order[0]][obj];
-        if span <= 0.0 {
-            continue;
-        }
-        for w in 1..(n - 1) {
-            let prev = points[order[w - 1]][obj];
-            let next = points[order[w + 1]][obj];
-            dist[order[w]] += (next - prev) / span;
-        }
-    }
-    dist
+    let matrix = ObjectiveMatrix::from_rows(points);
+    let members: Vec<usize> = (0..matrix.rows()).collect();
+    kernels::crowding_distance_indexed(&matrix, &members)
 }
 
 #[cfg(test)]

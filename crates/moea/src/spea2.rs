@@ -12,11 +12,13 @@
 //! and elitism flows through a fixed-size external archive truncated by
 //! iteratively removing the most crowded member.
 
-use crate::pareto::constrained_dominates;
+use crate::kernels;
+use crate::matrix::ObjectiveMatrix;
 use crate::{Evaluation, Individual, Problem, Variation};
 use clre_exec::Executor;
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
+use std::time::Instant;
 
 /// Configuration of one SPEA2 run.
 #[derive(Debug, Clone, PartialEq)]
@@ -164,12 +166,17 @@ impl<G> Spea2Result<G> {
         self.archive
     }
 
-    /// The non-dominated objective vectors of the archive.
+    /// The non-dominated objective vectors of the archive — collected
+    /// once from a flat borrowed buffer (no intermediate row clones).
     pub fn front_objectives(&self) -> Vec<Vec<f64>> {
-        let objs: Vec<Vec<f64>> = self.archive.iter().map(|i| i.objectives.clone()).collect();
-        crate::pareto::non_dominated_indices(&objs)
+        let cols = self.archive.first().map_or(0, |i| i.objectives.len());
+        let mut m = ObjectiveMatrix::with_capacity(cols, self.archive.len());
+        for ind in &self.archive {
+            m.push_row(&ind.objectives);
+        }
+        kernels::non_dominated_matrix(&m)
             .into_iter()
-            .map(|i| objs[i].clone())
+            .map(|i| m.row(i).to_vec())
             .collect()
     }
 }
@@ -256,9 +263,11 @@ where
     /// SPEA2 fitness. Returns `false` (leaving the state untouched) once
     /// the configured generation count is reached.
     pub fn step(&self, state: &mut Spea2State<P::Genome>) -> bool {
-        self.step_core(state, |genomes, _| {
-            genomes.into_iter().map(|g| self.eval_one(g)).collect()
-        })
+        self.step_core(
+            state,
+            |genomes, _| genomes.into_iter().map(|g| self.eval_one(g)).collect(),
+            |_| {},
+        )
     }
 
     /// [`Spea2::step`] with the offspring batch fanned out through `exec`
@@ -271,9 +280,13 @@ where
         P::Genome: Send + Sync,
         V: Sync,
     {
-        self.step_core(state, |genomes, generation| {
-            exec.evaluate_batch(generation, &genomes, |g| self.eval_one(g.clone()))
-        })
+        self.step_core(
+            state,
+            |genomes, generation| {
+                exec.evaluate_batch(generation, &genomes, |g| self.eval_one(g.clone()))
+            },
+            |micros| exec.annotate_selection(micros),
+        )
     }
 
     /// Turns a state into the run result: one last environmental
@@ -281,8 +294,7 @@ where
     pub fn finalize(&self, state: Spea2State<P::Genome>) -> Spea2Result<P::Genome> {
         let mut union = state.population;
         union.extend(state.archive);
-        let fitness = spea2_fitness(&union);
-        let archive = environmental_selection(union, &fitness, self.config.archive_size);
+        let archive = select_archive(union, self.config.archive_size);
         Spea2Result {
             archive,
             evaluations: state.evaluations,
@@ -318,9 +330,15 @@ where
     /// the order the classic interleaved loop did — fitness evaluation
     /// never touches the RNG) and then handed to `evaluate` along with the
     /// 1-based generation number it belongs to.
-    fn step_core<E>(&self, state: &mut Spea2State<P::Genome>, evaluate: E) -> bool
+    ///
+    /// `report` receives the generation's selection-kernel wall time in
+    /// microseconds (union fitness + archive selection + mating fitness)
+    /// once the step is complete — after `evaluate`, so a telemetry-backed
+    /// reporter annotates this generation's own trace record.
+    fn step_core<E, R>(&self, state: &mut Spea2State<P::Genome>, evaluate: E, report: R) -> bool
     where
         E: FnOnce(Vec<P::Genome>, usize) -> Vec<Individual<P::Genome>>,
+        R: FnOnce(u64),
     {
         if state.generation >= self.config.generations {
             return false;
@@ -328,14 +346,15 @@ where
         let mut rng = StdRng::from_state_words(state.rng_state);
 
         // Union, fitness, environmental selection into the archive.
+        let selection = Instant::now();
         let mut union = std::mem::take(&mut state.population);
         union.extend(std::mem::take(&mut state.archive));
-        let fitness = spea2_fitness(&union);
-        state.archive = environmental_selection(union, &fitness, self.config.archive_size);
+        state.archive = select_archive(union, self.config.archive_size);
 
         // Mating selection by binary tournament on SPEA2 fitness
         // (recomputed within the archive).
         let arch_fitness = spea2_fitness(&state.archive);
+        let selection_nanos = selection.elapsed().as_nanos() as u64;
         let pop_size = self.config.population_size;
         let mut genomes: Vec<P::Genome> = Vec::with_capacity(pop_size);
         while genomes.len() < pop_size {
@@ -368,6 +387,7 @@ where
         state.population = evaluate(genomes, state.generation + 1);
         state.generation += 1;
         state.rng_state = rng.state_words();
+        report(selection_nanos / 1_000);
         true
     }
 
@@ -398,80 +418,57 @@ fn tournament(fitness: &[f64], rng: &mut dyn RngCore) -> usize {
     }
 }
 
+/// Fills this thread's selection scratch with the population's
+/// objectives and violations (borrowed, no per-row clones) and runs `f`
+/// on the scratch.
+fn with_population_scratch<G, R>(
+    pop: &[Individual<G>],
+    f: impl FnOnce(&mut kernels::SelectionScratch) -> R,
+) -> R {
+    let cols = pop.first().map_or(0, |i| i.objectives.len());
+    kernels::with_scratch(|s| {
+        s.objectives
+            .refill(cols, pop.iter().map(|i| i.objectives.as_slice()));
+        s.violations.clear();
+        s.violations.extend(pop.iter().map(|i| i.violation));
+        f(s)
+    })
+}
+
 /// SPEA2 fitness F(i) = R(i) + D(i): raw strength-based fitness plus the
-/// k-nearest-neighbour density term (< 1 iff non-dominated).
+/// k-nearest-neighbour density term (< 1 iff non-dominated). Computed on
+/// the reusable flat buffers by [`kernels::spea2_fitness`].
 fn spea2_fitness<G>(pop: &[Individual<G>]) -> Vec<f64> {
-    let n = pop.len();
-    // Strength: how many others each individual dominates.
-    let mut strength = vec![0usize; n];
-    let mut dominated_by: Vec<Vec<usize>> = vec![Vec::new(); n]; // dominators of i
-    for i in 0..n {
-        for j in 0..n {
-            if i != j
-                && constrained_dominates(
-                    &pop[i].objectives,
-                    pop[i].violation,
-                    &pop[j].objectives,
-                    pop[j].violation,
-                )
-            {
-                strength[i] += 1;
-                dominated_by[j].push(i);
-            }
+    with_population_scratch(pop, |s| {
+        kernels::spea2_fitness(&s.objectives, &s.violations, &mut s.distances)
+    })
+}
+
+/// SPEA2 environmental selection of the archive from `union`: keep all
+/// non-dominated (F < 1); truncate overflow by iteratively removing the
+/// member with the lexicographically smallest sorted-distance vector;
+/// fill underflow with the best dominated.
+///
+/// Fitness and truncation share one scratch session, so the pairwise
+/// distance matrix built for the density estimate is the same cached
+/// matrix the truncation rounds index
+/// ([`kernels::spea2_truncate`]) — nothing is recomputed per round.
+fn select_archive<G>(union: Vec<Individual<G>>, target: usize) -> Vec<Individual<G>> {
+    let chosen = with_population_scratch(&union, |s| {
+        let fitness = kernels::spea2_fitness(&s.objectives, &s.violations, &mut s.distances);
+        let mut order: Vec<usize> = (0..union.len()).collect();
+        order.sort_by(|&a, &b| fitness[a].total_cmp(&fitness[b]));
+        let nondom: Vec<usize> = order
+            .iter()
+            .copied()
+            .filter(|&i| fitness[i] < 1.0)
+            .collect();
+        if nondom.len() > target {
+            kernels::spea2_truncate(&s.distances, nondom, target)
+        } else {
+            order.into_iter().take(target).collect()
         }
-    }
-    // Raw fitness: sum of the strengths of one's dominators.
-    let raw: Vec<f64> = (0..n)
-        .map(|i| dominated_by[i].iter().map(|&d| strength[d] as f64).sum())
-        .collect();
-    // Density: 1 / (σ_k + 2) with k = √n.
-    let k = (n as f64).sqrt() as usize;
-    let density: Vec<f64> = (0..n)
-        .map(|i| {
-            let mut dists: Vec<f64> = (0..n)
-                .filter(|&j| j != i)
-                .map(|j| sq_dist(&pop[i].objectives, &pop[j].objectives))
-                .collect();
-            dists.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-            let sigma_k = dists
-                .get(k.saturating_sub(1))
-                .copied()
-                .unwrap_or(0.0)
-                .sqrt();
-            1.0 / (sigma_k + 2.0)
-        })
-        .collect();
-    raw.iter().zip(&density).map(|(r, d)| r + d).collect()
-}
-
-fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
-    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
-}
-
-/// SPEA2 environmental selection: keep all non-dominated (F < 1); truncate
-/// overflow by iteratively removing the member with the smallest
-/// nearest-neighbour distance; fill underflow with the best dominated.
-fn environmental_selection<G>(
-    union: Vec<Individual<G>>,
-    fitness: &[f64],
-    target: usize,
-) -> Vec<Individual<G>> {
-    let mut order: Vec<usize> = (0..union.len()).collect();
-    order.sort_by(|&a, &b| {
-        fitness[a]
-            .partial_cmp(&fitness[b])
-            .unwrap_or(std::cmp::Ordering::Equal)
     });
-    let nondom: Vec<usize> = order
-        .iter()
-        .copied()
-        .filter(|&i| fitness[i] < 1.0)
-        .collect();
-    let chosen: Vec<usize> = if nondom.len() > target {
-        truncate_by_distance(&union, nondom, target)
-    } else {
-        order.into_iter().take(target).collect()
-    };
     let mut keep = vec![false; union.len()];
     for &i in &chosen {
         keep[i] = true;
@@ -481,33 +478,6 @@ fn environmental_selection<G>(
         .zip(keep)
         .filter_map(|(ind, k)| k.then_some(ind))
         .collect()
-}
-
-/// Iterative truncation: repeatedly drop the individual whose sorted
-/// distance vector to the remaining members is lexicographically smallest.
-fn truncate_by_distance<G>(
-    union: &[Individual<G>],
-    mut members: Vec<usize>,
-    target: usize,
-) -> Vec<usize> {
-    while members.len() > target {
-        let mut worst_pos = 0usize;
-        let mut worst_key: Vec<f64> = Vec::new();
-        for (pos, &i) in members.iter().enumerate() {
-            let mut dists: Vec<f64> = members
-                .iter()
-                .filter(|&&j| j != i)
-                .map(|&j| sq_dist(&union[i].objectives, &union[j].objectives))
-                .collect();
-            dists.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-            if pos == 0 || dists < worst_key {
-                worst_key = dists;
-                worst_pos = pos;
-            }
-        }
-        members.swap_remove(worst_pos);
-    }
-    members
 }
 
 #[cfg(test)]

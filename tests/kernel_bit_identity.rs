@@ -1,0 +1,83 @@
+//! Golden-digest oracle for the flat-buffer MOEA selection kernels: the
+//! fcCLR and seeded-proposed fronts must stay bit-identical to the
+//! pre-kernel implementation (naive Deb sort, per-round SPEA2 truncation)
+//! at any worker count.
+//!
+//! The digests below were captured by running this very test against the
+//! repository state *before* the ENS sort / cached-distance truncation /
+//! `ObjectiveMatrix` rewrite landed (commit c9ef0c2). Any change to the
+//! selection kernels that alters even one objective bit of a reported
+//! front trips these constants.
+
+use clrearly::core::apps;
+use clrearly::core::methodology::{ClrEarly, FrontResult, StageBudget};
+use clrearly::exec::{ExecPool, Executor};
+
+/// FNV-1a over the front's objective bit patterns and genome words, in
+/// front order — a stricter identity than `==` (distinguishes `-0.0`).
+fn front_digest(front: &FrontResult) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut fold = |w: u64| {
+        for b in w.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    fold(front.front().len() as u64);
+    for p in front.front() {
+        fold(p.objectives.len() as u64);
+        for &x in &p.objectives {
+            fold(x.to_bits());
+        }
+        fold(p.genome.len() as u64);
+        for g in p.genome.iter() {
+            fold(u64::from(u32::from(g.task)));
+            fold(u64::from(u32::from(g.pe)));
+            fold(u64::from(g.choice));
+        }
+    }
+    h
+}
+
+fn run_method(workers: usize, proposed: bool) -> FrontResult {
+    let platform = apps::paper_platform();
+    let graph = apps::sobel(&platform, 42).expect("sobel app builds");
+    let budget = StageBudget::smoke_test().with_seed(7);
+    let dse = ClrEarly::new(&graph, &platform)
+        .expect("tDSE succeeds")
+        .with_executor(Executor::new(ExecPool::new(workers)));
+    if proposed {
+        dse.run_proposed(&budget).expect("proposed runs")
+    } else {
+        dse.run_fc(&budget).expect("fcCLR runs")
+    }
+}
+
+/// Pre-change golden digests (workers are irrelevant to the value — the
+/// engine is worker-count-invariant — but both pools are exercised).
+const FC_GOLDEN: u64 = 0x5DEA_6B56_3F80_B128;
+const PROPOSED_GOLDEN: u64 = 0xA64C_E894_4B8F_397C;
+
+#[test]
+fn fc_front_matches_pre_kernel_golden_digest() {
+    for workers in [1usize, 4] {
+        let d = front_digest(&run_method(workers, false));
+        assert_eq!(
+            d, FC_GOLDEN,
+            "fcCLR front digest {d:#018x} diverged from pre-kernel golden (workers={workers})"
+        );
+    }
+}
+
+#[test]
+fn seeded_proposed_front_matches_pre_kernel_golden_digest() {
+    for workers in [1usize, 4] {
+        let d = front_digest(&run_method(workers, true));
+        assert_eq!(
+            d, PROPOSED_GOLDEN,
+            "proposed front digest {d:#018x} diverged from pre-kernel golden (workers={workers})"
+        );
+    }
+}

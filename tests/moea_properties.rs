@@ -2,13 +2,28 @@
 //! filtering, non-dominated sorting, crowding and hypervolume invariants.
 
 use clrearly::moea::hypervolume::{hypervolume, hypervolume_2d};
+use clrearly::moea::kernels;
 use clrearly::moea::pareto::{
     crowding_distance, dominates, fast_non_dominated_sort, non_dominated_indices, pareto_filter,
 };
+use clrearly::moea::{DistanceMatrix, ObjectiveMatrix};
 use proptest::prelude::*;
 
 fn arb_points(dim: usize, max: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
     prop::collection::vec(prop::collection::vec(0.0..10.0f64, dim), 1..max)
+}
+
+/// Constrained clouds on a coarse lattice: exact duplicates and per-axis
+/// ties are common, and about a third of the points are infeasible — the
+/// hard case for order-sensitive kernels.
+fn arb_constrained_lattice(dim: usize, max: usize) -> impl Strategy<Value = Vec<(Vec<f64>, f64)>> {
+    prop::collection::vec(
+        (
+            prop::collection::vec((0u32..6).prop_map(|x| f64::from(x) * 0.5), dim),
+            (0u32..3).prop_map(|v| if v == 2 { 1.5 } else { 0.0 }),
+        ),
+        1..max,
+    )
 }
 
 proptest! {
@@ -137,5 +152,37 @@ proptest! {
         let front = pareto_filter(&points);
         let filtered = hypervolume_2d(&front, &r);
         prop_assert!((full - filtered).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ens_sort_equals_deb_oracle_on_tied_clouds(cloud in arb_constrained_lattice(3, 60)) {
+        let rows: Vec<Vec<f64>> = cloud.iter().map(|(p, _)| p.clone()).collect();
+        let violations: Vec<f64> = cloud.iter().map(|(_, v)| *v).collect();
+        let m = ObjectiveMatrix::from_rows(&rows);
+        let ens = kernels::ens_non_dominated_sort(&m, &violations);
+        let deb = kernels::deb_non_dominated_sort(&m, &violations);
+        prop_assert_eq!(ens, deb);
+    }
+
+    #[test]
+    fn ens_sort_equals_deb_oracle_on_continuous_clouds(points in arb_points(2, 50)) {
+        let violations = vec![0.0; points.len()];
+        let m = ObjectiveMatrix::from_rows(&points);
+        let ens = kernels::ens_non_dominated_sort(&m, &violations);
+        let deb = kernels::deb_non_dominated_sort(&m, &violations);
+        prop_assert_eq!(ens, deb);
+    }
+
+    #[test]
+    fn cached_truncation_equals_naive_oracle(cloud in arb_constrained_lattice(2, 40)) {
+        let rows: Vec<Vec<f64>> = cloud.iter().map(|(p, _)| p.clone()).collect();
+        let m = ObjectiveMatrix::from_rows(&rows);
+        let dist = DistanceMatrix::from_points(&m);
+        let members: Vec<usize> = (0..rows.len()).collect();
+        for target in [0, rows.len() / 2, rows.len().saturating_sub(1), rows.len()] {
+            let cached = kernels::spea2_truncate(&dist, members.clone(), target);
+            let naive = kernels::spea2_truncate_naive(&dist, members.clone(), target);
+            prop_assert_eq!(cached, naive, "target {}", target);
+        }
     }
 }
