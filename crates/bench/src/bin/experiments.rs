@@ -3,7 +3,7 @@
 //! Usage: `experiments <id> [--smoke|--tiny] [--workers N] [--trace FILE]
 //! [--ledger FILE] [--halt-after-cells N] [--cache FILE]` where `<id>` is
 //! one of `fig6a fig6b table4 fig7 table5 fig8 table6 fig9 fig10 table7
-//! scaling chkpt multiobj ablations cachebench kernelbench all`.
+//! scaling chkpt multiobj ablations cachebench kernelbench chaos all`.
 //!
 //! `--workers N` sets the evaluation worker-pool size (default: available
 //! parallelism); results are bit-identical for any value. `--trace FILE`
@@ -20,11 +20,13 @@
 
 use std::path::PathBuf;
 
-use clre_bench::{cachebench, exec_settings, kernelbench, sweep, system, tasklevel, RunScale};
+use clre_bench::{
+    cachebench, chaosbench, exec_settings, kernelbench, sweep, system, tasklevel, RunScale,
+};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments <fig6a|fig6b|table4|fig7|table5|fig8|table6|fig9|fig10|table7|scaling|chkpt|multiobj|ablations|cachebench|kernelbench|all> [--smoke|--tiny] [--workers N] [--trace FILE] [--ledger FILE] [--halt-after-cells N] [--cache FILE]"
+        "usage: experiments <fig6a|fig6b|table4|fig7|table5|fig8|table6|fig9|fig10|table7|scaling|chkpt|multiobj|ablations|cachebench|kernelbench|chaos|all> [--smoke|--tiny] [--workers N] [--trace FILE] [--ledger FILE] [--halt-after-cells N] [--cache FILE]"
     );
     std::process::exit(2);
 }
@@ -115,6 +117,7 @@ fn main() {
             system::ablation_comm(scale)
         ),
         "cachebench" => cachebench::eval_cache(scale),
+        "chaos" => chaosbench::chaos(scale),
         "kernelbench" => kernelbench::moea_kernels(scale),
         "all" => clre_bench::run_all(scale),
         _ => usage(),

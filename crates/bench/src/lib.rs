@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod cachebench;
+pub mod chaosbench;
 pub mod exec_settings;
 pub mod kernelbench;
 pub mod report;

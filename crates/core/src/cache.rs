@@ -204,6 +204,7 @@ pub struct EvalCache {
     analysis_stats: LevelStats,
     fitness_stats: LevelStats,
     sidecar: Mutex<Option<fs::File>>,
+    sidecar_skipped: AtomicU64,
 }
 
 impl Default for EvalCache {
@@ -221,6 +222,7 @@ impl EvalCache {
             analysis_stats: LevelStats::default(),
             fitness_stats: LevelStats::default(),
             sidecar: Mutex::new(None),
+            sidecar_skipped: AtomicU64::new(0),
         }
     }
 
@@ -414,7 +416,12 @@ impl EvalCache {
                     _ => {}
                 }
                 for line in lines {
-                    self.load_line(line);
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    if !self.load_line(line) {
+                        self.sidecar_skipped.fetch_add(1, Ordering::Relaxed);
+                    }
                 }
             }
             Err(e) if e.kind() == io::ErrorKind::NotFound => {}
@@ -439,23 +446,39 @@ impl EvalCache {
             .is_some()
     }
 
-    /// Inserts one journal line without re-appending it; malformed lines
-    /// are skipped (torn-tail tolerance).
-    fn load_line(&self, line: &str) {
-        if let Some((params, analysis)) = parse_analysis(line) {
+    /// Number of sidecar lines skipped while loading: torn tails,
+    /// wholesale corruption, or integrity-digest mismatches. Each skip
+    /// degrades exactly one entry to a recomputation, never to a wrong
+    /// answer.
+    pub fn sidecar_skipped(&self) -> u64 {
+        self.sidecar_skipped.load(Ordering::Relaxed)
+    }
+
+    /// Inserts one journal line without re-appending it; returns whether
+    /// the line was loadable. Malformed or digest-mismatching lines are
+    /// skipped (torn-tail tolerance).
+    fn load_line(&self, line: &str) -> bool {
+        let Some(body) = verify_line(line) else {
+            return false;
+        };
+        if let Some((params, analysis)) = parse_analysis(body) {
             let digest = params.digest();
             self.analysis[Self::shard(digest)]
                 .lock()
                 .expect("analysis cache poisoned")
                 .entry(digest)
                 .or_insert((params, analysis));
-        } else if let Some(entry) = parse_fitness(line) {
+            true
+        } else if let Some(entry) = parse_fitness(body) {
             let digest = fitness_digest(entry.problem, &entry.genome);
             self.fitness[Self::shard(digest)]
                 .lock()
                 .expect("fitness cache poisoned")
                 .entry(digest)
                 .or_insert(entry);
+            true
+        } else {
+            false
         }
     }
 
@@ -492,6 +515,36 @@ fn fitness_digest(problem: u64, genome: &Genome) -> u64 {
     fnv.finish()
 }
 
+/// Appends the per-line integrity token `i=<fnv1a64-hex>`, the digest of
+/// every byte before it. A bit flip anywhere in the record — not just a
+/// torn tail — is then caught by [`verify_line`] on reload.
+fn seal_line(mut line: String) -> String {
+    let mut fnv = Fnv::new();
+    fnv.write_bytes(line.as_bytes());
+    let _ = write!(line, " i={:016x}", fnv.finish());
+    line
+}
+
+/// Checks a line's integrity token and returns the record body.
+///
+/// Lines written before the token existed (no ` i=` marker) pass through
+/// unchanged — old sidecars keep warm-starting. A token that is present
+/// but malformed or mismatching yields `None`: the line is corrupt and
+/// must degrade to a recomputation.
+fn verify_line(line: &str) -> Option<&str> {
+    let Some(at) = line.rfind(" i=") else {
+        return Some(line); // legacy line, no token
+    };
+    let (body, token) = (&line[..at], &line[at + 3..]);
+    if token.len() != 16 {
+        return None;
+    }
+    let digest = u64::from_str_radix(token, 16).ok()?;
+    let mut fnv = Fnv::new();
+    fnv.write_bytes(body.as_bytes());
+    (fnv.finish() == digest).then_some(body)
+}
+
 fn f64_hex(v: f64) -> String {
     format!("{:016x}", v.to_bits())
 }
@@ -504,8 +557,9 @@ fn parse_f64_hex(tok: &str) -> Option<f64> {
 }
 
 /// One analysis line:
-/// `analysis <11 param hex> <intervals> <min> <avg> <err> <degraded> <retried>`
-/// with every `f64` as an IEEE-754 bit pattern (exact round-trip).
+/// `analysis <11 param hex> <intervals> <min> <avg> <err> <degraded> <retried> i=<digest>`
+/// with every `f64` as an IEEE-754 bit pattern (exact round-trip) and a
+/// trailing per-line integrity token.
 fn encode_analysis(params: &ClrChainParams, analysis: &RobustAnalysis) -> String {
     let mut line = String::from("analysis");
     for v in [
@@ -532,7 +586,7 @@ fn encode_analysis(params: &ClrChainParams, analysis: &RobustAnalysis) -> String
         u8::from(analysis.degraded),
         u8::from(analysis.retried),
     );
-    line
+    seal_line(line)
 }
 
 fn parse_analysis(line: &str) -> Option<(ClrChainParams, RobustAnalysis)> {
@@ -598,7 +652,7 @@ fn parse_analysis(line: &str) -> Option<(ClrChainParams, RobustAnalysis)> {
 }
 
 /// One fitness line:
-/// `fitness <problem hex> <n> <task:pe:choice>* <violation> <5 metric hex>`
+/// `fitness <problem hex> <n> <task:pe:choice>* <violation> <5 metric hex> i=<digest>`
 fn encode_fitness(problem: u64, genome: &Genome, value: &CachedFitness) -> String {
     let mut line = format!("fitness {problem:016x} {}", genome.len());
     for gene in genome {
@@ -620,7 +674,7 @@ fn encode_fitness(problem: u64, genome: &Genome, value: &CachedFitness) -> Strin
         f64_hex(value.metrics.energy),
         f64_hex(value.metrics.peak_power),
     );
-    line
+    seal_line(line)
 }
 
 fn parse_fitness(line: &str) -> Option<FitnessEntry> {
@@ -843,6 +897,39 @@ mod tests {
         let hit = warm.fitness(5, &genome(4)).unwrap();
         assert_eq!(hit.metrics.makespan.to_bits(), v.metrics.makespan.to_bits());
         assert_eq!(hit.violation.to_bits(), v.violation.to_bits());
+    }
+
+    #[test]
+    fn sidecar_lines_carry_verified_integrity_tokens() {
+        let line = encode_analysis(&params(1.0), &analysis(1.0));
+        assert!(line.contains(" i="), "encoder seals every line");
+        assert!(verify_line(&line).is_some());
+        // A single-bit flip in the body fails the digest.
+        let mut tampered = line.clone().into_bytes();
+        tampered[10] ^= 0x01;
+        let tampered = String::from_utf8(tampered).unwrap();
+        assert_eq!(verify_line(&tampered), None);
+        // A legacy line without a token passes through unchanged.
+        let body = &line[..line.rfind(" i=").unwrap()];
+        assert_eq!(verify_line(body), Some(body));
+        assert!(parse_analysis(body).is_some(), "legacy lines still parse");
+    }
+
+    #[test]
+    fn corrupt_sidecar_lines_are_skipped_and_counted() {
+        let path = temp_path("tampered.cache");
+        let good_a = encode_analysis(&params(1.0), &analysis(1.0));
+        let good_f = encode_fitness(7, &genome(1), &fitness_value(1.0));
+        // Flip one byte inside the fitness record's digest-covered body.
+        let tampered_f = good_f.replacen("fitness", "fitmess", 1);
+        fs::write(&path, format!("{CACHE_HEADER}\n{good_a}\n{tampered_f}\n")).unwrap();
+
+        let cache = EvalCache::new();
+        cache.bind_sidecar(&path).unwrap();
+        assert_eq!(cache.analysis(&params(1.0)), Some(analysis(1.0)));
+        assert_eq!(cache.fitness(7, &genome(1)), None, "tampered line dropped");
+        assert_eq!(cache.sidecar_skipped(), 1);
+        fs::remove_file(&path).unwrap();
     }
 
     #[test]

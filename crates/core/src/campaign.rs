@@ -50,9 +50,9 @@ use crate::library::ImplLibrary;
 use crate::methodology::{ClrEarly, FrontPoint, FrontResult, Layer, StageBudget};
 use crate::problem::SystemProblem;
 use crate::resilience::{
-    quarantine_sidecar_path, remove_checkpoint_files, write_quarantine_sidecar, AlgorithmTag,
-    Checkpoint, CheckpointWriter, CompletedStage, ResilientProblem, RunHealth, RunOutcome,
-    RunSupervisor,
+    quarantine_sidecar_path, read_quarantine_sidecar, remove_checkpoint_files,
+    write_quarantine_sidecar, AlgorithmTag, Checkpoint, CheckpointWriter, CompletedStage,
+    QuarantineRecord, ResilientProblem, RunHealth, RunOutcome, RunSupervisor,
 };
 use crate::tdse::{build_library, DvfsPolicy};
 use crate::DseError;
@@ -388,8 +388,9 @@ impl CampaignPlan {
 enum StageOutcome {
     /// The stage ran to its generation budget.
     Complete {
-        /// The stage's front; health cumulative up to this stage.
-        result: FrontResult,
+        /// The stage's front (boxed: it dwarfs the other variant);
+        /// health cumulative up to this stage.
+        result: Box<FrontResult>,
         /// All approximation-set genomes (seeds for downstream stages).
         genomes: Vec<Genome>,
     },
@@ -490,6 +491,7 @@ impl<'a> ClrEarly<'a> {
             Vec::new(),
             RunHealth::default(),
             None,
+            Vec::new(),
         )
     }
 
@@ -506,10 +508,20 @@ impl<'a> ClrEarly<'a> {
     /// campaign's final front bit-for-bit — for NSGA-II and SPEA2 stages
     /// alike.
     ///
+    /// A corrupt or truncated primary checkpoint is not fatal: the load
+    /// falls back through the rotation chain (`.1`, `.2`, …) to the
+    /// newest file whose integrity digest verifies, losing at most the
+    /// generations since that rotation. Every skipped file is counted in
+    /// [`RunHealth::checkpoint_fallbacks`]. The quarantine sidecar is
+    /// re-read alongside (malformed lines skipped and counted in
+    /// [`RunHealth::sidecar_lines_skipped`]) so previously quarantined
+    /// genomes stay visible in the resumed run's sidecar.
+    ///
     /// # Errors
     ///
-    /// [`DseError::Checkpoint`] for a missing, malformed, or mismatched
-    /// checkpoint; otherwise as for the supervised runs.
+    /// [`DseError::Checkpoint`] when no file in the rotation chain loads,
+    /// or for a mismatched checkpoint; otherwise as for the supervised
+    /// runs.
     ///
     /// # Panics
     ///
@@ -525,7 +537,10 @@ impl<'a> ClrEarly<'a> {
         // stages are reconstituted, so their re-annotation is answered
         // from the sidecar instead of re-scheduling every front genome.
         self.bind_cache_sidecar(supervisor);
-        let cp = Checkpoint::load(supervisor.checkpoint_path())?;
+        let (cp, fallbacks) = Checkpoint::load_with_fallback(
+            supervisor.checkpoint_path(),
+            supervisor.config().keep_checkpoints,
+        )?;
         self.validate_campaign_checkpoint(plan, &cp, budget)?;
         let Checkpoint {
             completed,
@@ -536,6 +551,10 @@ impl<'a> ClrEarly<'a> {
         if health.resumed_from_generation.is_none() {
             health.resumed_from_generation = Some(state.generation);
         }
+        health.checkpoint_fallbacks += fallbacks;
+        let (quarantine_seed, malformed) =
+            read_quarantine_sidecar(&quarantine_sidecar_path(supervisor.checkpoint_path()))?;
+        health.sidecar_lines_skipped += malformed;
         // Completed stages are reconstituted from their checkpointed
         // genomes: metrics (and thus objectives) are a pure function of
         // the genome, so the fronts need no re-evaluation.
@@ -556,6 +575,7 @@ impl<'a> ClrEarly<'a> {
             results,
             health,
             Some(state),
+            quarantine_seed,
         )
     }
 
@@ -573,6 +593,7 @@ impl<'a> ClrEarly<'a> {
         mut results: Vec<FrontResult>,
         base_health: RunHealth,
         mut resume: Option<EvoSnapshot<Genome>>,
+        mut quarantine_seed: Vec<QuarantineRecord>,
     ) -> Result<RunOutcome, DseError> {
         let mut health = base_health;
         for index in completed.len()..plan.stages.len() {
@@ -590,6 +611,7 @@ impl<'a> ClrEarly<'a> {
                 seeds,
                 health.clone(),
                 resume.take(),
+                std::mem::take(&mut quarantine_seed),
             )?;
             match outcome {
                 StageOutcome::Interrupted { generation } => {
@@ -607,7 +629,7 @@ impl<'a> ClrEarly<'a> {
                         evaluations: result.evaluations,
                         genomes,
                     });
-                    results.push(result);
+                    results.push(*result);
                 }
             }
         }
@@ -738,13 +760,24 @@ impl<'a> ClrEarly<'a> {
         seeds: Vec<Genome>,
         base_health: RunHealth,
         resume: Option<EvoSnapshot<Genome>>,
+        quarantine_seed: Vec<QuarantineRecord>,
     ) -> Result<StageOutcome, DseError> {
         let stage = &plan.stages[index];
         let library = self.resolve_library(stage.library)?;
         let codec = Codec::new(self.graph, self.platform, &library, stage.mode)?;
         let problem = self.stage_problem(codec.clone());
-        let resilient =
-            ResilientProblem::new(problem).with_max_retries(supervisor.config().max_retries);
+        let mut resilient = ResilientProblem::new(problem)
+            .with_max_retries(supervisor.config().max_retries)
+            .with_quarantine_seed(quarantine_seed);
+        if let Some(deadline) = supervisor.config().eval_deadline {
+            resilient = resilient.with_deadline(deadline);
+        }
+        if let Some(backoff) = supervisor.config().backoff {
+            resilient = resilient.with_backoff(backoff);
+        }
+        if let Some(injector) = supervisor.fault_injector() {
+            resilient = resilient.with_injector(injector);
+        }
         let eval_health = resilient.health();
         let quarantine_log = resilient.quarantine_log();
         let exec = self.stage_exec(&stage.label);
@@ -827,12 +860,12 @@ impl<'a> ClrEarly<'a> {
                     genomes.push(ind.genome);
                 }
                 Ok(StageOutcome::Complete {
-                    result: FrontResult {
+                    result: Box::new(FrontResult {
                         method: stage.label.clone(),
                         points: dedup_front(points),
                         evaluations,
                         health,
-                    },
+                    }),
                     genomes,
                 })
             }
@@ -1088,6 +1121,7 @@ fn supervise<A, S: EvolutionState<A, Genome = Genome>>(
     let annotate = || {
         let h = health_now(0);
         exec.annotate_health(h.quarantined, h.degraded_analyses);
+        exec.annotate_faults(h.timeouts, h.backoff_ms, h.injected, h.recovered);
         if let Some(cache) = cache {
             let counts = cache.fitness_counts();
             exec.annotate_cache(counts.hits, counts.misses);

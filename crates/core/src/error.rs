@@ -37,6 +37,13 @@ pub enum DseError {
         /// Description of the mismatch or parse failure.
         what: String,
     },
+    /// A fault deliberately injected by the chaos layer (a
+    /// `FaultInjector` attached to the resilient runtime). Only ever
+    /// produced under fault injection, never by a nominal run.
+    Injected {
+        /// The injected failure message.
+        what: String,
+    },
 }
 
 impl fmt::Display for DseError {
@@ -51,6 +58,7 @@ impl fmt::Display for DseError {
             DseError::InvalidConfig { what } => write!(f, "invalid configuration: {what}"),
             DseError::InvalidGenome { what } => write!(f, "invalid genome: {what}"),
             DseError::Checkpoint { what } => write!(f, "checkpoint error: {what}"),
+            DseError::Injected { what } => write!(f, "injected fault: {what}"),
         }
     }
 }

@@ -463,7 +463,14 @@ impl<'a> ClrEarly<'a> {
         budget: &StageBudget,
         supervisor: &RunSupervisor,
     ) -> Result<RunOutcome, DseError> {
-        let cp = Checkpoint::load(supervisor.checkpoint_path())?;
+        // Fallback-tolerant load: the method name must be recoverable even
+        // when the primary checkpoint is corrupt. The skipped-file count is
+        // discarded here — `resume_campaign` re-loads through the same
+        // chain and records it in the run's health.
+        let (cp, _) = Checkpoint::load_with_fallback(
+            supervisor.checkpoint_path(),
+            supervisor.config().keep_checkpoints,
+        )?;
         let plan = match cp.method.as_str() {
             "fcCLR" => CampaignPlan::fc(),
             "pfCLR" => CampaignPlan::pf(),

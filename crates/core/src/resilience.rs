@@ -39,6 +39,7 @@ use std::fs;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use clre_model::{PeId, TaskId};
 use clre_moea::{Evaluation, EvoSnapshot, Individual, Problem};
@@ -87,6 +88,21 @@ pub struct RunHealth {
     pub cache_misses: u64,
     /// Fresh results inserted into the evaluation cache.
     pub cache_inserts: u64,
+    /// Evaluations whose wall-clock exceeded the configured deadline and
+    /// were converted into retryable timeouts by the watchdog.
+    pub timeouts: usize,
+    /// Total milliseconds of deterministic retry backoff slept.
+    pub backoff_ms: u64,
+    /// Faults fired by an attached [`FaultInjector`].
+    pub injected: usize,
+    /// Evaluations that failed at least once and then succeeded on a
+    /// retry (the failure was fully recovered, nothing was quarantined).
+    pub recovered: usize,
+    /// Corrupt or unreadable checkpoint generations skipped in favour of
+    /// an older rotation slot during resume.
+    pub checkpoint_fallbacks: usize,
+    /// Malformed sidecar lines skipped while reloading triage records.
+    pub sidecar_lines_skipped: usize,
 }
 
 impl RunHealth {
@@ -100,6 +116,10 @@ impl RunHealth {
             && self.retries == 0
             && self.quarantined == 0
             && self.degraded_analyses == 0
+            && self.timeouts == 0
+            && self.injected == 0
+            && self.checkpoint_fallbacks == 0
+            && self.sidecar_lines_skipped == 0
     }
 
     /// Folds another health report's counters into this one.
@@ -110,6 +130,12 @@ impl RunHealth {
         self.quarantined += other.quarantined;
         self.degraded_analyses += other.degraded_analyses;
         self.checkpoints_written += other.checkpoints_written;
+        self.timeouts += other.timeouts;
+        self.backoff_ms += other.backoff_ms;
+        self.injected += other.injected;
+        self.recovered += other.recovered;
+        self.checkpoint_fallbacks += other.checkpoint_fallbacks;
+        self.sidecar_lines_skipped += other.sidecar_lines_skipped;
         if self.resumed_from_generation.is_none() {
             self.resumed_from_generation = other.resumed_from_generation;
         }
@@ -212,6 +238,138 @@ pub fn quarantine_sidecar_path(checkpoint_path: &Path) -> PathBuf {
         .join("quarantine.txt")
 }
 
+/// Reads the quarantine triage sidecar back: the parsed records plus the
+/// number of malformed lines skipped.
+///
+/// Mirrors the cache sidecar's torn-tail tolerance: a malformed line —
+/// the torn tail of a killed run, or byte-level corruption — is skipped
+/// and counted, never fatal to the rest of the file. A missing file is
+/// simply zero records.
+///
+/// # Errors
+///
+/// Only genuine I/O failures (permissions, disk); not-found is `Ok`.
+pub fn read_quarantine_sidecar(path: &Path) -> Result<(Vec<QuarantineRecord>, usize), DseError> {
+    let text = match fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok((Vec::new(), 0)),
+        Err(e) => return Err(bad(format!("reading {}: {e}", path.display()))),
+    };
+    let mut records = Vec::new();
+    let mut skipped = 0usize;
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_quarantine_line(line) {
+            Some(record) => records.push(record),
+            None => skipped += 1,
+        }
+    }
+    Ok((records, skipped))
+}
+
+fn parse_quarantine_line(line: &str) -> Option<QuarantineRecord> {
+    let rest = line
+        .strip_prefix("quarantine-v1 ")?
+        .strip_prefix("error=")?;
+    // The error text is free-form (flattened to one line); the genome
+    // rendering never contains `=`, so the *last* ` genome=` marker
+    // splits the two unambiguously.
+    let at = rest.rfind(" genome=")?;
+    let genome = rest[at + " genome=".len()..].to_owned();
+    if genome.is_empty() {
+        return None;
+    }
+    Some(QuarantineRecord {
+        genome,
+        error: rest[..at].to_owned(),
+    })
+}
+
+/// One fault decision from a [`FaultInjector`]: what happens to a single
+/// evaluation attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InjectedFault {
+    /// Fail the attempt as a caught panic with this message (exercises
+    /// the unwind-isolation arm of [`ResilientProblem`]).
+    Panic(String),
+    /// Fail the attempt with a typed evaluation error (exercises the
+    /// typed-error arm).
+    Error(String),
+    /// Return NaN objectives (exercises the non-finite fitness guard).
+    PoisonObjectives,
+    /// Sleep this long before the evaluation runs, modelling a hung
+    /// evaluator (exercises the deadline watchdog when the stall exceeds
+    /// the configured deadline).
+    Stall(Duration),
+}
+
+/// A deterministic fault source consulted by [`ResilientProblem`] before
+/// every evaluation attempt.
+///
+/// Implementations must be pure functions of `(key, attempt)` — the key
+/// is the genome's [`FallibleProblem::describe_genome`] rendering — and
+/// never of call order, thread identity, or wall clock, so the fault
+/// schedule of a seeded run is identical across worker counts, thread
+/// interleavings, and reruns. `clre-chaos`'s `FaultPlan` is the
+/// canonical implementation.
+pub trait FaultInjector: std::fmt::Debug + Send + Sync {
+    /// The fault to inject when evaluating `key` on `attempt` (0-based),
+    /// or `None` to leave the attempt untouched.
+    fn eval_fault(&self, key: &str, attempt: usize) -> Option<InjectedFault>;
+}
+
+/// Deterministic exponential-backoff policy for evaluation retries.
+///
+/// The delay before retry `attempt` doubles from `base_ms` up to
+/// `cap_ms`, with salted jitter derived from the genome key and the
+/// policy seed — *not* from wall clock or a shared RNG — so the exact
+/// backoff schedule (and the `backoff_ms` health counter) is a pure
+/// function of `(seed, genome, attempt)` and reproduces bit-identically
+/// on rerun.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackoffPolicy {
+    /// First-retry delay, in milliseconds.
+    pub base_ms: u64,
+    /// Upper bound any single delay is clamped to, in milliseconds.
+    pub cap_ms: u64,
+    /// Jitter salt; the run seed by convention.
+    pub seed: u64,
+}
+
+impl BackoffPolicy {
+    /// A policy with the given base delay, cap, and jitter seed.
+    pub fn new(base_ms: u64, cap_ms: u64, seed: u64) -> Self {
+        BackoffPolicy {
+            base_ms,
+            cap_ms,
+            seed,
+        }
+    }
+
+    /// The delay in milliseconds before retry `attempt` (0-based) of the
+    /// evaluation keyed by `key`: `base·2^attempt` clamped to the cap,
+    /// jittered into `[delay/2, delay]` by an FNV-1a hash of
+    /// `(seed, key, attempt)`.
+    pub fn delay_ms(&self, key: u64, attempt: usize) -> u64 {
+        let exp = u32::try_from(attempt.min(20)).unwrap_or(20);
+        let raw = self
+            .base_ms
+            .saturating_mul(1u64 << exp)
+            .min(self.cap_ms.max(self.base_ms));
+        if raw == 0 {
+            return 0;
+        }
+        let mut buf = [0u8; 24];
+        buf[..8].copy_from_slice(&self.seed.to_le_bytes());
+        buf[8..16].copy_from_slice(&key.to_le_bytes());
+        buf[16..].copy_from_slice(&u64::try_from(attempt).unwrap_or(u64::MAX).to_le_bytes());
+        let span = raw - raw / 2;
+        raw / 2 + fnv1a64(&buf) % (span + 1)
+    }
+}
+
 /// Panic- and error-isolating wrapper around a [`FallibleProblem`].
 ///
 /// Failures are retried up to `max_retries` times and then quarantined
@@ -257,6 +415,9 @@ pub struct ResilientProblem<P: FallibleProblem> {
     max_retries: usize,
     health: HealthHandle,
     quarantine_log: Arc<Mutex<Vec<QuarantineRecord>>>,
+    injector: Option<Arc<dyn FaultInjector>>,
+    deadline: Option<Duration>,
+    backoff: Option<BackoffPolicy>,
 }
 
 impl<P: FallibleProblem> ResilientProblem<P> {
@@ -267,6 +428,9 @@ impl<P: FallibleProblem> ResilientProblem<P> {
             max_retries: 1,
             health: Arc::new(Mutex::new(RunHealth::default())),
             quarantine_log: Arc::new(Mutex::new(Vec::new())),
+            injector: None,
+            deadline: None,
+            backoff: None,
         }
     }
 
@@ -275,6 +439,45 @@ impl<P: FallibleProblem> ResilientProblem<P> {
     #[must_use]
     pub fn with_max_retries(mut self, max_retries: usize) -> Self {
         self.max_retries = max_retries;
+        self
+    }
+
+    /// Attaches a deterministic fault injector, consulted before every
+    /// evaluation attempt (builder style).
+    #[must_use]
+    pub fn with_injector(mut self, injector: Arc<dyn FaultInjector>) -> Self {
+        self.injector = Some(injector);
+        self
+    }
+
+    /// Sets a per-evaluation wall-clock deadline (builder style). The
+    /// watchdog is cooperative: the clock is checked when the evaluation
+    /// returns, converting an over-deadline attempt (e.g. an injected
+    /// stall) into a retryable timeout instead of accepting its result.
+    /// A truly diverging evaluation that never returns is outside the
+    /// recovery model (DESIGN.md §14).
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Enables deterministic exponential backoff with salted jitter
+    /// between retry attempts (builder style).
+    #[must_use]
+    pub fn with_backoff(mut self, backoff: BackoffPolicy) -> Self {
+        self.backoff = Some(backoff);
+        self
+    }
+
+    /// Pre-seeds the quarantine triage log (used on resume so records
+    /// recovered from the sidecar survive the next sidecar rewrite).
+    #[must_use]
+    pub fn with_quarantine_seed(self, records: Vec<QuarantineRecord>) -> Self {
+        self.quarantine_log
+            .lock()
+            .expect("quarantine log poisoned")
+            .extend(records);
         self
     }
 
@@ -291,6 +494,25 @@ impl<P: FallibleProblem> ResilientProblem<P> {
 
     fn health_mut(&self) -> std::sync::MutexGuard<'_, RunHealth> {
         self.health.lock().expect("run health poisoned")
+    }
+
+    /// One un-injected evaluation attempt: the typed channel directly, or
+    /// `catch_unwind` for legacy problems whose sole failure channel is a
+    /// panic. `AssertUnwindSafe`: the inner problem is only read here,
+    /// and a caught failure discards the attempt's partial state.
+    #[allow(clippy::type_complexity)]
+    fn attempt(
+        &self,
+        genome: &P::Genome,
+        typed: bool,
+    ) -> Result<Result<Evaluation, DseError>, Box<dyn std::any::Any + Send>> {
+        if typed {
+            Ok(FallibleProblem::try_evaluate(&self.inner, genome))
+        } else {
+            catch_unwind(AssertUnwindSafe(|| {
+                FallibleProblem::try_evaluate(&self.inner, genome)
+            }))
+        }
     }
 
     fn quarantine(&self, genome: &P::Genome, error: String) -> Evaluation {
@@ -339,26 +561,69 @@ impl<P: FallibleProblem> Problem for ResilientProblem<P> {
         // is kept only as a last-resort fallback for legacy problems
         // whose sole failure channel is a panic.
         let typed = self.inner.reports_errors();
+        // The genome key drives injection decisions and backoff jitter:
+        // both are content-addressed, never call-order-addressed, so
+        // fault and backoff schedules survive any thread interleaving.
+        let chaos_key = if self.injector.is_some() || self.backoff.is_some() {
+            Some(self.inner.describe_genome(genome))
+        } else {
+            None
+        };
         let mut last_error = String::new();
         for attempt in 0..=self.max_retries {
             if attempt > 0 {
                 self.health_mut().retries += 1;
+                if let (Some(policy), Some(key)) = (self.backoff, chaos_key.as_deref()) {
+                    let delay = policy.delay_ms(fnv1a64(key.as_bytes()), attempt - 1);
+                    if delay > 0 {
+                        self.health_mut().backoff_ms += delay;
+                        std::thread::sleep(Duration::from_millis(delay));
+                    }
+                }
             }
-            let outcome = if typed {
-                Ok(FallibleProblem::try_evaluate(&self.inner, genome))
-            } else {
-                // AssertUnwindSafe: the inner problem is only read here,
-                // and a caught failure discards the attempt's partial
-                // state entirely.
-                catch_unwind(AssertUnwindSafe(|| {
-                    FallibleProblem::try_evaluate(&self.inner, genome)
-                }))
+            let fault = match (&self.injector, chaos_key.as_deref()) {
+                (Some(injector), Some(key)) => injector.eval_fault(key, attempt),
+                _ => None,
             };
+            if fault.is_some() {
+                self.health_mut().injected += 1;
+            }
+            let started = Instant::now();
+            let outcome = match fault {
+                Some(InjectedFault::Error(what)) => Ok(Err(DseError::Injected { what })),
+                Some(InjectedFault::Panic(what)) => {
+                    // Synthesized unwind payload: the recovery arm is the
+                    // one real panics take, without the global panic hook
+                    // spamming stderr for every scheduled fault.
+                    Err(Box::new(what) as Box<dyn std::any::Any + Send>)
+                }
+                Some(InjectedFault::PoisonObjectives) => Ok(Ok(Evaluation::feasible(vec![
+                    f64::NAN;
+                    self.inner.objective_count()
+                ]))),
+                Some(InjectedFault::Stall(pause)) => {
+                    std::thread::sleep(pause);
+                    self.attempt(genome, typed)
+                }
+                None => self.attempt(genome, typed),
+            };
+            let timed_out = self.deadline.is_some_and(|d| started.elapsed() > d);
             match outcome {
+                Err(payload) => {
+                    self.health_mut().panics_isolated += 1;
+                    last_error = format!("panic: {}", panic_message(payload.as_ref()));
+                }
+                Ok(_) if timed_out => {
+                    self.health_mut().timeouts += 1;
+                    last_error = "evaluation deadline exceeded".to_owned();
+                }
                 Ok(Ok(eval))
                     if eval.violation.is_finite()
                         && eval.objectives.iter().all(|v| v.is_finite()) =>
                 {
+                    if attempt > 0 {
+                        self.health_mut().recovered += 1;
+                    }
                     return eval;
                 }
                 Ok(Ok(_)) => {
@@ -368,10 +633,6 @@ impl<P: FallibleProblem> Problem for ResilientProblem<P> {
                 Ok(Err(e)) => {
                     self.health_mut().errors_isolated += 1;
                     last_error = e.to_string();
-                }
-                Err(payload) => {
-                    self.health_mut().panics_isolated += 1;
-                    last_error = format!("panic: {}", panic_message(payload.as_ref()));
                 }
             }
         }
@@ -407,6 +668,12 @@ pub struct SupervisorConfig {
     /// between generations); a fresh keyframe is forced every `n`
     /// snapshots. `None` (the default) writes every checkpoint in full.
     pub delta_checkpoints: Option<usize>,
+    /// Per-evaluation wall-clock deadline; an attempt that exceeds it is
+    /// converted into a retryable timeout. `None` disables the watchdog.
+    pub eval_deadline: Option<Duration>,
+    /// Deterministic exponential-backoff policy applied between retry
+    /// attempts. `None` (the default) retries immediately.
+    pub backoff: Option<BackoffPolicy>,
 }
 
 impl SupervisorConfig {
@@ -440,6 +707,8 @@ impl SupervisorConfig {
             max_retries: 1,
             keep_checkpoints: 1,
             delta_checkpoints: None,
+            eval_deadline: None,
+            backoff: None,
         }
     }
 
@@ -487,6 +756,23 @@ impl SupervisorConfig {
     pub fn with_delta_checkpoints(mut self, keyframe_every: usize) -> Self {
         assert!(keyframe_every > 0, "keyframe cadence must be at least 1");
         self.delta_checkpoints = Some(keyframe_every);
+        self
+    }
+
+    /// Sets a per-evaluation wall-clock deadline (builder style): an
+    /// attempt that exceeds it is discarded, counted as a timeout, and
+    /// retried — see [`ResilientProblem::with_deadline`].
+    #[must_use]
+    pub fn with_eval_deadline(mut self, deadline: Duration) -> Self {
+        self.eval_deadline = Some(deadline);
+        self
+    }
+
+    /// Enables deterministic exponential backoff with salted jitter
+    /// between retry attempts (builder style).
+    #[must_use]
+    pub fn with_backoff(mut self, backoff: BackoffPolicy) -> Self {
+        self.backoff = Some(backoff);
         self
     }
 }
@@ -538,6 +824,7 @@ pub fn remove_checkpoint_files(path: &Path, keep: usize) {
 pub struct RunSupervisor {
     config: SupervisorConfig,
     interrupt_at: Option<(u32, usize)>,
+    injector: Option<Arc<dyn FaultInjector>>,
 }
 
 impl RunSupervisor {
@@ -546,7 +833,21 @@ impl RunSupervisor {
         RunSupervisor {
             config,
             interrupt_at: None,
+            injector: None,
         }
+    }
+
+    /// Attaches a deterministic fault injector, threaded into every
+    /// supervised stage's [`ResilientProblem`] (builder style).
+    #[must_use]
+    pub fn with_fault_injector(mut self, injector: Arc<dyn FaultInjector>) -> Self {
+        self.injector = Some(injector);
+        self
+    }
+
+    /// The attached fault injector, if any.
+    pub fn fault_injector(&self) -> Option<Arc<dyn FaultInjector>> {
+        self.injector.clone()
     }
 
     /// Test seam: simulate a crash once stage `stage` has completed
@@ -748,7 +1049,7 @@ fn parse_genome(tokens: &mut std::str::SplitWhitespace<'_>) -> Result<Genome, Ds
 fn encode_health(out: &mut String, h: &RunHealth) {
     let _ = writeln!(
         out,
-        "health {} {} {} {} {} {} {} {} {} {}",
+        "health {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {}",
         h.panics_isolated,
         h.errors_isolated,
         h.retries,
@@ -760,6 +1061,12 @@ fn encode_health(out: &mut String, h: &RunHealth) {
         h.cache_hits,
         h.cache_misses,
         h.cache_inserts,
+        h.timeouts,
+        h.backoff_ms,
+        h.injected,
+        h.recovered,
+        h.checkpoint_fallbacks,
+        h.sidecar_lines_skipped,
     );
 }
 
@@ -781,14 +1088,25 @@ fn parse_health(line: &str) -> Result<RunHealth, DseError> {
         Some("-") | None => None,
         Some(tok) => Some(parse_usize(tok)?),
     };
-    // Cache counters entered the format later; a health line written by
-    // an earlier build simply lacks them (a cold cache).
-    let mut next_cache = || -> Result<u64, DseError> {
+    // Cache and fault/recovery counters entered the format later; a
+    // health line written by an earlier build simply lacks the trailing
+    // tokens (a cold cache, a fault-free run).
+    let mut opt_u64 = |missing: u64| -> Result<u64, DseError> {
         match toks.next() {
             Some(tok) => parse_u64(tok),
-            None => Ok(0),
+            None => Ok(missing),
         }
     };
+    let to_usize = |v: u64| usize::try_from(v).unwrap_or(usize::MAX);
+    let cache_hits = opt_u64(0)?;
+    let cache_misses = opt_u64(0)?;
+    let cache_inserts = opt_u64(0)?;
+    let timeouts = to_usize(opt_u64(0)?);
+    let backoff_ms = opt_u64(0)?;
+    let injected = to_usize(opt_u64(0)?);
+    let recovered = to_usize(opt_u64(0)?);
+    let checkpoint_fallbacks = to_usize(opt_u64(0)?);
+    let sidecar_lines_skipped = to_usize(opt_u64(0)?);
     Ok(RunHealth {
         panics_isolated,
         errors_isolated,
@@ -797,9 +1115,15 @@ fn parse_health(line: &str) -> Result<RunHealth, DseError> {
         degraded_analyses,
         checkpoints_written,
         resumed_from_generation,
-        cache_hits: next_cache()?,
-        cache_misses: next_cache()?,
-        cache_inserts: next_cache()?,
+        cache_hits,
+        cache_misses,
+        cache_inserts,
+        timeouts,
+        backoff_ms,
+        injected,
+        recovered,
+        checkpoint_fallbacks,
+        sidecar_lines_skipped,
     })
 }
 
@@ -946,6 +1270,7 @@ impl Checkpoint {
                 out.push('\n');
             }
         }
+        append_integrity_trailer(&mut out);
         out
     }
 
@@ -955,6 +1280,7 @@ impl Checkpoint {
     ///
     /// [`DseError::Checkpoint`] on any structural or lexical mismatch.
     pub fn decode(text: &str) -> Result<Checkpoint, DseError> {
+        verify_integrity(text)?;
         let mut lines = text.lines();
         if lines.next() != Some(CHECKPOINT_HEADER) {
             return Err(bad("not a clrearly v2 checkpoint"));
@@ -1102,6 +1428,48 @@ impl Checkpoint {
             Checkpoint::decode(&text)
         }
     }
+
+    /// [`Checkpoint::load`] with fallback through the rotation chain:
+    /// if the primary file is missing, corrupt, or fails integrity
+    /// verification, the rotated slots `<path>.1 … <path>.keep` are
+    /// tried newest-first and the first digest-valid checkpoint wins.
+    ///
+    /// Returns the loaded checkpoint together with the number of
+    /// *existing but unloadable* newer files that were skipped — zero on
+    /// the happy path, positive when recovery fell back past corrupt
+    /// state (callers surface this in [`RunHealth::checkpoint_fallbacks`]).
+    ///
+    /// # Errors
+    ///
+    /// [`DseError::Checkpoint`] with the primary file's failure when no
+    /// file in the chain loads.
+    pub fn load_with_fallback(path: &Path, keep: usize) -> Result<(Checkpoint, usize), DseError> {
+        let mut skipped = 0usize;
+        let mut first_err: Option<DseError> = None;
+        let primary = Checkpoint::load(path);
+        match primary {
+            Ok(cp) => return Ok((cp, 0)),
+            Err(e) => {
+                if path.exists() {
+                    skipped += 1;
+                }
+                first_err = first_err.or(Some(e));
+            }
+        }
+        for n in 1..=keep.max(1) {
+            let rotated = rotated_checkpoint_path(path, n);
+            match Checkpoint::load(&rotated) {
+                Ok(cp) => return Ok((cp, skipped)),
+                Err(e) => {
+                    if rotated.exists() {
+                        skipped += 1;
+                    }
+                    first_err = first_err.or(Some(e));
+                }
+            }
+        }
+        Err(first_err.unwrap_or_else(|| bad("no checkpoint in rotation chain")))
+    }
 }
 
 /// Encodes `cp` as a sparse delta against `base`: scalars that change
@@ -1150,7 +1518,46 @@ fn encode_delta(base: &Checkpoint, base_digest: u64, cp: &Checkpoint) -> String 
             }
         }
     }
+    append_integrity_trailer(&mut out);
     out
+}
+
+/// Appends the `integrity <fnv1a64-hex>` trailer line: the digest covers
+/// every byte written so far, so any later flip or truncation is caught
+/// by [`verify_integrity`] before the body is parsed.
+fn append_integrity_trailer(out: &mut String) {
+    let digest = fnv1a64(out.as_bytes());
+    let _ = writeln!(out, "integrity {digest:016x}");
+}
+
+/// Verifies the `integrity` trailer of a checkpoint or delta file.
+///
+/// Legacy files that end without a trailer pass unchanged (pre-chaos
+/// checkpoints stay loadable). A trailer that is *present* but malformed
+/// or whose digest does not cover the preceding bytes is an error — a
+/// truncated or bit-flipped file must never decode silently.
+fn verify_integrity(text: &str) -> Result<(), DseError> {
+    // The trailer is the final newline-terminated line.
+    let body = text.strip_suffix('\n').unwrap_or(text);
+    let (prefix_len, last) = match body.rfind('\n') {
+        Some(i) => (i + 1, &body[i + 1..]),
+        None => (0, body),
+    };
+    let Some(rest) = last.strip_prefix("integrity") else {
+        return Ok(()); // legacy file, no trailer
+    };
+    let digest = rest
+        .strip_prefix(' ')
+        .filter(|hex| hex.len() == 16)
+        .and_then(|hex| u64::from_str_radix(hex, 16).ok())
+        .ok_or_else(|| bad("malformed integrity trailer"))?;
+    let actual = fnv1a64(&text.as_bytes()[..prefix_len]);
+    if actual != digest {
+        return Err(bad(format!(
+            "integrity digest mismatch (recorded {digest:016x}, computed {actual:016x})"
+        )));
+    }
+    Ok(())
 }
 
 /// Resolves a delta checkpoint against its decoded keyframe.
@@ -1164,6 +1571,7 @@ fn apply_delta(base: Checkpoint, base_digest: u64, text: &str) -> Result<Checkpo
             .map(str::to_owned)
             .ok_or_else(|| bad(format!("expected `{key} …`, found {line:?}")))
     }
+    verify_integrity(text)?;
     let mut lines = text.lines();
     if lines.next() != Some(DELTA_HEADER) {
         return Err(bad("not a clrearly delta checkpoint"));
@@ -1339,6 +1747,12 @@ mod tests {
                 cache_hits: 250,
                 cache_misses: 40,
                 cache_inserts: 40,
+                timeouts: 2,
+                backoff_ms: 37,
+                injected: 5,
+                recovered: 3,
+                checkpoint_fallbacks: 1,
+                sidecar_lines_skipped: 2,
             },
         }
     }
@@ -1518,6 +1932,236 @@ mod tests {
         assert_eq!(h.panics_isolated, 1);
         assert_eq!(h.checkpoints_written, 6);
         assert_eq!((h.cache_hits, h.cache_misses, h.cache_inserts), (0, 0, 0));
+        // The cache-era ten-field line decodes with fault-free counters.
+        let h = parse_health("1 2 3 4 5 6 - 10 20 30").unwrap();
+        assert_eq!((h.cache_hits, h.timeouts, h.injected), (10, 0, 0));
+    }
+
+    #[test]
+    fn health_line_roundtrips_fault_counters() {
+        let h = sample_checkpoint().health;
+        let mut line = String::new();
+        encode_health(&mut line, &h);
+        let payload = line
+            .trim_end()
+            .strip_prefix("health ")
+            .expect("health keyword");
+        assert_eq!(parse_health(payload).unwrap(), h);
+    }
+
+    #[test]
+    fn backoff_schedule_is_deterministic_and_bounded() {
+        let p = BackoffPolicy::new(10, 1000, 42);
+        for attempt in 0..10usize {
+            let d = p.delay_ms(77, attempt);
+            assert_eq!(d, p.delay_ms(77, attempt), "pure in (seed, key, attempt)");
+            let raw = (10u64 << attempt.min(20)).min(1000);
+            assert!(
+                d >= raw / 2 && d <= raw,
+                "attempt {attempt}: {d} outside [{}, {raw}]",
+                raw / 2
+            );
+        }
+        // Jitter is salted by key and seed.
+        assert!((0..10).any(|a| p.delay_ms(77, a) != p.delay_ms(78, a)));
+        let q = BackoffPolicy::new(10, 1000, 43);
+        assert!((0..10).any(|a| p.delay_ms(77, a) != q.delay_ms(77, a)));
+        // A zero policy never sleeps.
+        assert_eq!(BackoffPolicy::new(0, 0, 1).delay_ms(5, 3), 0);
+    }
+
+    // A healthy problem whose genomes key as their decimal rendering, so
+    // scripted injectors can address individual genomes.
+    struct Keyed;
+
+    impl Problem for Keyed {
+        type Genome = u32;
+        fn objective_count(&self) -> usize {
+            2
+        }
+        fn random_genome(&self, rng: &mut dyn RngCore) -> u32 {
+            rng.next_u32() % 100
+        }
+        fn evaluate(&self, g: &u32) -> Evaluation {
+            FallibleProblem::try_evaluate(self, g).unwrap()
+        }
+    }
+
+    impl FallibleProblem for Keyed {
+        fn try_evaluate(&self, g: &u32) -> Result<Evaluation, DseError> {
+            Ok(Evaluation::feasible(vec![f64::from(*g), 1.0]))
+        }
+        fn describe_genome(&self, g: &u32) -> String {
+            g.to_string()
+        }
+    }
+
+    // One fault of every kind, each firing on attempt 0 only so a retry
+    // always recovers.
+    #[derive(Debug)]
+    struct StormInjector {
+        stall: Duration,
+    }
+
+    impl FaultInjector for StormInjector {
+        fn eval_fault(&self, key: &str, attempt: usize) -> Option<InjectedFault> {
+            if attempt > 0 {
+                return None;
+            }
+            match key {
+                "1" => Some(InjectedFault::Panic("storm panic".to_owned())),
+                "2" => Some(InjectedFault::Error("storm error".to_owned())),
+                "3" => Some(InjectedFault::PoisonObjectives),
+                "4" => Some(InjectedFault::Stall(self.stall)),
+                _ => None,
+            }
+        }
+    }
+
+    fn storm_problem() -> ResilientProblem<Keyed> {
+        ResilientProblem::new(Keyed)
+            .with_max_retries(2)
+            .with_injector(Arc::new(StormInjector {
+                stall: Duration::from_millis(30),
+            }))
+            .with_deadline(Duration::from_millis(10))
+            .with_backoff(BackoffPolicy::new(1, 4, 99))
+    }
+
+    #[test]
+    fn injected_faults_recover_on_retry() {
+        let p = storm_problem();
+        let health = p.health();
+        // A clean genome is untouched.
+        assert_eq!(p.evaluate(&0).objectives, vec![0.0, 1.0]);
+        // Every fault kind fires on attempt 0 only and the retry recovers
+        // to the exact fitness a fault-free evaluation produces.
+        for g in 1..=4u32 {
+            assert_eq!(
+                p.evaluate(&g).objectives,
+                vec![f64::from(g), 1.0],
+                "genome {g}"
+            );
+        }
+        let h = health.lock().unwrap().clone();
+        assert_eq!(h.injected, 4);
+        assert_eq!(h.recovered, 4);
+        assert_eq!(h.panics_isolated, 1);
+        assert_eq!(h.errors_isolated, 2, "typed error + poisoned objectives");
+        assert_eq!(h.timeouts, 1, "30ms stall tripped the 10ms deadline");
+        assert_eq!(h.retries, 4);
+        assert!(h.backoff_ms > 0);
+        assert_eq!(h.quarantined, 0);
+    }
+
+    #[test]
+    fn fault_storm_telemetry_reproduces_bitwise() {
+        let run = || {
+            let p = storm_problem();
+            let health = p.health();
+            for g in 0..=5u32 {
+                let _ = p.evaluate(&g);
+            }
+            let h = health.lock().unwrap().clone();
+            h
+        };
+        assert_eq!(run(), run(), "same seed, same counters");
+    }
+
+    #[test]
+    fn quarantine_sidecar_reader_skips_malformed_lines() {
+        let dir = std::env::temp_dir().join(format!("clre-quarantine-read-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("quarantine.txt");
+        fs::write(
+            &path,
+            "quarantine-v1 error=boom genome=7\n\
+             \n\
+             complete garbage\n\
+             quarantine-v1 error=torn tail with no genom\n\
+             quarantine-v1 error=ok genome=1 0:1:2\n",
+        )
+        .unwrap();
+        let (records, skipped) = read_quarantine_sidecar(&path).unwrap();
+        assert_eq!(skipped, 2, "garbage + torn tail skipped, blank ignored");
+        assert_eq!(
+            records,
+            vec![
+                QuarantineRecord {
+                    genome: "7".to_owned(),
+                    error: "boom".to_owned(),
+                },
+                QuarantineRecord {
+                    genome: "1 0:1:2".to_owned(),
+                    error: "ok".to_owned(),
+                },
+            ]
+        );
+        // Round-trip: what the writer emits, the reader accepts whole.
+        write_quarantine_sidecar(&path, &records).unwrap();
+        assert_eq!(read_quarantine_sidecar(&path).unwrap(), (records, 0));
+        // A missing sidecar is zero records, not an error.
+        assert_eq!(
+            read_quarantine_sidecar(&dir.join("absent.txt")).unwrap(),
+            (Vec::new(), 0)
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn integrity_trailer_detects_corruption() {
+        let cp = sample_checkpoint();
+        let good = cp.encode();
+        assert!(
+            good.trim_end()
+                .lines()
+                .last()
+                .unwrap()
+                .starts_with("integrity "),
+            "encode appends the integrity trailer"
+        );
+        assert_eq!(Checkpoint::decode(&good).unwrap(), cp);
+        // A byte flip anywhere in the body fails the digest before the
+        // body is even parsed.
+        let flipped = good.replacen("proposed", "pro-osed", 1);
+        let err = Checkpoint::decode(&flipped).unwrap_err();
+        assert!(err.to_string().contains("integrity"), "{err}");
+        // Truncating into the trailer is malformed, never silently valid.
+        assert!(Checkpoint::decode(&good[..good.len() - 3]).is_err());
+        // A legacy checkpoint written before the trailer still decodes.
+        let legacy: String = good
+            .lines()
+            .filter(|l| !l.starts_with("integrity "))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert_eq!(Checkpoint::decode(&legacy).unwrap(), cp);
+    }
+
+    #[test]
+    fn load_with_fallback_recovers_from_corrupt_primary() {
+        let dir = std::env::temp_dir().join(format!("clre-fallback-test-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.ckpt");
+        let mut cp = sample_checkpoint();
+        cp.state.generation = 5;
+        cp.save_rotated(&path, 3).unwrap();
+        cp.state.generation = 6;
+        cp.save_rotated(&path, 3).unwrap();
+        // Pristine chain: the primary wins, nothing skipped.
+        let (loaded, skipped) = Checkpoint::load_with_fallback(&path, 3).unwrap();
+        assert_eq!((loaded.state.generation, skipped), (6, 0));
+        // Corrupt the primary: plain load hard-errors, fallback recovers
+        // the rotated predecessor and counts the skip.
+        let mut text = fs::read_to_string(&path).unwrap();
+        text.truncate(text.len() / 2);
+        fs::write(&path, &text).unwrap();
+        assert!(Checkpoint::load(&path).is_err());
+        let (loaded, skipped) = Checkpoint::load_with_fallback(&path, 3).unwrap();
+        assert_eq!((loaded.state.generation, skipped), (5, 1));
+        // Nothing decodable anywhere: the failure finally surfaces.
+        fs::write(rotated_checkpoint_path(&path, 1), "junk").unwrap();
+        assert!(Checkpoint::load_with_fallback(&path, 3).is_err());
+        fs::remove_dir_all(&dir).unwrap();
     }
 
     // A deliberately unreliable scalar problem for isolation tests.

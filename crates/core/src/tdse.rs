@@ -14,7 +14,9 @@
 
 use std::sync::Arc;
 
-use clre_markov::clr::{analyze_robust, ClrChainParams, RobustAnalysis};
+use clre_markov::clr::{
+    analyze_robust, analyze_robust_chaos, ClrChainParams, RobustAnalysis, SolverFaultPlan,
+};
 use clre_model::qos::{ObjectiveSet, TaskMetrics};
 use clre_model::reliability::ClrConfig;
 use clre_model::{BaseImpl, DvfsMode, DvfsModeId, ImplId, PeType, Platform, TaskGraph, TaskTypeId};
@@ -54,6 +56,14 @@ pub struct TdseConfig {
     /// builds so campaign stages and sweep cells hit instead of
     /// re-factoring the same LU systems.
     pub cache: Option<Arc<EvalCache>>,
+    /// Optional deterministic solver-fault plan (chaos testing): analyses
+    /// whose content digest the plan selects have their primary LU solve
+    /// (and optionally the scaled retry) fail with an injected singular
+    /// pivot, exercising the recovery ladder of
+    /// [`clre_markov::clr::analyze_robust`]. Injected analyses bypass the
+    /// cache so fault-free runs sharing the same sidecar never replay a
+    /// degraded verdict.
+    pub solver_faults: Option<SolverFaultPlan>,
 }
 
 impl PartialEq for TdseConfig {
@@ -67,6 +77,7 @@ impl PartialEq for TdseConfig {
             && self.objectives == other.objectives
             && self.implicit_masking_override == other.implicit_masking_override
             && self.profile == other.profile
+            && self.solver_faults == other.solver_faults
             && match (&self.cache, &other.cache) {
                 (Some(a), Some(b)) => Arc::ptr_eq(a, b),
                 (None, None) => true,
@@ -84,6 +95,7 @@ impl Default for TdseConfig {
             implicit_masking_override: None,
             profile: ProfileModel::default(),
             cache: None,
+            solver_faults: None,
         }
     }
 }
@@ -176,6 +188,14 @@ impl TdseConfig {
     #[must_use]
     pub fn with_profile(mut self, profile: ProfileModel) -> Self {
         self.profile = profile;
+        self
+    }
+
+    /// Attaches a deterministic solver-fault plan (builder style) — see
+    /// [`TdseConfig::solver_faults`].
+    #[must_use]
+    pub fn with_solver_faults(mut self, plan: SolverFaultPlan) -> Self {
+        self.solver_faults = Some(plan);
         self
     }
 }
@@ -294,6 +314,39 @@ pub fn evaluate_candidate_cached(
     implicit_masking_override: Option<f64>,
     cache: Option<&EvalCache>,
 ) -> Result<(TaskMetrics, RobustAnalysis), DseError> {
+    evaluate_candidate_chaos(
+        imp,
+        pe_type,
+        mode,
+        clr,
+        profile,
+        implicit_masking_override,
+        cache,
+        None,
+    )
+}
+
+/// [`evaluate_candidate_cached`] under an optional deterministic
+/// [`SolverFaultPlan`]. Analyses the plan selects (by content digest) run
+/// through [`analyze_robust_chaos`] and bypass the cache in both
+/// directions: an injected verdict is never stored, and a clean cached
+/// verdict never masks the injection. Unselected analyses take the normal
+/// cached path, so a zero-rate plan is bit-identical to no plan.
+///
+/// # Errors
+///
+/// As for [`evaluate_candidate`].
+#[allow(clippy::too_many_arguments)]
+pub fn evaluate_candidate_chaos(
+    imp: &BaseImpl,
+    pe_type: &PeType,
+    mode: &DvfsMode,
+    clr: &ClrConfig,
+    profile: &ProfileModel,
+    implicit_masking_override: Option<f64>,
+    cache: Option<&EvalCache>,
+    solver_faults: Option<&SolverFaultPlan>,
+) -> Result<(TaskMetrics, RobustAnalysis), DseError> {
     let op = profile.operating_point(imp.cycles(), imp.capacitance(), mode);
     let hw = clr.hw.params();
     let asw = clr.asw.params();
@@ -301,12 +354,15 @@ pub fn evaluate_candidate_cached(
     let temp = profile.steady_temp(power);
     let eta = profile.eta_at(temp);
     let params = chain_params(imp, pe_type, mode, clr, profile, implicit_masking_override);
-    let robust = match cache {
-        Some(cache) => match cache.analysis(&params) {
-            Some(hit) => hit,
-            None => cache.insert_analysis(&params, analyze_robust(&params)?),
+    let robust = match solver_faults {
+        Some(plan) if plan.primary_fails(params.digest()) => analyze_robust_chaos(&params, plan)?,
+        _ => match cache {
+            Some(cache) => match cache.analysis(&params) {
+                Some(hit) => hit,
+                None => cache.insert_analysis(&params, analyze_robust(&params)?),
+            },
+            None => analyze_robust(&params)?,
         },
-        None => analyze_robust(&params)?,
     };
     let r = robust.reliability;
     Ok((
@@ -431,7 +487,7 @@ pub fn candidates_for_type_with_health(
         };
         for (mode_idx, mode) in modes.iter().enumerate() {
             for clr in &config.clr_catalog {
-                let (metrics, robust) = evaluate_candidate_cached(
+                let (metrics, robust) = evaluate_candidate_chaos(
                     imp,
                     pe_type,
                     mode,
@@ -439,6 +495,7 @@ pub fn candidates_for_type_with_health(
                     &config.profile,
                     config.implicit_masking_override,
                     config.cache.as_deref(),
+                    config.solver_faults.as_ref(),
                 )?;
                 health.candidates_evaluated += 1;
                 health.degraded_analyses += usize::from(robust.degraded);
@@ -557,6 +614,37 @@ mod tests {
         assert_eq!(first.0, warm.0);
         assert_eq!(cold.1, first.1);
         assert_eq!(first.1, warm.1);
+    }
+
+    #[test]
+    fn solver_fault_plan_degrades_deterministically() {
+        let p = paper_platform();
+        let g = test_graph(&p);
+        let clean = build_library_with_health(&g, &p, &TdseConfig::default()).unwrap();
+
+        // A zero-rate plan is bit-identical to no plan at all.
+        let zero = TdseConfig::default().with_solver_faults(SolverFaultPlan::new(7, 0, 0));
+        let z = build_library_with_health(&g, &p, &zero).unwrap();
+        assert_eq!(clean.0, z.0);
+        assert_eq!(clean.1, z.1);
+
+        // Every primary solve failing drives every analysis through the
+        // scaled retry; the retry succeeds, so nothing degrades.
+        let storm = TdseConfig::default().with_solver_faults(SolverFaultPlan::new(7, 1_000_000, 0));
+        let s = build_library_with_health(&g, &p, &storm).unwrap();
+        assert_eq!(s.1.solver_retries, s.1.candidates_evaluated);
+        assert_eq!(s.1.degraded_analyses, 0);
+
+        // Same seed reproduces the same library and counters bit-for-bit;
+        // injected analyses never leak into an attached cache.
+        let cache = EvalCache::shared();
+        let storm_cached = TdseConfig::default()
+            .with_solver_faults(SolverFaultPlan::new(7, 1_000_000, 0))
+            .with_eval_cache(Arc::clone(&cache));
+        let s2 = build_library_with_health(&g, &p, &storm_cached).unwrap();
+        assert_eq!(s.0, s2.0);
+        assert_eq!(s.1, s2.1);
+        assert_eq!(cache.analysis_counts().inserts, 0);
     }
 
     #[test]

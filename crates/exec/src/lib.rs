@@ -70,5 +70,5 @@ mod pool;
 mod telemetry;
 
 pub use histogram::LatencyHistogram;
-pub use pool::{ExecPool, ExecStats};
+pub use pool::{DeathPlan, ExecPool, ExecStats};
 pub use telemetry::{Executor, GenerationTrace, RunTelemetry, TelemetrySink};

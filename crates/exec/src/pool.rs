@@ -20,6 +20,50 @@ pub struct ExecStats {
     pub per_worker: Vec<usize>,
     /// Log-spaced per-evaluation latency histogram over the batch.
     pub histogram: LatencyHistogram,
+    /// Workers that died mid-batch (simulated by an attached
+    /// [`DeathPlan`]) and whose unfinished items were re-evaluated by the
+    /// recovery pass. Zero without a plan.
+    pub worker_deaths: usize,
+}
+
+/// Deterministic worker-death schedule for [`ExecPool::evaluate_batch`].
+///
+/// Death decisions are keyed on the *item index*, never on which worker
+/// claims the item or in what order, so the set of death-triggering items
+/// — and therefore [`ExecStats::worker_deaths`] — is identical across
+/// reruns and thread interleavings: `min(workers, triggering items)`
+/// workers die per batch. The evaluator is a pure function, so the
+/// recovery pass reproduces every lost result bit-identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeathPlan {
+    /// Salt for the per-item death decision.
+    pub seed: u64,
+    /// Per-item death probability in parts-per-million.
+    pub rate_ppm: u32,
+}
+
+impl DeathPlan {
+    /// A plan killing the claiming worker on `rate_ppm` of item indices.
+    pub fn new(seed: u64, rate_ppm: u32) -> Self {
+        DeathPlan { seed, rate_ppm }
+    }
+
+    /// Whether claiming item `index` kills the worker (pure in
+    /// `(seed, index)`).
+    pub fn fires(&self, index: usize) -> bool {
+        // FNV-1a over seed ‖ index, little-endian.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for byte in self
+            .seed
+            .to_le_bytes()
+            .into_iter()
+            .chain(u64::try_from(index).unwrap_or(u64::MAX).to_le_bytes())
+        {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h % 1_000_000 < u64::from(self.rate_ppm)
+    }
 }
 
 /// A fixed-size evaluation worker pool.
@@ -42,20 +86,37 @@ pub struct ExecStats {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExecPool {
     workers: usize,
+    death: Option<DeathPlan>,
 }
 
 impl ExecPool {
     /// A pool with exactly one worker: evaluation runs inline on the
     /// calling thread.
     pub fn serial() -> Self {
-        ExecPool { workers: 1 }
+        ExecPool {
+            workers: 1,
+            death: None,
+        }
     }
 
     /// A pool with `workers` workers (at least 1; `0` is clamped to 1).
     pub fn new(workers: usize) -> Self {
         ExecPool {
             workers: workers.max(1),
+            death: None,
         }
+    }
+
+    /// Attaches a deterministic worker-death plan (builder style): a
+    /// worker that claims a death-triggering item dies on the spot
+    /// instead of evaluating it, and the post-join recovery pass
+    /// re-evaluates every unfinished item inline. Results stay
+    /// bit-identical to the plan-free pool; only [`ExecStats`] shows the
+    /// carnage. The serial path never dies (there is no worker to lose).
+    #[must_use]
+    pub fn with_death_plan(mut self, plan: DeathPlan) -> Self {
+        self.death = Some(plan);
+        self
     }
 
     /// A pool sized to `std::thread::available_parallelism` (1 if the
@@ -100,6 +161,7 @@ impl ExecPool {
                 wall_nanos: duration_nanos(start),
                 per_worker: vec![items.len()],
                 histogram,
+                worker_deaths: 0,
             };
             return (results, stats);
         }
@@ -108,6 +170,7 @@ impl ExecPool {
         // the in-order drain below reproduces the serial output exactly.
         let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
         let cursor = AtomicUsize::new(0);
+        let deaths = AtomicUsize::new(0);
         let worker_stats: Vec<(usize, LatencyHistogram)> = thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
@@ -117,6 +180,12 @@ impl ExecPool {
                         loop {
                             let i = cursor.fetch_add(1, Ordering::Relaxed);
                             let Some(item) = items.get(i) else { break };
+                            if self.death.is_some_and(|plan| plan.fires(i)) {
+                                // Simulated worker death: the claimed slot
+                                // stays unfilled for the recovery pass.
+                                deaths.fetch_add(1, Ordering::Relaxed);
+                                break;
+                            }
                             let t0 = Instant::now();
                             let r = f(item);
                             histogram.record(duration_nanos(t0));
@@ -145,18 +214,33 @@ impl ExecPool {
             per_worker.push(*count);
             histogram.merge(h);
         }
+        // Recovery pass: items lost to dead workers (their claimed slot,
+        // plus anything left unclaimed once every worker died) are
+        // re-evaluated inline. `f` is pure, so the recovered results are
+        // bit-identical to what the lost workers would have produced.
         let results = slots
             .into_iter()
-            .map(|slot| {
-                slot.into_inner()
-                    .expect("result slot poisoned")
-                    .expect("every index below items.len() was claimed by exactly one worker")
-            })
+            .enumerate()
+            .map(
+                |(i, slot)| match slot.into_inner().expect("result slot poisoned") {
+                    Some(r) => r,
+                    None if self.death.is_some() => {
+                        let t0 = Instant::now();
+                        let r = f(&items[i]);
+                        histogram.record(duration_nanos(t0));
+                        r
+                    }
+                    None => unreachable!(
+                        "every index below items.len() was claimed by exactly one worker"
+                    ),
+                },
+            )
             .collect();
         let stats = ExecStats {
             wall_nanos: duration_nanos(start),
             per_worker,
             histogram,
+            worker_deaths: deaths.load(Ordering::Relaxed),
         };
         (results, stats)
     }
@@ -218,6 +302,48 @@ mod tests {
         });
         assert_eq!(calls.load(Ordering::Relaxed), 1000);
         assert_eq!(results[999], 1998);
+    }
+
+    #[test]
+    fn death_plan_decisions_are_deterministic() {
+        let plan = DeathPlan::new(42, 100_000); // 10% of indices
+        let fired: Vec<usize> = (0..1000).filter(|&i| plan.fires(i)).collect();
+        assert!(!fired.is_empty(), "10% of 1000 indices should fire");
+        assert!(fired.len() < 500, "and nowhere near all of them");
+        let again: Vec<usize> = (0..1000).filter(|&i| plan.fires(i)).collect();
+        assert_eq!(fired, again, "pure in (seed, index)");
+        let other: Vec<usize> = (0..1000)
+            .filter(|&i| DeathPlan::new(43, 100_000).fires(i))
+            .collect();
+        assert_ne!(fired, other, "a different seed fires differently");
+        assert!((0..1000).all(|i| !DeathPlan::new(42, 0).fires(i)));
+    }
+
+    #[test]
+    fn worker_deaths_recover_bitwise() {
+        let items: Vec<f64> = (0..500).map(|i| f64::from(i) * 0.1 - 25.0).collect();
+        let eval = |x: &f64| (x.sin() * 1e9, x.to_bits().rotate_left(7));
+        let (baseline, _) = ExecPool::serial().evaluate_batch(&items, eval);
+        let plan = DeathPlan::new(7, 60_000);
+        let triggering = (0..items.len()).filter(|&i| plan.fires(i)).count();
+        assert!(triggering > 0, "the storm must actually fire");
+        for workers in [2, 4, 8] {
+            let pool = ExecPool::new(workers).with_death_plan(plan);
+            let (results, stats) = pool.evaluate_batch(&items, eval);
+            assert_eq!(results, baseline, "workers={workers}");
+            assert_eq!(
+                stats.worker_deaths,
+                workers.min(triggering),
+                "every worker that claims a triggering item dies exactly once"
+            );
+            assert_eq!(stats.histogram.total(), items.len() as u64);
+        }
+        // The serial path has no workers to lose.
+        let (results, stats) = ExecPool::serial()
+            .with_death_plan(plan)
+            .evaluate_batch(&items, eval);
+        assert_eq!(results, baseline);
+        assert_eq!(stats.worker_deaths, 0);
     }
 
     #[test]

@@ -48,6 +48,20 @@ pub struct GenerationTrace {
     /// generation this batch belongs to (0 when the MOEA layer does not
     /// report it, e.g. for the initial-population batch).
     pub selection_us: u64,
+    /// Cumulative deadline-timeout count at the end of this batch, as
+    /// reported by the resilient runtime (0 when unsupervised).
+    pub timeouts: usize,
+    /// Cumulative milliseconds of deterministic retry backoff slept.
+    pub backoff_ms: u64,
+    /// Cumulative injected-fault count (0 outside chaos runs).
+    pub injected: usize,
+    /// Cumulative recovered-evaluation count (failed at least once, then
+    /// succeeded on a retry).
+    pub recovered: usize,
+    /// Workers lost (and recovered from) in this batch alone — per-batch,
+    /// straight from [`ExecStats::worker_deaths`], unlike the cumulative
+    /// counters above.
+    pub worker_deaths: usize,
 }
 
 impl GenerationTrace {
@@ -58,7 +72,8 @@ impl GenerationTrace {
     /// ```text
     /// trace-v1 phase=<label> step=<n> batch=<n> eval_us=<n> workers=<n> \
     ///     per_worker=<c0|c1|…> hist=<b0|b1|…> quarantined=<n> degraded=<n> \
-    ///     cache_hits=<n> cache_misses=<n> selection_us=<n>
+    ///     cache_hits=<n> cache_misses=<n> selection_us=<n> timeouts=<n> \
+    ///     backoff_ms=<n> injected=<n> recovered=<n> worker_deaths=<n>
     /// ```
     pub fn line(&self) -> String {
         let per_worker = if self.per_worker.is_empty() {
@@ -71,7 +86,7 @@ impl GenerationTrace {
                 .join("|")
         };
         format!(
-            "trace-v1 phase={} step={} batch={} eval_us={} workers={} per_worker={} hist={} quarantined={} degraded={} cache_hits={} cache_misses={} selection_us={}",
+            "trace-v1 phase={} step={} batch={} eval_us={} workers={} per_worker={} hist={} quarantined={} degraded={} cache_hits={} cache_misses={} selection_us={} timeouts={} backoff_ms={} injected={} recovered={} worker_deaths={}",
             self.phase,
             self.step,
             self.batch,
@@ -84,6 +99,11 @@ impl GenerationTrace {
             self.cache_hits,
             self.cache_misses,
             self.selection_us,
+            self.timeouts,
+            self.backoff_ms,
+            self.injected,
+            self.recovered,
+            self.worker_deaths,
         )
     }
 }
@@ -142,6 +162,24 @@ impl RunTelemetry {
     pub fn annotate_selection_last(&mut self, micros: u64) {
         if let Some(last) = self.records.last_mut() {
             last.selection_us = micros;
+        }
+    }
+
+    /// Updates the newest record's cumulative fault/recovery counters
+    /// (stamped after the batch, like the other annotations). No-op on an
+    /// empty store.
+    pub fn annotate_faults_last(
+        &mut self,
+        timeouts: usize,
+        backoff_ms: u64,
+        injected: usize,
+        recovered: usize,
+    ) {
+        if let Some(last) = self.records.last_mut() {
+            last.timeouts = timeouts;
+            last.backoff_ms = backoff_ms;
+            last.injected = injected;
+            last.recovered = recovered;
         }
     }
 
@@ -311,6 +349,22 @@ impl Executor {
         }
     }
 
+    /// Updates the newest trace record's cumulative fault/recovery
+    /// counters; no-op without a sink.
+    pub fn annotate_faults(
+        &self,
+        timeouts: usize,
+        backoff_ms: u64,
+        injected: usize,
+        recovered: usize,
+    ) {
+        if let Some(sink) = &self.sink {
+            sink.lock()
+                .expect("telemetry sink poisoned")
+                .annotate_faults_last(timeouts, backoff_ms, injected, recovered);
+        }
+    }
+
     fn record(&self, step: usize, batch: usize, stats: ExecStats) {
         let Some(sink) = &self.sink else { return };
         sink.lock()
@@ -328,6 +382,11 @@ impl Executor {
                 cache_hits: 0,
                 cache_misses: 0,
                 selection_us: 0,
+                timeouts: 0,
+                backoff_ms: 0,
+                injected: 0,
+                recovered: 0,
+                worker_deaths: stats.worker_deaths,
             });
     }
 }
@@ -355,6 +414,7 @@ mod tests {
         exec.annotate_health(3, 7);
         exec.annotate_cache(40, 12);
         exec.annotate_selection(55);
+        exec.annotate_faults(2, 9, 5, 4);
 
         let t = sink.lock().unwrap();
         assert_eq!(t.records().len(), 2);
@@ -369,6 +429,12 @@ mod tests {
         assert_eq!(t.records()[1].cache_misses, 12);
         assert_eq!(t.records()[0].selection_us, 0);
         assert_eq!(t.records()[1].selection_us, 55);
+        assert_eq!(t.records()[0].timeouts, 0);
+        assert_eq!(t.records()[1].timeouts, 2);
+        assert_eq!(t.records()[1].backoff_ms, 9);
+        assert_eq!(t.records()[1].injected, 5);
+        assert_eq!(t.records()[1].recovered, 4);
+        assert_eq!(t.records()[1].worker_deaths, 0);
         assert_eq!(t.per_phase_wall_nanos().len(), 1);
     }
 
@@ -389,12 +455,18 @@ mod tests {
             cache_hits: 20,
             cache_misses: 12,
             selection_us: 830,
+            timeouts: 3,
+            backoff_ms: 41,
+            injected: 6,
+            recovered: 5,
+            worker_deaths: 1,
         };
         assert_eq!(
             rec.line(),
             "trace-v1 phase=pfCLR step=12 batch=32 eval_us=5250 workers=4 \
              per_worker=8|9|8|7 hist=1 quarantined=1 degraded=2 \
-             cache_hits=20 cache_misses=12 selection_us=830"
+             cache_hits=20 cache_misses=12 selection_us=830 timeouts=3 \
+             backoff_ms=41 injected=6 recovered=5 worker_deaths=1"
         );
         let mut t = RunTelemetry::new();
         t.record(rec);

@@ -465,6 +465,94 @@ pub fn analyze_robust_with(
     }
 }
 
+/// Deterministic solver-singularity fault schedule for the chaos layer.
+///
+/// Decisions are pure functions of `(seed, params digest, stage)` —
+/// content-addressed like every other fault plan — so a seeded run
+/// injects the identical set of LU failures across reruns, worker counts
+/// and library-build orders. `primary_ppm` fails the plain LU solve;
+/// `retry_ppm` additionally fails the scaled-pivoting retry, driving the
+/// analysis into the degraded closed-form fallback (which chaosbench
+/// records as a degraded-mode delta, never as silent corruption).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SolverFaultPlan {
+    /// Salt for the per-analysis decisions.
+    pub seed: u64,
+    /// Probability (parts-per-million) the primary LU solve fails.
+    pub primary_ppm: u32,
+    /// Probability (parts-per-million) the scaled retry *also* fails.
+    pub retry_ppm: u32,
+}
+
+impl SolverFaultPlan {
+    /// A plan with the given seed and per-stage failure rates.
+    pub fn new(seed: u64, primary_ppm: u32, retry_ppm: u32) -> Self {
+        SolverFaultPlan {
+            seed,
+            primary_ppm,
+            retry_ppm,
+        }
+    }
+
+    /// FNV-1a over `seed ‖ digest ‖ stage`, reduced to a ppm draw.
+    fn fires(&self, digest: u64, stage: u64, ppm: u32) -> bool {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut hash = FNV_OFFSET;
+        for word in [self.seed, digest, stage] {
+            for byte in word.to_le_bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(FNV_PRIME);
+            }
+        }
+        hash % 1_000_000 < u64::from(ppm)
+    }
+
+    /// Whether the primary solve of the analysis keyed by `digest` fails.
+    pub fn primary_fails(&self, digest: u64) -> bool {
+        self.fires(digest, 0, self.primary_ppm)
+    }
+
+    /// Whether the scaled retry of the analysis keyed by `digest` fails.
+    pub fn retry_fails(&self, digest: u64) -> bool {
+        self.fires(digest, 1, self.retry_ppm)
+    }
+}
+
+/// [`analyze_robust`] under an injected [`SolverFaultPlan`]: scheduled
+/// LU singularities replace the primary (and optionally the retry)
+/// solver's answer with [`MarkovError::Numeric`], exercising the full
+/// retry → closed-form recovery ladder on otherwise-healthy parameters.
+///
+/// # Errors
+///
+/// As for [`analyze_robust`].
+pub fn analyze_robust_chaos(
+    params: &ClrChainParams,
+    plan: &SolverFaultPlan,
+) -> Result<RobustAnalysis, MarkovError> {
+    let digest = params.digest();
+    // `pivot: usize::MAX` marks the singularity as synthetic in logs.
+    let injected = || MarkovError::Numeric(clre_num::NumError::Singular { pivot: usize::MAX });
+    analyze_robust_with(
+        params,
+        |p| {
+            if plan.primary_fails(digest) {
+                Err(injected())
+            } else {
+                analyze(p)
+            }
+        },
+        |p| {
+            if plan.retry_fails(digest) {
+                Err(injected())
+            } else {
+                analyze_scaled(p)
+            }
+        },
+    )
+}
+
 /// Degraded-mode approximation: single-interval closed form plus the
 /// deterministic multi-interval overheads and a checkpoint-corruption
 /// error floor.
@@ -905,6 +993,59 @@ mod tests {
         let mut p = base();
         p.m_hw = 1.5;
         assert!(analyze_robust(&p).is_err());
+    }
+
+    #[test]
+    fn solver_fault_plan_is_deterministic_and_salted() {
+        let plan = SolverFaultPlan::new(42, 200_000, 100_000);
+        let digests: Vec<u64> = (0..200u64).map(|i| i.wrapping_mul(0x9e37_79b9)).collect();
+        let primary: Vec<bool> = digests.iter().map(|&d| plan.primary_fails(d)).collect();
+        assert!(primary.iter().any(|&b| b), "20% of 200 draws should fire");
+        assert!(!primary.iter().all(|&b| b));
+        // Pure in (seed, digest, stage): reruns and the two stages agree
+        // with themselves, a different seed disagrees somewhere.
+        assert_eq!(
+            primary,
+            digests
+                .iter()
+                .map(|&d| plan.primary_fails(d))
+                .collect::<Vec<_>>()
+        );
+        let other = SolverFaultPlan::new(43, 200_000, 100_000);
+        assert_ne!(
+            primary,
+            digests
+                .iter()
+                .map(|&d| other.primary_fails(d))
+                .collect::<Vec<_>>()
+        );
+        let never = SolverFaultPlan::new(42, 0, 0);
+        assert!(digests.iter().all(|&d| !never.primary_fails(d)));
+    }
+
+    #[test]
+    fn injected_solver_faults_walk_the_recovery_ladder() {
+        let p = base();
+        let exact = analyze_robust(&p).unwrap();
+        assert!(!exact.retried && !exact.degraded);
+        // Primary always fails → the scaled retry answers, exactly.
+        let retry_only = analyze_robust_chaos(&p, &SolverFaultPlan::new(1, 1_000_000, 0)).unwrap();
+        assert!(retry_only.retried && !retry_only.degraded);
+        assert_eq!(
+            retry_only.reliability.error_prob.to_bits(),
+            analyze_scaled(&p).unwrap().error_prob.to_bits(),
+            "a successful retry is the scaled solver's exact answer"
+        );
+        // Both fail → degraded closed form, still close to exact.
+        let degraded =
+            analyze_robust_chaos(&p, &SolverFaultPlan::new(1, 1_000_000, 1_000_000)).unwrap();
+        assert!(degraded.retried && degraded.degraded);
+        let rel = (degraded.reliability.avg_exec_time - exact.reliability.avg_exec_time).abs()
+            / exact.reliability.avg_exec_time;
+        assert!(rel < 1e-2, "fallback stays close: {rel}");
+        // No plan firing → bit-identical to the fault-free analysis.
+        let calm = analyze_robust_chaos(&p, &SolverFaultPlan::new(1, 0, 0)).unwrap();
+        assert_eq!(calm, exact);
     }
 
     #[test]

@@ -12,6 +12,8 @@
 //! * [`moea`] — NSGA-II, Pareto utilities and hypervolume.
 //! * [`sim`] — Monte-Carlo fault injection validating the Markov models.
 //! * [`exec`] — deterministic parallel evaluation engine and telemetry.
+//! * [`chaos`] — deterministic chaos injection: seeded fault plans,
+//!   fault-injecting problem wrappers and sidecar corruption.
 //! * [`num`] — dense linear algebra and `Γ(x)`.
 //!
 //! # Examples
@@ -33,6 +35,7 @@
 #![forbid(unsafe_code)]
 
 pub use clre as core;
+pub use clre_chaos as chaos;
 pub use clre_exec as exec;
 pub use clre_markov as markov;
 pub use clre_model as model;

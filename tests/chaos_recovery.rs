@@ -1,0 +1,112 @@
+//! Fixed-seed chaos-recovery integration tests: a supervised fcCLR run
+//! under an evaluation-fault storm — injected panics, typed errors,
+//! NaN-poisoned objectives, stalls past the deadline — plus
+//! deterministic worker death must recover the exact front of the
+//! fault-free run, at one worker and at four, and the same seed must
+//! reproduce the same fault schedule and telemetry counters.
+//!
+//! The heavier end-to-end storm (mid-run interrupt, sidecar corruption,
+//! cold resume) lives in the `chaos` bench; these tests pin the core
+//! recovery contract with a seconds-long budget.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use clrearly::chaos::{DeathPlan, FaultPlan};
+use clrearly::core::apps;
+use clrearly::core::methodology::{ClrEarly, FrontResult, StageBudget};
+use clrearly::core::resilience::BackoffPolicy;
+use clrearly::core::{RunSupervisor, SupervisorConfig};
+use clrearly::exec::{ExecPool, Executor};
+
+const STORM_SEED: u64 = 0x5EED;
+
+/// A hot storm: roughly one genome in three draws some fault. All kinds
+/// fire on the first attempt only, so every fault is recoverable.
+fn storm() -> FaultPlan {
+    FaultPlan::new(STORM_SEED)
+        .with_panic_ppm(120_000)
+        .with_error_ppm(120_000)
+        .with_poison_ppm(120_000)
+        .with_stall_ppm(60_000, 120)
+}
+
+fn checkpoint_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("clre-chaos-rec-{}-{name}.ckpt", std::process::id()))
+}
+
+/// A supervisor with every hardening knob on: retries, per-evaluation
+/// deadline, deterministic backoff, and the storm injector.
+fn storm_supervisor(name: &str) -> RunSupervisor {
+    RunSupervisor::new(
+        SupervisorConfig::new(checkpoint_path(name))
+            .with_max_retries(2)
+            .with_eval_deadline(Duration::from_millis(60))
+            .with_backoff(BackoffPolicy::new(1, 8, STORM_SEED)),
+    )
+    .with_fault_injector(Arc::new(storm()))
+}
+
+/// An executor whose pool deterministically loses workers mid-batch.
+fn dying_executor(workers: usize) -> Executor {
+    Executor::new(ExecPool::new(workers).with_death_plan(DeathPlan::new(STORM_SEED, 80_000)))
+}
+
+fn assert_same_front(a: &FrontResult, b: &FrontResult) {
+    assert_eq!(a.front().len(), b.front().len(), "front sizes differ");
+    for (pa, pb) in a.front().iter().zip(b.front()) {
+        assert_eq!(pa.genome, pb.genome, "front genomes differ");
+        assert_eq!(pa.objectives, pb.objectives, "front objectives differ");
+    }
+}
+
+fn stormed_run(name: &str, workers: usize) -> FrontResult {
+    let platform = apps::paper_platform();
+    let graph = apps::sobel(&platform, 42).expect("sobel app");
+    ClrEarly::new(&graph, &platform)
+        .expect("tDSE succeeds")
+        .with_executor(dying_executor(workers))
+        .run_fc_supervised(&StageBudget::smoke_test(), &storm_supervisor(name))
+        .expect("stormed run completes")
+        .expect_complete()
+}
+
+#[test]
+fn storm_recovers_bit_identical_front_at_one_and_four_workers() {
+    let platform = apps::paper_platform();
+    let graph = apps::sobel(&platform, 42).expect("sobel app");
+    let clean = ClrEarly::new(&graph, &platform)
+        .expect("tDSE succeeds")
+        .run_fc(&StageBudget::smoke_test())
+        .expect("clean run completes");
+
+    let w1 = stormed_run("w1", 1);
+    let w4 = stormed_run("w4", 4);
+
+    // Every fault fires on attempt 0 only, so retries recover the exact
+    // evaluation the clean run computed — the fronts are bit-identical.
+    assert_same_front(&clean, &w1);
+    assert_same_front(&clean, &w4);
+
+    // The storm must actually have hit, and every hit must have healed.
+    assert!(w1.health.injected > 0, "storm never fired");
+    assert!(w1.health.recovered > 0, "no fault recovered");
+    assert!(w1.health.retries > 0, "no retry happened");
+    assert_eq!(w1.health.quarantined, 0, "a recoverable fault quarantined");
+
+    // The fault schedule is content-addressed, never call-order
+    // addressed: the counters are identical across worker counts.
+    assert_eq!(w1.health, w4.health, "schedule depends on worker count");
+}
+
+#[test]
+fn same_seed_reproduces_fault_schedule_and_counters() {
+    let first = stormed_run("replay-a", 1);
+    let second = stormed_run("replay-b", 1);
+    assert_same_front(&first, &second);
+    assert_eq!(
+        first.health, second.health,
+        "same seed must reproduce every telemetry counter"
+    );
+}
