@@ -21,12 +21,13 @@
 use std::path::PathBuf;
 
 use clre_bench::{
-    cachebench, chaosbench, exec_settings, kernelbench, sweep, system, tasklevel, RunScale,
+    cachebench, chaosbench, exec_settings, kernelbench, perfgate, servebench, sweep, system,
+    tasklevel, RunScale,
 };
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments <fig6a|fig6b|table4|fig7|table5|fig8|table6|fig9|fig10|table7|scaling|chkpt|multiobj|ablations|cachebench|kernelbench|chaos|all> [--smoke|--tiny] [--workers N] [--trace FILE] [--ledger FILE] [--halt-after-cells N] [--cache FILE]"
+        "usage: experiments <fig6a|fig6b|table4|fig7|table5|fig8|table6|fig9|fig10|table7|scaling|chkpt|multiobj|ablations|cachebench|kernelbench|servebench|chaos|all> [--smoke|--tiny] [--workers N] [--trace FILE] [--ledger FILE] [--halt-after-cells N] [--cache FILE]\n       experiments perfgate --baseline FILE --current FILE"
     );
     std::process::exit(2);
 }
@@ -39,6 +40,8 @@ fn main() {
     let mut ledger: Option<PathBuf> = None;
     let mut halt_after: Option<usize> = None;
     let mut cache_file: Option<PathBuf> = None;
+    let mut baseline: Option<PathBuf> = None;
+    let mut current: Option<PathBuf> = None;
     let mut i = 0;
     while i < args.len() {
         let arg = args[i].as_str();
@@ -60,6 +63,8 @@ fn main() {
                 Err(_) => usage(),
             },
             "--cache" => cache_file = Some(PathBuf::from(value(&mut i))),
+            "--baseline" => baseline = Some(PathBuf::from(value(&mut i))),
+            "--current" => current = Some(PathBuf::from(value(&mut i))),
             _ if arg.starts_with("--") => usage(),
             _ if id.is_none() => id = Some(arg),
             _ => usage(),
@@ -67,6 +72,24 @@ fn main() {
         i += 1;
     }
     let Some(id) = id else { usage() };
+    // The perf gate is a pure file diff — no scale, workers or sidecar
+    // machinery applies, so it short-circuits the experiment plumbing.
+    if id == "perfgate" {
+        let (Some(baseline), Some(current)) = (baseline, current) else {
+            eprintln!("perfgate requires --baseline FILE and --current FILE");
+            usage();
+        };
+        match perfgate::gate_files(&baseline, &current) {
+            Ok(report) => {
+                print!("{report}");
+                return;
+            }
+            Err(report) => {
+                eprint!("{report}");
+                std::process::exit(1);
+            }
+        }
+    }
     if halt_after.is_some() && ledger.is_none() {
         eprintln!("--halt-after-cells requires --ledger");
         usage();
@@ -119,6 +142,7 @@ fn main() {
         "cachebench" => cachebench::eval_cache(scale),
         "chaos" => chaosbench::chaos(scale),
         "kernelbench" => kernelbench::moea_kernels(scale),
+        "servebench" => servebench::serve(scale),
         "all" => clre_bench::run_all(scale),
         _ => usage(),
     };

@@ -27,7 +27,9 @@ pub mod cachebench;
 pub mod chaosbench;
 pub mod exec_settings;
 pub mod kernelbench;
+pub mod perfgate;
 pub mod report;
+pub mod servebench;
 pub mod sweep;
 pub mod system;
 pub mod tasklevel;

@@ -1,0 +1,237 @@
+//! Performance trend gate over the MOEA kernel benchmark.
+//!
+//! CI runs `experiments kernelbench` and diffs the fresh
+//! `BENCH_moea_kernels.json` against the committed baseline with
+//! [`compare`]: for every (N, M) cell and every gated timing key, the
+//! current value must stay under `max(2 × baseline, baseline + 500 µs)`.
+//! The 2× factor absorbs runner-to-runner noise; the 500 µs absolute
+//! floor keeps sub-millisecond cells from tripping on scheduler jitter
+//! (doubling 40 µs is not a regression signal).
+//!
+//! The reports are the hand-formatted JSON the bench writes — one cell
+//! object per line inside `"cases": [...]` — so the parser here is a
+//! line-oriented key scanner, not a general JSON reader. A baseline that
+//! stops matching that shape is a hard error, never a silent pass.
+
+use std::path::Path;
+
+/// The timing keys the gate watches. Oracle timings (`sort_naive_us`,
+/// `truncate_naive_us`) are deliberately absent: the naive algorithms
+/// exist to validate results, and their cost is not a product property.
+const GATED_KEYS: [&str; 4] = ["sort_ens_us", "crowding_us", "truncate_cached_us", "hv_us"];
+
+/// Absolute slack in microseconds added on top of the 2× ratio.
+const ABSOLUTE_SLACK_US: u64 = 500;
+
+/// One gated timing that got worse than the allowance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Regression {
+    /// Cloud size of the cell.
+    pub n: u64,
+    /// Objective count of the cell.
+    pub m: u64,
+    /// The timing key that regressed.
+    pub key: &'static str,
+    /// Baseline microseconds.
+    pub baseline_us: u64,
+    /// Current microseconds.
+    pub current_us: u64,
+    /// The allowance the current value exceeded.
+    pub limit_us: u64,
+}
+
+impl std::fmt::Display for Regression {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} m={} {}: {}us -> {}us (limit {}us)",
+            self.n, self.m, self.key, self.baseline_us, self.current_us, self.limit_us
+        )
+    }
+}
+
+/// Extracts `"key": <integer>` from one cell line.
+fn field_u64(line: &str, key: &str) -> Option<u64> {
+    let start = line.find(&format!("\"{key}\":"))? + key.len() + 3;
+    let rest = line[start..].trim_start();
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// One `(n, m)` cell with its gated timings.
+#[derive(Debug, PartialEq, Eq)]
+struct CellTimings {
+    n: u64,
+    m: u64,
+    values: [(/* key idx */ usize, u64); 4],
+}
+
+/// Parses every cell line of a kernel-bench report. Errors if the report
+/// contains no cells or a cell is missing a gated key — a malformed
+/// baseline must fail the gate loudly.
+fn parse_cells(report: &str, label: &str) -> Result<Vec<CellTimings>, String> {
+    let mut cells = Vec::new();
+    for line in report.lines() {
+        let Some(n) = field_u64(line, "n") else {
+            continue;
+        };
+        let m = field_u64(line, "m")
+            .ok_or_else(|| format!("{label}: cell n={n} has no \"m\" field: {line}"))?;
+        let mut values = [(0usize, 0u64); 4];
+        for (idx, key) in GATED_KEYS.iter().enumerate() {
+            let us = field_u64(line, key)
+                .ok_or_else(|| format!("{label}: cell n={n} m={m} has no \"{key}\" field"))?;
+            values[idx] = (idx, us);
+        }
+        cells.push(CellTimings { n, m, values });
+    }
+    if cells.is_empty() {
+        return Err(format!("{label}: no benchmark cells found"));
+    }
+    Ok(cells)
+}
+
+/// What a baseline value allows the current value to reach.
+fn limit(baseline_us: u64) -> u64 {
+    (2 * baseline_us).max(baseline_us + ABSOLUTE_SLACK_US)
+}
+
+/// Diffs a current kernel-bench report against a baseline report.
+/// Returns the regressions (empty = gate passes). Cells present only in
+/// one report are an error: a shrunk benchmark must not pass by
+/// omission.
+pub fn compare(baseline: &str, current: &str) -> Result<Vec<Regression>, String> {
+    let base_cells = parse_cells(baseline, "baseline")?;
+    let cur_cells = parse_cells(current, "current")?;
+    let mut regressions = Vec::new();
+    for base in &base_cells {
+        let cur = cur_cells
+            .iter()
+            .find(|c| c.n == base.n && c.m == base.m)
+            .ok_or_else(|| format!("current report lost cell n={} m={}", base.n, base.m))?;
+        for ((idx, base_us), (_, cur_us)) in base.values.iter().zip(&cur.values) {
+            let limit_us = limit(*base_us);
+            if *cur_us > limit_us {
+                regressions.push(Regression {
+                    n: base.n,
+                    m: base.m,
+                    key: GATED_KEYS[*idx],
+                    baseline_us: *base_us,
+                    current_us: *cur_us,
+                    limit_us,
+                });
+            }
+        }
+    }
+    if cur_cells.len() != base_cells.len() {
+        return Err(format!(
+            "cell count changed: baseline {} vs current {}",
+            base_cells.len(),
+            cur_cells.len()
+        ));
+    }
+    Ok(regressions)
+}
+
+/// File-level entry point for the `experiments perfgate` subcommand:
+/// reads both reports and renders a human-readable verdict. `Ok` =
+/// gate passed (report text), `Err` = regressions or unreadable input
+/// (the caller exits non-zero).
+pub fn gate_files(baseline: &Path, current: &Path) -> Result<String, String> {
+    let base = std::fs::read_to_string(baseline)
+        .map_err(|e| format!("reading baseline {}: {e}", baseline.display()))?;
+    let cur = std::fs::read_to_string(current)
+        .map_err(|e| format!("reading current {}: {e}", current.display()))?;
+    let regressions = compare(&base, &cur)?;
+    if regressions.is_empty() {
+        Ok(format!(
+            "perfgate: ok — every gated kernel within max(2x, +{ABSOLUTE_SLACK_US}us) of {}\n",
+            baseline.display()
+        ))
+    } else {
+        let mut out = String::from("perfgate: FAIL\n");
+        for r in &regressions {
+            out.push_str(&format!("  {r}\n"));
+        }
+        Err(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(cells: &[(u64, u64, [u64; 4])]) -> String {
+        let body: Vec<String> = cells
+            .iter()
+            .map(|(n, m, v)| {
+                format!(
+                    "    {{\"n\": {n}, \"m\": {m}, \"sort_naive_us\": 9999, \"sort_ens_us\": {}, \
+                     \"fronts_identical\": true, \"crowding_us\": {}, \"truncate_cached_us\": {}, \
+                     \"truncate_naive_us\": null, \"hv_us\": {}, \"hv_points\": 7}}",
+                    v[0], v[1], v[2], v[3]
+                )
+            })
+            .collect();
+        format!(
+            "{{\n  \"bench\": \"moea_kernels\",\n  \"cases\": [\n{}\n  ]\n}}\n",
+            body.join(",\n")
+        )
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let r = report(&[(100, 2, [50, 60, 70, 80]), (400, 4, [900, 800, 700, 600])]);
+        assert_eq!(compare(&r, &r).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn small_cells_get_absolute_slack_but_big_ones_get_the_ratio() {
+        let base = report(&[(100, 2, [50, 60, 70, 80]), (1600, 2, [10_000, 10, 10, 10])]);
+        // 50us -> 500us is under the +500us floor; 10_000us -> 21_000us
+        // is past 2x and must trip.
+        let cur = report(&[(100, 2, [500, 60, 70, 80]), (1600, 2, [21_000, 10, 10, 10])]);
+        let regressions = compare(&base, &cur).unwrap();
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(
+            (
+                regressions[0].n,
+                regressions[0].key,
+                regressions[0].limit_us
+            ),
+            (1600, "sort_ens_us", 20_000)
+        );
+    }
+
+    #[test]
+    fn every_gated_key_is_watched() {
+        let base = report(&[(400, 4, [100, 100, 100, 100])]);
+        let cur = report(&[(400, 4, [100, 100, 100, 5_000])]);
+        let regressions = compare(&base, &cur).unwrap();
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].key, "hv_us");
+        assert!(regressions[0].to_string().contains("hv_us"));
+    }
+
+    #[test]
+    fn missing_cells_and_malformed_reports_error_instead_of_passing() {
+        let base = report(&[(100, 2, [50, 60, 70, 80]), (400, 2, [50, 60, 70, 80])]);
+        let cur = report(&[(100, 2, [50, 60, 70, 80])]);
+        assert!(compare(&base, &cur).unwrap_err().contains("lost cell"));
+        assert!(compare("{}", &base).unwrap_err().contains("no benchmark"));
+        let torn = base.replace("\"hv_us\": 80", "\"hv_us\": \"oops\"");
+        assert!(compare(&base, &torn).unwrap_err().contains("hv_us"));
+    }
+
+    #[test]
+    fn real_kernelbench_output_parses() {
+        // The gate must understand the exact shape kernelbench emits.
+        let json = crate::kernelbench::moea_kernels(crate::RunScale::Tiny);
+        let _ = std::fs::remove_file("BENCH_moea_kernels.json");
+        assert_eq!(compare(&json, &json).unwrap(), vec![]);
+        let cells = parse_cells(&json, "self").unwrap();
+        assert_eq!(cells.len(), 6, "3 sizes x 2 dims");
+    }
+}

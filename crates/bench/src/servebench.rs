@@ -1,0 +1,245 @@
+//! Server benchmark: stands up an in-process `clre-serve` server, drives
+//! three concurrent tenants (fcCLR / pfCLR / proposed, same platform)
+//! through it, and reports per-tenant submit-to-first-trace and
+//! submit-to-done latencies plus the cross-tenant cache economics.
+//!
+//! Two correctness flags ride along with the timings:
+//!
+//! * `digest_parity` — every tenant's server-side front digest equals the
+//!   same plan run in-process (serial, uncached); a latency number for a
+//!   server that changes answers is worthless;
+//! * `cross_tenant_sharing` — the shared L1 task-analysis cache answered
+//!   strictly more hits than the three campaigns would have generated
+//!   alone (self-hits), i.e. at least one tenant's library build was
+//!   warm-started by another's entries.
+//!
+//! [`serve`] returns the report as JSON (hand-formatted, like the other
+//! bench reports) and writes it to `BENCH_serve.json` for CI to archive.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use clre::methodology::{ClrEarly, StageBudget};
+use clre::tdse::TdseConfig;
+use clre::{CampaignPlan, EvalCache};
+use clre_serve::client::{Event, ServeClient, Submission};
+use clre_serve::server::{build_app, front_digest, ServeConfig, Server};
+use clre_serve::wire::{AppSpec, SubmitRequest};
+
+use crate::RunScale;
+
+/// Task count of the benchmark workload (all tenants share it — sharing
+/// the platform and application is what makes the cache cross-tenant).
+const TASKS: usize = 12;
+/// Application seed, distinct from the other benches' workloads.
+const APP_SEED: u64 = 3;
+/// Worker budget the server schedules the tenants over.
+const WORKERS: usize = 2;
+
+/// GA budget per scale: the server bench measures scheduling and
+/// streaming overhead, not GA convergence, so it stays modest even at
+/// paper scale.
+fn budget(scale: RunScale) -> StageBudget {
+    match scale {
+        RunScale::Tiny => StageBudget::new(8, 4).with_seed(11),
+        RunScale::Smoke => StageBudget::new(16, 10).with_seed(11),
+        RunScale::Paper => StageBudget::new(32, 30).with_seed(11),
+    }
+}
+
+/// The three tenants and their plans.
+fn tenants() -> [(&'static str, &'static str, CampaignPlan); 3] {
+    [
+        ("alpha", "fcCLR", CampaignPlan::fc()),
+        ("beta", "pfCLR", CampaignPlan::pf()),
+        ("gamma", "proposed", CampaignPlan::proposed()),
+    ]
+}
+
+fn request(tenant: &str, plan: CampaignPlan, budget: &StageBudget) -> SubmitRequest {
+    SubmitRequest {
+        tenant: tenant.to_owned(),
+        app: AppSpec::Synthetic {
+            tasks: TASKS,
+            seed: APP_SEED,
+        },
+        budget: budget.clone(),
+        plan,
+    }
+}
+
+/// One tenant's measured run through the server.
+struct TenantRun {
+    tenant: &'static str,
+    plan: &'static str,
+    submit_to_first_trace_us: u64,
+    submit_to_done_us: u64,
+    digest: u64,
+    digest_matches: bool,
+}
+
+impl TenantRun {
+    fn json(&self) -> String {
+        format!(
+            "{{\"tenant\": \"{}\", \"plan\": \"{}\", \"submit_to_first_trace_us\": {}, \
+             \"submit_to_done_us\": {}, \"front_digest\": \"{:016x}\", \
+             \"digest_matches_in_process\": {}}}",
+            self.tenant,
+            self.plan,
+            self.submit_to_first_trace_us,
+            self.submit_to_done_us,
+            self.digest,
+            self.digest_matches,
+        )
+    }
+}
+
+/// Submits `req` and streams to completion, timing first-trace and done
+/// against the moment the submit frame went out.
+fn drive_tenant(addr: &str, req: &SubmitRequest, expected: u64) -> TenantRun {
+    let mut client = ServeClient::connect(addr).expect("connect");
+    let t0 = Instant::now();
+    match client.submit(req).expect("submit") {
+        Submission::Accepted { .. } => {}
+        Submission::Rejected { reason } => panic!("{}: rejected: {reason}", req.tenant),
+    }
+    let mut first_trace_us = 0u64;
+    let (digest, done_us) = loop {
+        match client.next_event().expect("event") {
+            Event::Trace(_) => {
+                if first_trace_us == 0 {
+                    first_trace_us = t0.elapsed().as_micros() as u64;
+                }
+            }
+            Event::Done(summary) => break (summary.digest, t0.elapsed().as_micros() as u64),
+            other => panic!("{}: campaign did not complete: {other:?}", req.tenant),
+        }
+    };
+    let (tenant, plan) = tenants()
+        .iter()
+        .find(|(t, ..)| *t == req.tenant)
+        .map(|(t, p, _)| (*t, *p))
+        .expect("known tenant");
+    TenantRun {
+        tenant,
+        plan,
+        submit_to_first_trace_us: first_trace_us,
+        submit_to_done_us: done_us,
+        digest,
+        digest_matches: digest == expected,
+    }
+}
+
+/// The in-process baseline digest: same plan, serial, uncached.
+fn local_digest(req: &SubmitRequest) -> u64 {
+    let (platform, graph) = build_app(&req.app).expect("app builds");
+    let front = ClrEarly::new(&graph, &platform)
+        .expect("tDSE succeeds")
+        .run_campaign(&req.plan, &req.budget)
+        .expect("in-process campaign completes");
+    front_digest(&front)
+}
+
+/// Analysis hits one campaign accumulates alone on a private cache —
+/// the self-hit baseline the shared server cache must beat.
+fn isolated_hits(req: &SubmitRequest) -> u64 {
+    let (platform, graph) = build_app(&req.app).expect("app builds");
+    let cache = EvalCache::shared();
+    let dse = ClrEarly::with_tdse_config(
+        &graph,
+        &platform,
+        TdseConfig::default().with_eval_cache(Arc::clone(&cache)),
+    )
+    .expect("tDSE succeeds")
+    .with_cache(Arc::clone(&cache));
+    dse.run_campaign(&req.plan, &req.budget)
+        .expect("isolated campaign completes");
+    cache.analysis_counts().hits
+}
+
+fn stat_u64(stats: &str, key: &str) -> u64 {
+    stats
+        .split_whitespace()
+        .find_map(|tok| tok.strip_prefix(key)?.strip_prefix('=')?.parse().ok())
+        .unwrap_or(0)
+}
+
+/// Runs the server benchmark at `scale` and returns the JSON report
+/// (also written to `BENCH_serve.json`; a write failure is reported
+/// inside the JSON rather than aborting the bench).
+pub fn serve(scale: RunScale) -> String {
+    let budget = budget(scale);
+    let requests: Vec<SubmitRequest> = tenants()
+        .into_iter()
+        .map(|(tenant, _, plan)| request(tenant, plan, &budget))
+        .collect();
+    let expected: Vec<u64> = requests.iter().map(local_digest).collect();
+    let isolated: u64 = requests.iter().map(isolated_hits).sum();
+
+    let root = std::env::temp_dir().join(format!("clre-servebench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let config = ServeConfig::new(&root).with_workers(WORKERS);
+    let server = Server::bind("127.0.0.1:0", config).expect("bind ephemeral");
+    let addr = server.local_addr().expect("local addr").to_string();
+    let stop = server.stop_flag();
+    let server_thread = std::thread::spawn(move || server.run());
+
+    let runs = std::thread::scope(|scope| {
+        let handles: Vec<_> = requests
+            .iter()
+            .zip(&expected)
+            .map(|(req, &exp)| {
+                let addr = &addr;
+                scope.spawn(move || drive_tenant(addr, req, exp))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("tenant thread"))
+            .collect::<Vec<_>>()
+    });
+
+    let mut client = ServeClient::connect(&addr).expect("stats connect");
+    let stats = client.stats().expect("stats");
+    drop(client);
+    stop.store(true, std::sync::atomic::Ordering::SeqCst);
+    server_thread.join().expect("server thread");
+    let _ = std::fs::remove_dir_all(&root);
+
+    let shared_hits = stat_u64(&stats, "cache.paper.analysis_hits");
+    let shared_misses = stat_u64(&stats, "cache.paper.analysis_misses");
+    let cross_tenant_hits = shared_hits.saturating_sub(isolated);
+    let hit_rate = shared_hits as f64 / (shared_hits + shared_misses).max(1) as f64;
+    let digest_parity = runs.iter().all(|r| r.digest_matches);
+    let body: Vec<String> = runs.iter().map(|r| format!("    {}", r.json())).collect();
+    let json = format!(
+        "{{\n  \"bench\": \"serve\",\n  \"application_tasks\": {TASKS},\n  \"population\": {},\n  \"generations\": {},\n  \"workers\": {WORKERS},\n  \"tenants\": [\n{}\n  ],\n  \"shared_analysis_hits\": {shared_hits},\n  \"isolated_analysis_hits\": {isolated},\n  \"cross_tenant_analysis_hits\": {cross_tenant_hits},\n  \"analysis_hit_rate\": {hit_rate:.4},\n  \"cross_tenant_sharing\": {},\n  \"digest_parity\": {digest_parity}\n}}\n",
+        budget.population,
+        budget.generations,
+        body.join(",\n"),
+        cross_tenant_hits > 0,
+    );
+    if let Err(e) = std::fs::write("BENCH_serve.json", &json) {
+        return format!("{json}# write failed: {e}\n");
+    }
+    json
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serve_bench_meets_acceptance_floor() {
+        let json = serve(RunScale::Tiny);
+        assert!(
+            json.contains("\"digest_parity\": true"),
+            "server fronts diverged from in-process baselines:\n{json}"
+        );
+        assert!(
+            json.contains("\"cross_tenant_sharing\": true"),
+            "shared cache produced no cross-tenant hits:\n{json}"
+        );
+        let _ = std::fs::remove_file("BENCH_serve.json");
+    }
+}

@@ -148,6 +148,9 @@ impl SweepLedger {
         let Some(path) = &self.path else {
             return Ok(());
         };
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            fs::create_dir_all(dir)?;
+        }
         let mut file = fs::OpenOptions::new()
             .create(true)
             .append(true)

@@ -427,6 +427,9 @@ impl EvalCache {
             Err(e) if e.kind() == io::ErrorKind::NotFound => {}
             Err(e) => return Err(e),
         }
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            fs::create_dir_all(dir)?;
+        }
         let mut file = fs::OpenOptions::new()
             .create(true)
             .append(true)

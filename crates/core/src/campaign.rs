@@ -1129,6 +1129,7 @@ fn supervise<A, S: EvolutionState<A, Genome = Genome>>(
     };
     if fresh {
         annotate();
+        exec.flush_trace();
     }
 
     loop {
@@ -1137,12 +1138,17 @@ fn supervise<A, S: EvolutionState<A, Genome = Genome>>(
             let health = health_now(checkpoints);
             let generation = state.generation();
             save(&mut writer, &state, health)?;
+            exec.flush_trace();
             return Ok(SupervisedDrive::Interrupted { generation });
         }
         if !state.step_with(ga, exec) {
             break;
         }
         annotate();
+        // Push the finalized trace line to any attached live stream now,
+        // not at run end — a socket consumer sees each generation as it
+        // completes.
+        exec.flush_trace();
         if state.generation() % supervisor.config().every_generations == 0 {
             checkpoints += 1;
             let health = health_now(checkpoints);

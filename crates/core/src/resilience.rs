@@ -38,6 +38,7 @@ use std::fmt::Write as _;
 use std::fs;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -226,7 +227,20 @@ pub fn write_quarantine_sidecar(path: &Path, records: &[QuarantineRecord]) -> Re
     for r in records {
         let _ = writeln!(out, "{}", r.line());
     }
+    ensure_parent_dir(path)?;
     fs::write(path, out).map_err(|e| bad(format!("writing {}: {e}", path.display())))
+}
+
+/// Creates the missing parent directories of `path`, so sidecar and
+/// checkpoint writers work under per-tenant server roots
+/// (`<root>/<tenant>/<campaign>/…`) without pre-created directories.
+pub(crate) fn ensure_parent_dir(path: &Path) -> Result<(), DseError> {
+    match path.parent() {
+        Some(dir) if !dir.as_os_str().is_empty() && !dir.exists() => {
+            fs::create_dir_all(dir).map_err(|e| bad(format!("creating {}: {e}", dir.display())))
+        }
+        _ => Ok(()),
+    }
 }
 
 /// The conventional sidecar location: `quarantine.txt` next to the
@@ -824,6 +838,7 @@ pub fn remove_checkpoint_files(path: &Path, keep: usize) {
 pub struct RunSupervisor {
     config: SupervisorConfig,
     interrupt_at: Option<(u32, usize)>,
+    interrupt_flag: Option<Arc<AtomicBool>>,
     injector: Option<Arc<dyn FaultInjector>>,
 }
 
@@ -833,6 +848,7 @@ impl RunSupervisor {
         RunSupervisor {
             config,
             interrupt_at: None,
+            interrupt_flag: None,
             injector: None,
         }
     }
@@ -861,6 +877,17 @@ impl RunSupervisor {
         self
     }
 
+    /// Attaches an external stop signal: once the flag turns `true`
+    /// (e.g. from a `SIGTERM` handler or a server's shutdown path), the
+    /// supervised run checkpoints at the next generation boundary and
+    /// returns [`RunOutcome::Interrupted`], exactly as if the
+    /// [`RunSupervisor::with_interrupt_at`] seam had fired there.
+    #[must_use]
+    pub fn with_interrupt_flag(mut self, flag: Arc<AtomicBool>) -> Self {
+        self.interrupt_flag = Some(flag);
+        self
+    }
+
     /// The supervisor configuration.
     pub fn config(&self) -> &SupervisorConfig {
         &self.config
@@ -871,9 +898,14 @@ impl RunSupervisor {
         &self.config.checkpoint_path
     }
 
-    /// Whether the crash-injection seam fires at this stage/generation.
+    /// Whether the crash-injection seam fires at this stage/generation,
+    /// or the external stop flag has been raised.
     pub fn should_interrupt(&self, stage: u32, generation: usize) -> bool {
         self.interrupt_at == Some((stage, generation))
+            || self
+                .interrupt_flag
+                .as_ref()
+                .is_some_and(|f| f.load(Ordering::SeqCst))
     }
 }
 
@@ -1184,6 +1216,7 @@ fn parse_rng_words(line: &str) -> Result<[u64; 4], DseError> {
 /// Atomically writes `text` to `path` via a sibling `<path>.tmp` +
 /// rename, so a crash mid-write never corrupts an existing good file.
 fn atomic_write(path: &Path, text: &str) -> Result<(), DseError> {
+    ensure_parent_dir(path)?;
     let mut os = path.as_os_str().to_owned();
     os.push(".tmp");
     let tmp = PathBuf::from(os);

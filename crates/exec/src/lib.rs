@@ -65,10 +65,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod gate;
 mod histogram;
 mod pool;
 mod telemetry;
 
+pub use gate::{FairGate, Turn};
 pub use histogram::LatencyHistogram;
 pub use pool::{DeathPlan, ExecPool, ExecStats};
 pub use telemetry::{Executor, GenerationTrace, RunTelemetry, TelemetrySink};

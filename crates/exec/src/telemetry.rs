@@ -2,9 +2,11 @@
 //! produces them.
 
 use std::fmt::Write as _;
+use std::io;
 use std::path::Path;
 use std::sync::{Arc, Mutex};
 
+use crate::gate::FairGate;
 use crate::histogram::LatencyHistogram;
 use crate::pool::{ExecPool, ExecStats};
 
@@ -115,10 +117,54 @@ impl GenerationTrace {
 /// [`Executor`] involved in the run, and read the trace back when done.
 /// Telemetry never influences results: a run with and without a sink is
 /// bit-identical.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+///
+/// For live consumers (a trace file tailed mid-run, a server streaming
+/// generations over a socket) attach a line stream with
+/// [`RunTelemetry::stream_to`]: every [`RunTelemetry::flush_pending`]
+/// call writes the not-yet-streamed records as finalized `trace-v1` lines
+/// and flushes the writer, so a line is visible the moment its generation
+/// (and its post-batch annotations) completes — never parked in a buffer
+/// until run end.
+#[derive(Default)]
 pub struct RunTelemetry {
     records: Vec<GenerationTrace>,
+    /// Per-generation line stream; `None` keeps the store purely
+    /// in-memory.
+    stream: Option<Box<dyn io::Write + Send>>,
+    /// Records already written to the stream (`records[..streamed]`).
+    streamed: usize,
 }
+
+impl std::fmt::Debug for RunTelemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunTelemetry")
+            .field("records", &self.records)
+            .field("streaming", &self.stream.is_some())
+            .field("streamed", &self.streamed)
+            .finish()
+    }
+}
+
+impl Clone for RunTelemetry {
+    /// Clones the records only: a line stream is an exclusive I/O
+    /// resource and stays with the original.
+    fn clone(&self) -> Self {
+        RunTelemetry {
+            records: self.records.clone(),
+            stream: None,
+            streamed: 0,
+        }
+    }
+}
+
+impl PartialEq for RunTelemetry {
+    /// Telemetry equality is record equality; the stream is plumbing.
+    fn eq(&self, other: &Self) -> bool {
+        self.records == other.records
+    }
+}
+
+impl Eq for RunTelemetry {}
 
 impl RunTelemetry {
     /// An empty telemetry store.
@@ -181,6 +227,47 @@ impl RunTelemetry {
             last.injected = injected;
             last.recovered = recovered;
         }
+    }
+
+    /// Attaches a live line stream: every [`RunTelemetry::flush_pending`]
+    /// writes the records finalized since the last flush as `trace-v1`
+    /// lines and flushes the writer. Records appended before this call
+    /// are considered already consumed (an attach mid-run streams the
+    /// future, not the past — the past is in [`RunTelemetry::records`]).
+    pub fn stream_to(&mut self, writer: Box<dyn io::Write + Send>) {
+        self.streamed = self.records.len();
+        self.stream = Some(writer);
+    }
+
+    /// Writes every not-yet-streamed record to the attached stream as one
+    /// `trace-v1` line each and flushes the writer — the per-generation
+    /// flush that keeps a socket or tailed file live. No-op without a
+    /// stream. A write failure detaches the stream (the consumer hung
+    /// up); telemetry accumulation continues unaffected.
+    pub fn flush_pending(&mut self) {
+        let Some(writer) = self.stream.as_mut() else {
+            return;
+        };
+        let mut ok = true;
+        while self.streamed < self.records.len() {
+            let line = self.records[self.streamed].line();
+            if writeln!(writer, "{line}").is_err() {
+                ok = false;
+                break;
+            }
+            self.streamed += 1;
+        }
+        if ok {
+            ok = writer.flush().is_ok();
+        }
+        if !ok {
+            self.stream = None;
+        }
+    }
+
+    /// Whether a live line stream is currently attached.
+    pub fn is_streaming(&self) -> bool {
+        self.stream.is_some()
     }
 
     /// All records, in execution order.
@@ -249,6 +336,7 @@ pub struct Executor {
     pool: ExecPool,
     label: String,
     sink: Option<TelemetrySink>,
+    gate: Option<(Arc<FairGate>, u64)>,
 }
 
 impl Executor {
@@ -264,6 +352,7 @@ impl Executor {
             pool,
             label: String::new(),
             sink: None,
+            gate: None,
         }
     }
 
@@ -279,6 +368,17 @@ impl Executor {
     #[must_use]
     pub fn with_telemetry(mut self, sink: TelemetrySink) -> Self {
         self.sink = Some(sink);
+        self
+    }
+
+    /// Attaches a [`FairGate`] turn `ticket` (builder style): every batch
+    /// this executor evaluates first acquires the gate, so concurrent
+    /// campaigns sharing one worker budget interleave fairly at
+    /// generation granularity. Scheduling only — results are identical
+    /// with and without a gate.
+    #[must_use]
+    pub fn with_gate(mut self, gate: Arc<FairGate>, ticket: u64) -> Self {
+        self.gate = Some((gate, ticket));
         self
     }
 
@@ -314,9 +414,28 @@ impl Executor {
         R: Send,
         F: Fn(&T) -> R + Sync,
     {
-        let (results, stats) = self.pool.evaluate_batch(items, f);
+        let (results, stats) = match &self.gate {
+            Some((gate, ticket)) => {
+                let _turn = gate.acquire(*ticket);
+                self.pool.evaluate_batch(items, f)
+            }
+            None => self.pool.evaluate_batch(items, f),
+        };
         self.record(step, items.len(), stats);
         results
+    }
+
+    /// Flushes the sink's not-yet-streamed trace lines to its attached
+    /// line stream (see [`RunTelemetry::flush_pending`]); no-op without a
+    /// sink or stream. The supervised campaign loop calls this once per
+    /// generation, after the post-batch annotations are stamped, so live
+    /// consumers see each generation as it completes.
+    pub fn flush_trace(&self) {
+        if let Some(sink) = &self.sink {
+            sink.lock()
+                .expect("telemetry sink poisoned")
+                .flush_pending();
+        }
     }
 
     /// Updates the newest trace record's quarantine/degraded counters;
@@ -484,6 +603,85 @@ mod tests {
         exec.annotate_cache(9, 9);
         exec.annotate_selection(9);
         assert!(exec.telemetry().is_none());
+    }
+
+    #[test]
+    fn flush_pending_streams_finalized_lines_per_generation() {
+        #[derive(Clone)]
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl io::Write for Shared {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let buf = Shared(Arc::new(Mutex::new(Vec::new())));
+        let sink = RunTelemetry::sink();
+        sink.lock().unwrap().stream_to(Box::new(buf.clone()));
+        let exec = Executor::new(ExecPool::serial())
+            .with_label("live")
+            .with_telemetry(sink.clone());
+
+        let _ = exec.evaluate_batch(0, &[1u8, 2], |x| *x);
+        exec.annotate_health(1, 0);
+        assert!(buf.0.lock().unwrap().is_empty(), "nothing until flush");
+        exec.flush_trace();
+        let first = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        assert_eq!(first.lines().count(), 1, "one finalized line");
+        assert!(first.contains("step=0"));
+        assert!(
+            first.contains("quarantined=1"),
+            "annotations stamped before the flush are in the streamed line"
+        );
+
+        let _ = exec.evaluate_batch(1, &[3u8], |x| *x);
+        exec.flush_trace();
+        exec.flush_trace(); // idempotent: nothing new to stream
+        let both = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        assert_eq!(both.lines().count(), 2);
+        assert!(sink.lock().unwrap().is_streaming());
+    }
+
+    #[test]
+    fn broken_stream_detaches_without_poisoning_telemetry() {
+        struct Broken;
+        impl io::Write for Broken {
+            fn write(&mut self, _: &[u8]) -> io::Result<usize> {
+                Err(io::Error::new(io::ErrorKind::BrokenPipe, "gone"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut t = RunTelemetry::new();
+        t.stream_to(Box::new(Broken));
+        let mut h = LatencyHistogram::new();
+        h.record(1);
+        t.record(GenerationTrace {
+            phase: "x".into(),
+            step: 0,
+            batch: 1,
+            wall_nanos: 1,
+            workers: 1,
+            per_worker: vec![1],
+            histogram: h,
+            quarantined: 0,
+            degraded: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            selection_us: 0,
+            timeouts: 0,
+            backoff_ms: 0,
+            injected: 0,
+            recovered: 0,
+            worker_deaths: 0,
+        });
+        t.flush_pending();
+        assert!(!t.is_streaming(), "dead consumer detached");
+        assert_eq!(t.records().len(), 1, "records unaffected");
     }
 
     #[test]

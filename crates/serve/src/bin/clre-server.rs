@@ -1,0 +1,80 @@
+//! `clre-server` — the resident campaign server binary.
+//!
+//! ```text
+//! clre-server --root DIR [--addr 127.0.0.1:7171] [--workers N]
+//!             [--max-active N] [--tenant-quota N]
+//! ```
+//!
+//! Prints `listening <addr>` once the socket is bound (so scripts using
+//! `--addr 127.0.0.1:0` can read the ephemeral port), then serves until
+//! `SIGTERM` or a `shutdown` request — both checkpoint and park every
+//! in-flight campaign; restarting on the same `--root` resumes them.
+
+use std::process::exit;
+
+use clre_serve::server::{install_sigterm_handler, ServeConfig, Server};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: clre-server --root DIR [--addr HOST:PORT] [--workers N] \
+         [--max-active N] [--tenant-quota N]"
+    );
+    exit(2);
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut root = None;
+    let mut addr = "127.0.0.1:7171".to_owned();
+    let mut workers = 1;
+    let mut max_active = 8;
+    let mut tenant_quota = 4;
+    while let Some(arg) = args.next() {
+        let mut value = |what: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{what} needs a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--root" => root = Some(value("--root")),
+            "--addr" => addr = value("--addr"),
+            "--workers" => workers = parse(&value("--workers"), "--workers"),
+            "--max-active" => max_active = parse(&value("--max-active"), "--max-active"),
+            "--tenant-quota" => tenant_quota = parse(&value("--tenant-quota"), "--tenant-quota"),
+            _ => usage(),
+        }
+    }
+    let Some(root) = root else { usage() };
+    let config = ServeConfig::new(root)
+        .with_workers(workers)
+        .with_max_active(max_active)
+        .with_tenant_quota(tenant_quota);
+    let server = match Server::bind(&addr, config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("clre-server: bind {addr}: {e}");
+            exit(1);
+        }
+    };
+    install_sigterm_handler();
+    match server.local_addr() {
+        Ok(bound) => {
+            // Stdout is the contract with wrapper scripts; flush so a
+            // piped reader sees the port before the first connection.
+            use std::io::Write as _;
+            println!("listening {bound}");
+            let _ = std::io::stdout().flush();
+        }
+        Err(e) => eprintln!("clre-server: local_addr: {e}"),
+    }
+    server.run();
+    println!("stopped");
+}
+
+fn parse(text: &str, what: &str) -> usize {
+    text.parse().unwrap_or_else(|_| {
+        eprintln!("{what}: not a number: {text}");
+        usage()
+    })
+}

@@ -1,0 +1,227 @@
+//! Client side of `clre-wire v1`: connect, submit, tail events.
+
+use std::io;
+use std::net::TcpStream;
+
+use crate::wire::{read_frame, write_frame, DoneSummary, SubmitRequest, WIRE_VERSION};
+
+/// One event frame received while tailing a campaign.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// A live `trace-v1` telemetry line (one per generation batch).
+    Trace(String),
+    /// The campaign completed with this summary.
+    Done(DoneSummary),
+    /// The campaign was parked by a server shutdown; reattach after the
+    /// server restarts (`lines` is where streaming left off).
+    Parked {
+        /// Campaign id to reattach to.
+        id: String,
+        /// Generations the interrupted stage had completed.
+        generation: usize,
+        /// Trace lines emitted so far — the `from` for the reattach.
+        lines: usize,
+    },
+    /// The server reported an error for this campaign.
+    Error(String),
+}
+
+/// Outcome of a submission attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Submission {
+    /// Admitted; trace events follow on this connection.
+    Accepted {
+        /// The server-assigned campaign id.
+        id: String,
+    },
+    /// Refused by admission control (or a malformed request).
+    Rejected {
+        /// The `reason=` token (`tenant-quota`, `server-busy`, …).
+        reason: String,
+    },
+}
+
+/// A connected `clre-wire v1` client.
+#[derive(Debug)]
+pub struct ServeClient {
+    stream: TcpStream,
+}
+
+impl ServeClient {
+    /// Connects and performs the version handshake.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures; a version mismatch is
+    /// [`io::ErrorKind::InvalidData`].
+    pub fn connect(addr: &str) -> io::Result<ServeClient> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        write_frame(&mut stream, &format!("hello {WIRE_VERSION}"))?;
+        match read_frame(&mut stream)? {
+            Some(ok) if ok == format!("ok {WIRE_VERSION}") => Ok(ServeClient { stream }),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("handshake failed: {other:?}"),
+            )),
+        }
+    }
+
+    /// Submits a campaign. On acceptance the connection starts
+    /// streaming — drain it with [`ServeClient::next_event`].
+    ///
+    /// # Errors
+    ///
+    /// I/O failures; protocol violations are
+    /// [`io::ErrorKind::InvalidData`].
+    pub fn submit(&mut self, request: &SubmitRequest) -> io::Result<Submission> {
+        write_frame(&mut self.stream, &request.encode())?;
+        let line = self.expect_frame()?;
+        if let Some(id) = line.strip_prefix("accepted id=") {
+            return Ok(Submission::Accepted { id: id.to_owned() });
+        }
+        if let Some(rest) = line.strip_prefix("rejected reason=") {
+            let reason = rest.split_whitespace().next().unwrap_or(rest).to_owned();
+            return Ok(Submission::Rejected { reason });
+        }
+        Err(bad_frame(&line))
+    }
+
+    /// Reattaches to a campaign, streaming from line index `from`.
+    /// Returns the server-reported line count at attach time.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures; an unknown campaign is [`io::ErrorKind::NotFound`].
+    pub fn attach(&mut self, tenant: &str, id: &str, from: usize) -> io::Result<usize> {
+        write_frame(
+            &mut self.stream,
+            &format!("attach tenant={tenant} id={id} from={from}"),
+        )?;
+        let line = self.expect_frame()?;
+        if line.starts_with("attached id=") {
+            let lines = line
+                .rsplit_once("lines=")
+                .and_then(|(_, n)| n.parse().ok())
+                .ok_or_else(|| bad_frame(&line))?;
+            return Ok(lines);
+        }
+        if line.starts_with("rejected reason=unknown-campaign") {
+            return Err(io::Error::new(io::ErrorKind::NotFound, line));
+        }
+        Err(bad_frame(&line))
+    }
+
+    /// The next streaming event. Call repeatedly after a successful
+    /// [`ServeClient::submit`]/[`ServeClient::attach`] until a terminal
+    /// event ([`Event::Done`], [`Event::Parked`], [`Event::Error`]).
+    ///
+    /// # Errors
+    ///
+    /// I/O failures; unexpected frames are
+    /// [`io::ErrorKind::InvalidData`].
+    pub fn next_event(&mut self) -> io::Result<Event> {
+        let line = self.expect_frame()?;
+        if let Some(trace) = line.strip_prefix("trace ") {
+            return Ok(Event::Trace(trace.to_owned()));
+        }
+        if line.starts_with("done ") {
+            let summary = DoneSummary::parse(&line).map_err(|e| {
+                io::Error::new(io::ErrorKind::InvalidData, format!("bad done line: {e}"))
+            })?;
+            return Ok(Event::Done(summary));
+        }
+        if line.starts_with("parked ") {
+            let mut id = String::new();
+            let mut generation = 0;
+            let mut lines = 0;
+            for tok in line.split_whitespace().skip(1) {
+                match tok.split_once('=') {
+                    Some(("id", v)) => id = v.to_owned(),
+                    Some(("generation", v)) => generation = v.parse().unwrap_or(0),
+                    Some(("lines", v)) => lines = v.parse().unwrap_or(0),
+                    _ => {}
+                }
+            }
+            return Ok(Event::Parked {
+                id,
+                generation,
+                lines,
+            });
+        }
+        if let Some(msg) = line.strip_prefix("error ") {
+            return Ok(Event::Error(msg.to_owned()));
+        }
+        Err(bad_frame(&line))
+    }
+
+    /// Drains events until the terminal one, collecting trace lines.
+    ///
+    /// # Errors
+    ///
+    /// As [`ServeClient::next_event`].
+    pub fn drain(&mut self) -> io::Result<(Vec<String>, Event)> {
+        let mut traces = Vec::new();
+        loop {
+            match self.next_event()? {
+                Event::Trace(line) => traces.push(line),
+                terminal => return Ok((traces, terminal)),
+            }
+        }
+    }
+
+    /// Round-trip liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, or an unexpected response frame.
+    pub fn ping(&mut self) -> io::Result<()> {
+        write_frame(&mut self.stream, "ping")?;
+        match self.expect_frame()?.as_str() {
+            "pong" => Ok(()),
+            other => Err(bad_frame(other)),
+        }
+    }
+
+    /// The server's `stats …` line (campaign and shared-cache counters).
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, or an unexpected response frame.
+    pub fn stats(&mut self) -> io::Result<String> {
+        write_frame(&mut self.stream, "stats")?;
+        let line = self.expect_frame()?;
+        if line.starts_with("stats ") || line == "stats" {
+            Ok(line)
+        } else {
+            Err(bad_frame(&line))
+        }
+    }
+
+    /// Requests graceful shutdown: the server checkpoints and parks
+    /// every in-flight campaign, then exits its accept loop.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, or an unexpected response frame.
+    pub fn shutdown(&mut self) -> io::Result<()> {
+        write_frame(&mut self.stream, "shutdown")?;
+        match self.expect_frame()?.as_str() {
+            "bye" => Ok(()),
+            other => Err(bad_frame(other)),
+        }
+    }
+
+    fn expect_frame(&mut self) -> io::Result<String> {
+        read_frame(&mut self.stream)?.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "server closed the connection")
+        })
+    }
+}
+
+fn bad_frame(line: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("unexpected frame {line:?}"),
+    )
+}

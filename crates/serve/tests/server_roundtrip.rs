@@ -1,0 +1,167 @@
+//! Server round-trip contracts: digest parity with in-process runs,
+//! cross-tenant cache sharing, admission control, and the request
+//! surface (`ping`/`stats`).
+
+mod common;
+
+use common::{fresh_root, local_digest, tiny_request, RunningServer};
+
+use clre::CampaignPlan;
+use clre_serve::client::{Event, ServeClient, Submission};
+use clre_serve::server::ServeConfig;
+
+fn submit_and_drain(addr: &str, request: &clre_serve::wire::SubmitRequest) -> (Vec<String>, Event) {
+    let mut client = ServeClient::connect(addr).expect("connect");
+    match client.submit(request).expect("submit") {
+        Submission::Accepted { .. } => {}
+        Submission::Rejected { reason } => panic!("rejected: {reason}"),
+    }
+    client.drain().expect("drain")
+}
+
+/// The determinism contract: a campaign run through the server — pooled
+/// workers, shared cache, fair gate, supervision — produces a front
+/// digest bit-identical to the same plan run in-process (serial, no
+/// cache). Checked for the single-stage fcCLR and the seeded two-stage
+/// proposed flow.
+#[test]
+fn server_digest_matches_in_process_for_fc_and_proposed() {
+    let server = RunningServer::start(ServeConfig::new(fresh_root("parity")).with_workers(2));
+    for (tenant, plan) in [
+        ("alpha", CampaignPlan::fc()),
+        ("beta", CampaignPlan::proposed()),
+    ] {
+        let request = tiny_request(tenant, plan, 4);
+        let expected = local_digest(&request);
+        let (traces, terminal) = submit_and_drain(&server.addr, &request);
+        assert!(
+            !traces.is_empty(),
+            "{tenant}: live trace lines streamed per generation"
+        );
+        assert!(
+            traces.iter().all(|l| l.starts_with("trace-v1 ")),
+            "{tenant}: events carry trace-v1 payloads"
+        );
+        match terminal {
+            Event::Done(summary) => {
+                assert_eq!(
+                    summary.digest, expected,
+                    "{tenant}: server front must be bit-identical to in-process"
+                );
+                assert!(summary.points > 0);
+            }
+            other => panic!("{tenant}: expected done, got {other:?}"),
+        }
+    }
+    server.stop();
+}
+
+/// Two tenants on the same platform run concurrently against one shared
+/// cache: both fronts stay bit-identical to their isolated in-process
+/// runs, and the second tenant's library build is answered from the
+/// first tenant's L1 task-analysis entries (cross-tenant hits > 0).
+#[test]
+fn concurrent_tenants_share_the_analysis_cache_without_result_drift() {
+    let server = RunningServer::start(ServeConfig::new(fresh_root("xtenant")).with_workers(2));
+    let fc = tiny_request("alpha", CampaignPlan::fc(), 4);
+    let pf = tiny_request("beta", CampaignPlan::pf(), 4);
+    let expected_fc = local_digest(&fc);
+    let expected_pf = local_digest(&pf);
+
+    // Isolated baseline for the hit accounting: each campaign alone
+    // against a private cache.
+    let isolated_hits: u64 = [&fc, &pf]
+        .iter()
+        .map(|req| {
+            let (platform, graph) = clre_serve::server::build_app(&req.app).unwrap();
+            let cache = clre::EvalCache::shared();
+            let dse = clre::methodology::ClrEarly::with_tdse_config(
+                &graph,
+                &platform,
+                clre::tdse::TdseConfig::default().with_eval_cache(std::sync::Arc::clone(&cache)),
+            )
+            .unwrap()
+            .with_cache(std::sync::Arc::clone(&cache));
+            dse.run_campaign(&req.plan, &req.budget).unwrap();
+            cache.analysis_counts().hits
+        })
+        .sum();
+
+    let addr = server.addr.clone();
+    let results = std::thread::scope(|scope| {
+        let handles = [
+            scope.spawn(|| submit_and_drain(&addr, &fc)),
+            scope.spawn(|| submit_and_drain(&addr, &pf)),
+        ];
+        handles.map(|h| h.join().expect("tenant thread"))
+    });
+    for ((_, terminal), expected) in results.iter().zip([expected_fc, expected_pf]) {
+        match terminal {
+            Event::Done(summary) => assert_eq!(
+                summary.digest, expected,
+                "shared cache must not perturb either tenant's front"
+            ),
+            other => panic!("expected done, got {other:?}"),
+        }
+    }
+
+    let mut client = ServeClient::connect(&server.addr).expect("connect");
+    let stats = client.stats().expect("stats");
+    let shared_hits: u64 = stats
+        .split_whitespace()
+        .find_map(|tok| tok.strip_prefix("cache.paper.analysis_hits=")?.parse().ok())
+        .expect("stats reports the paper-platform cache");
+    assert!(
+        shared_hits > isolated_hits,
+        "cross-tenant L1 hits required: shared={shared_hits} vs isolated-sum={isolated_hits} \
+         (stats: {stats})"
+    );
+    server.stop();
+}
+
+/// Admission control rejects deterministically: a zero per-tenant quota
+/// reports `tenant-quota`, a zero global ceiling reports `server-busy`,
+/// and a malformed submit line never reaches admission.
+#[test]
+fn admission_rejections_are_reported_with_reasons() {
+    let server = RunningServer::start(ServeConfig::new(fresh_root("quota")).with_tenant_quota(0));
+    let mut client = ServeClient::connect(&server.addr).expect("connect");
+    match client
+        .submit(&tiny_request("alpha", CampaignPlan::fc(), 2))
+        .expect("submit")
+    {
+        Submission::Rejected { reason } => assert_eq!(reason, "tenant-quota"),
+        other => panic!("expected rejection, got {other:?}"),
+    }
+    server.stop();
+
+    let server = RunningServer::start(ServeConfig::new(fresh_root("busy")).with_max_active(0));
+    let mut client = ServeClient::connect(&server.addr).expect("connect");
+    match client
+        .submit(&tiny_request("alpha", CampaignPlan::fc(), 2))
+        .expect("submit")
+    {
+        Submission::Rejected { reason } => assert_eq!(reason, "server-busy"),
+        other => panic!("expected rejection, got {other:?}"),
+    }
+    client
+        .ping()
+        .expect("connection stays usable after rejection");
+    server.stop();
+}
+
+/// The request surface outside campaign streaming: ping, stats on an
+/// idle server, and unknown-campaign attach.
+#[test]
+fn ping_stats_and_unknown_attach_behave() {
+    let server = RunningServer::start(ServeConfig::new(fresh_root("surface")));
+    let mut client = ServeClient::connect(&server.addr).expect("connect");
+    client.ping().expect("pong");
+    let stats = client.stats().expect("stats");
+    assert!(stats.contains("active=0"), "idle server: {stats}");
+    let err = client
+        .attach("ghost", "c99", 0)
+        .expect_err("unknown campaign is an error");
+    assert_eq!(err.kind(), std::io::ErrorKind::NotFound);
+    server.stop();
+}

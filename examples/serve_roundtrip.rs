@@ -1,0 +1,85 @@
+//! Campaign-as-a-service round trip: stands up an in-process
+//! `clre-serve` server on an ephemeral port, submits a campaign over the
+//! wire, prints the live per-generation trace stream, and checks the
+//! streamed front digest against the same campaign run in-process — the
+//! server's determinism contract.
+//!
+//! ```sh
+//! cargo run --release --example serve_roundtrip -- 20 16 8
+//! #                                     tasks ────┘   │  └─ generations
+//! #                                     population ───┘
+//! ```
+
+use clrearly::core::methodology::{ClrEarly, StageBudget};
+use clrearly::core::CampaignPlan;
+use clrearly::serve::client::{Event, ServeClient, Submission};
+use clrearly::serve::server::{build_app, front_digest, ServeConfig, Server};
+use clrearly::serve::wire::{AppSpec, SubmitRequest};
+
+fn main() {
+    let args: Vec<usize> = std::env::args()
+        .skip(1)
+        .map(|a| a.parse().expect("numeric argument"))
+        .collect();
+    let tasks = args.first().copied().unwrap_or(20);
+    let population = args.get(1).copied().unwrap_or(16);
+    let generations = args.get(2).copied().unwrap_or(8);
+
+    let request = SubmitRequest {
+        tenant: "demo".to_owned(),
+        app: AppSpec::Synthetic {
+            tasks,
+            seed: 7 + tasks as u64,
+        },
+        budget: StageBudget::new(population, generations).with_seed(11),
+        plan: CampaignPlan::proposed(),
+    };
+
+    // The server: own thread, ephemeral port, throw-away state dir.
+    let root = std::env::temp_dir().join(format!("clre-serve-example-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let server = Server::bind("127.0.0.1:0", ServeConfig::new(&root).with_workers(2))
+        .expect("bind ephemeral");
+    let addr = server.local_addr().expect("local addr").to_string();
+    let stop = server.stop_flag();
+    let server_thread = std::thread::spawn(move || server.run());
+    println!("server listening on {addr}");
+
+    // Submit over the wire and stream every generation as it lands.
+    let mut client = ServeClient::connect(&addr).expect("connect");
+    let id = match client.submit(&request).expect("submit") {
+        Submission::Accepted { id } => id,
+        Submission::Rejected { reason } => panic!("rejected: {reason}"),
+    };
+    println!("accepted id={id}");
+    let summary = loop {
+        match client.next_event().expect("event") {
+            Event::Trace(line) => println!("  {line}"),
+            Event::Done(summary) => break summary,
+            other => panic!("campaign did not complete: {other:?}"),
+        }
+    };
+    println!(
+        "server: digest={:016x} points={} evaluations={}",
+        summary.digest, summary.points, summary.evaluations
+    );
+
+    // The determinism contract: the identical campaign in-process
+    // (serial, uncached) must produce the same front digest.
+    let (platform, graph) = build_app(&request.app).expect("app builds");
+    let local = ClrEarly::new(&graph, &platform)
+        .expect("tDSE succeeds")
+        .run_campaign(&request.plan, &request.budget)
+        .expect("in-process campaign completes");
+    let local_digest = front_digest(&local);
+    println!("local:  digest={local_digest:016x}");
+    assert_eq!(
+        summary.digest, local_digest,
+        "server and in-process fronts diverge"
+    );
+    println!("digests identical — the server changes where campaigns run, never what they return");
+
+    stop.store(true, std::sync::atomic::Ordering::SeqCst);
+    server_thread.join().expect("server thread");
+    let _ = std::fs::remove_dir_all(&root);
+}

@@ -14,6 +14,8 @@
 //! * [`exec`] — deterministic parallel evaluation engine and telemetry.
 //! * [`chaos`] — deterministic chaos injection: seeded fault plans,
 //!   fault-injecting problem wrappers and sidecar corruption.
+//! * [`serve`] — campaign-as-a-service: the resident multi-tenant DSE
+//!   server (`clre-server`/`clre-client`), wire protocol and client.
 //! * [`num`] — dense linear algebra and `Γ(x)`.
 //!
 //! # Examples
@@ -43,5 +45,6 @@ pub use clre_moea as moea;
 pub use clre_num as num;
 pub use clre_profile as profile;
 pub use clre_sched as sched;
+pub use clre_serve as serve;
 pub use clre_sim as sim;
 pub use clre_tgff as tgff;

@@ -1,0 +1,99 @@
+//! Multi-tenant cache sharing without the server: two campaigns on the
+//! same platform run concurrently against one shared [`EvalCache`], and
+//! (a) each front stays bit-identical to the campaign run alone on a
+//! private cache, while (b) the shared cache answers strictly more L1
+//! task-analysis lookups than the two isolated runs combined — the
+//! cross-tenant warm-start the `clre-serve` server builds on.
+
+use std::sync::Arc;
+
+use clrearly::core::apps;
+use clrearly::core::cache::EvalCache;
+use clrearly::core::methodology::{ClrEarly, FrontResult, StageBudget};
+use clrearly::core::tdse::TdseConfig;
+use clrearly::core::CampaignPlan;
+use clrearly::exec::{ExecPool, Executor};
+
+/// Fronts must agree to the bit: same genomes, same objective bit
+/// patterns (stricter than `==`, which would let `-0.0` pass for `0.0`).
+fn assert_bit_identical(a: &FrontResult, b: &FrontResult) {
+    assert_eq!(a.front().len(), b.front().len(), "front sizes differ");
+    for (pa, pb) in a.front().iter().zip(b.front()) {
+        assert_eq!(pa.genome, pb.genome, "front genomes differ");
+        assert_eq!(pa.objectives.len(), pb.objectives.len());
+        for (x, y) in pa.objectives.iter().zip(&pb.objectives) {
+            assert_eq!(x.to_bits(), y.to_bits(), "objective bits differ");
+        }
+    }
+}
+
+/// Runs `plan` against the shared `cache` — both as the tDSE analysis
+/// cache and the fitness cache, exactly as the server wires it.
+fn run_with_cache(
+    graph: &clrearly::model::TaskGraph,
+    platform: &clrearly::model::Platform,
+    cache: &Arc<EvalCache>,
+    plan: &CampaignPlan,
+    budget: &StageBudget,
+) -> FrontResult {
+    ClrEarly::with_tdse_config(
+        graph,
+        platform,
+        TdseConfig::default().with_eval_cache(Arc::clone(cache)),
+    )
+    .expect("tDSE succeeds")
+    .with_executor(Executor::new(ExecPool::new(2)))
+    .with_cache(Arc::clone(cache))
+    .run_campaign(plan, budget)
+    .expect("campaign completes")
+}
+
+#[test]
+fn concurrent_campaigns_share_l1_analysis_entries_without_front_drift() {
+    let (platform, graph) = apps::synthetic_app(12, 3).expect("synthetic app");
+    let budget = StageBudget::new(8, 4).with_seed(11);
+    let plans = [CampaignPlan::fc(), CampaignPlan::pf()];
+
+    // Isolated baselines: each campaign alone on a private cache. The
+    // hit counts these accumulate are pure self-hits — the bar the
+    // shared run must clear to prove cross-tenant reuse.
+    let mut isolated_fronts = Vec::new();
+    let mut isolated_hits = 0u64;
+    for plan in &plans {
+        let cache = EvalCache::shared();
+        isolated_fronts.push(run_with_cache(&graph, &platform, &cache, plan, &budget));
+        isolated_hits += cache.analysis_counts().hits;
+    }
+
+    // The shared run: both campaigns concurrently against one cache,
+    // each building its own chain library — the second library build is
+    // answered from the first tenant's L1 entries.
+    let shared = EvalCache::shared();
+    let shared_fronts = std::thread::scope(|scope| {
+        let handles = plans
+            .each_ref()
+            .map(|plan| scope.spawn(|| run_with_cache(&graph, &platform, &shared, plan, &budget)));
+        handles.map(|h| h.join().expect("campaign thread"))
+    });
+
+    for (isolated, concurrent) in isolated_fronts.iter().zip(&shared_fronts) {
+        assert_bit_identical(isolated, concurrent);
+    }
+    let shared_hits = shared.analysis_counts().hits;
+    assert!(
+        shared_hits > isolated_hits,
+        "cross-tenant L1 hits required: shared={shared_hits} vs isolated-sum={isolated_hits}"
+    );
+
+    // And sharing saves work, not just lookups: fewer fresh analysis
+    // inserts than two isolated runs would have performed in total.
+    let isolated_inserts: u64 = {
+        let cache = EvalCache::shared();
+        let _ = run_with_cache(&graph, &platform, &cache, &plans[0], &budget);
+        2 * cache.analysis_counts().inserts
+    };
+    assert!(
+        shared.analysis_counts().inserts < isolated_inserts,
+        "shared cache must dedupe analysis inserts across tenants"
+    );
+}
