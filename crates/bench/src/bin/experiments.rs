@@ -3,7 +3,8 @@
 //! Usage: `experiments <id> [--smoke|--tiny] [--workers N] [--trace FILE]
 //! [--ledger FILE] [--halt-after-cells N] [--cache FILE]` where `<id>` is
 //! one of `fig6a fig6b table4 fig7 table5 fig8 table6 fig9 fig10 table7
-//! scaling chkpt multiobj ablations cachebench kernelbench chaos all`.
+//! scaling chkpt multiobj ablations cachebench kernelbench scenariobench
+//! servebench chaos all`.
 //!
 //! `--workers N` sets the evaluation worker-pool size (default: available
 //! parallelism); results are bit-identical for any value. `--trace FILE`
@@ -21,13 +22,13 @@
 use std::path::PathBuf;
 
 use clre_bench::{
-    cachebench, chaosbench, exec_settings, kernelbench, perfgate, servebench, sweep, system,
-    tasklevel, RunScale,
+    cachebench, chaosbench, exec_settings, kernelbench, perfgate, scenariobench, servebench, sweep,
+    system, tasklevel, RunScale,
 };
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments <fig6a|fig6b|table4|fig7|table5|fig8|table6|fig9|fig10|table7|scaling|chkpt|multiobj|ablations|cachebench|kernelbench|servebench|chaos|all> [--smoke|--tiny] [--workers N] [--trace FILE] [--ledger FILE] [--halt-after-cells N] [--cache FILE]\n       experiments perfgate --baseline FILE --current FILE"
+        "usage: experiments <fig6a|fig6b|table4|fig7|table5|fig8|table6|fig9|fig10|table7|scaling|chkpt|multiobj|ablations|cachebench|kernelbench|scenariobench|servebench|chaos|all> [--smoke|--tiny] [--workers N] [--trace FILE] [--ledger FILE] [--halt-after-cells N] [--cache FILE]\n       experiments perfgate --baseline FILE --current FILE"
     );
     std::process::exit(2);
 }
@@ -142,6 +143,7 @@ fn main() {
         "cachebench" => cachebench::eval_cache(scale),
         "chaos" => chaosbench::chaos(scale),
         "kernelbench" => kernelbench::moea_kernels(scale),
+        "scenariobench" => scenariobench::scenarios(scale),
         "servebench" => servebench::serve(scale),
         "all" => clre_bench::run_all(scale),
         _ => usage(),

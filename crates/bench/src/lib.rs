@@ -29,6 +29,7 @@ pub mod exec_settings;
 pub mod kernelbench;
 pub mod perfgate;
 pub mod report;
+pub mod scenariobench;
 pub mod servebench;
 pub mod sweep;
 pub mod system;

@@ -1,4 +1,4 @@
-//! Performance trend gate over the MOEA kernel benchmark.
+//! Performance trend gate over the MOEA kernel and scenario benchmarks.
 //!
 //! CI runs `experiments kernelbench` and diffs the fresh
 //! `BENCH_moea_kernels.json` against the committed baseline with
@@ -8,10 +8,19 @@
 //! floor keeps sub-millisecond cells from tripping on scheduler jitter
 //! (doubling 40 µs is not a regression signal).
 //!
-//! The reports are the hand-formatted JSON the bench writes — one cell
-//! object per line inside `"cases": [...]` — so the parser here is a
-//! line-oriented key scanner, not a general JSON reader. A baseline that
-//! stops matching that shape is a hard error, never a silent pass.
+//! The same gate covers `BENCH_scenarios.json` via
+//! [`compare_scenarios`]: each reliability scenario's
+//! `chain_analysis_us` cell (the Markov solves of that scenario's chain
+//! templates) is held to the identical allowance, so a new or modified
+//! chain template cannot silently regress the task-level analysis cost.
+//! [`gate_files`] dispatches on the report's `"bench"` header, so one
+//! `experiments perfgate --baseline --current` invocation serves both.
+//!
+//! The reports are the hand-formatted JSON the benches write — one cell
+//! object per line inside `"cases": [...]` / `"cells": [...]` — so the
+//! parser here is a line-oriented key scanner, not a general JSON
+//! reader. A baseline that stops matching that shape is a hard error,
+//! never a silent pass.
 
 use std::path::Path;
 
@@ -135,19 +144,113 @@ pub fn compare(baseline: &str, current: &str) -> Result<Vec<Regression>, String>
     Ok(regressions)
 }
 
+/// One scenario cell that got slower than the allowance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioRegression {
+    /// Scenario name of the cell.
+    pub scenario: String,
+    /// Baseline microseconds of the chain analyses.
+    pub baseline_us: u64,
+    /// Current microseconds.
+    pub current_us: u64,
+    /// The allowance the current value exceeded.
+    pub limit_us: u64,
+}
+
+impl std::fmt::Display for ScenarioRegression {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "scenario={} chain_analysis_us: {}us -> {}us (limit {}us)",
+            self.scenario, self.baseline_us, self.current_us, self.limit_us
+        )
+    }
+}
+
+/// Extracts `"scenario": "<name>"` from one cell line.
+fn field_scenario(line: &str) -> Option<&str> {
+    let start = line.find("\"scenario\": \"")? + "\"scenario\": \"".len();
+    let rest = &line[start..];
+    Some(&rest[..rest.find('"')?])
+}
+
+/// Parses every scenario cell line of a scenario-bench report. As
+/// [`parse_cells`], malformed or empty reports are hard errors.
+fn parse_scenario_cells(report: &str, label: &str) -> Result<Vec<(String, u64)>, String> {
+    let mut cells = Vec::new();
+    for line in report.lines() {
+        let Some(name) = field_scenario(line) else {
+            continue;
+        };
+        let us = field_u64(line, "chain_analysis_us").ok_or_else(|| {
+            format!("{label}: scenario {name:?} has no \"chain_analysis_us\" field")
+        })?;
+        cells.push((name.to_owned(), us));
+    }
+    if cells.is_empty() {
+        return Err(format!("{label}: no scenario cells found"));
+    }
+    Ok(cells)
+}
+
+/// Diffs a current scenario-bench report against a baseline report:
+/// each scenario's chain-analysis time must stay within the same
+/// allowance the kernel gate uses. A scenario present in only one
+/// report is an error — a dropped chain-template family must not pass
+/// by omission.
+pub fn compare_scenarios(baseline: &str, current: &str) -> Result<Vec<ScenarioRegression>, String> {
+    let base_cells = parse_scenario_cells(baseline, "baseline")?;
+    let cur_cells = parse_scenario_cells(current, "current")?;
+    let mut regressions = Vec::new();
+    for (name, base_us) in &base_cells {
+        let (_, cur_us) = cur_cells
+            .iter()
+            .find(|(n, _)| n == name)
+            .ok_or_else(|| format!("current report lost scenario {name:?}"))?;
+        let limit_us = limit(*base_us);
+        if *cur_us > limit_us {
+            regressions.push(ScenarioRegression {
+                scenario: name.clone(),
+                baseline_us: *base_us,
+                current_us: *cur_us,
+                limit_us,
+            });
+        }
+    }
+    if cur_cells.len() != base_cells.len() {
+        return Err(format!(
+            "scenario count changed: baseline {} vs current {}",
+            base_cells.len(),
+            cur_cells.len()
+        ));
+    }
+    Ok(regressions)
+}
+
 /// File-level entry point for the `experiments perfgate` subcommand:
-/// reads both reports and renders a human-readable verdict. `Ok` =
-/// gate passed (report text), `Err` = regressions or unreadable input
-/// (the caller exits non-zero).
+/// reads both reports, dispatches on the `"bench"` header
+/// (`moea_kernels` vs `scenarios`), and renders a human-readable
+/// verdict. `Ok` = gate passed (report text), `Err` = regressions or
+/// unreadable input (the caller exits non-zero).
 pub fn gate_files(baseline: &Path, current: &Path) -> Result<String, String> {
     let base = std::fs::read_to_string(baseline)
         .map_err(|e| format!("reading baseline {}: {e}", baseline.display()))?;
     let cur = std::fs::read_to_string(current)
         .map_err(|e| format!("reading current {}: {e}", current.display()))?;
-    let regressions = compare(&base, &cur)?;
+    let regressions: Vec<String> = if base.contains("\"bench\": \"scenarios\"") {
+        compare_scenarios(&base, &cur)?
+            .iter()
+            .map(ToString::to_string)
+            .collect()
+    } else {
+        compare(&base, &cur)?
+            .iter()
+            .map(ToString::to_string)
+            .collect()
+    };
     if regressions.is_empty() {
         Ok(format!(
-            "perfgate: ok — every gated kernel within max(2x, +{ABSOLUTE_SLACK_US}us) of {}\n",
+            "perfgate: ok — every gated timing within max(2x, +{ABSOLUTE_SLACK_US}us) of {}\n",
             baseline.display()
         ))
     } else {
@@ -223,6 +326,86 @@ mod tests {
         assert!(compare("{}", &base).unwrap_err().contains("no benchmark"));
         let torn = base.replace("\"hv_us\": 80", "\"hv_us\": \"oops\"");
         assert!(compare(&base, &torn).unwrap_err().contains("hv_us"));
+    }
+
+    fn scenario_report(cells: &[(&str, u64)]) -> String {
+        let body: Vec<String> = cells
+            .iter()
+            .map(|(name, us)| {
+                format!(
+                    "    {{\"scenario\": \"{name}\", \"catalog\": 80, \"candidates\": 640, \
+                     \"chain_analysis_us\": {us}, \"objectives\": 2, \
+                     \"proposed_digest\": \"00000000deadbeef\", \"proposed_points\": 5}}"
+                )
+            })
+            .collect();
+        format!(
+            "{{\n  \"bench\": \"scenarios\",\n  \"cells\": [\n{}\n  ]\n}}\n",
+            body.join(",\n")
+        )
+    }
+
+    #[test]
+    fn scenario_gate_passes_identical_and_trips_on_regression() {
+        let base = scenario_report(&[("transient", 40_000), ("lifetime:5000", 90_000)]);
+        assert_eq!(compare_scenarios(&base, &base).unwrap(), vec![]);
+        // Within allowance: 40ms -> 79ms is under 2x.
+        let ok = scenario_report(&[("transient", 79_000), ("lifetime:5000", 90_000)]);
+        assert_eq!(compare_scenarios(&base, &ok).unwrap(), vec![]);
+        // Past 2x: the lifetime chain templates got slower.
+        let bad = scenario_report(&[("transient", 40_000), ("lifetime:5000", 200_000)]);
+        let regressions = compare_scenarios(&base, &bad).unwrap();
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].scenario, "lifetime:5000");
+        assert_eq!(regressions[0].limit_us, 180_000);
+        assert!(regressions[0].to_string().contains("chain_analysis_us"));
+    }
+
+    #[test]
+    fn scenario_gate_gives_tiny_cells_the_absolute_slack() {
+        let base = scenario_report(&[("transient", 100)]);
+        let cur = scenario_report(&[("transient", 600)]);
+        assert_eq!(compare_scenarios(&base, &cur).unwrap(), vec![]);
+        let over = scenario_report(&[("transient", 601)]);
+        assert_eq!(compare_scenarios(&base, &over).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn scenario_gate_errors_on_lost_cells_and_malformed_reports() {
+        let base = scenario_report(&[("transient", 100), ("fpga", 200)]);
+        let cur = scenario_report(&[("transient", 100)]);
+        assert!(compare_scenarios(&base, &cur)
+            .unwrap_err()
+            .contains("lost scenario"));
+        assert!(compare_scenarios("{}", &base)
+            .unwrap_err()
+            .contains("no scenario cells"));
+        let torn = base.replace("\"chain_analysis_us\": 200", "\"chain_us\": 200");
+        assert!(compare_scenarios(&base, &torn)
+            .unwrap_err()
+            .contains("chain_analysis_us"));
+    }
+
+    #[test]
+    fn gate_files_dispatches_on_the_bench_header() {
+        let dir = std::env::temp_dir().join(format!("perfgate-dispatch-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let write = |name: &str, body: &str| {
+            let path = dir.join(name);
+            std::fs::write(&path, body).unwrap();
+            path
+        };
+        let kernels = write("k.json", &report(&[(100, 2, [50, 60, 70, 80])]));
+        let scenarios = write("s.json", &scenario_report(&[("transient", 100)]));
+        assert!(gate_files(&kernels, &kernels).is_ok());
+        assert!(gate_files(&scenarios, &scenarios).is_ok());
+        let slow = write("s2.json", &scenario_report(&[("transient", 9_000)]));
+        let fail = gate_files(&scenarios, &slow).unwrap_err();
+        assert!(fail.contains("scenario=transient"), "{fail}");
+        // Mismatched report kinds cannot pass: the scenario parser finds
+        // no cells in a kernel report.
+        assert!(gate_files(&scenarios, &kernels).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -65,6 +65,7 @@ fn request(tenant: &str, plan: CampaignPlan, budget: &StageBudget) -> SubmitRequ
         },
         budget: budget.clone(),
         plan,
+        scenario: clre::Scenario::Transient,
     }
 }
 

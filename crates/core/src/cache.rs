@@ -57,10 +57,12 @@ use std::fmt::Write as _;
 use std::fs;
 use std::io::{self, Write as _};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
-use clre_markov::clr::{ClrChainParams, RobustAnalysis, TaskReliability};
+use clre_markov::clr::{
+    ClrChainParams, ClrChainSpec, FaultMechanism, RobustAnalysis, TaskReliability,
+};
 use clre_model::qos::SystemMetrics;
 
 use crate::encoding::Genome;
@@ -134,6 +136,8 @@ pub struct CacheCounts {
     pub misses: u64,
     /// First-writer insertions (loaded sidecar entries not included).
     pub inserts: u64,
+    /// Entries evicted by the size-capped LRU policy (0 when unbounded).
+    pub evictions: u64,
 }
 
 impl CacheCounts {
@@ -153,6 +157,7 @@ struct LevelStats {
     hits: AtomicU64,
     misses: AtomicU64,
     inserts: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl LevelStats {
@@ -161,6 +166,7 @@ impl LevelStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             inserts: self.inserts.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
 }
@@ -189,8 +195,24 @@ struct FitnessEntry {
     value: CachedFitness,
 }
 
-type AnalysisShard = Mutex<HashMap<u64, (ClrChainParams, RobustAnalysis)>>;
-type FitnessShard = Mutex<HashMap<u64, FitnessEntry>>;
+/// One analysis-cache slot: the exact chain spec (for collision
+/// detection), the memoized analysis, and the LRU recency stamp.
+#[derive(Debug, Clone, Copy)]
+struct AnalysisSlot {
+    spec: ClrChainSpec,
+    analysis: RobustAnalysis,
+    tick: u64,
+}
+
+/// One fitness-cache slot: the entry plus its LRU recency stamp.
+#[derive(Debug, Clone)]
+struct FitnessSlot {
+    entry: FitnessEntry,
+    tick: u64,
+}
+
+type AnalysisShard = Mutex<HashMap<u64, AnalysisSlot>>;
+type FitnessShard = Mutex<HashMap<u64, FitnessSlot>>;
 
 /// The two-level, thread-safe, content-addressed evaluation cache.
 ///
@@ -205,6 +227,13 @@ pub struct EvalCache {
     fitness_stats: LevelStats,
     sidecar: Mutex<Option<fs::File>>,
     sidecar_skipped: AtomicU64,
+    /// Monotonic recency clock shared by both levels; bumped on every
+    /// hit and insert, stamped into the touched slot.
+    tick: AtomicU64,
+    /// Per-level entry ceiling (`0` = unbounded). Enforced per shard as
+    /// `max(1, ceiling / SHARDS)`, so the bound is approximate when keys
+    /// hash unevenly but never exceeds the ceiling by more than a shard.
+    entry_ceiling: AtomicUsize,
 }
 
 impl Default for EvalCache {
@@ -214,7 +243,7 @@ impl Default for EvalCache {
 }
 
 impl EvalCache {
-    /// An empty, unbound (in-memory only) cache.
+    /// An empty, unbound (in-memory only) cache with no entry ceiling.
     pub fn new() -> Self {
         EvalCache {
             analysis: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
@@ -223,6 +252,8 @@ impl EvalCache {
             fitness_stats: LevelStats::default(),
             sidecar: Mutex::new(None),
             sidecar_skipped: AtomicU64::new(0),
+            tick: AtomicU64::new(0),
+            entry_ceiling: AtomicUsize::new(0),
         }
     }
 
@@ -232,25 +263,60 @@ impl EvalCache {
         Arc::new(Self::new())
     }
 
+    /// Sets the per-level entry ceiling (`0` = unbounded). When a level
+    /// exceeds its ceiling the least-recently-used entries are evicted
+    /// (counted in [`CacheCounts::evictions`]). Eviction only affects hit
+    /// rates, never answers: every cached computation is a pure function
+    /// of its key, so a re-miss recomputes the identical bits.
+    pub fn set_entry_ceiling(&self, ceiling: usize) {
+        self.entry_ceiling.store(ceiling, Ordering::Relaxed);
+    }
+
+    /// The current per-level entry ceiling (`0` = unbounded).
+    pub fn entry_ceiling(&self) -> usize {
+        self.entry_ceiling.load(Ordering::Relaxed)
+    }
+
+    /// Per-shard slot budget derived from the ceiling; `None` = unbounded.
+    fn shard_cap(&self) -> Option<usize> {
+        match self.entry_ceiling.load(Ordering::Relaxed) {
+            0 => None,
+            ceiling => Some(std::cmp::max(1, ceiling / SHARDS)),
+        }
+    }
+
+    fn next_tick(&self) -> u64 {
+        self.tick.fetch_add(1, Ordering::Relaxed)
+    }
+
     fn shard(digest: u64) -> usize {
         // The digest's low byte is well-mixed (FNV multiplies last).
         (digest as usize) & (SHARDS - 1)
     }
 
-    /// Looks up a task analysis by exact parameter bits.
+    /// Looks up a task analysis by exact parameter bits (transient
+    /// mechanism).
     ///
     /// Returns `None` on a true miss *and* on a digest collision (the
     /// stored parameters differ bit-wise) — a collision recomputes rather
     /// than ever replaying the wrong analysis.
     pub fn analysis(&self, params: &ClrChainParams) -> Option<RobustAnalysis> {
-        let digest = params.digest();
-        let shard = self.analysis[Self::shard(digest)]
+        self.analysis_spec(&ClrChainSpec::transient(*params))
+    }
+
+    /// Looks up a task analysis by exact chain-spec bits (parameters plus
+    /// fault mechanism). Transient specs share keys with the historic
+    /// parameter-based entries, so pre-mechanism sidecars keep hitting.
+    pub fn analysis_spec(&self, spec: &ClrChainSpec) -> Option<RobustAnalysis> {
+        let digest = spec.digest();
+        let mut shard = self.analysis[Self::shard(digest)]
             .lock()
             .expect("analysis cache poisoned");
-        match shard.get(&digest) {
-            Some((stored, analysis)) if stored == params => {
+        match shard.get_mut(&digest) {
+            Some(slot) if slot.spec == *spec => {
+                slot.tick = self.next_tick();
                 self.analysis_stats.hits.fetch_add(1, Ordering::Relaxed);
-                Some(*analysis)
+                Some(slot.analysis)
             }
             _ => {
                 self.analysis_stats.misses.fetch_add(1, Ordering::Relaxed);
@@ -267,31 +333,55 @@ impl EvalCache {
         params: &ClrChainParams,
         analysis: RobustAnalysis,
     ) -> RobustAnalysis {
-        let digest = params.digest();
-        let (stored, fresh) = {
+        self.insert_analysis_spec(&ClrChainSpec::transient(*params), analysis)
+    }
+
+    /// Inserts a mechanism-aware task analysis (insert-once) and returns
+    /// the stored value.
+    pub fn insert_analysis_spec(
+        &self,
+        spec: &ClrChainSpec,
+        analysis: RobustAnalysis,
+    ) -> RobustAnalysis {
+        let digest = spec.digest();
+        let cap = self.shard_cap();
+        let (stored, fresh, evicted) = {
             let mut shard = self.analysis[Self::shard(digest)]
                 .lock()
                 .expect("analysis cache poisoned");
             match shard.entry(digest) {
                 std::collections::hash_map::Entry::Occupied(e) => {
-                    let (stored_params, stored) = e.get();
+                    let slot = e.get();
                     // A collision slot belongs to the first key; adopt the
                     // stored value only for the matching key.
-                    if stored_params == params {
-                        (*stored, false)
+                    if slot.spec == *spec {
+                        (slot.analysis, false, 0)
                     } else {
-                        (analysis, false)
+                        (analysis, false, 0)
                     }
                 }
                 std::collections::hash_map::Entry::Vacant(e) => {
-                    e.insert((*params, analysis));
-                    (analysis, true)
+                    e.insert(AnalysisSlot {
+                        spec: *spec,
+                        analysis,
+                        tick: self.next_tick(),
+                    });
+                    let evicted = match cap {
+                        Some(cap) => evict_lru(&mut shard, cap, digest, |s| s.tick),
+                        None => 0,
+                    };
+                    (analysis, true, evicted)
                 }
             }
         };
+        if evicted > 0 {
+            self.analysis_stats
+                .evictions
+                .fetch_add(evicted, Ordering::Relaxed);
+        }
         if fresh {
             self.analysis_stats.inserts.fetch_add(1, Ordering::Relaxed);
-            self.append_line(&encode_analysis(params, &stored));
+            self.append_line(&encode_analysis_spec(spec, &stored));
         }
         stored
     }
@@ -299,13 +389,14 @@ impl EvalCache {
     /// Looks up a genome fitness by problem digest + exact gene sequence.
     pub fn fitness(&self, problem: u64, genome: &Genome) -> Option<CachedFitness> {
         let digest = fitness_digest(problem, genome);
-        let shard = self.fitness[Self::shard(digest)]
+        let mut shard = self.fitness[Self::shard(digest)]
             .lock()
             .expect("fitness cache poisoned");
-        match shard.get(&digest) {
-            Some(entry) if entry.problem == problem && entry.genome == *genome => {
+        match shard.get_mut(&digest) {
+            Some(slot) if slot.entry.problem == problem && slot.entry.genome == *genome => {
+                slot.tick = self.next_tick();
                 self.fitness_stats.hits.fetch_add(1, Ordering::Relaxed);
-                Some(entry.value)
+                Some(slot.entry.value)
             }
             _ => {
                 self.fitness_stats.misses.fetch_add(1, Ordering::Relaxed);
@@ -323,29 +414,42 @@ impl EvalCache {
         value: CachedFitness,
     ) -> CachedFitness {
         let digest = fitness_digest(problem, genome);
-        let (stored, fresh) = {
+        let cap = self.shard_cap();
+        let (stored, fresh, evicted) = {
             let mut shard = self.fitness[Self::shard(digest)]
                 .lock()
                 .expect("fitness cache poisoned");
             match shard.entry(digest) {
                 std::collections::hash_map::Entry::Occupied(e) => {
-                    let entry = e.get();
+                    let entry = &e.get().entry;
                     if entry.problem == problem && entry.genome == *genome {
-                        (entry.value, false)
+                        (entry.value, false, 0)
                     } else {
-                        (value, false)
+                        (value, false, 0)
                     }
                 }
                 std::collections::hash_map::Entry::Vacant(e) => {
-                    e.insert(FitnessEntry {
-                        problem,
-                        genome: genome.clone(),
-                        value,
+                    e.insert(FitnessSlot {
+                        entry: FitnessEntry {
+                            problem,
+                            genome: genome.clone(),
+                            value,
+                        },
+                        tick: self.next_tick(),
                     });
-                    (value, true)
+                    let evicted = match cap {
+                        Some(cap) => evict_lru(&mut shard, cap, digest, |s| s.tick),
+                        None => 0,
+                    };
+                    (value, true, evicted)
                 }
             }
         };
+        if evicted > 0 {
+            self.fitness_stats
+                .evictions
+                .fetch_add(evicted, Ordering::Relaxed);
+        }
         if fresh {
             self.fitness_stats.inserts.fetch_add(1, Ordering::Relaxed);
             self.append_line(&encode_fitness(problem, genome, &stored));
@@ -372,6 +476,7 @@ impl EvalCache {
             hits: a.hits + f.hits,
             misses: a.misses + f.misses,
             inserts: a.inserts + f.inserts,
+            evictions: a.evictions + f.evictions,
         }
     }
 
@@ -464,21 +569,27 @@ impl EvalCache {
         let Some(body) = verify_line(line) else {
             return false;
         };
-        if let Some((params, analysis)) = parse_analysis(body) {
-            let digest = params.digest();
+        if let Some((spec, analysis)) = parse_analysis_any(body) {
+            let digest = spec.digest();
+            let tick = self.next_tick();
             self.analysis[Self::shard(digest)]
                 .lock()
                 .expect("analysis cache poisoned")
                 .entry(digest)
-                .or_insert((params, analysis));
+                .or_insert(AnalysisSlot {
+                    spec,
+                    analysis,
+                    tick,
+                });
             true
         } else if let Some(entry) = parse_fitness(body) {
             let digest = fitness_digest(entry.problem, &entry.genome);
+            let tick = self.next_tick();
             self.fitness[Self::shard(digest)]
                 .lock()
                 .expect("fitness cache poisoned")
                 .entry(digest)
-                .or_insert(entry);
+                .or_insert(FitnessSlot { entry, tick });
             true
         } else {
             false
@@ -494,6 +605,30 @@ impl EvalCache {
             let _ = writeln!(file, "{line}");
         }
     }
+}
+
+/// Evicts least-recently-used slots from one shard until it holds at most
+/// `cap` entries, never evicting the just-inserted `keep` key. Returns the
+/// number of evictions.
+fn evict_lru<V>(
+    shard: &mut HashMap<u64, V>,
+    cap: usize,
+    keep: u64,
+    tick: impl Fn(&V) -> u64,
+) -> u64 {
+    let mut evicted = 0;
+    while shard.len() > cap {
+        let Some((&victim, _)) = shard
+            .iter()
+            .filter(|(&k, _)| k != keep)
+            .min_by_key(|(_, v)| tick(v))
+        else {
+            break;
+        };
+        shard.remove(&victim);
+        evicted += 1;
+    }
+    evicted
 }
 
 /// The sidecar journal path for a given checkpoint path: `cache.txt` next
@@ -559,12 +694,32 @@ fn parse_f64_hex(tok: &str) -> Option<f64> {
     u64::from_str_radix(tok, 16).ok().map(f64::from_bits)
 }
 
+/// One mechanism-aware analysis line. Transient specs keep the historic
+/// `analysis …` record byte-for-byte (old and new builds share sidecars);
+/// other mechanisms are journalled as
+/// `analysis2 <tag hex> <payload hex> <legacy analysis body>` where
+/// `(tag, payload)` is [`FaultMechanism::encode_words`].
+fn encode_analysis_spec(spec: &ClrChainSpec, analysis: &RobustAnalysis) -> String {
+    if spec.mechanism.is_transient() {
+        return encode_analysis(&spec.params, analysis);
+    }
+    let (tag, payload) = spec.mechanism.encode_words();
+    let legacy = analysis_body(&spec.params, analysis);
+    seal_line(format!("analysis2 {tag:x} {payload:016x}{legacy}"))
+}
+
 /// One analysis line:
 /// `analysis <11 param hex> <intervals> <min> <avg> <err> <degraded> <retried> i=<digest>`
 /// with every `f64` as an IEEE-754 bit pattern (exact round-trip) and a
 /// trailing per-line integrity token.
 fn encode_analysis(params: &ClrChainParams, analysis: &RobustAnalysis) -> String {
-    let mut line = String::from("analysis");
+    seal_line(format!("analysis{}", analysis_body(params, analysis)))
+}
+
+/// The space-prefixed parameter/metrics body shared by `analysis` and
+/// `analysis2` records.
+fn analysis_body(params: &ClrChainParams, analysis: &RobustAnalysis) -> String {
+    let mut line = String::new();
     for v in [
         params.exec_time,
         params.seu_rate,
@@ -589,14 +744,35 @@ fn encode_analysis(params: &ClrChainParams, analysis: &RobustAnalysis) -> String
         u8::from(analysis.degraded),
         u8::from(analysis.retried),
     );
-    seal_line(line)
+    line
 }
 
-fn parse_analysis(line: &str) -> Option<(ClrChainParams, RobustAnalysis)> {
+/// Parses either analysis record flavour into a mechanism-aware spec.
+fn parse_analysis_any(line: &str) -> Option<(ClrChainSpec, RobustAnalysis)> {
     let mut tokens = line.split_whitespace();
-    if tokens.next() != Some("analysis") {
-        return None;
-    }
+    let mechanism = match tokens.next()? {
+        // Historic record: implicitly transient.
+        "analysis" => FaultMechanism::Transient,
+        // Mechanism-tagged record; an unknown tag means a future format —
+        // skip the line (degrade to recomputation) rather than guess.
+        "analysis2" => {
+            let tag = u64::from_str_radix(tokens.next()?, 16).ok()?;
+            let payload_tok = tokens.next()?;
+            if payload_tok.len() != 16 {
+                return None;
+            }
+            let payload = u64::from_str_radix(payload_tok, 16).ok()?;
+            FaultMechanism::decode_words(tag, payload)?
+        }
+        _ => return None,
+    };
+    let (params, analysis) = parse_analysis_body(tokens)?;
+    Some((ClrChainSpec { params, mechanism }, analysis))
+}
+
+fn parse_analysis_body<'a>(
+    mut tokens: impl Iterator<Item = &'a str>,
+) -> Option<(ClrChainParams, RobustAnalysis)> {
     let mut f = || parse_f64_hex(tokens.next()?);
     let exec_time = f()?;
     let seu_rate = f()?;
@@ -915,7 +1091,10 @@ mod tests {
         // A legacy line without a token passes through unchanged.
         let body = &line[..line.rfind(" i=").unwrap()];
         assert_eq!(verify_line(body), Some(body));
-        assert!(parse_analysis(body).is_some(), "legacy lines still parse");
+        assert!(
+            parse_analysis_any(body).is_some(),
+            "legacy lines still parse"
+        );
     }
 
     #[test]
@@ -939,6 +1118,121 @@ mod tests {
     fn sidecar_path_sits_next_to_the_checkpoint() {
         let p = cache_sidecar_path(Path::new("/runs/x/checkpoint.txt"));
         assert_eq!(p, Path::new("/runs/x/cache.txt"));
+    }
+
+    #[test]
+    fn mechanism_specs_get_distinct_entries() {
+        let cache = EvalCache::new();
+        let p = params(1.0);
+        let transient = ClrChainSpec::transient(p);
+        let perm = ClrChainSpec::permanent_aging(p, 25.0);
+        cache.insert_analysis_spec(&transient, analysis(1.0));
+        assert_eq!(
+            cache.analysis_spec(&perm),
+            None,
+            "same params, different mechanism never hits"
+        );
+        cache.insert_analysis_spec(&perm, analysis(2.0));
+        assert_eq!(cache.analysis_spec(&transient), Some(analysis(1.0)));
+        assert_eq!(cache.analysis_spec(&perm), Some(analysis(2.0)));
+        // The params-based API is the transient spec API.
+        assert_eq!(cache.analysis(&p), Some(analysis(1.0)));
+        assert_eq!(cache.analysis_len(), 2);
+    }
+
+    #[test]
+    fn mechanism_entries_roundtrip_the_sidecar() {
+        let path = temp_path("mechanism.cache");
+        let _ = fs::remove_file(&path);
+        let cache = EvalCache::new();
+        cache.bind_sidecar(&path).unwrap();
+        let perm = ClrChainSpec::permanent_aging(params(1.0), 25.0);
+        cache.insert_analysis_spec(&perm, analysis(2.0));
+        cache.insert_analysis(&params(2.0), analysis(3.0));
+
+        let text = fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\nanalysis2 1 "), "tagged record: {text}");
+        assert!(text.contains("\nanalysis "), "legacy record kept verbatim");
+
+        let warm = EvalCache::new();
+        warm.bind_sidecar(&path).unwrap();
+        assert_eq!(warm.analysis_spec(&perm), Some(analysis(2.0)));
+        assert_eq!(warm.analysis(&params(2.0)), Some(analysis(3.0)));
+
+        // An analysis2 line with an unknown mechanism tag is foreign:
+        // skipped and counted, never guessed at.
+        let body = "analysis2 7 0000000000000000 junk";
+        let mut fnv = Fnv::new();
+        fnv.write_bytes(body.as_bytes());
+        fs::write(
+            &path,
+            format!("{CACHE_HEADER}\n{body} i={:016x}\n", fnv.finish()),
+        )
+        .unwrap();
+        let future = EvalCache::new();
+        future.bind_sidecar(&path).unwrap();
+        assert_eq!(future.analysis_len(), 0);
+        assert_eq!(future.sidecar_skipped(), 1);
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn lru_eviction_bounds_entries_and_counts() {
+        let cache = EvalCache::new();
+        cache.set_entry_ceiling(SHARDS); // one slot per shard
+        assert_eq!(cache.entry_ceiling(), SHARDS);
+        for i in 0..200 {
+            cache.insert_analysis(&params(1.0 + i as f64), analysis(1.0));
+        }
+        assert!(
+            cache.analysis_len() <= SHARDS,
+            "ceiling enforced: {} entries",
+            cache.analysis_len()
+        );
+        let counts = cache.analysis_counts();
+        assert_eq!(counts.inserts, 200);
+        assert_eq!(counts.evictions, 200 - cache.analysis_len() as u64);
+        assert_eq!(cache.counts().evictions, counts.evictions);
+
+        // Fitness level is bounded by the same ceiling.
+        for i in 0..100 {
+            cache.insert_fitness(u64::from(i), &genome(i), fitness_value(1.0));
+        }
+        assert!(cache.fitness_len() <= SHARDS);
+        assert!(cache.fitness_counts().evictions > 0);
+
+        // Eviction never corrupts answers: a re-inserted key replays its
+        // stored value exactly.
+        let p = params(500.0);
+        cache.insert_analysis(&p, analysis(5.0));
+        assert_eq!(cache.analysis(&p), Some(analysis(5.0)));
+    }
+
+    #[test]
+    fn lru_evicts_the_least_recently_used() {
+        let cache = EvalCache::new();
+        // Unbounded while warming, then capped: recently-touched entries
+        // must survive a later squeeze.
+        let hot = params(1.0);
+        for i in 0..40 {
+            cache.insert_analysis(&params(1.0 + i as f64), analysis(1.0));
+        }
+        assert_eq!(cache.analysis(&hot), Some(analysis(1.0))); // refresh
+        cache.set_entry_ceiling(SHARDS);
+        // Inserts into the hot entry's shard trigger evictions there; the
+        // hot entry was just touched so colder keys go first.
+        for i in 100..140 {
+            cache.insert_analysis(&params(1.0 + i as f64), analysis(1.0));
+        }
+        let still_hot = cache.analysis(&hot).is_some();
+        let total = cache.analysis_len();
+        assert!(total <= SHARDS + 40, "squeeze converges: {total}");
+        // The hot entry survives unless its own shard overflowed past it;
+        // with one slot per shard the newest insert wins, so just assert
+        // the lookup stays coherent either way.
+        if still_hot {
+            assert_eq!(cache.analysis(&hot), Some(analysis(1.0)));
+        }
     }
 
     #[test]

@@ -44,6 +44,14 @@ pub enum DseError {
         /// The injected failure message.
         what: String,
     },
+    /// A reliability-scenario string could not be parsed — an unknown
+    /// axis name or a malformed parameter. Carries the offending input
+    /// so callers (e.g. the campaign server's submit path) can report
+    /// it without panicking.
+    Scenario {
+        /// Description of the parse failure, including the input.
+        what: String,
+    },
 }
 
 impl fmt::Display for DseError {
@@ -59,6 +67,7 @@ impl fmt::Display for DseError {
             DseError::InvalidGenome { what } => write!(f, "invalid genome: {what}"),
             DseError::Checkpoint { what } => write!(f, "checkpoint error: {what}"),
             DseError::Injected { what } => write!(f, "injected fault: {what}"),
+            DseError::Scenario { what } => write!(f, "invalid scenario: {what}"),
         }
     }
 }

@@ -78,6 +78,7 @@ pub mod library;
 pub mod methodology;
 pub mod problem;
 pub mod resilience;
+pub mod scenario;
 pub mod tdse;
 
 pub use cache::{CacheCounts, CachedFitness, EvalCache};
@@ -89,4 +90,5 @@ pub use resilience::{
     AlgorithmTag, Checkpoint, CompletedStage, HealthHandle, QuarantineRecord, RunHealth,
     RunOutcome, RunSupervisor, SupervisorConfig,
 };
-pub use tdse::TdseConfig;
+pub use scenario::Scenario;
+pub use tdse::{ReliabilityModel, TdseConfig};

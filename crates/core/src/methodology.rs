@@ -250,6 +250,30 @@ impl<'a> ClrEarly<'a> {
         })
     }
 
+    /// Creates an orchestrator configured by a reliability
+    /// [`Scenario`](crate::scenario::Scenario): the scenario's CLR
+    /// catalog and fault mechanism parameterize the task-level DSE, and
+    /// its objective set becomes the system-level front's axes (the
+    /// `lifetime` scenario optimizes MTTF alongside makespan and error
+    /// probability). Every campaign plan — fc, pf, proposed, Agnostic —
+    /// runs unchanged on the resulting orchestrator.
+    ///
+    /// [`Scenario::Transient`](crate::scenario::Scenario::Transient)
+    /// reproduces [`ClrEarly::new`] bit-for-bit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates task-level DSE failures.
+    pub fn with_scenario(
+        graph: &'a TaskGraph,
+        platform: &'a Platform,
+        scenario: &crate::scenario::Scenario,
+    ) -> Result<Self, DseError> {
+        let tdse = scenario.tdse_config()?;
+        Ok(Self::with_tdse_config(graph, platform, tdse)?
+            .with_objectives(scenario.system_objectives()))
+    }
+
     /// Sets the system-level objective set (builder style).
     #[must_use]
     pub fn with_objectives(mut self, objectives: ObjectiveSet) -> Self {
@@ -776,6 +800,76 @@ mod tests {
     #[should_panic(expected = "non-empty front")]
     fn reference_point_requires_points() {
         reference_point(std::iter::empty::<&[Vec<f64>]>());
+    }
+
+    #[test]
+    fn scenarios_run_every_plan_family_end_to_end() {
+        use crate::scenario::Scenario;
+        let (p, g) = setup(6);
+        let budget = StageBudget::smoke_test();
+        for name in ["lifetime:5000", "chkmodes", "fpga"] {
+            let s = Scenario::parse(name).unwrap();
+            let dse = ClrEarly::with_scenario(&g, &p, &s).unwrap();
+            let objectives = s.system_objectives().len();
+            // `proposed` exercises the pf and seeded-fc stages; the
+            // Agnostic baseline rebuilds all four single-layer
+            // libraries under the scenario's fault mechanism.
+            for result in [
+                dse.run_proposed(&budget).unwrap(),
+                dse.run_agnostic(&budget).unwrap(),
+            ] {
+                assert!(!result.front().is_empty(), "{name}/{}", result.method());
+                for pt in result.front() {
+                    assert_eq!(pt.objectives.len(), objectives, "{name}");
+                    assert!(pt.metrics.makespan > 0.0);
+                    assert!(pt.metrics.mttf > 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lifetime_scenario_front_trades_mttf() {
+        use crate::scenario::Scenario;
+        let (p, g) = setup(8);
+        let s = Scenario::parse("lifetime").unwrap();
+        let dse = ClrEarly::with_scenario(&g, &p, &s).unwrap();
+        let r = dse.run_pf(&StageBudget::smoke_test()).unwrap();
+        // Third objective is negated MTTF, consistent with the metrics.
+        for pt in r.front() {
+            assert_eq!(pt.objectives.len(), 3);
+            assert!((pt.objectives[2] + pt.metrics.mttf).abs() <= 1e-9 * pt.metrics.mttf);
+        }
+    }
+
+    #[test]
+    fn permanent_fault_campaign_survives_a_chaos_storm() {
+        use crate::scenario::Scenario;
+        use clre_markov::clr::SolverFaultPlan;
+        let (p, g) = setup(6);
+        let budget = StageBudget::smoke_test();
+        let storm_cfg = |seed| {
+            Scenario::parse("lifetime:5000")
+                .unwrap()
+                .tdse_config()
+                .unwrap()
+                .with_solver_faults(SolverFaultPlan::new(seed, 1_000_000, 1_000_000))
+        };
+        // Every primary solve and every scaled retry fails: all task
+        // analyses fall through to the degraded closed-form ladder, and
+        // the campaign still completes with a coherent front.
+        let dse = ClrEarly::with_tdse_config(&g, &p, storm_cfg(11)).unwrap();
+        let health = dse.tdse_health();
+        assert!(health.candidates_evaluated > 0);
+        assert_eq!(health.degraded_analyses, health.candidates_evaluated);
+        let front = dse.run_pf(&budget).unwrap();
+        assert!(!front.front().is_empty());
+        // Deterministic: the same storm seed reproduces the same front.
+        let again = ClrEarly::with_tdse_config(&g, &p, storm_cfg(11))
+            .unwrap()
+            .run_pf(&budget)
+            .unwrap();
+        assert_eq!(front.objectives(), again.objectives());
     }
 
     #[test]

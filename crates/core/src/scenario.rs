@@ -1,0 +1,249 @@
+//! Reliability scenarios: the pluggable fault-model / mitigation-axis
+//! presets that parameterize a DSE campaign (DESIGN.md §16).
+//!
+//! A [`Scenario`] bundles the three knobs the reliability-model layer
+//! added to the stack — fault mechanism ([`ReliabilityModel`]), CLR
+//! catalog (which mitigation axes the search may spend), and
+//! system-level objective set — behind one name with a stable string
+//! form, so campaign clients can request e.g. `fc@lifetime:40000`
+//! without hand-assembling a [`TdseConfig`]. Every built-in plan family
+//! (fc / pf / proposed / Agnostic) runs unchanged under every scenario:
+//! plans choose *how to search*, scenarios choose *what physics and
+//! catalog the search sees*.
+//!
+//! The default [`Scenario::Transient`] reproduces the original pipeline
+//! bit-for-bit: default catalog, transient-only chains, bi-objective
+//! fronts — pinned by the digest-stability tests.
+//!
+//! # Examples
+//!
+//! ```
+//! use clre::scenario::Scenario;
+//!
+//! let s = Scenario::parse("lifetime:40000")?;
+//! assert_eq!(s.name(), "lifetime:40000");
+//! assert_eq!(s.system_objectives().len(), 3); // + MTTF
+//! assert!(Scenario::parse("warpdrive").is_err());
+//! # Ok::<(), clre::DseError>(())
+//! ```
+
+use clre_model::qos::ObjectiveSet;
+use clre_model::reliability::ClrConfig;
+
+use crate::tdse::{ReliabilityModel, TdseConfig};
+use crate::DseError;
+
+/// Default mission time (hours) of the `lifetime` scenario shorthand.
+pub const DEFAULT_MISSION_HOURS: f64 = 40_000.0;
+
+/// A named reliability scenario: fault mechanism + catalog axes +
+/// objective set.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[non_exhaustive]
+pub enum Scenario {
+    /// Transient SEUs, default catalog, bi-objective fronts — the
+    /// original pipeline, bit-identical under the digest tests.
+    #[default]
+    Transient,
+    /// Permanent/aging faults compete with SEUs in every chain and the
+    /// front gains a lifetime-MTTF objective. String form
+    /// `lifetime:<hours>`.
+    PermanentAging {
+        /// Mission time in hours at which the Weibull hazard is
+        /// evaluated.
+        mission_time_hours: f64,
+    },
+    /// Heterogeneous checkpointing: the catalog additionally explores
+    /// local (fast, corruptible) and remote (slow, safe) checkpoint
+    /// interval modes per task. String form `chkmodes`.
+    CheckpointModes,
+    /// Reconfigurable-fabric SEU mitigation: the catalog additionally
+    /// explores scrubbing and TMR+scrubbing styles, placeable only on
+    /// reconfigurable-region PEs. String form `fpga`.
+    FpgaMitigation,
+}
+
+impl Scenario {
+    /// The scenario's canonical string form — accepted back by
+    /// [`Scenario::parse`] and used in plan shorthands
+    /// (`proposed@chkmodes`).
+    pub fn name(&self) -> String {
+        match self {
+            Scenario::Transient => "transient".to_owned(),
+            Scenario::PermanentAging { mission_time_hours } => {
+                format!("lifetime:{mission_time_hours}")
+            }
+            Scenario::CheckpointModes => "chkmodes".to_owned(),
+            Scenario::FpgaMitigation => "fpga".to_owned(),
+        }
+    }
+
+    /// Parses a scenario string: `transient`, `lifetime` (default
+    /// mission of [`DEFAULT_MISSION_HOURS`]), `lifetime:<hours>`,
+    /// `chkmodes`, or `fpga`.
+    ///
+    /// # Errors
+    ///
+    /// [`DseError::Scenario`] for an unknown axis name or a
+    /// non-positive / unparsable mission time — a typed error, so
+    /// server submit paths reject bad input without panicking.
+    pub fn parse(input: &str) -> Result<Self, DseError> {
+        let bad = |what: String| Err(DseError::Scenario { what });
+        match input.trim() {
+            "transient" => Ok(Scenario::Transient),
+            "chkmodes" => Ok(Scenario::CheckpointModes),
+            "fpga" => Ok(Scenario::FpgaMitigation),
+            "lifetime" => Ok(Scenario::PermanentAging {
+                mission_time_hours: DEFAULT_MISSION_HOURS,
+            }),
+            s => match s.strip_prefix("lifetime:") {
+                Some(hours) => match hours.parse::<f64>() {
+                    Ok(h) if h.is_finite() && h > 0.0 => Ok(Scenario::PermanentAging {
+                        mission_time_hours: h,
+                    }),
+                    _ => bad(format!("mission time {hours:?} must be a positive number")),
+                },
+                None => bad(format!(
+                    "unknown scenario {s:?} (expected transient, lifetime[:hours], \
+                     chkmodes, or fpga)"
+                )),
+            },
+        }
+    }
+
+    /// The fault mechanism this scenario folds into every Markov chain.
+    pub fn reliability_model(&self) -> ReliabilityModel {
+        match self {
+            Scenario::PermanentAging { mission_time_hours } => ReliabilityModel::PermanentAging {
+                mission_time: mission_time_hours * 3600.0,
+            },
+            _ => ReliabilityModel::Transient,
+        }
+    }
+
+    /// The CLR catalog the task-level DSE enumerates under this
+    /// scenario. [`Scenario::Transient`] and
+    /// [`Scenario::PermanentAging`] keep the default (pinned) catalog;
+    /// the mitigation scenarios opt into their extended catalogs.
+    pub fn clr_catalog(&self) -> Vec<ClrConfig> {
+        match self {
+            Scenario::Transient | Scenario::PermanentAging { .. } => ClrConfig::catalog(),
+            Scenario::CheckpointModes => ClrConfig::checkpoint_mode_catalog(),
+            Scenario::FpgaMitigation => ClrConfig::fpga_mitigation_catalog(),
+        }
+    }
+
+    /// The system-level objective set: bi-objective
+    /// (makespan + error) everywhere except the lifetime scenario,
+    /// which adds negated MTTF.
+    pub fn system_objectives(&self) -> ObjectiveSet {
+        match self {
+            Scenario::PermanentAging { .. } => ObjectiveSet::system_lifetime(),
+            _ => ObjectiveSet::system_bi(),
+        }
+    }
+
+    /// A task-level DSE configuration realizing this scenario on top of
+    /// `base` (catalog and reliability model are overridden; profile,
+    /// cache, executor-level settings are kept).
+    ///
+    /// # Errors
+    ///
+    /// Propagates catalog validation (never fails for the built-in
+    /// catalogs, which are non-empty by construction).
+    pub fn apply_to(&self, base: TdseConfig) -> Result<TdseConfig, DseError> {
+        Ok(base
+            .with_clr_catalog(self.clr_catalog())?
+            .with_reliability_model(self.reliability_model()))
+    }
+
+    /// The task-level DSE configuration of this scenario over the
+    /// default substrate.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Scenario::apply_to`].
+    pub fn tdse_config(&self) -> Result<TdseConfig, DseError> {
+        self.apply_to(TdseConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip_through_parse() {
+        let scenarios = [
+            Scenario::Transient,
+            Scenario::PermanentAging {
+                mission_time_hours: 1234.5,
+            },
+            Scenario::CheckpointModes,
+            Scenario::FpgaMitigation,
+        ];
+        for s in scenarios {
+            assert_eq!(Scenario::parse(&s.name()).unwrap(), s);
+        }
+        assert_eq!(
+            Scenario::parse("lifetime").unwrap(),
+            Scenario::PermanentAging {
+                mission_time_hours: DEFAULT_MISSION_HOURS
+            }
+        );
+        assert_eq!(Scenario::parse(" transient ").unwrap(), Scenario::Transient);
+    }
+
+    #[test]
+    fn unknown_axes_are_typed_errors() {
+        for bad in [
+            "",
+            "warpdrive",
+            "lifetime:",
+            "lifetime:-5",
+            "lifetime:NaN+",
+            "chkmode",
+        ] {
+            match Scenario::parse(bad) {
+                Err(DseError::Scenario { what }) => {
+                    assert!(!what.is_empty(), "{bad:?} needs a message")
+                }
+                other => panic!("{bad:?} must be a scenario error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn transient_scenario_is_the_default_config() {
+        let cfg = Scenario::Transient.tdse_config().unwrap();
+        assert_eq!(cfg, TdseConfig::default());
+        assert_eq!(Scenario::default(), Scenario::Transient);
+        assert_eq!(
+            Scenario::Transient.system_objectives(),
+            ObjectiveSet::system_bi()
+        );
+    }
+
+    #[test]
+    fn scenarios_select_their_axes() {
+        assert_eq!(
+            Scenario::CheckpointModes.clr_catalog().len(),
+            ClrConfig::checkpoint_mode_catalog().len()
+        );
+        assert_eq!(
+            Scenario::FpgaMitigation.clr_catalog().len(),
+            ClrConfig::fpga_mitigation_catalog().len()
+        );
+        let lifetime = Scenario::parse("lifetime:100").unwrap();
+        assert_eq!(
+            lifetime.reliability_model(),
+            ReliabilityModel::PermanentAging {
+                mission_time: 360_000.0
+            }
+        );
+        assert_eq!(
+            lifetime.system_objectives(),
+            ObjectiveSet::system_lifetime()
+        );
+    }
+}

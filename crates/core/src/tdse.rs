@@ -15,8 +15,10 @@
 use std::sync::Arc;
 
 use clre_markov::clr::{
-    analyze_robust, analyze_robust_chaos, ClrChainParams, RobustAnalysis, SolverFaultPlan,
+    analyze_robust_chaos_spec, analyze_robust_spec, ClrChainParams, ClrChainSpec, RobustAnalysis,
+    SolverFaultPlan,
 };
+use clre_model::platform::PeKind;
 use clre_model::qos::{ObjectiveSet, TaskMetrics};
 use clre_model::reliability::ClrConfig;
 use clre_model::{BaseImpl, DvfsMode, DvfsModeId, ImplId, PeType, Platform, TaskGraph, TaskTypeId};
@@ -37,6 +39,35 @@ pub enum DvfsPolicy {
     NominalOnly,
 }
 
+/// Which fault mechanism task-level DSE folds into the Markov chains.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum ReliabilityModel {
+    /// Transient SEUs only — the single-mechanism model of the original
+    /// pipeline. Chain specs carry
+    /// [`clre_markov::clr::FaultMechanism::Transient`], whose digest
+    /// equals the raw parameter digest, so every cache line, chaos-plan
+    /// decision and Pareto front is bit-identical to the pre-spec code.
+    #[default]
+    Transient,
+    /// Transient SEUs compete with permanent/aging faults: each
+    /// candidate folds its PE type's Weibull hazard
+    /// `h(t) = (β/η)·(t/η)^(β−1)` into the chain as a competing
+    /// per-second failure rate, with shape `β` from
+    /// [`PeType::weibull_beta`] and scale `η` evaluated at the
+    /// candidate's *protected* steady-state temperature — TMR heats the
+    /// PE, so it also raises the permanent hazard it must then mask.
+    ///
+    /// Under the default [`ProfileModel`] (η ≈ 10 years) the hazard is
+    /// a small correction to per-execution error probability and the
+    /// lifetime signal mostly flows through the `Mttf` objective;
+    /// accelerated-aging profiles (small `aging_a`) make the permanent
+    /// arm dominate, which the tests exploit.
+    PermanentAging {
+        /// Mission time `t` (seconds) at which the hazard is evaluated.
+        mission_time: f64,
+    },
+}
+
 /// Configuration of one task-level DSE run.
 #[derive(Debug, Clone)]
 pub struct TdseConfig {
@@ -52,7 +83,7 @@ pub struct TdseConfig {
     /// The characterization substrate.
     pub profile: ProfileModel,
     /// Optional task-analysis cache consulted in front of every
-    /// [`analyze_robust`] call. Shared (via [`Arc`]) across library
+    /// [`analyze_robust_spec`] call. Shared (via [`Arc`]) across library
     /// builds so campaign stages and sweep cells hit instead of
     /// re-factoring the same LU systems.
     pub cache: Option<Arc<EvalCache>>,
@@ -64,6 +95,8 @@ pub struct TdseConfig {
     /// cache so fault-free runs sharing the same sidecar never replay a
     /// degraded verdict.
     pub solver_faults: Option<SolverFaultPlan>,
+    /// Which fault mechanism every candidate's Markov chains model.
+    pub reliability_model: ReliabilityModel,
 }
 
 impl PartialEq for TdseConfig {
@@ -78,6 +111,7 @@ impl PartialEq for TdseConfig {
             && self.implicit_masking_override == other.implicit_masking_override
             && self.profile == other.profile
             && self.solver_faults == other.solver_faults
+            && self.reliability_model == other.reliability_model
             && match (&self.cache, &other.cache) {
                 (Some(a), Some(b)) => Arc::ptr_eq(a, b),
                 (None, None) => true,
@@ -96,6 +130,7 @@ impl Default for TdseConfig {
             profile: ProfileModel::default(),
             cache: None,
             solver_faults: None,
+            reliability_model: ReliabilityModel::Transient,
         }
     }
 }
@@ -149,7 +184,7 @@ impl TdseConfig {
     }
 
     /// Attaches a shared evaluation cache (builder style): every
-    /// [`analyze_robust`] call made while building libraries under this
+    /// [`analyze_robust_spec`] call made while building libraries under this
     /// config first consults the cache's task-analysis level.
     #[must_use]
     pub fn with_eval_cache(mut self, cache: Arc<EvalCache>) -> Self {
@@ -196,6 +231,14 @@ impl TdseConfig {
     #[must_use]
     pub fn with_solver_faults(mut self, plan: SolverFaultPlan) -> Self {
         self.solver_faults = Some(plan);
+        self
+    }
+
+    /// Sets the fault-mechanism model (builder style) — see
+    /// [`ReliabilityModel`].
+    #[must_use]
+    pub fn with_reliability_model(mut self, model: ReliabilityModel) -> Self {
+        self.reliability_model = model;
         self
     }
 }
@@ -323,15 +366,17 @@ pub fn evaluate_candidate_cached(
         implicit_masking_override,
         cache,
         None,
+        ReliabilityModel::Transient,
     )
 }
 
 /// [`evaluate_candidate_cached`] under an optional deterministic
-/// [`SolverFaultPlan`]. Analyses the plan selects (by content digest) run
-/// through [`analyze_robust_chaos`] and bypass the cache in both
-/// directions: an injected verdict is never stored, and a clean cached
-/// verdict never masks the injection. Unselected analyses take the normal
-/// cached path, so a zero-rate plan is bit-identical to no plan.
+/// [`SolverFaultPlan`] and an explicit [`ReliabilityModel`]. Analyses the
+/// plan selects (by spec digest) run through [`analyze_robust_chaos_spec`]
+/// and bypass the cache in both directions: an injected verdict is never
+/// stored, and a clean cached verdict never masks the injection.
+/// Unselected analyses take the normal cached path, so a zero-rate plan is
+/// bit-identical to no plan.
 ///
 /// # Errors
 ///
@@ -346,6 +391,7 @@ pub fn evaluate_candidate_chaos(
     implicit_masking_override: Option<f64>,
     cache: Option<&EvalCache>,
     solver_faults: Option<&SolverFaultPlan>,
+    model: ReliabilityModel,
 ) -> Result<(TaskMetrics, RobustAnalysis), DseError> {
     let op = profile.operating_point(imp.cycles(), imp.capacitance(), mode);
     let hw = clr.hw.params();
@@ -353,15 +399,23 @@ pub fn evaluate_candidate_chaos(
     let power = op.power * hw.power_factor * asw.power_factor;
     let temp = profile.steady_temp(power);
     let eta = profile.eta_at(temp);
-    let params = chain_params(imp, pe_type, mode, clr, profile, implicit_masking_override);
+    let spec = chain_spec(
+        imp,
+        pe_type,
+        mode,
+        clr,
+        profile,
+        implicit_masking_override,
+        model,
+    );
     let robust = match solver_faults {
-        Some(plan) if plan.primary_fails(params.digest()) => analyze_robust_chaos(&params, plan)?,
+        Some(plan) if plan.primary_fails(spec.digest()) => analyze_robust_chaos_spec(&spec, plan)?,
         _ => match cache {
-            Some(cache) => match cache.analysis(&params) {
+            Some(cache) => match cache.analysis_spec(&spec) {
                 Some(hit) => hit,
-                None => cache.insert_analysis(&params, analyze_robust(&params)?),
+                None => cache.insert_analysis_spec(&spec, analyze_robust_spec(&spec)?),
             },
-            None => analyze_robust(&params)?,
+            None => analyze_robust_spec(&spec)?,
         },
     };
     let r = robust.reliability;
@@ -413,6 +467,41 @@ pub fn chain_params(
         t_tol: ssw.tolerance_overhead * exec_time,
         t_chk: ssw.checkpoint_overhead * exec_time,
         p_chk_err: ssw.checkpoint_error_prob,
+    }
+}
+
+/// The mechanism-aware chain specification of a fully configured
+/// candidate: [`chain_params`] plus the fault mechanism derived from
+/// `model`. Under [`ReliabilityModel::Transient`] the spec's digest
+/// equals the raw parameter digest, so caches, sidecar files and
+/// solver-fault plans behave exactly as before the mechanism axis
+/// existed. Under [`ReliabilityModel::PermanentAging`] the PE type's
+/// Weibull hazard at mission time — with scale `η` recomputed at the
+/// candidate's protected power, mirroring [`evaluate_candidate`] — is
+/// folded in as a competing permanent-fault rate.
+pub fn chain_spec(
+    imp: &BaseImpl,
+    pe_type: &PeType,
+    mode: &DvfsMode,
+    clr: &ClrConfig,
+    profile: &ProfileModel,
+    implicit_masking_override: Option<f64>,
+    model: ReliabilityModel,
+) -> ClrChainSpec {
+    let params = chain_params(imp, pe_type, mode, clr, profile, implicit_masking_override);
+    match model {
+        ReliabilityModel::Transient => ClrChainSpec::transient(params),
+        ReliabilityModel::PermanentAging { mission_time } => {
+            let op = profile.operating_point(imp.cycles(), imp.capacitance(), mode);
+            let hw = clr.hw.params();
+            let asw = clr.asw.params();
+            let power = op.power * hw.power_factor * asw.power_factor;
+            let eta = profile.eta_at(profile.steady_temp(power));
+            let beta = pe_type.weibull_beta();
+            let t = mission_time.max(0.0);
+            let perm_rate = (beta / eta) * (t / eta).powf(beta - 1.0);
+            ClrChainSpec::permanent_aging(params, perm_rate)
+        }
     }
 }
 
@@ -487,6 +576,14 @@ pub fn candidates_for_type_with_health(
         };
         for (mode_idx, mode) in modes.iter().enumerate() {
             for clr in &config.clr_catalog {
+                // Configuration-memory mitigation styles (scrubbing,
+                // TMR+scrubbing) only exist on reconfigurable fabric; a
+                // processor has no bitstream to scrub.
+                if clr.hw.requires_reconfigurable()
+                    && pe_type.kind() != PeKind::ReconfigurableRegion
+                {
+                    continue;
+                }
                 let (metrics, robust) = evaluate_candidate_chaos(
                     imp,
                     pe_type,
@@ -496,6 +593,7 @@ pub fn candidates_for_type_with_health(
                     config.implicit_masking_override,
                     config.cache.as_deref(),
                     config.solver_faults.as_ref(),
+                    config.reliability_model,
                 )?;
                 health.candidates_evaluated += 1;
                 health.degraded_analyses += usize::from(robust.degraded);
@@ -791,6 +889,134 @@ mod tests {
             counts[1] <= counts[2],
             "set III at least set II: {counts:?}"
         );
+    }
+
+    #[test]
+    fn default_reliability_model_is_transient_and_bit_identical() {
+        let p = paper_platform();
+        let g = test_graph(&p);
+        assert_eq!(
+            TdseConfig::default().reliability_model,
+            ReliabilityModel::Transient
+        );
+        let implicit = build_library_with_health(&g, &p, &TdseConfig::default()).unwrap();
+        let explicit = build_library_with_health(
+            &g,
+            &p,
+            &TdseConfig::default().with_reliability_model(ReliabilityModel::Transient),
+        )
+        .unwrap();
+        assert_eq!(implicit.0, explicit.0);
+        assert_eq!(implicit.1, explicit.1);
+    }
+
+    /// A profile with η on the scale of seconds instead of years, so the
+    /// permanent hazard competes visibly with the SEU rate.
+    fn accelerated_aging_profile() -> ProfileModel {
+        ProfileModel {
+            aging_a: 1.0e-6,
+            ..ProfileModel::default()
+        }
+    }
+
+    #[test]
+    fn permanent_aging_raises_the_error_floor() {
+        let p = paper_platform();
+        let pe = p.pe_type(clre_model::PeTypeId::new(0)).unwrap();
+        let imp = BaseImpl::new("i", clre_model::PeTypeId::new(0), 3.0e5, 1.0e-9);
+        let mode = &pe.dvfs_modes()[0];
+        let profile = accelerated_aging_profile();
+        let eval = |clr: &ClrConfig, model| {
+            evaluate_candidate_chaos(&imp, pe, mode, clr, &profile, None, None, None, model)
+                .unwrap()
+                .0
+        };
+        let aging = ReliabilityModel::PermanentAging {
+            mission_time: 100.0,
+        };
+        let bare = ClrConfig::unprotected();
+        let transient = eval(&bare, ReliabilityModel::Transient);
+        let permanent = eval(&bare, aging);
+        assert!(
+            permanent.error_prob > 1.02 * transient.error_prob,
+            "permanent hazard must raise the error floor: {} vs {}",
+            permanent.error_prob,
+            transient.error_prob
+        );
+        // Checkpointing cannot repair a dead resource; spatial TMR can.
+        let chk = ClrConfig::new(
+            HwMethod::None,
+            SswMethod::Checkpoint { intervals: 3 },
+            AswMethod::None,
+        );
+        let tmr = ClrConfig::new(HwMethod::Tmr, SswMethod::None, AswMethod::None);
+        let floor = permanent.error_prob - transient.error_prob;
+        let chk_gap =
+            eval(&chk, aging).error_prob - eval(&chk, ReliabilityModel::Transient).error_prob;
+        assert!(chk_gap > 0.5 * floor, "checkpointing keeps the floor");
+        // TMR masks 95% of permanent faults, but its tripled power heats
+        // the PE, shrinking η and inflating the very hazard it masks.
+        // Under transient-only analysis TMR dominates; once aging is
+        // modeled, the hot redundant design loses to the cool bare one —
+        // the mechanism axis reverses a DSE verdict.
+        let tmr_trans = eval(&tmr, ReliabilityModel::Transient).error_prob;
+        let tmr_perm = eval(&tmr, aging).error_prob;
+        assert!(tmr_trans < 0.1 * transient.error_prob, "TMR wins on SEUs");
+        assert!(
+            tmr_perm > permanent.error_prob,
+            "thermal feedback must flip the verdict: {tmr_perm} vs {}",
+            permanent.error_prob
+        );
+        assert!(tmr_perm - tmr_trans > floor, "TMR concedes more to aging");
+    }
+
+    #[test]
+    fn permanent_library_build_is_cached_bit_identically() {
+        let p = paper_platform();
+        let g = test_graph(&p);
+        let model = ReliabilityModel::PermanentAging { mission_time: 50.0 };
+        let base = TdseConfig::default()
+            .with_profile(accelerated_aging_profile())
+            .with_reliability_model(model);
+        let cold = build_library_with_health(&g, &p, &base).unwrap();
+
+        let cache = EvalCache::shared();
+        let cfg = base.clone().with_eval_cache(Arc::clone(&cache));
+        let first = build_library_with_health(&g, &p, &cfg).unwrap();
+        assert!(cache.analysis_counts().inserts > 0);
+        let warm = build_library_with_health(&g, &p, &cfg).unwrap();
+        assert_eq!(cold.0, first.0);
+        assert_eq!(first.0, warm.0);
+        assert_eq!(cold.1, warm.1);
+
+        // The permanent library is genuinely different from transient.
+        let transient = build_library_with_health(
+            &g,
+            &p,
+            &TdseConfig::default().with_profile(accelerated_aging_profile()),
+        )
+        .unwrap();
+        assert_ne!(transient.0, cold.0);
+    }
+
+    #[test]
+    fn fpga_styles_only_map_to_reconfigurable_regions() {
+        let p = paper_platform();
+        let g = test_graph(&p);
+        let cfg = TdseConfig::default()
+            .with_clr_catalog(ClrConfig::fpga_mitigation_catalog())
+            .unwrap();
+        let cands = candidates_for_type(&g, &p, TaskTypeId::new(0), &cfg).unwrap();
+        // Processor impls keep only the 4 non-scrubbing HW methods
+        // (4·5·4 = 80 of the 120-entry catalog); the accelerator impl on
+        // the reconfigurable region explores all 120.
+        assert_eq!(cands.len(), 2 * 3 * 80 + 120);
+        for c in &cands {
+            if c.clr.hw.requires_reconfigurable() {
+                let kind = p.pe_type(c.pe_type).unwrap().kind();
+                assert_eq!(kind, PeKind::ReconfigurableRegion);
+            }
+        }
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! module and the general solver to ~1e-12, which validates the matrix
 //! pipeline (builder → canonical form → LU solve) end to end.
 
+use crate::clr::{ClrChainSpec, FaultMechanism};
 use crate::{ClrChainParams, MarkovError, TaskReliability};
 
 /// Exact single-interval solution.
@@ -69,6 +70,67 @@ pub fn analyze(params: &ClrChainParams) -> Result<TaskReliability, MarkovError> 
         avg_exec_time: time_per_attempt * attempts,
         error_prob: clre_num::util::clamp_prob(q_err * attempts),
     })
+}
+
+/// Exact single-interval solution for a mechanism-aware [`ClrChainSpec`].
+///
+/// For [`FaultMechanism::Transient`] this evaluates exactly the same float
+/// expressions as [`analyze`], so results are bit-identical. For
+/// [`FaultMechanism::PermanentAging`] the competing-risk split is applied:
+/// with total rate `λ = λ_t + λ_p`, a fault occurs with `1 − exp(−λT)` and
+/// is transient with probability `λ_t/λ`. Transient faults traverse the
+/// usual HWRel → SSW → ASW masking ladder; permanent faults are either
+/// masked spatially by the hardware layer (`m_HW`, e.g. TMR voting) or
+/// absorb into `Error` directly — software checkpointing and ASW coding
+/// cannot repair a dead resource.
+///
+/// # Errors
+///
+/// As for [`analyze`]; also rejects invalid mechanism rates via
+/// [`ClrChainSpec::validate`].
+pub fn analyze_spec(spec: &ClrChainSpec) -> Result<TaskReliability, MarkovError> {
+    spec.validate()?;
+    let params = &spec.params;
+    match spec.mechanism {
+        FaultMechanism::Transient => analyze(params),
+        mechanism if mechanism.perm_rate() == 0.0 => analyze(params),
+        mechanism => {
+            if params.intervals != 1 {
+                return Err(MarkovError::InvalidResidence {
+                    state: 0,
+                    value: params.intervals as f64,
+                });
+            }
+            let perm_rate = mechanism.perm_rate();
+            let lambda = params.seu_rate + perm_rate;
+            let p_event = 1.0 - (-lambda * params.exec_time).exp();
+            let transient_frac = if lambda > 0.0 {
+                params.seu_rate / lambda
+            } else {
+                1.0
+            };
+            let p_transient = p_event * transient_frac;
+            let p_permanent = p_event * (1.0 - transient_frac);
+            // Transient arm: identical masking ladder to `analyze`.
+            let p_escaped = p_transient * (1.0 - params.m_hw) * (1.0 - params.m_impl_ssw);
+            let p_tol = p_escaped * params.cov_det;
+            let q_retry = p_tol * params.m_tol;
+            // Permanent arm: only spatial hardware redundancy masks.
+            let q_err = p_tol * (1.0 - params.m_tol)
+                + p_escaped * (1.0 - params.cov_det) * (1.0 - params.m_asw)
+                + p_permanent * (1.0 - params.m_hw);
+            if q_retry >= 1.0 {
+                return Err(MarkovError::NotAbsorbing);
+            }
+            let attempts = 1.0 / (1.0 - q_retry);
+            let time_per_attempt = params.exec_time + params.t_det + p_tol * params.t_tol;
+            Ok(TaskReliability {
+                min_exec_time: params.min_exec_time(),
+                avg_exec_time: time_per_attempt * attempts,
+                error_prob: clre_num::util::clamp_prob(q_err * attempts),
+            })
+        }
+    }
 }
 
 #[cfg(test)]
@@ -125,6 +187,39 @@ mod tests {
                 b.avg_exec_time
             );
             assert_eq!(a.min_exec_time, b.min_exec_time);
+        }
+    }
+
+    #[test]
+    fn permanent_oracle_agrees_with_markov_solver() {
+        for p in cases() {
+            for rate in [0.0, 5.0, 120.0, 900.0] {
+                let spec = ClrChainSpec::permanent_aging(p, rate);
+                let a = analyze_spec(&spec).unwrap();
+                let b = clr::analyze_spec(&spec).unwrap();
+                assert!(
+                    (a.error_prob - b.error_prob).abs() < 1e-12,
+                    "error prob mismatch for {spec:?}: {} vs {}",
+                    a.error_prob,
+                    b.error_prob
+                );
+                assert!(
+                    (a.avg_exec_time - b.avg_exec_time).abs() < 1e-12,
+                    "avg time mismatch for {spec:?}: {} vs {}",
+                    a.avg_exec_time,
+                    b.avg_exec_time
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn transient_spec_is_bit_identical_to_legacy() {
+        for p in cases() {
+            let legacy = analyze(&p).unwrap();
+            let spec = analyze_spec(&ClrChainSpec::transient(p)).unwrap();
+            assert_eq!(legacy.error_prob.to_bits(), spec.error_prob.to_bits());
+            assert_eq!(legacy.avg_exec_time.to_bits(), spec.avg_exec_time.to_bits());
         }
     }
 

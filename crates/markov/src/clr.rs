@@ -29,6 +29,16 @@
 //! In the **functional** chain escapes absorb into `Error`, clean
 //! completion into `NoError`, and checkpoint creation itself may corrupt
 //! state with probability `p_chk_err` (the dotted edge of Fig. 3(b)).
+//!
+//! The fault *mechanism* driving the event rate is pluggable
+//! ([`FaultMechanism`]): the default transient-SEU template reproduces the
+//! paper's Fig. 3 exactly, while the permanent/aging template (à la Aliee
+//! et al.) splits each interval's fault events between the transient
+//! recovery ladder above and a `PermRel_i` state modeling a permanent
+//! resource failure — maskable only by spatial hardware redundancy, never
+//! by roll-back, detection, or software voting. A [`ClrChainSpec`] pairs
+//! the flattened parameters with their mechanism; the historic
+//! `ClrChainParams`-based entry points are thin transient wrappers.
 
 use crate::{MarkovChain, MarkovError, StateId};
 use serde::{Deserialize, Serialize};
@@ -171,6 +181,147 @@ impl ClrChainParams {
     }
 }
 
+/// The physical fault mechanism a chain models.
+///
+/// The mechanism decides how fault events are *routed* through the
+/// recovery ladder: transient SEUs enter the cross-layer masking chain of
+/// Fig. 3, while permanent/aging failures (per-PE Weibull hazard folded
+/// into the transition rates by the task-level DSE layer) bypass every
+/// temporal recovery method — only spatial hardware redundancy masks
+/// them. Additive variants may appear in future releases, so the enum is
+/// `#[non_exhaustive]`; foreign code should use the accessor methods
+/// rather than matching exhaustively.
+#[non_exhaustive]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FaultMechanism {
+    /// Transient single-event upsets only — the paper's Fig. 3 template.
+    Transient,
+    /// Transient SEUs plus a constant permanent-failure rate over the
+    /// task's execution (the per-PE Weibull hazard evaluated at the
+    /// platform's mission time). Permanent faults defeat roll-back,
+    /// detection and software voting; only `m_hw` (spatial redundancy)
+    /// masks them.
+    PermanentAging {
+        /// Permanent-failure rate `λ_p` in failures/s, added to the SEU
+        /// rate when drawing per-interval fault events.
+        perm_rate: f64,
+    },
+}
+
+impl FaultMechanism {
+    /// The permanent-failure rate this mechanism adds (0 for transient).
+    pub fn perm_rate(&self) -> f64 {
+        match self {
+            FaultMechanism::Transient => 0.0,
+            FaultMechanism::PermanentAging { perm_rate } => *perm_rate,
+        }
+    }
+
+    /// Whether this is the default transient-only mechanism.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, FaultMechanism::Transient)
+    }
+
+    /// Stable wire encoding `(tag, payload)` used by persistence layers:
+    /// `(0, 0)` for transient, `(1, perm_rate bits)` for permanent/aging.
+    pub fn encode_words(&self) -> (u64, u64) {
+        match self {
+            FaultMechanism::Transient => (0, 0),
+            FaultMechanism::PermanentAging { perm_rate } => (1, perm_rate.to_bits()),
+        }
+    }
+
+    /// Inverse of [`FaultMechanism::encode_words`]; `None` for an unknown
+    /// tag (a persistence layer reading a future format must treat the
+    /// record as foreign, not guess).
+    pub fn decode_words(tag: u64, payload: u64) -> Option<Self> {
+        match tag {
+            0 => Some(FaultMechanism::Transient),
+            1 => Some(FaultMechanism::PermanentAging {
+                perm_rate: f64::from_bits(payload),
+            }),
+            _ => None,
+        }
+    }
+
+    fn validate(&self) -> Result<(), MarkovError> {
+        let rate = self.perm_rate();
+        if !rate.is_finite() || rate < 0.0 {
+            return Err(MarkovError::InvalidProbability {
+                from: 0,
+                to: 0,
+                value: rate,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// One task's chain specification: flattened CLR parameters plus the
+/// fault mechanism routing the events. This is the unit the chain
+/// builders, the robust-analysis ladder, and the task-analysis cache key
+/// on; the transient-only constructors reproduce the historic
+/// `ClrChainParams` behaviour bit-exactly (including the digest).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClrChainSpec {
+    /// The flattened per-configuration parameters.
+    pub params: ClrChainParams,
+    /// The fault mechanism driving the event rate.
+    pub mechanism: FaultMechanism,
+}
+
+impl ClrChainSpec {
+    /// A transient-only spec — the historic default.
+    pub fn transient(params: ClrChainParams) -> Self {
+        ClrChainSpec {
+            params,
+            mechanism: FaultMechanism::Transient,
+        }
+    }
+
+    /// A spec with a permanent/aging rate on top of the SEU rate.
+    pub fn permanent_aging(params: ClrChainParams, perm_rate: f64) -> Self {
+        ClrChainSpec {
+            params,
+            mechanism: FaultMechanism::PermanentAging { perm_rate },
+        }
+    }
+
+    /// Content digest of this spec. For the transient mechanism this is
+    /// *exactly* [`ClrChainParams::digest`] — pre-mechanism cache entries
+    /// and digest pins stay valid — and for other mechanisms the
+    /// mechanism words are folded in with the same FNV-1a stream, so no
+    /// two mechanisms can collide on the same parameters.
+    pub fn digest(&self) -> u64 {
+        match self.mechanism {
+            FaultMechanism::Transient => self.params.digest(),
+            mechanism => {
+                const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+                let (tag, payload) = mechanism.encode_words();
+                let mut hash = self.params.digest();
+                for word in [tag, payload] {
+                    for byte in word.to_le_bytes() {
+                        hash ^= u64::from(byte);
+                        hash = hash.wrapping_mul(FNV_PRIME);
+                    }
+                }
+                hash
+            }
+        }
+    }
+
+    /// Domain validation of parameters and mechanism.
+    ///
+    /// # Errors
+    ///
+    /// As [`analyze`] for parameter violations; an invalid (negative or
+    /// non-finite) permanent rate is an [`MarkovError::InvalidProbability`].
+    pub fn validate(&self) -> Result<(), MarkovError> {
+        self.params.validate()?;
+        self.mechanism.validate()
+    }
+}
+
 /// Task-level reliability metrics extracted from the two chains.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct TaskReliability {
@@ -218,6 +369,10 @@ struct IntervalStates {
     ssw_det: StateId,
     ssw_tol: StateId,
     asw: StateId,
+    /// Permanent-failure state; present only when the mechanism carries a
+    /// non-zero permanent rate, so transient chains keep the historic
+    /// state set (and solver trajectories) bit-identically.
+    perm: Option<StateId>,
 }
 
 enum Escape {
@@ -227,15 +382,22 @@ enum Escape {
     Error(StateId),
 }
 
-/// Shared chain skeleton for both variants of Fig. 3. `weights` selects
-/// the fraction of the useful execution time spent in each
-/// inter-checkpoint interval (uniform when `None`).
-fn build_chain(
-    params: &ClrChainParams,
+/// Shared chain skeleton for both variants of Fig. 3, parameterized by
+/// the fault mechanism. `weights` selects the fraction of the useful
+/// execution time spent in each inter-checkpoint interval (uniform when
+/// `None`).
+///
+/// Mechanisms with a zero permanent rate create the historic state set
+/// with the historic float expressions, so transient analyses stay
+/// bit-identical to the pre-mechanism implementation.
+fn build_chain_spec(
+    spec: &ClrChainSpec,
     functional: bool,
     weights: Option<&[f64]>,
 ) -> Result<(MarkovChain, StateId), MarkovError> {
-    params.validate()?;
+    spec.validate()?;
+    let params = &spec.params;
+    let perm_rate = spec.mechanism.perm_rate();
     let k = params.intervals.max(1) as usize;
     let weights = interval_weights(params, weights)?;
 
@@ -252,6 +414,7 @@ fn build_chain(
             ssw_det: b.state(format!("SSWDet{i}"), 0.0),
             ssw_tol: b.state(format!("SSWTol{i}"), params.t_tol),
             asw: b.state(format!("ASWRel{i}"), 0.0),
+            perm: (perm_rate > 0.0).then(|| b.state(format!("PermRel{i}"), 0.0)),
         })
         .collect();
     let chks: Vec<StateId> = (0..k.saturating_sub(1))
@@ -267,10 +430,37 @@ fn build_chain(
 
     for (i, s) in blocks.iter().enumerate() {
         let cont = if i + 1 < k { chks[i] } else { end };
-        // Useful execution; the no-error probability is per *interval*.
-        let p_ne = (-params.seu_rate * params.exec_time * weights[i]).exp();
-        b.transition(s.exec, cont, p_ne);
-        b.transition(s.exec, s.hw, 1.0 - p_ne);
+        match s.perm {
+            None => {
+                // Useful execution; the no-error probability is per
+                // *interval*.
+                let p_ne = (-params.seu_rate * params.exec_time * weights[i]).exp();
+                b.transition(s.exec, cont, p_ne);
+                b.transition(s.exec, s.hw, 1.0 - p_ne);
+            }
+            Some(perm) => {
+                // Competing exponential risks: total event rate is the
+                // SEU rate plus the permanent rate, and an event is
+                // transient with probability λ_t / (λ_t + λ_p).
+                let lambda = params.seu_rate + perm_rate;
+                let p_none = (-lambda * params.exec_time * weights[i]).exp();
+                let transient_frac = params.seu_rate / lambda;
+                b.transition(s.exec, cont, p_none);
+                b.transition(s.exec, s.hw, (1.0 - p_none) * transient_frac);
+                b.transition(s.exec, perm, (1.0 - p_none) * (1.0 - transient_frac));
+                // Permanent faults bypass the temporal recovery ladder:
+                // only spatial hardware redundancy masks them.
+                match escape {
+                    Escape::Continue => {
+                        b.transition(perm, cont, 1.0);
+                    }
+                    Escape::Error(err) => {
+                        b.transition(perm, cont, params.m_hw);
+                        b.transition(perm, err, 1.0 - params.m_hw);
+                    }
+                }
+            }
+        }
         // Hardware spatial redundancy.
         b.transition(s.hw, cont, params.m_hw);
         b.transition(s.hw, s.ssw_impl, 1.0 - params.m_hw);
@@ -309,24 +499,45 @@ fn build_chain(
     Ok((b.build()?, start))
 }
 
-/// Builds the timing-reliability chain (Fig. 3(a)) and returns it with its
-/// start state.
+/// Builds the timing-reliability chain (Fig. 3(a)) for a mechanism-aware
+/// spec and returns it with its start state.
+///
+/// # Errors
+///
+/// Returns [`MarkovError`] for out-of-domain parameters or mechanism.
+pub fn timing_chain_spec(spec: &ClrChainSpec) -> Result<(MarkovChain, StateId), MarkovError> {
+    build_chain_spec(spec, false, None)
+}
+
+/// Builds the functional-reliability chain (Fig. 3(b)) for a
+/// mechanism-aware spec and returns it with its start state.
+///
+/// # Errors
+///
+/// Returns [`MarkovError`] for out-of-domain parameters or mechanism.
+pub fn functional_chain_spec(spec: &ClrChainSpec) -> Result<(MarkovChain, StateId), MarkovError> {
+    build_chain_spec(spec, true, None)
+}
+
+/// Builds the transient timing-reliability chain (Fig. 3(a)) and returns
+/// it with its start state.
 ///
 /// # Errors
 ///
 /// Returns [`MarkovError`] for out-of-domain parameters.
 pub fn timing_chain(params: &ClrChainParams) -> Result<(MarkovChain, StateId), MarkovError> {
-    build_chain(params, false, None)
+    timing_chain_spec(&ClrChainSpec::transient(*params))
 }
 
-/// Builds the functional-reliability chain (Fig. 3(b)) and returns it with
-/// its start state. Absorbing state 0 is `NoError`, state 1 is `Error`.
+/// Builds the transient functional-reliability chain (Fig. 3(b)) and
+/// returns it with its start state. Absorbing state 0 is `NoError`, state
+/// 1 is `Error`.
 ///
 /// # Errors
 ///
 /// Returns [`MarkovError`] for out-of-domain parameters.
 pub fn functional_chain(params: &ClrChainParams) -> Result<(MarkovChain, StateId), MarkovError> {
-    build_chain(params, true, None)
+    functional_chain_spec(&ClrChainSpec::transient(*params))
 }
 
 /// Like [`analyze`] but with *unequal* inter-checkpoint intervals — one
@@ -364,9 +575,21 @@ pub fn analyze_with_intervals(
     params: &ClrChainParams,
     weights: &[f64],
 ) -> Result<TaskReliability, MarkovError> {
-    let (timing, t_start) = build_chain(params, false, Some(weights))?;
+    analyze_with_intervals_spec(&ClrChainSpec::transient(*params), weights)
+}
+
+/// [`analyze_with_intervals`] for a mechanism-aware spec.
+///
+/// # Errors
+///
+/// As [`analyze_with_intervals`].
+pub fn analyze_with_intervals_spec(
+    spec: &ClrChainSpec,
+    weights: &[f64],
+) -> Result<TaskReliability, MarkovError> {
+    let (timing, t_start) = build_chain_spec(spec, false, Some(weights))?;
     let avg_exec_time = timing.expected_time_to_absorption(t_start)?;
-    let (func, f_start) = build_chain(params, true, Some(weights))?;
+    let (func, f_start) = build_chain_spec(spec, true, Some(weights))?;
     let probs = func.absorption_probabilities(f_start)?;
     let error = func
         .absorbing_states()
@@ -374,7 +597,7 @@ pub fn analyze_with_intervals(
         .find(|&s| func.state_name(s) == "Error")
         .expect("functional chain has an Error state");
     Ok(TaskReliability {
-        min_exec_time: params.min_exec_time(),
+        min_exec_time: spec.params.min_exec_time(),
         avg_exec_time,
         error_prob: clre_num::util::clamp_prob(probs[&error]),
     })
@@ -417,7 +640,18 @@ pub struct RobustAnalysis {
 /// is returned only when the closed form agrees the configuration loops
 /// forever.
 pub fn analyze_robust(params: &ClrChainParams) -> Result<RobustAnalysis, MarkovError> {
-    analyze_robust_with(params, analyze, analyze_scaled)
+    analyze_robust_spec(&ClrChainSpec::transient(*params))
+}
+
+/// [`analyze_robust`] for a mechanism-aware spec: the same
+/// retry-then-degrade ladder over the spec's chain templates, with the
+/// closed-form fallback solved under the same mechanism.
+///
+/// # Errors
+///
+/// As [`analyze_robust`].
+pub fn analyze_robust_spec(spec: &ClrChainSpec) -> Result<RobustAnalysis, MarkovError> {
+    analyze_robust_with_spec(spec, analyze_spec, analyze_scaled_spec)
 }
 
 /// [`analyze_robust`] with injectable primary and retry solvers — the
@@ -433,8 +667,26 @@ pub fn analyze_robust_with(
     primary: impl Fn(&ClrChainParams) -> Result<TaskReliability, MarkovError>,
     retry: impl Fn(&ClrChainParams) -> Result<TaskReliability, MarkovError>,
 ) -> Result<RobustAnalysis, MarkovError> {
+    analyze_robust_with_spec(
+        &ClrChainSpec::transient(*params),
+        |s| primary(&s.params),
+        |s| retry(&s.params),
+    )
+}
+
+/// [`analyze_robust_spec`] with injectable primary and retry solvers —
+/// the mechanism-aware form of the fault-injection seam.
+///
+/// # Errors
+///
+/// As for [`analyze_robust`].
+pub fn analyze_robust_with_spec(
+    spec: &ClrChainSpec,
+    primary: impl Fn(&ClrChainSpec) -> Result<TaskReliability, MarkovError>,
+    retry: impl Fn(&ClrChainSpec) -> Result<TaskReliability, MarkovError>,
+) -> Result<RobustAnalysis, MarkovError> {
     let finite = |r: &TaskReliability| r.avg_exec_time.is_finite() && r.error_prob.is_finite();
-    match primary(params) {
+    match primary(spec) {
         Ok(r) if finite(&r) => Ok(RobustAnalysis {
             reliability: r,
             degraded: false,
@@ -443,7 +695,7 @@ pub fn analyze_robust_with(
         // Non-finite metrics or a numeric/absorption failure: retry the
         // exact solver once with scaled pivoting before approximating.
         Ok(_) | Err(MarkovError::Numeric(_)) | Err(MarkovError::NotAbsorbing) => {
-            match retry(params) {
+            match retry(spec) {
                 Ok(r) if finite(&r) => Ok(RobustAnalysis {
                     reliability: r,
                     degraded: false,
@@ -451,7 +703,7 @@ pub fn analyze_robust_with(
                 }),
                 Ok(_) | Err(MarkovError::Numeric(_)) | Err(MarkovError::NotAbsorbing) => {
                     Ok(RobustAnalysis {
-                        reliability: closed_form_fallback(params)?,
+                        reliability: closed_form_fallback(spec)?,
                         degraded: true,
                         retried: true,
                     })
@@ -531,23 +783,37 @@ pub fn analyze_robust_chaos(
     params: &ClrChainParams,
     plan: &SolverFaultPlan,
 ) -> Result<RobustAnalysis, MarkovError> {
-    let digest = params.digest();
+    analyze_robust_chaos_spec(&ClrChainSpec::transient(*params), plan)
+}
+
+/// [`analyze_robust_chaos`] for a mechanism-aware spec; fault decisions
+/// key on [`ClrChainSpec::digest`], which equals the parameter digest for
+/// transient specs (so pre-mechanism chaos schedules replay identically).
+///
+/// # Errors
+///
+/// As for [`analyze_robust`].
+pub fn analyze_robust_chaos_spec(
+    spec: &ClrChainSpec,
+    plan: &SolverFaultPlan,
+) -> Result<RobustAnalysis, MarkovError> {
+    let digest = spec.digest();
     // `pivot: usize::MAX` marks the singularity as synthetic in logs.
     let injected = || MarkovError::Numeric(clre_num::NumError::Singular { pivot: usize::MAX });
-    analyze_robust_with(
-        params,
-        |p| {
+    analyze_robust_with_spec(
+        spec,
+        |s| {
             if plan.primary_fails(digest) {
                 Err(injected())
             } else {
-                analyze(p)
+                analyze_spec(s)
             }
         },
-        |p| {
+        |s| {
             if plan.retry_fails(digest) {
                 Err(injected())
             } else {
-                analyze_scaled(p)
+                analyze_scaled_spec(s)
             }
         },
     )
@@ -556,15 +822,19 @@ pub fn analyze_robust_chaos(
 /// Degraded-mode approximation: single-interval closed form plus the
 /// deterministic multi-interval overheads and a checkpoint-corruption
 /// error floor.
-fn closed_form_fallback(params: &ClrChainParams) -> Result<TaskReliability, MarkovError> {
-    let collapsed = ClrChainParams {
-        intervals: 1,
-        ..*params
+fn closed_form_fallback(spec: &ClrChainSpec) -> Result<TaskReliability, MarkovError> {
+    let params = &spec.params;
+    let collapsed = ClrChainSpec {
+        params: ClrChainParams {
+            intervals: 1,
+            ..*params
+        },
+        mechanism: spec.mechanism,
     };
-    let base = crate::closed_form::analyze(&collapsed)?;
+    let base = crate::closed_form::analyze_spec(&collapsed)?;
     // Deterministic overhead the collapse dropped: (k−1) extra detection
     // phases and (k−1) checkpoints on the fault-free path.
-    let overhead = params.min_exec_time() - collapsed.min_exec_time();
+    let overhead = params.min_exec_time() - collapsed.params.min_exec_time();
     // Checkpoint creation corrupts state independently per checkpoint;
     // fold the (k−1) corruption chances the collapse removed back in as
     // an independent error floor (exact when λ = 0).
@@ -590,7 +860,7 @@ fn closed_form_fallback(params: &ClrChainParams) -> Result<TaskReliability, Mark
 ///
 /// See the [crate-level example](crate).
 pub fn analyze(params: &ClrChainParams) -> Result<TaskReliability, MarkovError> {
-    analyze_via(params, false)
+    analyze_via_spec(&ClrChainSpec::transient(*params), false)
 }
 
 /// [`analyze`] solving both chains with row-scaled partial-pivot LU —
@@ -602,17 +872,37 @@ pub fn analyze(params: &ClrChainParams) -> Result<TaskReliability, MarkovError> 
 ///
 /// As for [`analyze`].
 pub fn analyze_scaled(params: &ClrChainParams) -> Result<TaskReliability, MarkovError> {
-    analyze_via(params, true)
+    analyze_via_spec(&ClrChainSpec::transient(*params), true)
 }
 
-fn analyze_via(params: &ClrChainParams, scaled: bool) -> Result<TaskReliability, MarkovError> {
-    let (timing, t_start) = timing_chain(params)?;
+/// [`analyze`] for a mechanism-aware [`ClrChainSpec`]. For
+/// [`FaultMechanism::Transient`] this is bit-identical to
+/// `analyze(&spec.params)`.
+///
+/// # Errors
+///
+/// As for [`analyze`].
+pub fn analyze_spec(spec: &ClrChainSpec) -> Result<TaskReliability, MarkovError> {
+    analyze_via_spec(spec, false)
+}
+
+/// [`analyze_scaled`] for a mechanism-aware [`ClrChainSpec`].
+///
+/// # Errors
+///
+/// As for [`analyze`].
+pub fn analyze_scaled_spec(spec: &ClrChainSpec) -> Result<TaskReliability, MarkovError> {
+    analyze_via_spec(spec, true)
+}
+
+fn analyze_via_spec(spec: &ClrChainSpec, scaled: bool) -> Result<TaskReliability, MarkovError> {
+    let (timing, t_start) = timing_chain_spec(spec)?;
     let avg_exec_time = if scaled {
         timing.expected_time_to_absorption_scaled(t_start)?
     } else {
         timing.expected_time_to_absorption(t_start)?
     };
-    let (func, f_start) = functional_chain(params)?;
+    let (func, f_start) = functional_chain_spec(spec)?;
     let probs = if scaled {
         func.absorption_probabilities_scaled(f_start)?
     } else {
@@ -625,7 +915,7 @@ fn analyze_via(params: &ClrChainParams, scaled: bool) -> Result<TaskReliability,
         .expect("functional chain has an Error state");
     let error_prob = clre_num::util::clamp_prob(probs[&error]);
     Ok(TaskReliability {
-        min_exec_time: params.min_exec_time(),
+        min_exec_time: spec.params.min_exec_time(),
         avg_exec_time,
         error_prob,
     })
@@ -1058,5 +1348,177 @@ mod tests {
         let r = analyze(&p).unwrap();
         assert_eq!(r.error_prob, 0.0);
         assert!((r.avg_exec_time - r.min_exec_time).abs() < 1e-15);
+    }
+
+    fn protected() -> ClrChainParams {
+        ClrChainParams {
+            m_hw: 0.7,
+            m_impl_ssw: 0.05,
+            cov_det: 0.9,
+            m_tol: 0.97,
+            m_asw: 0.55,
+            t_det: 10.0e-6,
+            t_tol: 5.0e-6,
+            ..base()
+        }
+    }
+
+    #[test]
+    fn zero_perm_rate_is_bit_identical_to_transient() {
+        let p = protected();
+        let transient = analyze(&p).unwrap();
+        let zero_perm = analyze_spec(&ClrChainSpec::permanent_aging(p, 0.0)).unwrap();
+        assert_eq!(
+            transient.error_prob.to_bits(),
+            zero_perm.error_prob.to_bits()
+        );
+        assert_eq!(
+            transient.avg_exec_time.to_bits(),
+            zero_perm.avg_exec_time.to_bits()
+        );
+        // The chain itself must also not grow a PermRel state at rate 0:
+        // same state count → same solver trajectory.
+        let (plain, _) = functional_chain(&p).unwrap();
+        let (gated, _) = functional_chain_spec(&ClrChainSpec::permanent_aging(p, 0.0)).unwrap();
+        assert_eq!(plain.state_count(), gated.state_count());
+    }
+
+    #[test]
+    fn permanent_chain_adds_one_state_per_interval() {
+        let p = ClrChainParams {
+            intervals: 3,
+            t_chk: 12.0e-6,
+            p_chk_err: 1.0e-4,
+            ..protected()
+        };
+        let spec = ClrChainSpec::permanent_aging(p, 40.0);
+        let (plain, _) = functional_chain(&p).unwrap();
+        let (perm, _) = functional_chain_spec(&spec).unwrap();
+        assert_eq!(
+            perm.state_count(),
+            plain.state_count() + 3,
+            "one PermRel state per inter-checkpoint interval"
+        );
+    }
+
+    #[test]
+    fn permanent_error_prob_is_monotone_in_perm_rate() {
+        let p = protected();
+        let mut last = analyze(&p).unwrap().error_prob;
+        for rate in [1.0, 10.0, 100.0, 1000.0] {
+            let r = analyze_spec(&ClrChainSpec::permanent_aging(p, rate)).unwrap();
+            assert!(
+                r.error_prob > last,
+                "perm_rate {rate}: {} should exceed {last}",
+                r.error_prob
+            );
+            last = r.error_prob;
+        }
+    }
+
+    #[test]
+    fn hardware_redundancy_masks_permanent_faults() {
+        // Permanent faults bypass checkpointing and ASW coding, so raising
+        // temporal-protection knobs leaves the permanent residue intact,
+        // while raising m_hw (spatial redundancy / TMR) suppresses it.
+        let exposed = ClrChainParams {
+            m_hw: 0.0,
+            ..protected()
+        };
+        let spatial = ClrChainParams {
+            m_hw: 0.95,
+            ..protected()
+        };
+        let rate = 200.0;
+        let e = analyze_spec(&ClrChainSpec::permanent_aging(exposed, rate)).unwrap();
+        let s = analyze_spec(&ClrChainSpec::permanent_aging(spatial, rate)).unwrap();
+        assert!(
+            s.error_prob < e.error_prob * 0.2,
+            "{} vs {}",
+            s.error_prob,
+            e.error_prob
+        );
+        // Cranking software tolerance instead barely moves the floor.
+        let temporal = ClrChainParams {
+            cov_det: 0.999,
+            m_tol: 0.999,
+            m_asw: 0.999,
+            ..exposed
+        };
+        let t = analyze_spec(&ClrChainSpec::permanent_aging(temporal, rate)).unwrap();
+        let perm_only_floor = analyze_spec(&ClrChainSpec::permanent_aging(
+            ClrChainParams {
+                seu_rate: 0.0,
+                ..exposed
+            },
+            rate,
+        ))
+        .unwrap()
+        .error_prob;
+        assert!(
+            t.error_prob >= perm_only_floor * 0.99,
+            "software knobs cannot dig below the permanent floor: {} vs {perm_only_floor}",
+            t.error_prob
+        );
+    }
+
+    #[test]
+    fn spec_digest_separates_mechanisms() {
+        let p = protected();
+        let transient = ClrChainSpec::transient(p);
+        assert_eq!(
+            transient.digest(),
+            p.digest(),
+            "transient spec digests are the historic parameter digests"
+        );
+        let perm = ClrChainSpec::permanent_aging(p, 40.0);
+        assert_ne!(perm.digest(), transient.digest());
+        assert_ne!(
+            perm.digest(),
+            ClrChainSpec::permanent_aging(p, 41.0).digest(),
+            "digest keys on the exact permanent rate"
+        );
+        // Wire encoding round-trips and rejects unknown tags.
+        let (tag, payload) = perm.mechanism.encode_words();
+        assert_eq!(
+            FaultMechanism::decode_words(tag, payload),
+            Some(perm.mechanism)
+        );
+        assert_eq!(FaultMechanism::decode_words(99, 0), None);
+    }
+
+    #[test]
+    fn permanent_spec_rejects_invalid_rates() {
+        let p = protected();
+        assert!(analyze_spec(&ClrChainSpec::permanent_aging(p, -1.0)).is_err());
+        assert!(analyze_spec(&ClrChainSpec::permanent_aging(p, f64::NAN)).is_err());
+        assert!(analyze_spec(&ClrChainSpec::permanent_aging(p, f64::INFINITY)).is_err());
+    }
+
+    #[test]
+    fn permanent_robust_ladder_degrades_cleanly() {
+        let p = ClrChainParams {
+            intervals: 2,
+            t_chk: 12.0e-6,
+            p_chk_err: 1.0e-4,
+            ..protected()
+        };
+        let spec = ClrChainSpec::permanent_aging(p, 40.0);
+        let exact = analyze_robust_spec(&spec).unwrap();
+        assert!(!exact.degraded && !exact.retried);
+        let degraded =
+            analyze_robust_chaos_spec(&spec, &SolverFaultPlan::new(1, 1_000_000, 1_000_000))
+                .unwrap();
+        assert!(degraded.degraded && degraded.retried);
+        let rel = (degraded.reliability.avg_exec_time - exact.reliability.avg_exec_time).abs()
+            / exact.reliability.avg_exec_time;
+        assert!(rel < 1e-2, "permanent fallback stays close: {rel}");
+        // The fallback keeps the mechanism: it must sit above the
+        // transient-only answer for the same parameters.
+        let transient = analyze_robust(&p).unwrap();
+        assert!(
+            degraded.reliability.error_prob > transient.reliability.error_prob,
+            "degraded permanent analysis must not silently drop the mechanism"
+        );
     }
 }

@@ -56,5 +56,5 @@ pub mod clr;
 mod error;
 
 pub use chain::{MarkovChain, MarkovChainBuilder, StateId};
-pub use clr::{ClrChainParams, RobustAnalysis, TaskReliability};
+pub use clr::{ClrChainParams, ClrChainSpec, FaultMechanism, RobustAnalysis, TaskReliability};
 pub use error::MarkovError;

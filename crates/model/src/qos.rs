@@ -230,6 +230,17 @@ impl ObjectiveSet {
         Self::new(vec![Objective::Makespan, Objective::ErrorProbability])
     }
 
+    /// The lifetime-aware system-level set: [`ObjectiveSet::system_bi`]
+    /// plus (negated) system MTTF, for campaigns where permanent/aging
+    /// faults are a first-class design axis.
+    pub fn system_lifetime() -> Self {
+        Self::new(vec![
+            Objective::Makespan,
+            Objective::ErrorProbability,
+            Objective::Mttf,
+        ])
+    }
+
     /// The objectives in order.
     pub fn objectives(&self) -> &[Objective] {
         &self.objectives

@@ -96,6 +96,15 @@ pub enum HwMethod {
     PartialTmr,
     /// Full triple modular redundancy with majority voting.
     Tmr,
+    /// Periodic configuration-memory scrubbing of an FPGA region (à la
+    /// Hoque et al.): repairs accumulated upsets between voting windows.
+    /// Only placeable on reconfigurable-region PEs.
+    Scrubbing,
+    /// TMR with configuration scrubbing — the strongest SRAM-FPGA
+    /// mitigation style: voting masks while scrubbing repairs, so the
+    /// masked fraction approaches (but never reaches) one. Only placeable
+    /// on reconfigurable-region PEs.
+    TmrScrubbing,
     /// A tunable generic masking method (`GenM`).
     Generic(GenMasking),
 }
@@ -152,6 +161,18 @@ impl HwMethod {
                 power_factor: 3.00,
                 mem_factor: 3.10,
             },
+            HwMethod::Scrubbing => HwParams {
+                masking: 0.85,
+                time_factor: 1.01,
+                power_factor: 1.15,
+                mem_factor: 1.05,
+            },
+            HwMethod::TmrScrubbing => HwParams {
+                masking: 0.985,
+                time_factor: 1.03,
+                power_factor: 3.20,
+                mem_factor: 3.20,
+            },
             HwMethod::Generic(g) => HwParams {
                 masking: g.masking,
                 time_factor: g.time_factor,
@@ -161,7 +182,10 @@ impl HwMethod {
         }
     }
 
-    /// The built-in catalog explored by the DSE stages.
+    /// The built-in catalog explored by the DSE stages. The FPGA-only
+    /// scrubbing styles are deliberately *not* part of the default
+    /// catalog — the pre-mechanism front digests are pinned on this exact
+    /// product — and are opted into via [`fpga_catalog`](Self::fpga_catalog).
     pub fn catalog() -> Vec<HwMethod> {
         vec![
             HwMethod::None,
@@ -169,6 +193,23 @@ impl HwMethod {
             HwMethod::PartialTmr,
             HwMethod::Tmr,
         ]
+    }
+
+    /// The SEU-mitigation styles for reconfigurable-region PEs: the
+    /// default spatial-redundancy catalog plus configuration scrubbing and
+    /// TMR+scrubbing.
+    pub fn fpga_catalog() -> Vec<HwMethod> {
+        let mut cat = Self::catalog();
+        cat.push(HwMethod::Scrubbing);
+        cat.push(HwMethod::TmrScrubbing);
+        cat
+    }
+
+    /// Whether this method only makes sense on a reconfigurable-region
+    /// (SRAM-FPGA) processing element: configuration-memory scrubbing has
+    /// no analog on a hard processor.
+    pub fn requires_reconfigurable(&self) -> bool {
+        matches!(self, HwMethod::Scrubbing | HwMethod::TmrScrubbing)
     }
 }
 
@@ -179,6 +220,8 @@ impl fmt::Display for HwMethod {
             HwMethod::Hardening => write!(f, "hw:harden"),
             HwMethod::PartialTmr => write!(f, "hw:ptmr"),
             HwMethod::Tmr => write!(f, "hw:tmr"),
+            HwMethod::Scrubbing => write!(f, "hw:scrub"),
+            HwMethod::TmrScrubbing => write!(f, "hw:tmrscrub"),
             HwMethod::Generic(g) => write!(f, "hw:gen(m={:.2})", g.masking),
         }
     }
@@ -196,6 +239,19 @@ pub enum SswMethod {
     /// inter-checkpoint intervals (≥ 2; `intervals − 1` checkpoints are
     /// created).
     Checkpoint {
+        /// Number of inter-checkpoint intervals.
+        intervals: u32,
+    },
+    /// Checkpointing into PE-local scratchpad memory (Prabakaran-style
+    /// heterogeneous mode): cheap to create but the checkpoint shares the
+    /// PE's fault domain, so corruption is far likelier than the default.
+    CheckpointLocal {
+        /// Number of inter-checkpoint intervals.
+        intervals: u32,
+    },
+    /// Checkpointing into remote/ECC-protected main memory: expensive to
+    /// create (bus transfer) but nearly immune to corruption.
+    CheckpointRemote {
         /// Number of inter-checkpoint intervals.
         intervals: u32,
     },
@@ -244,11 +300,32 @@ impl SswMethod {
                 checkpoint_overhead: 0.04,
                 checkpoint_error_prob: 1e-4,
             },
+            SswMethod::CheckpointLocal { intervals } => GenTemporal {
+                detection_coverage: 0.95,
+                tolerance_masking: 0.98,
+                intervals: intervals.max(2),
+                detection_overhead: 0.06,
+                tolerance_overhead: 0.03,
+                checkpoint_overhead: 0.02,
+                checkpoint_error_prob: 1e-3,
+            },
+            SswMethod::CheckpointRemote { intervals } => GenTemporal {
+                detection_coverage: 0.95,
+                tolerance_masking: 0.98,
+                intervals: intervals.max(2),
+                detection_overhead: 0.06,
+                tolerance_overhead: 0.03,
+                checkpoint_overhead: 0.08,
+                checkpoint_error_prob: 1e-6,
+            },
             SswMethod::Generic(g) => g,
         }
     }
 
-    /// The built-in catalog explored by the DSE stages.
+    /// The built-in catalog explored by the DSE stages. The heterogeneous
+    /// checkpointing *modes* are not part of the default catalog (front
+    /// digests are pinned on this product); opt in via
+    /// [`checkpoint_mode_catalog`](Self::checkpoint_mode_catalog).
     pub fn catalog() -> Vec<SswMethod> {
         vec![
             SswMethod::None,
@@ -258,6 +335,18 @@ impl SswMethod {
             SswMethod::Checkpoint { intervals: 4 },
         ]
     }
+
+    /// The heterogeneous-checkpointing catalog: the default temporal
+    /// methods plus per-task local/remote checkpoint placement at each
+    /// interval count, making the storage mode itself a DSE axis.
+    pub fn checkpoint_mode_catalog() -> Vec<SswMethod> {
+        let mut cat = Self::catalog();
+        for intervals in [2, 3, 4] {
+            cat.push(SswMethod::CheckpointLocal { intervals });
+            cat.push(SswMethod::CheckpointRemote { intervals });
+        }
+        cat
+    }
 }
 
 impl fmt::Display for SswMethod {
@@ -266,6 +355,8 @@ impl fmt::Display for SswMethod {
             SswMethod::None => write!(f, "ssw:none"),
             SswMethod::Retry => write!(f, "ssw:retry"),
             SswMethod::Checkpoint { intervals } => write!(f, "ssw:chk{intervals}"),
+            SswMethod::CheckpointLocal { intervals } => write!(f, "ssw:chkl{intervals}"),
+            SswMethod::CheckpointRemote { intervals } => write!(f, "ssw:chkr{intervals}"),
             SswMethod::Generic(g) => write!(f, "ssw:gen(cov={:.2})", g.detection_coverage),
         }
     }
@@ -446,6 +537,40 @@ impl ClrConfig {
             .map(|asw| ClrConfig::new(HwMethod::None, SswMethod::None, asw))
             .collect()
     }
+
+    /// The heterogeneous-checkpointing product: the default hardware and
+    /// application-software catalogs crossed with
+    /// [`SswMethod::checkpoint_mode_catalog`], so checkpoint *placement*
+    /// (local scratchpad vs remote ECC memory) becomes a per-task axis.
+    pub fn checkpoint_mode_catalog() -> Vec<ClrConfig> {
+        let mut out = Vec::new();
+        for hw in HwMethod::catalog() {
+            for ssw in SswMethod::checkpoint_mode_catalog() {
+                for asw in AswMethod::catalog() {
+                    out.push(ClrConfig::new(hw, ssw, asw));
+                }
+            }
+        }
+        out
+    }
+
+    /// The SEU-mitigation-style product: [`HwMethod::fpga_catalog`]
+    /// (adding configuration scrubbing and TMR+scrubbing) crossed with the
+    /// default temporal and information-redundancy catalogs. Configurations
+    /// whose hardware method [`requires_reconfigurable`](HwMethod::requires_reconfigurable)
+    /// are only placeable on reconfigurable-region PEs; the task-level DSE
+    /// enforces that constraint when building implementation libraries.
+    pub fn fpga_mitigation_catalog() -> Vec<ClrConfig> {
+        let mut out = Vec::new();
+        for hw in HwMethod::fpga_catalog() {
+            for ssw in SswMethod::catalog() {
+                for asw in AswMethod::catalog() {
+                    out.push(ClrConfig::new(hw, ssw, asw));
+                }
+            }
+        }
+        out
+    }
 }
 
 impl Default for ClrConfig {
@@ -552,6 +677,77 @@ mod tests {
     #[test]
     fn default_is_unprotected() {
         assert_eq!(ClrConfig::default(), ClrConfig::unprotected());
+    }
+
+    #[test]
+    fn default_catalogs_exclude_new_axes() {
+        // Front digests are pinned on the historic 4×5×4 product: the new
+        // scrubbing styles and checkpointing modes must stay opt-in.
+        assert_eq!(ClrConfig::catalog().len(), 80);
+        assert!(!HwMethod::catalog()
+            .iter()
+            .any(|m| m.requires_reconfigurable()));
+        assert!(!SswMethod::catalog().iter().any(|m| matches!(
+            m,
+            SswMethod::CheckpointLocal { .. } | SswMethod::CheckpointRemote { .. }
+        )));
+    }
+
+    #[test]
+    fn opt_in_catalog_sizes() {
+        assert_eq!(HwMethod::fpga_catalog().len(), 6);
+        assert_eq!(SswMethod::checkpoint_mode_catalog().len(), 11);
+        assert_eq!(ClrConfig::fpga_mitigation_catalog().len(), 6 * 5 * 4);
+        assert_eq!(ClrConfig::checkpoint_mode_catalog().len(), 4 * 11 * 4);
+        let set: HashSet<ClrConfig> = ClrConfig::fpga_mitigation_catalog().into_iter().collect();
+        assert_eq!(set.len(), 120);
+        let set: HashSet<ClrConfig> = ClrConfig::checkpoint_mode_catalog().into_iter().collect();
+        assert_eq!(set.len(), 176);
+    }
+
+    #[test]
+    fn scrubbing_styles_are_fpga_only_and_imperfect() {
+        assert!(HwMethod::Scrubbing.requires_reconfigurable());
+        assert!(HwMethod::TmrScrubbing.requires_reconfigurable());
+        assert!(!HwMethod::Tmr.requires_reconfigurable());
+        let scrub = HwMethod::Scrubbing.params();
+        let tmr_scrub = HwMethod::TmrScrubbing.params();
+        assert!(scrub.masking < tmr_scrub.masking);
+        assert!(tmr_scrub.masking < 1.0, "mitigation must be imperfect");
+        assert!(
+            tmr_scrub.masking > HwMethod::Tmr.params().masking,
+            "TMR+scrubbing beats plain TMR in masking"
+        );
+        assert!(scrub.power_factor < HwMethod::Tmr.params().power_factor);
+        assert_eq!(HwMethod::Scrubbing.to_string(), "hw:scrub");
+        assert_eq!(HwMethod::TmrScrubbing.to_string(), "hw:tmrscrub");
+    }
+
+    #[test]
+    fn checkpoint_modes_trade_overhead_against_corruption() {
+        let default = SswMethod::Checkpoint { intervals: 3 }.params();
+        let local = SswMethod::CheckpointLocal { intervals: 3 }.params();
+        let remote = SswMethod::CheckpointRemote { intervals: 3 }.params();
+        assert!(local.checkpoint_overhead < default.checkpoint_overhead);
+        assert!(remote.checkpoint_overhead > default.checkpoint_overhead);
+        assert!(local.checkpoint_error_prob > default.checkpoint_error_prob);
+        assert!(remote.checkpoint_error_prob < default.checkpoint_error_prob);
+        // Modes share the detection/tolerance machinery and interval floor.
+        assert_eq!(local.intervals, 3);
+        assert_eq!(
+            SswMethod::CheckpointLocal { intervals: 1 }
+                .params()
+                .intervals,
+            2
+        );
+        assert_eq!(
+            SswMethod::CheckpointLocal { intervals: 2 }.to_string(),
+            "ssw:chkl2"
+        );
+        assert_eq!(
+            SswMethod::CheckpointRemote { intervals: 4 }.to_string(),
+            "ssw:chkr4"
+        );
     }
 
     #[test]

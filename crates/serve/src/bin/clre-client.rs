@@ -15,7 +15,9 @@
 //! determinism check CI runs. APP is `synthetic:<tasks>:<seed>` or
 //! `sobel:<seed>`; PLAN is a built-in name (`fc`, `pf`, `proposed`,
 //! `agnostic`, `pf-spea2`, `pf-tournament:<k>`, `random-subset:<seed>`)
-//! or a raw plan string.
+//! or a raw plan string, optionally suffixed `@<scenario>` to run it
+//! under a reliability scenario (`transient`, `lifetime[:hours]`,
+//! `chkmodes`, `fpga`) — e.g. `--plan fc@lifetime:40000`.
 //!
 //! Exit codes: 0 done, 3 parked (reattach after restart), 4 rejected,
 //! 1 error.
@@ -26,7 +28,7 @@ use clre::methodology::{ClrEarly, StageBudget};
 use clre_exec::{ExecPool, Executor};
 use clre_serve::client::{Event, ServeClient, Submission};
 use clre_serve::server::{build_app, front_digest};
-use clre_serve::wire::{plan_from_arg, AppSpec, DoneSummary, SubmitRequest};
+use clre_serve::wire::{plan_scenario_from_arg, AppSpec, DoneSummary, SubmitRequest};
 
 fn usage() -> ! {
     eprintln!(
@@ -114,11 +116,12 @@ fn request_from(args: &Args) -> SubmitRequest {
             eprintln!("clre-client: {e}");
             exit(2);
         });
-    let plan = plan_from_arg(args.plan.as_deref().unwrap_or_else(|| missing("plan")))
-        .unwrap_or_else(|e| {
-            eprintln!("clre-client: {e}");
-            exit(2);
-        });
+    let (plan, scenario) =
+        plan_scenario_from_arg(args.plan.as_deref().unwrap_or_else(|| missing("plan")))
+            .unwrap_or_else(|e| {
+                eprintln!("clre-client: {e}");
+                exit(2);
+            });
     SubmitRequest {
         tenant: args.tenant.clone().unwrap_or_else(|| "default".to_owned()),
         app,
@@ -128,6 +131,7 @@ fn request_from(args: &Args) -> SubmitRequest {
         )
         .with_seed(args.seed.unwrap_or_else(|| missing("seed"))),
         plan,
+        scenario,
     }
 }
 
@@ -209,7 +213,7 @@ fn local(args: &Args) -> i32 {
             return 1;
         }
     };
-    let dse = match ClrEarly::new(&graph, &platform) {
+    let dse = match ClrEarly::with_scenario(&graph, &platform, &request.scenario) {
         Ok(dse) => dse.with_executor(Executor::new(ExecPool::new(args.workers))),
         Err(e) => {
             eprintln!("clre-client: task-level DSE: {e}");

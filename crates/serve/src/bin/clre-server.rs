@@ -3,7 +3,14 @@
 //! ```text
 //! clre-server --root DIR [--addr 127.0.0.1:7171] [--workers N]
 //!             [--max-active N] [--tenant-quota N]
+//!             [--trace-ring LINES] [--cache-ceiling ENTRIES]
 //! ```
+//!
+//! `--trace-ring` bounds each campaign's in-memory trace history (0 =
+//! unbounded, default 4096 lines); older lines spill to `trace.txt`
+//! and `attach from=n` replays them from there. `--cache-ceiling`
+//! bounds each shared evaluation cache (0 = unbounded); beyond it the
+//! least-recently-used entries are evicted and reported in `stats`.
 //!
 //! Prints `listening <addr>` once the socket is bound (so scripts using
 //! `--addr 127.0.0.1:0` can read the ephemeral port), then serves until
@@ -17,7 +24,8 @@ use clre_serve::server::{install_sigterm_handler, ServeConfig, Server};
 fn usage() -> ! {
     eprintln!(
         "usage: clre-server --root DIR [--addr HOST:PORT] [--workers N] \
-         [--max-active N] [--tenant-quota N]"
+         [--max-active N] [--tenant-quota N] [--trace-ring LINES] \
+         [--cache-ceiling ENTRIES]"
     );
     exit(2);
 }
@@ -29,6 +37,8 @@ fn main() {
     let mut workers = 1;
     let mut max_active = 8;
     let mut tenant_quota = 4;
+    let mut trace_ring = 4096;
+    let mut cache_ceiling = 0;
     while let Some(arg) = args.next() {
         let mut value = |what: &str| {
             args.next().unwrap_or_else(|| {
@@ -42,6 +52,10 @@ fn main() {
             "--workers" => workers = parse(&value("--workers"), "--workers"),
             "--max-active" => max_active = parse(&value("--max-active"), "--max-active"),
             "--tenant-quota" => tenant_quota = parse(&value("--tenant-quota"), "--tenant-quota"),
+            "--trace-ring" => trace_ring = parse(&value("--trace-ring"), "--trace-ring"),
+            "--cache-ceiling" => {
+                cache_ceiling = parse(&value("--cache-ceiling"), "--cache-ceiling");
+            }
             _ => usage(),
         }
     }
@@ -49,7 +63,9 @@ fn main() {
     let config = ServeConfig::new(root)
         .with_workers(workers)
         .with_max_active(max_active)
-        .with_tenant_quota(tenant_quota);
+        .with_tenant_quota(tenant_quota)
+        .with_trace_ring(trace_ring)
+        .with_cache_ceiling(cache_ceiling);
     let server = match Server::bind(&addr, config) {
         Ok(server) => server,
         Err(e) => {

@@ -45,6 +45,7 @@
 //!         app: AppSpec::Synthetic { tasks: 8, seed: 3 },
 //!         budget: StageBudget::new(8, 2).with_seed(5),
 //!         plan: CampaignPlan::fc(),
+//!         scenario: clre::Scenario::Transient,
 //!     })
 //!     .unwrap();
 //! assert!(matches!(submission, Submission::Accepted { .. }));

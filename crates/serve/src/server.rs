@@ -57,11 +57,20 @@ pub struct ServeConfig {
     pub workers: usize,
     /// Admission policy.
     pub admission: Admission,
+    /// In-memory trace-log ring per campaign, in lines (0 = unbounded).
+    /// Older lines stay on disk in `trace.txt` and `attach from=n`
+    /// replays them from there, so the cap bounds resident memory
+    /// without truncating history.
+    pub trace_ring: usize,
+    /// Entry ceiling per shared [`EvalCache`] (0 = unbounded); beyond
+    /// it, least-recently-used entries are evicted and counted in the
+    /// `stats` eviction telemetry.
+    pub cache_ceiling: usize,
 }
 
 impl ServeConfig {
     /// Defaults: serial evaluation, 8 concurrent campaigns, 4 per
-    /// tenant.
+    /// tenant, a 4096-line trace ring, unbounded caches.
     pub fn new(root: impl Into<PathBuf>) -> Self {
         ServeConfig {
             root: root.into(),
@@ -70,6 +79,8 @@ impl ServeConfig {
                 max_active: 8,
                 max_per_tenant: 4,
             },
+            trace_ring: 4096,
+            cache_ceiling: 0,
         }
     }
 
@@ -91,6 +102,22 @@ impl ServeConfig {
     #[must_use]
     pub fn with_tenant_quota(mut self, max_per_tenant: usize) -> Self {
         self.admission.max_per_tenant = max_per_tenant;
+        self
+    }
+
+    /// Sets the in-memory trace-ring cap in lines, 0 for unbounded
+    /// (builder style).
+    #[must_use]
+    pub fn with_trace_ring(mut self, lines: usize) -> Self {
+        self.trace_ring = lines;
+        self
+    }
+
+    /// Sets the shared-cache entry ceiling, 0 for unbounded (builder
+    /// style).
+    #[must_use]
+    pub fn with_cache_ceiling(mut self, entries: usize) -> Self {
+        self.cache_ceiling = entries;
         self
     }
 }
@@ -150,6 +177,7 @@ impl Shared {
         let mut caches = self.caches.lock().expect("cache table poisoned");
         Arc::clone(caches.entry(label.to_owned()).or_insert_with(|| {
             let cache = EvalCache::shared();
+            cache.set_entry_ceiling(self.config.cache_ceiling);
             let sidecar = self.config.root.join(format!("cache-{label}.cache"));
             // A failed bind degrades to a cold in-memory cache — the
             // server stays up, only warm-start is lost.
@@ -286,7 +314,10 @@ fn recover_from_root(shared: &Arc<Shared>) {
             let Some(id) = dir.file_name().and_then(|n| n.to_str()) else {
                 continue;
             };
-            let log = Arc::new(TraceLog::persisted(dir.join("trace.txt")));
+            let log = Arc::new(TraceLog::persisted_with_ring(
+                dir.join("trace.txt"),
+                shared.config.trace_ring,
+            ));
             let entry = Arc::new(CampaignEntry {
                 id: id.to_owned(),
                 request,
@@ -349,12 +380,21 @@ fn drive_campaign(
         .with_label(&entry.id)
         .with_telemetry(sink)
         .with_gate(Arc::clone(&shared.gate), ticket);
-    let dse = match ClrEarly::with_tdse_config(
-        &graph,
-        &platform,
-        TdseConfig::default().with_eval_cache(Arc::clone(&cache)),
-    ) {
-        Ok(dse) => dse.with_executor(exec).with_cache(cache),
+    // The scenario picks the fault mechanism, CLR catalog and objective
+    // set; the shared cache is attached first so scenario-distinct
+    // chain digests land in the same warm sidecar without colliding.
+    let tdse = match request
+        .scenario
+        .apply_to(TdseConfig::default().with_eval_cache(Arc::clone(&cache)))
+    {
+        Ok(tdse) => tdse,
+        Err(e) => return CampaignOutcome::Failed(format!("scenario: {e}")),
+    };
+    let dse = match ClrEarly::with_tdse_config(&graph, &platform, tdse) {
+        Ok(dse) => dse
+            .with_objectives(request.scenario.system_objectives())
+            .with_executor(exec)
+            .with_cache(cache),
         Err(e) => return CampaignOutcome::Failed(format!("task-level DSE: {e}")),
     };
     let dir = entry.dir(&shared.config.root);
@@ -443,7 +483,10 @@ fn handle_submit(
     let entry = Arc::new(CampaignEntry {
         id: id.clone(),
         request,
-        log: Arc::new(TraceLog::persisted(dir.join("trace.txt"))),
+        log: Arc::new(TraceLog::persisted_with_ring(
+            dir.join("trace.txt"),
+            shared.config.trace_ring,
+        )),
     });
     shared.registry.insert(Arc::clone(&entry));
     spawn_campaign(shared, Arc::clone(&entry), false);
@@ -523,12 +566,15 @@ fn stats_line(shared: &Arc<Shared>) -> String {
     let (active, done, parked, failed) = shared.registry.outcome_counts();
     let tenants = shared.registry.tenant_count();
     let caches = shared.caches.lock().expect("cache table poisoned");
-    let counts: HashMap<String, (u64, u64, u64, u64)> = caches
+    let counts: HashMap<String, (u64, u64, u64, u64, u64, u64)> = caches
         .iter()
         .map(|(label, cache)| {
             let a = cache.analysis_counts();
             let f = cache.fitness_counts();
-            (label.clone(), (a.hits, a.misses, f.hits, f.misses))
+            (
+                label.clone(),
+                (a.hits, a.misses, a.evictions, f.hits, f.misses, f.evictions),
+            )
         })
         .collect();
     format!(

@@ -37,19 +37,28 @@ pub enum CampaignOutcome {
 
 #[derive(Debug, Default)]
 struct LogState {
+    /// The in-memory tail. With a ring cap, older lines are dropped from
+    /// memory (they remain in the persist sidecar) and `start` records
+    /// how many were dropped, so global line indices never shift.
     lines: Vec<String>,
+    /// Global index of `lines[0]` — lines `0..start` live only on disk.
+    start: usize,
     outcome: Option<CampaignOutcome>,
 }
 
 /// Append-only trace history of one campaign plus its terminal outcome,
 /// safe to tail from many threads. Optionally persists each line to a
 /// `trace.txt` sidecar so line indices stay stable across a server
-/// restart.
+/// restart, and optionally bounds the in-memory tail to a ring of the
+/// most recent lines — a long campaign then costs O(ring) memory while
+/// `attach from=n` for older indices replays from the sidecar.
 #[derive(Debug, Default)]
 pub struct TraceLog {
     state: Mutex<LogState>,
     cv: Condvar,
     persist: Option<PathBuf>,
+    /// In-memory line cap; 0 means unbounded.
+    ring: usize,
 }
 
 impl TraceLog {
@@ -63,16 +72,30 @@ impl TraceLog {
     /// stopped at, and `attach from=n` keeps meaning the same thing
     /// across restarts.
     pub fn persisted(path: PathBuf) -> Self {
-        let lines = fs::read_to_string(&path)
+        TraceLog::persisted_with_ring(path, 0)
+    }
+
+    /// As [`TraceLog::persisted`], but keeping at most `ring` lines in
+    /// memory (0 = unbounded). Only the newest `ring` preexisting lines
+    /// are loaded; older indices replay from the sidecar on demand.
+    pub fn persisted_with_ring(path: PathBuf, ring: usize) -> Self {
+        let mut lines: Vec<String> = fs::read_to_string(&path)
             .map(|text| text.lines().map(str::to_owned).collect())
             .unwrap_or_default();
+        let mut start = 0;
+        if ring > 0 && lines.len() > ring {
+            start = lines.len() - ring;
+            lines.drain(..start);
+        }
         TraceLog {
             state: Mutex::new(LogState {
                 lines,
+                start,
                 outcome: None,
             }),
             cv: Condvar::new(),
             persist: Some(path),
+            ring,
         }
     }
 
@@ -90,6 +113,11 @@ impl TraceLog {
         }
         let mut s = self.state.lock().expect("trace log poisoned");
         s.lines.push(line.to_owned());
+        if self.ring > 0 && s.lines.len() > self.ring {
+            let excess = s.lines.len() - self.ring;
+            s.lines.drain(..excess);
+            s.start += excess;
+        }
         drop(s);
         self.cv.notify_all();
     }
@@ -110,9 +138,11 @@ impl TraceLog {
         s.outcome = None;
     }
 
-    /// Number of lines emitted so far.
+    /// Number of lines emitted so far (including lines evicted from the
+    /// in-memory ring — indices are global and never shift).
     pub fn len(&self) -> usize {
-        self.state.lock().expect("trace log poisoned").lines.len()
+        let s = self.state.lock().expect("trace log poisoned");
+        s.start + s.lines.len()
     }
 
     /// Whether no lines have been emitted yet.
@@ -133,21 +163,47 @@ impl TraceLog {
     /// `from` or the log is sealed; returns the new lines and, once
     /// everything up to the seal has been drained, the outcome. A
     /// `(empty, None)` return is a patience timeout — poll again.
+    ///
+    /// A `from` older than the in-memory ring replays the evicted range
+    /// from the persist sidecar (best-effort: lines whose disk append
+    /// failed are skipped, and the reader resumes from the ring).
     pub fn wait_from(
         &self,
         from: usize,
         patience: Duration,
     ) -> (Vec<String>, Option<CampaignOutcome>) {
         let mut s = self.state.lock().expect("trace log poisoned");
-        if s.lines.len() <= from && s.outcome.is_none() {
+        if s.start + s.lines.len() <= from && s.outcome.is_none() {
             let (guard, _timeout) = self
                 .cv
                 .wait_timeout(s, patience)
                 .expect("trace log poisoned");
             s = guard;
         }
-        let fresh = s.lines.get(from..).unwrap_or_default().to_vec();
-        let outcome = if from + fresh.len() >= s.lines.len() {
+        let total = s.start + s.lines.len();
+        let mut fresh: Vec<String> = Vec::new();
+        if from < s.start {
+            if let Some(path) = &self.persist {
+                if let Ok(text) = fs::read_to_string(path) {
+                    fresh.extend(
+                        text.lines()
+                            .skip(from)
+                            .take(s.start - from)
+                            .map(str::to_owned),
+                    );
+                }
+            }
+            fresh.extend(s.lines.iter().cloned());
+        } else {
+            fresh.extend(
+                s.lines
+                    .get(from - s.start..)
+                    .unwrap_or_default()
+                    .iter()
+                    .cloned(),
+            );
+        }
+        let outcome = if from.max(s.start) + fresh.len() >= total {
             s.outcome.clone()
         } else {
             None
@@ -325,16 +381,20 @@ impl Registry {
 }
 
 /// Snapshot of every shared cache's counters, for the `stats` response.
-pub fn format_cache_stats(counts: &HashMap<String, (u64, u64, u64, u64)>) -> String {
+/// Per label: `(analysis hits, analysis misses, analysis evictions,
+/// fitness hits, fitness misses, fitness evictions)` — evictions are
+/// nonzero only when the server runs with a cache entry ceiling.
+pub fn format_cache_stats(counts: &HashMap<String, (u64, u64, u64, u64, u64, u64)>) -> String {
     let mut labels: Vec<&String> = counts.keys().collect();
     labels.sort();
     labels
         .iter()
         .map(|label| {
-            let (ah, am, fh, fm) = counts[label.as_str()];
+            let (ah, am, ae, fh, fm, fe) = counts[label.as_str()];
             format!(
                 " cache.{label}.analysis_hits={ah} cache.{label}.analysis_misses={am} \
-                 cache.{label}.fitness_hits={fh} cache.{label}.fitness_misses={fm}"
+                 cache.{label}.analysis_evictions={ae} cache.{label}.fitness_hits={fh} \
+                 cache.{label}.fitness_misses={fm} cache.{label}.fitness_evictions={fe}"
             )
         })
         .collect()
@@ -355,6 +415,7 @@ mod tests {
                 app: AppSpec::Sobel { seed: 1 },
                 budget: StageBudget::new(4, 2),
                 plan: CampaignPlan::fc(),
+                scenario: clre::Scenario::Transient,
             },
             log: Arc::new(TraceLog::new()),
         })
@@ -363,8 +424,8 @@ mod tests {
     #[test]
     fn cache_stats_tokens_are_space_separated_and_numeric() {
         let mut counts = HashMap::new();
-        counts.insert("paper".to_owned(), (11u64, 22u64, 33u64, 44u64));
-        counts.insert("sobel".to_owned(), (1u64, 2u64, 3u64, 4u64));
+        counts.insert("paper".to_owned(), (11u64, 22u64, 5u64, 33u64, 44u64, 6u64));
+        counts.insert("sobel".to_owned(), (1u64, 2u64, 0u64, 3u64, 4u64, 0u64));
         let stats = format_cache_stats(&counts);
         // Every token must parse as key=<u64> — a glued token (missing
         // separator) would make its numeric tail unparseable.
@@ -378,8 +439,10 @@ mod tests {
         for expected in [
             "cache.paper.analysis_hits=11",
             "cache.paper.analysis_misses=22",
+            "cache.paper.analysis_evictions=5",
             "cache.paper.fitness_hits=33",
             "cache.paper.fitness_misses=44",
+            "cache.paper.fitness_evictions=6",
             "cache.sobel.analysis_hits=1",
         ] {
             assert!(
@@ -439,6 +502,46 @@ mod tests {
         reloaded.push("gen 2");
         let (lines, _) = reloaded.wait_from(1, Duration::ZERO);
         assert_eq!(lines, vec!["gen 1", "gen 2"]);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn ring_cap_bounds_memory_and_replays_evicted_lines_from_disk() {
+        let dir = std::env::temp_dir().join("clre-serve-session-ring");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.txt");
+        let _ = fs::remove_file(&path);
+        let log = TraceLog::persisted_with_ring(path.clone(), 3);
+        for i in 0..10 {
+            log.push(&format!("gen {i}"));
+        }
+        assert_eq!(log.len(), 10, "indices are global, not ring-relative");
+        {
+            let s = log.state.lock().unwrap();
+            assert_eq!(s.lines.len(), 3, "memory bounded by the ring");
+            assert_eq!(s.start, 7);
+        }
+        // A tail inside the ring serves from memory.
+        let (lines, _) = log.wait_from(8, Duration::ZERO);
+        assert_eq!(lines, vec!["gen 8", "gen 9"]);
+        // A tail older than the ring replays the evicted prefix from the
+        // sidecar and continues seamlessly into the ring.
+        let (lines, outcome) = log.wait_from(5, Duration::ZERO);
+        let expected: Vec<String> = (5..10).map(|i| format!("gen {i}")).collect();
+        assert_eq!(lines, expected);
+        assert_eq!(outcome, None, "not sealed yet");
+        log.finish(CampaignOutcome::Parked { generation: 9 });
+        let (lines, outcome) = log.wait_from(0, Duration::ZERO);
+        assert_eq!(lines.len(), 10, "full replay from line zero");
+        assert!(outcome.is_some(), "drained reader sees the seal");
+
+        // A restart with the same ring keeps indices stable and loads
+        // only the newest lines into memory.
+        let reloaded = TraceLog::persisted_with_ring(path.clone(), 3);
+        assert_eq!(reloaded.len(), 10);
+        assert_eq!(reloaded.state.lock().unwrap().lines.len(), 3);
+        let (lines, _) = reloaded.wait_from(9, Duration::ZERO);
+        assert_eq!(lines, vec!["gen 9"]);
         let _ = fs::remove_file(&path);
     }
 

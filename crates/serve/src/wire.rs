@@ -22,6 +22,14 @@
 //! seed_from := '-' | stage index
 //! ```
 //!
+//! A submission additionally carries an optional `scenario=` key — a
+//! reliability scenario name (`transient`, `lifetime[:hours]`,
+//! `chkmodes`, `fpga`) selecting the fault mechanism, CLR catalog and
+//! objective set the campaign runs under; command-line front ends
+//! accept the combined `plan@scenario` shorthand via
+//! [`plan_scenario_from_arg`]. Unknown scenario axes are rejected with
+//! the typed [`clre::DseError::Scenario`] message, never a panic.
+//!
 //! # Examples
 //!
 //! ```
@@ -38,6 +46,7 @@ use std::io::{self, Read, Write};
 use clre::campaign::{CampaignPlan, LibrarySource, StageAlgorithm, StagePlan};
 use clre::encoding::ChoiceMode;
 use clre::methodology::{Layer, StageBudget};
+use clre::Scenario;
 
 /// The protocol version token exchanged in the handshake.
 pub const WIRE_VERSION: &str = "clre-wire v1";
@@ -167,7 +176,7 @@ fn expect_end<'a>(mut parts: impl Iterator<Item = &'a str>, text: &str) -> Resul
 }
 
 /// One campaign submission: who is asking, what to optimize, with what
-/// budget, under which plan.
+/// budget, under which plan and reliability scenario.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SubmitRequest {
     /// Tenant name (whitespace-free); the quota and on-disk namespace.
@@ -178,13 +187,22 @@ pub struct SubmitRequest {
     pub budget: StageBudget,
     /// The stage graph to run.
     pub plan: CampaignPlan,
+    /// The reliability scenario: fault mechanism + catalog axes +
+    /// objective set the campaign runs under. Omitted on the wire when
+    /// [`Scenario::Transient`] (the default), so pre-scenario captures
+    /// and `meta.txt` sidecars keep parsing.
+    pub scenario: Scenario,
 }
 
 impl SubmitRequest {
     /// The `submit …` request line.
     pub fn encode(&self) -> String {
+        let scenario = match self.scenario {
+            Scenario::Transient => String::new(),
+            ref s => format!(" scenario={}", s.name()),
+        };
         format!(
-            "submit tenant={} app={} population={} generations={} seed={} plan={}",
+            "submit tenant={} app={} population={} generations={} seed={} plan={}{scenario}",
             self.tenant,
             self.app.encode(),
             self.budget.population,
@@ -206,6 +224,7 @@ impl SubmitRequest {
         let mut generations = None;
         let mut seed = None;
         let mut plan = None;
+        let mut scenario = Scenario::Transient;
         let mut tokens = line.split_whitespace();
         if tokens.next() != Some("submit") {
             return Err("not a submit line".to_owned());
@@ -221,6 +240,7 @@ impl SubmitRequest {
                 "generations" => generations = Some(parse_num(Some(value), "generations")?),
                 "seed" => seed = Some(parse_num(Some(value), "seed")?),
                 "plan" => plan = Some(parse_plan(value)?),
+                "scenario" => scenario = Scenario::parse(value).map_err(|e| e.to_string())?,
                 _ => return Err(format!("unknown submit key {key:?}")),
             }
         }
@@ -243,6 +263,7 @@ impl SubmitRequest {
             )
             .with_seed(seed.ok_or("missing seed")?),
             plan: plan.ok_or("missing plan")?,
+            scenario,
         })
     }
 }
@@ -408,6 +429,29 @@ pub fn plan_from_arg(arg: &str) -> Result<CampaignPlan, String> {
     ))
 }
 
+/// Resolves a plan argument with an optional `@<scenario>` suffix:
+/// `fc@lifetime:40000` runs the fcCLR plan under the permanent-fault
+/// scenario, `proposed@chkmodes` the proposed flow over the
+/// checkpoint-mode catalog. Without a suffix the plan runs under
+/// [`Scenario::Transient`] — the original pipeline. `@` is reserved by
+/// this shorthand and cannot appear in raw plan strings passed through
+/// it.
+///
+/// # Errors
+///
+/// As [`plan_from_arg`] for the plan half; an unknown or malformed
+/// scenario suffix reports the typed [`Scenario::parse`] message
+/// (never panics).
+pub fn plan_scenario_from_arg(arg: &str) -> Result<(CampaignPlan, Scenario), String> {
+    match arg.split_once('@') {
+        Some((plan, scenario)) => Ok((
+            plan_from_arg(plan)?,
+            Scenario::parse(scenario).map_err(|e| e.to_string())?,
+        )),
+        None => Ok((plan_from_arg(arg)?, Scenario::Transient)),
+    }
+}
+
 /// One terminal summary of a finished campaign, carried by the `done`
 /// event and the `done.txt` sidecar.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -514,13 +558,47 @@ mod tests {
             app: AppSpec::Synthetic { tasks: 12, seed: 3 },
             budget: StageBudget::new(8, 4).with_seed(11),
             plan: CampaignPlan::proposed(),
+            scenario: Scenario::Transient,
         };
         assert_eq!(SubmitRequest::parse(&req.encode()).unwrap(), req);
+        assert!(
+            !req.encode().contains("scenario="),
+            "default scenario stays off the wire for back-compat"
+        );
         let sobel = SubmitRequest {
             app: AppSpec::Sobel { seed: 42 },
             ..req
         };
         assert_eq!(SubmitRequest::parse(&sobel.encode()).unwrap(), sobel);
+    }
+
+    #[test]
+    fn submit_requests_carry_scenarios() {
+        for scenario in [
+            Scenario::PermanentAging {
+                mission_time_hours: 40_000.0,
+            },
+            Scenario::CheckpointModes,
+            Scenario::FpgaMitigation,
+        ] {
+            let req = SubmitRequest {
+                tenant: "team-a".to_owned(),
+                app: AppSpec::Sobel { seed: 7 },
+                budget: StageBudget::new(8, 4).with_seed(11),
+                plan: CampaignPlan::fc(),
+                scenario,
+            };
+            let line = req.encode();
+            assert!(line.contains("scenario="), "non-default rides the wire");
+            assert_eq!(SubmitRequest::parse(&line).unwrap(), req);
+        }
+        // Unknown axes come back as the typed scenario message.
+        let bad = SubmitRequest::parse(
+            "submit tenant=a app=sobel:1 population=4 generations=2 seed=1 \
+             plan=fcCLR|f,nsga2,full,main,1,1,- scenario=warpdrive",
+        );
+        let msg = bad.expect_err("unknown scenario must be rejected");
+        assert!(msg.contains("invalid scenario"), "typed message: {msg}");
     }
 
     #[test]
@@ -560,6 +638,37 @@ mod tests {
         let raw = encode_plan(&CampaignPlan::proposed());
         assert_eq!(plan_from_arg(&raw).unwrap(), CampaignPlan::proposed());
         assert!(plan_from_arg("mystery").is_err());
+    }
+
+    #[test]
+    fn plan_at_scenario_shorthands_resolve() {
+        assert_eq!(
+            plan_scenario_from_arg("fc").unwrap(),
+            (CampaignPlan::fc(), Scenario::Transient)
+        );
+        assert_eq!(
+            plan_scenario_from_arg("fc@lifetime:40000").unwrap(),
+            (
+                CampaignPlan::fc(),
+                Scenario::PermanentAging {
+                    mission_time_hours: 40_000.0
+                }
+            )
+        );
+        assert_eq!(
+            plan_scenario_from_arg("proposed@chkmodes").unwrap(),
+            (CampaignPlan::proposed(), Scenario::CheckpointModes)
+        );
+        assert_eq!(
+            plan_scenario_from_arg("pf-tournament:3@fpga").unwrap(),
+            (
+                CampaignPlan::pf_with_tournament(3),
+                Scenario::FpgaMitigation
+            )
+        );
+        let err = plan_scenario_from_arg("fc@warpdrive").expect_err("unknown axis");
+        assert!(err.contains("invalid scenario"), "typed message: {err}");
+        assert!(plan_scenario_from_arg("mystery@fpga").is_err(), "bad plan");
     }
 
     #[test]

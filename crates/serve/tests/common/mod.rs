@@ -58,15 +58,16 @@ pub fn tiny_request(tenant: &str, plan: CampaignPlan, generations: usize) -> Sub
         app: AppSpec::Synthetic { tasks: 12, seed: 3 },
         budget: StageBudget::new(8, generations).with_seed(11),
         plan,
+        scenario: clre::Scenario::Transient,
     }
 }
 
-/// The in-process baseline: the same plan run directly (serial, no
-/// cache, no supervision). The server must reproduce this digest
-/// bit-exactly.
+/// The in-process baseline: the same plan and scenario run directly
+/// (serial, no cache, no supervision). The server must reproduce this
+/// digest bit-exactly.
 pub fn local_digest(request: &SubmitRequest) -> u64 {
     let (platform, graph) = build_app(&request.app).expect("app builds");
-    let front = clre::methodology::ClrEarly::new(&graph, &platform)
+    let front = clre::methodology::ClrEarly::with_scenario(&graph, &platform, &request.scenario)
         .expect("tDSE succeeds")
         .run_campaign(&request.plan, &request.budget)
         .expect("in-process campaign completes");

@@ -150,6 +150,57 @@ fn admission_rejections_are_reported_with_reasons() {
     server.stop();
 }
 
+/// A submission carrying a reliability scenario runs the campaign under
+/// that scenario's fault mechanism, catalog and objectives — and its
+/// front digest matches the same scenario run in-process. The default
+/// transient submissions above pin the original pipeline unchanged.
+#[test]
+fn scenario_submissions_run_under_their_scenario() {
+    let server = RunningServer::start(
+        // A tiny trace ring: the campaign streams more lines than the
+        // ring holds, so `attach from=0` must replay from trace.txt.
+        ServeConfig::new(fresh_root("scenario"))
+            .with_workers(2)
+            .with_trace_ring(2),
+    );
+    let mut request = tiny_request("alpha", CampaignPlan::fc(), 4);
+    request.scenario = clre::Scenario::parse("lifetime:5000").unwrap();
+    let expected = local_digest(&request);
+    let (traces, terminal) = submit_and_drain(&server.addr, &request);
+    let streamed = traces.len();
+    match terminal {
+        Event::Done(summary) => assert_eq!(
+            summary.digest, expected,
+            "server scenario run must match the in-process scenario run"
+        ),
+        other => panic!("expected done, got {other:?}"),
+    }
+
+    // The transient run of the same plan must differ: the scenario
+    // actually changed the physics, it did not just relabel the run.
+    let transient = tiny_request("alpha", CampaignPlan::fc(), 4);
+    assert_ne!(
+        local_digest(&transient),
+        expected,
+        "lifetime scenario must change the front"
+    );
+
+    // Attach from line 0: everything older than the 2-line ring comes
+    // back from the trace.txt spill, indices intact.
+    let mut client = ServeClient::connect(&server.addr).expect("connect");
+    let id = "c1".to_owned();
+    let lines = client.attach("alpha", &id, 0).expect("attach");
+    assert_eq!(lines, streamed, "global line count survives the ring");
+    let (replayed, terminal) = client.drain().expect("drain replay");
+    assert_eq!(
+        replayed.len(),
+        streamed,
+        "ring-evicted lines replay from disk"
+    );
+    assert!(matches!(terminal, Event::Done(_)));
+    server.stop();
+}
+
 /// The request surface outside campaign streaming: ping, stats on an
 /// idle server, and unknown-campaign attach.
 #[test]

@@ -33,6 +33,7 @@ fn main() {
         },
         budget: StageBudget::new(population, generations).with_seed(11),
         plan: CampaignPlan::proposed(),
+        scenario: clrearly::core::Scenario::Transient,
     };
 
     // The server: own thread, ephemeral port, throw-away state dir.

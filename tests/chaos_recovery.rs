@@ -100,6 +100,55 @@ fn storm_recovers_bit_identical_front_at_one_and_four_workers() {
     assert_eq!(w1.health, w4.health, "schedule depends on worker count");
 }
 
+fn stormed_lifetime_run(name: &str, workers: usize) -> FrontResult {
+    let platform = apps::paper_platform();
+    let graph = apps::sobel(&platform, 42).expect("sobel app");
+    let scenario = clrearly::core::Scenario::parse("lifetime:5000").expect("scenario");
+    ClrEarly::with_scenario(&graph, &platform, &scenario)
+        .expect("tDSE succeeds")
+        .with_executor(dying_executor(workers))
+        .run_fc_supervised(&StageBudget::smoke_test(), &storm_supervisor(name))
+        .expect("stormed run completes")
+        .expect_complete()
+}
+
+/// The hardened recovery paths hold under the permanent-fault scenario
+/// too: a storm over a lifetime campaign — aging hazards folded into
+/// every chain, tri-objective fronts — recovers the fault-free front
+/// bit-identically at one and four workers.
+#[test]
+fn storm_recovers_permanent_fault_campaign_bit_identically() {
+    let platform = apps::paper_platform();
+    let graph = apps::sobel(&platform, 42).expect("sobel app");
+    let scenario = clrearly::core::Scenario::parse("lifetime:5000").expect("scenario");
+    let clean = ClrEarly::with_scenario(&graph, &platform, &scenario)
+        .expect("tDSE succeeds")
+        .run_fc(&StageBudget::smoke_test())
+        .expect("clean run completes");
+
+    let w1 = stormed_lifetime_run("life-w1", 1);
+    let w4 = stormed_lifetime_run("life-w4", 4);
+    assert_same_front(&clean, &w1);
+    assert_same_front(&clean, &w4);
+    assert!(w1.health.injected > 0, "storm never fired");
+    assert!(w1.health.recovered > 0, "no fault recovered");
+    assert_eq!(w1.health, w4.health, "schedule depends on worker count");
+
+    // And the scenario really changed the physics: the recovered front
+    // is not the transient front under the same plan and seed.
+    let transient = ClrEarly::new(&graph, &platform)
+        .expect("tDSE succeeds")
+        .run_fc(&StageBudget::smoke_test())
+        .expect("transient run completes");
+    let same_front = clean.front().len() == transient.front().len()
+        && clean
+            .front()
+            .iter()
+            .zip(transient.front())
+            .all(|(a, b)| a.objectives == b.objectives);
+    assert!(!same_front, "lifetime scenario must move the fcCLR front");
+}
+
 #[test]
 fn same_seed_reproduces_fault_schedule_and_counters() {
     let first = stormed_run("replay-a", 1);

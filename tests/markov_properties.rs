@@ -3,7 +3,7 @@
 //! the physics must be monotone in every masking knob.
 
 use clrearly::markov::closed_form;
-use clrearly::markov::clr::{analyze, ClrChainParams};
+use clrearly::markov::clr::{analyze, analyze_spec, ClrChainParams, ClrChainSpec};
 use proptest::prelude::*;
 
 fn arb_params() -> impl Strategy<Value = ClrChainParams> {
@@ -121,6 +121,92 @@ proptest! {
     ) {
         let p = ClrChainParams { intervals, p_chk_err: 1e-4, t_chk: 0.02 * p.exec_time, ..p };
         let (chain, start) = clrearly::markov::clr::functional_chain(&p).expect("chain");
+        let probs = chain.absorption_probabilities(start).expect("absorbing");
+        let total: f64 = probs.values().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9, "sum = {total}");
+    }
+
+    // --- mechanism-aware chain templates -------------------------------
+
+    #[test]
+    fn permanent_template_matches_closed_form(
+        p in arb_params(), perm_rate in 0.0..2000.0f64
+    ) {
+        let spec = ClrChainSpec::permanent_aging(p, perm_rate);
+        let exact = closed_form::analyze_spec(&spec).expect("permanent closed form");
+        let markov = analyze_spec(&spec).expect("permanent markov analysis");
+        prop_assert!((exact.error_prob - markov.error_prob).abs() < 1e-9,
+            "err: {} vs {}", exact.error_prob, markov.error_prob);
+        let rel = ((exact.avg_exec_time - markov.avg_exec_time)
+            / exact.avg_exec_time).abs();
+        prop_assert!(rel < 1e-9, "time: {} vs {}", exact.avg_exec_time, markov.avg_exec_time);
+    }
+
+    #[test]
+    fn zero_permanent_rate_is_bit_identical_to_transient(p in arb_params()) {
+        // The mechanism layer must not perturb the legacy pipeline: a
+        // permanent-aging spec with zero hazard and a plain transient
+        // spec both evaluate the exact transient float expressions.
+        let legacy = analyze(&p).expect("legacy analysis");
+        let zero = analyze_spec(&ClrChainSpec::permanent_aging(p, 0.0)).expect("zero-rate spec");
+        let transient = analyze_spec(&ClrChainSpec::transient(p)).expect("transient spec");
+        prop_assert_eq!(legacy.error_prob.to_bits(), zero.error_prob.to_bits());
+        prop_assert_eq!(legacy.avg_exec_time.to_bits(), zero.avg_exec_time.to_bits());
+        prop_assert_eq!(legacy.error_prob.to_bits(), transient.error_prob.to_bits());
+        prop_assert_eq!(legacy.avg_exec_time.to_bits(), transient.avg_exec_time.to_bits());
+    }
+
+    #[test]
+    fn permanent_hazard_monotone_in_error(
+        p in arb_params(), rate in 0.0..1000.0f64, bump in 1.0..1000.0f64
+    ) {
+        let base = analyze_spec(&ClrChainSpec::permanent_aging(p, rate))
+            .expect("base permanent analysis");
+        let worse = analyze_spec(&ClrChainSpec::permanent_aging(p, rate + bump))
+            .expect("aged permanent analysis");
+        prop_assert!(worse.error_prob >= base.error_prob - 1e-12,
+            "aging must not improve reliability: {} vs {}",
+            base.error_prob, worse.error_prob);
+        // And the zero-hazard case is the transient floor.
+        prop_assert!(base.error_prob >= analyze(&p).expect("transient").error_prob - 1e-12);
+    }
+
+    #[test]
+    fn software_mitigation_cannot_mask_permanent_faults(
+        p in arb_params(), perm_rate in 1.0..2000.0f64,
+        cov in 0.0..0.99f64, tol in 0.0..0.99f64, asw in 0.0..0.99f64
+    ) {
+        // TMR/scrubbing limit: under a pure permanent hazard only the
+        // spatial hardware layer (m_HW) masks — retuning every software
+        // knob leaves the escape probability unchanged, because
+        // checkpointing and ASW coding cannot repair a dead resource.
+        let dead = ClrChainParams { seu_rate: 0.0, ..p };
+        let base = analyze_spec(&ClrChainSpec::permanent_aging(dead, perm_rate))
+            .expect("permanent-only analysis");
+        let retuned = ClrChainParams { cov_det: cov, m_tol: tol, m_asw: asw, ..dead };
+        let same = analyze_spec(&ClrChainSpec::permanent_aging(retuned, perm_rate))
+            .expect("retuned analysis");
+        prop_assert!((base.error_prob - same.error_prob).abs() < 1e-12,
+            "software knobs moved a permanent-only escape: {} vs {}",
+            base.error_prob, same.error_prob);
+        // Hardware redundancy, by contrast, strictly helps.
+        let voted = ClrChainParams { m_hw: (dead.m_hw + 0.3).min(0.999), ..dead };
+        let better = analyze_spec(&ClrChainSpec::permanent_aging(voted, perm_rate))
+            .expect("voted analysis");
+        prop_assert!(better.error_prob <= base.error_prob + 1e-12);
+    }
+
+    #[test]
+    fn permanent_absorption_probabilities_sum_to_one(
+        p in arb_params(), perm_rate in 0.0..2000.0f64, intervals in 1u32..5
+    ) {
+        // The checkpointed (multi-interval) permanent template has no
+        // closed form, so pin its structural invariant instead: the
+        // chain stays absorbing and total absorption mass is one.
+        let p = ClrChainParams { intervals, p_chk_err: 1e-4, t_chk: 0.02 * p.exec_time, ..p };
+        let spec = ClrChainSpec::permanent_aging(p, perm_rate);
+        let (chain, start) =
+            clrearly::markov::clr::functional_chain_spec(&spec).expect("permanent chain");
         let probs = chain.absorption_probabilities(start).expect("absorbing");
         let total: f64 = probs.values().sum();
         prop_assert!((total - 1.0).abs() < 1e-9, "sum = {total}");
