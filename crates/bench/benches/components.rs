@@ -55,7 +55,10 @@ fn nsga2_bench(c: &mut Criterion) {
     let dse = ClrEarly::new(&graph, &platform).expect("tDSE");
     let budget = StageBudget::new(16, 5).with_seed(3);
     c.bench_function("nsga2_pf_16pop_5gen_t20", |b| {
-        b.iter(|| dse.run_pf(std::hint::black_box(&budget)).expect("runs"))
+        b.iter(|| {
+            dse.run(&clre::CampaignPlan::pf(), std::hint::black_box(&budget))
+                .expect("runs")
+        })
     });
 }
 
@@ -104,8 +107,11 @@ fn spea2_bench(c: &mut Criterion) {
     let budget = StageBudget::new(16, 5).with_seed(3);
     c.bench_function("spea2_pf_16pop_5gen_t20", |b| {
         b.iter(|| {
-            dse.run_pf_spea2(std::hint::black_box(&budget))
-                .expect("runs")
+            dse.run(
+                &clre::CampaignPlan::pf_spea2(),
+                std::hint::black_box(&budget),
+            )
+            .expect("runs")
         })
     });
 }

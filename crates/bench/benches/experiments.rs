@@ -5,6 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
+use clre_bench::exec_config::ExecConfig;
 use clre_bench::{system, tasklevel, RunScale};
 
 fn tasklevel_benches(c: &mut Criterion) {
@@ -17,43 +18,43 @@ fn tasklevel_benches(c: &mut Criterion) {
 
 fn system_benches(c: &mut Criterion) {
     c.bench_function("exp_fig7_clr_vs_agnostic", |b| {
-        b.iter(|| system::fig7(RunScale::Tiny))
+        b.iter(|| system::fig7(RunScale::Tiny, &ExecConfig::default()))
     });
     c.bench_function("exp_table5_hv_vs_agnostic", |b| {
-        b.iter(|| system::table5(RunScale::Tiny))
+        b.iter(|| system::table5(RunScale::Tiny, &ExecConfig::default()))
     });
     c.bench_function("exp_fig8_proposed_vs_fcclr", |b| {
-        b.iter(|| system::fig8(RunScale::Tiny))
+        b.iter(|| system::fig8(RunScale::Tiny, &ExecConfig::default()))
     });
     c.bench_function("exp_table6_hv_vs_fcclr", |b| {
-        b.iter(|| system::table6(RunScale::Tiny))
+        b.iter(|| system::table6(RunScale::Tiny, &ExecConfig::default()))
     });
     c.bench_function("exp_fig10_proposed_vs_pfclr", |b| {
-        b.iter(|| system::fig10(RunScale::Tiny))
+        b.iter(|| system::fig10(RunScale::Tiny, &ExecConfig::default()))
     });
     c.bench_function("exp_table7_hv_vs_pfclr3", |b| {
-        b.iter(|| system::table7(RunScale::Tiny))
+        b.iter(|| system::table7(RunScale::Tiny, &ExecConfig::default()))
     });
 }
 
 fn ablation_benches(c: &mut Criterion) {
     c.bench_function("ablation_seeding", |b| {
-        b.iter(|| system::ablation_seeding(RunScale::Tiny))
+        b.iter(|| system::ablation_seeding(RunScale::Tiny, &ExecConfig::default()))
     });
     c.bench_function("ablation_tournament", |b| {
-        b.iter(|| system::ablation_tournament(RunScale::Tiny))
+        b.iter(|| system::ablation_tournament(RunScale::Tiny, &ExecConfig::default()))
     });
     c.bench_function("ablation_pruning", |b| {
-        b.iter(|| system::ablation_pruning(RunScale::Tiny))
+        b.iter(|| system::ablation_pruning(RunScale::Tiny, &ExecConfig::default()))
     });
     c.bench_function("ablation_comm", |b| {
-        b.iter(|| system::ablation_comm(RunScale::Tiny))
+        b.iter(|| system::ablation_comm(RunScale::Tiny, &ExecConfig::default()))
     });
     c.bench_function("ablation_moea", |b| {
-        b.iter(|| system::ablation_moea(RunScale::Tiny))
+        b.iter(|| system::ablation_moea(RunScale::Tiny, &ExecConfig::default()))
     });
     c.bench_function("exp_multiobj_3d", |b| {
-        b.iter(|| system::multiobj(RunScale::Tiny))
+        b.iter(|| system::multiobj(RunScale::Tiny, &ExecConfig::default()))
     });
 }
 

@@ -1,9 +1,10 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! Usage: `experiments <id> [--smoke|--tiny] [--workers N] [--trace FILE]
-//! [--ledger FILE] [--halt-after-cells N] [--cache FILE]` where `<id>` is
+//! [--ledger FILE] [--halt-after-cells N] [--cache FILE]
+//! [--backend inprocess|threads|subprocess[:PATH]]` where `<id>` is
 //! one of `fig6a fig6b table4 fig7 table5 fig8 table6 fig9 fig10 table7
-//! scaling chkpt multiobj ablations cachebench kernelbench scenariobench
+//! scaling chkpt multiobj ablations cachebench islandbench kernelbench scenariobench
 //! servebench chaos all`.
 //!
 //! `--workers N` sets the evaluation worker-pool size (default: available
@@ -18,17 +19,22 @@
 //! §12) persisted at FILE, so a rerun or a resumed sweep warm-starts from
 //! everything already evaluated; results stay bit-identical, only faster.
 //! `--ledger FILE` enables it implicitly, persisting next to the ledger.
+//! `--backend` selects where evaluation batches run (in-process, a
+//! thread pool, or supervised `clre-exec-worker` subprocesses); fronts
+//! are bit-identical across backends.
 
 use std::path::PathBuf;
 
+use clre::remote::BackendChoice;
+use clre_bench::exec_config::ExecConfig;
 use clre_bench::{
-    cachebench, chaosbench, exec_settings, kernelbench, perfgate, scenariobench, servebench, sweep,
+    cachebench, chaosbench, islandbench, kernelbench, perfgate, scenariobench, servebench, sweep,
     system, tasklevel, RunScale,
 };
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments <fig6a|fig6b|table4|fig7|table5|fig8|table6|fig9|fig10|table7|scaling|chkpt|multiobj|ablations|cachebench|kernelbench|scenariobench|servebench|chaos|all> [--smoke|--tiny] [--workers N] [--trace FILE] [--ledger FILE] [--halt-after-cells N] [--cache FILE]\n       experiments perfgate --baseline FILE --current FILE"
+        "usage: experiments <fig6a|fig6b|table4|fig7|table5|fig8|table6|fig9|fig10|table7|scaling|chkpt|multiobj|ablations|cachebench|islandbench|kernelbench|scenariobench|servebench|chaos|all> [--smoke|--tiny] [--workers N] [--trace FILE] [--ledger FILE] [--halt-after-cells N] [--cache FILE] [--backend inprocess|threads|subprocess[:PATH]]\n       experiments perfgate --baseline FILE --current FILE"
     );
     std::process::exit(2);
 }
@@ -36,6 +42,8 @@ fn usage() -> ! {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = RunScale::Paper;
+    let mut workers = 0;
+    let mut backend = BackendChoice::InProcess;
     let mut id: Option<&str> = None;
     let mut trace: Option<PathBuf> = None;
     let mut ledger: Option<PathBuf> = None;
@@ -54,8 +62,15 @@ fn main() {
             "--smoke" => scale = RunScale::Smoke,
             "--tiny" => scale = RunScale::Tiny,
             "--workers" => match value(&mut i).parse() {
-                Ok(n) => exec_settings::set_workers(n),
+                Ok(n) => workers = n,
                 Err(_) => usage(),
+            },
+            "--backend" => match BackendChoice::parse(value(&mut i)) {
+                Ok(choice) => backend = choice,
+                Err(e) => {
+                    eprintln!("--backend: {e}");
+                    usage();
+                }
             },
             "--trace" => trace = Some(PathBuf::from(value(&mut i))),
             "--ledger" => ledger = Some(PathBuf::from(value(&mut i))),
@@ -106,8 +121,12 @@ fn main() {
             cache_file = Some(clre::cache::cache_sidecar_path(path));
         }
     }
+    let mut config = ExecConfig::new().with_workers(workers);
+    if trace.is_some() {
+        config = config.with_trace();
+    }
     if let Some(path) = &cache_file {
-        let cache = exec_settings::enable_cache();
+        let cache = clre::EvalCache::shared();
         if let Err(e) = cache.bind_sidecar(path) {
             // The cache is an accelerator, never a correctness input:
             // run cold in memory rather than abort.
@@ -116,40 +135,48 @@ fn main() {
                 path.display()
             );
         }
+        config = config.with_cache(cache);
     }
-    let sink = trace.as_ref().map(|_| exec_settings::enable_trace());
+    let config = match config.with_backend(&backend) {
+        Ok(config) => config,
+        Err(e) => {
+            eprintln!("experiments: backend: {e}");
+            std::process::exit(1);
+        }
+    };
     let out = match id {
         "fig6a" => tasklevel::fig6a(),
         "fig6b" => tasklevel::fig6b(),
         "table4" => tasklevel::table4(),
         "fig9" => tasklevel::fig9(),
-        "fig7" => system::fig7(scale),
-        "table5" => system::table5(scale),
-        "fig8" => system::fig8(scale),
-        "table6" => system::table6(scale),
-        "fig10" => system::fig10(scale),
-        "table7" => system::table7(scale),
-        "scaling" => system::scaling(scale),
+        "fig7" => system::fig7(scale, &config),
+        "table5" => system::table5(scale, &config),
+        "fig8" => system::fig8(scale, &config),
+        "table6" => system::table6(scale, &config),
+        "fig10" => system::fig10(scale, &config),
+        "table7" => system::table7(scale, &config),
+        "scaling" => system::scaling(scale, &config),
         "chkpt" => tasklevel::chkpt(),
-        "multiobj" => system::multiobj(scale),
+        "multiobj" => system::multiobj(scale, &config),
         "ablations" => format!(
             "-- seeding --\n{}-- tournament --\n{}-- pruning --\n{}-- moea --\n{}-- communication --\n{}",
-            system::ablation_seeding(scale),
-            system::ablation_tournament(scale),
-            system::ablation_pruning(scale),
-            system::ablation_moea(scale),
-            system::ablation_comm(scale)
+            system::ablation_seeding(scale, &config),
+            system::ablation_tournament(scale, &config),
+            system::ablation_pruning(scale, &config),
+            system::ablation_moea(scale, &config),
+            system::ablation_comm(scale, &config)
         ),
-        "cachebench" => cachebench::eval_cache(scale),
+        "cachebench" => cachebench::eval_cache(scale, &config),
+        "islandbench" => islandbench::islands(scale, &config),
         "chaos" => chaosbench::chaos(scale),
         "kernelbench" => kernelbench::moea_kernels(scale),
         "scenariobench" => scenariobench::scenarios(scale),
         "servebench" => servebench::serve(scale),
-        "all" => clre_bench::run_all(scale),
+        "all" => clre_bench::run_all(scale, &config),
         _ => usage(),
     };
     println!("{out}");
-    if let (Some(path), Some(sink)) = (trace, sink) {
+    if let (Some(path), Some(sink)) = (trace, config.trace()) {
         let telemetry = sink.lock().expect("trace sink poisoned");
         if let Err(e) = telemetry.write_trace(&path) {
             eprintln!("failed to write trace to {}: {e}", path.display());

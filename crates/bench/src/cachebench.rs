@@ -29,7 +29,7 @@ use clre::methodology::{ClrEarly, StageBudget};
 use clre::tdse::TdseConfig;
 use clre::{CampaignPlan, EvalCache, FrontResult};
 
-use crate::exec_settings;
+use crate::exec_config::ExecConfig;
 use crate::RunScale;
 
 /// Task count of the acceptance workload.
@@ -41,9 +41,7 @@ const APP_SEED: u64 = 107;
 /// One timed fcCLR run; returns the front and the wall-clock seconds.
 fn timed_run(dse: &ClrEarly, budget: &StageBudget) -> (FrontResult, f64) {
     let t0 = Instant::now();
-    let result = dse
-        .run_campaign(&CampaignPlan::fc(), budget)
-        .expect("fcCLR runs");
+    let result = dse.run(&CampaignPlan::fc(), budget).expect("fcCLR runs");
     (result, t0.elapsed().as_secs_f64())
 }
 
@@ -69,15 +67,15 @@ fn json_phase(secs: f64, evaluations: usize) -> String {
 /// Runs the benchmark at `scale` and returns the JSON report (also
 /// written to `BENCH_eval_cache.json` in the working directory; a write
 /// failure is reported inside the JSON rather than aborting the bench).
-pub fn eval_cache(scale: RunScale) -> String {
+pub fn eval_cache(scale: RunScale, config: &ExecConfig) -> String {
     let budget = scale.budget();
     let (platform, graph) = clre::apps::synthetic_app(TASKS, APP_SEED).expect("app builds");
 
-    // Baseline: no cache anywhere (deliberately NOT exec_settings::apply,
-    // so a process-wide `--cache` cannot contaminate the baseline).
+    // Baseline: no cache anywhere (deliberately NOT config.apply, so a
+    // `--cache` on the config cannot contaminate the baseline).
     let uncached_dse = ClrEarly::new(&graph, &platform)
         .expect("tDSE succeeds")
-        .with_executor(exec_settings::executor());
+        .with_executor(config.executor());
     let (front_uncached, secs_uncached) = timed_run(&uncached_dse, &budget);
 
     // Task-analysis level: build the library twice under one cache.
@@ -86,7 +84,7 @@ pub fn eval_cache(scale: RunScale) -> String {
     let t0 = Instant::now();
     let cached_dse = ClrEarly::with_tdse_config(&graph, &platform, cached_tdse.clone())
         .expect("tDSE succeeds")
-        .with_executor(exec_settings::executor())
+        .with_executor(config.executor())
         .with_cache(Arc::clone(&cache));
     let lib_cold_secs = t0.elapsed().as_secs_f64();
     let t0 = Instant::now();
@@ -117,7 +115,7 @@ pub fn eval_cache(scale: RunScale) -> String {
         "{{\n  \"bench\": \"eval_cache\",\n  \"application_tasks\": {TASKS},\n  \"method\": \"fcCLR\",\n  \"population\": {},\n  \"generations\": {},\n  \"workers\": {},\n  \"library_build\": {{\"cold_secs\": {:.3}, \"warm_secs\": {:.3}, \"speedup\": {:.2}, \"analysis\": {}}},\n  \"uncached\": {},\n  \"cached_cold\": {},\n  \"cached_warm\": {},\n  \"warm_speedup_vs_uncached\": {:.2},\n  \"fitness\": {},\n  \"fronts_identical\": {}\n}}\n",
         budget.population,
         budget.generations,
-        exec_settings::workers(),
+        config.workers(),
         lib_cold_secs,
         lib_warm_secs,
         lib_cold_secs / lib_warm_secs.max(1e-9),
@@ -141,7 +139,7 @@ mod tests {
 
     #[test]
     fn eval_cache_bench_meets_acceptance_floor() {
-        let json = eval_cache(RunScale::Tiny);
+        let json = eval_cache(RunScale::Tiny, &ExecConfig::default());
         assert!(
             json.contains("\"fronts_identical\": true"),
             "cached runs diverged:\n{json}"

@@ -136,7 +136,7 @@ fn baseline(graph: &TaskGraph, platform: &Platform, budget: &StageBudget, dir: &
     let supervisor = RunSupervisor::new(SupervisorConfig::new(&ckpt).with_interval(2));
     let dse = ClrEarly::new(graph, platform).expect("tDSE succeeds");
     let front = dse
-        .run_fc_supervised(budget, &supervisor)
+        .run_supervised(&CampaignPlan::fc(), budget, &supervisor)
         .expect("clean run completes")
         .expect_complete();
     Scenario {
@@ -168,7 +168,7 @@ fn fc_storm(
         .with_fault_injector(plan.clone())
         .with_interrupt_at(0, 2);
     match dse
-        .run_fc_supervised(budget, &supervisor)
+        .run_supervised(&CampaignPlan::fc(), budget, &supervisor)
         .expect("interrupted run still checkpoints")
     {
         RunOutcome::Interrupted { .. } => {}
@@ -221,7 +221,7 @@ fn proposed_pair(
     );
     let clean = ClrEarly::new(graph, platform)
         .expect("tDSE succeeds")
-        .run_campaign_supervised(&CampaignPlan::proposed(), budget, &clean_supervisor)
+        .run_supervised(&CampaignPlan::proposed(), budget, &clean_supervisor)
         .expect("clean proposed completes")
         .expect_complete();
 
@@ -229,7 +229,7 @@ fn proposed_pair(
     let stormed = ClrEarly::new(graph, platform)
         .expect("tDSE succeeds")
         .with_executor(dying_executor(4))
-        .run_campaign_supervised(
+        .run_supervised(
             &CampaignPlan::proposed(),
             budget,
             &RunSupervisor::new(storm_config(&ckpt)).with_fault_injector(Arc::new(storm_plan())),

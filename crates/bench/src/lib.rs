@@ -25,7 +25,8 @@
 
 pub mod cachebench;
 pub mod chaosbench;
-pub mod exec_settings;
+pub mod exec_config;
+pub mod islandbench;
 pub mod kernelbench;
 pub mod perfgate;
 pub mod report;
@@ -69,21 +70,22 @@ impl RunScale {
     }
 }
 
-/// Runs every experiment at the given scale and concatenates the reports
-/// (the content of `EXPERIMENTS.md`'s measured sections).
-pub fn run_all(scale: RunScale) -> String {
+/// Runs every experiment at the given scale under the given execution
+/// configuration and concatenates the reports (the content of
+/// `EXPERIMENTS.md`'s measured sections).
+pub fn run_all(scale: RunScale, config: &exec_config::ExecConfig) -> String {
     let mut out = String::new();
     for (name, body) in [
         ("fig6a", tasklevel::fig6a()),
         ("fig6b", tasklevel::fig6b()),
         ("table4", tasklevel::table4()),
         ("fig9", tasklevel::fig9()),
-        ("fig7", system::fig7(scale)),
-        ("table5", system::table5(scale)),
-        ("fig8", system::fig8(scale)),
-        ("table6", system::table6(scale)),
-        ("fig10", system::fig10(scale)),
-        ("table7", system::table7(scale)),
+        ("fig7", system::fig7(scale, config)),
+        ("table5", system::table5(scale, config)),
+        ("fig8", system::fig8(scale, config)),
+        ("table6", system::table6(scale, config)),
+        ("fig10", system::fig10(scale, config)),
+        ("table7", system::table7(scale, config)),
     ] {
         out.push_str(&format!("==== {name} ====\n{body}\n"));
     }

@@ -227,11 +227,106 @@ pub fn compare_scenarios(baseline: &str, current: &str) -> Result<Vec<ScenarioRe
     Ok(regressions)
 }
 
+/// One island cell that regressed: a digest disagreement between
+/// backends, or a campaign that got slower than the allowance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IslandRegression {
+    /// Plan name of the cell.
+    pub plan: String,
+    /// Island count of the cell.
+    pub islands: u64,
+    /// What went wrong, human-readable.
+    pub what: String,
+}
+
+impl std::fmt::Display for IslandRegression {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "plan={} islands={}: {}",
+            self.plan, self.islands, self.what
+        )
+    }
+}
+
+/// Extracts `"plan": "<name>"` from one cell line.
+fn field_plan(line: &str) -> Option<&str> {
+    let start = line.find("\"plan\": \"")? + "\"plan\": \"".len();
+    let rest = &line[start..];
+    Some(&rest[..rest.find('"')?])
+}
+
+/// Parses every cell line of an islands report into
+/// `(plan, islands, digest_match, campaign_us)`.
+fn parse_island_cells(report: &str, label: &str) -> Result<Vec<(String, u64, bool, u64)>, String> {
+    let mut cells = Vec::new();
+    for line in report.lines() {
+        let Some(plan) = field_plan(line) else {
+            continue;
+        };
+        let islands = field_u64(line, "islands")
+            .ok_or_else(|| format!("{label}: cell {plan:?} has no \"islands\" field"))?;
+        let matched = line
+            .split("\"digest_match\": ")
+            .nth(1)
+            .and_then(|rest| rest.split([',', '}']).next())
+            .and_then(|tok| tok.trim().parse().ok())
+            .ok_or_else(|| format!("{label}: cell {plan:?} has no \"digest_match\" field"))?;
+        let us = field_u64(line, "campaign_us")
+            .ok_or_else(|| format!("{label}: cell {plan:?} has no \"campaign_us\" field"))?;
+        cells.push((plan.to_owned(), islands, matched, us));
+    }
+    if cells.is_empty() {
+        return Err(format!("{label}: no island cells found"));
+    }
+    Ok(cells)
+}
+
+/// Diffs a current islands report against a baseline report. Two gates
+/// per cell: the current backends must still agree on the front digest
+/// (the determinism contract — non-negotiable, no allowance), and the
+/// campaign wall-clock must stay within the usual timing allowance. A
+/// cell present in only one report is an error.
+pub fn compare_islands(baseline: &str, current: &str) -> Result<Vec<IslandRegression>, String> {
+    let base_cells = parse_island_cells(baseline, "baseline")?;
+    let cur_cells = parse_island_cells(current, "current")?;
+    let mut regressions = Vec::new();
+    for (plan, islands, _, base_us) in &base_cells {
+        let (_, _, matched, cur_us) = cur_cells
+            .iter()
+            .find(|(p, n, _, _)| p == plan && n == islands)
+            .ok_or_else(|| format!("current report lost cell plan={plan:?} islands={islands}"))?;
+        if !matched {
+            regressions.push(IslandRegression {
+                plan: plan.clone(),
+                islands: *islands,
+                what: "backend digests disagree".to_owned(),
+            });
+        }
+        let limit_us = limit(*base_us);
+        if *cur_us > limit_us {
+            regressions.push(IslandRegression {
+                plan: plan.clone(),
+                islands: *islands,
+                what: format!("campaign_us: {base_us}us -> {cur_us}us (limit {limit_us}us)"),
+            });
+        }
+    }
+    if cur_cells.len() != base_cells.len() {
+        return Err(format!(
+            "island cell count changed: baseline {} vs current {}",
+            base_cells.len(),
+            cur_cells.len()
+        ));
+    }
+    Ok(regressions)
+}
+
 /// File-level entry point for the `experiments perfgate` subcommand:
 /// reads both reports, dispatches on the `"bench"` header
-/// (`moea_kernels` vs `scenarios`), and renders a human-readable
-/// verdict. `Ok` = gate passed (report text), `Err` = regressions or
-/// unreadable input (the caller exits non-zero).
+/// (`moea_kernels` vs `scenarios` vs `islands`), and renders a
+/// human-readable verdict. `Ok` = gate passed (report text), `Err` =
+/// regressions or unreadable input (the caller exits non-zero).
 pub fn gate_files(baseline: &Path, current: &Path) -> Result<String, String> {
     let base = std::fs::read_to_string(baseline)
         .map_err(|e| format!("reading baseline {}: {e}", baseline.display()))?;
@@ -239,6 +334,11 @@ pub fn gate_files(baseline: &Path, current: &Path) -> Result<String, String> {
         .map_err(|e| format!("reading current {}: {e}", current.display()))?;
     let regressions: Vec<String> = if base.contains("\"bench\": \"scenarios\"") {
         compare_scenarios(&base, &cur)?
+            .iter()
+            .map(ToString::to_string)
+            .collect()
+    } else if base.contains("\"bench\": \"islands\"") {
+        compare_islands(&base, &cur)?
             .iter()
             .map(ToString::to_string)
             .collect()
@@ -384,6 +484,66 @@ mod tests {
         assert!(compare_scenarios(&base, &torn)
             .unwrap_err()
             .contains("chain_analysis_us"));
+    }
+
+    fn island_report(cells: &[(&str, u64, bool, u64)]) -> String {
+        let body: Vec<String> = cells
+            .iter()
+            .map(|(plan, islands, matched, us)| {
+                format!(
+                    "    {{\"plan\": \"{plan}\", \"islands\": {islands}, \
+                     \"inprocess_digest\": \"00000000deadbeef\", \
+                     \"threads_digest\": \"00000000deadbeef\", \
+                     \"subprocess_digest\": null, \"digest_match\": {matched}, \
+                     \"points\": 5, \"campaign_us\": {us}}}"
+                )
+            })
+            .collect();
+        format!(
+            "{{\n  \"bench\": \"islands\",\n  \"subprocess_exercised\": false,\n  \
+             \"cells\": [\n{}\n  ],\n  \"all_digests_match\": true\n}}\n",
+            body.join(",\n")
+        )
+    }
+
+    #[test]
+    fn island_gate_trips_on_digest_disagreement_and_slowdowns() {
+        let base = island_report(&[("fcCLR", 1, true, 40_000), ("proposed", 4, true, 90_000)]);
+        assert_eq!(compare_islands(&base, &base).unwrap(), vec![]);
+        // A digest disagreement is gated with no allowance at all.
+        let split = island_report(&[("fcCLR", 1, false, 40_000), ("proposed", 4, true, 90_000)]);
+        let regressions = compare_islands(&base, &split).unwrap();
+        assert_eq!(regressions.len(), 1);
+        assert!(regressions[0].to_string().contains("digests disagree"));
+        // Timing uses the shared allowance.
+        let slow = island_report(&[("fcCLR", 1, true, 40_000), ("proposed", 4, true, 200_000)]);
+        let regressions = compare_islands(&base, &slow).unwrap();
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(
+            (regressions[0].plan.as_str(), regressions[0].islands),
+            ("proposed", 4)
+        );
+        // Lost cells and malformed reports are errors, not passes.
+        let lost = island_report(&[("fcCLR", 1, true, 40_000)]);
+        assert!(compare_islands(&base, &lost)
+            .unwrap_err()
+            .contains("lost cell"));
+        assert!(compare_islands("{}", &base)
+            .unwrap_err()
+            .contains("no island cells"));
+    }
+
+    #[test]
+    fn real_islandbench_output_parses() {
+        // The gate must understand the exact shape islandbench emits.
+        let json = crate::islandbench::islands(
+            crate::RunScale::Tiny,
+            &crate::exec_config::ExecConfig::new().with_workers(2),
+        );
+        let _ = std::fs::remove_file("BENCH_islands.json");
+        assert_eq!(compare_islands(&json, &json).unwrap(), vec![]);
+        let cells = parse_island_cells(&json, "self").unwrap();
+        assert_eq!(cells.len(), 6, "2 plans x 3 island counts");
     }
 
     #[test]

@@ -90,10 +90,10 @@ fn run_cell(
 
     let dse = ClrEarly::with_scenario(graph, platform, scenario).expect("tDSE succeeds");
     let proposed = dse
-        .run_campaign(&CampaignPlan::proposed(), budget)
+        .run(&CampaignPlan::proposed(), budget)
         .expect("proposed completes");
     let agnostic = dse
-        .run_campaign(&CampaignPlan::agnostic(), budget)
+        .run(&CampaignPlan::agnostic(), budget)
         .expect("agnostic completes");
     Cell {
         name: scenario.name(),
@@ -147,7 +147,7 @@ pub fn scenarios(scale: RunScale) -> String {
     // pipeline, checked against a plain default-config run.
     let default_front = ClrEarly::new(&graph, &platform)
         .expect("tDSE succeeds")
-        .run_campaign(&CampaignPlan::proposed(), &budget)
+        .run(&CampaignPlan::proposed(), &budget)
         .expect("default proposed completes");
     let transient_matches_default = cells[0].proposed.digest == front_digest(&default_front);
     let scenario_fronts_distinct = cells[1..]

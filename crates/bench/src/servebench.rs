@@ -102,7 +102,9 @@ fn drive_tenant(addr: &str, req: &SubmitRequest, expected: u64) -> TenantRun {
     let t0 = Instant::now();
     match client.submit(req).expect("submit") {
         Submission::Accepted { .. } => {}
-        Submission::Rejected { reason } => panic!("{}: rejected: {reason}", req.tenant),
+        Submission::Rejected { reason, detail } => {
+            panic!("{}: rejected: {reason} {detail}", req.tenant)
+        }
     }
     let mut first_trace_us = 0u64;
     let (digest, done_us) = loop {
@@ -136,7 +138,7 @@ fn local_digest(req: &SubmitRequest) -> u64 {
     let (platform, graph) = build_app(&req.app).expect("app builds");
     let front = ClrEarly::new(&graph, &platform)
         .expect("tDSE succeeds")
-        .run_campaign(&req.plan, &req.budget)
+        .run(&req.plan, &req.budget)
         .expect("in-process campaign completes");
     front_digest(&front)
 }
@@ -153,7 +155,7 @@ fn isolated_hits(req: &SubmitRequest) -> u64 {
     )
     .expect("tDSE succeeds")
     .with_cache(Arc::clone(&cache));
-    dse.run_campaign(&req.plan, &req.budget)
+    dse.run(&req.plan, &req.budget)
         .expect("isolated campaign completes");
     cache.analysis_counts().hits
 }

@@ -15,7 +15,7 @@ use clre::CampaignPlan;
 use clre_moea::hypervolume::{hypervolume, percent_increase};
 use clre_moea::pareto::non_dominated_indices;
 
-use crate::exec_settings;
+use crate::exec_config::ExecConfig;
 use crate::report::{pct, series, Table};
 use crate::sweep::{self, CellData};
 use crate::tasklevel::tdse_runs;
@@ -34,7 +34,7 @@ fn campaign_cell(
     budget: &StageBudget,
 ) -> Option<CellData> {
     sweep::cell(&format!("{experiment}/T{tasks}/{label}"), || {
-        let result = dse.run_campaign(plan, budget).expect("campaign runs");
+        let result = dse.run(plan, budget).expect("campaign runs");
         CellData {
             evaluations: result.evaluations,
             objectives: result.objectives(),
@@ -65,9 +65,9 @@ fn merge_objectives(fronts: &[Vec<Vec<f64>>]) -> Vec<Vec<f64>> {
 ///
 /// Expected shape: the CLR front dominates the Agnostic front across the
 /// makespan range.
-pub fn fig7(scale: RunScale) -> String {
+pub fn fig7(scale: RunScale, config: &ExecConfig) -> String {
     let (platform, graph) = apps::synthetic_app(20, 7).expect("synthetic app builds");
-    let dse = exec_settings::apply(ClrEarly::new(&graph, &platform).expect("tDSE succeeds"));
+    let dse = config.apply(ClrEarly::new(&graph, &platform).expect("tDSE succeeds"));
     let budget = scale.budget();
     let mut grid: Vec<(&str, CampaignPlan)> = vec![("CLR", CampaignPlan::proposed())];
     grid.extend(
@@ -95,7 +95,7 @@ pub fn fig7(scale: RunScale) -> String {
 ///
 /// Expected shape: large positive improvements at every size (the paper
 /// reports 135–251% with a huge outlier at 10 tasks).
-pub fn table5(scale: RunScale) -> String {
+pub fn table5(scale: RunScale, config: &ExecConfig) -> String {
     let budget = scale.budget();
     let mut table = Table::new(vec![
         "#Tasks".into(),
@@ -104,7 +104,7 @@ pub fn table5(scale: RunScale) -> String {
     for &tasks in &scale.sizes() {
         let (platform, graph) =
             apps::synthetic_app(tasks, 7 + tasks as u64).expect("synthetic app builds");
-        let dse = exec_settings::apply(ClrEarly::new(&graph, &platform).expect("tDSE succeeds"));
+        let dse = config.apply(ClrEarly::new(&graph, &platform).expect("tDSE succeeds"));
         let grid = [
             ("proposed", CampaignPlan::proposed()),
             ("Agnostic", CampaignPlan::agnostic()),
@@ -127,7 +127,7 @@ pub fn table5(scale: RunScale) -> String {
 /// problem-agnostic fcCLR baseline for a 50-task application.
 ///
 /// Expected shape: the proposed front dominates fcCLR.
-pub fn fig8(scale: RunScale) -> String {
+pub fn fig8(scale: RunScale, config: &ExecConfig) -> String {
     let tasks = match scale {
         RunScale::Tiny => 10,
         RunScale::Smoke => 20,
@@ -135,7 +135,7 @@ pub fn fig8(scale: RunScale) -> String {
     };
     let (platform, graph) =
         apps::synthetic_app(tasks, 7 + tasks as u64).expect("synthetic app builds");
-    let dse = exec_settings::apply(ClrEarly::new(&graph, &platform).expect("tDSE succeeds"));
+    let dse = config.apply(ClrEarly::new(&graph, &platform).expect("tDSE succeeds"));
     let budget = scale.budget();
     let mut out = String::from("# series: method, avg-makespan[s], app-error-prob\n");
     let grid = [
@@ -156,7 +156,7 @@ pub fn fig8(scale: RunScale) -> String {
 ///
 /// Expected shape: consistently positive, tens to hundreds of percent
 /// (the paper reports 73–231%, average 129%).
-pub fn table6(scale: RunScale) -> String {
+pub fn table6(scale: RunScale, config: &ExecConfig) -> String {
     let budget = scale.budget();
     let mut table = Table::new(vec![
         "#Tasks".into(),
@@ -165,7 +165,7 @@ pub fn table6(scale: RunScale) -> String {
     for &tasks in &scale.sizes() {
         let (platform, graph) =
             apps::synthetic_app(tasks, 7 + tasks as u64).expect("synthetic app builds");
-        let dse = exec_settings::apply(ClrEarly::new(&graph, &platform).expect("tDSE succeeds"));
+        let dse = config.apply(ClrEarly::new(&graph, &platform).expect("tDSE succeeds"));
         let grid = [
             ("fcCLR", CampaignPlan::fc()),
             ("proposed", CampaignPlan::proposed()),
@@ -189,7 +189,7 @@ pub fn table6(scale: RunScale) -> String {
 ///
 /// Expected shape: result quality degrades from tDSE_1 to tDSE_3 for both
 /// methods, with the proposed method matching or beating pfCLR per run.
-pub fn fig10(scale: RunScale) -> String {
+pub fn fig10(scale: RunScale, config: &ExecConfig) -> String {
     let tasks = match scale {
         RunScale::Tiny => 8,
         RunScale::Smoke => 10,
@@ -200,7 +200,7 @@ pub fn fig10(scale: RunScale) -> String {
     let budget = scale.budget();
     let mut out = String::from("# series: method_run, avg-makespan[s], app-error-prob\n");
     for (label, objs) in tdse_runs() {
-        let dse = exec_settings::apply(
+        let dse = config.apply(
             ClrEarly::with_tdse_config(&graph, &platform, TdseConfig::new().with_objectives(objs))
                 .expect("tDSE succeeds"),
         );
@@ -225,7 +225,7 @@ pub fn fig10(scale: RunScale) -> String {
 /// Expected shape: gains shrink from run 1 to run 3 (bigger libraries
 /// degrade both methods), with `proposed_k ≥ pfCLR_k` in (almost) every
 /// cell and `pfCLR_3 = 0` by construction.
-pub fn table7(scale: RunScale) -> String {
+pub fn table7(scale: RunScale, config: &ExecConfig) -> String {
     let budget = scale.budget();
     let runs = tdse_runs();
     let mut table = Table::new(vec![
@@ -243,7 +243,7 @@ pub fn table7(scale: RunScale) -> String {
         // Collect all six fronts, then score against a common reference.
         let mut fronts: Vec<Vec<Vec<f64>>> = Vec::new();
         for (label, objs) in &runs {
-            let dse = exec_settings::apply(
+            let dse = config.apply(
                 ClrEarly::with_tdse_config(
                     &graph,
                     &platform,
@@ -292,9 +292,10 @@ fn ablation_grid(
     app_seed: u64,
     grid: &[(&str, CampaignPlan); 2],
     scale: RunScale,
+    config: &ExecConfig,
 ) -> Option<[Vec<Vec<f64>>; 2]> {
     let (platform, graph) = apps::synthetic_app(30, app_seed).expect("synthetic app builds");
-    let dse = exec_settings::apply(ClrEarly::new(&graph, &platform).expect("tDSE succeeds"));
+    let dse = config.apply(ClrEarly::new(&graph, &platform).expect("tDSE succeeds"));
     let budget = scale.budget();
     let mut fronts = Vec::new();
     for (label, plan) in grid {
@@ -307,36 +308,37 @@ fn ablation_grid(
 
 /// Ablation: proposed (seeded) vs an unseeded fcCLR run with the *same*
 /// total budget, isolating the value of seeding (DESIGN.md §5).
-pub fn ablation_seeding(scale: RunScale) -> String {
+pub fn ablation_seeding(scale: RunScale, config: &ExecConfig) -> String {
     let grid = [
         ("proposed", CampaignPlan::proposed()),
         ("fcCLR", CampaignPlan::fc()),
     ];
-    let Some([seeded, unseeded]) = ablation_grid("ablation_seeding", 37, &grid, scale) else {
+    let Some([seeded, unseeded]) = ablation_grid("ablation_seeding", 37, &grid, scale, config)
+    else {
         return halted(String::new());
     };
     hv_pair("seeded-hv", &seeded, "unseeded-hv", &unseeded)
 }
 
 /// Ablation: tournament size 5 (paper) vs 2, at equal budget.
-pub fn ablation_tournament(scale: RunScale) -> String {
+pub fn ablation_tournament(scale: RunScale, config: &ExecConfig) -> String {
     let grid = [
         ("pfCLR", CampaignPlan::pf()),
         ("pfCLR_k2", CampaignPlan::pf_with_tournament(2)),
     ];
-    let Some([k5, k2]) = ablation_grid("ablation_tournament", 41, &grid, scale) else {
+    let Some([k5, k2]) = ablation_grid("ablation_tournament", 41, &grid, scale, config) else {
         return halted(String::new());
     };
     hv_pair("k5-hv", &k5, "k2-hv", &k2)
 }
 
 /// Ablation: pfCLR's Pareto pruning vs a random subset of equal size.
-pub fn ablation_pruning(scale: RunScale) -> String {
+pub fn ablation_pruning(scale: RunScale, config: &ExecConfig) -> String {
     let grid = [
         ("pfCLR", CampaignPlan::pf()),
         ("random-subset", CampaignPlan::random_subset(99)),
     ];
-    let Some([pruned, random]) = ablation_grid("ablation_pruning", 43, &grid, scale) else {
+    let Some([pruned, random]) = ablation_grid("ablation_pruning", 43, &grid, scale, config) else {
         return halted(String::new());
     };
     hv_pair("pareto-hv", &pruned, "random-hv", &random)
@@ -344,12 +346,12 @@ pub fn ablation_pruning(scale: RunScale) -> String {
 
 /// Ablation: NSGA-II vs SPEA2 as the MOEA backend for pfCLR at equal
 /// budget (DESIGN.md §5).
-pub fn ablation_moea(scale: RunScale) -> String {
+pub fn ablation_moea(scale: RunScale, config: &ExecConfig) -> String {
     let grid = [
         ("pfCLR", CampaignPlan::pf()),
         ("pfCLR_spea2", CampaignPlan::pf_spea2()),
     ];
-    let Some([nsga, spea]) = ablation_grid("ablation_moea", 47, &grid, scale) else {
+    let Some([nsga, spea]) = ablation_grid("ablation_moea", 47, &grid, scale, config) else {
         return halted(String::new());
     };
     hv_pair("nsga2-hv", &nsga, "spea2-hv", &spea).replace("gain-pct", "nsga2-gain-pct")
@@ -360,7 +362,7 @@ pub fn ablation_moea(scale: RunScale) -> String {
 /// scheduling shifts the front right (transfers cost time) and changes
 /// which mappings win — the makespan inflation quantifies the modeling
 /// gap the paper's future-work section warns about.
-pub fn ablation_comm(scale: RunScale) -> String {
+pub fn ablation_comm(scale: RunScale, config: &ExecConfig) -> String {
     let (_, graph) = apps::synthetic_app(30, 53).expect("synthetic app builds");
     let budget = scale.budget();
     let plan = CampaignPlan::proposed();
@@ -371,7 +373,7 @@ pub fn ablation_comm(scale: RunScale) -> String {
     let mut out = String::from("# series: platform, avg-makespan[s], app-error-prob\n");
     let mut fronts = Vec::new();
     for (label, platform) in &grid {
-        let dse = exec_settings::apply(ClrEarly::new(&graph, platform).expect("tDSE succeeds"));
+        let dse = config.apply(ClrEarly::new(&graph, platform).expect("tDSE succeeds"));
         let Some(cell) = campaign_cell("ablation_comm", 30, label, &dse, &plan, &budget) else {
             return halted(out);
         };
@@ -399,7 +401,7 @@ pub fn ablation_comm(scale: RunScale) -> String {
 /// 3-D while the matched one recovers, which is the quantitative form of
 /// the paper's Section VI-C2 conclusion that effective system-level
 /// exploration depends on choosing the right task-level objectives.
-pub fn multiobj(scale: RunScale) -> String {
+pub fn multiobj(scale: RunScale, config: &ExecConfig) -> String {
     use clre::tdse::TdseConfig as Cfg;
     use clre_model::qos::{Objective, ObjectiveSet};
     let (platform, graph) = apps::synthetic_app(20, 61).expect("synthetic app builds");
@@ -424,15 +426,16 @@ pub fn multiobj(scale: RunScale) -> String {
     ];
     let mut fronts = Vec::new();
     for (label, tdse_objs, plan) in &grid {
-        let dse = exec_settings::apply(
-            ClrEarly::with_tdse_config(
-                &graph,
-                &platform,
-                Cfg::new().with_objectives(tdse_objs.clone()),
+        let dse = config
+            .apply(
+                ClrEarly::with_tdse_config(
+                    &graph,
+                    &platform,
+                    Cfg::new().with_objectives(tdse_objs.clone()),
+                )
+                .expect("tDSE succeeds"),
             )
-            .expect("tDSE succeeds"),
-        )
-        .with_objectives(objectives.clone());
+            .with_objectives(objectives.clone());
         let Some(cell) = campaign_cell("multiobj", 20, label, &dse, plan, &budget) else {
             return halted(String::new());
         };
@@ -466,7 +469,7 @@ matched-vs-mismatched-pct,{}
 ///
 /// Wall-clock measurements are never ledgered: replaying a cached cell
 /// would report the cache hit's latency, not the solver's.
-pub fn scaling(scale: RunScale) -> String {
+pub fn scaling(scale: RunScale, config: &ExecConfig) -> String {
     use std::time::Instant;
     let budget = scale.budget();
     let mut table = Table::new(vec![
@@ -481,13 +484,13 @@ pub fn scaling(scale: RunScale) -> String {
         let (platform, graph) =
             apps::synthetic_app(tasks, 7 + tasks as u64).expect("synthetic app builds");
         let t0 = Instant::now();
-        let dse = exec_settings::apply(ClrEarly::new(&graph, &platform).expect("tDSE succeeds"));
+        let dse = config.apply(ClrEarly::new(&graph, &platform).expect("tDSE succeeds"));
         let t_tdse = t0.elapsed();
         let t0 = Instant::now();
-        dse.run_pf(&budget).expect("pfCLR runs");
+        dse.run(&CampaignPlan::pf(), &budget).expect("pfCLR runs");
         let t_pf = t0.elapsed();
         let t0 = Instant::now();
-        dse.run_fc(&budget).expect("fcCLR runs");
+        dse.run(&CampaignPlan::fc(), &budget).expect("fcCLR runs");
         let t_fc = t0.elapsed();
         // Mean per-task choice-list sizes (averaged over types used).
         let types = graph.task_types().len();
@@ -518,12 +521,16 @@ pub fn scaling(scale: RunScale) -> String {
 }
 
 /// Convenience for benches/tests: one (CLR, Agnostic) hypervolume pair.
-pub fn clr_vs_agnostic_hv(tasks: usize, budget: &StageBudget) -> (f64, f64) {
+pub fn clr_vs_agnostic_hv(tasks: usize, budget: &StageBudget, config: &ExecConfig) -> (f64, f64) {
     let (platform, graph) =
         apps::synthetic_app(tasks, 7 + tasks as u64).expect("synthetic app builds");
-    let dse = exec_settings::apply(ClrEarly::new(&graph, &platform).expect("tDSE succeeds"));
-    let clr = dse.run_proposed(budget).expect("proposed runs");
-    let agn = dse.run_agnostic(budget).expect("agnostic runs");
+    let dse = config.apply(ClrEarly::new(&graph, &platform).expect("tDSE succeeds"));
+    let clr = dse
+        .run(&CampaignPlan::proposed(), budget)
+        .expect("proposed runs");
+    let agn = dse
+        .run(&CampaignPlan::agnostic(), budget)
+        .expect("agnostic runs");
     let a = clr.objectives();
     let b = agn.objectives();
     let r = reference_point([a.as_slice(), b.as_slice()]);
@@ -536,7 +543,7 @@ mod tests {
 
     #[test]
     fn fig7_contains_all_series() {
-        let out = fig7(RunScale::Smoke);
+        let out = fig7(RunScale::Smoke, &ExecConfig::default());
         for tag in ["CLR", "Agnostic", "DVFS", "HWRel", "SSWRel", "ASWRel"] {
             assert!(out.contains(tag), "missing {tag}");
         }
@@ -544,7 +551,7 @@ mod tests {
 
     #[test]
     fn table5_clr_wins_at_smoke_scale() {
-        let out = table5(RunScale::Smoke);
+        let out = table5(RunScale::Smoke, &ExecConfig::default());
         let gains: Vec<f64> = out
             .lines()
             .skip(2)
@@ -561,7 +568,7 @@ mod tests {
 
     #[test]
     fn table6_proposed_not_worse() {
-        let out = table6(RunScale::Smoke);
+        let out = table6(RunScale::Smoke, &ExecConfig::default());
         let gains: Vec<f64> = out
             .lines()
             .skip(2)
@@ -576,7 +583,7 @@ mod tests {
 
     #[test]
     fn table7_baseline_is_zero() {
-        let out = table7(RunScale::Smoke);
+        let out = table7(RunScale::Smoke, &ExecConfig::default());
         for line in out.lines().skip(2) {
             let cells: Vec<&str> = line.split_whitespace().collect();
             assert_eq!(cells.last(), Some(&"0"), "pfCLR_3 must be the baseline");
@@ -585,9 +592,9 @@ mod tests {
 
     #[test]
     fn fig8_and_fig10_emit_series() {
-        let f8 = fig8(RunScale::Smoke);
+        let f8 = fig8(RunScale::Smoke, &ExecConfig::default());
         assert!(f8.contains("fcCLR") && f8.contains("proposed"));
-        let f10 = fig10(RunScale::Smoke);
+        let f10 = fig10(RunScale::Smoke, &ExecConfig::default());
         for tag in [
             "proposed_tDSE_1",
             "pfCLR_tDSE_1",
@@ -600,7 +607,7 @@ mod tests {
 
     #[test]
     fn multiobj_reports_3d_hypervolumes() {
-        let out = multiobj(RunScale::Tiny);
+        let out = multiobj(RunScale::Tiny, &ExecConfig::default());
         for tag in [
             "proposed-mismatched-hv3d",
             "proposed-matched-hv3d",
@@ -618,7 +625,7 @@ mod tests {
 
     #[test]
     fn scaling_reports_all_sizes() {
-        let out = scaling(RunScale::Smoke);
+        let out = scaling(RunScale::Smoke, &ExecConfig::default());
         assert_eq!(out.lines().count(), 2 + RunScale::Smoke.sizes().len());
         // The fc space per task is the full impl×DVFS×CLR product.
         assert!(out.contains("560"));
@@ -626,13 +633,13 @@ mod tests {
 
     #[test]
     fn moea_ablation_reports_both_backends() {
-        let out = ablation_moea(RunScale::Smoke);
+        let out = ablation_moea(RunScale::Smoke, &ExecConfig::default());
         assert!(out.contains("nsga2-hv") && out.contains("spea2-hv"));
     }
 
     #[test]
     fn comm_awareness_inflates_makespan() {
-        let out = ablation_comm(RunScale::Smoke);
+        let out = ablation_comm(RunScale::Smoke, &ExecConfig::default());
         let inflation: f64 = out
             .lines()
             .find(|l| l.starts_with("min-makespan-inflation-pct"))
@@ -649,9 +656,9 @@ mod tests {
     #[test]
     fn ablations_report_hypervolumes() {
         for out in [
-            ablation_seeding(RunScale::Smoke),
-            ablation_tournament(RunScale::Smoke),
-            ablation_pruning(RunScale::Smoke),
+            ablation_seeding(RunScale::Smoke, &ExecConfig::default()),
+            ablation_tournament(RunScale::Smoke, &ExecConfig::default()),
+            ablation_pruning(RunScale::Smoke, &ExecConfig::default()),
         ] {
             assert!(out.contains("gain-pct"));
             assert_eq!(out.lines().count(), 3);

@@ -11,6 +11,9 @@
 //! * [`synthetic_app`] — a convenience wrapper generating a TGFF-style
 //!   application with synthetic characterization, as used by all the
 //!   scaling experiments (Tables V–VII).
+//! * [`AppSpec`] — the workload *named as data* (`synthetic:20:7`,
+//!   `sobel:42`): the form campaign clients and evaluation-worker
+//!   contexts ship over the wire instead of model objects.
 
 pub use clre_model::platform::paper_platform;
 
@@ -133,6 +136,109 @@ pub fn paper_platform_with_noc() -> Platform {
         .expect("statically valid")
 }
 
+/// A named benchmark application: which workload a campaign optimizes,
+/// as data. Builders ([`AppSpec::build`]) construct the platform/graph
+/// pair themselves, so campaign clients — the `clre-serve` wire
+/// protocol, the `clre-exec-worker` evaluation contexts — name the
+/// workload instead of shipping model objects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AppSpec {
+    /// [`synthetic_app`]`(tasks, seed)` on the paper platform.
+    Synthetic {
+        /// Task count of the generated graph.
+        tasks: usize,
+        /// TGFF generator seed.
+        seed: u64,
+    },
+    /// [`sobel`]`(&`[`sobel_platform`]`(), seed)`.
+    Sobel {
+        /// Profile jitter seed.
+        seed: u64,
+    },
+}
+
+impl AppSpec {
+    /// The cache-sharing domain: campaigns whose apps map to the same
+    /// label share one `EvalCache` (and its persisted sidecar).
+    pub fn platform_label(&self) -> &'static str {
+        match self {
+            AppSpec::Synthetic { .. } => "paper",
+            AppSpec::Sobel { .. } => "sobel",
+        }
+    }
+
+    /// Wire form: `synthetic:<tasks>:<seed>` or `sobel:<seed>`.
+    pub fn encode(&self) -> String {
+        match self {
+            AppSpec::Synthetic { tasks, seed } => format!("synthetic:{tasks}:{seed}"),
+            AppSpec::Sobel { seed } => format!("sobel:{seed}"),
+        }
+    }
+
+    /// Parses the wire form.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the malformed spec.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use clre::apps::AppSpec;
+    ///
+    /// let app = AppSpec::parse("synthetic:12:3").unwrap();
+    /// assert_eq!(app, AppSpec::Synthetic { tasks: 12, seed: 3 });
+    /// assert_eq!(app.encode(), "synthetic:12:3");
+    /// assert!(AppSpec::parse("warp:1").is_err());
+    /// ```
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut parts = text.split(':');
+        match parts.next() {
+            Some("synthetic") => {
+                let tasks = parse_num(parts.next(), "synthetic task count")?;
+                let seed = parse_num(parts.next(), "synthetic seed")?;
+                expect_end(parts, text)?;
+                Ok(AppSpec::Synthetic { tasks, seed })
+            }
+            Some("sobel") => {
+                let seed = parse_num(parts.next(), "sobel seed")?;
+                expect_end(parts, text)?;
+                Ok(AppSpec::Sobel { seed })
+            }
+            _ => Err(format!("unknown app spec {text:?}")),
+        }
+    }
+
+    /// Builds the platform/graph pair this spec names.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model-construction failures.
+    pub fn build(&self) -> Result<(Platform, TaskGraph), DseError> {
+        match self {
+            AppSpec::Synthetic { tasks, seed } => synthetic_app(*tasks, *seed),
+            AppSpec::Sobel { seed } => {
+                let platform = sobel_platform();
+                let graph = sobel(&platform, *seed)?;
+                Ok((platform, graph))
+            }
+        }
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(tok: Option<&str>, what: &str) -> Result<T, String> {
+    tok.ok_or_else(|| format!("missing {what}"))?
+        .parse()
+        .map_err(|_| format!("malformed {what}"))
+}
+
+fn expect_end<'a>(mut parts: impl Iterator<Item = &'a str>, text: &str) -> Result<(), String> {
+    match parts.next() {
+        None => Ok(()),
+        Some(_) => Err(format!("trailing tokens in {text:?}")),
+    }
+}
+
 /// Generates a synthetic TGFF-style application with `tasks` tasks on the
 /// paper platform, drawing task types from the 10-type pool
 /// (`SYN_0`…`SYN_9`) used in the scaling experiments.
@@ -213,6 +319,25 @@ mod tests {
         assert_eq!(a.pe_types(), b.pe_types());
         assert!(a.interconnect().is_none());
         assert!(b.interconnect().is_some());
+    }
+
+    #[test]
+    fn app_specs_roundtrip_and_build() {
+        for (text, tasks) in [("synthetic:8:3", 8), ("sobel:7", 5)] {
+            let spec = AppSpec::parse(text).unwrap();
+            assert_eq!(spec.encode(), text);
+            let (platform, graph) = spec.build().unwrap();
+            assert_eq!(graph.task_count(), tasks);
+            assert!(platform.pe_count() > 0);
+        }
+        assert!(AppSpec::parse("synthetic:12").is_err(), "missing seed");
+        assert!(AppSpec::parse("synthetic:12:3:9").is_err(), "trailing");
+        assert!(AppSpec::parse("fpga:1").is_err(), "unknown app");
+        assert_eq!(
+            AppSpec::Sobel { seed: 1 }.platform_label(),
+            "sobel",
+            "cache domains follow the platform"
+        );
     }
 
     #[test]

@@ -1,0 +1,76 @@
+//! The subprocess evaluation worker: serves the `exec-wire v1`
+//! protocol over stdin/stdout, resolving `clre-eval v1` contexts
+//! through [`clre::remote::DseVocab`] — the child half of
+//! [`clre_exec::SubprocessBackend`].
+//!
+//! The binary takes no arguments; everything it needs arrives over the
+//! wire. One knob exists for the fault-injection tests:
+//! `CLRE_EXEC_WORKER_DIE_AFTER=<k>` makes the process exit with status
+//! 17 after `k` successful item evaluations, simulating a worker crash
+//! mid-batch.
+
+#![forbid(unsafe_code)]
+
+use std::io::{stdin, stdout, BufWriter};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use clre::remote::DseVocab;
+use clre_exec::{EvalVocab, ItemEval};
+
+/// Environment knob: exit(17) after this many successful evaluations.
+const DIE_AFTER_ENV: &str = "CLRE_EXEC_WORKER_DIE_AFTER";
+
+/// A vocabulary wrapper whose evaluators abort the process after a
+/// budget of successful evaluations — the crash seam the backend
+/// recovery tests drive. The counter is shared across every resolved
+/// context so the budget is process-wide.
+#[derive(Debug)]
+struct DoomedVocab {
+    inner: DseVocab,
+    remaining: Arc<AtomicU64>,
+}
+
+struct DoomedEval {
+    inner: Arc<dyn ItemEval>,
+    remaining: Arc<AtomicU64>,
+}
+
+impl ItemEval for DoomedEval {
+    fn eval(&self, item: &str) -> Result<String, String> {
+        let out = self.inner.eval(item);
+        if out.is_ok() && self.remaining.fetch_sub(1, Ordering::SeqCst) <= 1 {
+            // Simulated crash: abrupt exit without flushing the frame.
+            std::process::exit(17);
+        }
+        out
+    }
+}
+
+impl EvalVocab for DoomedVocab {
+    fn resolve(&self, context: &str) -> Result<Arc<dyn ItemEval>, String> {
+        let inner = self.inner.resolve(context)?;
+        Ok(Arc::new(DoomedEval {
+            inner,
+            remaining: Arc::clone(&self.remaining),
+        }))
+    }
+}
+
+fn main() -> std::io::Result<()> {
+    let mut input = stdin().lock();
+    let mut output = BufWriter::new(stdout().lock());
+    match std::env::var(DIE_AFTER_ENV)
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+    {
+        Some(budget) => {
+            let vocab = DoomedVocab {
+                inner: DseVocab,
+                remaining: Arc::new(AtomicU64::new(budget.max(1))),
+            };
+            clre_exec::worker::run_worker(&mut input, &mut output, &vocab)
+        }
+        None => clre_exec::worker::run_worker(&mut input, &mut output, &DseVocab),
+    }
+}

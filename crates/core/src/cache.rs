@@ -1209,6 +1209,57 @@ mod tests {
     }
 
     #[test]
+    fn ceiling_one_eviction_counters_stay_exact() {
+        let cache = EvalCache::new();
+        // The harshest setting: a ceiling of 1 clamps every shard to a
+        // single slot, so almost every insert evicts. The invariant under
+        // test is counter accuracy: inserts - evictions must equal the
+        // number of resident entries, per level, exactly.
+        cache.set_entry_ceiling(1);
+        assert_eq!(cache.entry_ceiling(), 1);
+
+        for i in 0..64 {
+            cache.insert_analysis(&params(1.0 + f64::from(i)), analysis(1.0));
+        }
+        let analysis_counts = cache.analysis_counts();
+        assert_eq!(analysis_counts.inserts, 64);
+        assert!(
+            cache.analysis_len() <= SHARDS,
+            "one slot per shard: {} entries",
+            cache.analysis_len()
+        );
+        assert_eq!(
+            analysis_counts.evictions,
+            analysis_counts.inserts - cache.analysis_len() as u64,
+            "every insert past a shard's single slot is exactly one eviction"
+        );
+        assert!(analysis_counts.evictions > 0);
+
+        for i in 0..64u32 {
+            cache.insert_fitness(7, &genome(i), fitness_value(f64::from(i + 1)));
+        }
+        let fitness_counts = cache.fitness_counts();
+        assert_eq!(fitness_counts.inserts, 64);
+        assert!(cache.fitness_len() <= SHARDS);
+        assert_eq!(
+            fitness_counts.evictions,
+            fitness_counts.inserts - cache.fitness_len() as u64
+        );
+
+        // The aggregate view sums both levels without double counting.
+        assert_eq!(
+            cache.counts().evictions,
+            analysis_counts.evictions + fitness_counts.evictions
+        );
+
+        // LRU at cap one means the newest key in a shard survives, and
+        // the survivor replays its stored value bit-exactly.
+        let last = params(200.0);
+        cache.insert_analysis(&last, analysis(3.0));
+        assert_eq!(cache.analysis(&last), Some(analysis(3.0)));
+    }
+
+    #[test]
     fn lru_evicts_the_least_recently_used() {
         let cache = EvalCache::new();
         // Unbounded while warming, then capped: recently-touched entries

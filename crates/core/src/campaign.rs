@@ -6,19 +6,28 @@
 //! seeded fc stage, and the layer-agnostic baseline merges four
 //! single-layer stages. [`CampaignPlan`] expresses each composition as
 //! data — a list of [`StagePlan`] nodes with explicit seeding edges —
-//! and [`ClrEarly::run_campaign`] /
-//! [`ClrEarly::run_campaign_supervised`] compile any plan into the one
-//! execution path, so the `clre-exec` executor, trace telemetry labels,
-//! checkpoint/rotate/quarantine supervision, and resume logic are
-//! threaded through every method exactly once. The stages are driven
+//! and [`ClrEarly::run`] / [`ClrEarly::run_supervised`] compile any
+//! plan into the one execution path, so the `clre-exec` executor, trace
+//! telemetry labels, checkpoint/rotate/quarantine supervision, and
+//! resume logic are threaded through every method exactly once. The stages are driven
 //! through the algorithm-agnostic
 //! [`EvolutionState`](clre_moea::EvolutionState) trait, so NSGA-II and
 //! SPEA2 stages checkpoint and resume identically.
 //!
+//! Any plan scales out as an **island model**
+//! ([`CampaignPlan::islands`]): the plan is replicated into per-island
+//! subpopulation lineages with salted RNG streams, and each epoch's
+//! first stage is seeded through ordinary seeding edges from the
+//! previous epoch's island fronts — its own plus its ring neighbor's
+//! (the migration topology). Because migration reuses the same seeding
+//! edges the proposed flow uses, island campaigns checkpoint, resume
+//! and merge deterministically, bit-identical for every evaluation
+//! backend.
+//!
 //! # Examples
 //!
 //! The proposed methodology as a plan (identical trajectory and front
-//! to [`ClrEarly::run_proposed`], which is now a thin wrapper over it):
+//! to the deprecated `run_proposed` wrapper):
 //!
 //! ```no_run
 //! use clre::{CampaignPlan, ClrEarly, StageBudget};
@@ -29,7 +38,7 @@
 //! let graph = graph();
 //! let dse = ClrEarly::new(&graph, &platform)?;
 //! let plan = CampaignPlan::proposed(); // pf stage → seeded fc stage
-//! let front = dse.run_campaign(&plan, &StageBudget::smoke_test())?;
+//! let front = dse.run(&plan, &StageBudget::smoke_test())?;
 //! assert_eq!(front.method(), "proposed");
 //! # Ok::<(), clre::DseError>(())
 //! ```
@@ -114,10 +123,11 @@ pub struct StagePlan {
     /// The stage runs `(budget.generations / divisor).max(1)`
     /// generations — the Agnostic baseline's budget-fair quartering.
     pub generations_divisor: usize,
-    /// Seeding edge: index of an earlier stage whose front genomes seed
-    /// this stage's initial population (the proposed flow's pf → fc
-    /// hand-off).
-    pub seed_from: Option<usize>,
+    /// Seeding edges: indices of earlier stages whose front genomes
+    /// seed this stage's initial population, concatenated in edge
+    /// order — the proposed flow's pf → fc hand-off, and the island
+    /// model's migration channel.
+    pub seed_from: Vec<usize>,
 }
 
 impl StagePlan {
@@ -132,7 +142,7 @@ impl StagePlan {
             library: LibrarySource::Main,
             salt,
             generations_divisor: 1,
-            seed_from: None,
+            seed_from: Vec::new(),
         }
     }
 
@@ -199,10 +209,11 @@ impl StagePlan {
 
     /// Declares a seeding edge from an earlier stage (builder style): the
     /// front genomes of stage `index` seed this stage's initial
-    /// population, the pf → fc hand-off of the proposed flow.
+    /// population, the pf → fc hand-off of the proposed flow. May be
+    /// called repeatedly; seeds concatenate in edge order.
     #[must_use]
     pub fn with_seed_from(mut self, index: usize) -> Self {
-        self.seed_from = Some(index);
+        self.seed_from.push(index);
         self
     }
 
@@ -272,7 +283,7 @@ impl CampaignPlan {
     /// seeds an additional full-space fc stage; fronts merged.
     pub fn proposed() -> Self {
         let fc_stage = StagePlan {
-            seed_from: Some(0),
+            seed_from: vec![0],
             ..StagePlan::nsga2("proposed/fc-stage", ChoiceMode::Full, 4)
         };
         CampaignPlan {
@@ -338,7 +349,7 @@ impl CampaignPlan {
     ///     .with_stage(StagePlan::nsga2("pf", ChoiceMode::ParetoFiltered, 2))
     ///     .with_stage(StagePlan::nsga2("fc", ChoiceMode::Full, 4).with_seed_from(0));
     /// assert_eq!(plan.stages.len(), 2);
-    /// assert_eq!(plan.stages[1].seed_from, Some(0));
+    /// assert_eq!(plan.stages[1].seed_from, vec![0]);
     /// ```
     #[must_use]
     pub fn with_stage(mut self, stage: StagePlan) -> Self {
@@ -352,6 +363,96 @@ impl CampaignPlan {
         CampaignPlan {
             name: name.into(),
             stages: Vec::new(),
+        }
+    }
+
+    /// The island-model expansion of this plan with the default two
+    /// migration epochs: `islands` independent subpopulation lineages,
+    /// each a full copy of the plan under a distinct salted RNG stream,
+    /// with each epoch's entry stage seeded by the previous epoch's
+    /// fronts of its own lineage *and* its ring neighbor (see
+    /// [`CampaignPlan::islands_with_epochs`]).
+    ///
+    /// The resulting plan is named `{name}/islands{n}` and runs on the
+    /// ordinary [`ClrEarly::run`] path: stages execute in deterministic
+    /// order and fronts merge through the indexed-slot concluder, so
+    /// the final front is bit-identical for every evaluation backend
+    /// and worker count. `islands(1)` still runs two chained epochs of
+    /// the plan (a seeded restart); the identity expansion is
+    /// `islands_with_epochs(1, 1)`.
+    ///
+    /// # Panics
+    ///
+    /// As [`CampaignPlan::islands_with_epochs`].
+    #[must_use]
+    pub fn islands(&self, islands: usize) -> Self {
+        self.islands_with_epochs(islands, 2)
+    }
+
+    /// The island-model expansion with an explicit epoch count.
+    ///
+    /// The plan's stage list is replicated `islands × epochs` times, in
+    /// epoch-major order. Block `(e, i)` keeps the base plan's internal
+    /// seeding edges (remapped into the block) and derives its RNG
+    /// streams by adding `block « 32` to every stage salt, so island
+    /// lineages never share a generation's random stream. For `e > 0`,
+    /// the block's first stage gains two migration edges: the final
+    /// stage of block `(e−1, i)` and of block `(e−1, (i+1) mod n)` —
+    /// front points travel the ring exactly like the proposed flow's
+    /// pf → fc hand-off, which keeps checkpoint/resume and determinism
+    /// arguments unchanged. Per-stage generation budgets are divided by
+    /// `epochs` so one lineage spends the same generation budget as the
+    /// base plan.
+    ///
+    /// `islands_with_epochs(1, 1)` returns the plan unchanged (same
+    /// name, no label suffixes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `islands == 0` or `epochs == 0`, on a structurally
+    /// invalid base plan, or when `epochs > 1` and the plan's first
+    /// stage is not NSGA-II (migration seeds an unseedable stage).
+    #[must_use]
+    pub fn islands_with_epochs(&self, islands: usize, epochs: usize) -> Self {
+        assert!(islands > 0, "island count must be at least 1");
+        assert!(epochs > 0, "epoch count must be at least 1");
+        self.assert_well_formed();
+        if islands == 1 && epochs == 1 {
+            return self.clone();
+        }
+        if epochs > 1 {
+            assert!(
+                self.stages[0].algorithm.tag() == AlgorithmTag::Nsga2,
+                "island migration seeds the first stage, which must be NSGA-II"
+            );
+        }
+        let base_len = self.stages.len();
+        let mut stages = Vec::with_capacity(base_len * islands * epochs);
+        for epoch in 0..epochs {
+            for island in 0..islands {
+                let block = epoch * islands + island;
+                let block_start = block * base_len;
+                for (offset, base) in self.stages.iter().enumerate() {
+                    let mut stage = base.clone();
+                    stage.label = format!("{}#e{epoch}i{island}", base.label);
+                    stage.salt = base.salt.wrapping_add((block as u64) << 32);
+                    stage.generations_divisor *= epochs;
+                    stage.seed_from = base.seed_from.iter().map(|&s| s + block_start).collect();
+                    if offset == 0 && epoch > 0 {
+                        let last_of =
+                            |isl: usize| ((epoch - 1) * islands + isl) * base_len + (base_len - 1);
+                        stage.seed_from.push(last_of(island));
+                        if islands > 1 {
+                            stage.seed_from.push(last_of((island + 1) % islands));
+                        }
+                    }
+                    stages.push(stage);
+                }
+            }
+        }
+        CampaignPlan {
+            name: format!("{}/islands{islands}", self.name),
+            stages,
         }
     }
 
@@ -373,7 +474,7 @@ impl CampaignPlan {
                 "stage labels must be whitespace-free"
             );
             assert!(stage.generations_divisor > 0, "divisor must be at least 1");
-            if let Some(src) = stage.seed_from {
+            for &src in &stage.seed_from {
                 assert!(src < i, "seeding edges must point to earlier stages");
                 assert!(
                     stage.algorithm.tag() == AlgorithmTag::Nsga2,
@@ -441,19 +542,16 @@ impl<'a> ClrEarly<'a> {
     ///
     /// Panics on a structurally invalid plan (empty, whitespace labels,
     /// forward seeding edges, seeded SPEA2 stages).
-    pub fn run_campaign(
-        &self,
-        plan: &CampaignPlan,
-        budget: &StageBudget,
-    ) -> Result<FrontResult, DseError> {
+    pub fn run(&self, plan: &CampaignPlan, budget: &StageBudget) -> Result<FrontResult, DseError> {
         plan.assert_well_formed();
         let mut results: Vec<FrontResult> = Vec::with_capacity(plan.stages.len());
         let mut stage_genomes: Vec<Vec<Genome>> = Vec::with_capacity(plan.stages.len());
         for stage in &plan.stages {
             let seeds = stage
                 .seed_from
-                .map(|i| stage_genomes[i].clone())
-                .unwrap_or_default();
+                .iter()
+                .flat_map(|&i| stage_genomes[i].iter().cloned())
+                .collect();
             let (result, genomes) = self.run_plan_stage(stage, budget, seeds)?;
             results.push(result);
             stage_genomes.push(genomes);
@@ -461,12 +559,26 @@ impl<'a> ClrEarly<'a> {
         Ok(conclude_plain(plan, results))
     }
 
+    /// Deprecated name of [`ClrEarly::run`].
+    ///
+    /// # Errors
+    ///
+    /// As [`ClrEarly::run`].
+    #[deprecated(note = "renamed to `ClrEarly::run`")]
+    pub fn run_campaign(
+        &self,
+        plan: &CampaignPlan,
+        budget: &StageBudget,
+    ) -> Result<FrontResult, DseError> {
+        self.run(plan, budget)
+    }
+
     /// Runs a campaign plan under a [`RunSupervisor`]: evaluation
     /// failures are isolated and quarantined, and every stage
     /// checkpoints at the supervisor's cadence — the checkpoint records
     /// the stage index and the fronts of all completed stages, so
-    /// [`ClrEarly::resume_campaign`] continues at the interrupted stage
-    /// with earlier stages reconstituted, never re-run.
+    /// [`ClrEarly::resume`] continues at the interrupted stage with
+    /// earlier stages reconstituted, never re-run.
     ///
     /// # Errors
     ///
@@ -474,8 +586,8 @@ impl<'a> ClrEarly<'a> {
     ///
     /// # Panics
     ///
-    /// As [`ClrEarly::run_campaign`].
-    pub fn run_campaign_supervised(
+    /// As [`ClrEarly::run`].
+    pub fn run_supervised(
         &self,
         plan: &CampaignPlan,
         budget: &StageBudget,
@@ -493,6 +605,21 @@ impl<'a> ClrEarly<'a> {
             None,
             Vec::new(),
         )
+    }
+
+    /// Deprecated name of [`ClrEarly::run_supervised`].
+    ///
+    /// # Errors
+    ///
+    /// As [`ClrEarly::run_supervised`].
+    #[deprecated(note = "renamed to `ClrEarly::run_supervised`")]
+    pub fn run_campaign_supervised(
+        &self,
+        plan: &CampaignPlan,
+        budget: &StageBudget,
+        supervisor: &RunSupervisor,
+    ) -> Result<RunOutcome, DseError> {
+        self.run_supervised(plan, budget, supervisor)
     }
 
     /// Resumes an interrupted supervised campaign from the supervisor's
@@ -525,8 +652,8 @@ impl<'a> ClrEarly<'a> {
     ///
     /// # Panics
     ///
-    /// As [`ClrEarly::run_campaign`].
-    pub fn resume_campaign(
+    /// As [`ClrEarly::run`].
+    pub fn resume(
         &self,
         plan: &CampaignPlan,
         budget: &StageBudget,
@@ -579,6 +706,21 @@ impl<'a> ClrEarly<'a> {
         )
     }
 
+    /// Deprecated name of [`ClrEarly::resume`].
+    ///
+    /// # Errors
+    ///
+    /// As [`ClrEarly::resume`].
+    #[deprecated(note = "renamed to `ClrEarly::resume`")]
+    pub fn resume_campaign(
+        &self,
+        plan: &CampaignPlan,
+        budget: &StageBudget,
+        supervisor: &RunSupervisor,
+    ) -> Result<RunOutcome, DseError> {
+        self.resume(plan, budget, supervisor)
+    }
+
     /// The shared supervised loop over a plan's stages, starting at
     /// stage `completed.len()` (fresh runs pass empty vectors, resumes
     /// pass the reconstituted prefix plus the interrupted stage's
@@ -600,8 +742,9 @@ impl<'a> ClrEarly<'a> {
             let stage = &plan.stages[index];
             let seeds = stage
                 .seed_from
-                .map(|i| completed[i].genomes.clone())
-                .unwrap_or_default();
+                .iter()
+                .flat_map(|&i| completed[i].genomes.iter().cloned())
+                .collect();
             let outcome = self.run_plan_stage_supervised(
                 plan,
                 index,
@@ -644,12 +787,30 @@ impl<'a> ClrEarly<'a> {
     }
 
     /// A stage problem over `codec` with this orchestrator's objective
-    /// set, QoS spec and (if attached) fitness cache.
-    fn stage_problem<'b>(&self, codec: Codec<'b>) -> SystemProblem<'b> {
+    /// set, QoS spec and (if attached) fitness cache. When the
+    /// orchestrator carries a remote app spec ([`ClrEarly::with_remote`])
+    /// and the caller passes the stage, the problem is additionally
+    /// tagged with its `clre-eval v1` context so stage executors with an
+    /// [`EvalBackend`](clre_exec::EvalBackend) can ship its evaluations
+    /// out of process.
+    fn stage_problem<'b>(&self, codec: Codec<'b>, stage: Option<&StagePlan>) -> SystemProblem<'b> {
         let problem = SystemProblem::new(codec, self.objectives.clone(), self.spec);
-        match &self.cache {
+        let problem = match &self.cache {
             Some(cache) => problem.with_cache(Arc::clone(cache)),
             None => problem,
+        };
+        match (&self.remote, stage) {
+            (Some((app, scenario)), Some(stage)) => {
+                let context = crate::remote::RemoteContext {
+                    app: app.clone(),
+                    scenario: *scenario,
+                    mode: stage.mode,
+                    library: stage.library,
+                    digest: problem.content_digest(),
+                };
+                problem.with_remote(context.encode())
+            }
+            _ => problem,
         }
     }
 
@@ -666,8 +827,12 @@ impl<'a> ClrEarly<'a> {
         }
     }
 
-    /// Resolves a stage's implementation library.
-    fn resolve_library(&self, source: LibrarySource) -> Result<Cow<'_, ImplLibrary>, DseError> {
+    /// Resolves a stage's implementation library (also used by the
+    /// remote-evaluation vocabulary to mirror stage construction).
+    pub(crate) fn resolve_library(
+        &self,
+        source: LibrarySource,
+    ) -> Result<Cow<'_, ImplLibrary>, DseError> {
         match source {
             LibrarySource::Main => Ok(Cow::Borrowed(&self.library)),
             LibrarySource::SingleLayer(layer) => {
@@ -700,7 +865,7 @@ impl<'a> ClrEarly<'a> {
     ) -> Result<(FrontResult, Vec<Genome>), DseError> {
         let library = self.resolve_library(stage.library)?;
         let codec = Codec::new(self.graph, self.platform, &library, stage.mode)?;
-        let problem = self.stage_problem(codec.clone());
+        let problem = self.stage_problem(codec.clone(), Some(stage));
         let exec = self.stage_exec(&stage.label);
         let outcome = {
             let variation = ClrVariation::new(&codec);
@@ -723,7 +888,7 @@ impl<'a> ClrEarly<'a> {
                 }
             }
         };
-        let metrics_problem = self.stage_problem(codec);
+        let metrics_problem = self.stage_problem(codec, None);
         let mut points = Vec::with_capacity(outcome.members.len());
         let mut genomes = Vec::with_capacity(outcome.members.len());
         for ind in outcome.members {
@@ -765,7 +930,7 @@ impl<'a> ClrEarly<'a> {
         let stage = &plan.stages[index];
         let library = self.resolve_library(stage.library)?;
         let codec = Codec::new(self.graph, self.platform, &library, stage.mode)?;
-        let problem = self.stage_problem(codec.clone());
+        let problem = self.stage_problem(codec.clone(), Some(stage));
         let mut resilient = ResilientProblem::new(problem)
             .with_max_retries(supervisor.config().max_retries)
             .with_quarantine_seed(quarantine_seed);
@@ -841,7 +1006,7 @@ impl<'a> ClrEarly<'a> {
                 evaluations,
                 health,
             } => {
-                let metrics_problem = self.stage_problem(codec);
+                let metrics_problem = self.stage_problem(codec, None);
                 let mut points = Vec::with_capacity(members.len());
                 let mut genomes = Vec::with_capacity(members.len());
                 for ind in members {
@@ -882,7 +1047,7 @@ impl<'a> ClrEarly<'a> {
     ) -> Result<FrontResult, DseError> {
         let library = self.resolve_library(stage.library)?;
         let codec = Codec::new(self.graph, self.platform, &library, stage.mode)?;
-        let problem = self.stage_problem(codec);
+        let problem = self.stage_problem(codec, None);
         let mut points = Vec::with_capacity(genomes.len());
         for g in genomes {
             if let Ok(metrics) = problem.try_metrics_of(g) {

@@ -35,6 +35,10 @@
 //!   (task-analysis + genome-fitness) memoization with a persistent
 //!   sidecar for warm-started resumes; hits replay the uncached
 //!   computation bit-for-bit.
+//! * [`remote`] — the `clre-eval v1` context grammar and [`DseVocab`]:
+//!   what lets the `clre-exec-worker` subprocess backend reconstruct a
+//!   digest-verified stage problem from one line of text and evaluate
+//!   genomes bit-identically to the in-process path.
 //!
 //! # Examples
 //!
@@ -43,13 +47,14 @@
 //!
 //! ```
 //! use clre::apps;
+//! use clre::campaign::CampaignPlan;
 //! use clre::methodology::{ClrEarly, StageBudget};
 //!
 //! # fn main() -> Result<(), clre::DseError> {
 //! let platform = apps::paper_platform();
 //! let graph = apps::sobel(&platform, 42)?;
 //! let dse = ClrEarly::new(&graph, &platform)?;
-//! let result = dse.run_proposed(&StageBudget::smoke_test())?;
+//! let result = dse.run(&CampaignPlan::proposed(), &StageBudget::smoke_test())?;
 //! assert!(!result.front().is_empty());
 //! for point in result.front() {
 //!     assert!(point.metrics.makespan > 0.0);
@@ -77,15 +82,18 @@ mod error;
 pub mod library;
 pub mod methodology;
 pub mod problem;
+pub mod remote;
 pub mod resilience;
 pub mod scenario;
 pub mod tdse;
 
+pub use apps::AppSpec;
 pub use cache::{CacheCounts, CachedFitness, EvalCache};
 pub use campaign::{CampaignPlan, LibrarySource, StageAlgorithm, StagePlan};
 pub use error::DseError;
 pub use library::{CandidateImpl, ImplLibrary};
 pub use methodology::{ClrEarly, FrontPoint, FrontResult, Layer, StageBudget};
+pub use remote::{BackendChoice, DseVocab, RemoteContext};
 pub use resilience::{
     AlgorithmTag, Checkpoint, CompletedStage, HealthHandle, QuarantineRecord, RunHealth,
     RunOutcome, RunSupervisor, SupervisorConfig,

@@ -1,19 +1,25 @@
 //! The multi-stage system-level DSE methodology (Section V, Fig. 4).
 //!
-//! [`ClrEarly`] orchestrates every search variant evaluated in the paper:
+//! [`ClrEarly`] orchestrates every search variant evaluated in the
+//! paper. Each method is a named [`CampaignPlan`] preset handed to the
+//! single entry point [`ClrEarly::run`] (or its supervised/resumable
+//! twins):
 //!
-//! * [`ClrEarly::run_fc`] — **fcCLR**: a problem-agnostic GA over the full
-//!   `mapping × scheduling × implementation × CLR` space (the Das et al.
-//!   DATE'14 extension the paper compares against).
-//! * [`ClrEarly::run_pf`] — **pfCLR**: the same GA restricted to the
+//! * [`CampaignPlan::fc`] — **fcCLR**: a problem-agnostic GA over the
+//!   full `mapping × scheduling × implementation × CLR` space (the Das
+//!   et al. DATE'14 extension the paper compares against).
+//! * [`CampaignPlan::pf`] — **pfCLR**: the same GA restricted to the
 //!   task-level Pareto-filtered implementations.
-//! * [`ClrEarly::run_proposed`] — the **proposed** methodology: a full
+//! * [`CampaignPlan::proposed`] — the **proposed** methodology: a full
 //!   pfCLR run whose final front seeds an *additional* fcCLR run
 //!   (guided/seeded search, Fig. 4(b)); the stage fronts are merged.
-//! * [`ClrEarly::run_single_layer`] / [`ClrEarly::run_agnostic`] — the
+//! * [`CampaignPlan::single_layer`] / [`CampaignPlan::agnostic`] — the
 //!   other-layer-agnostic baseline of Fig. 7: independent optimizations
 //!   with a single degree of freedom each (DVFS / HWRel / SSWRel /
 //!   ASWRel), merged and Pareto-filtered.
+//!
+//! The historic `run_fc`/`run_pf`/`run_proposed`-style wrappers remain
+//! as `#[deprecated]` shims over the same plans.
 
 use std::sync::Arc;
 
@@ -27,7 +33,7 @@ use crate::cache::EvalCache;
 use crate::campaign::CampaignPlan;
 use crate::encoding::Genome;
 use crate::library::ImplLibrary;
-use crate::resilience::{Checkpoint, RunHealth, RunOutcome, RunSupervisor};
+use crate::resilience::{AlgorithmTag, Checkpoint, RunHealth, RunOutcome, RunSupervisor};
 use crate::tdse::{build_library_with_health, TdseConfig, TdseHealth};
 use crate::DseError;
 
@@ -130,7 +136,7 @@ pub struct FrontResult {
     pub evaluations: usize,
     /// Resilience report: failures isolated, candidates quarantined,
     /// degraded analyses, checkpoint/resume activity. Populated by the
-    /// supervised entry points ([`ClrEarly::run_fc_supervised`] and
+    /// supervised entry points ([`ClrEarly::run_supervised`] and
     /// friends); the plain runs leave it at its clean default.
     pub health: RunHealth,
 }
@@ -211,6 +217,7 @@ pub struct ClrEarly<'a> {
     pub(crate) spec: QosSpec,
     pub(crate) exec: Executor,
     pub(crate) cache: Option<Arc<EvalCache>>,
+    pub(crate) remote: Option<(crate::apps::AppSpec, crate::scenario::Scenario)>,
 }
 
 impl<'a> ClrEarly<'a> {
@@ -247,6 +254,7 @@ impl<'a> ClrEarly<'a> {
             spec: QosSpec::new(),
             exec: Executor::serial(),
             cache: None,
+            remote: None,
         })
     }
 
@@ -303,6 +311,29 @@ impl<'a> ClrEarly<'a> {
         &self.exec
     }
 
+    /// Declares that this orchestrator's `(application, platform)` pair
+    /// is the named [`AppSpec`](crate::apps::AppSpec) built under
+    /// `scenario` (builder style). With this set, every campaign stage
+    /// problem is tagged with its `clre-eval v1` remote context (see
+    /// [`crate::remote`]), so an executor carrying an
+    /// [`EvalBackend`](clre_exec::EvalBackend) — thread pool or
+    /// `clre-exec-worker` subprocesses — evaluates generations out of
+    /// line, bit-identically to the in-process path.
+    ///
+    /// Pass the same scenario the orchestrator was constructed with;
+    /// the worker verifies its reconstructed problem digest and falls
+    /// back to in-process evaluation on any mismatch, so a stale spec
+    /// can cost performance but never correctness.
+    #[must_use]
+    pub fn with_remote(
+        mut self,
+        app: crate::apps::AppSpec,
+        scenario: crate::scenario::Scenario,
+    ) -> Self {
+        self.remote = Some((app, scenario));
+        self
+    }
+
     /// Attaches a shared evaluation cache (builder style): every GA run
     /// of this orchestrator memoizes genome fitness through it, and the
     /// single-layer baselines reuse its task-analysis level when they
@@ -357,8 +388,9 @@ impl<'a> ClrEarly<'a> {
     /// # Errors
     ///
     /// Propagates codec construction failures.
+    #[deprecated(note = "use `ClrEarly::run` with `CampaignPlan::fc()`")]
     pub fn run_fc(&self, budget: &StageBudget) -> Result<FrontResult, DseError> {
-        self.run_campaign(&CampaignPlan::fc(), budget)
+        self.run(&CampaignPlan::fc(), budget)
     }
 
     /// Runs the task-level-Pareto-filtered pfCLR method.
@@ -366,8 +398,9 @@ impl<'a> ClrEarly<'a> {
     /// # Errors
     ///
     /// Propagates codec construction failures.
+    #[deprecated(note = "use `ClrEarly::run` with `CampaignPlan::pf()`")]
     pub fn run_pf(&self, budget: &StageBudget) -> Result<FrontResult, DseError> {
-        self.run_campaign(&CampaignPlan::pf(), budget)
+        self.run(&CampaignPlan::pf(), budget)
     }
 
     /// Runs the proposed two-stage methodology exactly as Section VI-C
@@ -385,8 +418,9 @@ impl<'a> ClrEarly<'a> {
     /// # Errors
     ///
     /// Propagates codec construction failures.
+    #[deprecated(note = "use `ClrEarly::run` with `CampaignPlan::proposed()`")]
     pub fn run_proposed(&self, budget: &StageBudget) -> Result<FrontResult, DseError> {
-        self.run_campaign(&CampaignPlan::proposed(), budget)
+        self.run(&CampaignPlan::proposed(), budget)
     }
 
     /// Runs fcCLR under a [`RunSupervisor`]: evaluation failures are
@@ -397,12 +431,13 @@ impl<'a> ClrEarly<'a> {
     /// # Errors
     ///
     /// Propagates codec construction and checkpoint I/O failures.
+    #[deprecated(note = "use `ClrEarly::run_supervised` with `CampaignPlan::fc()`")]
     pub fn run_fc_supervised(
         &self,
         budget: &StageBudget,
         supervisor: &RunSupervisor,
     ) -> Result<RunOutcome, DseError> {
-        self.run_campaign_supervised(&CampaignPlan::fc(), budget, supervisor)
+        self.run_supervised(&CampaignPlan::fc(), budget, supervisor)
     }
 
     /// Runs pfCLR under a [`RunSupervisor`]; see
@@ -411,12 +446,13 @@ impl<'a> ClrEarly<'a> {
     /// # Errors
     ///
     /// Propagates codec construction and checkpoint I/O failures.
+    #[deprecated(note = "use `ClrEarly::run_supervised` with `CampaignPlan::pf()`")]
     pub fn run_pf_supervised(
         &self,
         budget: &StageBudget,
         supervisor: &RunSupervisor,
     ) -> Result<RunOutcome, DseError> {
-        self.run_campaign_supervised(&CampaignPlan::pf(), budget, supervisor)
+        self.run_supervised(&CampaignPlan::pf(), budget, supervisor)
     }
 
     /// Runs the proposed two-stage methodology under a [`RunSupervisor`].
@@ -428,12 +464,13 @@ impl<'a> ClrEarly<'a> {
     /// # Errors
     ///
     /// Propagates codec construction and checkpoint I/O failures.
+    #[deprecated(note = "use `ClrEarly::run_supervised` with `CampaignPlan::proposed()`")]
     pub fn run_proposed_supervised(
         &self,
         budget: &StageBudget,
         supervisor: &RunSupervisor,
     ) -> Result<RunOutcome, DseError> {
-        self.run_campaign_supervised(&CampaignPlan::proposed(), budget, supervisor)
+        self.run_supervised(&CampaignPlan::proposed(), budget, supervisor)
     }
 
     /// Runs the layer-agnostic baseline campaign under a
@@ -444,12 +481,13 @@ impl<'a> ClrEarly<'a> {
     /// # Errors
     ///
     /// Propagates codec construction and checkpoint I/O failures.
+    #[deprecated(note = "use `ClrEarly::run_supervised` with `CampaignPlan::agnostic()`")]
     pub fn run_agnostic_supervised(
         &self,
         budget: &StageBudget,
         supervisor: &RunSupervisor,
     ) -> Result<RunOutcome, DseError> {
-        self.run_campaign_supervised(&CampaignPlan::agnostic(), budget, supervisor)
+        self.run_supervised(&CampaignPlan::agnostic(), budget, supervisor)
     }
 
     /// Runs the SPEA2-backed pfCLR ablation under a [`RunSupervisor`] —
@@ -459,12 +497,13 @@ impl<'a> ClrEarly<'a> {
     /// # Errors
     ///
     /// Propagates codec construction and checkpoint I/O failures.
+    #[deprecated(note = "use `ClrEarly::run_supervised` with `CampaignPlan::pf_spea2()`")]
     pub fn run_pf_spea2_supervised(
         &self,
         budget: &StageBudget,
         supervisor: &RunSupervisor,
     ) -> Result<RunOutcome, DseError> {
-        self.run_campaign_supervised(&CampaignPlan::pf_spea2(), budget, supervisor)
+        self.run_supervised(&CampaignPlan::pf_spea2(), budget, supervisor)
     }
 
     /// Resumes an interrupted supervised run from the supervisor's
@@ -495,23 +534,15 @@ impl<'a> ClrEarly<'a> {
             supervisor.checkpoint_path(),
             supervisor.config().keep_checkpoints,
         )?;
-        let plan = match cp.method.as_str() {
-            "fcCLR" => CampaignPlan::fc(),
-            "pfCLR" => CampaignPlan::pf(),
-            "proposed" => CampaignPlan::proposed(),
-            "Agnostic" => CampaignPlan::agnostic(),
-            "pfCLR/spea2" => CampaignPlan::pf_spea2(),
-            "DVFS" => CampaignPlan::single_layer(Layer::Dvfs),
-            "HWRel" => CampaignPlan::single_layer(Layer::Hw),
-            "SSWRel" => CampaignPlan::single_layer(Layer::Ssw),
-            "ASWRel" => CampaignPlan::single_layer(Layer::Asw),
-            m => {
+        let plan = match plan_by_name(&cp.method) {
+            Some(plan) => plan,
+            None => {
                 return Err(DseError::Checkpoint {
-                    what: format!("cannot resume method {m:?} at stage {}", cp.stage),
+                    what: format!("cannot resume method {:?} at stage {}", cp.method, cp.stage),
                 })
             }
         };
-        self.resume_campaign(&plan, budget, supervisor)
+        self.resume(&plan, budget, supervisor)
     }
 
     /// Runs a single-degree-of-freedom baseline for one layer.
@@ -519,12 +550,13 @@ impl<'a> ClrEarly<'a> {
     /// # Errors
     ///
     /// Propagates task-level DSE and codec failures.
+    #[deprecated(note = "use `ClrEarly::run` with `CampaignPlan::single_layer(layer)`")]
     pub fn run_single_layer(
         &self,
         layer: Layer,
         budget: &StageBudget,
     ) -> Result<FrontResult, DseError> {
-        self.run_campaign(&CampaignPlan::single_layer(layer), budget)
+        self.run(&CampaignPlan::single_layer(layer), budget)
     }
 
     /// Runs pfCLR under the SPEA2 backend instead of NSGA-II — the
@@ -534,8 +566,9 @@ impl<'a> ClrEarly<'a> {
     /// # Errors
     ///
     /// Propagates codec construction failures.
+    #[deprecated(note = "use `ClrEarly::run` with `CampaignPlan::pf_spea2()`")]
     pub fn run_pf_spea2(&self, budget: &StageBudget) -> Result<FrontResult, DseError> {
-        self.run_campaign(&CampaignPlan::pf_spea2(), budget)
+        self.run(&CampaignPlan::pf_spea2(), budget)
     }
 
     /// Runs pfCLR with a non-default tournament size — the
@@ -548,12 +581,13 @@ impl<'a> ClrEarly<'a> {
     /// # Panics
     ///
     /// Panics if `tournament_size == 0`.
+    #[deprecated(note = "use `ClrEarly::run` with `CampaignPlan::pf_with_tournament(k)`")]
     pub fn run_pf_with_tournament(
         &self,
         budget: &StageBudget,
         tournament_size: usize,
     ) -> Result<FrontResult, DseError> {
-        self.run_campaign(&CampaignPlan::pf_with_tournament(tournament_size), budget)
+        self.run(&CampaignPlan::pf_with_tournament(tournament_size), budget)
     }
 
     /// Runs the pruning ablation of DESIGN.md §5: a pfCLR-shaped search
@@ -563,12 +597,13 @@ impl<'a> ClrEarly<'a> {
     /// # Errors
     ///
     /// Propagates codec construction failures.
+    #[deprecated(note = "use `ClrEarly::run` with `CampaignPlan::random_subset(seed)`")]
     pub fn run_random_subset(
         &self,
         budget: &StageBudget,
         subset_seed: u64,
     ) -> Result<FrontResult, DseError> {
-        self.run_campaign(&CampaignPlan::random_subset(subset_seed), budget)
+        self.run(&CampaignPlan::random_subset(subset_seed), budget)
     }
 
     /// Runs the other-layer-agnostic baseline: all four single-layer
@@ -581,9 +616,47 @@ impl<'a> ClrEarly<'a> {
     /// # Errors
     ///
     /// Propagates single-layer failures.
+    #[deprecated(note = "use `ClrEarly::run` with `CampaignPlan::agnostic()`")]
     pub fn run_agnostic(&self, budget: &StageBudget) -> Result<FrontResult, DseError> {
-        self.run_campaign(&CampaignPlan::agnostic(), budget)
+        self.run(&CampaignPlan::agnostic(), budget)
     }
+}
+
+/// Resolves a built-in plan family by its campaign name — the inverse
+/// of the preset constructors, used to reconstruct the plan a
+/// checkpoint belongs to. An `/islands<n>` suffix resolves to the
+/// default-epoch island expansion of the base plan
+/// ([`CampaignPlan::islands`]); island plans with a non-default epoch
+/// count are not name-resumable and must be resumed through
+/// [`ClrEarly::resume`] with the explicit plan.
+pub fn plan_by_name(name: &str) -> Option<CampaignPlan> {
+    let base = |m: &str| {
+        Some(match m {
+            "fcCLR" => CampaignPlan::fc(),
+            "pfCLR" => CampaignPlan::pf(),
+            "proposed" => CampaignPlan::proposed(),
+            "Agnostic" => CampaignPlan::agnostic(),
+            "pfCLR/spea2" => CampaignPlan::pf_spea2(),
+            "DVFS" => CampaignPlan::single_layer(Layer::Dvfs),
+            "HWRel" => CampaignPlan::single_layer(Layer::Hw),
+            "SSWRel" => CampaignPlan::single_layer(Layer::Ssw),
+            "ASWRel" => CampaignPlan::single_layer(Layer::Asw),
+            _ => return None,
+        })
+    };
+    if let Some(plan) = base(name) {
+        return Some(plan);
+    }
+    if let Some((prefix, count)) = name.rsplit_once("/islands") {
+        if let Ok(islands) = count.parse::<usize>() {
+            if islands > 0 {
+                return base(prefix)
+                    .filter(|plan| plan.stages[0].algorithm.tag() == AlgorithmTag::Nsga2)
+                    .map(|plan| plan.islands(islands));
+            }
+        }
+    }
+    None
 }
 
 /// Computes a common hypervolume reference point for a family of fronts:
@@ -665,10 +738,10 @@ mod tests {
         let dse = ClrEarly::new(&g, &p).unwrap();
         let budget = StageBudget::smoke_test();
         for result in [
-            dse.run_fc(&budget).unwrap(),
-            dse.run_pf(&budget).unwrap(),
-            dse.run_proposed(&budget).unwrap(),
-            dse.run_agnostic(&budget).unwrap(),
+            dse.run(&CampaignPlan::fc(), &budget).unwrap(),
+            dse.run(&CampaignPlan::pf(), &budget).unwrap(),
+            dse.run(&CampaignPlan::proposed(), &budget).unwrap(),
+            dse.run(&CampaignPlan::agnostic(), &budget).unwrap(),
         ] {
             assert!(!result.front().is_empty(), "{} empty", result.method());
             for pt in result.front() {
@@ -683,7 +756,9 @@ mod tests {
     fn front_objectives_are_mutually_nondominated() {
         let (p, g) = setup(8);
         let dse = ClrEarly::new(&g, &p).unwrap();
-        let r = dse.run_pf(&StageBudget::smoke_test()).unwrap();
+        let r = dse
+            .run(&CampaignPlan::pf(), &StageBudget::smoke_test())
+            .unwrap();
         let objs = r.objectives();
         let keep = non_dominated_indices(&objs);
         assert_eq!(keep.len(), objs.len());
@@ -694,8 +769,8 @@ mod tests {
         let (p, g) = setup(6);
         let dse = ClrEarly::new(&g, &p).unwrap();
         let budget = StageBudget::smoke_test();
-        let fc = dse.run_fc(&budget).unwrap();
-        let proposed = dse.run_proposed(&budget).unwrap();
+        let fc = dse.run(&CampaignPlan::fc(), &budget).unwrap();
+        let proposed = dse.run(&CampaignPlan::proposed(), &budget).unwrap();
         // Two full runs: twice the evaluations of one standalone run.
         assert_eq!(proposed.evaluations, 2 * fc.evaluations);
     }
@@ -707,8 +782,11 @@ mod tests {
         let dse = ClrEarly::new(&g, &p).unwrap();
         for seed in [1u64, 2, 3] {
             let budget = StageBudget::smoke_test().with_seed(seed);
-            let pf = dse.run_pf(&budget).unwrap().objectives();
-            let prop = dse.run_proposed(&budget).unwrap().objectives();
+            let pf = dse.run(&CampaignPlan::pf(), &budget).unwrap().objectives();
+            let prop = dse
+                .run(&CampaignPlan::proposed(), &budget)
+                .unwrap()
+                .objectives();
             let r = reference_point([pf.as_slice(), prop.as_slice()]);
             assert!(
                 hypervolume(&prop, &r) >= hypervolume(&pf, &r) - 1e-15,
@@ -722,8 +800,8 @@ mod tests {
         let (p, g) = setup(12);
         let dse = ClrEarly::new(&g, &p).unwrap();
         let budget = StageBudget::new(24, 20).with_seed(3);
-        let clr = dse.run_proposed(&budget).unwrap();
-        let agn = dse.run_agnostic(&budget).unwrap();
+        let clr = dse.run(&CampaignPlan::proposed(), &budget).unwrap();
+        let agn = dse.run(&CampaignPlan::agnostic(), &budget).unwrap();
         let clr_objs = clr.objectives();
         let agn_objs = agn.objectives();
         let r = reference_point([clr_objs.as_slice(), agn_objs.as_slice()]);
@@ -742,7 +820,7 @@ mod tests {
         let budget = StageBudget::smoke_test();
         let fronts: Vec<FrontResult> = Layer::ALL
             .iter()
-            .map(|&l| dse.run_single_layer(l, &budget).unwrap())
+            .map(|&l| dse.run(&CampaignPlan::single_layer(l), &budget).unwrap())
             .collect();
         for (layer, f) in Layer::ALL.iter().zip(&fronts) {
             assert_eq!(f.method(), layer.name());
@@ -762,8 +840,8 @@ mod tests {
         let (p, g) = setup(10);
         let dse = ClrEarly::new(&g, &p).unwrap();
         let budget = StageBudget::new(20, 12).with_seed(4);
-        let nsga = dse.run_pf(&budget).unwrap();
-        let spea = dse.run_pf_spea2(&budget).unwrap();
+        let nsga = dse.run(&CampaignPlan::pf(), &budget).unwrap();
+        let spea = dse.run(&CampaignPlan::pf_spea2(), &budget).unwrap();
         assert_eq!(spea.method(), "pfCLR/spea2");
         assert!(!spea.front().is_empty());
         let a = nsga.objectives();
@@ -780,8 +858,8 @@ mod tests {
         let (p, g) = setup(6);
         let dse = ClrEarly::new(&g, &p).unwrap();
         let b = StageBudget::smoke_test().with_seed(42);
-        let a = dse.run_proposed(&b).unwrap();
-        let c = dse.run_proposed(&b).unwrap();
+        let a = dse.run(&CampaignPlan::proposed(), &b).unwrap();
+        let c = dse.run(&CampaignPlan::proposed(), &b).unwrap();
         assert_eq!(a.objectives(), c.objectives());
     }
 
@@ -815,8 +893,8 @@ mod tests {
             // Agnostic baseline rebuilds all four single-layer
             // libraries under the scenario's fault mechanism.
             for result in [
-                dse.run_proposed(&budget).unwrap(),
-                dse.run_agnostic(&budget).unwrap(),
+                dse.run(&CampaignPlan::proposed(), &budget).unwrap(),
+                dse.run(&CampaignPlan::agnostic(), &budget).unwrap(),
             ] {
                 assert!(!result.front().is_empty(), "{name}/{}", result.method());
                 for pt in result.front() {
@@ -834,7 +912,9 @@ mod tests {
         let (p, g) = setup(8);
         let s = Scenario::parse("lifetime").unwrap();
         let dse = ClrEarly::with_scenario(&g, &p, &s).unwrap();
-        let r = dse.run_pf(&StageBudget::smoke_test()).unwrap();
+        let r = dse
+            .run(&CampaignPlan::pf(), &StageBudget::smoke_test())
+            .unwrap();
         // Third objective is negated MTTF, consistent with the metrics.
         for pt in r.front() {
             assert_eq!(pt.objectives.len(), 3);
@@ -862,12 +942,12 @@ mod tests {
         let health = dse.tdse_health();
         assert!(health.candidates_evaluated > 0);
         assert_eq!(health.degraded_analyses, health.candidates_evaluated);
-        let front = dse.run_pf(&budget).unwrap();
+        let front = dse.run(&CampaignPlan::pf(), &budget).unwrap();
         assert!(!front.front().is_empty());
         // Deterministic: the same storm seed reproduces the same front.
         let again = ClrEarly::with_tdse_config(&g, &p, storm_cfg(11))
             .unwrap()
-            .run_pf(&budget)
+            .run(&CampaignPlan::pf(), &budget)
             .unwrap();
         assert_eq!(front.objectives(), again.objectives());
     }

@@ -12,12 +12,13 @@
 use std::sync::Arc;
 
 use clre_model::qos::{ObjectiveSet, QosSpec, SystemMetrics};
-use clre_moea::{EvalError, Evaluation, Problem};
+use clre_moea::{EvalError, Evaluation, Problem, RemoteEval};
 use clre_sched::QosEvaluator;
 use rand::RngCore;
 
 use crate::cache::{CachedFitness, EvalCache, Fnv};
 use crate::encoding::{Codec, Genome};
+use crate::remote::encode_genome_text;
 use crate::DseError;
 
 /// The system-level mapping optimization problem.
@@ -31,6 +32,9 @@ pub struct SystemProblem<'a> {
     /// Content digest scoping this problem's fitness-cache entries;
     /// computed once at [`SystemProblem::with_cache`] time.
     problem_digest: u64,
+    /// Encoded [`RemoteContext`](crate::remote::RemoteContext) enabling
+    /// backend dispatch; `None` keeps evaluation strictly in-process.
+    remote_context: Option<String>,
 }
 
 impl<'a> SystemProblem<'a> {
@@ -44,7 +48,19 @@ impl<'a> SystemProblem<'a> {
             spec,
             cache: None,
             problem_digest: 0,
+            remote_context: None,
         }
+    }
+
+    /// Attaches an encoded [`RemoteContext`](crate::remote::RemoteContext)
+    /// (builder style): with one attached, [`Problem::remote`] offers
+    /// this problem to whatever [`EvalBackend`](clre_exec::EvalBackend)
+    /// the stage executor carries. Without a backend — or on any remote
+    /// failure — evaluation stays in-process and bit-identical.
+    #[must_use]
+    pub fn with_remote(mut self, context: String) -> Self {
+        self.remote_context = Some(context);
+        self
     }
 
     /// Attaches a shared genome-fitness cache (builder style).
@@ -226,6 +242,39 @@ impl Problem for SystemProblem<'_> {
 
     fn reports_errors(&self) -> bool {
         true
+    }
+
+    fn remote(&self) -> Option<&dyn RemoteEval<Genome>> {
+        self.remote_context
+            .as_ref()
+            .map(|_| self as &dyn RemoteEval<Genome>)
+    }
+}
+
+impl RemoteEval<Genome> for SystemProblem<'_> {
+    fn context(&self) -> String {
+        self.remote_context
+            .clone()
+            .expect("remote() gated on an attached context")
+    }
+
+    fn encode_item(&self, genome: &Genome) -> String {
+        encode_genome_text(genome)
+    }
+
+    fn decode_output(&self, output: &str) -> Result<Evaluation, EvalError> {
+        let values = clre_exec::wire::decode_f64s(output).map_err(EvalError::new)?;
+        let (violation, objectives) = match values.split_first() {
+            Some((v, rest)) if rest.len() == self.objectives.len() => (*v, rest.to_vec()),
+            _ => {
+                return Err(EvalError::new(format!(
+                    "remote output carries {} values, expected violation + {} objectives",
+                    values.len(),
+                    self.objectives.len()
+                )))
+            }
+        };
+        Ok(Evaluation::with_violation(objectives, violation))
     }
 }
 

@@ -661,6 +661,20 @@ impl<P: FallibleProblem> Problem for ResilientProblem<P> {
         // Evaluation never fails: the quarantine absorbs every failure.
         true
     }
+
+    /// Forwards the inner problem's remote-evaluation codec **only when
+    /// no chaos machinery is armed**: injection, deadlines and backoff
+    /// act per-attempt inside [`ResilientProblem::evaluate`], which a
+    /// remote batch would bypass. With any of them configured the
+    /// problem stays local so the chaos schedule (and its determinism
+    /// guarantees) keep applying to every evaluation.
+    fn remote(&self) -> Option<&dyn clre_moea::RemoteEval<Self::Genome>> {
+        if self.injector.is_none() && self.deadline.is_none() && self.backoff.is_none() {
+            self.inner.remote()
+        } else {
+            None
+        }
+    }
 }
 
 /// Where and how often a supervised run checkpoints, and how failures are
@@ -1048,14 +1062,14 @@ fn bad(what: impl Into<String>) -> DseError {
     DseError::Checkpoint { what: what.into() }
 }
 
-fn encode_genome(out: &mut String, genome: &Genome) {
+pub(crate) fn encode_genome(out: &mut String, genome: &Genome) {
     let _ = write!(out, "{}", genome.len());
     for g in genome {
         let _ = write!(out, " {}:{}:{}", g.task.index(), g.pe.index(), g.choice);
     }
 }
 
-fn parse_genome(tokens: &mut std::str::SplitWhitespace<'_>) -> Result<Genome, DseError> {
+pub(crate) fn parse_genome(tokens: &mut std::str::SplitWhitespace<'_>) -> Result<Genome, DseError> {
     let len = parse_usize(tokens.next().ok_or_else(|| bad("missing genome length"))?)?;
     let mut genome = Vec::with_capacity(len);
     for _ in 0..len {

@@ -1,0 +1,106 @@
+//! The `EvalBackend` determinism contract, end to end: the same
+//! island-model campaign produces a bit-identical front whether genomes
+//! are evaluated in-process, on an in-process thread backend, or in
+//! supervised `clre-exec-worker` subprocesses — including when a worker
+//! is killed mid-batch and its chunk is re-sent to a respawn.
+
+use std::sync::Arc;
+
+use clre::apps::AppSpec;
+use clre::methodology::{ClrEarly, StageBudget};
+use clre::remote::DseVocab;
+use clre::{CampaignPlan, Scenario};
+use clre_exec::{EvalBackend, ExecPool, Executor, SubprocessBackend, ThreadBackend};
+
+/// The real worker binary, built by cargo for this test run.
+const WORKER: &str = env!("CARGO_BIN_EXE_clre-exec-worker");
+
+fn budget() -> StageBudget {
+    StageBudget::new(12, 4).with_seed(9)
+}
+
+/// Runs `plan` on the 10-task synthetic workload with the given backend
+/// (None = the plain in-process executor) and returns the front's
+/// objective matrix — raw f64 bits, the strongest identity check.
+fn run_with(backend: Option<Arc<dyn EvalBackend>>, plan: &CampaignPlan) -> Vec<Vec<f64>> {
+    let app = AppSpec::Synthetic {
+        tasks: 10,
+        seed: 23,
+    };
+    let (platform, graph) = app.build().expect("app builds");
+    let mut exec = Executor::new(ExecPool::new(2));
+    if let Some(backend) = backend {
+        exec = exec.with_eval_backend(backend);
+    }
+    let dse = ClrEarly::new(&graph, &platform)
+        .expect("tDSE succeeds")
+        .with_executor(exec)
+        .with_remote(app, Scenario::default());
+    dse.run(plan, &budget())
+        .expect("campaign runs")
+        .objectives()
+}
+
+fn thread_backend() -> Arc<dyn EvalBackend> {
+    Arc::new(ThreadBackend::new(ExecPool::new(2), Arc::new(DseVocab)))
+}
+
+/// fcCLR and the seeded proposed flow, expanded to 1, 2 and 4 islands:
+/// every backend placement must reproduce the in-process front exactly.
+#[test]
+fn island_fronts_identical_across_backends() {
+    let grid = [
+        ("fcCLR", CampaignPlan::fc()),
+        ("proposed", CampaignPlan::proposed()),
+    ];
+    for (label, base) in &grid {
+        for islands in [1usize, 2, 4] {
+            let plan = base.islands(islands);
+            let reference = run_with(None, &plan);
+            let threaded = run_with(Some(thread_backend()), &plan);
+            assert_eq!(
+                reference, threaded,
+                "{label}/islands{islands}: thread backend diverged"
+            );
+            let sub = Arc::new(SubprocessBackend::new(WORKER, 2));
+            let remote = run_with(Some(Arc::clone(&sub) as Arc<dyn EvalBackend>), &plan);
+            assert_eq!(
+                reference, remote,
+                "{label}/islands{islands}: subprocess backend diverged"
+            );
+            let health = sub.health();
+            assert!(
+                health.items > 0,
+                "{label}/islands{islands}: subprocess workers must actually \
+                 evaluate items, not silently fall back: {health:?}"
+            );
+        }
+    }
+}
+
+/// Kill a worker mid-batch (the first generation of children exits after
+/// five successful evaluations) — the backend re-sends the chunk to a
+/// clean respawn and the merged front stays bit-identical.
+#[test]
+fn worker_death_mid_batch_recovers_bit_identically() {
+    let plan = CampaignPlan::proposed().islands(2);
+    let reference = run_with(None, &plan);
+    let doomed = Arc::new(
+        SubprocessBackend::new(WORKER, 2).with_sticky_env("CLRE_EXEC_WORKER_DIE_AFTER", "5"),
+    );
+    let recovered = run_with(Some(Arc::clone(&doomed) as Arc<dyn EvalBackend>), &plan);
+    assert_eq!(
+        reference, recovered,
+        "recovery after a worker death must not perturb the front"
+    );
+    let health = doomed.health();
+    assert!(
+        health.lost >= 1,
+        "a worker must actually have died: {health:?}"
+    );
+    assert!(
+        health.restarts >= 1,
+        "the lost worker must have been respawned: {health:?}"
+    );
+    assert!(health.items > 0, "items must have flowed: {health:?}");
+}

@@ -1,0 +1,45 @@
+//! Compatibility: the deprecated campaign wrappers (`run_fc`,
+//! `run_campaign`, …) still compile and forward bit-identically to the
+//! `run(plan)` API that replaced them. This file is the only permitted
+//! caller — everything else in the tree uses `run`/`run_supervised`/
+//! `resume` directly, and `cargo clippy -D warnings` enforces that.
+#![allow(deprecated)]
+
+use clre::apps;
+use clre::methodology::{ClrEarly, StageBudget};
+use clre::CampaignPlan;
+
+#[test]
+fn deprecated_wrappers_forward_to_run() {
+    let (platform, graph) = apps::synthetic_app(8, 5).expect("app builds");
+    let dse = ClrEarly::new(&graph, &platform).expect("tDSE succeeds");
+    let budget = StageBudget::smoke_test();
+
+    let wrapper = dse.run_fc(&budget).expect("run_fc");
+    let plan = dse.run(&CampaignPlan::fc(), &budget).expect("run fc");
+    assert_eq!(
+        wrapper.objectives(),
+        plan.objectives(),
+        "run_fc must forward to run(&CampaignPlan::fc())"
+    );
+
+    let wrapper = dse.run_proposed(&budget).expect("run_proposed");
+    let plan = dse
+        .run(&CampaignPlan::proposed(), &budget)
+        .expect("run proposed");
+    assert_eq!(
+        wrapper.objectives(),
+        plan.objectives(),
+        "run_proposed must forward to run(&CampaignPlan::proposed())"
+    );
+
+    let renamed = dse
+        .run_campaign(&CampaignPlan::pf(), &budget)
+        .expect("run_campaign");
+    let direct = dse.run(&CampaignPlan::pf(), &budget).expect("run pf");
+    assert_eq!(
+        renamed.objectives(),
+        direct.objectives(),
+        "run_campaign is a pure rename of run"
+    );
+}

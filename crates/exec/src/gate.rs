@@ -206,6 +206,49 @@ mod tests {
     }
 
     #[test]
+    fn unequal_campaign_lengths_stay_fair_then_release_the_ring() {
+        let gate = FairGate::shared();
+        let holder = gate.register();
+        let a = gate.register(); // long campaign: six batches
+        let b = gate.register(); // short campaign: two batches, then done
+        let order = Arc::new(Mutex::new(Vec::new()));
+
+        // Hold the gate so both campaigns enqueue before any turn is
+        // granted — the round-robin ring, not wake-up luck, decides the
+        // grant order.
+        let turn = gate.acquire(holder);
+        std::thread::scope(|scope| {
+            for (ticket, batches) in [(a, 6usize), (b, 2)] {
+                let gate = Arc::clone(&gate);
+                let order = Arc::clone(&order);
+                scope.spawn(move || {
+                    for _ in 0..batches {
+                        let _turn = gate.acquire(ticket);
+                        order.lock().unwrap().push(ticket);
+                        std::thread::sleep(std::time::Duration::from_millis(2));
+                    }
+                    gate.deregister(ticket);
+                });
+            }
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            drop(turn);
+            gate.deregister(holder);
+        });
+
+        let order = order.lock().unwrap();
+        assert_eq!(order.len(), 8);
+        assert_eq!(order.iter().filter(|&&t| t == a).count(), 6);
+        assert_eq!(order.iter().filter(|&&t| t == b).count(), 2);
+        // While both campaigns contend, turns alternate in ring order:
+        // the short campaign is never starved behind the long one.
+        assert_eq!(&order[..4], &[a, b, a, b], "grants: {order:?}");
+        // Once the short campaign deregisters, the survivor runs its
+        // remaining batches unblocked.
+        assert!(order[4..].iter().all(|&t| t == a), "grants: {order:?}");
+        assert_eq!(gate.registered(), 0);
+    }
+
+    #[test]
     fn absent_campaign_does_not_block_others() {
         let gate = FairGate::shared();
         let a = gate.register();

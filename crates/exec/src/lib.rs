@@ -23,6 +23,15 @@
 //!   times the batch, tallies per-worker candidate counts and a
 //!   log-spaced evaluation-latency histogram, and appends one
 //!   [`GenerationTrace`] record to the sink.
+//! * [`EvalBackend`] — the one evaluation API from threads to
+//!   processes: batches of opaque encoded items evaluated into pre-sized
+//!   indexed slots, with worker health and telemetry reporting.
+//!   [`ThreadBackend`] wraps the in-process pool; [`SubprocessBackend`]
+//!   supervises a pool of `clre-exec-worker` children speaking the
+//!   length-prefixed [`wire`] protocol (`exec-wire v1`), with the
+//!   [`worker`] module providing the reusable child-side loop. The
+//!   backend choice never changes results — only where they are
+//!   computed.
 //! * [`RunTelemetry`] — the observability layer: per-phase wall time,
 //!   per-worker counts, latency [`LatencyHistogram`]s,
 //!   quarantine/degraded-mode counters fed from the resilient runtime,
@@ -65,12 +74,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod backend;
 mod gate;
 mod histogram;
 mod pool;
+mod subprocess;
 mod telemetry;
+pub mod wire;
+pub mod worker;
 
+pub use backend::{
+    BackendError, BackendHealth, EncodedBatch, EvalBackend, EvalVocab, ItemEval, ThreadBackend,
+};
 pub use gate::{FairGate, Turn};
 pub use histogram::LatencyHistogram;
 pub use pool::{DeathPlan, ExecPool, ExecStats};
+pub use subprocess::{SubprocessBackend, WORKER_PATH_ENV};
 pub use telemetry::{Executor, GenerationTrace, RunTelemetry, TelemetrySink};

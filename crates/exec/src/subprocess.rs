@@ -1,0 +1,378 @@
+//! The subprocess evaluation backend: a pool of `clre-exec-worker`
+//! children speaking `exec-wire v1` over stdin/stdout.
+//!
+//! Each batch is split into contiguous per-worker chunks (deterministic
+//! in the item indices — see [`chunk_bounds`]), streamed to the
+//! children concurrently, and merged back by index, so the output slots
+//! are identical to an in-process evaluation of the same items. A
+//! worker that dies mid-batch is respawned once and its whole chunk
+//! re-sent; a chunk that still cannot complete comes back as per-item
+//! `Err` slots, which the caller resolves by evaluating those items
+//! in-process — either way the merged results are bit-identical.
+//!
+//! Workers are spawned lazily on the first batch and told `shutdown` on
+//! drop. Respawned workers are started with the backend's sticky env
+//! vars removed: the vars exist to inject deterministic faults
+//! (`CLRE_EXEC_WORKER_DIE_AFTER`) into the *first* generation of
+//! workers in tests, and a replacement must be healthy.
+//!
+//! [`chunk_bounds`]: self
+
+use std::collections::HashMap;
+use std::io::{self, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::backend::{
+    batch_stats, chunk_bounds, duration_nanos, BackendError, BackendHealth, EncodedBatch,
+    EvalBackend,
+};
+use crate::wire::{read_frame, write_frame, EXEC_WIRE_VERSION};
+
+/// Environment variable naming the worker executable, consulted by
+/// [`SubprocessBackend::default_command`] before falling back to a
+/// sibling of the current executable.
+pub const WORKER_PATH_ENV: &str = "CLRE_EXEC_WORKER";
+
+/// One chunk's outputs plus its `(lost, restarted)` worker counts.
+type ChunkOutcome = (Vec<Result<String, String>>, usize, usize);
+
+/// One live child process plus its per-worker context table.
+struct Worker {
+    child: Child,
+    stdin: ChildStdin,
+    stdout: BufReader<ChildStdout>,
+    /// Context text → the id this worker knows it under.
+    contexts: HashMap<String, u64>,
+    next_context: u64,
+}
+
+impl Worker {
+    fn shutdown(mut self) {
+        let _ = write_frame(&mut self.stdin, "shutdown");
+        drop(self.stdin);
+        let _ = self.child.wait();
+    }
+}
+
+#[derive(Default)]
+struct PoolState {
+    workers: Vec<Option<Worker>>,
+    lost: usize,
+    restarts: usize,
+    batches: u64,
+    items: u64,
+}
+
+/// The `exec-wire v1` parent: spawns and supervises a fixed pool of
+/// worker processes and implements [`EvalBackend`] over them. See the
+/// [module docs](self) for the recovery and determinism story.
+pub struct SubprocessBackend {
+    command: PathBuf,
+    workers: usize,
+    /// Extra env vars for the *initial* worker generation (removed on
+    /// respawn) — the deterministic fault-injection hook for tests.
+    sticky_env: Vec<(String, String)>,
+    state: Mutex<PoolState>,
+}
+
+impl std::fmt::Debug for SubprocessBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SubprocessBackend")
+            .field("command", &self.command)
+            .field("workers", &self.workers)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SubprocessBackend {
+    /// A backend running `workers` children of `command` (clamped to at
+    /// least 1). Children are spawned lazily on the first batch.
+    pub fn new(command: impl Into<PathBuf>, workers: usize) -> Self {
+        let workers = workers.max(1);
+        SubprocessBackend {
+            command: command.into(),
+            workers,
+            sticky_env: Vec::new(),
+            state: Mutex::new(PoolState {
+                workers: (0..workers).map(|_| None).collect(),
+                ..PoolState::default()
+            }),
+        }
+    }
+
+    /// Adds an env var passed to the initial worker generation only —
+    /// respawned replacements start without it. Used by tests to make
+    /// the first generation die deterministically
+    /// (`CLRE_EXEC_WORKER_DIE_AFTER=<k>`).
+    #[must_use]
+    pub fn with_sticky_env(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.sticky_env.push((key.into(), value.into()));
+        self
+    }
+
+    /// The worker executable this backend launches.
+    pub fn command(&self) -> &Path {
+        &self.command
+    }
+
+    /// The conventional worker-executable location: `$CLRE_EXEC_WORKER`
+    /// if set, else `clre-exec-worker` next to the current executable
+    /// (all workspace binaries land in the same target directory), else
+    /// `None`.
+    pub fn default_command() -> Option<PathBuf> {
+        if let Some(path) = std::env::var_os(WORKER_PATH_ENV) {
+            return Some(PathBuf::from(path));
+        }
+        let sibling = std::env::current_exe()
+            .ok()?
+            .parent()?
+            .join("clre-exec-worker");
+        sibling.exists().then_some(sibling)
+    }
+
+    fn spawn_worker(&self, clean: bool) -> Result<Worker, BackendError> {
+        let mut command = Command::new(&self.command);
+        command
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null());
+        for (key, value) in &self.sticky_env {
+            if clean {
+                command.env_remove(key);
+            } else {
+                command.env(key, value);
+            }
+        }
+        let mut child = command
+            .spawn()
+            .map_err(|e| BackendError::new(format!("spawn {}: {e}", self.command.display())))?;
+        let mut stdin = child.stdin.take().expect("piped stdin");
+        let mut stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
+        let handshake = (|| -> io::Result<bool> {
+            write_frame(&mut stdin, &format!("hello {EXEC_WIRE_VERSION}"))?;
+            Ok(read_frame(&mut stdout)? == Some(format!("hello {EXEC_WIRE_VERSION}")))
+        })();
+        match handshake {
+            Ok(true) => Ok(Worker {
+                child,
+                stdin,
+                stdout,
+                contexts: HashMap::new(),
+                next_context: 0,
+            }),
+            other => {
+                let _ = child.kill();
+                let _ = child.wait();
+                Err(BackendError::new(match other {
+                    Ok(false) => "worker handshake mismatch".to_owned(),
+                    Err(e) => format!("worker handshake: {e}"),
+                    Ok(true) => unreachable!(),
+                }))
+            }
+        }
+    }
+
+    /// Sends `context` (registering it first if this worker has not
+    /// seen it) and the chunk's items, and reads the outputs back.
+    fn run_chunk(
+        worker: &mut Worker,
+        context: &str,
+        items: &[String],
+    ) -> io::Result<Vec<Result<String, String>>> {
+        let ctx = match worker.contexts.get(context) {
+            Some(&id) => id,
+            None => {
+                let id = worker.next_context;
+                worker.next_context += 1;
+                write_frame(&mut worker.stdin, &format!("context id={id} {context}"))?;
+                match read_frame(&mut worker.stdout)? {
+                    Some(ready) if ready == format!("ready id={id}") => {}
+                    Some(other) => {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("context rejected: {other}"),
+                        ))
+                    }
+                    None => {
+                        return Err(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            "worker closed during context registration",
+                        ))
+                    }
+                }
+                worker.contexts.insert(context.to_owned(), id);
+                id
+            }
+        };
+        write_frame(
+            &mut worker.stdin,
+            &format!("batch ctx={ctx} n={}", items.len()),
+        )?;
+        for item in items {
+            write_frame(&mut worker.stdin, &format!("item {item}"))?;
+        }
+        let mut outputs = Vec::with_capacity(items.len());
+        for _ in 0..items.len() {
+            match read_frame(&mut worker.stdout)? {
+                Some(frame) => {
+                    if let Some(ok) = frame.strip_prefix("ok ") {
+                        outputs.push(Ok(ok.to_owned()));
+                    } else if let Some(err) = frame.strip_prefix("err ") {
+                        outputs.push(Err(err.to_owned()));
+                    } else {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("expected output frame, got {frame:?}"),
+                        ));
+                    }
+                }
+                None => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "worker died mid-batch",
+                    ))
+                }
+            }
+        }
+        match read_frame(&mut worker.stdout)? {
+            Some(done) if done.starts_with("done ") => Ok(outputs),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected done frame, got {other:?}"),
+            )),
+        }
+    }
+
+    /// One chunk, with single-respawn recovery: a transport failure
+    /// kills the worker, a clean replacement re-runs the whole chunk
+    /// (the evaluator is pure, so the re-run is bit-identical). Returns
+    /// the outputs plus `(lost, restarted)` worker counts.
+    fn chunk_with_recovery(
+        &self,
+        slot: &mut Option<Worker>,
+        context: &str,
+        items: &[String],
+    ) -> ChunkOutcome {
+        for attempt in 0..2 {
+            if slot.is_none() {
+                match self.spawn_worker(attempt > 0) {
+                    Ok(worker) => *slot = Some(worker),
+                    Err(e) => {
+                        let failure = format!("worker unavailable: {e}");
+                        return (items.iter().map(|_| Err(failure.clone())).collect(), 0, 0);
+                    }
+                }
+            }
+            let worker = slot.as_mut().expect("worker just ensured");
+            match Self::run_chunk(worker, context, items) {
+                Ok(outputs) => return (outputs, attempt, attempt),
+                Err(_) => {
+                    // The stream is out of lockstep (or the process is
+                    // gone): discard and retry once on a clean respawn.
+                    if let Some(dead) = slot.take() {
+                        let mut dead = dead;
+                        let _ = dead.child.kill();
+                        let _ = dead.child.wait();
+                    }
+                }
+            }
+        }
+        let failure = "worker lost twice; evaluating in-process".to_owned();
+        (items.iter().map(|_| Err(failure.clone())).collect(), 2, 1)
+    }
+}
+
+impl EvalBackend for SubprocessBackend {
+    fn name(&self) -> &'static str {
+        "subprocess"
+    }
+
+    fn workers(&self) -> usize {
+        self.workers
+    }
+
+    fn evaluate_encoded(
+        &self,
+        context: &str,
+        items: &[String],
+    ) -> Result<EncodedBatch, BackendError> {
+        let start = Instant::now();
+        let mut state = self.state.lock().expect("subprocess pool poisoned");
+        let bounds = chunk_bounds(items.len(), self.workers);
+        // Move the workers out of their slots so chunks can run
+        // concurrently without holding the pool lock across I/O.
+        let mut slots: Vec<Option<Worker>> = state
+            .workers
+            .iter_mut()
+            .take(bounds.len().max(1))
+            .map(Option::take)
+            .collect();
+        let chunk_results: Vec<ChunkOutcome> = std::thread::scope(|scope| {
+            let handles: Vec<_> = bounds
+                .iter()
+                .zip(slots.iter_mut())
+                .map(|(&(lo, hi), slot)| {
+                    scope.spawn(move || self.chunk_with_recovery(slot, context, &items[lo..hi]))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(r) => r,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
+                .collect()
+        });
+        for (i, slot) in slots.into_iter().enumerate() {
+            state.workers[i] = slot;
+        }
+        let mut outputs = Vec::with_capacity(items.len());
+        let mut per_worker = Vec::with_capacity(chunk_results.len());
+        let mut deaths = 0;
+        for (chunk, lost, restarts) in chunk_results {
+            per_worker.push(chunk.len());
+            outputs.extend(chunk);
+            deaths += lost;
+            state.lost += lost;
+            state.restarts += restarts;
+        }
+        state.batches += 1;
+        state.items += items.len() as u64;
+        Ok(EncodedBatch {
+            outputs,
+            stats: batch_stats(duration_nanos(start), per_worker, deaths),
+        })
+    }
+
+    fn health(&self) -> BackendHealth {
+        let state = self.state.lock().expect("subprocess pool poisoned");
+        BackendHealth {
+            workers: self.workers,
+            alive: state.workers.iter().filter(|w| w.is_some()).count(),
+            lost: state.lost,
+            restarts: state.restarts,
+            batches: state.batches,
+            items: state.items,
+        }
+    }
+
+    fn flush_telemetry(&self) {}
+}
+
+impl Drop for SubprocessBackend {
+    fn drop(&mut self) {
+        let mut state = self.state.lock().expect("subprocess pool poisoned");
+        for slot in &mut state.workers {
+            if let Some(worker) = slot.take() {
+                worker.shutdown();
+            }
+        }
+    }
+}
+
+// Integration coverage (real child processes, worker kills, digest
+// parity with the in-process path) lives in `crates/core/tests/`, where
+// the `clre-exec-worker` binary and the DSE vocabulary are in scope.

@@ -6,6 +6,7 @@ use std::io;
 use std::path::Path;
 use std::sync::{Arc, Mutex};
 
+use crate::backend::EvalBackend;
 use crate::gate::FairGate;
 use crate::histogram::LatencyHistogram;
 use crate::pool::{ExecPool, ExecStats};
@@ -337,6 +338,7 @@ pub struct Executor {
     label: String,
     sink: Option<TelemetrySink>,
     gate: Option<(Arc<FairGate>, u64)>,
+    backend: Option<Arc<dyn EvalBackend>>,
 }
 
 impl Executor {
@@ -353,6 +355,7 @@ impl Executor {
             label: String::new(),
             sink: None,
             gate: None,
+            backend: None,
         }
     }
 
@@ -380,6 +383,50 @@ impl Executor {
     pub fn with_gate(mut self, gate: Arc<FairGate>, ticket: u64) -> Self {
         self.gate = Some((gate, ticket));
         self
+    }
+
+    /// Attaches an [`EvalBackend`] (builder style): callers that can
+    /// express their evaluation as encoded strings route batches through
+    /// [`Executor::evaluate_encoded`], which runs them on this backend —
+    /// threads or subprocesses, same results — instead of the in-process
+    /// pool. Callers that cannot keep using [`Executor::evaluate_batch`].
+    #[must_use]
+    pub fn with_eval_backend(mut self, backend: Arc<dyn EvalBackend>) -> Self {
+        self.backend = Some(backend);
+        self
+    }
+
+    /// The attached evaluation backend, if any.
+    pub fn eval_backend(&self) -> Option<&Arc<dyn EvalBackend>> {
+        self.backend.as_ref()
+    }
+
+    /// Evaluates one encoded batch on the attached [`EvalBackend`],
+    /// recording a [`GenerationTrace`] and honoring the fair-share gate
+    /// exactly like [`Executor::evaluate_batch`].
+    ///
+    /// Returns `None` when no backend is attached or the backend fails
+    /// the whole batch (e.g. the context does not resolve remotely) —
+    /// the caller falls back to in-process evaluation, which keeps
+    /// results identical either way. Per-item `Err` slots are returned
+    /// as-is for per-item fallback.
+    pub fn evaluate_encoded(
+        &self,
+        step: usize,
+        context: &str,
+        items: &[String],
+    ) -> Option<Vec<Result<String, String>>> {
+        let backend = self.backend.as_ref()?;
+        let batch = match &self.gate {
+            Some((gate, ticket)) => {
+                let _turn = gate.acquire(*ticket);
+                backend.evaluate_encoded(context, items)
+            }
+            None => backend.evaluate_encoded(context, items),
+        };
+        let batch = batch.ok()?;
+        self.record(step, items.len(), batch.stats);
+        Some(batch.outputs)
     }
 
     /// The underlying pool.
@@ -431,6 +478,9 @@ impl Executor {
     /// generation, after the post-batch annotations are stamped, so live
     /// consumers see each generation as it completes.
     pub fn flush_trace(&self) {
+        if let Some(backend) = &self.backend {
+            backend.flush_telemetry();
+        }
         if let Some(sink) = &self.sink {
             sink.lock()
                 .expect("telemetry sink poisoned")

@@ -1,0 +1,157 @@
+//! Length-prefixed text framing shared by every CL(R)Early wire
+//! protocol, plus the `exec-wire v1` batch-evaluation grammar spoken
+//! between a [`SubprocessBackend`] parent and its `clre-exec-worker`
+//! children.
+//!
+//! Every frame is a big-endian `u32` byte length followed by that many
+//! bytes of UTF-8, one logical line per frame (no trailing newline) —
+//! the exact framing `clre-serve`'s `clre-wire v1` uses, hoisted here so
+//! both protocols share one implementation. All payloads are plain text
+//! with space-separated `key=value` tokens, so a protocol exchange can
+//! be driven by hand and grepped in captures.
+//!
+//! The `exec-wire v1` conversation (parent ⇄ worker over stdin/stdout):
+//!
+//! ```text
+//! parent: hello exec-wire v1            worker: hello exec-wire v1
+//! parent: context id=<n> <text>         worker: ready id=<n>
+//!                                           or: error <message>
+//! parent: batch ctx=<n> n=<k>           worker: k frames, each
+//! parent: k frames, each                        ok <payload>
+//!         item <payload>                    or: err <message>
+//!                                       worker: done n=<k> eval_us=<t>
+//! parent: shutdown                      (worker exits)
+//! ```
+//!
+//! A context is the full description of the evaluation function (for
+//! the DSE: application, scenario, genome-encoding mode, library
+//! source); workers cache resolved contexts by id, so a campaign pays
+//! the model-construction cost once per worker, not once per batch.
+//! Item and output payloads are single-line opaque strings chosen by
+//! the caller; the DSE transports `f64` results as hexadecimal IEEE-754
+//! bit patterns so a subprocess round-trip is bit-exact.
+//!
+//! [`SubprocessBackend`]: crate::SubprocessBackend
+
+use std::io::{self, Read, Write};
+
+/// The `exec-wire` protocol version token exchanged in the handshake.
+pub const EXEC_WIRE_VERSION: &str = "exec-wire v1";
+
+/// Frames larger than this are rejected before allocation: no legal
+/// line (trace, plan, genome, stats) comes anywhere near it, so an
+/// oversized length prefix means a confused or hostile peer.
+pub const MAX_FRAME: u32 = 1 << 20;
+
+/// Writes one line as a length-prefixed frame and flushes, so the peer
+/// sees it immediately (live streaming depends on this).
+///
+/// # Errors
+///
+/// Any underlying I/O failure; `line` longer than [`MAX_FRAME`] is
+/// [`io::ErrorKind::InvalidInput`].
+pub fn write_frame(w: &mut impl Write, line: &str) -> io::Result<()> {
+    let len = u32::try_from(line.len())
+        .ok()
+        .filter(|&n| n <= MAX_FRAME)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(line.as_bytes())?;
+    w.flush()
+}
+
+/// Reads one frame; `Ok(None)` on a clean EOF at a frame boundary.
+///
+/// # Errors
+///
+/// Truncated frames, invalid UTF-8, and lengths beyond [`MAX_FRAME`]
+/// are [`io::ErrorKind::InvalidData`]; otherwise the underlying error.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<String>> {
+    let mut len = [0u8; 4];
+    match r.read_exact(&mut len) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_be_bytes(len);
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds cap"),
+        ));
+    }
+    let mut buf = vec![0u8; len as usize];
+    r.read_exact(&mut buf)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "truncated frame"))?;
+    String::from_utf8(buf)
+        .map(Some)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame is not UTF-8"))
+}
+
+/// Encodes a slice of `f64`s as space-separated hexadecimal IEEE-754
+/// bit patterns — the exec-wire transport for evaluation results. The
+/// round-trip through [`decode_f64s`] is bit-exact, which is what makes
+/// a subprocess-evaluated front digest-identical to an in-process one.
+pub fn encode_f64s(values: &[f64]) -> String {
+    values
+        .iter()
+        .map(|v| format!("{:016x}", v.to_bits()))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Decodes the [`encode_f64s`] form.
+///
+/// # Errors
+///
+/// A description of the first malformed token.
+pub fn decode_f64s(text: &str) -> Result<Vec<f64>, String> {
+    text.split_whitespace()
+        .map(|tok| {
+            u64::from_str_radix(tok, 16)
+                .map(f64::from_bits)
+                .map_err(|_| format!("malformed f64 bits {tok:?}"))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_roundtrip_over_a_buffer() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "hello exec-wire v1").unwrap();
+        write_frame(&mut buf, "").unwrap();
+        write_frame(&mut buf, "item 0:1:2,3:4:5").unwrap();
+        let mut r = buf.as_slice();
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), "hello exec-wire v1");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), "");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), "item 0:1:2,3:4:5");
+        assert_eq!(read_frame(&mut r).unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn oversized_and_truncated_frames_are_rejected() {
+        let mut buf = Vec::new();
+        buf.extend((MAX_FRAME + 1).to_be_bytes());
+        assert!(read_frame(&mut buf.as_slice()).is_err(), "oversized length");
+        let mut buf = Vec::new();
+        buf.extend(10u32.to_be_bytes());
+        buf.extend(b"short");
+        assert!(read_frame(&mut buf.as_slice()).is_err(), "truncated body");
+    }
+
+    #[test]
+    fn f64_transport_is_bit_exact() {
+        let values = [0.0, -0.0, 1.5e-300, f64::MAX, f64::INFINITY, 0.1 + 0.2];
+        let decoded = decode_f64s(&encode_f64s(&values)).unwrap();
+        assert_eq!(values.len(), decoded.len());
+        for (a, b) in values.iter().zip(&decoded) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert!(decode_f64s("zzzz").is_err());
+        assert!(decode_f64s("").unwrap().is_empty());
+    }
+}

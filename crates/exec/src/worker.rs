@@ -1,0 +1,222 @@
+//! The `exec-wire v1` worker loop — the child half of the
+//! [`SubprocessBackend`] conversation, generic over its transport and
+//! vocabulary so it is testable in-memory and reusable by any binary
+//! that can supply an [`EvalVocab`].
+//!
+//! The production binary is `clre-exec-worker` (in the `clre` crate,
+//! which owns the DSE vocabulary); this module owns only the protocol:
+//! handshake, context registration, batch streaming, shutdown. See
+//! [`crate::wire`] for the grammar.
+//!
+//! [`SubprocessBackend`]: crate::SubprocessBackend
+
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::backend::{EvalVocab, ItemEval};
+use crate::wire::{read_frame, write_frame, EXEC_WIRE_VERSION};
+
+/// Runs the worker loop over `input`/`output` until the peer sends
+/// `shutdown` or closes the stream, resolving contexts through `vocab`.
+///
+/// Protocol errors on the parent's side (a malformed request line) are
+/// answered with an `error …` frame and the loop continues; the worker
+/// only exits on `shutdown`, EOF, or a transport failure.
+///
+/// # Errors
+///
+/// Transport I/O failures (a vanished parent). Evaluation failures
+/// never error the loop — they travel as `err …` output frames.
+pub fn run_worker(
+    input: &mut impl Read,
+    output: &mut impl Write,
+    vocab: &dyn EvalVocab,
+) -> io::Result<()> {
+    match read_frame(input)? {
+        Some(hello) if hello == format!("hello {EXEC_WIRE_VERSION}") => {
+            write_frame(output, &format!("hello {EXEC_WIRE_VERSION}"))?;
+        }
+        Some(other) => {
+            write_frame(output, &format!("error unsupported handshake {other:?}"))?;
+            return Ok(());
+        }
+        None => return Ok(()),
+    }
+    let mut contexts: HashMap<u64, Arc<dyn ItemEval>> = HashMap::new();
+    while let Some(line) = read_frame(input)? {
+        let (verb, rest) = line.split_once(' ').unwrap_or((line.as_str(), ""));
+        match verb {
+            "shutdown" => return Ok(()),
+            "context" => {
+                let (id, text) = rest.split_once(' ').unwrap_or((rest, ""));
+                let Some(id) = id.strip_prefix("id=").and_then(|n| n.parse::<u64>().ok()) else {
+                    write_frame(output, &format!("error malformed context line {line:?}"))?;
+                    continue;
+                };
+                match vocab.resolve(text) {
+                    Ok(eval) => {
+                        contexts.insert(id, eval);
+                        write_frame(output, &format!("ready id={id}"))?;
+                    }
+                    Err(e) => write_frame(output, &format!("error context id={id}: {e}"))?,
+                }
+            }
+            "batch" => {
+                let mut ctx = None;
+                let mut n = None;
+                for tok in rest.split_whitespace() {
+                    match tok.split_once('=') {
+                        Some(("ctx", v)) => ctx = v.parse::<u64>().ok(),
+                        Some(("n", v)) => n = v.parse::<usize>().ok(),
+                        _ => {}
+                    }
+                }
+                let (Some(ctx), Some(n)) = (ctx, n) else {
+                    write_frame(output, &format!("error malformed batch line {line:?}"))?;
+                    continue;
+                };
+                // The n item frames are committed by the parent either
+                // way, so consume them before reporting an unknown
+                // context — the streams stay in lockstep.
+                let mut items = Vec::with_capacity(n);
+                for _ in 0..n {
+                    match read_frame(input)? {
+                        Some(frame) => {
+                            items.push(frame.strip_prefix("item ").map(str::to_owned).ok_or_else(
+                                || {
+                                    io::Error::new(
+                                        io::ErrorKind::InvalidData,
+                                        format!("expected item frame, got {frame:?}"),
+                                    )
+                                },
+                            )?)
+                        }
+                        None => {
+                            return Err(io::Error::new(
+                                io::ErrorKind::UnexpectedEof,
+                                "batch truncated",
+                            ))
+                        }
+                    }
+                }
+                let Some(eval) = contexts.get(&ctx) else {
+                    for _ in 0..n {
+                        write_frame(output, &format!("err unknown context id {ctx}"))?;
+                    }
+                    write_frame(output, &format!("done n={n} eval_us=0"))?;
+                    continue;
+                };
+                let start = Instant::now();
+                for item in &items {
+                    match eval.eval(item) {
+                        Ok(payload) => write_frame(output, &format!("ok {payload}"))?,
+                        Err(e) => write_frame(output, &format!("err {e}"))?,
+                    }
+                }
+                let eval_us = start.elapsed().as_micros();
+                write_frame(output, &format!("done n={n} eval_us={eval_us}"))?;
+            }
+            _ => write_frame(output, &format!("error unknown request {verb:?}"))?,
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{EvalVocab, ItemEval};
+
+    #[derive(Debug)]
+    struct Doubler;
+
+    struct DoubleEval;
+
+    impl ItemEval for DoubleEval {
+        fn eval(&self, item: &str) -> Result<String, String> {
+            let n: i64 = item.parse().map_err(|_| format!("bad item {item:?}"))?;
+            Ok((2 * n).to_string())
+        }
+    }
+
+    impl EvalVocab for Doubler {
+        fn resolve(&self, context: &str) -> Result<Arc<dyn ItemEval>, String> {
+            match context {
+                "double" => Ok(Arc::new(DoubleEval)),
+                other => Err(format!("unknown context {other:?}")),
+            }
+        }
+    }
+
+    fn converse(lines: &[&str]) -> Vec<String> {
+        let mut input = Vec::new();
+        for line in lines {
+            write_frame(&mut input, line).unwrap();
+        }
+        let mut output = Vec::new();
+        run_worker(&mut input.as_slice(), &mut output, &Doubler).unwrap();
+        let mut replies = Vec::new();
+        let mut r = output.as_slice();
+        while let Some(line) = read_frame(&mut r).unwrap() {
+            replies.push(line);
+        }
+        replies
+    }
+
+    #[test]
+    fn full_conversation_roundtrips() {
+        let replies = converse(&[
+            "hello exec-wire v1",
+            "context id=1 double",
+            "batch ctx=1 n=3",
+            "item 5",
+            "item -2",
+            "item nope",
+            "shutdown",
+        ]);
+        assert_eq!(replies[0], "hello exec-wire v1");
+        assert_eq!(replies[1], "ready id=1");
+        assert_eq!(replies[2], "ok 10");
+        assert_eq!(replies[3], "ok -4");
+        assert_eq!(replies[4], "err bad item \"nope\"");
+        assert!(replies[5].starts_with("done n=3 eval_us="));
+        assert_eq!(replies.len(), 6);
+    }
+
+    #[test]
+    fn bad_context_and_unknown_ids_are_reported_inline() {
+        let replies = converse(&[
+            "hello exec-wire v1",
+            "context id=7 triple",
+            "batch ctx=9 n=2",
+            "item 1",
+            "item 2",
+            "shutdown",
+        ]);
+        assert!(replies[1].starts_with("error context id=7:"), "{replies:?}");
+        assert_eq!(replies[2], "err unknown context id 9");
+        assert_eq!(replies[3], "err unknown context id 9");
+        assert!(replies[4].starts_with("done n=2"));
+    }
+
+    #[test]
+    fn bad_handshake_ends_the_session() {
+        let replies = converse(&["hello exec-wire v2", "context id=1 double"]);
+        assert_eq!(replies.len(), 1);
+        assert!(replies[0].starts_with("error unsupported handshake"));
+    }
+
+    #[test]
+    fn eof_mid_batch_is_a_transport_error() {
+        let mut input = Vec::new();
+        write_frame(&mut input, "hello exec-wire v1").unwrap();
+        write_frame(&mut input, "context id=1 double").unwrap();
+        write_frame(&mut input, "batch ctx=1 n=3").unwrap();
+        write_frame(&mut input, "item 1").unwrap();
+        let mut output = Vec::new();
+        let err = run_worker(&mut input.as_slice(), &mut output, &Doubler).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+}

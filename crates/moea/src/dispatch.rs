@@ -1,0 +1,202 @@
+//! Batch-evaluation dispatch: route one generation's genomes to a
+//! remote [`EvalBackend`](clre_exec::EvalBackend) when the problem has a
+//! wire codec and the executor has a backend, else (and for anything
+//! that fails remotely) evaluate in-process — bit-identical either way.
+
+use crate::nsga2::Individual;
+use crate::problem::{Evaluation, Problem};
+use clre_exec::Executor;
+
+/// Evaluates one generation's genomes into [`Individual`]s through
+/// `exec`, preferring the executor's [`EvalBackend`] when `problem`
+/// offers a [`RemoteEval`](crate::RemoteEval) codec.
+///
+/// Fallback is per-item and silent: a genome whose remote slot is an
+/// `Err` (worker lost twice, malformed output) is evaluated in-process
+/// on the calling thread, and a whole-batch backend failure drops the
+/// entire generation back onto [`Executor::evaluate_batch`]. Because
+/// the codec round-trip is bit-exact and the evaluation is pure, the
+/// resulting individuals are identical whichever mix of paths ran —
+/// only telemetry can tell the difference.
+pub(crate) fn evaluate_generation<P>(
+    problem: &P,
+    exec: &Executor,
+    step: usize,
+    genomes: Vec<P::Genome>,
+) -> Vec<Individual<P::Genome>>
+where
+    P: Problem + Sync,
+    P::Genome: Send + Sync,
+{
+    if let Some(remote) = problem.remote() {
+        if exec.eval_backend().is_some() {
+            let context = remote.context();
+            let items: Vec<String> = genomes.iter().map(|g| remote.encode_item(g)).collect();
+            if let Some(outputs) = exec.evaluate_encoded(step, &context, &items) {
+                debug_assert_eq!(outputs.len(), genomes.len());
+                return genomes
+                    .into_iter()
+                    .zip(outputs)
+                    .map(|(genome, slot)| {
+                        let evaluation = slot
+                            .ok()
+                            .and_then(|text| remote.decode_output(&text).ok())
+                            .unwrap_or_else(|| problem.evaluate(&genome));
+                        individual(problem, genome, evaluation)
+                    })
+                    .collect();
+            }
+        }
+    }
+    exec.evaluate_batch(step, &genomes, |g| {
+        individual(problem, g.clone(), problem.evaluate(g))
+    })
+}
+
+fn individual<P: Problem>(
+    problem: &P,
+    genome: P::Genome,
+    evaluation: Evaluation,
+) -> Individual<P::Genome> {
+    let Evaluation {
+        objectives,
+        violation,
+    } = evaluation;
+    debug_assert_eq!(objectives.len(), problem.objective_count());
+    Individual {
+        genome,
+        objectives,
+        violation,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{EvalError, RemoteEval};
+    use clre_exec::{EvalVocab, ExecPool, ItemEval, ThreadBackend};
+    use rand::RngCore;
+    use std::sync::Arc;
+
+    /// `f(x) = (x², (x−2)²)` with a deliberately lossy-looking but
+    /// bit-exact hex codec, plus a poison value that fails remotely.
+    #[derive(Debug)]
+    struct Schaffer;
+
+    const POISON: f64 = 13.0;
+
+    impl Problem for Schaffer {
+        type Genome = f64;
+
+        fn objective_count(&self) -> usize {
+            2
+        }
+
+        fn random_genome(&self, _rng: &mut dyn RngCore) -> f64 {
+            0.0
+        }
+
+        fn evaluate(&self, x: &f64) -> Evaluation {
+            Evaluation::feasible(vec![x * x, (x - 2.0) * (x - 2.0)])
+        }
+
+        fn remote(&self) -> Option<&dyn RemoteEval<f64>> {
+            Some(self)
+        }
+    }
+
+    impl RemoteEval<f64> for Schaffer {
+        fn context(&self) -> String {
+            "schaffer".to_owned()
+        }
+
+        fn encode_item(&self, genome: &f64) -> String {
+            format!("{:016x}", genome.to_bits())
+        }
+
+        fn decode_output(&self, output: &str) -> Result<Evaluation, EvalError> {
+            let objectives = clre_exec::wire::decode_f64s(output).map_err(EvalError::new)?;
+            Ok(Evaluation::feasible(objectives))
+        }
+    }
+
+    struct SchafferEval;
+
+    impl ItemEval for SchafferEval {
+        fn eval(&self, item: &str) -> Result<String, String> {
+            let bits = u64::from_str_radix(item, 16).map_err(|e| e.to_string())?;
+            let x = f64::from_bits(bits);
+            if x == POISON {
+                return Err("poisoned item".to_owned());
+            }
+            let eval = Schaffer.evaluate(&x);
+            Ok(clre_exec::wire::encode_f64s(&eval.objectives))
+        }
+    }
+
+    #[derive(Debug)]
+    struct SchafferVocab;
+
+    impl EvalVocab for SchafferVocab {
+        fn resolve(&self, context: &str) -> Result<Arc<dyn ItemEval>, String> {
+            match context {
+                "schaffer" => Ok(Arc::new(SchafferEval)),
+                other => Err(format!("unknown context {other:?}")),
+            }
+        }
+    }
+
+    fn backend_executor() -> Executor {
+        Executor::new(ExecPool::new(2)).with_eval_backend(Arc::new(ThreadBackend::new(
+            ExecPool::new(2),
+            Arc::new(SchafferVocab),
+        )))
+    }
+
+    #[test]
+    fn remote_dispatch_matches_in_process_bitwise() {
+        let genomes: Vec<f64> = (0..40).map(|n| f64::from(n) * 0.31).collect();
+        let local = evaluate_generation(&Schaffer, &Executor::serial(), 0, genomes.clone());
+        let remote = evaluate_generation(&Schaffer, &backend_executor(), 0, genomes);
+        assert_eq!(local.len(), remote.len());
+        for (a, b) in local.iter().zip(&remote) {
+            for (x, y) in a.objectives.iter().zip(&b.objectives) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn per_item_remote_failures_fall_back_in_process() {
+        let genomes = vec![1.0, POISON, 3.0];
+        let out = evaluate_generation(&Schaffer, &backend_executor(), 0, genomes.clone());
+        for (g, ind) in genomes.iter().zip(&out) {
+            assert_eq!(
+                ind.objectives,
+                Schaffer.evaluate(g).objectives,
+                "genome {g}"
+            );
+        }
+    }
+
+    #[test]
+    fn problems_without_codec_stay_in_process() {
+        #[derive(Debug)]
+        struct Plain;
+        impl Problem for Plain {
+            type Genome = f64;
+            fn objective_count(&self) -> usize {
+                1
+            }
+            fn random_genome(&self, _rng: &mut dyn RngCore) -> f64 {
+                0.0
+            }
+            fn evaluate(&self, x: &f64) -> Evaluation {
+                Evaluation::feasible(vec![*x])
+            }
+        }
+        assert!(Plain.remote().is_none());
+        let out = evaluate_generation(&Plain, &backend_executor(), 0, vec![4.0]);
+        assert_eq!(out[0].objectives, vec![4.0]);
+    }
+}

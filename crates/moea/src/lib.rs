@@ -66,6 +66,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod dispatch;
 pub mod evolution;
 pub mod hypervolume;
 pub mod kernels;
@@ -79,5 +80,5 @@ pub mod test_problems;
 pub use evolution::{EvoOutcome, EvoSnapshot, EvolutionState};
 pub use matrix::{DistanceMatrix, ObjectiveMatrix};
 pub use nsga2::{Individual, Nsga2, Nsga2Config, Nsga2State, OptimizationResult};
-pub use problem::{EvalError, Evaluation, Problem, Variation};
+pub use problem::{EvalError, Evaluation, Problem, RemoteEval, Variation};
 pub use spea2::{Spea2, Spea2Config, Spea2Result, Spea2State};

@@ -260,14 +260,18 @@ where
     }
 
     /// [`Nsga2::init_state`] with the initial-population evaluation fanned
-    /// out through `exec` (recorded as trace step 0).
+    /// out through `exec` (recorded as trace step 0) — remotely, when the
+    /// problem has a wire codec and `exec` carries an
+    /// [`EvalBackend`](clre_exec::EvalBackend).
     pub fn init_state_with(&self, exec: &Executor) -> Nsga2State<P::Genome>
     where
         P: Sync,
         P::Genome: Send + Sync,
         V: Sync,
     {
-        self.init_core(|genomes| exec.evaluate_batch(0, &genomes, |g| self.eval_one(g.clone())))
+        self.init_core(|genomes| {
+            crate::dispatch::evaluate_generation(&self.problem, exec, 0, genomes)
+        })
     }
 
     /// [`Nsga2::step`] with the offspring batch fanned out through `exec`
@@ -275,7 +279,7 @@ where
     ///
     /// Offspring *generation* (the only RNG consumer) stays on the calling
     /// thread, so `step` and `step_with` advance the state identically —
-    /// including the stored RNG words — for any worker count.
+    /// including the stored RNG words — for any worker count or backend.
     pub fn step_with(&self, state: &mut Nsga2State<P::Genome>, exec: &Executor) -> bool
     where
         P: Sync,
@@ -285,7 +289,7 @@ where
         self.step_core(
             state,
             |genomes, generation| {
-                exec.evaluate_batch(generation, &genomes, |g| self.eval_one(g.clone()))
+                crate::dispatch::evaluate_generation(&self.problem, exec, generation, genomes)
             },
             |micros| exec.annotate_selection(micros),
         )

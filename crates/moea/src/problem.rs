@@ -119,6 +119,43 @@ pub trait Problem {
     fn reports_errors(&self) -> bool {
         false
     }
+
+    /// The problem's wire codec, when its evaluation can run on an
+    /// out-of-process [`EvalBackend`](clre_exec::EvalBackend). `None`
+    /// (the default) keeps every batch in-process.
+    ///
+    /// The MOEA layer consults this once per batch: with a codec *and* a
+    /// backend attached to the driving `Executor`, genomes are encoded,
+    /// shipped, and decoded; anything that fails remotely (one item or
+    /// the whole batch) falls back to [`Problem::evaluate`] in-process,
+    /// so results are bit-identical whichever path ran.
+    fn remote(&self) -> Option<&dyn RemoteEval<Self::Genome>> {
+        None
+    }
+}
+
+/// The wire codec of a remotable [`Problem`]: a context string naming
+/// the evaluation function, plus per-genome item/output encodings.
+///
+/// The codec must be lossless where it matters: `decode_output` of a
+/// worker's output must be the bit-exact [`Evaluation`] an in-process
+/// [`Problem::evaluate`] of the same genome produces, because the
+/// determinism contract lets the two paths mix freely within one run.
+pub trait RemoteEval<G> {
+    /// The full evaluation context (application, scenario, encoding
+    /// mode, …) as a single line a worker's vocabulary can resolve.
+    fn context(&self) -> String;
+
+    /// Encodes one genome as a single-line wire item.
+    fn encode_item(&self, genome: &G) -> String;
+
+    /// Decodes one worker output line back into an [`Evaluation`].
+    ///
+    /// # Errors
+    ///
+    /// An [`EvalError`] describing the malformed output; the caller
+    /// falls back to in-process evaluation of that genome.
+    fn decode_output(&self, output: &str) -> Result<Evaluation, EvalError>;
 }
 
 /// Genetic operators over a genome type.

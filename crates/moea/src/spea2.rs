@@ -254,7 +254,9 @@ where
         P::Genome: Send + Sync,
         V: Sync,
     {
-        self.init_core(|genomes| exec.evaluate_batch(0, &genomes, |g| self.eval_one(g.clone())))
+        self.init_core(|genomes| {
+            crate::dispatch::evaluate_generation(&self.problem, exec, 0, genomes)
+        })
     }
 
     /// Advances the state by one generation: environmental selection of
@@ -283,7 +285,7 @@ where
         self.step_core(
             state,
             |genomes, generation| {
-                exec.evaluate_batch(generation, &genomes, |g| self.eval_one(g.clone()))
+                crate::dispatch::evaluate_generation(&self.problem, exec, generation, genomes)
             },
             |micros| exec.annotate_selection(micros),
         )

@@ -6,6 +6,7 @@
 //! clre-client attach --addr A --tenant T --id ID [--from N] [--quiet]
 //! clre-client local  --app SPEC --plan PLAN --population N
 //!             --generations N --seed N [--workers N]
+//!             [--backend inprocess|threads|subprocess[:PATH]]
 //! clre-client ping|stats|shutdown --addr A
 //! ```
 //!
@@ -17,7 +18,10 @@
 //! `agnostic`, `pf-spea2`, `pf-tournament:<k>`, `random-subset:<seed>`)
 //! or a raw plan string, optionally suffixed `@<scenario>` to run it
 //! under a reliability scenario (`transient`, `lifetime[:hours]`,
-//! `chkmodes`, `fpga`) — e.g. `--plan fc@lifetime:40000`.
+//! `chkmodes`, `fpga`) — e.g. `--plan fc@lifetime:40000`. Built-in plan
+//! names also take an `/islands<n>` suffix (`proposed/islands4`) for
+//! the island-model expansion. `local --backend` selects where
+//! evaluation batches run; the printed digest is identical regardless.
 //!
 //! Exit codes: 0 done, 3 parked (reattach after restart), 4 rejected,
 //! 1 error.
@@ -25,6 +29,7 @@
 use std::process::exit;
 
 use clre::methodology::{ClrEarly, StageBudget};
+use clre::remote::BackendChoice;
 use clre_exec::{ExecPool, Executor};
 use clre_serve::client::{Event, ServeClient, Submission};
 use clre_serve::server::{build_app, front_digest};
@@ -34,7 +39,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: clre-client submit|attach|local|ping|stats|shutdown [--addr HOST:PORT] \
          [--tenant T] [--app SPEC] [--plan PLAN] [--population N] [--generations N] \
-         [--seed N] [--id ID] [--from N] [--workers N] [--quiet]"
+         [--seed N] [--id ID] [--from N] [--workers N] \
+         [--backend inprocess|threads|subprocess[:PATH]] [--quiet]"
     );
     exit(2);
 }
@@ -51,6 +57,7 @@ struct Args {
     id: Option<String>,
     from: usize,
     workers: usize,
+    backend: BackendChoice,
     quiet: bool,
 }
 
@@ -79,6 +86,12 @@ fn main() {
             "--id" => args.id = Some(value("--id")),
             "--from" => args.from = value("--from").parse().unwrap_or(0),
             "--workers" => args.workers = value("--workers").parse().unwrap_or(1),
+            "--backend" => {
+                args.backend = BackendChoice::parse(&value("--backend")).unwrap_or_else(|e| {
+                    eprintln!("--backend: {e}");
+                    usage()
+                });
+            }
             "--quiet" => args.quiet = true,
             _ => usage(),
         }
@@ -175,8 +188,12 @@ fn submit(args: &Args) -> i32 {
             println!("accepted id={id}");
             stream_events(&mut client, args.quiet)
         }
-        Ok(Submission::Rejected { reason }) => {
-            eprintln!("clre-client: rejected: {reason}");
+        Ok(Submission::Rejected { reason, detail }) => {
+            if detail.is_empty() {
+                eprintln!("clre-client: rejected: {reason}");
+            } else {
+                eprintln!("clre-client: rejected ({reason}): {detail}");
+            }
             4
         }
         Err(e) => {
@@ -213,14 +230,27 @@ fn local(args: &Args) -> i32 {
             return 1;
         }
     };
+    let backend = match args.backend.build(args.workers) {
+        Ok(backend) => backend,
+        Err(e) => {
+            eprintln!("clre-client: backend: {e}");
+            return 1;
+        }
+    };
+    let mut exec = Executor::new(ExecPool::new(args.workers));
+    if let Some(backend) = backend {
+        exec = exec.with_eval_backend(backend);
+    }
     let dse = match ClrEarly::with_scenario(&graph, &platform, &request.scenario) {
-        Ok(dse) => dse.with_executor(Executor::new(ExecPool::new(args.workers))),
+        Ok(dse) => dse
+            .with_executor(exec)
+            .with_remote(request.app.clone(), request.scenario),
         Err(e) => {
             eprintln!("clre-client: task-level DSE: {e}");
             return 1;
         }
     };
-    match dse.run_campaign(&request.plan, &request.budget) {
+    match dse.run(&request.plan, &request.budget) {
         Ok(front) => {
             let summary = DoneSummary {
                 digest: front_digest(&front),

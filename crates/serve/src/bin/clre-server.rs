@@ -4,6 +4,7 @@
 //! clre-server --root DIR [--addr 127.0.0.1:7171] [--workers N]
 //!             [--max-active N] [--tenant-quota N]
 //!             [--trace-ring LINES] [--cache-ceiling ENTRIES]
+//!             [--backend inprocess|threads|subprocess[:PATH]]
 //! ```
 //!
 //! `--trace-ring` bounds each campaign's in-memory trace history (0 =
@@ -11,6 +12,11 @@
 //! and `attach from=n` replays them from there. `--cache-ceiling`
 //! bounds each shared evaluation cache (0 = unbounded); beyond it the
 //! least-recently-used entries are evicted and reported in `stats`.
+//! `--backend` selects where evaluation batches run (default
+//! `inprocess`); `subprocess` supervises a pool of `clre-exec-worker`
+//! children, located via `$CLRE_EXEC_WORKER`, a sibling of this binary,
+//! or the explicit `:PATH` suffix. Fronts are bit-identical across
+//! backends.
 //!
 //! Prints `listening <addr>` once the socket is bound (so scripts using
 //! `--addr 127.0.0.1:0` can read the ephemeral port), then serves until
@@ -19,13 +25,14 @@
 
 use std::process::exit;
 
+use clre::remote::BackendChoice;
 use clre_serve::server::{install_sigterm_handler, ServeConfig, Server};
 
 fn usage() -> ! {
     eprintln!(
         "usage: clre-server --root DIR [--addr HOST:PORT] [--workers N] \
          [--max-active N] [--tenant-quota N] [--trace-ring LINES] \
-         [--cache-ceiling ENTRIES]"
+         [--cache-ceiling ENTRIES] [--backend inprocess|threads|subprocess[:PATH]]"
     );
     exit(2);
 }
@@ -39,6 +46,7 @@ fn main() {
     let mut tenant_quota = 4;
     let mut trace_ring = 4096;
     let mut cache_ceiling = 0;
+    let mut backend = BackendChoice::InProcess;
     while let Some(arg) = args.next() {
         let mut value = |what: &str| {
             args.next().unwrap_or_else(|| {
@@ -56,6 +64,12 @@ fn main() {
             "--cache-ceiling" => {
                 cache_ceiling = parse(&value("--cache-ceiling"), "--cache-ceiling");
             }
+            "--backend" => {
+                backend = BackendChoice::parse(&value("--backend")).unwrap_or_else(|e| {
+                    eprintln!("--backend: {e}");
+                    usage()
+                });
+            }
             _ => usage(),
         }
     }
@@ -65,7 +79,8 @@ fn main() {
         .with_max_active(max_active)
         .with_tenant_quota(tenant_quota)
         .with_trace_ring(trace_ring)
-        .with_cache_ceiling(cache_ceiling);
+        .with_cache_ceiling(cache_ceiling)
+        .with_backend(backend);
     let server = match Server::bind(&addr, config) {
         Ok(server) => server,
         Err(e) => {

@@ -38,6 +38,10 @@ pub enum Submission {
     Rejected {
         /// The `reason=` token (`tenant-quota`, `server-busy`, …).
         reason: String,
+        /// Everything after the reason token — the server's full
+        /// diagnosis, e.g. the typed scenario/plan parse error for a
+        /// malformed request. Empty when the reason token says it all.
+        detail: String,
     },
 }
 
@@ -81,8 +85,20 @@ impl ServeClient {
             return Ok(Submission::Accepted { id: id.to_owned() });
         }
         if let Some(rest) = line.strip_prefix("rejected reason=") {
-            let reason = rest.split_whitespace().next().unwrap_or(rest).to_owned();
-            return Ok(Submission::Rejected { reason });
+            // The reason is one machine-readable token; everything after
+            // it is the human-readable diagnosis and must survive intact
+            // (a scenario parse error is worthless cut at the first
+            // space).
+            let (reason, detail) = match rest.split_once(char::is_whitespace) {
+                Some((reason, detail)) => {
+                    (reason, detail.strip_prefix("detail=").unwrap_or(detail))
+                }
+                None => (rest, ""),
+            };
+            return Ok(Submission::Rejected {
+                reason: reason.to_owned(),
+                detail: detail.trim().to_owned(),
+            });
         }
         Err(bad_frame(&line))
     }

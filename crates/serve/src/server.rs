@@ -37,6 +37,7 @@ use std::time::Duration;
 
 use clre::cache::{EvalCache, Fnv};
 use clre::methodology::{ClrEarly, FrontResult};
+use clre::remote::BackendChoice;
 use clre::resilience::{RunOutcome, RunSupervisor, SupervisorConfig};
 use clre::tdse::TdseConfig;
 use clre_exec::{ExecPool, Executor, FairGate, RunTelemetry};
@@ -66,6 +67,10 @@ pub struct ServeConfig {
     /// it, least-recently-used entries are evicted and counted in the
     /// `stats` eviction telemetry.
     pub cache_ceiling: usize,
+    /// Where campaign evaluation batches run. The choice never changes
+    /// fronts (the determinism invariant above) — only where the work
+    /// happens.
+    pub backend: BackendChoice,
 }
 
 impl ServeConfig {
@@ -81,6 +86,7 @@ impl ServeConfig {
             },
             trace_ring: 4096,
             cache_ceiling: 0,
+            backend: BackendChoice::InProcess,
         }
     }
 
@@ -120,6 +126,13 @@ impl ServeConfig {
         self.cache_ceiling = entries;
         self
     }
+
+    /// Sets the evaluation backend (builder style).
+    #[must_use]
+    pub fn with_backend(mut self, backend: BackendChoice) -> Self {
+        self.backend = backend;
+        self
+    }
 }
 
 /// FNV-1a digest of a front's objective matrix, point order preserved —
@@ -141,17 +154,8 @@ pub fn front_digest(front: &FrontResult) -> u64 {
 ///
 /// A human-readable description of the model-construction failure.
 pub fn build_app(app: &AppSpec) -> Result<(Platform, TaskGraph), String> {
-    match app {
-        AppSpec::Synthetic { tasks, seed } => {
-            clre::apps::synthetic_app(*tasks, *seed).map_err(|e| format!("synthetic app: {e}"))
-        }
-        AppSpec::Sobel { seed } => {
-            let platform = clre::apps::sobel_platform();
-            let graph =
-                clre::apps::sobel(&platform, *seed).map_err(|e| format!("sobel app: {e}"))?;
-            Ok((platform, graph))
-        }
-    }
+    app.build()
+        .map_err(|e| format!("{} app: {e}", app.platform_label()))
 }
 
 struct Shared {
@@ -376,10 +380,17 @@ fn drive_campaign(
     sink.lock()
         .expect("telemetry sink poisoned")
         .stream_to(Box::new(LogWriter::new(Arc::clone(&entry.log))));
-    let exec = Executor::new(ExecPool::new(shared.config.workers))
+    let backend = match shared.config.backend.build(shared.config.workers) {
+        Ok(backend) => backend,
+        Err(e) => return CampaignOutcome::Failed(format!("backend: {e}")),
+    };
+    let mut exec = Executor::new(ExecPool::new(shared.config.workers))
         .with_label(&entry.id)
         .with_telemetry(sink)
         .with_gate(Arc::clone(&shared.gate), ticket);
+    if let Some(backend) = backend {
+        exec = exec.with_eval_backend(backend);
+    }
     // The scenario picks the fault mechanism, CLR catalog and objective
     // set; the shared cache is attached first so scenario-distinct
     // chain digests land in the same warm sidecar without colliding.
@@ -394,7 +405,11 @@ fn drive_campaign(
         Ok(dse) => dse
             .with_objectives(request.scenario.system_objectives())
             .with_executor(exec)
-            .with_cache(cache),
+            .with_cache(cache)
+            // Always attached: the remote context is what lets a
+            // non-in-process backend reconstruct the stage problem;
+            // without a backend the dispatch layer never consults it.
+            .with_remote(request.app.clone(), request.scenario),
         Err(e) => return CampaignOutcome::Failed(format!("task-level DSE: {e}")),
     };
     let dir = entry.dir(&shared.config.root);
@@ -403,9 +418,9 @@ fn drive_campaign(
         RunSupervisor::new(SupervisorConfig::new(&checkpoint).with_keep_checkpoints(2))
             .with_interrupt_flag(Arc::clone(&shared.stop));
     let outcome = if resume && checkpoint.exists() {
-        dse.resume_campaign(&request.plan, &request.budget, &supervisor)
+        dse.resume(&request.plan, &request.budget, &supervisor)
     } else {
-        dse.run_campaign_supervised(&request.plan, &request.budget, &supervisor)
+        dse.run_supervised(&request.plan, &request.budget, &supervisor)
     };
     match outcome {
         Ok(RunOutcome::Complete(front)) => CampaignOutcome::Done(DoneSummary {
@@ -635,7 +650,7 @@ mod tests {
         let (platform, graph) = build_app(&AppSpec::Synthetic { tasks: 8, seed: 3 }).unwrap();
         let dse = ClrEarly::new(&graph, &platform).unwrap();
         let front = dse
-            .run_campaign(&CampaignPlan::fc(), &StageBudget::new(8, 2).with_seed(5))
+            .run(&CampaignPlan::fc(), &StageBudget::new(8, 2).with_seed(5))
             .unwrap();
         let mut fnv = Fnv::new();
         for objectives in front.objectives() {

@@ -19,8 +19,13 @@
 //! algo      := 'nsga2' | 'nsga2:' k | 'spea2'
 //! mode      := 'full' | 'pf'
 //! lib       := 'main' | 'layer:' index | 'subset:' seed
-//! seed_from := '-' | stage index
+//! seed_from := '-' | index (':' index)*
 //! ```
+//!
+//! `seed_from` lists every seeding edge in order — `-` for none, a
+//! single index for the proposed flow's pf → fc hand-off, and a
+//! `:`-joined list for island-model migration stages that merge fronts
+//! from several predecessors.
 //!
 //! A submission additionally carries an optional `scenario=` key — a
 //! reliability scenario name (`transient`, `lifetime[:hours]`,
@@ -101,78 +106,12 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Option<String>> {
         .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame is not UTF-8"))
 }
 
-/// Which benchmark application a submitted campaign optimizes. The
-/// server builds the platform/graph pair itself — clients name the
-/// workload, they never ship model objects.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum AppSpec {
-    /// `apps::synthetic_app(tasks, seed)` on the paper platform.
-    Synthetic {
-        /// Task count of the generated graph.
-        tasks: usize,
-        /// TGFF generator seed.
-        seed: u64,
-    },
-    /// `apps::sobel(&apps::sobel_platform(), seed)`.
-    Sobel {
-        /// Profile jitter seed.
-        seed: u64,
-    },
-}
-
-impl AppSpec {
-    /// The cache-sharing domain: campaigns whose apps map to the same
-    /// label share one `EvalCache` (and its persisted sidecar).
-    pub fn platform_label(&self) -> &'static str {
-        match self {
-            AppSpec::Synthetic { .. } => "paper",
-            AppSpec::Sobel { .. } => "sobel",
-        }
-    }
-
-    /// Wire form: `synthetic:<tasks>:<seed>` or `sobel:<seed>`.
-    pub fn encode(&self) -> String {
-        match self {
-            AppSpec::Synthetic { tasks, seed } => format!("synthetic:{tasks}:{seed}"),
-            AppSpec::Sobel { seed } => format!("sobel:{seed}"),
-        }
-    }
-
-    /// Parses the wire form.
-    ///
-    /// # Errors
-    ///
-    /// A human-readable description of the malformed spec.
-    pub fn parse(text: &str) -> Result<Self, String> {
-        let mut parts = text.split(':');
-        match parts.next() {
-            Some("synthetic") => {
-                let tasks = parse_num(parts.next(), "synthetic task count")?;
-                let seed = parse_num(parts.next(), "synthetic seed")?;
-                expect_end(parts, text)?;
-                Ok(AppSpec::Synthetic { tasks, seed })
-            }
-            Some("sobel") => {
-                let seed = parse_num(parts.next(), "sobel seed")?;
-                expect_end(parts, text)?;
-                Ok(AppSpec::Sobel { seed })
-            }
-            _ => Err(format!("unknown app spec {text:?}")),
-        }
-    }
-}
+pub use clre::apps::AppSpec;
 
 fn parse_num<T: std::str::FromStr>(tok: Option<&str>, what: &str) -> Result<T, String> {
     tok.ok_or_else(|| format!("missing {what}"))?
         .parse()
         .map_err(|_| format!("malformed {what}"))
-}
-
-fn expect_end<'a>(mut parts: impl Iterator<Item = &'a str>, text: &str) -> Result<(), String> {
-    match parts.next() {
-        None => Ok(()),
-        Some(_) => Err(format!("trailing tokens in {text:?}")),
-    }
 }
 
 /// One campaign submission: who is asking, what to optimize, with what
@@ -298,9 +237,16 @@ fn encode_stage(stage: &StagePlan) -> String {
         }
         LibrarySource::RandomSubset(seed) => format!("subset:{seed}"),
     };
-    let seed_from = stage
-        .seed_from
-        .map_or_else(|| "-".to_owned(), |i| i.to_string());
+    let seed_from = if stage.seed_from.is_empty() {
+        "-".to_owned()
+    } else {
+        stage
+            .seed_from
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(":")
+    };
     format!(
         "{},{algo},{mode},{lib},{},{},{seed_from}",
         stage.label, stage.salt, stage.generations_divisor,
@@ -384,21 +330,42 @@ fn parse_stage(text: &str) -> Result<StagePlan, String> {
         salt: parse_num(Some(salt), "salt")?,
         generations_divisor: divisor,
         seed_from: match *seed_from {
-            "-" => None,
-            n => Some(parse_num(Some(n), "seed_from index")?),
+            "-" => Vec::new(),
+            list => list
+                .split(':')
+                .map(|n| parse_num(Some(n), "seed_from index"))
+                .collect::<Result<Vec<usize>, String>>()?,
         },
     })
 }
 
 /// Resolves a plan argument: a built-in name (`fc`, `pf`, `proposed`,
 /// `agnostic`, `pf-spea2`, `pf-tournament:<k>`, `random-subset:<seed>`)
-/// or a raw plan-grammar string.
+/// or a raw plan-grammar string. Any built-in name may carry an
+/// `/islands<n>` suffix — `proposed/islands4` runs the island-model
+/// expansion of the proposed flow over four subpopulations.
 ///
 /// # Errors
 ///
 /// As [`parse_plan`] for raw strings; unknown built-in names report the
 /// valid set.
 pub fn plan_from_arg(arg: &str) -> Result<CampaignPlan, String> {
+    if !arg.contains('|') {
+        if let Some((base, count)) = arg.rsplit_once("/islands") {
+            let islands: usize = parse_num(Some(count), "island count")?;
+            if islands == 0 {
+                return Err("island count must be at least 1".to_owned());
+            }
+            let plan = plan_from_arg(base)?;
+            if matches!(plan.stages[0].algorithm, StageAlgorithm::Spea2) {
+                return Err(format!(
+                    "plan {base:?} cannot run as islands: migration seeds the \
+                     first stage, which must be NSGA-II"
+                ));
+            }
+            return Ok(plan.islands(islands));
+        }
+    }
     match arg {
         "fc" => return Ok(CampaignPlan::fc()),
         "pf" => return Ok(CampaignPlan::pf()),

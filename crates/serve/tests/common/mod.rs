@@ -69,7 +69,7 @@ pub fn local_digest(request: &SubmitRequest) -> u64 {
     let (platform, graph) = build_app(&request.app).expect("app builds");
     let front = clre::methodology::ClrEarly::with_scenario(&graph, &platform, &request.scenario)
         .expect("tDSE succeeds")
-        .run_campaign(&request.plan, &request.budget)
+        .run(&request.plan, &request.budget)
         .expect("in-process campaign completes");
     front_digest(&front)
 }

@@ -41,7 +41,7 @@ impl DropPlan {
 fn accept(client: &mut ServeClient, request: &SubmitRequest) -> String {
     match client.submit(request).expect("submit") {
         Submission::Accepted { id } => id,
-        Submission::Rejected { reason } => panic!("rejected: {reason}"),
+        Submission::Rejected { reason, detail } => panic!("rejected: {reason} {detail}"),
     }
 }
 

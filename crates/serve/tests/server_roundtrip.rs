@@ -14,7 +14,7 @@ fn submit_and_drain(addr: &str, request: &clre_serve::wire::SubmitRequest) -> (V
     let mut client = ServeClient::connect(addr).expect("connect");
     match client.submit(request).expect("submit") {
         Submission::Accepted { .. } => {}
-        Submission::Rejected { reason } => panic!("rejected: {reason}"),
+        Submission::Rejected { reason, detail } => panic!("rejected: {reason} {detail}"),
     }
     client.drain().expect("drain")
 }
@@ -82,7 +82,7 @@ fn concurrent_tenants_share_the_analysis_cache_without_result_drift() {
             )
             .unwrap()
             .with_cache(std::sync::Arc::clone(&cache));
-            dse.run_campaign(&req.plan, &req.budget).unwrap();
+            dse.run(&req.plan, &req.budget).unwrap();
             cache.analysis_counts().hits
         })
         .sum();
@@ -130,7 +130,7 @@ fn admission_rejections_are_reported_with_reasons() {
         .submit(&tiny_request("alpha", CampaignPlan::fc(), 2))
         .expect("submit")
     {
-        Submission::Rejected { reason } => assert_eq!(reason, "tenant-quota"),
+        Submission::Rejected { reason, .. } => assert_eq!(reason, "tenant-quota"),
         other => panic!("expected rejection, got {other:?}"),
     }
     server.stop();
@@ -141,7 +141,7 @@ fn admission_rejections_are_reported_with_reasons() {
         .submit(&tiny_request("alpha", CampaignPlan::fc(), 2))
         .expect("submit")
     {
-        Submission::Rejected { reason } => assert_eq!(reason, "server-busy"),
+        Submission::Rejected { reason, .. } => assert_eq!(reason, "server-busy"),
         other => panic!("expected rejection, got {other:?}"),
     }
     client

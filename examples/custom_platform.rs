@@ -9,6 +9,7 @@
 
 use clrearly::core::methodology::{ClrEarly, StageBudget};
 use clrearly::core::tdse::TdseConfig;
+use clrearly::core::CampaignPlan;
 use clrearly::model::application::SysSw;
 use clrearly::model::qos::QosSpec;
 use clrearly::model::{BaseImpl, DvfsMode, PeType, PeTypeId, Platform, TaskGraph, TaskType};
@@ -58,7 +59,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .with_max_makespan(2.5e-3)
         .with_min_reliability(0.99);
     let dse = ClrEarly::with_tdse_config(&graph, &platform, TdseConfig::new())?.with_spec(spec);
-    let result = dse.run_proposed(&StageBudget::new(32, 40).with_seed(3))?;
+    let result = dse.run(
+        &CampaignPlan::proposed(),
+        &StageBudget::new(32, 40).with_seed(3),
+    )?;
 
     println!(
         "{} feasible Pareto points under S ≤ 2.5 ms, F ≥ 0.99:",

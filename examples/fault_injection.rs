@@ -29,7 +29,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let codec = Codec::new(&graph, &platform, &library, ChoiceMode::ParetoFiltered)?;
 
     // A reproducible candidate mapping (in a real flow this would come
-    // out of ClrEarly::run_proposed; a random point keeps the example
+    // out of the proposed campaign; a random point keeps the example
     // fast and still exercises the whole validation path).
     let mut rng = StdRng::seed_from_u64(7);
     let genome = codec.random_genome(&mut rng);

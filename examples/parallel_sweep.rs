@@ -14,6 +14,7 @@ use std::time::Instant;
 
 use clrearly::core::apps;
 use clrearly::core::methodology::{ClrEarly, StageBudget};
+use clrearly::core::CampaignPlan;
 use clrearly::exec::{ExecPool, Executor, RunTelemetry};
 
 fn main() {
@@ -37,7 +38,9 @@ fn main() {
             .expect("tDSE succeeds")
             .with_executor(Executor::new(ExecPool::new(workers)).with_telemetry(sink.clone()));
         let t0 = Instant::now();
-        let front = dse.run_proposed(&budget).expect("proposed runs");
+        let front = dse
+            .run(&CampaignPlan::proposed(), &budget)
+            .expect("proposed runs");
         let wall = t0.elapsed();
 
         // Order-sensitive FNV-1a over genomes and objective bits: equal

@@ -38,10 +38,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 4. System-level DSE: the proposed two-stage pfCLR→fcCLR search,
     //    expressed as a campaign stage graph (a Pareto-filtered stage
-    //    seeding a full-space stage, fronts merged). `run_proposed` is a
+    //    seeding a full-space stage, fronts merged). `CampaignPlan::proposed()` is the
     //    thin wrapper over exactly this plan.
     let budget = StageBudget::new(40, 40).with_seed(7);
-    let result = dse.run_campaign(&CampaignPlan::proposed(), &budget)?;
+    let result = dse.run(&CampaignPlan::proposed(), &budget)?;
     println!(
         "\nproposed methodology: {} Pareto points after {} evaluations",
         result.front().len(),

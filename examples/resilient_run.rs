@@ -10,6 +10,7 @@
 
 use clrearly::core::apps;
 use clrearly::core::methodology::{ClrEarly, StageBudget};
+use clrearly::core::CampaignPlan;
 use clrearly::core::{RunOutcome, RunSupervisor, SupervisorConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -26,7 +27,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    quarantined instead of tearing down the search, and the GA
     //    state is checkpointed every 5 generations.
     let reference = dse
-        .run_proposed_supervised(&budget, &RunSupervisor::new(config.clone()))?
+        .run_supervised(
+            &CampaignPlan::proposed(),
+            &budget,
+            &RunSupervisor::new(config.clone()),
+        )?
         .expect_complete();
     println!(
         "uninterrupted: {} Pareto points after {} evaluations",
@@ -39,7 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    generation 20 of the fc stage (stage 1). A real deployment
     //    would lose the process here — the checkpoint file survives.
     let crashing = RunSupervisor::new(config.clone()).with_interrupt_at(1, 20);
-    match dse.run_proposed_supervised(&budget, &crashing)? {
+    match dse.run_supervised(&CampaignPlan::proposed(), &budget, &crashing)? {
         RunOutcome::Interrupted { stage, generation } => {
             println!("\nsimulated crash at stage {stage}, generation {generation}");
         }

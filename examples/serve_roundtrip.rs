@@ -50,7 +50,7 @@ fn main() {
     let mut client = ServeClient::connect(&addr).expect("connect");
     let id = match client.submit(&request).expect("submit") {
         Submission::Accepted { id } => id,
-        Submission::Rejected { reason } => panic!("rejected: {reason}"),
+        Submission::Rejected { reason, detail } => panic!("rejected: {reason} {detail}"),
     };
     println!("accepted id={id}");
     let summary = loop {
@@ -70,7 +70,7 @@ fn main() {
     let (platform, graph) = build_app(&request.app).expect("app builds");
     let local = ClrEarly::new(&graph, &platform)
         .expect("tDSE succeeds")
-        .run_campaign(&request.plan, &request.budget)
+        .run(&request.plan, &request.budget)
         .expect("in-process campaign completes");
     let local_digest = front_digest(&local);
     println!("local:  digest={local_digest:016x}");

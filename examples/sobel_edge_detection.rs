@@ -12,6 +12,7 @@
 use clrearly::core::apps;
 use clrearly::core::methodology::{reference_point, ClrEarly, FrontResult, StageBudget};
 use clrearly::core::tdse::{build_library, TdseConfig};
+use clrearly::core::CampaignPlan;
 use clrearly::model::qos::ObjectiveSet;
 use clrearly::model::TaskTypeId;
 use clrearly::moea::hypervolume::hypervolume;
@@ -46,10 +47,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dse = ClrEarly::new(&graph, &platform)?;
     let budget = StageBudget::new(40, 40).with_seed(9);
     let runs: Vec<FrontResult> = vec![
-        dse.run_fc(&budget)?,
-        dse.run_pf(&budget)?,
-        dse.run_proposed(&budget)?,
-        dse.run_agnostic(&budget)?,
+        dse.run(&CampaignPlan::fc(), &budget)?,
+        dse.run(&CampaignPlan::pf(), &budget)?,
+        dse.run(&CampaignPlan::proposed(), &budget)?,
+        dse.run(&CampaignPlan::agnostic(), &budget)?,
     ];
     let fronts: Vec<Vec<Vec<f64>>> = runs.iter().map(FrontResult::objectives).collect();
     let reference = reference_point(fronts.iter().map(|f| f.as_slice()));

@@ -8,6 +8,7 @@
 
 use clrearly::core::apps;
 use clrearly::core::methodology::{reference_point, ClrEarly, StageBudget};
+use clrearly::core::CampaignPlan;
 use clrearly::moea::hypervolume::{hypervolume, percent_increase};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -19,9 +20,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let (platform, graph) = apps::synthetic_app(tasks, 100 + tasks as u64)?;
         let dse = ClrEarly::new(&graph, &platform)?;
         let budget = StageBudget::new(40, 40).with_seed(5);
-        let fc = dse.run_fc(&budget)?.objectives();
-        let pf = dse.run_pf(&budget)?.objectives();
-        let prop = dse.run_proposed(&budget)?.objectives();
+        let fc = dse.run(&CampaignPlan::fc(), &budget)?.objectives();
+        let pf = dse.run(&CampaignPlan::pf(), &budget)?.objectives();
+        let prop = dse.run(&CampaignPlan::proposed(), &budget)?.objectives();
         let r = reference_point([fc.as_slice(), pf.as_slice(), prop.as_slice()]);
         let (hf, hp, hr) = (
             hypervolume(&fc, &r),

@@ -23,12 +23,13 @@
 //! ```
 //! use clrearly::core::apps;
 //! use clrearly::core::methodology::{ClrEarly, StageBudget};
+//! use clrearly::core::CampaignPlan;
 //!
 //! # fn main() -> Result<(), clrearly::core::DseError> {
 //! let platform = apps::paper_platform();
 //! let graph = apps::sobel(&platform, 42)?;
 //! let front = ClrEarly::new(&graph, &platform)?
-//!     .run_proposed(&StageBudget::smoke_test())?;
+//!     .run(&CampaignPlan::proposed(), &StageBudget::smoke_test())?;
 //! assert!(!front.front().is_empty());
 //! # Ok(())
 //! # }

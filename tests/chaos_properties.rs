@@ -15,6 +15,7 @@ use clrearly::core::resilience::{
     read_quarantine_sidecar, rotated_checkpoint_path, write_quarantine_sidecar, Checkpoint,
     QuarantineRecord, RunOutcome, RunSupervisor, SupervisorConfig,
 };
+use clrearly::core::CampaignPlan;
 use clrearly::core::EvalCache;
 use clrearly::markov::clr::{analyze_robust, ClrChainParams};
 use proptest::prelude::*;
@@ -63,7 +64,7 @@ fn checkpoint_fixture() -> &'static (Vec<u8>, Vec<u8>) {
         )
         .with_interrupt_at(0, 3);
         match dse
-            .run_fc_supervised(&StageBudget::smoke_test(), &sup)
+            .run_supervised(&CampaignPlan::fc(), &StageBudget::smoke_test(), &sup)
             .expect("interrupted run checkpoints")
         {
             RunOutcome::Interrupted { .. } => {}

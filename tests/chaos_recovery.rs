@@ -17,6 +17,7 @@ use clrearly::chaos::{DeathPlan, FaultPlan};
 use clrearly::core::apps;
 use clrearly::core::methodology::{ClrEarly, FrontResult, StageBudget};
 use clrearly::core::resilience::BackoffPolicy;
+use clrearly::core::CampaignPlan;
 use clrearly::core::{RunSupervisor, SupervisorConfig};
 use clrearly::exec::{ExecPool, Executor};
 
@@ -67,7 +68,11 @@ fn stormed_run(name: &str, workers: usize) -> FrontResult {
     ClrEarly::new(&graph, &platform)
         .expect("tDSE succeeds")
         .with_executor(dying_executor(workers))
-        .run_fc_supervised(&StageBudget::smoke_test(), &storm_supervisor(name))
+        .run_supervised(
+            &CampaignPlan::fc(),
+            &StageBudget::smoke_test(),
+            &storm_supervisor(name),
+        )
         .expect("stormed run completes")
         .expect_complete()
 }
@@ -78,7 +83,7 @@ fn storm_recovers_bit_identical_front_at_one_and_four_workers() {
     let graph = apps::sobel(&platform, 42).expect("sobel app");
     let clean = ClrEarly::new(&graph, &platform)
         .expect("tDSE succeeds")
-        .run_fc(&StageBudget::smoke_test())
+        .run(&CampaignPlan::fc(), &StageBudget::smoke_test())
         .expect("clean run completes");
 
     let w1 = stormed_run("w1", 1);
@@ -107,7 +112,11 @@ fn stormed_lifetime_run(name: &str, workers: usize) -> FrontResult {
     ClrEarly::with_scenario(&graph, &platform, &scenario)
         .expect("tDSE succeeds")
         .with_executor(dying_executor(workers))
-        .run_fc_supervised(&StageBudget::smoke_test(), &storm_supervisor(name))
+        .run_supervised(
+            &CampaignPlan::fc(),
+            &StageBudget::smoke_test(),
+            &storm_supervisor(name),
+        )
         .expect("stormed run completes")
         .expect_complete()
 }
@@ -123,7 +132,7 @@ fn storm_recovers_permanent_fault_campaign_bit_identically() {
     let scenario = clrearly::core::Scenario::parse("lifetime:5000").expect("scenario");
     let clean = ClrEarly::with_scenario(&graph, &platform, &scenario)
         .expect("tDSE succeeds")
-        .run_fc(&StageBudget::smoke_test())
+        .run(&CampaignPlan::fc(), &StageBudget::smoke_test())
         .expect("clean run completes");
 
     let w1 = stormed_lifetime_run("life-w1", 1);
@@ -138,7 +147,7 @@ fn storm_recovers_permanent_fault_campaign_bit_identically() {
     // is not the transient front under the same plan and seed.
     let transient = ClrEarly::new(&graph, &platform)
         .expect("tDSE succeeds")
-        .run_fc(&StageBudget::smoke_test())
+        .run(&CampaignPlan::fc(), &StageBudget::smoke_test())
         .expect("transient run completes");
     let same_front = clean.front().len() == transient.front().len()
         && clean

@@ -4,6 +4,7 @@
 use clrearly::core::apps;
 use clrearly::core::methodology::{reference_point, ClrEarly, StageBudget};
 use clrearly::core::tdse::{build_library, TdseConfig};
+use clrearly::core::CampaignPlan;
 use clrearly::model::qos::ObjectiveSet;
 use clrearly::model::TaskTypeId;
 use clrearly::moea::hypervolume::hypervolume;
@@ -15,7 +16,9 @@ fn sobel_full_pipeline() {
     let graph = apps::sobel(&platform, 42).expect("sobel builds");
     let dse = ClrEarly::new(&graph, &platform).expect("tDSE succeeds");
     let budget = StageBudget::smoke_test();
-    let result = dse.run_proposed(&budget).expect("proposed runs");
+    let result = dse
+        .run(&CampaignPlan::proposed(), &budget)
+        .expect("proposed runs");
     assert!(!result.front().is_empty());
     for p in result.front() {
         // Makespan must be at least the longest single task (serial lower
@@ -33,7 +36,9 @@ fn sobel_full_pipeline() {
 fn front_is_internally_consistent() {
     let (platform, graph) = apps::synthetic_app(12, 5).expect("app builds");
     let dse = ClrEarly::new(&graph, &platform).expect("tDSE succeeds");
-    let result = dse.run_pf(&StageBudget::smoke_test()).expect("runs");
+    let result = dse
+        .run(&CampaignPlan::pf(), &StageBudget::smoke_test())
+        .expect("runs");
     // Objectives really are (makespan, error_prob) of the metrics.
     for p in result.front() {
         assert_eq!(p.objectives[0], p.metrics.makespan);
@@ -49,9 +54,12 @@ fn proposed_dominates_fcclr_on_medium_apps() {
     let (platform, graph) = apps::synthetic_app(30, 9).expect("app builds");
     let dse = ClrEarly::new(&graph, &platform).expect("tDSE succeeds");
     let budget = StageBudget::new(24, 16).with_seed(5);
-    let fc = dse.run_fc(&budget).expect("fc runs").objectives();
+    let fc = dse
+        .run(&CampaignPlan::fc(), &budget)
+        .expect("fc runs")
+        .objectives();
     let prop = dse
-        .run_proposed(&budget)
+        .run(&CampaignPlan::proposed(), &budget)
         .expect("proposed runs")
         .objectives();
     let r = reference_point([fc.as_slice(), prop.as_slice()]);
@@ -66,9 +74,12 @@ fn whole_flow_is_deterministic() {
     let run = || {
         let (platform, graph) = apps::synthetic_app(10, 3).expect("app builds");
         let dse = ClrEarly::new(&graph, &platform).expect("tDSE succeeds");
-        dse.run_proposed(&StageBudget::smoke_test().with_seed(77))
-            .expect("runs")
-            .objectives()
+        dse.run(
+            &CampaignPlan::proposed(),
+            &StageBudget::smoke_test().with_seed(77),
+        )
+        .expect("runs")
+        .objectives()
     };
     assert_eq!(run(), run());
 }
@@ -116,8 +127,12 @@ fn agnostic_is_dominated_in_error_floor() {
     let (platform, graph) = apps::synthetic_app(15, 21).expect("app builds");
     let dse = ClrEarly::new(&graph, &platform).expect("tDSE succeeds");
     let budget = StageBudget::new(24, 16).with_seed(2);
-    let clr = dse.run_proposed(&budget).expect("clr runs");
-    let agn = dse.run_agnostic(&budget).expect("agnostic runs");
+    let clr = dse
+        .run(&CampaignPlan::proposed(), &budget)
+        .expect("clr runs");
+    let agn = dse
+        .run(&CampaignPlan::agnostic(), &budget)
+        .expect("agnostic runs");
     let min_err = |front: &clrearly::core::FrontResult| {
         front
             .front()

@@ -10,6 +10,7 @@ use std::sync::Arc;
 use clrearly::core::apps;
 use clrearly::core::cache::{cache_sidecar_path, EvalCache};
 use clrearly::core::methodology::{ClrEarly, FrontResult, StageBudget};
+use clrearly::core::CampaignPlan;
 use clrearly::core::{RunOutcome, RunSupervisor, SupervisorConfig};
 use clrearly::exec::{ExecPool, Executor};
 use clrearly::moea::{EvalError, Evaluation, Problem};
@@ -48,7 +49,7 @@ fn cached_fc_front_is_bit_identical_for_any_worker_count() {
         let baseline = ClrEarly::new(&graph, &platform)
             .unwrap()
             .with_executor(Executor::new(ExecPool::new(workers)))
-            .run_fc(&budget)
+            .run(&CampaignPlan::fc(), &budget)
             .unwrap();
 
         let cache = EvalCache::shared();
@@ -56,8 +57,8 @@ fn cached_fc_front_is_bit_identical_for_any_worker_count() {
             .unwrap()
             .with_executor(Executor::new(ExecPool::new(workers)))
             .with_cache(Arc::clone(&cache));
-        let cold = cached.run_fc(&budget).unwrap();
-        let warm = cached.run_fc(&budget).unwrap();
+        let cold = cached.run(&CampaignPlan::fc(), &budget).unwrap();
+        let warm = cached.run(&CampaignPlan::fc(), &budget).unwrap();
 
         assert_bit_identical(&baseline, &cold);
         assert_bit_identical(&baseline, &warm);
@@ -76,7 +77,7 @@ fn cached_seeded_proposed_front_is_bit_identical_for_any_worker_count() {
         let baseline = ClrEarly::new(&graph, &platform)
             .unwrap()
             .with_executor(Executor::new(ExecPool::new(workers)))
-            .run_proposed(&budget)
+            .run(&CampaignPlan::proposed(), &budget)
             .unwrap();
 
         let cache = EvalCache::shared();
@@ -84,8 +85,8 @@ fn cached_seeded_proposed_front_is_bit_identical_for_any_worker_count() {
             .unwrap()
             .with_executor(Executor::new(ExecPool::new(workers)))
             .with_cache(Arc::clone(&cache));
-        let cold = cached.run_proposed(&budget).unwrap();
-        let warm = cached.run_proposed(&budget).unwrap();
+        let cold = cached.run(&CampaignPlan::proposed(), &budget).unwrap();
+        let warm = cached.run(&CampaignPlan::proposed(), &budget).unwrap();
 
         assert_bit_identical(&baseline, &cold);
         assert_bit_identical(&baseline, &warm);
@@ -107,7 +108,7 @@ fn warm_start_resume_reuses_the_persisted_sidecar() {
 
     let baseline = ClrEarly::new(&graph, &platform)
         .unwrap()
-        .run_fc(&budget)
+        .run(&CampaignPlan::fc(), &budget)
         .unwrap();
 
     // Kill a cached run mid-generation. Binding is automatic: the
@@ -116,7 +117,10 @@ fn warm_start_resume_reuses_the_persisted_sidecar() {
         .unwrap()
         .with_cache(EvalCache::shared());
     let sup = RunSupervisor::new(SupervisorConfig::new(ckpt.clone())).with_interrupt_at(0, 3);
-    match dse.run_fc_supervised(&budget, &sup).unwrap() {
+    match dse
+        .run_supervised(&CampaignPlan::fc(), &budget, &sup)
+        .unwrap()
+    {
         RunOutcome::Interrupted { stage, generation } => {
             assert_eq!((stage, generation), (0, 3));
         }
@@ -155,7 +159,7 @@ fn torn_or_foreign_sidecar_degrades_to_cold_cache() {
 
     let baseline = ClrEarly::new(&graph, &platform)
         .unwrap()
-        .run_fc(&budget)
+        .run(&CampaignPlan::fc(), &budget)
         .unwrap();
 
     // Populate a genuine sidecar, then mangle it the way a kill would:
@@ -164,7 +168,7 @@ fn torn_or_foreign_sidecar_degrades_to_cold_cache() {
         let cache = EvalCache::shared();
         cache.bind_sidecar(&sidecar).unwrap();
         let dse = ClrEarly::new(&graph, &platform).unwrap().with_cache(cache);
-        let _ = dse.run_fc(&budget).unwrap();
+        let _ = dse.run(&CampaignPlan::fc(), &budget).unwrap();
     }
     let mut text = std::fs::read_to_string(&sidecar).unwrap();
     assert!(text.len() > 40, "sidecar unexpectedly empty");
@@ -179,7 +183,7 @@ fn torn_or_foreign_sidecar_degrades_to_cold_cache() {
     let front = ClrEarly::new(&graph, &platform)
         .unwrap()
         .with_cache(Arc::clone(&cache))
-        .run_fc(&budget)
+        .run(&CampaignPlan::fc(), &budget)
         .unwrap();
     assert_bit_identical(&baseline, &front);
 
@@ -198,7 +202,7 @@ fn torn_or_foreign_sidecar_degrades_to_cold_cache() {
     let front = ClrEarly::new(&graph, &platform)
         .unwrap()
         .with_cache(Arc::clone(&cold))
-        .run_fc(&budget)
+        .run(&CampaignPlan::fc(), &budget)
         .unwrap();
     assert_bit_identical(&baseline, &front);
     assert_eq!(

@@ -12,6 +12,7 @@ use clrearly::core::resilience::{
     quarantine_sidecar_path, rotated_checkpoint_path, write_quarantine_sidecar, FallibleProblem,
     ResilientProblem,
 };
+use clrearly::core::CampaignPlan;
 use clrearly::core::{DseError, RunOutcome, RunSupervisor, SupervisorConfig};
 use clrearly::exec::{ExecPool, Executor, RunTelemetry};
 use clrearly::moea::test_problems::{Zdt1, Zdt2, ZdtVariation};
@@ -101,13 +102,13 @@ fn fcclr_run_bitwise_identical_across_worker_counts() {
 
     let serial = ClrEarly::new(&graph, &platform)
         .unwrap()
-        .run_fc(&budget)
+        .run(&CampaignPlan::fc(), &budget)
         .unwrap();
     for workers in [2usize, 8] {
         let parallel = ClrEarly::new(&graph, &platform)
             .unwrap()
             .with_executor(Executor::new(ExecPool::new(workers)))
-            .run_fc(&budget)
+            .run(&CampaignPlan::fc(), &budget)
             .unwrap();
         assert_same_front(&serial, &parallel, &format!("fcCLR at {workers} workers"));
     }
@@ -124,7 +125,7 @@ fn parallel_kill_resume_with_different_worker_counts_reproduces_front() {
     // Uninterrupted serial baseline.
     let baseline = ClrEarly::new(&graph, &platform)
         .unwrap()
-        .run_proposed(&budget)
+        .run(&CampaignPlan::proposed(), &budget)
         .unwrap();
 
     // Kill a 4-worker run mid-generation of the seeded fc stage…
@@ -132,7 +133,10 @@ fn parallel_kill_resume_with_different_worker_counts_reproduces_front() {
         .unwrap()
         .with_executor(Executor::new(ExecPool::new(4)));
     let sup = RunSupervisor::new(SupervisorConfig::new(&ckpt)).with_interrupt_at(1, 4);
-    match dse4.run_proposed_supervised(&budget, &sup).unwrap() {
+    match dse4
+        .run_supervised(&CampaignPlan::proposed(), &budget, &sup)
+        .unwrap()
+    {
         RunOutcome::Interrupted { stage, generation } => {
             assert_eq!((stage, generation), (1, 4));
         }
@@ -169,7 +173,10 @@ fn supervised_run_rotates_checkpoints_and_prunes_on_completion() {
     // saved, so the newest plus two rotation slots must be on disk.
     let config = SupervisorConfig::new(&ckpt).with_keep_checkpoints(3);
     let sup = RunSupervisor::new(config.clone()).with_interrupt_at(0, 3);
-    match dse.run_fc_supervised(&budget, &sup).unwrap() {
+    match dse
+        .run_supervised(&CampaignPlan::fc(), &budget, &sup)
+        .unwrap()
+    {
         RunOutcome::Interrupted { stage, generation } => {
             assert_eq!((stage, generation), (0, 3));
         }

@@ -11,6 +11,7 @@
 
 use clrearly::core::apps;
 use clrearly::core::methodology::{ClrEarly, FrontResult, StageBudget};
+use clrearly::core::CampaignPlan;
 use clrearly::exec::{ExecPool, Executor};
 
 /// FNV-1a over the front's objective bit patterns and genome words, in
@@ -49,9 +50,10 @@ fn run_method(workers: usize, proposed: bool) -> FrontResult {
         .expect("tDSE succeeds")
         .with_executor(Executor::new(ExecPool::new(workers)));
     if proposed {
-        dse.run_proposed(&budget).expect("proposed runs")
+        dse.run(&CampaignPlan::proposed(), &budget)
+            .expect("proposed runs")
     } else {
-        dse.run_fc(&budget).expect("fcCLR runs")
+        dse.run(&CampaignPlan::fc(), &budget).expect("fcCLR runs")
     }
 }
 

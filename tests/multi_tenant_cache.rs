@@ -44,7 +44,7 @@ fn run_with_cache(
     .expect("tDSE succeeds")
     .with_executor(Executor::new(ExecPool::new(2)))
     .with_cache(Arc::clone(cache))
-    .run_campaign(plan, budget)
+    .run(plan, budget)
     .expect("campaign completes")
 }
 

@@ -44,16 +44,19 @@ fn fc_resume_reproduces_uninterrupted_front() {
     let budget = StageBudget::smoke_test();
 
     let baseline = dse
-        .run_fc_supervised(&budget, &supervisor("fc-baseline"))
+        .run_supervised(&CampaignPlan::fc(), &budget, &supervisor("fc-baseline"))
         .unwrap()
         .expect_complete();
     // The supervised runner shares the plain runner's RNG trajectory.
-    let plain = dse.run_fc(&budget).unwrap();
+    let plain = dse.run(&CampaignPlan::fc(), &budget).unwrap();
     assert_same_front(&baseline, &plain);
 
     // Crash mid-run at generation 3, then resume from the checkpoint.
     let sup = supervisor("fc-interrupt").with_interrupt_at(0, 3);
-    match dse.run_fc_supervised(&budget, &sup).unwrap() {
+    match dse
+        .run_supervised(&CampaignPlan::fc(), &budget, &sup)
+        .unwrap()
+    {
         RunOutcome::Interrupted { stage, generation } => {
             assert_eq!((stage, generation), (0, 3));
         }
@@ -81,16 +84,23 @@ fn proposed_resume_reproduces_front_from_either_stage() {
     let budget = StageBudget::smoke_test().with_seed(7);
 
     let baseline = dse
-        .run_proposed_supervised(&budget, &supervisor("prop-baseline"))
+        .run_supervised(
+            &CampaignPlan::proposed(),
+            &budget,
+            &supervisor("prop-baseline"),
+        )
         .unwrap()
         .expect_complete();
-    let plain = dse.run_proposed(&budget).unwrap();
+    let plain = dse.run(&CampaignPlan::proposed(), &budget).unwrap();
     assert_same_front(&baseline, &plain);
 
     // Interrupt during stage 0 (the pf stage): the whole flow — the rest
     // of stage 0 plus all of stage 1 — must replay identically.
     let sup = supervisor("prop-s0").with_interrupt_at(0, 2);
-    match dse.run_proposed_supervised(&budget, &sup).unwrap() {
+    match dse
+        .run_supervised(&CampaignPlan::proposed(), &budget, &sup)
+        .unwrap()
+    {
         RunOutcome::Interrupted { stage, generation } => {
             assert_eq!((stage, generation), (0, 2));
         }
@@ -107,7 +117,10 @@ fn proposed_resume_reproduces_front_from_either_stage() {
     // reconstitute the pf-stage front from the checkpoint's aux genomes
     // and still merge to the identical final front.
     let sup = supervisor("prop-s1").with_interrupt_at(1, 5);
-    match dse.run_proposed_supervised(&budget, &sup).unwrap() {
+    match dse
+        .run_supervised(&CampaignPlan::proposed(), &budget, &sup)
+        .unwrap()
+    {
         RunOutcome::Interrupted { stage, generation } => {
             assert_eq!((stage, generation), (1, 5));
         }
@@ -128,13 +141,16 @@ fn spea2_pf_resume_reproduces_uninterrupted_front() {
     let dse = ClrEarly::new(&graph, &platform).unwrap();
     let budget = StageBudget::smoke_test().with_seed(5);
 
-    let baseline = dse.run_pf_spea2(&budget).unwrap();
+    let baseline = dse.run(&CampaignPlan::pf_spea2(), &budget).unwrap();
 
     // Kill the SPEA2 run mid-generation: the archive, population and RNG
     // stream all live in the checkpoint, so the resumed trajectory must
     // be the uninterrupted one bit-for-bit.
     let sup = supervisor("spea2-interrupt").with_interrupt_at(0, 3);
-    match dse.run_pf_spea2_supervised(&budget, &sup).unwrap() {
+    match dse
+        .run_supervised(&CampaignPlan::pf_spea2(), &budget, &sup)
+        .unwrap()
+    {
         RunOutcome::Interrupted { stage, generation } => {
             assert_eq!((stage, generation), (0, 3));
         }
@@ -160,7 +176,7 @@ fn agnostic_resume_reproduces_merged_front_mid_campaign() {
     let dse = ClrEarly::new(&graph, &platform).unwrap();
     let budget = StageBudget::smoke_test().with_seed(3);
 
-    let baseline = dse.run_agnostic(&budget).unwrap();
+    let baseline = dse.run(&CampaignPlan::agnostic(), &budget).unwrap();
 
     // The Agnostic campaign runs four single-layer stages on a quarter
     // of the generation budget each (smoke budget: 2 generations per
@@ -168,7 +184,10 @@ fn agnostic_resume_reproduces_merged_front_mid_campaign() {
     // that stage's tail plus the fourth stage and still merge all four
     // layer fronts into the identical Pareto set.
     let sup = supervisor("agnostic-interrupt").with_interrupt_at(2, 1);
-    match dse.run_agnostic_supervised(&budget, &sup).unwrap() {
+    match dse
+        .run_supervised(&CampaignPlan::agnostic(), &budget, &sup)
+        .unwrap()
+    {
         RunOutcome::Interrupted { stage, generation } => {
             assert_eq!((stage, generation), (2, 1));
         }
@@ -194,14 +213,17 @@ fn delta_checkpoints_resume_identically() {
     let dse = ClrEarly::new(&graph, &platform).unwrap();
     let budget = StageBudget::smoke_test().with_seed(7);
 
-    let baseline = dse.run_proposed(&budget).unwrap();
+    let baseline = dse.run(&CampaignPlan::proposed(), &budget).unwrap();
 
     let delta_supervisor = |name: &str| {
         RunSupervisor::new(SupervisorConfig::new(checkpoint_path(name)).with_delta_checkpoints(2))
     };
 
     let sup = delta_supervisor("delta-interrupt").with_interrupt_at(1, 5);
-    match dse.run_proposed_supervised(&budget, &sup).unwrap() {
+    match dse
+        .run_supervised(&CampaignPlan::proposed(), &budget, &sup)
+        .unwrap()
+    {
         RunOutcome::Interrupted { stage, generation } => {
             assert_eq!((stage, generation), (1, 5));
         }
@@ -242,18 +264,27 @@ fn campaign_plans_match_run_wrappers() {
     // campaign plan; the front a caller-assembled plan produces must be
     // the wrapper's, bit for bit.
     let plans = [
-        (CampaignPlan::fc(), dse.run_fc(&budget)),
-        (CampaignPlan::pf(), dse.run_pf(&budget)),
-        (CampaignPlan::proposed(), dse.run_proposed(&budget)),
-        (CampaignPlan::agnostic(), dse.run_agnostic(&budget)),
-        (CampaignPlan::pf_spea2(), dse.run_pf_spea2(&budget)),
+        (CampaignPlan::fc(), dse.run(&CampaignPlan::fc(), &budget)),
+        (CampaignPlan::pf(), dse.run(&CampaignPlan::pf(), &budget)),
+        (
+            CampaignPlan::proposed(),
+            dse.run(&CampaignPlan::proposed(), &budget),
+        ),
+        (
+            CampaignPlan::agnostic(),
+            dse.run(&CampaignPlan::agnostic(), &budget),
+        ),
+        (
+            CampaignPlan::pf_spea2(),
+            dse.run(&CampaignPlan::pf_spea2(), &budget),
+        ),
         (
             CampaignPlan::single_layer(Layer::Hw),
-            dse.run_single_layer(Layer::Hw, &budget),
+            dse.run(&CampaignPlan::single_layer(Layer::Hw), &budget),
         ),
     ];
     for (plan, wrapper) in plans {
-        let via_campaign = dse.run_campaign(&plan, &budget).unwrap();
+        let via_campaign = dse.run(&plan, &budget).unwrap();
         assert_same_front(&via_campaign, &wrapper.unwrap());
     }
 }
@@ -274,7 +305,8 @@ fn resume_rejects_mismatched_budget_and_missing_checkpoint() {
     // A checkpoint from seed 1 must not silently resume under seed 9 —
     // the resumed trajectory would not match either run.
     let sup = supervisor("mismatch").with_interrupt_at(0, 2);
-    dse.run_fc_supervised(&budget, &sup).unwrap();
+    dse.run_supervised(&CampaignPlan::fc(), &budget, &sup)
+        .unwrap();
     let err = dse
         .resume_supervised(&budget.with_seed(9), &supervisor("mismatch"))
         .unwrap_err();
