@@ -27,7 +27,20 @@ use std::path::Path;
 /// The timing keys the gate watches. Oracle timings (`sort_naive_us`,
 /// `truncate_naive_us`) are deliberately absent: the naive algorithms
 /// exist to validate results, and their cost is not a product property.
-const GATED_KEYS: [&str; 4] = ["sort_ens_us", "crowding_us", "truncate_cached_us", "hv_us"];
+/// `dist_refill_us` is likewise ungated — it is the full-rebuild
+/// reference the incremental path is compared against, not a path the
+/// generation loop takes.
+const GATED_KEYS: [&str; 6] = [
+    "sort_ens_us",
+    "crowding_us",
+    "truncate_cached_us",
+    "hv_us",
+    "truncate_incremental_us",
+    "dist_update_us",
+];
+
+/// Number of gated keys (the per-cell timing array length).
+const N_GATED: usize = GATED_KEYS.len();
 
 /// Absolute slack in microseconds added on top of the 2× ratio.
 const ABSOLUTE_SLACK_US: u64 = 500;
@@ -74,7 +87,7 @@ fn field_u64(line: &str, key: &str) -> Option<u64> {
 struct CellTimings {
     n: u64,
     m: u64,
-    values: [(/* key idx */ usize, u64); 4],
+    values: [(/* key idx */ usize, u64); N_GATED],
 }
 
 /// Parses every cell line of a kernel-bench report. Errors if the report
@@ -88,7 +101,7 @@ fn parse_cells(report: &str, label: &str) -> Result<Vec<CellTimings>, String> {
         };
         let m = field_u64(line, "m")
             .ok_or_else(|| format!("{label}: cell n={n} has no \"m\" field: {line}"))?;
-        let mut values = [(0usize, 0u64); 4];
+        let mut values = [(0usize, 0u64); N_GATED];
         for (idx, key) in GATED_KEYS.iter().enumerate() {
             let us = field_u64(line, key)
                 .ok_or_else(|| format!("{label}: cell n={n} m={m} has no \"{key}\" field"))?;
@@ -366,15 +379,17 @@ pub fn gate_files(baseline: &Path, current: &Path) -> Result<String, String> {
 mod tests {
     use super::*;
 
-    fn report(cells: &[(u64, u64, [u64; 4])]) -> String {
+    fn report(cells: &[(u64, u64, [u64; 6])]) -> String {
         let body: Vec<String> = cells
             .iter()
             .map(|(n, m, v)| {
                 format!(
                     "    {{\"n\": {n}, \"m\": {m}, \"sort_naive_us\": 9999, \"sort_ens_us\": {}, \
                      \"fronts_identical\": true, \"crowding_us\": {}, \"truncate_cached_us\": {}, \
-                     \"truncate_naive_us\": null, \"hv_us\": {}, \"hv_points\": 7}}",
-                    v[0], v[1], v[2], v[3]
+                     \"truncate_naive_us\": null, \"hv_us\": {}, \"hv_points\": 7, \
+                     \"dist_refill_us\": 9999, \"dist_update_us\": {}, \
+                     \"truncate_incremental_us\": {}, \"dist_identical\": true}}",
+                    v[0], v[1], v[2], v[3], v[5], v[4]
                 )
             })
             .collect();
@@ -386,16 +401,25 @@ mod tests {
 
     #[test]
     fn identical_reports_pass() {
-        let r = report(&[(100, 2, [50, 60, 70, 80]), (400, 4, [900, 800, 700, 600])]);
+        let r = report(&[
+            (100, 2, [50, 60, 70, 80, 90, 40]),
+            (400, 4, [900, 800, 700, 600, 500, 400]),
+        ]);
         assert_eq!(compare(&r, &r).unwrap(), vec![]);
     }
 
     #[test]
     fn small_cells_get_absolute_slack_but_big_ones_get_the_ratio() {
-        let base = report(&[(100, 2, [50, 60, 70, 80]), (1600, 2, [10_000, 10, 10, 10])]);
+        let base = report(&[
+            (100, 2, [50, 60, 70, 80, 90, 40]),
+            (1600, 2, [10_000, 10, 10, 10, 10, 10]),
+        ]);
         // 50us -> 500us is under the +500us floor; 10_000us -> 21_000us
         // is past 2x and must trip.
-        let cur = report(&[(100, 2, [500, 60, 70, 80]), (1600, 2, [21_000, 10, 10, 10])]);
+        let cur = report(&[
+            (100, 2, [500, 60, 70, 80, 90, 40]),
+            (1600, 2, [21_000, 10, 10, 10, 10, 10]),
+        ]);
         let regressions = compare(&base, &cur).unwrap();
         assert_eq!(regressions.len(), 1);
         assert_eq!(
@@ -410,18 +434,29 @@ mod tests {
 
     #[test]
     fn every_gated_key_is_watched() {
-        let base = report(&[(400, 4, [100, 100, 100, 100])]);
-        let cur = report(&[(400, 4, [100, 100, 100, 5_000])]);
+        let base = report(&[(400, 4, [100, 100, 100, 100, 100, 100])]);
+        let cur = report(&[(400, 4, [100, 100, 100, 5_000, 100, 100])]);
         let regressions = compare(&base, &cur).unwrap();
         assert_eq!(regressions.len(), 1);
         assert_eq!(regressions[0].key, "hv_us");
         assert!(regressions[0].to_string().contains("hv_us"));
+        // The incremental keys added in round 2 are gated too.
+        let cur = report(&[(400, 4, [100, 100, 100, 100, 9_000, 100])]);
+        assert_eq!(
+            compare(&base, &cur).unwrap()[0].key,
+            "truncate_incremental_us"
+        );
+        let cur = report(&[(400, 4, [100, 100, 100, 100, 100, 9_000])]);
+        assert_eq!(compare(&base, &cur).unwrap()[0].key, "dist_update_us");
     }
 
     #[test]
     fn missing_cells_and_malformed_reports_error_instead_of_passing() {
-        let base = report(&[(100, 2, [50, 60, 70, 80]), (400, 2, [50, 60, 70, 80])]);
-        let cur = report(&[(100, 2, [50, 60, 70, 80])]);
+        let base = report(&[
+            (100, 2, [50, 60, 70, 80, 90, 40]),
+            (400, 2, [50, 60, 70, 80, 90, 40]),
+        ]);
+        let cur = report(&[(100, 2, [50, 60, 70, 80, 90, 40])]);
         assert!(compare(&base, &cur).unwrap_err().contains("lost cell"));
         assert!(compare("{}", &base).unwrap_err().contains("no benchmark"));
         let torn = base.replace("\"hv_us\": 80", "\"hv_us\": \"oops\"");
@@ -555,7 +590,7 @@ mod tests {
             std::fs::write(&path, body).unwrap();
             path
         };
-        let kernels = write("k.json", &report(&[(100, 2, [50, 60, 70, 80])]));
+        let kernels = write("k.json", &report(&[(100, 2, [50, 60, 70, 80, 90, 40])]));
         let scenarios = write("s.json", &scenario_report(&[("transient", 100)]));
         assert!(gate_files(&kernels, &kernels).is_ok());
         assert!(gate_files(&scenarios, &scenarios).is_ok());

@@ -65,6 +65,15 @@ pub struct GenerationTrace {
     /// straight from [`ExecStats::worker_deaths`], unlike the cumulative
     /// counters above.
     pub worker_deaths: usize,
+    /// Microseconds of `selection_us` spent ranking/fitness-sorting
+    /// (SPEA2 fitness, NSGA-II rank-and-crowd). Trailing trace-v1 token;
+    /// 0 when the MOEA layer does not report a split.
+    pub sort_us: u64,
+    /// Microseconds of `selection_us` spent in environmental truncation.
+    pub truncate_us: u64,
+    /// Microseconds of `selection_us` spent building/updating/compacting
+    /// the pairwise distance matrix (0 for NSGA-II).
+    pub dist_us: u64,
 }
 
 impl GenerationTrace {
@@ -76,8 +85,13 @@ impl GenerationTrace {
     /// trace-v1 phase=<label> step=<n> batch=<n> eval_us=<n> workers=<n> \
     ///     per_worker=<c0|c1|…> hist=<b0|b1|…> quarantined=<n> degraded=<n> \
     ///     cache_hits=<n> cache_misses=<n> selection_us=<n> timeouts=<n> \
-    ///     backoff_ms=<n> injected=<n> recovered=<n> worker_deaths=<n>
+    ///     backoff_ms=<n> injected=<n> recovered=<n> worker_deaths=<n> \
+    ///     sort_us=<n> truncate_us=<n> dist_us=<n>
     /// ```
+    ///
+    /// `sort_us`/`truncate_us`/`dist_us` — the `selection_us` split — are
+    /// trailing tokens appended after the original trace-v1 fields, so
+    /// parsers written before they existed keep working unchanged.
     pub fn line(&self) -> String {
         let per_worker = if self.per_worker.is_empty() {
             "-".to_owned()
@@ -89,7 +103,7 @@ impl GenerationTrace {
                 .join("|")
         };
         format!(
-            "trace-v1 phase={} step={} batch={} eval_us={} workers={} per_worker={} hist={} quarantined={} degraded={} cache_hits={} cache_misses={} selection_us={} timeouts={} backoff_ms={} injected={} recovered={} worker_deaths={}",
+            "trace-v1 phase={} step={} batch={} eval_us={} workers={} per_worker={} hist={} quarantined={} degraded={} cache_hits={} cache_misses={} selection_us={} timeouts={} backoff_ms={} injected={} recovered={} worker_deaths={} sort_us={} truncate_us={} dist_us={}",
             self.phase,
             self.step,
             self.batch,
@@ -107,6 +121,9 @@ impl GenerationTrace {
             self.injected,
             self.recovered,
             self.worker_deaths,
+            self.sort_us,
+            self.truncate_us,
+            self.dist_us,
         )
     }
 }
@@ -209,6 +226,24 @@ impl RunTelemetry {
     pub fn annotate_selection_last(&mut self, micros: u64) {
         if let Some(last) = self.records.last_mut() {
             last.selection_us = micros;
+        }
+    }
+
+    /// Updates the newest record's selection timing including the
+    /// sort/truncate/distance split ([`RunTelemetry::annotate_selection_last`]
+    /// plus the three trailing trace-v1 tokens). No-op on an empty store.
+    pub fn annotate_selection_split_last(
+        &mut self,
+        total_us: u64,
+        sort_us: u64,
+        truncate_us: u64,
+        dist_us: u64,
+    ) {
+        if let Some(last) = self.records.last_mut() {
+            last.selection_us = total_us;
+            last.sort_us = sort_us;
+            last.truncate_us = truncate_us;
+            last.dist_us = dist_us;
         }
     }
 
@@ -518,6 +553,22 @@ impl Executor {
         }
     }
 
+    /// Updates the newest trace record's selection timing plus its
+    /// sort/truncate/distance split; no-op without a sink.
+    pub fn annotate_selection_split(
+        &self,
+        total_us: u64,
+        sort_us: u64,
+        truncate_us: u64,
+        dist_us: u64,
+    ) {
+        if let Some(sink) = &self.sink {
+            sink.lock()
+                .expect("telemetry sink poisoned")
+                .annotate_selection_split_last(total_us, sort_us, truncate_us, dist_us);
+        }
+    }
+
     /// Updates the newest trace record's cumulative fault/recovery
     /// counters; no-op without a sink.
     pub fn annotate_faults(
@@ -556,6 +607,9 @@ impl Executor {
                 injected: 0,
                 recovered: 0,
                 worker_deaths: stats.worker_deaths,
+                sort_us: 0,
+                truncate_us: 0,
+                dist_us: 0,
             });
     }
 }
@@ -629,19 +683,40 @@ mod tests {
             injected: 6,
             recovered: 5,
             worker_deaths: 1,
+            sort_us: 500,
+            truncate_us: 200,
+            dist_us: 90,
         };
         assert_eq!(
             rec.line(),
             "trace-v1 phase=pfCLR step=12 batch=32 eval_us=5250 workers=4 \
              per_worker=8|9|8|7 hist=1 quarantined=1 degraded=2 \
              cache_hits=20 cache_misses=12 selection_us=830 timeouts=3 \
-             backoff_ms=41 injected=6 recovered=5 worker_deaths=1"
+             backoff_ms=41 injected=6 recovered=5 worker_deaths=1 \
+             sort_us=500 truncate_us=200 dist_us=90"
         );
         let mut t = RunTelemetry::new();
         t.record(rec);
         let trace = t.trace();
         assert_eq!(trace.lines().count(), 2, "one record + totals");
         assert!(trace.ends_with("evaluations=32 eval_us=5250\n"));
+    }
+
+    #[test]
+    fn selection_split_annotation_stamps_trailing_tokens() {
+        let sink = RunTelemetry::sink();
+        let exec = Executor::new(ExecPool::serial())
+            .with_label("s")
+            .with_telemetry(sink.clone());
+        let _ = exec.evaluate_batch(1, &[1u8], |x| *x);
+        exec.annotate_selection_split(830, 500, 200, 90);
+        let t = sink.lock().unwrap();
+        let r = &t.records()[0];
+        assert_eq!(
+            (r.selection_us, r.sort_us, r.truncate_us, r.dist_us),
+            (830, 500, 200, 90)
+        );
+        assert!(r.line().ends_with("sort_us=500 truncate_us=200 dist_us=90"));
     }
 
     #[test]
@@ -728,6 +803,9 @@ mod tests {
             injected: 0,
             recovered: 0,
             worker_deaths: 0,
+            sort_us: 0,
+            truncate_us: 0,
+            dist_us: 0,
         });
         t.flush_pending();
         assert!(!t.is_streaming(), "dead consumer detached");

@@ -208,6 +208,9 @@ where
             generation: snapshot.generation,
             evaluations: snapshot.evaluations,
             rng_state: snapshot.rng_state,
+            // Snapshots never carry the distance cache: a cold cache
+            // rebuilds once and is bit-identical thereafter.
+            dist_cache: crate::matrix::DistanceCache::default(),
         }
     }
 

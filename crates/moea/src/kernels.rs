@@ -31,20 +31,34 @@
 //! **Cached truncation ≡ per-round truncation.** SPEA2 truncation drops,
 //! each round, the member whose ascending distance vector to the
 //! survivors is lexicographically smallest (first occurrence on ties).
-//! [`spea2_truncate`] keeps each member's sorted distance vector and,
-//! when a member is removed, deletes the single distance-to-removed entry
-//! from every survivor's vector (binary search — equal keys under
-//! `total_cmp` are bit-identical, so removing any tied occurrence leaves
-//! the same value sequence) instead of re-materializing and re-sorting
-//! `n` vectors per round. Member bookkeeping replicates the naive
-//! routine's `swap_remove`, so the scan order — and therefore every
-//! tie-break — evolves identically.
+//! [`spea2_truncate`] builds each member's sorted `(distance, slot)`
+//! vector once and thereafter only *marks* removed members dead: each
+//! row keeps a cursor past its dead prefix, and the lexicographic
+//! comparison skips dead entries on the fly. Equal keys under `total_cmp`
+//! are bit-identical, so whether a tied occurrence is physically removed
+//! (the old eager scheme), tombstoned, or compacted away, the *live*
+//! value sequence every comparison sees is the same — and all live rows
+//! always have equal length (every row loses exactly the removed
+//! members), so the length tie-break of [`spea2_truncate_naive`]'s
+//! `lex_less` (equal sequences → not-less → first occurrence wins) is
+//! reproduced by returning "not less" on simultaneous exhaustion.
+//! Member bookkeeping replicates the naive routine's `swap_remove`, so
+//! the scan order — and therefore every tie-break — evolves identically.
+//! Rows are physically compacted every `max(n/4, 32)` removals to keep
+//! the dead-entry skip cost bounded.
+//!
+//! The dominance checks on the hot paths (ENS insertion/reconstruction,
+//! SPEA2 strength, Pareto front extraction) use the blocked kernels
+//! ([`crate::pareto::dominates_blocked`]) — boolean-identical to the
+//! scalar forms on every input including NaN, just branch-reduced for
+//! autovectorization. The naive Deb sort keeps the scalar checks as the
+//! independent oracle.
 
 use std::cell::RefCell;
 use std::cmp::Ordering;
 
 use crate::matrix::{DistanceMatrix, ObjectiveMatrix};
-use crate::pareto::{constrained_dominates, dominates};
+use crate::pareto::{constrained_dominates, constrained_dominates_blocked, dominates_blocked};
 
 /// Reusable per-thread buffers for one selection pass: the flat objective
 /// matrix, the violation vector and the SPEA2 distance matrix. Selection
@@ -58,6 +72,22 @@ pub struct SelectionScratch {
     pub violations: Vec<f64>,
     /// Pairwise squared distances (filled by [`spea2_fitness`]).
     pub distances: DistanceMatrix,
+}
+
+/// Per-generation selection cost split, in microseconds — what the
+/// generation trace reports as `sort_us=`/`truncate_us=`/`dist_us=`
+/// alongside the total `selection_us=`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SelectionSplit {
+    /// Total selection wall time (superset of the three parts below plus
+    /// bookkeeping).
+    pub total_us: u64,
+    /// Fitness/ranking time (SPEA2 fitness, NSGA-II rank-and-crowd).
+    pub sort_us: u64,
+    /// Environmental truncation time.
+    pub truncate_us: u64,
+    /// Distance-matrix build/update/compact time (zero for NSGA-II).
+    pub dist_us: u64,
 }
 
 thread_local! {
@@ -172,7 +202,12 @@ pub fn ens_non_dominated_sort(points: &ObjectiveMatrix, violations: &[f64]) -> V
             // Recently inserted members have the closest keys and are the
             // likeliest dominators — scan them first.
             !front.iter().rev().any(|&q| {
-                constrained_dominates(points.row(q), violations[q], points.row(p), violations[p])
+                constrained_dominates_blocked(
+                    points.row(q),
+                    violations[q],
+                    points.row(p),
+                    violations[p],
+                )
             })
         });
         match rank {
@@ -194,7 +229,7 @@ pub fn ens_non_dominated_sort(points: &ObjectiveMatrix, violations: &[f64]) -> V
                 let last = prev
                     .iter()
                     .rposition(|&p| {
-                        constrained_dominates(
+                        constrained_dominates_blocked(
                             points.row(p),
                             violations[p],
                             points.row(q),
@@ -223,7 +258,7 @@ pub fn non_dominated_matrix(points: &ObjectiveMatrix) -> Vec<usize> {
                 continue;
             }
             let q = points.row(j);
-            if dominates(q, p) || (q == p && j < i) {
+            if dominates_blocked(q, p) || (q == p && j < i) {
                 continue 'outer;
             }
         }
@@ -281,16 +316,39 @@ pub fn spea2_fitness(
     violations: &[f64],
     dist: &mut DistanceMatrix,
 ) -> Vec<f64> {
+    dist.refill(points);
+    spea2_fitness_prefilled(points, violations, dist)
+}
+
+/// [`spea2_fitness`] on an already-filled distance matrix — the
+/// incremental entry point: callers that refreshed `dist` via
+/// [`DistanceMatrix::refill_with_tail`] (or any other bit-identical
+/// route) skip the full O(N²·M) rebuild.
+///
+/// # Panics
+///
+/// Panics if `points`, `violations` and `dist` disagree on the
+/// population size.
+pub fn spea2_fitness_prefilled(
+    points: &ObjectiveMatrix,
+    violations: &[f64],
+    dist: &DistanceMatrix,
+) -> Vec<f64> {
     assert_eq!(points.rows(), violations.len(), "length mismatch");
     let n = points.rows();
-    dist.refill(points);
+    assert_eq!(dist.len(), n, "distance matrix size mismatch");
     // Strength: how many others each individual dominates.
     let mut strength = vec![0usize; n];
     let mut dominated_by: Vec<Vec<usize>> = vec![Vec::new(); n]; // dominators of i
     for i in 0..n {
         for j in 0..n {
             if i != j
-                && constrained_dominates(points.row(i), violations[i], points.row(j), violations[j])
+                && constrained_dominates_blocked(
+                    points.row(i),
+                    violations[i],
+                    points.row(j),
+                    violations[j],
+                )
             {
                 strength[i] += 1;
                 dominated_by[j].push(i);
@@ -336,51 +394,111 @@ fn lex_less(a: &[f64], b: &[f64]) -> bool {
     a.len() < b.len()
 }
 
+/// One member's sorted neighbour state in the lazy truncation: entries
+/// are ascending `(distance, original slot)` pairs over the *initial*
+/// member set; `cursor` skips the row's known-dead prefix.
+struct NeighborRow {
+    entries: Vec<(f64, u32)>,
+    cursor: usize,
+}
+
 /// SPEA2 archive truncation on cached distances: repeatedly drop the
 /// member whose ascending distance vector to the remaining members is
-/// lexicographically smallest, maintaining each member's sorted vector
-/// incrementally (one binary-search removal per survivor per round)
-/// instead of re-sorting `n` vectors per round.
+/// lexicographically smallest, maintaining each member's sorted
+/// neighbour state across removal rounds with lazy invalidation — a
+/// removal only flips an `alive` bit, and comparisons skip dead entries
+/// on the fly — instead of physically deleting one entry from every
+/// survivor's vector per round. Rows are compacted (dead entries
+/// dropped) every `max(n/4, 32)` removals to bound the skip cost.
 ///
 /// `members` are distinct row indices of the population `dist` was built
 /// over; the returned survivors replicate [`spea2_truncate_naive`]'s
-/// `swap_remove` ordering exactly.
+/// `swap_remove` ordering exactly (see the module docs for the
+/// tie-break argument).
 pub fn spea2_truncate(dist: &DistanceMatrix, mut members: Vec<usize>, target: usize) -> Vec<usize> {
     if members.len() <= target {
         return members;
     }
-    let mut sorted: Vec<Vec<f64>> = members
-        .iter()
-        .map(|&i| {
-            let mut d: Vec<f64> = members
-                .iter()
-                .filter(|&&j| j != i)
-                .map(|&j| dist.get(i, j))
+    let n0 = members.len();
+    let mut alive = vec![true; n0];
+    let mut rows: Vec<NeighborRow> = (0..n0)
+        .map(|s| {
+            let i = members[s];
+            let mut entries: Vec<(f64, u32)> = (0..n0)
+                .filter(|&q| q != s)
+                .map(|q| (dist.get(i, members[q]), q as u32))
                 .collect();
-            d.sort_unstable_by(f64::total_cmp);
-            d
+            entries.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            NeighborRow { entries, cursor: 0 }
         })
         .collect();
+    // `slots[pos]` is the original slot of the member now at `pos` —
+    // kept in lockstep with `members` through every `swap_remove`.
+    let mut slots: Vec<u32> = (0..n0 as u32).collect();
+    let compact_every = (n0 / 4).max(32);
+    let mut dead = 0usize;
     while members.len() > target {
+        for row in &mut rows {
+            while row
+                .entries
+                .get(row.cursor)
+                .is_some_and(|&(_, q)| !alive[q as usize])
+            {
+                row.cursor += 1;
+            }
+        }
         let mut worst_pos = 0usize;
         for pos in 1..members.len() {
-            if lex_less(&sorted[pos], &sorted[worst_pos]) {
+            if lex_less_live(&rows[pos], &rows[worst_pos], &alive) {
                 worst_pos = pos;
             }
         }
-        let removed = members[worst_pos];
+        alive[slots[worst_pos] as usize] = false;
+        dead += 1;
         members.swap_remove(worst_pos);
-        sorted.swap_remove(worst_pos);
-        for (pos, &i) in members.iter().enumerate() {
-            let d = dist.get(i, removed);
-            let row = &mut sorted[pos];
-            let at = row
-                .binary_search_by(|x| x.total_cmp(&d))
-                .expect("distance to removed member present in cached row");
-            row.remove(at);
+        rows.swap_remove(worst_pos);
+        slots.swap_remove(worst_pos);
+        if dead >= compact_every && members.len() > target {
+            for row in &mut rows {
+                row.entries.retain(|&(_, q)| alive[q as usize]);
+                row.cursor = 0;
+            }
+            dead = 0;
         }
     }
     members
+}
+
+/// Lexicographic "strictly less" over the *live* entries of two neighbour
+/// rows — [`lex_less`] with dead entries skipped on the fly. Both rows
+/// always hold the same number of live entries (each lost exactly the
+/// removed members), so simultaneous exhaustion is the only way the walk
+/// ends, and it returns `false` exactly like `lex_less` on equal-length
+/// equal sequences.
+fn lex_less_live(a: &NeighborRow, b: &NeighborRow, alive: &[bool]) -> bool {
+    let mut ia = a.cursor;
+    let mut ib = b.cursor;
+    loop {
+        while a.entries.get(ia).is_some_and(|&(_, q)| !alive[q as usize]) {
+            ia += 1;
+        }
+        while b.entries.get(ib).is_some_and(|&(_, q)| !alive[q as usize]) {
+            ib += 1;
+        }
+        match (a.entries.get(ia), b.entries.get(ib)) {
+            (None, None) => return false,
+            (None, Some(_)) => return true,
+            (Some(_), None) => return false,
+            (Some(&(da, _)), Some(&(db, _))) => match da.total_cmp(&db) {
+                Ordering::Less => return true,
+                Ordering::Greater => return false,
+                Ordering::Equal => {
+                    ia += 1;
+                    ib += 1;
+                }
+            },
+        }
+    }
 }
 
 /// The per-round truncation — the oracle for [`spea2_truncate`]: each
@@ -528,6 +646,52 @@ mod tests {
                 spea2_truncate_naive(&dist, all, target),
                 "target={target}"
             );
+        }
+    }
+
+    #[test]
+    fn lazy_truncation_matches_naive_past_compaction_threshold() {
+        // n = 160 with target 20 forces 140 removals → several physical
+        // compaction passes (every max(n/4, 32) = 40 removals).
+        let mut seed = 0x5EED_u64;
+        let mut rows = Vec::new();
+        for _ in 0..160 {
+            let mut r = [0.0f64; 2];
+            for x in r.iter_mut() {
+                seed ^= seed << 13;
+                seed ^= seed >> 7;
+                seed ^= seed << 17;
+                // Coarse grid → plenty of exactly-tied distances.
+                *x = ((seed >> 11) % 8) as f64 * 0.5;
+            }
+            rows.push(r.to_vec());
+        }
+        let pts = m(&rows);
+        let dist = DistanceMatrix::from_points(&pts);
+        for target in [20usize, 100, 159] {
+            let all: Vec<usize> = (0..160).collect();
+            assert_eq!(
+                spea2_truncate(&dist, all.clone(), target),
+                spea2_truncate_naive(&dist, all, target),
+                "target={target}"
+            );
+        }
+    }
+
+    #[test]
+    fn prefilled_fitness_matches_refill_path() {
+        let pts = m(&[
+            vec![0.0, 0.0],
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![5.0, 5.0],
+        ]);
+        let v = vec![0.0; 4];
+        let mut dist = DistanceMatrix::default();
+        let full = spea2_fitness(&pts, &v, &mut dist);
+        let pre = spea2_fitness_prefilled(&pts, &v, &dist);
+        for (a, b) in full.iter().zip(&pre) {
+            assert_eq!(a.to_bits(), b.to_bits());
         }
     }
 

@@ -78,7 +78,8 @@ mod spea2;
 pub mod test_problems;
 
 pub use evolution::{EvoOutcome, EvoSnapshot, EvolutionState};
-pub use matrix::{DistanceMatrix, ObjectiveMatrix};
+pub use kernels::SelectionSplit;
+pub use matrix::{DistanceCache, DistanceMatrix, ObjectiveMatrix};
 pub use nsga2::{Individual, Nsga2, Nsga2Config, Nsga2State, OptimizationResult};
 pub use problem::{EvalError, Evaluation, Problem, RemoteEval, Variation};
 pub use spea2::{Spea2, Spea2Config, Spea2Result, Spea2State};

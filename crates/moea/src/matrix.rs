@@ -203,6 +203,118 @@ impl DistanceMatrix {
         }
     }
 
+    /// Recomputes only the rows/columns named in `changed`, leaving every
+    /// other pairwise distance untouched.
+    ///
+    /// The incremental generation-to-generation path: when only offspring
+    /// rows differ from the cached matrix, refreshing their rows (and the
+    /// mirrored columns) costs O(|changed|·N·M) instead of the full
+    /// O(N²·M) rebuild. Pairs where *both* endpoints are unchanged keep
+    /// their cached value; pairs with at least one changed endpoint are
+    /// recomputed with the same [`sq_dist`] as [`DistanceMatrix::refill`],
+    /// so the result is bit-identical to a full rebuild.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` does not have exactly `len()` rows or if an
+    /// index in `changed` is out of range.
+    pub fn update_rows(&mut self, points: &ObjectiveMatrix, changed: &[usize]) {
+        let n = self.n;
+        assert_eq!(points.rows(), n, "point count must match the matrix");
+        let mut is_changed = vec![false; n];
+        for &i in changed {
+            assert!(i < n, "changed index out of range");
+            is_changed[i] = true;
+        }
+        for &i in changed {
+            for (j, &j_changed) in is_changed.iter().enumerate() {
+                // Skip the diagonal and pairs already refreshed by an
+                // earlier changed row (j < i and j itself changed).
+                if j == i || (j_changed && j < i) {
+                    continue;
+                }
+                let d = sq_dist(points.row(i), points.row(j));
+                self.data[i * n + j] = d;
+                self.data[j * n + i] = d;
+            }
+        }
+    }
+
+    /// Shrinks the matrix to the survivor subset `keep`, moving cached
+    /// rows instead of recomputing them.
+    ///
+    /// After compaction, `get(a, b)` equals the old
+    /// `get(keep[a], keep[b])` bit-for-bit. Moving front-to-back is safe
+    /// in place because `keep` ascending implies every source index
+    /// `keep[a]·n + keep[b]` is ≥ its destination `a·k + b`, so no source
+    /// cell is overwritten before it is read.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keep` is not strictly ascending or indexes out of range.
+    pub fn compact(&mut self, keep: &[usize]) {
+        let n = self.n;
+        let k = keep.len();
+        for w in keep.windows(2) {
+            assert!(w[0] < w[1], "keep mask must be strictly ascending");
+        }
+        if let Some(&last) = keep.last() {
+            assert!(last < n, "keep index out of range");
+        }
+        for a in 0..k {
+            for b in 0..k {
+                self.data[a * k + b] = self.data[keep[a] * n + keep[b]];
+            }
+        }
+        self.data.truncate(k * k);
+        self.n = k;
+    }
+
+    /// Rebuilds the matrix from `points`, reusing `tail` as the cached
+    /// distance block for the trailing `tail.len()` points.
+    ///
+    /// `points` is laid out as `p` fresh head rows followed by
+    /// `tail.len()` rows whose pairwise distances are already in `tail`
+    /// (the compacted survivor matrix from the previous generation). Only
+    /// head–head and head–tail pairs are recomputed; the tail–tail block
+    /// is copied row-wise. Bit-identical to a full
+    /// [`DistanceMatrix::refill`] because the cached block was produced by
+    /// the same [`sq_dist`] over the same point bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tail.len() > points.rows()`.
+    pub fn refill_with_tail(&mut self, points: &ObjectiveMatrix, tail: &DistanceMatrix) {
+        let n = points.rows();
+        let t = tail.len();
+        assert!(t <= n, "cached tail larger than the point set");
+        let p = n - t;
+        self.n = n;
+        self.data.clear();
+        self.data.resize(n * n, 0.0);
+        for a in 0..t {
+            self.data[(p + a) * n + p..(p + a) * n + n].copy_from_slice(tail.row(a));
+        }
+        for i in 0..p {
+            for j in (i + 1)..n {
+                let d = sq_dist(points.row(i), points.row(j));
+                self.data[i * n + j] = d;
+                self.data[j * n + i] = d;
+            }
+        }
+    }
+
+    /// Bitwise equality: same size and every cell has identical bits
+    /// (stricter than `==`, which would treat `-0.0 == 0.0`).
+    pub fn bits_eq(&self, other: &DistanceMatrix) -> bool {
+        self.n == other.n
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(a, b)| a.to_bits() == b.to_bits())
+    }
+
     /// The squared distance between points `i` and `j`.
     ///
     /// # Panics
@@ -236,6 +348,86 @@ impl DistanceMatrix {
 #[inline]
 pub fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
     a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Generation-to-generation distance reuse for SPEA2 selection.
+///
+/// Holds the previous generation's archive objective rows and their
+/// pairwise distance matrix. The next generation's selection union is
+/// laid out as offspring (fresh head rows) followed by the archive
+/// (unchanged tail rows), so when the union's trailing rows bitwise match
+/// the cached rows ([`DistanceCache::matches_tail`]) the archive–archive
+/// distance block can be reused via
+/// [`DistanceMatrix::refill_with_tail`] instead of recomputed.
+///
+/// The cache is **self-validating**: reuse happens only after the bitwise
+/// row comparison succeeds, so any external mutation of the archive
+/// (island migration, snapshot restore, direct field writes) safely
+/// degrades to a full rebuild rather than producing stale distances. It
+/// is deliberately excluded from state equality (`PartialEq` is always
+/// `true`): a cold cache and a warm cache produce bit-identical
+/// selections, so the cache is an amortization detail, not state.
+#[derive(Clone, Default)]
+pub struct DistanceCache {
+    /// The archive objective rows the cached matrix was computed from.
+    pub points: ObjectiveMatrix,
+    /// Pairwise squared distances over `points`.
+    pub matrix: DistanceMatrix,
+}
+
+impl DistanceCache {
+    /// `true` when the trailing `self.points.rows()` rows of `points`
+    /// bitwise match the cached rows, i.e. the cached matrix is a valid
+    /// tail block for [`DistanceMatrix::refill_with_tail`].
+    pub fn matches_tail(&self, points: &ObjectiveMatrix) -> bool {
+        let t = self.points.rows();
+        if t == 0
+            || t != self.matrix.len()
+            || t > points.rows()
+            || points.cols() != self.points.cols()
+        {
+            return false;
+        }
+        let p = points.rows() - t;
+        (0..t).all(|a| {
+            points
+                .row(p + a)
+                .iter()
+                .zip(self.points.row(a))
+                .all(|(x, y)| x.to_bits() == y.to_bits())
+        })
+    }
+
+    /// Replaces the cache with `points` and `matrix` (the new archive and
+    /// its distance matrix), swapping the matrix buffer in to avoid a
+    /// copy. `matrix` is left holding the old cached buffer.
+    pub fn store(&mut self, points: &ObjectiveMatrix, matrix: &mut DistanceMatrix) {
+        self.points.refill(points.cols(), points.iter_rows());
+        std::mem::swap(&mut self.matrix, matrix);
+    }
+
+    /// Drops the cached state, forcing the next selection to rebuild.
+    pub fn clear(&mut self) {
+        self.points.clear();
+        self.matrix = DistanceMatrix::default();
+    }
+}
+
+impl std::fmt::Debug for DistanceCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DistanceCache")
+            .field("points", &self.points.rows())
+            .field("matrix", &self.matrix.len())
+            .finish()
+    }
+}
+
+/// A warm cache and a cold cache select identically (reuse is
+/// bit-identical to a rebuild), so caches never distinguish states.
+impl PartialEq for DistanceCache {
+    fn eq(&self, _other: &DistanceCache) -> bool {
+        true
+    }
 }
 
 #[cfg(test)]
@@ -311,5 +503,136 @@ mod tests {
         let mut d = DistanceMatrix::from_points(&a);
         d.refill(&b);
         assert_eq!(d, DistanceMatrix::from_points(&b));
+    }
+
+    fn cloud(n: usize, m: usize, mut seed: u64) -> ObjectiveMatrix {
+        let mut pts = ObjectiveMatrix::with_capacity(m, n);
+        let mut row = vec![0.0; m];
+        for _ in 0..n {
+            for x in row.iter_mut() {
+                seed ^= seed << 13;
+                seed ^= seed >> 7;
+                seed ^= seed << 17;
+                *x = (seed >> 11) as f64 / (1u64 << 53) as f64;
+            }
+            pts.push_row(&row);
+        }
+        pts
+    }
+
+    #[test]
+    fn update_rows_matches_full_refill() {
+        let before = cloud(9, 3, 1);
+        let mut after = before.clone();
+        // Replace rows 0, 3 and 7 with fresh values.
+        let fresh = cloud(3, 3, 99);
+        let changed = [0usize, 3, 7];
+        let mut rows = after.to_rows();
+        for (k, &i) in changed.iter().enumerate() {
+            rows[i] = fresh.row(k).to_vec();
+        }
+        after.refill(3, rows.iter().map(Vec::as_slice));
+
+        let mut d = DistanceMatrix::from_points(&before);
+        d.update_rows(&after, &changed);
+        assert!(d.bits_eq(&DistanceMatrix::from_points(&after)));
+    }
+
+    #[test]
+    fn update_rows_with_no_changes_is_identity() {
+        let pts = cloud(5, 2, 7);
+        let full = DistanceMatrix::from_points(&pts);
+        let mut d = full.clone();
+        d.update_rows(&pts, &[]);
+        assert!(d.bits_eq(&full));
+    }
+
+    #[test]
+    fn compact_moves_cached_cells() {
+        let pts = cloud(8, 2, 5);
+        let mut d = DistanceMatrix::from_points(&pts);
+        let keep = [1usize, 2, 5, 7];
+        d.compact(&keep);
+        let kept_rows: Vec<Vec<f64>> = keep.iter().map(|&i| pts.row(i).to_vec()).collect();
+        let expect = DistanceMatrix::from_points(&ObjectiveMatrix::from_rows(&kept_rows));
+        assert!(d.bits_eq(&expect));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn compact_rejects_unsorted_mask() {
+        let pts = cloud(4, 2, 3);
+        let mut d = DistanceMatrix::from_points(&pts);
+        d.compact(&[2, 1]);
+    }
+
+    #[test]
+    fn refill_with_tail_matches_full_refill() {
+        let old = cloud(10, 3, 11);
+        let mut tail = DistanceMatrix::from_points(&old);
+        let keep = [0usize, 2, 3, 6, 9];
+        tail.compact(&keep);
+
+        // Next union: 4 fresh head rows followed by the 5 survivors.
+        let head = cloud(4, 3, 77);
+        let mut next = ObjectiveMatrix::with_capacity(3, 9);
+        for r in head.iter_rows() {
+            next.push_row(r);
+        }
+        for &i in &keep {
+            next.push_row(old.row(i));
+        }
+
+        let mut inc = DistanceMatrix::default();
+        inc.refill_with_tail(&next, &tail);
+        assert!(inc.bits_eq(&DistanceMatrix::from_points(&next)));
+    }
+
+    #[test]
+    fn refill_with_empty_tail_matches_refill() {
+        let pts = cloud(6, 2, 13);
+        let mut inc = DistanceMatrix::default();
+        inc.refill_with_tail(&pts, &DistanceMatrix::default());
+        assert!(inc.bits_eq(&DistanceMatrix::from_points(&pts)));
+    }
+
+    #[test]
+    fn cache_tail_matching_is_bitwise() {
+        let archive = cloud(4, 2, 21);
+        let mut matrix = DistanceMatrix::from_points(&archive);
+        let mut cache = DistanceCache::default();
+        assert!(!cache.matches_tail(&archive), "empty cache never matches");
+        cache.store(&archive, &mut matrix);
+
+        // Union = 2 fresh rows ++ archive rows: tail matches.
+        let mut union = cloud(2, 2, 55);
+        for r in archive.iter_rows() {
+            union.push_row(r);
+        }
+        assert!(cache.matches_tail(&union));
+        assert!(cache.matches_tail(&archive), "exact match is a valid tail");
+
+        // Perturb one trailing bit: reuse must be refused.
+        let mut rows = union.to_rows();
+        rows[5][1] = -rows[5][1];
+        let perturbed = ObjectiveMatrix::from_rows(&rows);
+        assert!(!cache.matches_tail(&perturbed));
+
+        // Shorter union than the cached tail: refused.
+        let short = cloud(2, 2, 5);
+        assert!(!cache.matches_tail(&short));
+        // Different stride: refused.
+        assert!(!cache.matches_tail(&cloud(6, 3, 21)));
+
+        cache.clear();
+        assert!(!cache.matches_tail(&union));
+    }
+
+    #[test]
+    fn cache_is_invisible_to_state_equality() {
+        let pts = cloud(3, 2, 31);
+        let mut warm = DistanceCache::default();
+        warm.store(&pts, &mut DistanceMatrix::from_points(&pts));
+        assert_eq!(warm, DistanceCache::default());
     }
 }

@@ -1,4 +1,4 @@
-use crate::kernels;
+use crate::kernels::{self, SelectionSplit};
 use crate::{Evaluation, Problem, Variation};
 use clre_exec::Executor;
 use rand::rngs::StdRng;
@@ -291,7 +291,14 @@ where
             |genomes, generation| {
                 crate::dispatch::evaluate_generation(&self.problem, exec, generation, genomes)
             },
-            |micros| exec.annotate_selection(micros),
+            |split: SelectionSplit| {
+                exec.annotate_selection_split(
+                    split.total_us,
+                    split.sort_us,
+                    split.truncate_us,
+                    split.dist_us,
+                );
+            },
         )
     }
 
@@ -344,23 +351,26 @@ where
     /// generation number they belong to), then apply elitist
     /// environmental selection.
     ///
-    /// `report` receives the generation's selection-kernel wall time in
-    /// microseconds (mating rank/crowding + environmental selection) once
-    /// the step is complete — after `evaluate`, so a telemetry-backed
-    /// reporter annotates this generation's own trace record.
+    /// `report` receives the generation's selection cost split
+    /// ([`SelectionSplit`], microseconds: `sort_us` = mating
+    /// rank/crowding, `truncate_us` = environmental selection, `dist_us`
+    /// = 0 — NSGA-II keeps no distance matrix) once the step is complete
+    /// — after `evaluate`, so a telemetry-backed reporter annotates this
+    /// generation's own trace record.
     fn step_core<E, R>(&self, state: &mut Nsga2State<P::Genome>, evaluate: E, report: R) -> bool
     where
         E: FnOnce(Vec<P::Genome>, usize) -> Vec<Individual<P::Genome>>,
-        R: FnOnce(u64),
+        R: FnOnce(SelectionSplit),
     {
         if state.generation >= self.config.generations {
             return false;
         }
         let pop_size = self.config.population_size;
         let mut rng = StdRng::from_state_words(state.rng_state);
+        let mut split = SelectionSplit::default();
         let mating = Instant::now();
         let (ranks, crowding) = rank_and_crowd(&state.population);
-        let mut selection_nanos = mating.elapsed().as_nanos() as u64;
+        split.sort_us = mating.elapsed().as_nanos() as u64 / 1_000;
         let genomes = self.offspring_genomes(&state.population, &ranks, &crowding, &mut rng);
         state.evaluations += genomes.len();
         let offspring = evaluate(genomes, state.generation + 1);
@@ -370,11 +380,12 @@ where
         population.extend(offspring);
         let environmental = Instant::now();
         let survivors = environmental_selection(std::mem::take(population), pop_size);
-        selection_nanos += environmental.elapsed().as_nanos() as u64;
+        split.truncate_us = environmental.elapsed().as_nanos() as u64 / 1_000;
         *population = survivors;
+        split.total_us = split.sort_us + split.truncate_us;
         state.generation += 1;
         state.rng_state = rng.state_words();
-        report(selection_nanos / 1_000);
+        report(split);
         true
     }
 

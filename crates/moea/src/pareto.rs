@@ -54,6 +54,48 @@ pub fn constrained_dominates(a: &[f64], va: f64, b: &[f64], vb: f64) -> bool {
     }
 }
 
+/// Branch-reduced dominance over flat rows: 4-wide unrolled flag
+/// accumulation instead of the early-exit scan of [`dominates`].
+///
+/// Returns the same boolean as [`dominates`] for every input, including
+/// NaN axes: `NaN > y`, `NaN < y`, `x > NaN` and `x < NaN` are all false
+/// in both versions, so a NaN axis contributes to neither flag here and
+/// triggers neither branch there. The flag form has no data-dependent
+/// branches in the loop body, which lets stable rustc autovectorize the
+/// chunked comparisons without any intrinsics.
+///
+/// # Panics
+///
+/// Panics if the vectors have different lengths.
+pub fn dominates_blocked(a: &[f64], b: &[f64]) -> bool {
+    assert_eq!(a.len(), b.len(), "objective vectors must share a length");
+    let mut worse = false;
+    let mut better = false;
+    let mut ca = a.chunks_exact(4);
+    let mut cb = b.chunks_exact(4);
+    for (x, y) in (&mut ca).zip(&mut cb) {
+        worse |= (x[0] > y[0]) | (x[1] > y[1]) | (x[2] > y[2]) | (x[3] > y[3]);
+        better |= (x[0] < y[0]) | (x[1] < y[1]) | (x[2] < y[2]) | (x[3] < y[3]);
+    }
+    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
+        worse |= x > y;
+        better |= x < y;
+    }
+    better && !worse
+}
+
+/// [`constrained_dominates`] with the Pareto comparison routed through
+/// the blocked kernel. The violation arms are untouched, including their
+/// NaN behaviour (`va == 0.0` is false for NaN, and `NaN < vb` is false).
+pub fn constrained_dominates_blocked(a: &[f64], va: f64, b: &[f64], vb: f64) -> bool {
+    match (va == 0.0, vb == 0.0) {
+        (true, false) => true,
+        (false, true) => false,
+        (false, false) => va < vb,
+        (true, true) => dominates_blocked(a, b),
+    }
+}
+
 /// Returns the indices of the non-dominated points of `points`.
 ///
 /// Duplicates are kept (the first occurrence wins; exact duplicates of a
@@ -128,6 +170,49 @@ mod tests {
     #[should_panic(expected = "share a length")]
     fn dominance_length_mismatch_panics() {
         dominates(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn blocked_dominance_matches_scalar_on_edge_values() {
+        let vals = [f64::NAN, -0.0, 0.0, 0.5, 1.0, -1.5, f64::INFINITY];
+        // Exhaustive 2-axis grid plus 5-axis vectors exercising the
+        // remainder lane of the 4-wide kernel.
+        for &a0 in &vals {
+            for &a1 in &vals {
+                for &b0 in &vals {
+                    for &b1 in &vals {
+                        let a = [a0, a1];
+                        let b = [b0, b1];
+                        assert_eq!(dominates(&a, &b), dominates_blocked(&a, &b));
+                        let a5 = [a0, a1, a0, a1, a0];
+                        let b5 = [b0, b1, b1, b0, b1];
+                        assert_eq!(dominates(&a5, &b5), dominates_blocked(&a5, &b5));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_constrained_matches_scalar_including_nan_violations() {
+        let viol = [0.0, -0.0, 0.5, -1.0, f64::NAN];
+        for &va in &viol {
+            for &vb in &viol {
+                let a = [1.0, 2.0, 3.0, 4.0];
+                let b = [2.0, 2.0, 3.0, 5.0];
+                assert_eq!(
+                    constrained_dominates(&a, va, &b, vb),
+                    constrained_dominates_blocked(&a, va, &b, vb),
+                    "va={va}, vb={vb}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "share a length")]
+    fn blocked_dominance_length_mismatch_panics() {
+        dominates_blocked(&[1.0], &[1.0, 2.0]);
     }
 
     #[test]

@@ -12,8 +12,8 @@
 //! and elitism flows through a fixed-size external archive truncated by
 //! iteratively removing the most crowded member.
 
-use crate::kernels;
-use crate::matrix::ObjectiveMatrix;
+use crate::kernels::{self, SelectionSplit};
+use crate::matrix::{DistanceCache, ObjectiveMatrix};
 use crate::{Evaluation, Individual, Problem, Variation};
 use clre_exec::Executor;
 use rand::rngs::StdRng;
@@ -144,6 +144,12 @@ pub struct Spea2State<G> {
     /// Raw xoshiro state words of the run's RNG, as of the last completed
     /// generation boundary.
     pub rng_state: [u64; 4],
+    /// Generation-to-generation distance reuse (the previous archive's
+    /// rows + pairwise distances). Self-validating and excluded from
+    /// state equality — a cold cache (fresh init, snapshot restore)
+    /// selects bit-identically to a warm one, just slower on its first
+    /// generation.
+    pub dist_cache: DistanceCache,
 }
 
 /// The outcome of a SPEA2 run: the final archive (non-dominated members
@@ -287,19 +293,36 @@ where
             |genomes, generation| {
                 crate::dispatch::evaluate_generation(&self.problem, exec, generation, genomes)
             },
-            |micros| exec.annotate_selection(micros),
+            |split: SelectionSplit| {
+                exec.annotate_selection_split(
+                    split.total_us,
+                    split.sort_us,
+                    split.truncate_us,
+                    split.dist_us,
+                );
+            },
         )
     }
 
     /// Turns a state into the run result: one last environmental
-    /// selection over population ∪ archive.
+    /// selection over population ∪ archive (reusing the state's distance
+    /// cache when it still matches).
     pub fn finalize(&self, state: Spea2State<P::Genome>) -> Spea2Result<P::Genome> {
-        let mut union = state.population;
-        union.extend(state.archive);
-        let archive = select_archive(union, self.config.archive_size);
+        let Spea2State {
+            population,
+            archive,
+            evaluations,
+            mut dist_cache,
+            ..
+        } = state;
+        let mut union = population;
+        union.extend(archive);
+        let mut split = SelectionSplit::default();
+        let (archive, _) =
+            select_archive_cached(union, self.config.archive_size, &mut dist_cache, &mut split);
         Spea2Result {
             archive,
-            evaluations: state.evaluations,
+            evaluations,
         }
     }
 
@@ -324,6 +347,7 @@ where
             generation: 0,
             evaluations,
             rng_state: rng.state_words(),
+            dist_cache: DistanceCache::default(),
         }
     }
 
@@ -333,30 +357,38 @@ where
     /// never touches the RNG) and then handed to `evaluate` along with the
     /// 1-based generation number it belongs to.
     ///
-    /// `report` receives the generation's selection-kernel wall time in
-    /// microseconds (union fitness + archive selection + mating fitness)
-    /// once the step is complete — after `evaluate`, so a telemetry-backed
-    /// reporter annotates this generation's own trace record.
+    /// `report` receives the generation's selection cost split
+    /// ([`SelectionSplit`], microseconds: union fitness + archive
+    /// selection + mating fitness) once the step is complete — after
+    /// `evaluate`, so a telemetry-backed reporter annotates this
+    /// generation's own trace record.
     fn step_core<E, R>(&self, state: &mut Spea2State<P::Genome>, evaluate: E, report: R) -> bool
     where
         E: FnOnce(Vec<P::Genome>, usize) -> Vec<Individual<P::Genome>>,
-        R: FnOnce(u64),
+        R: FnOnce(SelectionSplit),
     {
         if state.generation >= self.config.generations {
             return false;
         }
         let mut rng = StdRng::from_state_words(state.rng_state);
 
-        // Union, fitness, environmental selection into the archive.
+        // Union, fitness, environmental selection into the archive. The
+        // distance cache carries the previous archive's pairwise block;
+        // the mating fitness falls out of the same selection pass (the
+        // compacted survivor matrix *is* the archive's distance matrix),
+        // so nothing is rebuilt from scratch.
         let selection = Instant::now();
+        let mut split = SelectionSplit::default();
         let mut union = std::mem::take(&mut state.population);
         union.extend(std::mem::take(&mut state.archive));
-        state.archive = select_archive(union, self.config.archive_size);
-
-        // Mating selection by binary tournament on SPEA2 fitness
-        // (recomputed within the archive).
-        let arch_fitness = spea2_fitness(&state.archive);
-        let selection_nanos = selection.elapsed().as_nanos() as u64;
+        let (archive, arch_fitness) = select_archive_cached(
+            union,
+            self.config.archive_size,
+            &mut state.dist_cache,
+            &mut split,
+        );
+        state.archive = archive;
+        split.total_us = selection.elapsed().as_nanos() as u64 / 1_000;
         let pop_size = self.config.population_size;
         let mut genomes: Vec<P::Genome> = Vec::with_capacity(pop_size);
         while genomes.len() < pop_size {
@@ -389,7 +421,7 @@ where
         state.population = evaluate(genomes, state.generation + 1);
         state.generation += 1;
         state.rng_state = rng.state_words();
-        report(selection_nanos / 1_000);
+        report(split);
         true
     }
 
@@ -439,25 +471,56 @@ fn with_population_scratch<G, R>(
 
 /// SPEA2 fitness F(i) = R(i) + D(i): raw strength-based fitness plus the
 /// k-nearest-neighbour density term (< 1 iff non-dominated). Computed on
-/// the reusable flat buffers by [`kernels::spea2_fitness`].
+/// the reusable flat buffers by [`kernels::spea2_fitness`]. Test-only:
+/// the run loop gets the archive fitness from the cached selection pass.
+#[cfg(test)]
 fn spea2_fitness<G>(pop: &[Individual<G>]) -> Vec<f64> {
     with_population_scratch(pop, |s| {
         kernels::spea2_fitness(&s.objectives, &s.violations, &mut s.distances)
     })
 }
 
+/// Elapsed microseconds since `t`.
+fn micros(t: Instant) -> u64 {
+    t.elapsed().as_nanos() as u64 / 1_000
+}
+
 /// SPEA2 environmental selection of the archive from `union`: keep all
 /// non-dominated (F < 1); truncate overflow by iteratively removing the
 /// member with the lexicographically smallest sorted-distance vector;
-/// fill underflow with the best dominated.
+/// fill underflow with the best dominated. Also returns the archive's
+/// own SPEA2 fitness (the mating-tournament key).
 ///
-/// Fitness and truncation share one scratch session, so the pairwise
-/// distance matrix built for the density estimate is the same cached
-/// matrix the truncation rounds index
-/// ([`kernels::spea2_truncate`]) — nothing is recomputed per round.
-fn select_archive<G>(union: Vec<Individual<G>>, target: usize) -> Vec<Individual<G>> {
+/// Amortization, all bit-identical to a from-scratch rebuild:
+///
+/// - When `cache` still matches the union's trailing rows (the previous
+///   archive, appended unchanged after the offspring), the
+///   archive–archive distance block is reused via
+///   [`DistanceMatrix::refill_with_tail`](crate::matrix::DistanceMatrix::refill_with_tail)
+///   instead of recomputed — only offspring rows pay `sq_dist`.
+/// - Fitness and truncation share one scratch session, so the pairwise
+///   matrix built for the density estimate is the same cached matrix the
+///   truncation rounds index ([`kernels::spea2_truncate`]).
+/// - The survivor keep-mask compaction of that matrix *is* the archive's
+///   own distance matrix (survivors keep their union order), so the
+///   mating fitness is computed on it directly — the old second full
+///   rebuild is gone — and it becomes the next generation's cache.
+fn select_archive_cached<G>(
+    union: Vec<Individual<G>>,
+    target: usize,
+    cache: &mut DistanceCache,
+    split: &mut SelectionSplit,
+) -> (Vec<Individual<G>>, Vec<f64>) {
     let chosen = with_population_scratch(&union, |s| {
-        let fitness = kernels::spea2_fitness(&s.objectives, &s.violations, &mut s.distances);
+        let t = Instant::now();
+        if cache.matches_tail(&s.objectives) {
+            s.distances.refill_with_tail(&s.objectives, &cache.matrix);
+        } else {
+            s.distances.refill(&s.objectives);
+        }
+        split.dist_us += micros(t);
+        let t = Instant::now();
+        let fitness = kernels::spea2_fitness_prefilled(&s.objectives, &s.violations, &s.distances);
         let mut order: Vec<usize> = (0..union.len()).collect();
         order.sort_by(|&a, &b| fitness[a].total_cmp(&fitness[b]));
         let nondom: Vec<usize> = order
@@ -465,21 +528,41 @@ fn select_archive<G>(union: Vec<Individual<G>>, target: usize) -> Vec<Individual
             .copied()
             .filter(|&i| fitness[i] < 1.0)
             .collect();
-        if nondom.len() > target {
+        split.sort_us += micros(t);
+        let t = Instant::now();
+        let chosen = if nondom.len() > target {
             kernels::spea2_truncate(&s.distances, nondom, target)
         } else {
             order.into_iter().take(target).collect()
-        }
+        };
+        split.truncate_us += micros(t);
+        let t = Instant::now();
+        let mut keep_rows = chosen.clone();
+        keep_rows.sort_unstable();
+        s.distances.compact(&keep_rows);
+        split.dist_us += micros(t);
+        chosen
     });
     let mut keep = vec![false; union.len()];
     for &i in &chosen {
         keep[i] = true;
     }
-    union
+    let archive: Vec<Individual<G>> = union
         .into_iter()
         .zip(keep)
         .filter_map(|(ind, k)| k.then_some(ind))
-        .collect()
+        .collect();
+    // Mating fitness on the compacted survivor matrix (== the archive's
+    // own distance matrix), then hand that matrix to the cache for the
+    // next generation.
+    let t = Instant::now();
+    let arch_fitness = with_population_scratch(&archive, |s| {
+        let f = kernels::spea2_fitness_prefilled(&s.objectives, &s.violations, &s.distances);
+        cache.store(&s.objectives, &mut s.distances);
+        f
+    });
+    split.sort_us += micros(t);
+    (archive, arch_fitness)
 }
 
 #[cfg(test)]
@@ -628,6 +711,35 @@ mod tests {
             let resumed = opt.run_from(snapshot);
             assert_eq!(direct.archive(), resumed.archive(), "k={k}");
             assert_eq!(direct.evaluations, resumed.evaluations, "k={k}");
+        }
+    }
+
+    #[test]
+    fn cold_cache_matches_warm_cache_bitwise() {
+        // Clearing the distance cache at arbitrary generation boundaries
+        // must not change a single bit of the outcome — reuse is an
+        // amortization, never a semantic.
+        let cfg = Spea2Config::new(20, 8).with_seed(23);
+        let opt = Spea2::new(Schaffer, Gaussian, cfg);
+        let warm = opt.run();
+        let mut state = opt.init_state();
+        let mut g = 0usize;
+        while opt.step(&mut state) {
+            g += 1;
+            if g.is_multiple_of(2) {
+                state.dist_cache.clear();
+            }
+        }
+        state.dist_cache.clear();
+        let cold = opt.finalize(state);
+        assert_eq!(warm.archive(), cold.archive());
+        for (a, b) in warm
+            .front_objectives()
+            .iter()
+            .flatten()
+            .zip(cold.front_objectives().iter().flatten())
+        {
+            assert_eq!(a.to_bits(), b.to_bits());
         }
     }
 

@@ -4,10 +4,57 @@
 use clrearly::moea::hypervolume::{hypervolume, hypervolume_2d};
 use clrearly::moea::kernels;
 use clrearly::moea::pareto::{
-    crowding_distance, dominates, fast_non_dominated_sort, non_dominated_indices, pareto_filter,
+    constrained_dominates, constrained_dominates_blocked, crowding_distance, dominates,
+    dominates_blocked, fast_non_dominated_sort, non_dominated_indices, pareto_filter,
 };
 use clrearly::moea::{DistanceMatrix, ObjectiveMatrix};
 use proptest::prelude::*;
+
+/// Objective coordinates chosen to exercise every dominance edge case:
+/// NaN payloads, signed zeros, exact ties and infinities.
+fn arb_nasty_coord() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        Just(f64::NAN),
+        Just(-0.0),
+        Just(0.0),
+        Just(0.5),
+        Just(1.0),
+        Just(-1.5),
+        Just(f64::INFINITY),
+        Just(f64::NEG_INFINITY),
+    ]
+}
+
+/// Constraint violations including the negative and NaN values the
+/// scalar kernel treats as "infeasible unless exactly 0.0".
+fn arb_nasty_violation() -> impl Strategy<Value = f64> {
+    prop_oneof![Just(0.0), Just(-0.0), Just(0.5), Just(-1.0), Just(f64::NAN),]
+}
+
+/// One edit step applied to an evolving point set plus its incrementally
+/// maintained distance matrix.
+#[derive(Debug, Clone)]
+enum DistOp {
+    /// Overwrite the rows at these (to-be-clamped) indices with fresh
+    /// coordinates, then `update_rows` those indices.
+    Update(Vec<(usize, Vec<f64>)>),
+    /// Keep a pseudo-random strictly-ascending subset of rows (selected
+    /// by this bitmask seed) via `compact`.
+    Compact(u64),
+    /// Prepend fresh rows and rebuild through `refill_with_tail`, reusing
+    /// the current matrix as the trailing block.
+    Grow(Vec<Vec<f64>>),
+}
+
+fn arb_dist_op(dim: usize) -> impl Strategy<Value = DistOp> {
+    let coord = -10.0..10.0f64;
+    let row = prop::collection::vec(coord.clone(), dim);
+    prop_oneof![
+        prop::collection::vec((0usize..64, row.clone()), 1..6).prop_map(DistOp::Update),
+        any::<u64>().prop_map(DistOp::Compact),
+        prop::collection::vec(row, 1..5).prop_map(DistOp::Grow),
+    ]
+}
 
 fn arb_points(dim: usize, max: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
     prop::collection::vec(prop::collection::vec(0.0..10.0f64, dim), 1..max)
@@ -171,6 +218,92 @@ proptest! {
         let ens = kernels::ens_non_dominated_sort(&m, &violations);
         let deb = kernels::deb_non_dominated_sort(&m, &violations);
         prop_assert_eq!(ens, deb);
+    }
+
+    #[test]
+    fn blocked_dominance_equals_scalar_on_nasty_vectors(
+        pairs in prop::collection::vec(arb_nasty_coord(), 1..11)
+            .prop_flat_map(|a| {
+                let n = a.len();
+                (Just(a), prop::collection::vec(arb_nasty_coord(), n))
+            }),
+        va in arb_nasty_violation(),
+        vb in arb_nasty_violation(),
+    ) {
+        let (a, b) = pairs;
+        prop_assert_eq!(dominates_blocked(&a, &b), dominates(&a, &b));
+        prop_assert_eq!(dominates_blocked(&b, &a), dominates(&b, &a));
+        prop_assert_eq!(
+            constrained_dominates_blocked(&a, va, &b, vb),
+            constrained_dominates(&a, va, &b, vb)
+        );
+        prop_assert_eq!(
+            constrained_dominates_blocked(&b, vb, &a, va),
+            constrained_dominates(&b, vb, &a, va)
+        );
+    }
+
+    #[test]
+    fn blocked_dominance_equals_scalar_on_tied_lattices(cloud in arb_constrained_lattice(5, 20)) {
+        for (a, va) in &cloud {
+            for (b, vb) in &cloud {
+                prop_assert_eq!(dominates_blocked(a, b), dominates(a, b));
+                prop_assert_eq!(
+                    constrained_dominates_blocked(a, *va, b, *vb),
+                    constrained_dominates(a, *va, b, *vb)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_distance_matrix_equals_full_rebuild(
+        start in arb_points(3, 12),
+        ops in prop::collection::vec(arb_dist_op(3), 1..8),
+    ) {
+        let mut rows = start;
+        let mut m = ObjectiveMatrix::from_rows(&rows);
+        let mut dist = DistanceMatrix::from_points(&m);
+        for op in ops {
+            match op {
+                DistOp::Update(edits) => {
+                    let mut changed: Vec<usize> = edits
+                        .iter()
+                        .map(|(i, _)| i % rows.len())
+                        .collect();
+                    for ((i, row), &slot) in edits.iter().zip(&changed) {
+                        let _ = i;
+                        rows[slot] = row.clone();
+                    }
+                    changed.sort_unstable();
+                    changed.dedup();
+                    m = ObjectiveMatrix::from_rows(&rows);
+                    dist.update_rows(&m, &changed);
+                }
+                DistOp::Compact(mask) => {
+                    let keep: Vec<usize> = (0..rows.len())
+                        .filter(|&i| i == 0 || mask >> (i % 64) & 1 == 1)
+                        .collect();
+                    rows = keep.iter().map(|&i| rows[i].clone()).collect();
+                    m = ObjectiveMatrix::from_rows(&rows);
+                    dist.compact(&keep);
+                }
+                DistOp::Grow(fresh) => {
+                    let tail = dist.clone();
+                    let mut next = fresh;
+                    next.extend(rows.iter().cloned());
+                    rows = next;
+                    m = ObjectiveMatrix::from_rows(&rows);
+                    dist.refill_with_tail(&m, &tail);
+                }
+            }
+            let full = DistanceMatrix::from_points(&m);
+            prop_assert!(
+                dist.bits_eq(&full),
+                "incremental matrix diverged from full rebuild at n={}",
+                rows.len()
+            );
+        }
     }
 
     #[test]

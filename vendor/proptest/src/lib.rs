@@ -70,6 +70,18 @@ pub trait Strategy {
     {
         Map { inner: self, f }
     }
+
+    /// Generate a value, then generate from the strategy `f` builds from
+    /// it — the dependent-strategy combinator (e.g. "a vector, then a
+    /// second vector of the same length").
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { inner: self, f }
+    }
 }
 
 /// Strategy returned by [`Strategy::prop_map`].
@@ -89,6 +101,78 @@ where
     fn generate(&self, rng: &mut TestRng) -> O {
         (self.f)(self.inner.generate(rng))
     }
+}
+
+/// Strategy returned by [`Strategy::prop_flat_map`].
+#[derive(Clone, Debug)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        let mid = self.inner.generate(rng);
+        (self.f)(mid).generate(rng)
+    }
+}
+
+/// A type-erased strategy arm inside a [`Union`].
+pub type UnionArm<V> = Box<dyn Fn(&mut TestRng) -> V>;
+
+/// Uniform choice among heterogeneous strategies sharing a value type;
+/// built by the [`prop_oneof!`] macro.
+pub struct Union<V> {
+    arms: Vec<UnionArm<V>>,
+}
+
+impl<V> Union<V> {
+    /// A union over the given (boxed, type-erased) arms; must be
+    /// non-empty.
+    pub fn new(arms: Vec<UnionArm<V>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<V> std::fmt::Debug for Union<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Union")
+            .field("arms", &self.arms.len())
+            .finish()
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let i = rng.below(self.arms.len() as u64) as usize;
+        (self.arms[i])(rng)
+    }
+}
+
+/// Picks one of the given strategies uniformly per case, like real
+/// proptest's `prop_oneof!` (per-arm weights are not supported).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {{
+        $crate::Union::new(vec![
+            $({
+                let s = $strat;
+                Box::new(move |rng: &mut $crate::TestRng| {
+                    $crate::Strategy::generate(&s, rng)
+                }) as Box<dyn Fn(&mut $crate::TestRng) -> _>
+            }),+
+        ])
+    }};
 }
 
 /// Strategy that always yields a clone of one value.
@@ -240,6 +324,50 @@ pub mod bool {
     }
 }
 
+/// Types with a canonical unconstrained strategy, backing
+/// [`prelude::any`].
+pub trait Arbitrary: Sized {
+    /// The strategy `any::<Self>()` returns.
+    type Strategy: Strategy<Value = Self>;
+
+    /// The canonical full-range strategy for this type.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Full-width strategy behind `any::<T>()` for primitive types.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AnyPrimitive<T>(std::marker::PhantomData<T>);
+
+macro_rules! arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Strategy for AnyPrimitive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+
+        impl Arbitrary for $t {
+            type Strategy = AnyPrimitive<$t>;
+
+            fn arbitrary() -> Self::Strategy {
+                AnyPrimitive(std::marker::PhantomData)
+            }
+        }
+    )*};
+}
+
+arbitrary_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    type Strategy = bool::Any;
+
+    fn arbitrary() -> Self::Strategy {
+        bool::ANY
+    }
+}
+
 /// Runner configuration: only the case count is honoured here.
 #[derive(Clone, Debug)]
 pub struct ProptestConfig {
@@ -272,8 +400,14 @@ pub fn location_salt(s: &str) -> u64 {
 
 /// Everything the workspace imports via `use proptest::prelude::*`.
 pub mod prelude {
-    pub use crate::{prop_assert, prop_assert_eq, proptest};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
     pub use crate::{Just, ProptestConfig, Strategy};
+
+    /// `any::<T>()` for the handful of types the workspace draws
+    /// unconstrained: full-range integers.
+    pub fn any<T: crate::Arbitrary>() -> T::Strategy {
+        T::arbitrary()
+    }
 
     /// Namespace alias matching real proptest's `prelude::prop`.
     pub mod prop {
